@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: the dynamic prefix-sharing opportunity.
+ *
+ * Left: beams-in-memory (token footprint) across iterations with and
+ * without prefix caching, for Beam Search and DVTS — sharing saves a
+ * large, growing fraction of memory.
+ *
+ * Right: prefix-sharing structure under naive (random) scheduling —
+ * adjacent scheduled beams rarely share prefixes, quantified as the
+ * adjacent shared-prefix sum vs. the prefix-aware order.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "sched/scheduler.h"
+#include "util/table.h"
+
+using namespace fasttts;
+
+int
+main()
+{
+    const DatasetProfile profile = aime2024();
+
+    // --- Left: footprint with vs without prefix cache. ---
+    for (const std::string method : {"beam_search", "dvts"}) {
+        auto algo = makeAlgorithm(method, 128, 4);
+        FastTtsEngine engine(FastTtsConfig::baseline(),
+                             config1_5Bplus1_5B(), rtx4090(), profile,
+                             *algo);
+        engine.runRequest(makeProblems(profile, 1, 2026)[0]);
+
+        Table table("Fig.5 (left) active working set (k tokens) - "
+                    + method + ", n=128");
+        table.setHeader({"iteration", "w/ prefix cache",
+                         "w/o prefix cache", "savings x"});
+        for (const auto &s : engine.iterationStats()) {
+            const double shared = s.uniqueTokens / 1000.0;
+            const double unshared = s.unsharedTokens / 1000.0;
+            table.addRow(
+                {std::to_string(s.iteration + 1), formatDouble(shared, 1),
+                 formatDouble(unshared, 1),
+                 shared > 0 ? formatDouble(unshared / shared, 2) : "-"});
+        }
+        table.setCaption("Paper: prefix caching keeps the in-memory "
+                         "footprint several times below the unshared "
+                         "footprint, and the gap widens as the tree "
+                         "deepens.");
+        table.print(std::cout);
+    }
+
+    // --- Right: scheduling locality under naive vs prefix-aware
+    //     order, measured on the final iteration's beams. ---
+    auto algo = makeBeamSearch(128, 4);
+    FastTtsEngine engine(FastTtsConfig::baseline(), config1_5Bplus1_5B(),
+                         rtx4090(), profile, *algo);
+    engine.runRequest(makeProblems(profile, 1, 2026)[0]);
+
+    Table right("Fig.5 (right) adjacent prefix sharing by scheduling "
+                "policy (relative units)");
+    right.setHeader({"policy", "adjacent shared-prefix sum"});
+    // Rebuild a representative beam population from the KV tree is
+    // engine-internal; instead measure on a synthetic final-iteration
+    // population with the same branching structure.
+    KvCacheManager kv(1 << 30, 1.0, 16);
+    Rng rng(7);
+    std::vector<SchedEntry> entries;
+    size_t index = 0;
+    for (int p = 0; p < 32; ++p) {
+        const int parent = kv.createChild(KvCacheManager::kRoot,
+                                          static_cast<uint64_t>(p) + 1,
+                                          rng.uniformInt(400, 1200));
+        for (int c = 0; c < 4; ++c) {
+            const int leaf = kv.createChild(
+                parent, 1000 + index, rng.uniformInt(50, 300));
+            SchedEntry e;
+            e.index = index;
+            e.beamId = ++index;
+            e.parentBeam = static_cast<uint64_t>(p);
+            e.prevPosition = p;
+            e.leaf = leaf;
+            e.pathTokens = kv.pathTokens(leaf);
+            entries.push_back(e);
+        }
+    }
+    for (const std::string policy :
+         {"random", "worst_case", "prefix_aware", "greedy_prefix"}) {
+        auto order = entries;
+        Rng policy_rng(11);
+        makeScheduler(policy)->order(order, kv, policy_rng);
+        right.addRow({policy,
+                      std::to_string(scheduleSharedPrefixSum(kv, order))});
+    }
+    right.setCaption("Paper: naive scheduling does not group similar "
+                     "beams; the prefix-aware order maximises adjacent "
+                     "sharing (heatmap block-diagonal).");
+    right.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: the Roofline-Guided KV Allocation policy.
+ *
+ * For each available KV budget, prints the optimal prefill and decode
+ * batch sizes chosen by the Sec. 4.3.1 linear search, and the
+ * normalized throughput of the resulting plan.
+ *
+ * Expectation: the optimal decode batch grows steadily with memory
+ * (decode is memory-hungry), the prefill batch stays small, and
+ * throughput saturates at large budgets.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "alloc/memory_planner.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace fasttts;
+
+int
+main()
+{
+    RooflineModel roofline(rtx4090());
+    const ModelSpec gen = qwen25Math1_5B();
+    const ModelSpec ver = skywork1_5B();
+
+    WorkloadShape shape;
+    shape.numRequests = 512;
+    shape.verifierSeqLen = 1100;
+    shape.verifierReqLen = 190;
+    shape.decodeLen = 180;
+    shape.avgCacheLen = 900;
+
+    auto planner = makeRooflinePlanner(gen, ver, roofline);
+
+    const std::vector<double> budgets = {0.06, 0.12, 0.25, 0.5, 1.0,
+                                         2.0,  4.0,  8.0,  16.0};
+    // Normalize against the plan at the largest budget.
+    const double t_best =
+        planner->plan(shape, budgets.back() * GiB).predictedTime;
+
+    Table table("Fig.10 roofline-guided KV allocation (1.5B gen + 1.5B "
+                "PRM, N=512)");
+    table.setHeader({"KV GiB", "opt prefill batch", "opt decode batch",
+                     "norm throughput %"});
+    for (double gib : budgets) {
+        const auto plan = planner->plan(shape, gib * GiB);
+        table.addRow({formatDouble(gib, 2),
+                      std::to_string(plan.prefillBatch),
+                      std::to_string(plan.decodeBatch),
+                      formatDouble(100.0 * t_best / plan.predictedTime,
+                                   1)});
+    }
+    table.setCaption("Paper: decode batch dominates as memory grows; "
+                     "throughput (line) rises steeply then saturates. "
+                     "The search runs in <1 ms per invocation.");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: Precise Goodput of FastTTS vs. the vLLM
+ * baseline across three model configurations (1.5B+1.5B, 1.5B+7B,
+ * 7B+1.5B), two datasets (AIME, AMC) and beam counts n = 8..512.
+ *
+ * Paper expectation: FastTTS >= baseline everywhere; average gain
+ * ~2.2x, range 1.2x-5.4x, growing with n (peak at 7B+1.5B, n=512,
+ * AIME).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "util/table.h"
+
+using namespace fasttts;
+
+namespace
+{
+
+struct Cell
+{
+    double baseline = 0;
+    double fasttts = 0;
+};
+
+Cell
+runCell(const std::string &dataset, const ModelConfig &models, int n,
+        int problems)
+{
+    Cell cell;
+    for (int pass = 0; pass < 2; ++pass) {
+        ServingOptions opts;
+        opts.config =
+            pass == 0 ? FastTtsConfig::baseline() : FastTtsConfig::fastTts();
+        opts.models = models;
+        opts.datasetName = dataset;
+        opts.algorithmName = "beam_search";
+        opts.numBeams = n;
+        ServingSystem system(opts);
+        const BatchResult out = system.serveProblems(problems);
+        (pass == 0 ? cell.baseline : cell.fasttts) = out.meanGoodput;
+    }
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int problems = argc > 1 ? std::atoi(argv[1]) : 6;
+    const std::vector<int> beam_counts = {8, 16, 32, 64, 128, 256, 512};
+    const auto configs = allModelConfigs();
+
+    double gain_sum = 0;
+    double gain_min = 1e9;
+    double gain_max = 0;
+    int cells = 0;
+
+    for (const std::string dataset : {"AIME", "AMC"}) {
+        for (const auto &models : configs) {
+            Table table("Fig.12 goodput (tokens/s) - " + dataset + " "
+                        + models.label);
+            table.setHeader({"n", "baseline", "fasttts", "gain x"});
+            for (int n : beam_counts) {
+                const Cell cell = runCell(dataset, models, n, problems);
+                const double gain =
+                    cell.baseline > 0 ? cell.fasttts / cell.baseline : 0;
+                gain_sum += gain;
+                gain_min = std::min(gain_min, gain);
+                gain_max = std::max(gain_max, gain);
+                ++cells;
+                table.addRow(std::to_string(n),
+                             {cell.baseline, cell.fasttts, gain});
+            }
+            table.setCaption(
+                "Paper: FastTTS >= baseline at every n; gain grows "
+                "with n.");
+            table.print(std::cout);
+        }
+    }
+
+    std::cout << "\nSummary: mean gain " << formatDouble(gain_sum / cells, 2)
+              << "x, range " << formatDouble(gain_min, 2) << "x-"
+              << formatDouble(gain_max, 2)
+              << "x  (paper: avg 2.2x, range 1.2x-5.4x)\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: end-to-end completion latency with the
+ * generator/verifier breakdown, across three model configurations and
+ * two datasets, n = 8..512.
+ *
+ * Expectation: FastTTS reduces latency by 38-68% on average; verifier
+ * latency falls more (75-85%) than generator latency (36-66%); in the
+ * 1.5B+7B configuration the verifier's share grows with n.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "util/histogram.h"
+#include "util/table.h"
+
+using namespace fasttts;
+
+int
+main(int argc, char **argv)
+{
+    const int problems = argc > 1 ? std::atoi(argv[1]) : 4;
+    const std::vector<int> beam_counts = {8, 32, 128, 512};
+
+    SummaryStats latency_reduction;
+    SummaryStats gen_reduction;
+    SummaryStats ver_reduction;
+
+    for (const std::string dataset : {"AIME", "AMC"}) {
+        for (const auto &models : allModelConfigs()) {
+            Table table("Fig.13 completion latency (s) - " + dataset
+                        + " " + models.label);
+            table.setHeader({"n", "base total", "base gen", "base ver",
+                             "fast total", "fast gen", "fast ver",
+                             "reduction %"});
+            for (int n : beam_counts) {
+                BatchResult out[2];
+                for (int pass = 0; pass < 2; ++pass) {
+                    ServingOptions opts;
+                    opts.config = pass ? FastTtsConfig::fastTts()
+                                       : FastTtsConfig::baseline();
+                    opts.models = models;
+                    opts.datasetName = dataset;
+                    opts.numBeams = n;
+                    ServingSystem system(opts);
+                    out[pass] = system.serveProblems(problems);
+                }
+                const double reduction = 100.0
+                    * (out[0].meanLatency - out[1].meanLatency)
+                    / out[0].meanLatency;
+                latency_reduction.add(reduction);
+                if (out[0].meanGeneratorTime > 0) {
+                    gen_reduction.add(100.0
+                                      * (out[0].meanGeneratorTime
+                                         - out[1].meanGeneratorTime)
+                                      / out[0].meanGeneratorTime);
+                }
+                if (out[0].meanVerifierTime > 0) {
+                    ver_reduction.add(100.0
+                                      * (out[0].meanVerifierTime
+                                         - out[1].meanVerifierTime)
+                                      / out[0].meanVerifierTime);
+                }
+                table.addRow(
+                    std::to_string(n),
+                    {out[0].meanLatency, out[0].meanGeneratorTime,
+                     out[0].meanVerifierTime, out[1].meanLatency,
+                     out[1].meanGeneratorTime, out[1].meanVerifierTime,
+                     reduction},
+                    1);
+            }
+            table.setCaption("Paper: latency reduced 38-68%; in "
+                             "1.5B+7B the verifier share grows with n.");
+            table.print(std::cout);
+        }
+    }
+
+    std::cout << "\nMean latency reduction: "
+              << formatDouble(latency_reduction.mean(), 1)
+              << "%  (paper: 38-68%)\n"
+              << "Mean generator-time reduction: "
+              << formatDouble(gen_reduction.mean(), 1)
+              << "%  (paper: 36-66%)\n"
+              << "Mean verifier-time reduction: "
+              << formatDouble(ver_reduction.mean(), 1)
+              << "%  (paper: 75-85%)\n";
+    return 0;
+}

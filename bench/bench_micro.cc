@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot data structures: the
+ * radix-tree KV cache, the schedulers, and the allocation search. Not
+ * a paper figure — documents that the runtime components are cheap
+ * enough for per-iteration invocation (the paper quotes <1 ms for the
+ * allocation search).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/memory_planner.h"
+#include "kv/kv_cache.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fasttts
+{
+namespace
+{
+
+/** Build a beam-search-shaped tree with the given number of leaves. */
+std::vector<SchedEntry>
+buildEntries(KvCacheManager &kv, int leaves, Rng &rng)
+{
+    std::vector<SchedEntry> entries;
+    size_t index = 0;
+    const int parents = std::max(1, leaves / 4);
+    for (int p = 0; p < parents; ++p) {
+        const int parent =
+            kv.createChild(KvCacheManager::kRoot,
+                           static_cast<uint64_t>(p) + 1,
+                           rng.uniformInt(200, 1000));
+        for (int c = 0; c < 4 && static_cast<int>(index) < leaves; ++c) {
+            const int leaf = kv.createChild(
+                parent, 10000 + index, rng.uniformInt(30, 300));
+            SchedEntry e;
+            e.index = index;
+            e.beamId = ++index;
+            e.parentBeam = static_cast<uint64_t>(p);
+            e.prevPosition = p;
+            e.leaf = leaf;
+            e.pathTokens = kv.pathTokens(leaf);
+            entries.push_back(e);
+        }
+    }
+    return entries;
+}
+
+void
+BM_RadixTouch(benchmark::State &state)
+{
+    KvCacheManager kv(64 * MiB, 28672, 16);
+    Rng rng(1);
+    auto entries = buildEntries(kv, static_cast<int>(state.range(0)),
+                                rng);
+    uint64_t tick = 0;
+    for (auto _ : state) {
+        for (const auto &e : entries)
+            benchmark::DoNotOptimize(kv.ensureResident(e.leaf, ++tick));
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<int64_t>(entries.size()));
+}
+BENCHMARK(BM_RadixTouch)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_RadixAppend(benchmark::State &state)
+{
+    KvCacheManager kv(1024 * MiB, 28672, 16);
+    const int leaf = kv.createChild(KvCacheManager::kRoot, 1, 0);
+    kv.ensureResident(leaf, 0);
+    uint64_t tick = 0;
+    for (auto _ : state) {
+        if (!kv.appendTokens(leaf, 1, ++tick)) {
+            state.PauseTiming();
+            kv.truncateTokens(leaf, 0);
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RadixAppend);
+
+void
+BM_PrefixAwareScheduler(benchmark::State &state)
+{
+    KvCacheManager kv(1 << 30, 1.0, 16);
+    Rng rng(2);
+    auto entries = buildEntries(kv, static_cast<int>(state.range(0)),
+                                rng);
+    auto scheduler = makePrefixAwareScheduler();
+    for (auto _ : state) {
+        auto copy = entries;
+        scheduler->order(copy, kv, rng);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_PrefixAwareScheduler)->Arg(64)->Arg(512);
+
+void
+BM_GreedyPrefixScheduler(benchmark::State &state)
+{
+    KvCacheManager kv(1 << 30, 1.0, 16);
+    Rng rng(3);
+    auto entries = buildEntries(kv, static_cast<int>(state.range(0)),
+                                rng);
+    auto scheduler = makeGreedyPrefixScheduler();
+    for (auto _ : state) {
+        auto copy = entries;
+        scheduler->order(copy, kv, rng);
+        benchmark::DoNotOptimize(copy.data());
+    }
+}
+BENCHMARK(BM_GreedyPrefixScheduler)->Arg(64)->Arg(256);
+
+void
+BM_RooflineAllocationSearch(benchmark::State &state)
+{
+    RooflineModel roofline(rtx4090());
+    auto planner = makeRooflinePlanner(qwen25Math1_5B(), skywork1_5B(),
+                                       roofline);
+    WorkloadShape shape;
+    shape.numRequests = static_cast<int>(state.range(0));
+    shape.verifierSeqLen = 1100;
+    shape.verifierReqLen = 190;
+    shape.decodeLen = 180;
+    shape.avgCacheLen = 900;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planner->plan(shape, 2 * GiB));
+    // The paper quotes < 1 ms per invocation on one CPU thread.
+}
+BENCHMARK(BM_RooflineAllocationSearch)->Arg(64)->Arg(512);
+
+} // namespace
+} // namespace fasttts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Domain example: TTS-served code generation (HumanEval-style).
+ *
+ * The paper's Sec. 6.4 shows the FastTTS execution patterns transfer
+ * to code generation. This example serves HumanEval-profile requests
+ * with DVTS (diverse subtrees help avoid committing to one buggy
+ * program skeleton) and reports goodput, latency and accuracy across
+ * search widths.
+ *
+ *   ./build/examples/code_generation [num_problems]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/serving.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fasttts;
+    const int problems = argc > 1 ? std::atoi(argv[1]) : 8;
+
+    std::cout << "Code-generation serving demo: HumanEval profile, "
+                 "DVTS search, 1.5B+1.5B on RTX4090\n";
+
+    Table table("HumanEval serving: baseline vs FastTTS across search "
+                "widths");
+    table.setHeader({"n", "system", "goodput tok/s", "latency s",
+                     "top-1 %", "pass@n %"});
+    for (int n : {8, 32, 128}) {
+        for (const bool fast : {false, true}) {
+            ServingOptions opts;
+            opts.config = fast ? FastTtsConfig::fastTts()
+                               : FastTtsConfig::baseline();
+            opts.models = config1_5Bplus1_5B();
+            opts.datasetName = "HumanEval";
+            opts.algorithmName = "dvts";
+            opts.numBeams = n;
+            ServingSystem system(opts);
+            const BatchResult out = system.serveProblems(problems);
+            table.addRow({std::to_string(n),
+                          fast ? "fasttts" : "baseline",
+                          formatDouble(out.meanGoodput, 1),
+                          formatDouble(out.meanLatency, 1),
+                          formatDouble(out.top1Accuracy, 1),
+                          formatDouble(out.passAtNAccuracy, 1)});
+        }
+    }
+    table.setCaption("FastTTS speeds up code-generation TTS without "
+                     "changing which programs the search selects "
+                     "(paper Sec. 6.4: 1.3x-1.8x).");
+    table.print(std::cout);
+    return 0;
+}

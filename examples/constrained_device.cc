@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain example: reasoning on a severely memory-constrained device.
+ *
+ * Runs the same AIME workload on an RTX 3070 Ti (8 GB), where the two
+ * 1.5B models' weights leave almost no KV budget. Demonstrates the
+ * Sec. 4.3.2 offloading strategy: the allocator compares the shared-
+ * budget plan against offloading the inactive model's KV to host
+ * memory, and picks the faster option per iteration.
+ *
+ *   ./build/examples/constrained_device [num_problems]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/serving.h"
+#include "util/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fasttts;
+    const int problems = argc > 1 ? std::atoi(argv[1]) : 6;
+
+    std::cout << "Constrained-device demo: AIME on RTX 3070 Ti (8 GB), "
+                 "1.5B generator + 1.5B PRM\n";
+
+    Table table("RTX 3070 Ti: baseline vs FastTTS vs FastTTS+offload");
+    table.setHeader({"system", "goodput tok/s", "latency s",
+                     "transfer s", "top-1 %"});
+    for (int mode = 0; mode < 3; ++mode) {
+        ServingOptions opts;
+        opts.config = mode == 0 ? FastTtsConfig::baseline()
+                                : FastTtsConfig::fastTts();
+        opts.config.offloadEnabled = mode == 2;
+        // The two 1.5B models' weights occupy 6.2 of the card's 8 GiB:
+        // grant the run the whole device and slim the reserve, as the
+        // paper's constrained-hardware study does.
+        opts.config.reservedBytes = 0.5 * GiB;
+        opts.models = config1_5Bplus1_5B();
+        opts.models.memoryFraction = 0.95;
+        opts.deviceName = "RTX3070Ti";
+        opts.datasetName = "AIME";
+        opts.numBeams = 32;
+        ServingSystem system(opts);
+        const BatchResult out = system.serveProblems(problems);
+        double transfer = 0;
+        for (const auto &r : out.requests)
+            transfer += r.transferTime;
+        transfer /= out.requests.empty() ? 1 : out.requests.size();
+        const char *label = mode == 0 ? "baseline"
+            : mode == 1              ? "fasttts"
+                                     : "fasttts+offload";
+        table.addRow({label, formatDouble(out.meanGoodput, 1),
+                      formatDouble(out.meanLatency, 1),
+                      formatDouble(transfer, 2),
+                      formatDouble(out.top1Accuracy, 1)});
+    }
+    table.setCaption("Offloading trades PCIe transfer time for a "
+                     "larger per-phase KV budget; the dual-strategy "
+                     "allocator only activates it when it wins "
+                     "(paper Sec. 4.3.2).");
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,223 @@
+#include "alloc/memory_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fasttts
+{
+
+namespace
+{
+
+/** ceil(a / b) for positive ints. */
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Largest batch whose KV for seq_len-token sequences fits in bytes. */
+int
+maxBatchFor(double bytes, const ModelSpec &model, double seq_len)
+{
+    if (seq_len <= 0)
+        return 1;
+    const double per_seq = model.kvBytes(seq_len);
+    if (per_seq <= 0)
+        return 1;
+    return std::max(1, static_cast<int>(bytes / per_seq));
+}
+
+} // namespace
+
+double
+predictedTotalTime(const AllocationPlan &plan, const WorkloadShape &shape,
+                   const ModelSpec &generator, const ModelSpec &verifier,
+                   const RooflineModel &roofline)
+{
+    const int n = std::max(1, shape.numRequests);
+    const int b_pre = std::max(1, plan.prefillBatch);
+    const int b_dec = std::max(1, plan.decodeBatch);
+    // When the verifier's KV allocation covers at least one full path
+    // it caches prefixes and each request only prefills the new step;
+    // below that, every request re-prefills the whole path.
+    double req_len = shape.verifierSeqLen;
+    if (shape.verifierReqLen > 0
+        && plan.verifierKvBytes
+            >= verifier.kvBytes(shape.verifierSeqLen)) {
+        req_len = shape.verifierReqLen;
+    }
+    const double t_pre = ceilDiv(n, b_pre)
+        * roofline.prefillTime(verifier, std::min(b_pre, n), req_len);
+    const double t_dec = ceilDiv(n, b_dec) * shape.decodeLen
+        * roofline.decodeStepTime(generator, std::min(b_dec, n),
+                                  shape.avgCacheLen);
+    return t_pre + t_dec + plan.offloadOverhead;
+}
+
+namespace
+{
+
+class StaticPlanner : public MemoryPlanner
+{
+  public:
+    StaticPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                  const RooflineModel &roofline)
+        : gen_(generator), ver_(verifier), roofline_(roofline)
+    {}
+
+    std::string name() const override { return "static_50_50"; }
+
+    AllocationPlan
+    plan(const WorkloadShape &shape, double kv_budget_bytes) const override
+    {
+        AllocationPlan p;
+        p.generatorKvBytes = kv_budget_bytes * 0.5;
+        p.verifierKvBytes = kv_budget_bytes * 0.5;
+        p.decodeBatch = std::min(
+            std::max(1, shape.numRequests),
+            maxBatchFor(p.generatorKvBytes, gen_, shape.avgCacheLen));
+        p.prefillBatch = std::min(
+            std::max(1, shape.numRequests),
+            maxBatchFor(p.verifierKvBytes, ver_, shape.verifierSeqLen));
+        p.predictedTime =
+            predictedTotalTime(p, shape, gen_, ver_, roofline_);
+        return p;
+    }
+
+  private:
+    ModelSpec gen_;
+    ModelSpec ver_;
+    RooflineModel roofline_;
+};
+
+class RooflinePlanner : public MemoryPlanner
+{
+  public:
+    RooflinePlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                    const RooflineModel &roofline)
+        : gen_(generator), ver_(verifier), roofline_(roofline)
+    {}
+
+    std::string name() const override { return "roofline_guided"; }
+
+    AllocationPlan
+    plan(const WorkloadShape &shape, double kv_budget_bytes) const override
+    {
+        const int n = std::max(1, shape.numRequests);
+        const double kv_pre = ver_.kvBytes(shape.verifierSeqLen);
+        const double kv_dec =
+            gen_.kvBytes(std::max(shape.avgCacheLen, 1.0));
+
+        AllocationPlan best;
+        best.predictedTime = std::numeric_limits<double>::max();
+
+        // Linear search over feasible prefill batch sizes; the optimum
+        // lies on the budget boundary (Sec. 4.3.1), so B_dec takes all
+        // remaining memory (Eq. 1). Ties resolve toward larger B_dec,
+        // i.e. smaller B_pre.
+        const int b_pre_max =
+            std::min(n, maxBatchFor(kv_budget_bytes - kv_dec, ver_,
+                                    shape.verifierSeqLen));
+        for (int b_pre = 1; b_pre <= std::max(1, b_pre_max); ++b_pre) {
+            AllocationPlan p;
+            p.prefillBatch = b_pre;
+            p.verifierKvBytes = b_pre * kv_pre;
+            p.generatorKvBytes =
+                std::max(0.0, kv_budget_bytes - p.verifierKvBytes);
+            p.decodeBatch =
+                std::min(n, std::max(1, static_cast<int>(
+                                            p.generatorKvBytes / kv_dec)));
+            p.predictedTime =
+                predictedTotalTime(p, shape, gen_, ver_, roofline_);
+            if (p.predictedTime < best.predictedTime
+                || (p.predictedTime == best.predictedTime
+                    && p.decodeBatch > best.decodeBatch)) {
+                best = p;
+            }
+        }
+        return best;
+    }
+
+  private:
+    ModelSpec gen_;
+    ModelSpec ver_;
+    RooflineModel roofline_;
+};
+
+class OffloadPlanner : public MemoryPlanner
+{
+  public:
+    OffloadPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                   const RooflineModel &roofline)
+        : gen_(generator), ver_(verifier), roofline_(roofline),
+          inner_(generator, verifier, roofline)
+    {}
+
+    std::string name() const override { return "roofline_offload"; }
+
+    AllocationPlan
+    plan(const WorkloadShape &shape, double kv_budget_bytes) const override
+    {
+        // Strategy i: shared-budget roofline allocation.
+        AllocationPlan shared = inner_.plan(shape, kv_budget_bytes);
+
+        // Strategy ii: offload the inactive model's KV; each stage gets
+        // the whole budget (two independent constraints).
+        const int n = std::max(1, shape.numRequests);
+        AllocationPlan off;
+        off.offloadActive = true;
+        off.generatorKvBytes = kv_budget_bytes;
+        off.verifierKvBytes = kv_budget_bytes;
+        off.prefillBatch = std::min(
+            n, maxBatchFor(kv_budget_bytes, ver_, shape.verifierSeqLen));
+        off.decodeBatch = std::min(
+            n, maxBatchFor(kv_budget_bytes, gen_,
+                           std::max(shape.avgCacheLen, 1.0)));
+        // Each phase switch moves the switched-in model's working set
+        // across PCIe; two switches per iteration.
+        const double moved =
+            std::min(kv_budget_bytes,
+                     off.decodeBatch * gen_.kvBytes(shape.avgCacheLen))
+            + std::min(kv_budget_bytes,
+                       off.prefillBatch
+                           * ver_.kvBytes(shape.verifierSeqLen));
+        off.offloadOverhead = roofline_.transferTime(moved);
+        off.predictedTime =
+            predictedTotalTime(off, shape, gen_, ver_, roofline_);
+
+        return off.predictedTime < shared.predictedTime ? off : shared;
+    }
+
+  private:
+    ModelSpec gen_;
+    ModelSpec ver_;
+    RooflineModel roofline_;
+    RooflinePlanner inner_;
+};
+
+} // namespace
+
+std::unique_ptr<MemoryPlanner>
+makeStaticPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                  const RooflineModel &roofline)
+{
+    return std::make_unique<StaticPlanner>(generator, verifier, roofline);
+}
+
+std::unique_ptr<MemoryPlanner>
+makeRooflinePlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                    const RooflineModel &roofline)
+{
+    return std::make_unique<RooflinePlanner>(generator, verifier, roofline);
+}
+
+std::unique_ptr<MemoryPlanner>
+makeOffloadPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                   const RooflineModel &roofline)
+{
+    return std::make_unique<OffloadPlanner>(generator, verifier, roofline);
+}
+
+} // namespace fasttts

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Asymmetric Multi-Model Memory Allocation (paper Sec. 4.3).
+ *
+ * The generator and verifier share one KV budget M. Statically
+ * partitioning it is suboptimal because the verifier's prefill is
+ * compute-bound (saturates with little KV) while the generator's
+ * decode is bandwidth-bound and memory-hungry (Fig. 6). The
+ * RooflinePlanner performs the paper's linear search over feasible
+ * prefill batch sizes B_pre, deriving B_dec from the budget boundary
+ * (Eq. 1) and minimising total roofline time; the OffloadPlanner adds
+ * the Sec. 4.3.2 dual strategy, which relaxes the coupled constraint
+ * by swapping the inactive model's KV to host memory.
+ */
+
+#ifndef FASTTTS_ALLOC_MEMORY_PLANNER_H
+#define FASTTTS_ALLOC_MEMORY_PLANNER_H
+
+#include <memory>
+#include <string>
+
+#include "model/model_spec.h"
+#include "sim/roofline.h"
+
+namespace fasttts
+{
+
+/** Workload parameters the allocator plans for (the paper's N, S,
+ *  S_dec and the derived average cache length). */
+struct WorkloadShape
+{
+    int numRequests = 0;       //!< N: sequences per iteration.
+    double verifierSeqLen = 0; //!< S: full reasoning-path length — the
+                               //!< verifier's KV *memory* footprint.
+    double verifierReqLen = 0; //!< Incremental tokens actually
+                               //!< prefilled per request when the
+                               //!< verifier cache holds the prefix
+                               //!< (0: assume full re-prefill).
+    double decodeLen = 0;      //!< S_dec: tokens decoded per step.
+    double avgCacheLen = 0;    //!< Mean KV length read per decode step.
+};
+
+/** The planner's decision. */
+struct AllocationPlan
+{
+    double generatorKvBytes = 0; //!< KV budget granted to the generator.
+    double verifierKvBytes = 0;  //!< KV budget granted to the verifier.
+    int decodeBatch = 1;         //!< B_dec: generator batch size.
+    int prefillBatch = 1;        //!< B_pre: verifier batch size.
+    bool offloadActive = false;  //!< Sec. 4.3.2 strategy selected.
+    double offloadOverhead = 0;  //!< Per-iteration transfer time (s).
+    double predictedTime = 0;    //!< T_tot the plan minimised.
+};
+
+/**
+ * Planner interface. Implementations are bound to the generator and
+ * verifier specs and a device roofline at construction.
+ */
+class MemoryPlanner
+{
+  public:
+    virtual ~MemoryPlanner() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute an allocation for the given workload under the KV budget.
+     * @param shape Current workload shape (re-planned on state change).
+     * @param kv_budget_bytes Total KV memory across both models.
+     */
+    virtual AllocationPlan plan(const WorkloadShape &shape,
+                                double kv_budget_bytes) const = 0;
+};
+
+/**
+ * Baseline: even 50/50 split between generator and verifier, batch
+ * sizes derived from whatever fits — what running two independent vLLM
+ * instances with fixed memory fractions does.
+ */
+std::unique_ptr<MemoryPlanner>
+makeStaticPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                  const RooflineModel &roofline);
+
+/** Roofline-guided linear search (Sec. 4.3.1). */
+std::unique_ptr<MemoryPlanner>
+makeRooflinePlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                    const RooflineModel &roofline);
+
+/** Roofline search extended with the offloading strategy (Sec. 4.3.2). */
+std::unique_ptr<MemoryPlanner>
+makeOffloadPlanner(const ModelSpec &generator, const ModelSpec &verifier,
+                   const RooflineModel &roofline);
+
+/**
+ * Predicted total iteration time of a plan under the paper's cost
+ * model: ceil(N/B_pre) * T_pre + ceil(N/B_dec) * S_dec * T_dec
+ * (+ offload overhead when active). Exposed for tests and Fig. 10.
+ */
+double predictedTotalTime(const AllocationPlan &plan,
+                          const WorkloadShape &shape,
+                          const ModelSpec &generator,
+                          const ModelSpec &verifier,
+                          const RooflineModel &roofline);
+
+} // namespace fasttts
+
+#endif // FASTTTS_ALLOC_MEMORY_PLANNER_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Engine configuration: the FastTTS optimization toggles.
+ *
+ * The same engine serves as the vLLM-style baseline (all optimizations
+ * off) and as FastTTS (all on); the ablation benches (Fig. 16, 18)
+ * toggle P / M / S individually. Mirrors the configurable interface of
+ * the paper's implementation (Sec. 5).
+ */
+
+#ifndef FASTTTS_CORE_CONFIG_H
+#define FASTTTS_CORE_CONFIG_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace fasttts
+{
+
+/**
+ * All knobs of one serving run.
+ */
+struct FastTtsConfig
+{
+    // --- Speculative Beam Extension (S, Sec. 4.1) ---
+    bool speculativeExtension = true;
+    bool lookaheadVerification = true; //!< Sec. 4.1.3 (needs S).
+    double truncationRatio = 0.85;     //!< R: kept fraction on duplicate.
+
+    // --- Dynamic Prefix-Aware Scheduling (P, Sec. 4.2) ---
+    bool prefixAwareScheduling = true;
+    std::string baselineScheduler = "random"; //!< Order when P is off.
+
+    // --- Asymmetric Multi-Model Memory Allocation (M, Sec. 4.3) ---
+    bool asymmetricAllocation = true;
+    bool offloadEnabled = false; //!< Sec. 4.3.2 extended search space.
+
+    // --- Substrate parameters ---
+    int blockTokens = 16;           //!< Paged KV block size.
+    double reservedBytes = 1.0 * GiB; //!< CUDA graphs + activations.
+    bool recordTrace = false;       //!< Keep utilization timeline.
+    uint64_t systemSeed = 0x5eed;   //!< Timing-only randomness
+                                    //!< (truncation draws, baseline
+                                    //!< random scheduling).
+
+    /** The naive vLLM-style baseline (Sec. 6.1). */
+    static FastTtsConfig
+    baseline()
+    {
+        FastTtsConfig c;
+        c.speculativeExtension = false;
+        c.lookaheadVerification = false;
+        c.prefixAwareScheduling = false;
+        c.asymmetricAllocation = false;
+        return c;
+    }
+
+    /** Full FastTTS. */
+    static FastTtsConfig fastTts() { return FastTtsConfig(); }
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_CORE_CONFIG_H

@@ -1,0 +1,1027 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace fasttts
+{
+
+/** One speculative child branch being extended (Sec. 4.1). */
+struct FastTtsEngine::SpecBranch
+{
+    int childIdx = 0;    //!< Which child slot this branch speculates.
+    int node = -1;       //!< Generator KV node holding its tokens.
+    uint64_t segId = 0;  //!< Segment id of that node.
+    int verNode = -1;    //!< Verifier KV node (LookAhead only).
+    int decoded = 0;     //!< Tokens generated so far.
+    int target = 0;      //!< Full step length (from the child's draw).
+    bool complete = false;
+    bool scored = false; //!< LookAhead-verified.
+    double score = 0;    //!< Verifier score when scored.
+    bool retained = false; //!< Holds a KV retention on `node`.
+    StepDraw draw;       //!< The child step's content.
+};
+
+/** Engine-internal beam state. */
+struct FastTtsEngine::ActiveBeam
+{
+    uint64_t id = 0;
+    uint64_t seed = 0;     //!< Lineage stream seed.
+    int rootIndex = 0;
+    int steps = 0;         //!< Completed verified steps.
+    double quality = 0;    //!< After last verified step.
+    double score = 0.5;    //!< Last verified step's PRM score.
+    double prevScore = 0.5;
+    long totalTokens = 0;  //!< Verified tokens in the whole path.
+    int prevPos = 0;       //!< Schedule position carry-over.
+    double spawnTime = 0;
+
+    int leaf = -1;     //!< Generator KV node of last verified segment.
+    int verLeaf = -1;  //!< Verifier KV node of last verified segment.
+
+    // --- Current-step state ---
+    bool stepPrepared = false;
+    StepDraw draw;
+    int targetTokens = 0;
+    int decoded = 0;
+    int curSeg = -1;       //!< Generator KV node of the in-flight step.
+    uint64_t curSegId = 0; //!< Segment id (mirrored in verifier tree).
+    int headStart = 0;     //!< Tokens inherited from kept speculation.
+    bool pinned = false;   //!< Holds a retention on curSeg.
+    bool inDecode = false;
+    bool finishedGen = false;
+    bool forceKilled = false;
+
+    // --- LookAhead-verified step (child adopted a scored branch) ---
+    bool pendingStepDone = false;
+    double pendingScore = 0;
+    int pendingVerSeg = -1;
+
+    // --- Verification scratch ---
+    double newScore = 0;
+    int newVerSeg = -1;
+
+    // --- Speculation ---
+    std::vector<SpecBranch> branches;
+    int branchesStarted = 0;
+};
+
+namespace
+{
+
+/** Expected step length of a log-normal profile, for planning. */
+double
+expectedStepTokens(const DatasetProfile &p)
+{
+    const double mean =
+        std::exp(p.stepLenMu + 0.5 * p.stepLenSigma * p.stepLenSigma);
+    return std::clamp(mean, static_cast<double>(p.minStepTokens),
+                      static_cast<double>(p.maxStepTokens));
+}
+
+} // namespace
+
+FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
+                             const ModelConfig &models,
+                             const DeviceSpec &device,
+                             const DatasetProfile &dataset,
+                             const SearchAlgorithm &algorithm)
+    : config_(config), models_(models), device_(device), dataset_(dataset),
+      algorithm_(algorithm), roofline_(device),
+      generator_(models.generator, dataset),
+      verifier_(models.verifier),
+      specPolicy_(algorithm.branchFactor(), config.truncationRatio)
+{
+    if (config_.asymmetricAllocation) {
+        planner_ = config_.offloadEnabled
+            ? makeOffloadPlanner(models_.generator, models_.verifier,
+                                 roofline_)
+            : makeRooflinePlanner(models_.generator, models_.verifier,
+                                  roofline_);
+    } else {
+        planner_ = makeStaticPlanner(models_.generator, models_.verifier,
+                                     roofline_);
+    }
+    scheduler_ = config_.prefixAwareScheduling
+        ? makePrefixAwareScheduler()
+        : makeScheduler(config_.baselineScheduler);
+
+    const double usable = device_.usableBytes() * models_.memoryFraction;
+    const double weights = models_.generator.weightBytes()
+        + models_.verifier.weightBytes();
+    kvBudget_ = std::max(64.0 * MiB,
+                         usable - weights - config_.reservedBytes);
+}
+
+FastTtsEngine::~FastTtsEngine() = default;
+
+void
+FastTtsEngine::resetRequestState(const Problem &problem)
+{
+    problem_ = problem;
+    clock_ = SimClock();
+    clock_.setTraceEnabled(config_.recordTrace);
+    systemRng_ = Rng(config_.systemSeed ^ problem.seed);
+    active_.clear();
+    completed_.clear();
+    iterStats_.clear();
+    stepTokens_.assign(static_cast<size_t>(dataset_.maxSteps) + 1, {});
+    nextBeamId_ = 1;
+    nextSegId_ = 1;
+    iteration_ = 0;
+    forcedTerminations_ = 0;
+    generatedTokens_ = 0;
+    speculativeTokens_ = 0;
+    wastedSpecTokens_ = 0;
+    meanVerifierSeq_ = 0;
+    meanVerifierPath_ = 0;
+
+    // Fresh KV managers; the plan resizes their budgets each iteration.
+    kvGen_ = std::make_unique<KvCacheManager>(
+        kvBudget_ * 0.5, models_.generator.kvBytesPerToken(),
+        config_.blockTokens);
+    kvVer_ = std::make_unique<KvCacheManager>(
+        kvBudget_ * 0.5, models_.verifier.kvBytesPerToken(),
+        config_.blockTokens);
+
+    // Shared question prompt: prefilled once by the generator; the
+    // verifier materialises it lazily at first verification.
+    promptNodeGen_ = kvGen_->createChild(KvCacheManager::kRoot,
+                                         nextSegId_, problem.promptTokens);
+    promptNodeVer_ = kvVer_->createChild(KvCacheManager::kRoot,
+                                         nextSegId_, problem.promptTokens);
+    ++nextSegId_;
+    kvGen_->retain(promptNodeGen_);
+    kvVer_->retain(promptNodeVer_);
+    kvGen_->ensureResident(promptNodeGen_, 0);
+    clock_.advance(
+        roofline_.prefillTime(models_.generator, 1, problem.promptTokens),
+        Phase::Recompute,
+        roofline_.prefillComputeUtil(models_.generator, 1,
+                                     problem.promptTokens),
+        1, 1);
+
+    const int n = algorithm_.beamWidth();
+    const int branch = std::max(1, algorithm_.branchFactor());
+    active_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto beam = std::make_unique<ActiveBeam>();
+        beam->id = nextBeamId_++;
+        beam->seed = rootLineageSeed(problem, i);
+        beam->rootIndex = i / branch;
+        beam->quality = rootQuality(generator_, problem, i);
+        beam->leaf = promptNodeGen_;
+        beam->verLeaf = promptNodeVer_;
+        beam->prevPos = i;
+        beam->spawnTime = clock_.now();
+        active_.push_back(std::move(beam));
+    }
+}
+
+void
+FastTtsEngine::replan()
+{
+    WorkloadShape shape;
+    // Plan for the full search width n, not the momentarily active
+    // count: the speculative phase keeps the execution batch full
+    // (Sec. 4.1.2), so capacity must not shrink as paths complete.
+    shape.numRequests = algorithm_.beamWidth();
+    const int cap = algorithm_.stepTokenCap(iteration_);
+    shape.decodeLen =
+        std::min(expectedStepTokens(dataset_), static_cast<double>(cap));
+    // The verifier's KV working set is the *full* reasoning path (a
+    // discriminative PRM scores the whole path), not the incremental
+    // request; plan memory for it.
+    shape.verifierSeqLen = meanVerifierPath_ > 0
+        ? meanVerifierPath_
+        : problem_.promptTokens + (iteration_ + 1) * shape.decodeLen;
+    shape.verifierReqLen =
+        meanVerifierSeq_ > 0 ? meanVerifierSeq_ : shape.decodeLen;
+    double ctx_total = 0;
+    for (const auto &b : active_)
+        ctx_total += kvGen_->pathTokens(b->leaf);
+    shape.avgCacheLen = shape.decodeLen / 2
+        + (active_.empty() ? problem_.promptTokens
+                           : ctx_total / static_cast<double>(
+                                 active_.size()));
+    plan_ = planner_->plan(shape, kvBudget_);
+    kvGen_->setBudgetBytes(plan_.generatorKvBytes);
+    kvVer_->setBudgetBytes(plan_.verifierKvBytes);
+
+    // Speculation pays only when memory is not the bottleneck
+    // (Sec. 6.5.1): with the working set oversubscribed, speculative
+    // KV would displace cache the standard beams still need.
+    const double pool_tokens =
+        plan_.generatorKvBytes / models_.generator.kvBytesPerToken();
+    const double working_set =
+        shape.numRequests * (shape.avgCacheLen + shape.decodeLen / 2);
+    specAllowed_ = working_set <= 0.8 * pool_tokens;
+
+    // LookAhead Verification pays when the verifier cache cannot hold
+    // the beams' paths between iterations (pre-verifying avoids the
+    // full-path re-prefill, Sec. 4.1.3); when the cache comfortably
+    // retains prefixes, pre-verifying soon-pruned beams is pure waste.
+    const double ver_pool_tokens =
+        plan_.verifierKvBytes / models_.verifier.kvBytesPerToken();
+    const double ver_working_set =
+        shape.numRequests * shape.verifierSeqLen;
+    lookaheadAllowed_ = ver_working_set > ver_pool_tokens;
+}
+
+double
+FastTtsEngine::currentAvgContext() const
+{
+    double total = 0;
+    int count = 0;
+    for (size_t idx : decodeSet_) {
+        const ActiveBeam &b = *active_[idx];
+        total += kvGen_->pathTokens(b.curSeg);
+        ++count;
+    }
+    for (const auto &b : active_) {
+        for (const auto &br : b->branches) {
+            if (br.node >= 0 && !br.complete && br.retained) {
+                total += kvGen_->pathTokens(br.node);
+                ++count;
+            }
+        }
+    }
+    if (count == 0)
+        return problem_.promptTokens;
+    return total / count;
+}
+
+void
+FastTtsEngine::chargeRecompute(int tokens)
+{
+    if (tokens <= 0)
+        return;
+    // Re-prefill of evicted prefixes piggybacks on the running decode
+    // batch (chunked prefill): marginal compute + KV writes only.
+    clock_.advance(
+        roofline_.chunkedRecomputeTime(models_.generator, tokens),
+        Phase::Recompute, 0.6, 1, 1);
+}
+
+bool
+FastTtsEngine::admitBeam(size_t idx)
+{
+    ActiveBeam &b = *active_[idx];
+    if (!b.stepPrepared) {
+        b.draw = drawStep(generator_, problem_, b.seed, b.steps, b.quality,
+                          algorithm_.stepTokenCap(b.steps));
+        b.targetTokens = b.draw.tokens;
+        b.decoded = 0;
+        b.stepPrepared = true;
+    }
+    if (b.curSeg < 0) {
+        b.curSegId = nextSegId_++;
+        b.curSeg = kvGen_->createChild(b.leaf, b.curSegId, 0);
+    }
+    auto touch = kvGen_->ensureResident(
+        b.curSeg, static_cast<uint64_t>(clock_.now() * 1e6));
+    if (!touch.ok)
+        return false;
+    chargeRecompute(touch.recomputeTokens);
+    kvGen_->retain(b.curSeg);
+    b.pinned = true;
+    if (b.pendingStepDone || b.decoded >= b.targetTokens) {
+        // Step already materialised (kept speculation); nothing to
+        // decode — straight to the finished set.
+        b.finishedGen = true;
+        b.pinned = false;
+        kvGen_->release(b.curSeg);
+        stepTokens_[static_cast<size_t>(
+                        std::min(b.steps, dataset_.maxSteps))]
+            .push_back(b.targetTokens);
+    } else {
+        b.inDecode = true;
+        decodeSet_.push_back(idx);
+    }
+    return true;
+}
+
+void
+FastTtsEngine::finishStandardBeam(size_t idx)
+{
+    ActiveBeam &b = *active_[idx];
+    b.inDecode = false;
+    b.finishedGen = true;
+    if (b.pinned) {
+        kvGen_->release(b.curSeg);
+        b.pinned = false;
+    }
+    stepTokens_[static_cast<size_t>(std::min(b.steps, dataset_.maxSteps))]
+        .push_back(b.targetTokens);
+}
+
+void
+FastTtsEngine::releaseBranch(SpecBranch &branch)
+{
+    if (branch.retained && branch.node >= 0) {
+        kvGen_->release(branch.node);
+        branch.retained = false;
+    }
+    wastedSpecTokens_ += branch.decoded;
+    branch.decoded = 0;
+    branch.complete = false;
+    branch.node = -1;
+}
+
+void
+FastTtsEngine::killAllSpeculation()
+{
+    // Branches are only *marked* dead (node = -1); the vector is never
+    // resized here because the event loop may hold pointers into it.
+    for (auto &b : active_) {
+        for (auto &br : b->branches) {
+            if (br.node >= 0 && !br.complete)
+                releaseBranch(br);
+        }
+    }
+}
+
+void
+FastTtsEngine::fillSpeculativeSlots()
+{
+    const int capacity = std::max(1, plan_.decodeBatch);
+    // Count running speculative branches.
+    auto count_spec = [&]() {
+        int count = 0;
+        for (const auto &b : active_) {
+            for (const auto &br : b->branches) {
+                if (br.node >= 0 && !br.complete)
+                    ++count;
+            }
+        }
+        return count;
+    };
+    int running = count_spec();
+    int free_slots =
+        capacity - static_cast<int>(decodeSet_.size()) - running;
+    if (free_slots <= 0)
+        return;
+
+    // Memory-headroom gate: speculation must never evict cache the
+    // standard beams still need. Only speculate when the generator
+    // pool has slack for a typical child step.
+    const size_t slack_blocks = kvGen_->blocksFor(
+        static_cast<int>(expectedStepTokens(dataset_)) * 4);
+    if (kvGen_->allocator().free() < slack_blocks)
+        return;
+
+    // Score bins over the active beams' previous-step scores.
+    std::vector<double> scores;
+    scores.reserve(active_.size());
+    for (const auto &b : active_)
+        scores.push_back(b->score);
+
+    // Candidates: finished, non-terminal beams with branch capacity
+    // left, highest speculative potential first.
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        const ActiveBeam &b = *active_[i];
+        if (!b.finishedGen || b.forceKilled || b.draw.terminal)
+            continue;
+        if (b.steps + 1 >= dataset_.maxSteps)
+            continue;
+        // Speculating from an evicted path would force a recompute
+        // prefill — never worth it for speculative work.
+        if (b.curSeg < 0
+            || kvGen_->residentPrefixTokens(b.curSeg)
+                != kvGen_->pathTokens(b.curSeg)) {
+            continue;
+        }
+        const int potential =
+            specPolicy_.speculativePotential(b.score, scores);
+        if (b.branchesStarted >= potential)
+            continue;
+        candidates.push_back(i);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](size_t a, size_t c) {
+                  const int pa = specPolicy_.speculativePotential(
+                      active_[a]->score, scores);
+                  const int pc = specPolicy_.speculativePotential(
+                      active_[c]->score, scores);
+                  if (pa != pc)
+                      return pa > pc;
+                  if (active_[a]->score != active_[c]->score)
+                      return active_[a]->score > active_[c]->score;
+                  return active_[a]->id < active_[c]->id;
+              });
+
+    for (size_t i = 0; i < candidates.size() && free_slots > 0;) {
+        ActiveBeam &b = *active_[candidates[i]];
+        const int potential =
+            specPolicy_.speculativePotential(b.score, scores);
+        if (b.branchesStarted >= potential) {
+            ++i;
+            continue;
+        }
+        const int j = b.branchesStarted;
+        SpecBranch br;
+        br.childIdx = j;
+        const uint64_t child_seed =
+            childLineageSeed(b.seed, b.steps + 1, j);
+        br.draw = drawStep(generator_, problem_, child_seed, b.steps + 1,
+                           b.draw.quality,
+                           algorithm_.stepTokenCap(b.steps + 1));
+        br.target = br.draw.tokens;
+        br.segId = nextSegId_++;
+        br.node = kvGen_->createChild(b.curSeg, br.segId, 0);
+        auto touch = kvGen_->ensureResident(
+            br.node, static_cast<uint64_t>(clock_.now() * 1e6));
+        if (!touch.ok)
+            return; // Memory too tight to speculate at all.
+        chargeRecompute(touch.recomputeTokens);
+        kvGen_->retain(br.node);
+        br.retained = true;
+        b.branches.push_back(br);
+        ++b.branchesStarted;
+        --free_slots;
+    }
+}
+
+void
+FastTtsEngine::runGenerationPhase()
+{
+    if (plan_.offloadActive && plan_.offloadOverhead > 0)
+        clock_.advance(plan_.offloadOverhead * 0.5, Phase::Transfer);
+
+    // --- Scheduling (Sec. 4.2) ---
+    std::vector<SchedEntry> entries;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        const ActiveBeam &b = *active_[i];
+        SchedEntry e;
+        e.index = i;
+        e.beamId = b.id;
+        e.parentBeam = b.prevPos >= 0 ? static_cast<uint64_t>(b.prevPos)
+                                      : b.id;
+        e.leaf = b.leaf;
+        e.pathTokens = kvGen_->pathTokens(b.leaf);
+        e.prevPosition = b.prevPos;
+        entries.push_back(e);
+    }
+    scheduler_->order(entries, *kvGen_, systemRng_);
+    queue_.clear();
+    for (size_t pos = 0; pos < entries.size(); ++pos) {
+        active_[entries[pos].index]->prevPos = static_cast<int>(pos);
+        queue_.push_back(entries[pos].index);
+    }
+    decodeSet_.clear();
+
+    const int capacity = std::max(1, plan_.decodeBatch);
+    // Pinned working-set estimate (tokens) for admission control.
+    double pinned_tokens = 0;
+    const double budget_tokens =
+        static_cast<double>(kvGen_->allocator().total())
+        * config_.blockTokens;
+
+    size_t q_head = 0;
+    bool spec_disabled = false;
+    int safety = 0;
+    const int safety_cap = static_cast<int>(active_.size()) * 4096 + 4096;
+
+    while (true) {
+        if (++safety > safety_cap)
+            break; // Defensive: never hang a simulation.
+
+        // --- Phase 1: Continuous Beam Batching admission ---
+        while (static_cast<int>(decodeSet_.size()) < capacity
+               && q_head < queue_.size()) {
+            const size_t idx = queue_[q_head];
+            ActiveBeam &b = *active_[idx];
+            if (b.forceKilled) {
+                ++q_head;
+                continue;
+            }
+            // Admission control. With Asymmetric Allocation (M) the
+            // planner-informed watermark reserves room for the whole
+            // step, preventing mid-decode preemption. The naive
+            // baseline admits on *current* free memory only — vLLM's
+            // behaviour — and pays preemption/recompute churn when
+            // running beams outgrow the pool (Sec. 6.5.1).
+            const int remaining = b.stepPrepared
+                ? b.targetTokens - b.decoded
+                : std::min(static_cast<int>(expectedStepTokens(dataset_)),
+                           algorithm_.stepTokenCap(b.steps));
+            const double need = kvGen_->pathTokens(b.leaf) + b.decoded
+                + remaining;
+            if (config_.asymmetricAllocation
+                && pinned_tokens + need > budget_tokens * 0.95
+                && !decodeSet_.empty()) {
+                break; // Wait for running beams to finish.
+            }
+            // Baseline (M off): admit whenever blocks can be found now
+            // — evictable cache counts as allocatable, exactly vLLM's
+            // policy — and eat mid-decode preemptions later.
+            if (!admitBeam(idx)) {
+                // Could not materialise the path.
+                killAllSpeculation();
+                spec_disabled = true;
+                if (!admitBeam(idx)) {
+                    if (decodeSet_.empty()) {
+                        // Alone it still does not fit: the beam can
+                        // never run under this budget.
+                        b.forceKilled = true;
+                        b.finishedGen = true;
+                        ++forcedTerminations_;
+                        ++q_head;
+                    }
+                    break;
+                }
+            }
+            if (b.inDecode)
+                pinned_tokens += need;
+            ++q_head;
+        }
+
+        // --- Phase 2: speculative extension (preemptible) ---
+        if (config_.speculativeExtension && specAllowed_
+            && !spec_disabled && q_head >= queue_.size()) {
+            fillSpeculativeSlots();
+        }
+
+        // Collect running members.
+        std::vector<SpecBranch *> spec_run;
+        for (auto &b : active_) {
+            for (auto &br : b->branches) {
+                if (br.node >= 0 && !br.complete && br.retained)
+                    spec_run.push_back(&br);
+            }
+        }
+        if (decodeSet_.empty() && spec_run.empty()) {
+            if (q_head >= queue_.size())
+                break;
+            continue; // More standard beams to admit.
+        }
+
+        // --- Next event: smallest remaining token count ---
+        int dt = std::numeric_limits<int>::max();
+        for (size_t idx : decodeSet_) {
+            const ActiveBeam &b = *active_[idx];
+            dt = std::min(dt, b.targetTokens - b.decoded);
+        }
+        for (SpecBranch *br : spec_run)
+            dt = std::min(dt, br->target - br->decoded);
+        dt = std::max(dt, 1);
+
+        const int active_total = static_cast<int>(decodeSet_.size())
+            + static_cast<int>(spec_run.size());
+        const double ctx = currentAvgContext() + dt * 0.5;
+        const double step_time = roofline_.decodeStepTime(
+            models_.generator, active_total, ctx);
+        clock_.advance(dt * step_time, Phase::Generation,
+                       roofline_.decodeComputeUtil(models_.generator,
+                                                   active_total, ctx),
+                       active_total, capacity);
+
+        const uint64_t tick =
+            static_cast<uint64_t>(clock_.now() * 1e6);
+
+        // Memory pressure from the standard beams preempts speculation
+        // *before* any useful cache gets evicted (Sec. 4.1.2: the
+        // speculative phase is fully preemptible).
+        if (!spec_run.empty()) {
+            const size_t wave_need = kvGen_->blocksFor(dt)
+                * (decodeSet_.size() + spec_run.size());
+            if (kvGen_->allocator().free() < wave_need) {
+                killAllSpeculation();
+                spec_disabled = true;
+            }
+        }
+
+        // --- Apply dt tokens to every running member ---
+        std::vector<size_t> still_running;
+        for (size_t idx : decodeSet_) {
+            ActiveBeam &b = *active_[idx];
+            if (!kvGen_->appendTokens(b.curSeg, dt, tick)) {
+                // Memory pressure: stop speculation, then preempt the
+                // beam itself if still stuck (vLLM swap semantics).
+                killAllSpeculation();
+                spec_disabled = true;
+                if (!kvGen_->appendTokens(b.curSeg, dt, tick)) {
+                    kvGen_->release(b.curSeg);
+                    b.pinned = false;
+                    b.inDecode = false;
+                    pinned_tokens = std::max(
+                        0.0, pinned_tokens
+                                 - (kvGen_->pathTokens(b.curSeg)
+                                    + b.targetTokens - b.decoded));
+                    queue_.push_back(idx);
+                    continue;
+                }
+            }
+            b.decoded += dt;
+            generatedTokens_ += dt;
+            if (b.decoded >= b.targetTokens) {
+                pinned_tokens = std::max(
+                    0.0, pinned_tokens - kvGen_->pathTokens(b.curSeg));
+                finishStandardBeam(idx);
+            } else {
+                still_running.push_back(idx);
+            }
+        }
+        decodeSet_ = std::move(still_running);
+
+        for (SpecBranch *br : spec_run) {
+            if (br->node < 0 || !br->retained)
+                continue; // Killed above.
+            // Speculative appends may only take free blocks; they must
+            // never evict cache the standard beams will re-touch.
+            if (!kvGen_->appendTokens(br->node, dt, tick,
+                                      /*allow_evict=*/false)) {
+                releaseBranch(*br);
+                continue;
+            }
+            br->decoded += dt;
+            generatedTokens_ += dt;
+            speculativeTokens_ += dt;
+            if (br->decoded >= br->target)
+                br->complete = true;
+        }
+
+        // Iteration ends when every standard beam finished its step;
+        // in-flight speculation is strictly terminated at that point
+        // (partial tokens are kept as head starts).
+        if (decodeSet_.empty() && q_head >= queue_.size())
+            break;
+    }
+}
+
+void
+FastTtsEngine::runVerificationPhase()
+{
+    if (plan_.offloadActive && plan_.offloadOverhead > 0)
+        clock_.advance(plan_.offloadOverhead * 0.5, Phase::Transfer);
+
+    // Requests follow the generation schedule order (queue_), which is
+    // what lets Prefix-Aware Scheduling help the verifier cache too.
+    struct Request
+    {
+        size_t beamIdx;
+        int tokens;
+    };
+    std::vector<Request> requests;
+    const uint64_t tick = static_cast<uint64_t>(clock_.now() * 1e6);
+
+    std::vector<size_t> order = queue_;
+    // Beams that never entered the queue (pendingStepDone) need their
+    // state updated but no verifier request.
+    for (size_t i = 0; i < active_.size(); ++i) {
+        if (std::find(order.begin(), order.end(), i) == order.end())
+            order.push_back(i);
+    }
+
+    std::vector<double> lookaheadScores;
+    lookaheadScores.reserve(active_.size());
+    for (const auto &bp : active_)
+        lookaheadScores.push_back(bp->score);
+
+    std::unordered_set<size_t> seen;
+    for (size_t idx : order) {
+        if (seen.count(idx))
+            continue; // Suspended beams appear twice in queue_.
+        seen.insert(idx);
+        ActiveBeam &b = *active_[idx];
+        if (b.forceKilled)
+            continue;
+        if (b.pendingStepDone) {
+            b.newScore = b.pendingScore;
+            b.newVerSeg = b.pendingVerSeg;
+            continue;
+        }
+        // Mirror the new segment into the verifier tree.
+        int ver_seg = kvVer_->childOf(b.verLeaf, b.curSegId);
+        if (ver_seg < 0)
+            ver_seg = kvVer_->createChild(b.verLeaf, b.curSegId,
+                                          b.targetTokens);
+        b.newVerSeg = ver_seg;
+        int touch_leaf = ver_seg;
+
+        // LookAhead Verification (Sec. 4.1.3): a completed speculative
+        // step for child 0 is concatenated into this request. Gated to
+        // beams in the top score bin — pre-verifying a beam the search
+        // is about to prune wastes verifier compute.
+        SpecBranch *ahead = nullptr;
+        if (config_.lookaheadVerification && lookaheadAllowed_
+            && specPolicy_.speculativePotential(b.score, lookaheadScores)
+                >= specPolicy_.branchFactor()) {
+            for (auto &br : b.branches) {
+                if (br.childIdx == 0 && br.node >= 0 && br.complete) {
+                    ahead = &br;
+                    break;
+                }
+            }
+        }
+        if (ahead != nullptr) {
+            ahead->verNode = kvVer_->createChild(
+                ver_seg, static_cast<uint64_t>(ahead->node) | (1ULL << 62),
+                ahead->decoded);
+            touch_leaf = ahead->verNode;
+        }
+        auto touch = kvVer_->ensureResident(touch_leaf, tick);
+        const int req_tokens = touch.ok
+            ? touch.recomputeTokens
+            : kvVer_->pathTokens(touch_leaf); // Budget too small to
+                                              // cache: full re-prefill.
+        requests.push_back({idx, std::max(req_tokens, 1)});
+
+        b.newScore =
+            drawScore(verifier_, b.seed, b.steps, b.draw.quality);
+        if (ahead != nullptr) {
+            const uint64_t child_seed =
+                childLineageSeed(b.seed, b.steps + 1, 0);
+            ahead->score = drawScore(verifier_, child_seed, b.steps + 1,
+                                     ahead->draw.quality);
+            ahead->scored = true;
+        }
+    }
+
+    // Observed full-path length feeds the next re-plan (verifier
+    // working-set estimate).
+    double path_total = 0;
+    int path_count = 0;
+    for (const auto &bp : active_) {
+        if (bp->newVerSeg >= 0) {
+            path_total += kvVer_->pathTokens(bp->newVerSeg);
+            ++path_count;
+        }
+    }
+    if (path_count > 0)
+        meanVerifierPath_ = path_total / path_count;
+
+    // Batch the requests at the planned prefill batch size.
+    const int b_pre = std::max(1, plan_.prefillBatch);
+    double seq_total = 0;
+    for (size_t i = 0; i < requests.size();) {
+        const size_t count =
+            std::min<size_t>(b_pre, requests.size() - i);
+        double batch_tokens = 0;
+        for (size_t k = 0; k < count; ++k)
+            batch_tokens += requests[i + k].tokens;
+        const double mean_len = batch_tokens / count;
+        clock_.advance(
+            roofline_.prefillTime(models_.verifier,
+                                  static_cast<int>(count), mean_len),
+            Phase::Verification,
+            roofline_.prefillComputeUtil(models_.verifier,
+                                         static_cast<int>(count),
+                                         mean_len),
+            static_cast<int>(count), b_pre);
+        seq_total += batch_tokens;
+        i += count;
+    }
+    if (!requests.empty())
+        meanVerifierSeq_ = seq_total / requests.size();
+}
+
+void
+FastTtsEngine::completeBeam(ActiveBeam &beam, double score)
+{
+    CompletedSolution sol;
+    sol.answer = beam.draw.answer;
+    sol.score = score;
+    sol.tokens = beam.totalTokens;
+    sol.finishTime = clock_.now();
+    completed_.push_back(sol);
+}
+
+void
+FastTtsEngine::pruneBeam(ActiveBeam &beam)
+{
+    for (auto &br : beam.branches) {
+        if (br.node >= 0)
+            releaseBranch(br);
+    }
+    beam.branches.clear();
+}
+
+void
+FastTtsEngine::runSelectionPhase()
+{
+    // --- Commit step results ---
+    for (auto &bp : active_) {
+        ActiveBeam &b = *bp;
+        if (b.forceKilled) {
+            // Unverified forced completion: weak score.
+            b.steps += 1;
+            b.totalTokens += b.decoded;
+            completeBeam(b, 0.05);
+            pruneBeam(b);
+            continue;
+        }
+        b.steps += 1;
+        b.totalTokens += b.targetTokens;
+        b.quality = b.draw.quality;
+        b.leaf = b.curSeg;
+        b.verLeaf = b.newVerSeg;
+        b.prevScore = b.score;
+        b.score = b.newScore;
+    }
+
+    // --- Collect terminal beams ---
+    std::vector<size_t> live;
+    for (size_t i = 0; i < active_.size(); ++i) {
+        ActiveBeam &b = *active_[i];
+        if (b.forceKilled)
+            continue;
+        if (b.draw.terminal) {
+            completeBeam(b, b.score);
+            pruneBeam(b);
+        } else {
+            live.push_back(i);
+        }
+    }
+
+    const int target = algorithm_.beamWidth()
+        - static_cast<int>(completed_.size());
+
+    std::vector<BeamCandidate> candidates;
+    for (size_t k = 0; k < live.size(); ++k) {
+        const ActiveBeam &b = *active_[live[k]];
+        BeamCandidate c;
+        c.index = k;
+        c.score = b.score;
+        c.prevScore = b.prevScore;
+        c.rootIndex = b.rootIndex;
+        c.steps = b.steps;
+        c.beamId = b.id;
+        candidates.push_back(c);
+    }
+
+    std::vector<std::unique_ptr<ActiveBeam>> next;
+    if (target > 0 && !candidates.empty()) {
+        Rng sel_rng(Rng::mix(problem_.seed,
+                             0x5e1ec7 + static_cast<uint64_t>(
+                                 iteration_)));
+        const SelectionResult result =
+            algorithm_.select(candidates, target, sel_rng);
+
+        std::vector<int> child_count(live.size(), 0);
+        for (const auto &[cand_idx, k] : result.expansions)
+            child_count[cand_idx] = k;
+
+        for (size_t k = 0; k < live.size(); ++k) {
+            ActiveBeam &parent = *active_[live[k]];
+            const int num_children = child_count[k];
+            for (int j = 0; j < num_children; ++j) {
+                auto child = std::make_unique<ActiveBeam>();
+                child->id = nextBeamId_++;
+                child->seed =
+                    childLineageSeed(parent.seed, parent.steps, j);
+                child->rootIndex = parent.rootIndex;
+                child->steps = parent.steps;
+                child->quality = parent.quality;
+                child->score = parent.score;
+                child->prevScore = parent.score;
+                child->totalTokens = parent.totalTokens;
+                child->leaf = parent.leaf;
+                child->verLeaf = parent.verLeaf;
+                child->prevPos = parent.prevPos;
+                child->spawnTime = clock_.now();
+
+                // Adopt the matching speculative branch, if any
+                // (Algorithm 1: DuplicateThenTruncate — the original,
+                // j == 0, keeps everything; duplicates truncate).
+                SpecBranch *branch = nullptr;
+                for (auto &br : parent.branches) {
+                    if (br.childIdx == j && br.node >= 0) {
+                        branch = &br;
+                        break;
+                    }
+                }
+                if (branch != nullptr) {
+                    int keep = branch->decoded;
+                    if (j != 0) {
+                        keep = specPolicy_.truncationKeep(
+                            branch->decoded, systemRng_);
+                        kvGen_->truncateTokens(branch->node, keep);
+                        wastedSpecTokens_ += branch->decoded - keep;
+                    }
+                    child->curSeg = branch->node;
+                    child->curSegId = branch->segId;
+                    child->decoded = keep;
+                    child->headStart = keep;
+                    child->draw = branch->draw;
+                    child->targetTokens = branch->target;
+                    child->stepPrepared = true;
+                    if (j == 0 && branch->complete && branch->scored) {
+                        child->pendingStepDone = true;
+                        child->pendingScore = branch->score;
+                        child->pendingVerSeg = branch->verNode;
+                    } else if (branch->verNode >= 0) {
+                        branch->verNode = -1;
+                    }
+                    // Transfer the branch's KV retention to nobody:
+                    // waiting beams hold no pins (evictable), matching
+                    // vLLM semantics.
+                    if (branch->retained) {
+                        kvGen_->release(branch->node);
+                        branch->retained = false;
+                    }
+                    branch->node = -1; // Consumed.
+                } else {
+                    child->curSeg = -1;
+                    child->decoded = 0;
+                }
+                next.push_back(std::move(child));
+            }
+            // Unconsumed branches are wasted speculation.
+            pruneBeam(parent);
+        }
+    } else {
+        // Width exhausted: prune all remaining candidates.
+        for (size_t k = 0; k < live.size(); ++k)
+            pruneBeam(*active_[live[k]]);
+    }
+
+    active_ = std::move(next);
+}
+
+RequestResult
+FastTtsEngine::runRequest(const Problem &problem)
+{
+    resetRequestState(problem);
+
+    const int hard_cap = dataset_.maxSteps + 4;
+    while (!active_.empty() && iteration_ < hard_cap) {
+        replan();
+        runGenerationPhase();
+        runVerificationPhase();
+
+        IterationStats stats;
+        stats.iteration = iteration_;
+        stats.activeBeams = static_cast<int>(active_.size());
+        stats.residentNodes = kvGen_->residentNodeCount();
+        stats.residentTokens = kvGen_->residentTokens();
+        long unshared = 0;
+        long unique = 0;
+        std::unordered_set<int> visited;
+        for (const auto &b : active_) {
+            const int leaf = b->curSeg >= 0 ? b->curSeg : b->leaf;
+            unshared += kvGen_->pathTokens(leaf);
+            for (int id = leaf; id != KvCacheManager::kInvalid;
+                 id = kvGen_->parentOf(id)) {
+                if (!visited.insert(id).second)
+                    break; // Shared ancestors already counted.
+                unique += kvGen_->nodeTokens(id);
+            }
+        }
+        stats.unsharedTokens = unshared;
+        stats.uniqueTokens = unique;
+        stats.evictions = kvGen_->stats().evictions;
+        stats.recomputedTokens = kvGen_->stats().recomputedTokens;
+        stats.decodeBatch = plan_.decodeBatch;
+        stats.prefillBatch = plan_.prefillBatch;
+
+        runSelectionPhase();
+        stats.clock = clock_.now();
+        iterStats_.push_back(stats);
+        ++iteration_;
+    }
+
+    // Any beams alive at the hard cap are abandoned.
+    for (auto &b : active_)
+        pruneBeam(*b);
+    active_.clear();
+
+    RequestResult result;
+    result.completionTime = clock_.now();
+    result.generatorTime = clock_.phaseTime(Phase::Generation)
+        + clock_.phaseTime(Phase::Recompute);
+    result.verifierTime = clock_.phaseTime(Phase::Verification);
+    result.transferTime = clock_.phaseTime(Phase::Transfer);
+    result.generatedTokens = generatedTokens_;
+    result.speculativeTokens = speculativeTokens_;
+    result.wastedSpecTokens = wastedSpecTokens_;
+    result.completedBeams = static_cast<int>(completed_.size());
+    double token_total = 0;
+    double time_total = 0;
+    for (const auto &s : completed_) {
+        token_total += static_cast<double>(s.tokens);
+        time_total += s.finishTime;
+        result.verifiedTokens += s.tokens;
+    }
+    if (!completed_.empty()) {
+        result.avgBeamTokens =
+            token_total / static_cast<double>(completed_.size());
+        result.avgBeamCompletion =
+            time_total / static_cast<double>(completed_.size());
+    }
+    result.solutions = completed_;
+    result.kvStats = kvGen_->stats();
+    const KvStats &ver = kvVer_->stats();
+    result.kvStats.evictions += ver.evictions;
+    result.kvStats.evictedTokens += ver.evictedTokens;
+    result.kvStats.recomputedTokens += ver.recomputedTokens;
+    result.kvStats.hitTokens += ver.hitTokens;
+    result.kvStats.missTokens += ver.missTokens;
+    return result;
+}
+
+} // namespace fasttts

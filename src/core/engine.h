@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The TTS serving engine: baseline vLLM-style loop + FastTTS
+ * optimizations.
+ *
+ * One engine implements the paper's generalized two-stage loop
+ * (Sec. 3.1): a Generation phase that decodes one thinking step per
+ * active beam, and a Verification phase that scores the new steps and
+ * selects/branches survivors. The FastTtsConfig toggles:
+ *
+ *  - S: Speculative Beam Extension (Algorithm 1) — freed decode slots
+ *    are filled with speculative child branches of finished beams,
+ *    chosen by the SelectSPEC score-bin policy; LookAhead Verification
+ *    merges a completed speculative step into the current verifier
+ *    request. Duplicates truncate speculative tokens ~ N(R*len).
+ *  - P: Dynamic Prefix-Aware Scheduling — generation (and hence
+ *    verification) order groups sibling beams to minimise KV eviction.
+ *  - M: Asymmetric Multi-Model Memory Allocation — roofline-guided
+ *    split of the KV budget between generator and verifier, with the
+ *    optional offloading strategy.
+ *
+ * Speculation and scheduling affect only *when* tokens materialise,
+ * never *what* a beam samples (see trajectory.h), so the engine is
+ * algorithmically equivalent to the baseline by construction.
+ */
+
+#ifndef FASTTTS_CORE_ENGINE_H
+#define FASTTTS_CORE_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "alloc/memory_planner.h"
+#include "core/config.h"
+#include "core/speculative.h"
+#include "core/trajectory.h"
+#include "kv/kv_cache.h"
+#include "metrics/request_metrics.h"
+#include "model/generator.h"
+#include "model/model_spec.h"
+#include "model/verifier.h"
+#include "model/workload.h"
+#include "sched/scheduler.h"
+#include "search/beam.h"
+#include "search/search_algorithm.h"
+#include "sim/roofline.h"
+#include "sim/timeline.h"
+
+namespace fasttts
+{
+
+/** Per-iteration snapshot for the cache/scheduling figures (5, 18). */
+struct IterationStats
+{
+    int iteration = 0;
+    int activeBeams = 0;
+    long residentNodes = 0;    //!< Unique resident segments (shared).
+    long residentTokens = 0;   //!< Unique resident tokens.
+    long uniqueTokens = 0;     //!< Active working set with sharing.
+    long unsharedTokens = 0;   //!< Footprint without prefix sharing.
+    uint64_t evictions = 0;    //!< Cumulative generator evictions.
+    uint64_t recomputedTokens = 0; //!< Cumulative recompute volume.
+    double clock = 0;          //!< Time at iteration end.
+    int decodeBatch = 0;       //!< Planned B_dec this iteration.
+    int prefillBatch = 0;      //!< Planned B_pre this iteration.
+};
+
+/**
+ * Serving engine for one generator+verifier pair on one device.
+ *
+ * runRequest() simulates one TTS request end-to-end and returns its
+ * metrics; the engine is reusable across requests (the clock and KV
+ * state reset each run).
+ */
+class FastTtsEngine
+{
+  public:
+    /**
+     * @param config Optimization toggles and substrate knobs.
+     * @param models Generator/verifier pair + memory fraction.
+     * @param device Edge GPU.
+     * @param dataset Workload profile the requests come from.
+     * @param algorithm Search method (not owned; must outlive engine).
+     */
+    FastTtsEngine(const FastTtsConfig &config, const ModelConfig &models,
+                  const DeviceSpec &device, const DatasetProfile &dataset,
+                  const SearchAlgorithm &algorithm);
+
+    ~FastTtsEngine();
+
+    FastTtsEngine(const FastTtsEngine &) = delete;
+    FastTtsEngine &operator=(const FastTtsEngine &) = delete;
+
+    /** Serve one problem with search width algorithm().beamWidth(). */
+    RequestResult runRequest(const Problem &problem);
+
+    /** KV budget shared by the two models (bytes). */
+    double kvBudgetBytes() const { return kvBudget_; }
+
+    /** Clock of the last run (utilization trace when recordTrace). */
+    const SimClock &clock() const { return clock_; }
+
+    /** Allocation plan of the last iteration. */
+    const AllocationPlan &currentPlan() const { return plan_; }
+
+    /** Per-iteration snapshots of the last run. */
+    const std::vector<IterationStats> &iterationStats() const
+    {
+        return iterStats_;
+    }
+
+    /** Generator-side KV cache (introspection for benches/tests). */
+    const KvCacheManager &generatorKv() const { return *kvGen_; }
+
+    /** Verifier-side KV cache. */
+    const KvCacheManager &verifierKv() const { return *kvVer_; }
+
+    /** Step-length histogram access: samples recorded per step index
+     *  of the last run (for Fig. 3 right). */
+    const std::vector<std::vector<int>> &stepTokenSamples() const
+    {
+        return stepTokens_;
+    }
+
+    /** Beams forcibly terminated because they could never fit. */
+    int forcedTerminations() const { return forcedTerminations_; }
+
+  private:
+    struct ActiveBeam;
+    struct SpecBranch;
+
+    // --- Request lifecycle ---
+    void resetRequestState(const Problem &problem);
+    void replan();
+    void runGenerationPhase();
+    void runVerificationPhase();
+    void runSelectionPhase();
+
+    // --- Generation helpers ---
+    bool admitBeam(size_t idx);
+    void fillSpeculativeSlots();
+    void finishStandardBeam(size_t idx);
+    void killAllSpeculation();
+    void chargeRecompute(int tokens);
+    double currentAvgContext() const;
+
+    // --- Bookkeeping ---
+    void completeBeam(ActiveBeam &beam, double score);
+    void pruneBeam(ActiveBeam &beam);
+    void releaseBranch(SpecBranch &branch);
+
+    FastTtsConfig config_;
+    ModelConfig models_;
+    DeviceSpec device_;
+    DatasetProfile dataset_;
+    const SearchAlgorithm &algorithm_;
+
+    RooflineModel roofline_;
+    SyntheticGenerator generator_;
+    SyntheticVerifier verifier_;
+    SpeculativePolicy specPolicy_;
+    std::unique_ptr<MemoryPlanner> planner_;
+    std::unique_ptr<BeamScheduler> scheduler_;
+
+    double kvBudget_ = 0;
+    std::unique_ptr<KvCacheManager> kvGen_;
+    std::unique_ptr<KvCacheManager> kvVer_;
+
+    // --- Per-request state ---
+    Problem problem_;
+    SimClock clock_;
+    AllocationPlan plan_;
+    Rng systemRng_{0};
+    std::vector<std::unique_ptr<ActiveBeam>> active_;
+    std::vector<CompletedSolution> completed_;
+    std::vector<IterationStats> iterStats_;
+    std::vector<std::vector<int>> stepTokens_;
+    uint64_t nextBeamId_ = 1;
+    uint64_t nextSegId_ = 1;
+    int iteration_ = 0;
+    int forcedTerminations_ = 0;
+    int promptNodeGen_ = -1;
+    int promptNodeVer_ = -1;
+
+    // Accumulated request metrics.
+    long generatedTokens_ = 0;
+    long speculativeTokens_ = 0;
+    long wastedSpecTokens_ = 0;
+
+    // Generation-phase scratch (valid within one iteration).
+    std::vector<size_t> queue_;
+    std::vector<size_t> decodeSet_;
+    double meanVerifierSeq_ = 0;  //!< Mean incremental request length.
+    double meanVerifierPath_ = 0; //!< Mean full-path length (planning).
+    bool specAllowed_ = true;      //!< Memory allows speculation.
+    bool lookaheadAllowed_ = true; //!< Verifier cache under pressure.
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_CORE_ENGINE_H

@@ -1,0 +1,74 @@
+#include "core/online_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fasttts
+{
+
+OnlineServer::OnlineServer(const ServingOptions &options)
+    : system_(options)
+{
+}
+
+OnlineTraceResult
+OnlineServer::serveTrace(int num_requests, double arrival_rate,
+                         uint64_t seed)
+{
+    Rng rng = Rng(seed).fork(0xa881);
+    std::vector<double> arrivals;
+    arrivals.reserve(static_cast<size_t>(num_requests));
+    double t = 0;
+    for (int i = 0; i < num_requests; ++i) {
+        t += rng.exponential(arrival_rate);
+        arrivals.push_back(t);
+    }
+    return serveArrivals(arrivals);
+}
+
+OnlineTraceResult
+OnlineServer::serveArrivals(const std::vector<double> &arrivals)
+{
+    OnlineTraceResult out;
+    const auto &problems = system_.problems();
+    double device_free_at = 0;
+    double busy = 0;
+
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        OnlineRequestRecord rec;
+        rec.problemId = static_cast<int>(i % problems.size());
+        rec.arrival = arrivals[i];
+        rec.start = std::max(rec.arrival, device_free_at);
+        const RequestResult r =
+            system_.serve(problems[static_cast<size_t>(rec.problemId)]);
+        rec.finish = rec.start + r.completionTime;
+        device_free_at = rec.finish;
+        busy += r.completionTime;
+        out.records.push_back(rec);
+    }
+
+    if (out.records.empty())
+        return out;
+
+    std::vector<double> latencies;
+    double lat_total = 0;
+    double queue_total = 0;
+    for (const auto &rec : out.records) {
+        latencies.push_back(rec.latency());
+        lat_total += rec.latency();
+        queue_total += rec.queueDelay();
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double n = static_cast<double>(out.records.size());
+    out.meanLatency = lat_total / n;
+    out.meanQueueDelay = queue_total / n;
+    out.p95Latency = latencies[static_cast<size_t>(
+        std::min(latencies.size() - 1.0, std::ceil(0.95 * n) - 1))];
+    out.makespan = out.records.back().finish;
+    out.utilization = out.makespan > 0 ? busy / out.makespan : 0;
+    return out;
+}
+
+} // namespace fasttts

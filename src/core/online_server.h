@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online serving front-end: queued TTS requests on one edge device.
+ *
+ * The paper's deployment model is interactive (batch size 1,
+ * Sec. 6.1), but the serving system must stay responsive when new
+ * requests arrive: the two-phase scheduler's speculative phase is
+ * fully preemptible, so pending work never waits behind speculation
+ * (Sec. 4.1.2). This front-end simulates a FIFO request queue with a
+ * deterministic arrival process and reports per-request queueing
+ * delay, service time and end-to-end latency — the level at which a
+ * downstream user would deploy the library.
+ */
+
+#ifndef FASTTTS_CORE_ONLINE_SERVER_H
+#define FASTTTS_CORE_ONLINE_SERVER_H
+
+#include <vector>
+
+#include "core/serving.h"
+
+namespace fasttts
+{
+
+/** One served request's timing record. */
+struct OnlineRequestRecord
+{
+    int problemId = 0;
+    double arrival = 0;   //!< Arrival time (s).
+    double start = 0;     //!< Service start (s).
+    double finish = 0;    //!< Completion (s).
+
+    double queueDelay() const { return start - arrival; }
+    double serviceTime() const { return finish - start; }
+    double latency() const { return finish - arrival; }
+};
+
+/** Aggregate results of an online trace. */
+struct OnlineTraceResult
+{
+    std::vector<OnlineRequestRecord> records;
+    double meanLatency = 0;
+    double p95Latency = 0;
+    double meanQueueDelay = 0;
+    double makespan = 0;     //!< Finish time of the last request.
+    double utilization = 0;  //!< Busy fraction of the makespan.
+};
+
+/**
+ * FIFO online server wrapping one ServingSystem.
+ *
+ * Requests are served run-to-completion in arrival order (one TTS
+ * request is itself a large parallel job that fills the device; the
+ * engine's internal continuous beam batching provides the
+ * within-request concurrency).
+ */
+class OnlineServer
+{
+  public:
+    explicit OnlineServer(const ServingOptions &options);
+
+    /**
+     * Serve a Poisson-arrival trace of num_requests problems.
+     * @param arrival_rate Requests per second (lambda).
+     * @param seed Arrival-process seed.
+     */
+    OnlineTraceResult serveTrace(int num_requests, double arrival_rate,
+                                 uint64_t seed);
+
+    /** Serve requests with explicit arrival times (sorted ascending). */
+    OnlineTraceResult serveArrivals(const std::vector<double> &arrivals);
+
+    /** The wrapped system. */
+    ServingSystem &system() { return system_; }
+
+  private:
+    ServingSystem system_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_CORE_ONLINE_SERVER_H

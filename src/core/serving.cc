@@ -1,0 +1,74 @@
+#include "core/serving.h"
+
+#include <algorithm>
+
+namespace fasttts
+{
+
+ServingSystem::ServingSystem(const ServingOptions &options)
+    : options_(options), dataset_(datasetByName(options.datasetName))
+{
+    algorithm_ = makeAlgorithm(options.algorithmName, options.numBeams,
+                               options.branchFactor);
+    engine_ = std::make_unique<FastTtsEngine>(
+        options.config, options.models, deviceByName(options.deviceName),
+        dataset_, *algorithm_);
+    problems_ = makeProblems(dataset_, 256, options.seed);
+}
+
+ServingSystem::~ServingSystem() = default;
+
+RequestResult
+ServingSystem::serve(const Problem &problem)
+{
+    return engine_->runRequest(problem);
+}
+
+BatchResult
+ServingSystem::serveProblems(int num_problems)
+{
+    std::vector<RequestResult> results;
+    const int count =
+        std::min<int>(num_problems, static_cast<int>(problems_.size()));
+    results.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        results.push_back(serve(problems_[static_cast<size_t>(i)]));
+    return aggregateResults(std::move(results), options_.numBeams);
+}
+
+BatchResult
+aggregateResults(std::vector<RequestResult> requests, int num_beams)
+{
+    BatchResult out;
+    out.requests = std::move(requests);
+    if (out.requests.empty())
+        return out;
+
+    out.meanGoodput = meanGoodput(out.requests);
+    out.meanLatency = meanCompletionTime(out.requests);
+    out.meanGeneratorTime = meanGeneratorTime(out.requests);
+    out.meanVerifierTime = meanVerifierTime(out.requests);
+
+    int top1 = 0;
+    int pass1 = 0;
+    int pass_half = 0;
+    int pass_n = 0;
+    for (const auto &r : out.requests) {
+        top1 += top1Correct(r.solutions) ? 1 : 0;
+        pass1 += passAtN(r.solutions, 1) ? 1 : 0;
+        pass_half += passAtN(r.solutions,
+                             static_cast<size_t>(std::max(1, num_beams / 2)))
+            ? 1
+            : 0;
+        pass_n +=
+            passAtN(r.solutions, static_cast<size_t>(num_beams)) ? 1 : 0;
+    }
+    const double total = static_cast<double>(out.requests.size());
+    out.top1Accuracy = 100.0 * top1 / total;
+    out.passAt1 = 100.0 * pass1 / total;
+    out.passAtNHalf = 100.0 * pass_half / total;
+    out.passAtNAccuracy = 100.0 * pass_n / total;
+    return out;
+}
+
+} // namespace fasttts

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ServingSystem: the plug-and-play public API of the library.
+ *
+ * Mirrors the paper's deployment model (Sec. 5): pick a device, a
+ * generator+verifier configuration, a dataset workload and a TTS
+ * search strategy, then serve requests. A ServingOptions struct
+ * gathers everything; serveProblems() runs a batch of problems and
+ * returns per-request metrics plus aggregates.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   ServingOptions opts;
+ *   opts.config = FastTtsConfig::fastTts();
+ *   opts.models = config1_5Bplus1_5B();
+ *   opts.algorithmName = "beam_search";
+ *   opts.numBeams = 32;
+ *   ServingSystem system(opts);
+ *   BatchResult out = system.serveProblems(8);
+ */
+
+#ifndef FASTTTS_CORE_SERVING_H
+#define FASTTTS_CORE_SERVING_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "metrics/request_metrics.h"
+#include "model/model_spec.h"
+#include "model/workload.h"
+#include "sim/device.h"
+
+namespace fasttts
+{
+
+/** Everything needed to stand up one serving stack. */
+struct ServingOptions
+{
+    FastTtsConfig config = FastTtsConfig::fastTts();
+    ModelConfig models = config1_5Bplus1_5B();
+    std::string deviceName = "RTX4090";
+    std::string datasetName = "AIME";
+    std::string algorithmName = "beam_search";
+    int numBeams = 32;       //!< Search width n.
+    int branchFactor = 4;    //!< B for tree-search methods.
+    uint64_t seed = 2026;    //!< Master seed for the problem set.
+};
+
+/** Batch-level aggregation over served problems. */
+struct BatchResult
+{
+    std::vector<RequestResult> requests;
+
+    double meanGoodput = 0;        //!< Precise Goodput (tokens/s).
+    double meanLatency = 0;        //!< Completion time (s).
+    double meanGeneratorTime = 0;
+    double meanVerifierTime = 0;
+    double top1Accuracy = 0;       //!< Majority-vote accuracy.
+    double passAt1 = 0;
+    double passAtNHalf = 0;        //!< Pass@(n/2).
+    double passAtNAccuracy = 0;    //!< Pass@n.
+};
+
+/**
+ * One configured serving stack (device + models + search).
+ */
+class ServingSystem
+{
+  public:
+    explicit ServingSystem(const ServingOptions &options);
+    ~ServingSystem();
+
+    ServingSystem(const ServingSystem &) = delete;
+    ServingSystem &operator=(const ServingSystem &) = delete;
+
+    /** Serve one problem. */
+    RequestResult serve(const Problem &problem);
+
+    /** Serve the first num_problems of the dataset's problem set. */
+    BatchResult serveProblems(int num_problems);
+
+    /** The options the system was built with. */
+    const ServingOptions &options() const { return options_; }
+
+    /** Underlying engine (introspection for benches). */
+    FastTtsEngine &engine() { return *engine_; }
+    const FastTtsEngine &engine() const { return *engine_; }
+
+    /** The deterministic problem set this system serves. */
+    const std::vector<Problem> &problems() const { return problems_; }
+
+  private:
+    ServingOptions options_;
+    DatasetProfile dataset_;
+    std::unique_ptr<SearchAlgorithm> algorithm_;
+    std::unique_ptr<FastTtsEngine> engine_;
+    std::vector<Problem> problems_;
+};
+
+/** Aggregate a set of request results into a BatchResult. */
+BatchResult aggregateResults(std::vector<RequestResult> requests,
+                             int num_beams);
+
+} // namespace fasttts
+
+#endif // FASTTTS_CORE_SERVING_H

@@ -1,0 +1,48 @@
+#include "core/speculative.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasttts
+{
+
+SpeculativePolicy::SpeculativePolicy(int branch_factor,
+                                     double truncation_ratio)
+    : branchFactor_(std::max(1, branch_factor)),
+      truncationRatio_(std::clamp(truncation_ratio, 0.0, 1.0))
+{
+}
+
+int
+SpeculativePolicy::speculativePotential(
+    double prev_score, const std::vector<double> &scores) const
+{
+    if (scores.empty())
+        return 1;
+    double lo = scores[0];
+    double hi = scores[0];
+    for (double s : scores) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    if (hi <= lo)
+        return branchFactor_; // All equal: everyone is in the top bin.
+    // Bin j (1-based, C_1 highest): equal-width partition of [lo, hi].
+    const double frac = (prev_score - lo) / (hi - lo);
+    const int from_top = static_cast<int>((1.0 - frac) * branchFactor_);
+    const int j = std::clamp(from_top + 1, 1, branchFactor_);
+    return branchFactor_ - j + 1;
+}
+
+int
+SpeculativePolicy::truncationKeep(int spec_len, Rng &rng) const
+{
+    if (spec_len <= 0)
+        return 0;
+    const double mean = truncationRatio_ * spec_len;
+    const double sd = 0.1 * spec_len;
+    const int keep = static_cast<int>(std::lround(rng.normal(mean, sd)));
+    return std::clamp(keep, 0, spec_len);
+}
+
+} // namespace fasttts

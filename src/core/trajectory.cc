@@ -1,0 +1,55 @@
+#include "core/trajectory.h"
+
+#include <algorithm>
+
+namespace fasttts
+{
+
+StepDraw
+drawStep(const SyntheticGenerator &gen, const Problem &problem,
+         uint64_t lineage_seed, int step_index, double parent_quality,
+         int cap)
+{
+    Rng r(Rng::mix(lineage_seed, 2 * static_cast<uint64_t>(step_index)));
+    StepDraw d;
+    d.tokens = std::min(gen.sampleStepTokens(step_index, r), cap);
+    d.quality = gen.evolveQuality(parent_quality, r);
+    d.terminal = gen.sampleTerminal(step_index, r);
+    // Always drawn to keep the stream layout fixed; meaningful only
+    // when terminal.
+    d.answer = gen.sampleAnswer(d.quality, problem, r);
+    return d;
+}
+
+double
+drawScore(const SyntheticVerifier &ver, uint64_t lineage_seed,
+          int step_index, double step_quality)
+{
+    Rng r(Rng::mix(lineage_seed,
+                   2 * static_cast<uint64_t>(step_index) + 1));
+    return ver.scoreStep(step_quality, r);
+}
+
+uint64_t
+childLineageSeed(uint64_t parent_seed, int step_index, int child_index)
+{
+    return Rng::mix(parent_seed,
+                    kChildLane + static_cast<uint64_t>(step_index) * 64
+                        + static_cast<uint64_t>(child_index));
+}
+
+uint64_t
+rootLineageSeed(const Problem &problem, int beam_index)
+{
+    return Rng::mix(problem.seed, 0xbea3 + static_cast<uint64_t>(beam_index));
+}
+
+double
+rootQuality(const SyntheticGenerator &gen, const Problem &problem,
+            int beam_index)
+{
+    Rng r(Rng::mix(rootLineageSeed(problem, beam_index), 0xfeed));
+    return gen.initialQuality(problem, r);
+}
+
+} // namespace fasttts

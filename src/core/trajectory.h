@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic per-step trajectory draws.
+ *
+ * A beam's step content — token length, evolved quality, terminal
+ * decision, answer, verifier score — is a pure function of
+ * (lineage stream seed, step index, parent quality). Both the
+ * baseline and the FastTTS engine obtain step content through these
+ * functions, so speculation and scheduling can never change *what* is
+ * generated, only *when*: the paper's algorithmic-equivalence
+ * guarantee by construction.
+ *
+ * Stream-lane convention: for a beam with lineage seed L at step s,
+ *   lane 2s   -> generation draws (length, quality, terminal, answer)
+ *   lane 2s+1 -> verifier observation noise
+ * Child j of a beam that just finished step s inherits lineage seed
+ * mix(L, kChildLane + j).
+ */
+
+#ifndef FASTTTS_CORE_TRAJECTORY_H
+#define FASTTTS_CORE_TRAJECTORY_H
+
+#include <cstdint>
+
+#include "model/generator.h"
+#include "model/verifier.h"
+#include "model/workload.h"
+
+namespace fasttts
+{
+
+/** Lane offset separating child-seed derivation from step lanes. */
+constexpr uint64_t kChildLane = 0x10000;
+
+/** Content of one thinking step. */
+struct StepDraw
+{
+    int tokens = 0;      //!< Step length before any granularity cap.
+    double quality = 0;  //!< Path quality after this step.
+    bool terminal = false;
+    int answer = -1;     //!< Valid when terminal (0 = correct).
+};
+
+/**
+ * Draw the content of step step_index for the beam with the given
+ * lineage seed.
+ * @param parent_quality Quality after the previous step (the beam's
+ *        initial quality for step 0).
+ * @param cap Generation-stage token cap (varying granularity);
+ *        pass INT_MAX for none.
+ */
+StepDraw drawStep(const SyntheticGenerator &gen, const Problem &problem,
+                  uint64_t lineage_seed, int step_index,
+                  double parent_quality, int cap);
+
+/** Deterministic verifier score of the step. */
+double drawScore(const SyntheticVerifier &ver, uint64_t lineage_seed,
+                 int step_index, double step_quality);
+
+/** Lineage seed of child j spawned after the parent completed a step. */
+uint64_t childLineageSeed(uint64_t parent_seed, int step_index,
+                          int child_index);
+
+/** Lineage seed of initial beam i of a problem. */
+uint64_t rootLineageSeed(const Problem &problem, int beam_index);
+
+/** Initial quality of a root beam (before step 0). */
+double rootQuality(const SyntheticGenerator &gen, const Problem &problem,
+                   int beam_index);
+
+} // namespace fasttts
+
+#endif // FASTTTS_CORE_TRAJECTORY_H

@@ -1,0 +1,36 @@
+#include "kv/block_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fasttts
+{
+
+BlockAllocator::BlockAllocator(size_t total_blocks) : total_(total_blocks) {}
+
+bool
+BlockAllocator::allocate(size_t n)
+{
+    if (used_ + n > total_) {
+        ++failed_;
+        return false;
+    }
+    used_ += n;
+    peakUsed_ = std::max(peakUsed_, used_);
+    return true;
+}
+
+void
+BlockAllocator::release(size_t n)
+{
+    assert(n <= used_);
+    used_ -= std::min(n, used_);
+}
+
+void
+BlockAllocator::resize(size_t total_blocks)
+{
+    total_ = std::max(total_blocks, used_);
+}
+
+} // namespace fasttts

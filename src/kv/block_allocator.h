@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Paged KV-cache block accounting.
+ *
+ * vLLM's PagedAttention removes fragmentation by allocating KV memory
+ * in fixed-size token blocks; what remains observable to the scheduler
+ * is the block *count*. The simulator therefore models the pool as a
+ * counted resource with high-water-mark statistics rather than tracking
+ * individual page addresses.
+ */
+
+#ifndef FASTTTS_KV_BLOCK_ALLOCATOR_H
+#define FASTTTS_KV_BLOCK_ALLOCATOR_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fasttts
+{
+
+/**
+ * Fixed pool of KV blocks.
+ */
+class BlockAllocator
+{
+  public:
+    /**
+     * @param total_blocks Pool capacity in blocks.
+     */
+    explicit BlockAllocator(size_t total_blocks);
+
+    /** Try to allocate n blocks; returns false (no change) on failure. */
+    bool allocate(size_t n);
+
+    /** Return n blocks to the pool. n must not exceed used(). */
+    void release(size_t n);
+
+    /** Pool capacity. */
+    size_t total() const { return total_; }
+
+    /** Blocks currently allocated. */
+    size_t used() const { return used_; }
+
+    /** Blocks currently free. */
+    size_t free() const { return total_ - used_; }
+
+    /** Highest simultaneous usage seen. */
+    size_t peakUsed() const { return peakUsed_; }
+
+    /** Number of allocation calls that failed for lack of space. */
+    uint64_t failedAllocations() const { return failed_; }
+
+    /** Grow or shrink the pool (re-planning by the memory allocator).
+     *  Shrinking below used() clamps capacity to used(). */
+    void resize(size_t total_blocks);
+
+  private:
+    size_t total_;
+    size_t used_ = 0;
+    size_t peakUsed_ = 0;
+    uint64_t failed_ = 0;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_KV_BLOCK_ALLOCATOR_H

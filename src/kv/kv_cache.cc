@@ -1,0 +1,372 @@
+#include "kv/kv_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fasttts
+{
+
+namespace
+{
+
+size_t
+blocksForTokens(int tokens, int block_tokens)
+{
+    if (tokens <= 0)
+        return 0;
+    return (static_cast<size_t>(tokens) + block_tokens - 1) / block_tokens;
+}
+
+} // namespace
+
+KvCacheManager::KvCacheManager(double budget_bytes,
+                               double kv_bytes_per_token, int block_tokens)
+    : kvBytesPerToken_(kv_bytes_per_token), blockTokens_(block_tokens),
+      alloc_(static_cast<size_t>(
+          std::max(0.0, budget_bytes / kv_bytes_per_token / block_tokens)))
+{
+    // Root: the shared question prompt anchor. Permanently resident and
+    // referenced so it can never be evicted.
+    Node root;
+    root.resident = true;
+    root.refCount = 1;
+    nodes_.push_back(root);
+}
+
+KvCacheManager::NodeId
+KvCacheManager::childOf(NodeId parent, uint64_t seg_id) const
+{
+    for (const auto &[seg, id] : node(parent).children) {
+        if (seg == seg_id)
+            return id;
+    }
+    return kInvalid;
+}
+
+KvCacheManager::NodeId
+KvCacheManager::createChild(NodeId parent, uint64_t seg_id, int tokens)
+{
+    assert(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()));
+    NodeId id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+        node(id) = Node();
+    } else {
+        id = static_cast<NodeId>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    Node &n = node(id);
+    n.segId = seg_id;
+    n.parent = parent;
+    n.tokens = tokens;
+    node(parent).children.emplace_back(seg_id, id);
+    return id;
+}
+
+int
+KvCacheManager::nodeTokens(NodeId id) const
+{
+    return node(id).tokens;
+}
+
+int
+KvCacheManager::pathTokens(NodeId leaf) const
+{
+    int total = 0;
+    for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
+        total += node(id).tokens;
+    return total;
+}
+
+KvCacheManager::NodeId
+KvCacheManager::parentOf(NodeId id) const
+{
+    return node(id).parent;
+}
+
+bool
+KvCacheManager::appendTokens(NodeId id, int delta, uint64_t tick,
+                             bool allow_evict)
+{
+    assert(delta >= 0);
+    Node &n = node(id);
+    const int new_tokens = n.tokens + delta;
+    if (n.resident) {
+        const size_t need = blocksForTokens(new_tokens, blockTokens_)
+            - n.blocksHeld;
+        if (need > 0) {
+            if (alloc_.free() < need
+                && (!allow_evict || !reclaim(need))) {
+                return false;
+            }
+            if (!alloc_.allocate(need))
+                return false;
+            n.blocksHeld += need;
+        }
+        n.lastUse = tick;
+        residentTokens_ += delta;
+    }
+    n.tokens = new_tokens;
+    return true;
+}
+
+void
+KvCacheManager::truncateTokens(NodeId id, int new_tokens)
+{
+    Node &n = node(id);
+    assert(new_tokens >= 0 && new_tokens <= n.tokens);
+    if (n.resident) {
+        const size_t keep = blocksForTokens(new_tokens, blockTokens_);
+        if (keep < n.blocksHeld) {
+            alloc_.release(n.blocksHeld - keep);
+            n.blocksHeld = keep;
+        }
+        residentTokens_ -= n.tokens - new_tokens;
+    }
+    n.tokens = new_tokens;
+}
+
+void
+KvCacheManager::retain(NodeId leaf)
+{
+    for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
+        ++node(id).refCount;
+}
+
+void
+KvCacheManager::release(NodeId leaf)
+{
+    for (NodeId id = leaf; id != kInvalid; id = node(id).parent) {
+        Node &n = node(id);
+        assert(n.refCount > 0);
+        --n.refCount;
+        // Nodes are never erased while a request runs: beams keep
+        // (unpinned) references to their leaves and may re-touch them.
+        // Unreferenced resident nodes simply become eviction victims.
+        if (n.refCount == 0 && n.resident)
+            maybeEnqueueVictim(id);
+    }
+}
+
+int
+KvCacheManager::refCount(NodeId id) const
+{
+    return node(id).refCount;
+}
+
+bool
+KvCacheManager::evictable(const Node &n) const
+{
+    return n.resident && !n.erased && n.refCount == 0
+        && n.residentChildren == 0;
+}
+
+void
+KvCacheManager::maybeEnqueueVictim(NodeId id)
+{
+    if (id == kRoot)
+        return;
+    const Node &n = node(id);
+    if (evictable(n))
+        victims_.emplace(n.lastUse, id);
+}
+
+bool
+KvCacheManager::reclaim(size_t need_blocks)
+{
+    bool rescanned = false;
+    while (alloc_.free() < need_blocks) {
+        // Pop lazily-invalidated heap entries.
+        while (!victims_.empty()) {
+            auto [tick, id] = victims_.top();
+            const Node &n = node(id);
+            if (!n.erased && evictable(n) && n.lastUse == tick)
+                break;
+            victims_.pop();
+        }
+        if (victims_.empty()) {
+            if (rescanned)
+                return false;
+            // Rebuild candidates from a full scan (heap may have missed
+            // nodes whose evictability changed without an event).
+            for (NodeId id = 1; id < static_cast<NodeId>(nodes_.size());
+                 ++id) {
+                if (!node(id).erased)
+                    maybeEnqueueVictim(id);
+            }
+            rescanned = true;
+            if (victims_.empty())
+                return false;
+            continue;
+        }
+        const NodeId id = victims_.top().second;
+        victims_.pop();
+        evictNode(id);
+    }
+    return true;
+}
+
+void
+KvCacheManager::evictNode(NodeId id)
+{
+    Node &n = node(id);
+    assert(evictable(n));
+    alloc_.release(n.blocksHeld);
+    n.blocksHeld = 0;
+    n.resident = false;
+    --residentCount_;
+    residentTokens_ -= n.tokens;
+    ++stats_.evictions;
+    stats_.evictedTokens += static_cast<uint64_t>(n.tokens);
+    const NodeId parent = n.parent;
+    if (parent != kInvalid) {
+        --node(parent).residentChildren;
+        maybeEnqueueVictim(parent);
+    }
+}
+
+void
+KvCacheManager::markResident(NodeId id, uint64_t tick)
+{
+    Node &n = node(id);
+    assert(!n.resident);
+    n.resident = true;
+    n.lastUse = tick;
+    ++residentCount_;
+    residentTokens_ += n.tokens;
+    if (n.parent != kInvalid)
+        ++node(n.parent).residentChildren;
+}
+
+KvCacheManager::TouchResult
+KvCacheManager::ensureResident(NodeId leaf, uint64_t tick)
+{
+    // Collect root->leaf path.
+    std::vector<NodeId> path;
+    for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
+        path.push_back(id);
+    std::reverse(path.begin(), path.end());
+
+    // Pin the path so reclaim() cannot evict nodes we just placed.
+    for (NodeId id : path)
+        ++node(id).refCount;
+
+    TouchResult result;
+    result.ok = true;
+    for (NodeId id : path) {
+        Node &n = node(id);
+        if (n.resident) {
+            n.lastUse = tick;
+            result.cachedTokens += n.tokens;
+            continue;
+        }
+        const size_t need = blocksForTokens(n.tokens, blockTokens_);
+        if (alloc_.free() < need && !reclaim(need)) {
+            result.ok = false;
+            break;
+        }
+        if (!alloc_.allocate(need)) {
+            result.ok = false;
+            break;
+        }
+        n.blocksHeld = need;
+        markResident(id, tick);
+        result.recomputeTokens += n.tokens;
+    }
+
+    for (NodeId id : path) {
+        Node &n = node(id);
+        --n.refCount;
+        if (n.refCount == 0 && n.resident)
+            maybeEnqueueVictim(id);
+    }
+
+    stats_.hitTokens += static_cast<uint64_t>(result.cachedTokens);
+    stats_.missTokens += static_cast<uint64_t>(result.recomputeTokens);
+    stats_.recomputedTokens
+        += static_cast<uint64_t>(result.recomputeTokens);
+    return result;
+}
+
+bool
+KvCacheManager::isResident(NodeId id) const
+{
+    return node(id).resident;
+}
+
+int
+KvCacheManager::residentPrefixTokens(NodeId leaf) const
+{
+    // Residency is top-closed (a resident node's ancestors are
+    // resident), so the resident prefix is the path minus the trailing
+    // non-resident suffix.
+    int non_resident = 0;
+    NodeId id = leaf;
+    while (id != kInvalid && !node(id).resident) {
+        non_resident += node(id).tokens;
+        id = node(id).parent;
+    }
+    return pathTokens(leaf) - non_resident;
+}
+
+int
+KvCacheManager::nodeCount() const
+{
+    int count = 0;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+        if (!nodes_[i].erased)
+            ++count;
+    }
+    return count;
+}
+
+int
+KvCacheManager::residentNodeCount() const
+{
+    return residentCount_;
+}
+
+long
+KvCacheManager::residentTokens() const
+{
+    return residentTokens_;
+}
+
+long
+KvCacheManager::unsharedTokens() const
+{
+    // Without prefix sharing every beam privately stores its whole
+    // path: sum over nodes of tokens * refCount (each active reference
+    // through a node implies a private copy of that segment).
+    long total = 0;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        if (!n.erased)
+            total += static_cast<long>(n.tokens) * n.refCount;
+    }
+    return total;
+}
+
+void
+KvCacheManager::setBudgetBytes(double budget_bytes)
+{
+    alloc_.resize(static_cast<size_t>(
+        std::max(0.0, budget_bytes / kvBytesPerToken_ / blockTokens_)));
+}
+
+double
+KvCacheManager::budgetBytes() const
+{
+    return static_cast<double>(alloc_.total()) * blockTokens_
+        * kvBytesPerToken_;
+}
+
+size_t
+KvCacheManager::blocksFor(int tokens) const
+{
+    return blocksForTokens(tokens, blockTokens_);
+}
+
+} // namespace fasttts

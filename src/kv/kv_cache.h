@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Radix-tree KV cache manager with prefix sharing and LRU eviction.
+ *
+ * Reasoning beams in verifier-guided TTS form a tree: children created
+ * by branching share their parent's entire KV prefix (paper Sec. 3.2.2,
+ * Fig. 8). The manager stores one radix-tree node per *thinking-step
+ * segment*; beams reference their leaf node and share all ancestors
+ * physically (block refcounts), so "beams in memory" (Fig. 5), eviction
+ * counts and recompute costs (Fig. 18) are measured quantities.
+ *
+ * Residency model: a node is resident when its blocks are allocated on
+ * the device. Evicting a node frees its blocks; re-touching an evicted
+ * node later costs a prefill *recompute* of its tokens, which is the
+ * cost Dynamic Prefix-Aware Scheduling (Sec. 4.2) minimises. Only
+ * nodes with zero active references and no resident children are
+ * evictable; victims are chosen LRU.
+ */
+
+#ifndef FASTTTS_KV_KV_CACHE_H
+#define FASTTTS_KV_KV_CACHE_H
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "kv/block_allocator.h"
+
+namespace fasttts
+{
+
+/** Aggregate KV-cache statistics for one run. */
+struct KvStats
+{
+    uint64_t evictions = 0;        //!< Nodes evicted.
+    uint64_t evictedTokens = 0;    //!< Tokens whose KV was dropped.
+    uint64_t recomputedTokens = 0; //!< Tokens re-prefilled after eviction.
+    uint64_t hitTokens = 0;        //!< Tokens found resident on touch.
+    uint64_t missTokens = 0;       //!< Tokens materialised on touch.
+};
+
+/**
+ * Paged, prefix-sharing KV cache for a tree of reasoning beams.
+ *
+ * Node handles are stable ints; the root (id 0) is always resident and
+ * holds the shared question prompt.
+ */
+class KvCacheManager
+{
+  public:
+    using NodeId = int;
+    static constexpr NodeId kRoot = 0;
+    static constexpr NodeId kInvalid = -1;
+
+    /**
+     * @param budget_bytes Device bytes granted to this cache.
+     * @param kv_bytes_per_token Model-specific KV footprint.
+     * @param block_tokens Tokens per paged block (vLLM default 16).
+     */
+    KvCacheManager(double budget_bytes, double kv_bytes_per_token,
+                   int block_tokens = 16);
+
+    // ------------------------------------------------------------------
+    // Tree structure
+    // ------------------------------------------------------------------
+
+    /** Child of parent holding segment seg_id, or kInvalid. */
+    NodeId childOf(NodeId parent, uint64_t seg_id) const;
+
+    /**
+     * Create a child node for a new thinking-step segment. The node
+     * starts non-resident with zero references; call retain() +
+     * ensureResident() to pin and materialise it.
+     */
+    NodeId createChild(NodeId parent, uint64_t seg_id, int tokens);
+
+    /** Segment token count of a node. */
+    int nodeTokens(NodeId node) const;
+
+    /** Total tokens on the root->leaf path (context length). */
+    int pathTokens(NodeId leaf) const;
+
+    /** Parent node id (kInvalid for root). */
+    NodeId parentOf(NodeId node) const;
+
+    /**
+     * Grow a leaf segment by delta tokens (incremental decoding). When
+     * the node is resident, newly needed blocks are allocated, evicting
+     * LRU victims if required; returns false when memory cannot be
+     * freed (caller must preempt).
+     * @param allow_evict When false, only genuinely free blocks may be
+     *        used (speculative work must never evict cache that
+     *        standard beams still need).
+     */
+    bool appendTokens(NodeId node, int delta, uint64_t tick,
+                      bool allow_evict = true);
+
+    /** Shrink a leaf segment (speculative-token truncation). */
+    void truncateTokens(NodeId node, int new_tokens);
+
+    // ------------------------------------------------------------------
+    // Reference counting (active beams)
+    // ------------------------------------------------------------------
+
+    /** Pin the whole root->leaf path (one active beam). */
+    void retain(NodeId leaf);
+
+    /** Unpin the path; nodes stay cached until evicted. */
+    void release(NodeId leaf);
+
+    /** Active references on a node. */
+    int refCount(NodeId node) const;
+
+    // ------------------------------------------------------------------
+    // Residency
+    // ------------------------------------------------------------------
+
+    /** Result of touching a path. */
+    struct TouchResult
+    {
+        bool ok = false;          //!< Whole path resident on return.
+        int cachedTokens = 0;     //!< Tokens already resident (hit).
+        int recomputeTokens = 0;  //!< Tokens that must be re-prefilled.
+    };
+
+    /**
+     * Make the whole root->leaf path resident, evicting LRU victims as
+     * needed. recomputeTokens counts tokens of previously evicted or
+     * never-materialised nodes; the caller charges prefill time for
+     * them.
+     */
+    TouchResult ensureResident(NodeId leaf, uint64_t tick);
+
+    /** Whether a node's blocks are on device. */
+    bool isResident(NodeId node) const;
+
+    /** Tokens of the path that are currently resident (prefix hit). */
+    int residentPrefixTokens(NodeId leaf) const;
+
+    // ------------------------------------------------------------------
+    // Introspection / metrics
+    // ------------------------------------------------------------------
+
+    /** Pool accounting. */
+    const BlockAllocator &allocator() const { return alloc_; }
+
+    /** Running statistics. */
+    const KvStats &stats() const { return stats_; }
+
+    /** Number of live (not erased) nodes, excluding root. */
+    int nodeCount() const;
+
+    /** Number of resident nodes, excluding root. */
+    int residentNodeCount() const;
+
+    /** Total resident tokens (unique; prefix shared once). */
+    long residentTokens() const;
+
+    /**
+     * Tokens that would be resident if no prefix sharing existed
+     * (every retained beam stores its full path privately). Used for
+     * the "w/o prefix cache" series of Fig. 5.
+     */
+    long unsharedTokens() const;
+
+    /** Tokens per block. */
+    int blockTokens() const { return blockTokens_; }
+
+    /** Re-plan the budget (asymmetric allocator updates). */
+    void setBudgetBytes(double budget_bytes);
+
+    /** Budget in bytes. */
+    double budgetBytes() const;
+
+    /** Blocks needed for n tokens. */
+    size_t blocksFor(int tokens) const;
+
+  private:
+    struct Node
+    {
+        uint64_t segId = 0;
+        NodeId parent = kInvalid;
+        std::vector<std::pair<uint64_t, NodeId>> children;
+        int tokens = 0;
+        size_t blocksHeld = 0;
+        int refCount = 0;
+        int residentChildren = 0;
+        bool resident = false;
+        bool erased = false;
+        uint64_t lastUse = 0;
+    };
+
+    Node &node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+    const Node &
+    node(NodeId id) const
+    {
+        return nodes_[static_cast<size_t>(id)];
+    }
+
+    bool evictable(const Node &n) const;
+    void maybeEnqueueVictim(NodeId id);
+    /** Evict LRU victims until at least need_blocks are free.
+     *  @return true on success. */
+    bool reclaim(size_t need_blocks);
+    void evictNode(NodeId id);
+    void markResident(NodeId id, uint64_t tick);
+
+    double kvBytesPerToken_;
+    int blockTokens_;
+    BlockAllocator alloc_;
+    std::vector<Node> nodes_;
+    std::vector<NodeId> freeList_;
+    KvStats stats_;
+    int residentCount_ = 0;   //!< Resident nodes, excluding root.
+    long residentTokens_ = 0; //!< Unique resident tokens.
+
+    // Lazy min-heap of (lastUse, node) eviction candidates.
+    using Victim = std::pair<uint64_t, NodeId>;
+    std::priority_queue<Victim, std::vector<Victim>, std::greater<>>
+        victims_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_KV_KV_CACHE_H

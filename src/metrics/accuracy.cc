@@ -1,0 +1,61 @@
+#include "metrics/accuracy.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fasttts
+{
+
+int
+majorityVoteAnswer(const std::vector<CompletedSolution> &solutions)
+{
+    if (solutions.empty())
+        return -1;
+    // answer -> (count, summed score)
+    std::map<int, std::pair<int, double>> votes;
+    for (const auto &s : solutions) {
+        auto &v = votes[s.answer];
+        ++v.first;
+        v.second += s.score;
+    }
+    int best_answer = -1;
+    int best_count = -1;
+    double best_score = -1;
+    for (const auto &[answer, v] : votes) {
+        const auto &[count, score] = v;
+        if (count > best_count
+            || (count == best_count && score > best_score)) {
+            best_answer = answer;
+            best_count = count;
+            best_score = score;
+        }
+    }
+    return best_answer;
+}
+
+bool
+top1Correct(const std::vector<CompletedSolution> &solutions)
+{
+    return majorityVoteAnswer(solutions) == 0;
+}
+
+bool
+passAtN(const std::vector<CompletedSolution> &solutions, size_t n)
+{
+    std::vector<const CompletedSolution *> ranked;
+    ranked.reserve(solutions.size());
+    for (const auto &s : solutions)
+        ranked.push_back(&s);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const CompletedSolution *a, const CompletedSolution *b) {
+                  return a->score > b->score;
+              });
+    const size_t limit = std::min(n, ranked.size());
+    for (size_t i = 0; i < limit; ++i) {
+        if (ranked[i]->answer == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace fasttts

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Answer aggregation metrics (paper Sec. 6.3).
+ *
+ * Top-1 accuracy selects the final answer by majority voting over the
+ * completed solutions; Pass@N asks whether any of the N highest
+ * verifier-scored solutions is correct. Answer value 0 denotes the
+ * correct answer (see SyntheticGenerator::sampleAnswer).
+ */
+
+#ifndef FASTTTS_METRICS_ACCURACY_H
+#define FASTTTS_METRICS_ACCURACY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fasttts
+{
+
+/** One completed reasoning path, as the aggregator sees it. */
+struct CompletedSolution
+{
+    int answer = -1;     //!< 0 = correct, >0 = a distinct wrong answer.
+    double score = 0;    //!< Verifier score of the final step.
+    long tokens = 0;     //!< Verified tokens in the path.
+    double finishTime = 0; //!< Completion clock (seconds).
+};
+
+/**
+ * Majority-vote answer: most frequent answer value; ties broken by the
+ * higher summed verifier score, then by the smaller answer value.
+ * @return The winning answer, or -1 when solutions is empty.
+ */
+int majorityVoteAnswer(const std::vector<CompletedSolution> &solutions);
+
+/** Whether majority voting yields the correct answer (== 0). */
+bool top1Correct(const std::vector<CompletedSolution> &solutions);
+
+/**
+ * Pass@N: true when at least one of the top-N solutions by verifier
+ * score is correct.
+ */
+bool passAtN(const std::vector<CompletedSolution> &solutions, size_t n);
+
+} // namespace fasttts
+
+#endif // FASTTTS_METRICS_ACCURACY_H

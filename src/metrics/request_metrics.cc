@@ -1,0 +1,51 @@
+#include "metrics/request_metrics.h"
+
+namespace fasttts
+{
+
+namespace
+{
+
+template <typename Getter>
+double
+meanOf(const std::vector<RequestResult> &results, Getter get)
+{
+    if (results.empty())
+        return 0.0;
+    double total = 0;
+    for (const auto &r : results)
+        total += get(r);
+    return total / static_cast<double>(results.size());
+}
+
+} // namespace
+
+double
+meanGoodput(const std::vector<RequestResult> &results)
+{
+    return meanOf(results,
+                  [](const RequestResult &r) { return r.preciseGoodput(); });
+}
+
+double
+meanCompletionTime(const std::vector<RequestResult> &results)
+{
+    return meanOf(results,
+                  [](const RequestResult &r) { return r.completionTime; });
+}
+
+double
+meanGeneratorTime(const std::vector<RequestResult> &results)
+{
+    return meanOf(results,
+                  [](const RequestResult &r) { return r.generatorTime; });
+}
+
+double
+meanVerifierTime(const std::vector<RequestResult> &results)
+{
+    return meanOf(results,
+                  [](const RequestResult &r) { return r.verifierTime; });
+}
+
+} // namespace fasttts

@@ -1,0 +1,106 @@
+#include "model/model_spec.h"
+
+namespace fasttts
+{
+
+ModelSpec
+qwen25Math1_5B()
+{
+    ModelSpec m;
+    m.name = "Qwen2.5-Math-1.5B-Instruct";
+    m.numParams = 1.54e9;
+    m.numLayers = 28;
+    m.numKvHeads = 2;
+    m.headDim = 128;
+    m.hiddenSize = 1536;
+    return m;
+}
+
+ModelSpec
+qwen25Math7B()
+{
+    ModelSpec m;
+    m.name = "Qwen2.5-Math-7B-Instruct";
+    m.numParams = 7.62e9;
+    m.numLayers = 28;
+    m.numKvHeads = 4;
+    m.headDim = 128;
+    m.hiddenSize = 3584;
+    return m;
+}
+
+ModelSpec
+mathShepherd7B()
+{
+    ModelSpec m;
+    m.name = "Math-Shepherd-Mistral-7B-PRM";
+    m.numParams = 7.24e9;
+    m.numLayers = 32;
+    m.numKvHeads = 8;
+    m.headDim = 128;
+    m.hiddenSize = 4096;
+    return m;
+}
+
+ModelSpec
+skywork1_5B()
+{
+    ModelSpec m;
+    m.name = "Skywork-o1-Open-PRM-Qwen-2.5-1.5B";
+    m.numParams = 1.54e9;
+    m.numLayers = 28;
+    m.numKvHeads = 2;
+    m.headDim = 128;
+    m.hiddenSize = 1536;
+    return m;
+}
+
+ModelSpec
+modelByName(const std::string &name)
+{
+    if (name == "qwen7b")
+        return qwen25Math7B();
+    if (name == "shepherd7b")
+        return mathShepherd7B();
+    if (name == "skywork1.5b")
+        return skywork1_5B();
+    return qwen25Math1_5B();
+}
+
+ModelConfig
+config1_5Bplus1_5B()
+{
+    // Sec. 6.1: "restricting it to 40% of GPU memory" to simulate a
+    // highly resource-limited environment.
+    return {"1.5B+1.5B", qwen25Math1_5B(), skywork1_5B(), 0.40};
+}
+
+ModelConfig
+config1_5Bplus7B()
+{
+    return {"1.5B+7B", qwen25Math1_5B(), mathShepherd7B(), 0.90};
+}
+
+ModelConfig
+config7Bplus1_5B()
+{
+    return {"7B+1.5B", qwen25Math7B(), skywork1_5B(), 0.90};
+}
+
+std::vector<ModelConfig>
+allModelConfigs()
+{
+    return {config1_5Bplus1_5B(), config1_5Bplus7B(), config7Bplus1_5B()};
+}
+
+ModelConfig
+modelConfigByLabel(const std::string &label)
+{
+    if (label == "1.5B+7B")
+        return config1_5Bplus7B();
+    if (label == "7B+1.5B")
+        return config7Bplus1_5B();
+    return config1_5Bplus1_5B();
+}
+
+} // namespace fasttts

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Architecture descriptions of the generator and verifier models.
+ *
+ * The paper evaluates Qwen2.5-Math-1.5B / 7B generators against
+ * Math-Shepherd-Mistral-7B and Skywork-o1-Open-PRM-1.5B verifiers. The
+ * simulator only needs the quantities that determine roofline time and
+ * memory footprint: parameter count, per-token KV bytes, and weight
+ * bytes. These are derived from the published architectures (layer
+ * count, KV head count, head dim, GQA).
+ */
+
+#ifndef FASTTTS_MODEL_MODEL_SPEC_H
+#define FASTTTS_MODEL_MODEL_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * Static architecture parameters of one transformer model.
+ */
+struct ModelSpec
+{
+    std::string name;      //!< HuggingFace-style identifier.
+    double numParams = 0;  //!< Total parameter count.
+    int numLayers = 0;     //!< Transformer blocks.
+    int numKvHeads = 0;    //!< Grouped-query KV heads.
+    int headDim = 0;       //!< Per-head dimension.
+    int hiddenSize = 0;    //!< Model width (for attention FLOPs).
+    double bytesPerParam = 2.0; //!< FP16 by default.
+
+    /** Bytes occupied by the weights when resident on device. */
+    double weightBytes() const { return numParams * bytesPerParam; }
+
+    /**
+     * Bytes of KV cache one token occupies:
+     * 2 (K and V) x layers x kvHeads x headDim x bytesPerParam.
+     */
+    double
+    kvBytesPerToken() const
+    {
+        return 2.0 * numLayers * numKvHeads * headDim * bytesPerParam;
+    }
+
+    /** KV bytes for a sequence of the given length. */
+    double kvBytes(double tokens) const { return kvBytesPerToken() * tokens; }
+};
+
+/** Qwen2.5-Math-1.5B-Instruct (generator, 1.5B+* configs). */
+ModelSpec qwen25Math1_5B();
+
+/** Qwen2.5-Math-7B-Instruct (generator, 7B+1.5B config). */
+ModelSpec qwen25Math7B();
+
+/** Math-Shepherd-Mistral-7B-PRM (verifier, 1.5B+7B config). */
+ModelSpec mathShepherd7B();
+
+/** Skywork-o1-Open-PRM-Qwen-2.5-1.5B (verifier, *+1.5B configs). */
+ModelSpec skywork1_5B();
+
+/** Look up a model by short name ("qwen1.5b", "qwen7b", ...). */
+ModelSpec modelByName(const std::string &name);
+
+/**
+ * One generator+verifier pairing from the paper's evaluation, together
+ * with the GPU memory fraction the experiment grants (Sec. 6.1).
+ */
+struct ModelConfig
+{
+    std::string label;      //!< e.g. "1.5B+1.5B".
+    ModelSpec generator;    //!< Policy model producing thinking steps.
+    ModelSpec verifier;     //!< Discriminative PRM scoring each step.
+    double memoryFraction;  //!< Fraction of GPU memory the run may use.
+};
+
+/** Memory-constrained 1.5B generator + 1.5B verifier (40 % memory). */
+ModelConfig config1_5Bplus1_5B();
+
+/** Verifier-heavy 1.5B generator + 7B verifier (90 % memory). */
+ModelConfig config1_5Bplus7B();
+
+/** Generator-heavy 7B generator + 1.5B verifier (90 % memory). */
+ModelConfig config7Bplus1_5B();
+
+/** The three configurations of Sec. 6.1, in paper order. */
+std::vector<ModelConfig> allModelConfigs();
+
+/** Look up a configuration by label ("1.5B+1.5B", ...). */
+ModelConfig modelConfigByLabel(const std::string &label);
+
+} // namespace fasttts
+
+#endif // FASTTTS_MODEL_MODEL_SPEC_H

@@ -1,0 +1,24 @@
+#include "model/verifier.h"
+
+#include <cmath>
+
+namespace fasttts
+{
+
+SyntheticVerifier::SyntheticVerifier(const ModelSpec &spec) : spec_(spec)
+{
+    // Verifier reliability improves with scale: ~0.5 sd at 1.5B,
+    // ~0.32 sd at 7B. This reproduces the accuracy edge of the
+    // verifier-heavy (1.5B+7B) configuration.
+    noiseSd_ =
+        std::max(0.18, 0.50 - 0.25 * std::log10(spec.numParams / 1.5e9));
+}
+
+double
+SyntheticVerifier::scoreStep(double quality, Rng &rng) const
+{
+    const double observed = quality + rng.normal(0.0, noiseSd_);
+    return 1.0 / (1.0 + std::exp(-1.2 * observed));
+}
+
+} // namespace fasttts

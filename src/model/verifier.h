@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic discriminative Process Reward Model (PRM).
+ *
+ * The paper's verifiers (Math-Shepherd-7B, Skywork-1.5B) are sequence
+ * classifiers: one forward pass over a reasoning path yields a score
+ * per intermediate step (Sec. 2.2). The simulator models the score as
+ * a noisy sigmoid observation of the path's latent quality; verifier
+ * scale controls the noise, so a 7B PRM ranks candidates more reliably
+ * than a 1.5B one. Consecutive-step score correlation — the property
+ * Speculative Candidate Selection exploits (Sec. 4.1.1) — arises
+ * naturally because quality is a random walk.
+ */
+
+#ifndef FASTTTS_MODEL_VERIFIER_H
+#define FASTTTS_MODEL_VERIFIER_H
+
+#include "model/model_spec.h"
+#include "util/rng.h"
+
+namespace fasttts
+{
+
+/**
+ * Noisy observer of latent path quality.
+ */
+class SyntheticVerifier
+{
+  public:
+    explicit SyntheticVerifier(const ModelSpec &spec);
+
+    /** Model architecture backing this verifier. */
+    const ModelSpec &spec() const { return spec_; }
+
+    /**
+     * Score one newly generated step.
+     * @param quality Latent quality of the path after the step.
+     * @param rng The beam's verifier RNG stream.
+     * @return PRM score in (0, 1); higher is better.
+     */
+    double scoreStep(double quality, Rng &rng) const;
+
+    /** Observation noise (sd); smaller for larger verifiers. */
+    double noiseSd() const { return noiseSd_; }
+
+  private:
+    ModelSpec spec_;
+    double noiseSd_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_MODEL_VERIFIER_H

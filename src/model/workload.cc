@@ -1,0 +1,123 @@
+#include "model/workload.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fasttts
+{
+
+DatasetProfile
+aime2024()
+{
+    DatasetProfile p;
+    p.name = "AIME";
+    // Calibrated to paper Fig. 3 (right): average step length in the
+    // low hundreds with outliers above 1000 tokens at every step.
+    p.stepLenMu = 4.85;
+    p.stepLenSigma = 0.85;
+    p.minStepTokens = 8;
+    p.maxStepTokens = 1200;
+    p.maxSteps = 12;
+    p.terminalBase = 0.03;
+    p.terminalGrowth = 0.09;
+    p.difficultyMean = 1.5;
+    p.difficultySd = 0.9;
+    p.numAnswers = 100; // AIME answers are integers 0..999; model 100.
+    p.promptTokens = 180;
+    return p;
+}
+
+DatasetProfile
+amc2023()
+{
+    DatasetProfile p;
+    p.name = "AMC";
+    p.stepLenMu = 4.55;
+    p.stepLenSigma = 0.75;
+    p.minStepTokens = 8;
+    p.maxStepTokens = 900;
+    p.maxSteps = 10;
+    p.terminalBase = 0.06;
+    p.terminalGrowth = 0.13;
+    p.difficultyMean = 0.1;
+    p.difficultySd = 0.8;
+    p.numAnswers = 48;
+    p.promptTokens = 140;
+    return p;
+}
+
+DatasetProfile
+math500()
+{
+    DatasetProfile p;
+    p.name = "MATH500";
+    p.stepLenMu = 4.6;
+    p.stepLenSigma = 0.75;
+    p.minStepTokens = 8;
+    p.maxStepTokens = 1000;
+    p.maxSteps = 10;
+    p.terminalBase = 0.05;
+    p.terminalGrowth = 0.12;
+    p.difficultyMean = 0.6;
+    p.difficultySd = 0.8;
+    p.numAnswers = 64;
+    p.promptTokens = 150;
+    return p;
+}
+
+DatasetProfile
+humanEval()
+{
+    DatasetProfile p;
+    p.name = "HumanEval";
+    // Code generation: moderately long steps (function bodies), fewer
+    // but chunkier reasoning steps, binary-ish outcome space widened to
+    // distinct program variants for voting.
+    p.stepLenMu = 4.9;
+    p.stepLenSigma = 0.65;
+    p.minStepTokens = 16;
+    p.maxStepTokens = 1000;
+    p.maxSteps = 8;
+    p.terminalBase = 0.10;
+    p.terminalGrowth = 0.16;
+    p.difficultyMean = 0.5;
+    p.difficultySd = 0.8;
+    p.numAnswers = 32;
+    p.promptTokens = 220;
+    return p;
+}
+
+DatasetProfile
+datasetByName(const std::string &name)
+{
+    if (name == "AMC")
+        return amc2023();
+    if (name == "MATH500")
+        return math500();
+    if (name == "HumanEval")
+        return humanEval();
+    return aime2024();
+}
+
+std::vector<Problem>
+makeProblems(const DatasetProfile &profile, int count, uint64_t seed)
+{
+    Rng rng = Rng(seed).fork(0x9a0b);
+    std::vector<Problem> problems;
+    problems.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        Problem p;
+        p.id = i;
+        p.difficulty =
+            rng.normal(profile.difficultyMean, profile.difficultySd);
+        p.seed = rng.next();
+        p.promptTokens = std::max(
+            16, static_cast<int>(rng.normal(profile.promptTokens,
+                                            profile.promptTokens * 0.2)));
+        problems.push_back(p);
+    }
+    return problems;
+}
+
+} // namespace fasttts

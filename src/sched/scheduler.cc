@@ -1,0 +1,243 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace fasttts
+{
+
+int
+sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b)
+{
+    // Depth-tokens of every ancestor of a, then first hit walking up
+    // from b is the lowest common ancestor.
+    std::unordered_map<int, int> depth_of;
+    int depth = kv.pathTokens(leaf_a);
+    for (int id = leaf_a; id != KvCacheManager::kInvalid;
+         id = kv.parentOf(id)) {
+        depth_of[id] = depth;
+        depth -= kv.nodeTokens(id);
+    }
+    for (int id = leaf_b; id != KvCacheManager::kInvalid;
+         id = kv.parentOf(id)) {
+        auto it = depth_of.find(id);
+        if (it != depth_of.end())
+            return it->second;
+    }
+    return 0;
+}
+
+long
+scheduleSharedPrefixSum(const KvCacheManager &kv,
+                        const std::vector<SchedEntry> &order)
+{
+    long total = 0;
+    for (size_t i = 0; i + 1 < order.size(); ++i)
+        total += sharedPrefixTokens(kv, order[i].leaf, order[i + 1].leaf);
+    return total;
+}
+
+long
+scheduleEvictionCost(const KvCacheManager &kv,
+                     const std::vector<SchedEntry> &order)
+{
+    long total = 0;
+    for (const auto &e : order)
+        total += e.pathTokens;
+    return total - scheduleSharedPrefixSum(kv, order);
+}
+
+namespace
+{
+
+class FifoScheduler : public BeamScheduler
+{
+  public:
+    std::string name() const override { return "fifo"; }
+
+    void
+    order(std::vector<SchedEntry> &entries, const KvCacheManager &kv,
+          Rng &rng) const override
+    {
+        (void)kv;
+        (void)rng;
+        std::sort(entries.begin(), entries.end(),
+                  [](const SchedEntry &a, const SchedEntry &b) {
+                      return a.beamId < b.beamId;
+                  });
+    }
+};
+
+class RandomScheduler : public BeamScheduler
+{
+  public:
+    std::string name() const override { return "random"; }
+
+    void
+    order(std::vector<SchedEntry> &entries, const KvCacheManager &kv,
+          Rng &rng) const override
+    {
+        (void)kv;
+        rng.shuffle(entries);
+    }
+};
+
+/**
+ * Round-robin across sibling groups so adjacent entries almost never
+ * share a parent — close to the minimum achievable prefix sum.
+ */
+class WorstCaseScheduler : public BeamScheduler
+{
+  public:
+    std::string name() const override { return "worst_case"; }
+
+    void
+    order(std::vector<SchedEntry> &entries, const KvCacheManager &kv,
+          Rng &rng) const override
+    {
+        (void)kv;
+        (void)rng;
+        std::map<uint64_t, std::vector<SchedEntry>> groups;
+        for (auto &e : entries)
+            groups[e.parentBeam].push_back(e);
+        entries.clear();
+        bool any = true;
+        size_t round = 0;
+        while (any) {
+            any = false;
+            for (auto &[parent, list] : groups) {
+                if (round < list.size()) {
+                    entries.push_back(list[round]);
+                    any = true;
+                }
+            }
+            ++round;
+        }
+    }
+};
+
+/**
+ * The paper's production policy: beams spawned from the same parent
+ * are contiguous, and parent groups keep the parents' relative order
+ * from the previous iteration (Sec. 4.2, last paragraph). This is
+ * O(n log n) and empirically matches the greedy argmax.
+ */
+class PrefixAwareScheduler : public BeamScheduler
+{
+  public:
+    std::string name() const override { return "prefix_aware"; }
+
+    void
+    order(std::vector<SchedEntry> &entries, const KvCacheManager &kv,
+          Rng &rng) const override
+    {
+        (void)kv;
+        (void)rng;
+        std::stable_sort(entries.begin(), entries.end(),
+                         [](const SchedEntry &a, const SchedEntry &b) {
+                             if (a.prevPosition != b.prevPosition)
+                                 return a.prevPosition < b.prevPosition;
+                             if (a.parentBeam != b.parentBeam)
+                                 return a.parentBeam < b.parentBeam;
+                             return a.beamId < b.beamId;
+                         });
+    }
+};
+
+/**
+ * Literal greedy solution of the Sec. 4.2 optimisation problem:
+ * repeatedly append the unscheduled path with the largest shared
+ * prefix with the last scheduled one (ties: smaller beam id).
+ */
+class GreedyPrefixScheduler : public BeamScheduler
+{
+  public:
+    std::string name() const override { return "greedy_prefix"; }
+
+    void
+    order(std::vector<SchedEntry> &entries, const KvCacheManager &kv,
+          Rng &rng) const override
+    {
+        (void)rng;
+        if (entries.size() <= 2)
+            return;
+        std::vector<SchedEntry> pending = entries;
+        std::vector<SchedEntry> scheduled;
+        scheduled.reserve(entries.size());
+        // Deterministic anchor: smallest beam id first.
+        size_t first = 0;
+        for (size_t i = 1; i < pending.size(); ++i) {
+            if (pending[i].beamId < pending[first].beamId)
+                first = i;
+        }
+        scheduled.push_back(pending[first]);
+        pending.erase(pending.begin() + static_cast<long>(first));
+        while (!pending.empty()) {
+            const SchedEntry &last = scheduled.back();
+            size_t best = 0;
+            int best_shared = -1;
+            for (size_t i = 0; i < pending.size(); ++i) {
+                const int shared =
+                    sharedPrefixTokens(kv, last.leaf, pending[i].leaf);
+                if (shared > best_shared
+                    || (shared == best_shared
+                        && pending[i].beamId < pending[best].beamId)) {
+                    best = i;
+                    best_shared = shared;
+                }
+            }
+            scheduled.push_back(pending[best]);
+            pending.erase(pending.begin() + static_cast<long>(best));
+        }
+        entries = std::move(scheduled);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BeamScheduler>
+makeFifoScheduler()
+{
+    return std::make_unique<FifoScheduler>();
+}
+
+std::unique_ptr<BeamScheduler>
+makeRandomScheduler()
+{
+    return std::make_unique<RandomScheduler>();
+}
+
+std::unique_ptr<BeamScheduler>
+makeWorstCaseScheduler()
+{
+    return std::make_unique<WorstCaseScheduler>();
+}
+
+std::unique_ptr<BeamScheduler>
+makePrefixAwareScheduler()
+{
+    return std::make_unique<PrefixAwareScheduler>();
+}
+
+std::unique_ptr<BeamScheduler>
+makeGreedyPrefixScheduler()
+{
+    return std::make_unique<GreedyPrefixScheduler>();
+}
+
+std::unique_ptr<BeamScheduler>
+makeScheduler(const std::string &name)
+{
+    if (name == "random")
+        return makeRandomScheduler();
+    if (name == "worst_case")
+        return makeWorstCaseScheduler();
+    if (name == "prefix_aware")
+        return makePrefixAwareScheduler();
+    if (name == "greedy_prefix")
+        return makeGreedyPrefixScheduler();
+    return makeFifoScheduler();
+}
+
+} // namespace fasttts

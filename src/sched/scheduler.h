@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generation-phase beam ordering policies (paper Sec. 4.2).
+ *
+ * At each TTS iteration the engine hands the scheduler the list of
+ * active reasoning paths; the scheduler's output order determines how
+ * the list is partitioned into KV-budget-sized batches, and therefore
+ * how much prefix-sharing locality consecutive batches enjoy. The
+ * eviction cost model and the greedy max-shared-prefix policy follow
+ * Sec. 4.2; Random is what vLLM's baseline does (Fig. 18), WorstCase
+ * is the adversarial lower bound.
+ */
+
+#ifndef FASTTTS_SCHED_SCHEDULER_H
+#define FASTTTS_SCHED_SCHEDULER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/kv_cache.h"
+#include "util/rng.h"
+
+namespace fasttts
+{
+
+/** What the scheduler knows about one active beam. */
+struct SchedEntry
+{
+    size_t index = 0;        //!< Position in the engine's active list.
+    uint64_t beamId = 0;     //!< Stable beam identity.
+    uint64_t parentBeam = 0; //!< Beam this one was branched from.
+    int leaf = -1;           //!< KV radix-tree leaf node.
+    int pathTokens = 0;      //!< Context length.
+    int prevPosition = 0;    //!< Parent's position in the previous
+                             //!< iteration's schedule (order carry-over).
+};
+
+/**
+ * Shared-prefix size in tokens between two leaves' root paths — the
+ * P(c_i, c_j) of the paper's objective.
+ */
+int sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b);
+
+/**
+ * Total eviction-cost surrogate of a schedule: sum over adjacent pairs
+ * of (tokens(T_i) - P(T_i, T_i+1)); lower is better. Used by tests and
+ * the Fig. 18 bench.
+ */
+long scheduleEvictionCost(const KvCacheManager &kv,
+                          const std::vector<SchedEntry> &order);
+
+/** Sum of adjacent shared prefixes (the maximisation objective). */
+long scheduleSharedPrefixSum(const KvCacheManager &kv,
+                             const std::vector<SchedEntry> &order);
+
+/**
+ * Ordering policy interface.
+ */
+class BeamScheduler
+{
+  public:
+    virtual ~BeamScheduler() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Reorder entries in place. */
+    virtual void order(std::vector<SchedEntry> &entries,
+                       const KvCacheManager &kv, Rng &rng) const = 0;
+};
+
+/** Arrival-order (beam id) scheduling. */
+std::unique_ptr<BeamScheduler> makeFifoScheduler();
+
+/** Uniform random order — the vLLM baseline of Fig. 18. */
+std::unique_ptr<BeamScheduler> makeRandomScheduler();
+
+/** Adversarial order minimising adjacent prefix sharing. */
+std::unique_ptr<BeamScheduler> makeWorstCaseScheduler();
+
+/**
+ * Dynamic Prefix-Aware Scheduling: greedy argmax of the shared prefix
+ * with the previously scheduled path (Sec. 4.2), implemented — as in
+ * the paper — by grouping beams spawned from the same parent while
+ * preserving the parents' relative order across iterations.
+ */
+std::unique_ptr<BeamScheduler> makePrefixAwareScheduler();
+
+/**
+ * The literal greedy argmax policy (O(n^2) reference implementation);
+ * used by tests to validate that the grouping fast path matches it.
+ */
+std::unique_ptr<BeamScheduler> makeGreedyPrefixScheduler();
+
+/** Construct by name: "fifo", "random", "worst_case", "prefix_aware",
+ *  "greedy_prefix". */
+std::unique_ptr<BeamScheduler> makeScheduler(const std::string &name);
+
+} // namespace fasttts
+
+#endif // FASTTTS_SCHED_SCHEDULER_H

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * The five TTS search methods of paper Fig. 2 / Fig. 11.
+ *
+ * Each is a small Verification-stage (and for VG-Search a
+ * Generation-stage) policy plugged into the common verifier-guided
+ * loop; see search_algorithm.h.
+ */
+
+#include "search/search_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace fasttts
+{
+
+namespace
+{
+
+/** Sort candidate indices by (score desc, beamId asc) for determinism. */
+std::vector<size_t>
+rankCandidates(const std::vector<BeamCandidate> &candidates)
+{
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (candidates[a].score != candidates[b].score)
+            return candidates[a].score > candidates[b].score;
+        return candidates[a].beamId < candidates[b].beamId;
+    });
+    return order;
+}
+
+/** Spread target children evenly over the chosen survivors. */
+SelectionResult
+distributeEvenly(const std::vector<size_t> &survivors,
+                 const std::vector<BeamCandidate> &candidates, int target)
+{
+    SelectionResult result;
+    if (survivors.empty() || target <= 0)
+        return result;
+    const int k = static_cast<int>(survivors.size());
+    const int base = target / k;
+    const int extra = target % k;
+    for (int i = 0; i < k; ++i) {
+        const int children = base + (i < extra ? 1 : 0);
+        if (children > 0)
+            result.expansions.emplace_back(candidates[survivors[i]].index,
+                                           children);
+    }
+    return result;
+}
+
+/**
+ * Classic verifier-guided beam search: keep the global top
+ * ceil(target/B) candidates, replicate each ~B times.
+ */
+class BeamSearch : public SearchAlgorithm
+{
+  public:
+    BeamSearch(int n, int branch_factor, std::string name)
+        : n_(n), branch_(std::max(1, branch_factor)),
+          name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+    int beamWidth() const override { return n_; }
+    int branchFactor() const override { return branch_; }
+
+    SelectionResult
+    select(const std::vector<BeamCandidate> &candidates, int target_width,
+           Rng &rng) const override
+    {
+        (void)rng;
+        if (candidates.empty() || target_width <= 0)
+            return {};
+        const auto order = rankCandidates(candidates);
+        const int keep = std::clamp(
+            (target_width + branch_ - 1) / branch_, 1,
+            static_cast<int>(order.size()));
+        std::vector<size_t> survivors(order.begin(), order.begin() + keep);
+        return distributeEvenly(survivors, candidates, target_width);
+    }
+
+  private:
+    int n_;
+    int branch_;
+    std::string name_;
+};
+
+/**
+ * DVTS (Diverse Verifier Tree Search): the width is split into
+ * independent subtrees; the best candidate of each subtree survives
+ * and replicates, preserving diversity across subtrees.
+ */
+class Dvts : public SearchAlgorithm
+{
+  public:
+    Dvts(int n, int branch_factor)
+        : n_(n), branch_(std::max(1, branch_factor))
+    {}
+
+    std::string name() const override { return "dvts"; }
+    int beamWidth() const override { return n_; }
+    int branchFactor() const override { return branch_; }
+
+    SelectionResult
+    select(const std::vector<BeamCandidate> &candidates, int target_width,
+           Rng &rng) const override
+    {
+        (void)rng;
+        if (candidates.empty() || target_width <= 0)
+            return {};
+        // Best candidate per subtree, subtrees in stable id order.
+        std::map<int, size_t> best;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            auto it = best.find(candidates[i].rootIndex);
+            if (it == best.end()) {
+                best[candidates[i].rootIndex] = i;
+                continue;
+            }
+            const BeamCandidate &cur = candidates[it->second];
+            const BeamCandidate &cand = candidates[i];
+            if (cand.score > cur.score
+                || (cand.score == cur.score && cand.beamId < cur.beamId)) {
+                it->second = i;
+            }
+        }
+        std::vector<size_t> survivors;
+        survivors.reserve(best.size());
+        for (const auto &[root, idx] : best)
+            survivors.push_back(idx);
+        return distributeEvenly(survivors, candidates, target_width);
+    }
+
+  private:
+    int n_;
+    int branch_;
+};
+
+/**
+ * Dynamic branching: per-candidate child counts proportional to a
+ * softmax of verifier scores (paper Fig. 11: "each beam branches
+ * proportionally to its verifier score").
+ */
+class DynamicBranching : public SearchAlgorithm
+{
+  public:
+    DynamicBranching(int n, int max_branch)
+        : n_(n), maxBranch_(std::max(1, max_branch))
+    {}
+
+    std::string name() const override { return "dynamic_branching"; }
+    int beamWidth() const override { return n_; }
+    int branchFactor() const override { return maxBranch_; }
+
+    SelectionResult
+    select(const std::vector<BeamCandidate> &candidates, int target_width,
+           Rng &rng) const override
+    {
+        (void)rng;
+        if (candidates.empty() || target_width <= 0)
+            return {};
+        const double temp = 0.25;
+        std::vector<double> weights(candidates.size());
+        double total = 0;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            weights[i] = std::exp(candidates[i].score / temp);
+            total += weights[i];
+        }
+        // Largest-remainder apportionment of target_width children.
+        std::vector<int> alloc(candidates.size(), 0);
+        std::vector<std::pair<double, size_t>> remainders;
+        int assigned = 0;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            const double exact = target_width * weights[i] / total;
+            alloc[i] = static_cast<int>(exact);
+            assigned += alloc[i];
+            remainders.emplace_back(exact - alloc[i], i);
+        }
+        std::sort(remainders.begin(), remainders.end(),
+                  [&](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return candidates[a.second].beamId
+                          < candidates[b.second].beamId;
+                  });
+        for (size_t r = 0; assigned < target_width && r < remainders.size();
+             ++r, ++assigned) {
+            ++alloc[remainders[r].second];
+        }
+        SelectionResult result;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (alloc[i] > 0)
+                result.expansions.emplace_back(candidates[i].index,
+                                               alloc[i]);
+        }
+        // Degenerate softmax (all weight on pruned rows): keep the top
+        // candidate so the search always progresses.
+        if (result.expansions.empty()) {
+            const auto order = rankCandidates(candidates);
+            result.expansions.emplace_back(candidates[order[0]].index,
+                                           target_width);
+        }
+        return result;
+    }
+
+  private:
+    int n_;
+    int maxBranch_;
+};
+
+/**
+ * Best-of-N: n independent chains, no intermediate pruning; the ORM
+ * (here: final PRM score) picks among completed solutions.
+ */
+class BestOfN : public SearchAlgorithm
+{
+  public:
+    explicit BestOfN(int n) : n_(n) {}
+
+    std::string name() const override { return "best_of_n"; }
+    int beamWidth() const override { return n_; }
+    int branchFactor() const override { return 1; }
+
+    SelectionResult
+    select(const std::vector<BeamCandidate> &candidates, int target_width,
+           Rng &rng) const override
+    {
+        (void)rng;
+        (void)target_width;
+        SelectionResult result;
+        // Every chain continues independently with one child.
+        for (const auto &c : candidates)
+            result.expansions.emplace_back(c.index, 1);
+        return result;
+    }
+
+  private:
+    int n_;
+};
+
+/**
+ * VG-Search (varying granularity): beam-search selection with a
+ * step-length cap that starts fine (64 tokens for the first 3 steps)
+ * and relaxes to 2048 afterwards, per the Fig. 11 configuration.
+ */
+class VaryingGranularity : public BeamSearch
+{
+  public:
+    VaryingGranularity(int n, int branch_factor)
+        : BeamSearch(n, branch_factor, "varying_granularity")
+    {}
+
+    int
+    stepTokenCap(int step_index) const override
+    {
+        return step_index < 3 ? 64 : 2048;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<SearchAlgorithm>
+makeBestOfN(int n)
+{
+    return std::make_unique<BestOfN>(n);
+}
+
+std::unique_ptr<SearchAlgorithm>
+makeBeamSearch(int n, int branch_factor)
+{
+    return std::make_unique<BeamSearch>(n, branch_factor, "beam_search");
+}
+
+std::unique_ptr<SearchAlgorithm>
+makeDvts(int n, int branch_factor)
+{
+    return std::make_unique<Dvts>(n, branch_factor);
+}
+
+std::unique_ptr<SearchAlgorithm>
+makeDynamicBranching(int n, int max_branch)
+{
+    return std::make_unique<DynamicBranching>(n, max_branch);
+}
+
+std::unique_ptr<SearchAlgorithm>
+makeVaryingGranularity(int n, int branch_factor)
+{
+    return std::make_unique<VaryingGranularity>(n, branch_factor);
+}
+
+std::unique_ptr<SearchAlgorithm>
+makeAlgorithm(const std::string &name, int n, int branch_factor)
+{
+    if (name == "best_of_n")
+        return makeBestOfN(n);
+    if (name == "dvts")
+        return makeDvts(n, branch_factor);
+    if (name == "dynamic_branching")
+        return makeDynamicBranching(n, branch_factor);
+    if (name == "varying_granularity")
+        return makeVaryingGranularity(n, branch_factor);
+    return makeBeamSearch(n, branch_factor);
+}
+
+} // namespace fasttts

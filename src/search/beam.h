@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reasoning-beam state shared by the search algorithms and the engine.
+ *
+ * A beam is one active reasoning path in the verifier-guided search
+ * tree (paper Sec. 3.1). Beams carry deterministic RNG stream seeds
+ * derived from their lineage so that a baseline run and a FastTTS run
+ * with the same seeds sample identical step lengths, qualities,
+ * terminal decisions and answers — the paper's *algorithmic
+ * equivalence* guarantee, which the property tests verify.
+ */
+
+#ifndef FASTTTS_SEARCH_BEAM_H
+#define FASTTTS_SEARCH_BEAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * One reasoning path.
+ */
+struct Beam
+{
+    uint64_t id = 0;          //!< Globally unique beam id.
+    uint64_t streamSeed = 0;  //!< Deterministic RNG lineage seed.
+    int rootIndex = 0;        //!< Initial-beam index (DVTS subtree id).
+    int leaf = -1;            //!< KvCacheManager node of the newest step.
+    int steps = 0;            //!< Completed (verified) thinking steps.
+
+    double quality = 0;       //!< Latent quality after last step.
+    double score = 0.5;       //!< PRM score of the last verified step.
+    double prevScore = 0.5;   //!< Score one step earlier (spec bins).
+
+    bool terminal = false;    //!< Reached a final answer.
+    int answer = -1;          //!< Sampled answer (0 = correct).
+
+    long totalTokens = 0;     //!< Verified tokens generated so far.
+
+    // --- Speculative Beam Extension state (Sec. 4.1) ---
+    int specTokens = 0;       //!< Tokens generated beyond the verified
+                              //!< frontier by speculation.
+    bool specComplete = false; //!< Speculation finished a whole step.
+    double specQuality = 0;   //!< Quality of the speculated step.
+    bool specTerminal = false; //!< Speculated step ended the path.
+    int headStartTokens = 0;  //!< Tokens of the next step already
+                              //!< materialised (from kept speculation).
+
+    // --- Timing (for Precise Goodput) ---
+    double spawnTime = 0;     //!< Clock when the beam became active.
+    double finishTime = 0;    //!< Clock when it completed.
+};
+
+/**
+ * Read-only view of a candidate the search algorithm selects over.
+ * Deliberately excludes speculative state: selection must not observe
+ * speculation (algorithmic equivalence).
+ */
+struct BeamCandidate
+{
+    size_t index = 0;     //!< Position in the engine's active list.
+    double score = 0;     //!< PRM score of the newest verified step.
+    double prevScore = 0; //!< Previous step's score.
+    int rootIndex = 0;    //!< Subtree identity (DVTS grouping).
+    int steps = 0;        //!< Completed steps.
+    uint64_t beamId = 0;  //!< Stable id for deterministic tie-breaks.
+};
+
+/**
+ * Outcome of the verification/selection stage: which candidates
+ * survive and how many children each spawns.
+ */
+struct SelectionResult
+{
+    /** (candidate index, number of children >= 1) per survivor. */
+    std::vector<std::pair<size_t, int>> expansions;
+
+    /** Total children across all survivors. */
+    int
+    totalChildren() const
+    {
+        int total = 0;
+        for (const auto &[idx, k] : expansions)
+            total += k;
+        return total;
+    }
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_SEARCH_BEAM_H

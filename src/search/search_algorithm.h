@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The verifier-guided search abstraction (paper Sec. 3.1).
+ *
+ * All mainstream TTS methods share a two-stage loop — Generation of a
+ * thinking step per active beam, then Verification and selection — and
+ * differ only in the heuristics applied at each stage. SearchAlgorithm
+ * captures exactly those two hooks: select() implements the
+ * Verification-stage policy (which beams replicate, which are pruned)
+ * and stepTokenCap() the Generation-stage policy (verification
+ * granularity).
+ */
+
+#ifndef FASTTTS_SEARCH_SEARCH_ALGORITHM_H
+#define FASTTTS_SEARCH_SEARCH_ALGORITHM_H
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/beam.h"
+#include "util/rng.h"
+
+namespace fasttts
+{
+
+/**
+ * Interface every TTS search method implements.
+ */
+class SearchAlgorithm
+{
+  public:
+    virtual ~SearchAlgorithm() = default;
+
+    /** Human-readable method name (used in bench output). */
+    virtual std::string name() const = 0;
+
+    /** Search width n: target number of concurrently active beams. */
+    virtual int beamWidth() const = 0;
+
+    /**
+     * Branching factor B used for score-bin construction in
+     * Speculative Candidate Selection (Sec. 4.1.1). Methods without a
+     * static factor report their typical value.
+     */
+    virtual int branchFactor() const = 0;
+
+    /**
+     * Verification-stage policy: given the scored, non-terminal
+     * candidates, choose survivors and per-survivor child counts.
+     * Candidates arrive in engine order; implementations must be
+     * deterministic given (candidates, rng state).
+     * @param target_width Children to produce in total (engine shrinks
+     *        this as paths complete).
+     */
+    virtual SelectionResult select(
+        const std::vector<BeamCandidate> &candidates, int target_width,
+        Rng &rng) const = 0;
+
+    /**
+     * Generation-stage policy: maximum tokens a thinking step may emit
+     * at the given step index (varying verification granularity,
+     * VG-Search). Unlimited by default.
+     */
+    virtual int
+    stepTokenCap(int step_index) const
+    {
+        (void)step_index;
+        return std::numeric_limits<int>::max();
+    }
+};
+
+/** Factory helpers (definitions in algorithms.cc). */
+std::unique_ptr<SearchAlgorithm> makeBestOfN(int n);
+std::unique_ptr<SearchAlgorithm> makeBeamSearch(int n, int branch_factor);
+std::unique_ptr<SearchAlgorithm> makeDvts(int n, int branch_factor);
+std::unique_ptr<SearchAlgorithm> makeDynamicBranching(int n,
+                                                      int max_branch);
+std::unique_ptr<SearchAlgorithm> makeVaryingGranularity(int n,
+                                                        int branch_factor);
+
+/**
+ * Construct by name: "best_of_n", "beam_search", "dvts",
+ * "dynamic_branching", "varying_granularity".
+ */
+std::unique_ptr<SearchAlgorithm> makeAlgorithm(const std::string &name,
+                                               int n,
+                                               int branch_factor = 4);
+
+} // namespace fasttts
+
+#endif // FASTTTS_SEARCH_SEARCH_ALGORITHM_H

@@ -1,0 +1,78 @@
+#include "sim/device.h"
+
+#include "util/units.h"
+
+namespace fasttts
+{
+
+DeviceSpec
+rtx4090()
+{
+    DeviceSpec d;
+    d.name = "RTX4090";
+    d.vramBytes = 24.0 * GiB;
+    d.peakFlops = 165.0 * TFLOPS;
+    d.memBandwidth = 1008.0 * GBps;
+    d.pcieBandwidth = 25.0 * GBps; // PCIe 4.0 x16 effective
+    d.usableFraction = 0.95;
+    return d;
+}
+
+DeviceSpec
+rtx4070Ti()
+{
+    DeviceSpec d;
+    d.name = "RTX4070Ti";
+    d.vramBytes = 12.0 * GiB;
+    d.peakFlops = 80.0 * TFLOPS;
+    d.memBandwidth = 504.0 * GBps;
+    d.pcieBandwidth = 25.0 * GBps;
+    d.usableFraction = 0.95;
+    return d;
+}
+
+DeviceSpec
+rtx3070Ti()
+{
+    DeviceSpec d;
+    d.name = "RTX3070Ti";
+    d.vramBytes = 8.0 * GiB;
+    d.peakFlops = 44.0 * TFLOPS;
+    d.memBandwidth = 608.0 * GBps;
+    d.pcieBandwidth = 25.0 * GBps;
+    d.usableFraction = 0.95;
+    return d;
+}
+
+DeviceSpec
+cloudA100()
+{
+    DeviceSpec d;
+    d.name = "CloudA100";
+    d.vramBytes = 80.0 * GiB;
+    d.peakFlops = 312.0 * TFLOPS;
+    d.memBandwidth = 2039.0 * GBps;
+    d.pcieBandwidth = 64.0 * GBps;
+    d.usableFraction = 0.95;
+    return d;
+}
+
+DeviceSpec
+deviceByName(const std::string &name)
+{
+    if (name == "RTX4070Ti")
+        return rtx4070Ti();
+    if (name == "RTX3070Ti")
+        return rtx3070Ti();
+    if (name == "CloudA100")
+        return cloudA100();
+    return rtx4090();
+}
+
+std::vector<DeviceSpec>
+allEdgeDevices()
+{
+    return {rtx4090(), rtx4070Ti(), rtx3070Ti()};
+}
+
+} // namespace fasttts

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Edge-GPU device descriptions for the roofline substrate.
+ *
+ * The paper evaluates on consumer GPUs (RTX 4090 24 GB primary platform,
+ * RTX 4070 Ti 12 GB and RTX 3070 Ti 8 GB for Sec. 6.4). The simulator
+ * replaces the physical device with a parameterised roofline: peak
+ * tensor compute, HBM bandwidth, VRAM capacity, and PCIe bandwidth for
+ * the offloading strategy of Sec. 4.3.2.
+ */
+
+#ifndef FASTTTS_SIM_DEVICE_H
+#define FASTTTS_SIM_DEVICE_H
+
+#include <string>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * A roofline description of one accelerator.
+ *
+ * All fields are in SI base units (bytes, FLOP/s, bytes/s). The
+ * usableFraction models the memory the serving stack may actually
+ * allocate after CUDA context / framework overhead, mirroring the
+ * paper's gpu_memory_utilization knob.
+ */
+struct DeviceSpec
+{
+    std::string name;          //!< Marketing name, e.g. "RTX4090".
+    double vramBytes = 0;      //!< Total device memory.
+    double peakFlops = 0;      //!< Peak dense FP16 tensor throughput.
+    double memBandwidth = 0;   //!< Peak DRAM bandwidth.
+    double pcieBandwidth = 0;  //!< Host<->device transfer bandwidth.
+    double usableFraction = 1; //!< Fraction of VRAM usable by serving.
+
+    /** Bytes the serving system may allocate (weights + KV + reserve). */
+    double usableBytes() const { return vramBytes * usableFraction; }
+
+    /** Machine balance point (FLOP per byte) of the roofline. */
+    double ridgeFlopsPerByte() const { return peakFlops / memBandwidth; }
+};
+
+/** NVIDIA GeForce RTX 4090: 24 GB, ~165 TFLOPS FP16, ~1 TB/s. */
+DeviceSpec rtx4090();
+
+/** NVIDIA GeForce RTX 4070 Ti: 12 GB, ~80 TFLOPS FP16, ~504 GB/s. */
+DeviceSpec rtx4070Ti();
+
+/** NVIDIA GeForce RTX 3070 Ti: 8 GB, ~44 TFLOPS FP16, ~608 GB/s. */
+DeviceSpec rtx3070Ti();
+
+/** A cloud-class reference accelerator (A100-like), for Fig. 1b. */
+DeviceSpec cloudA100();
+
+/**
+ * Look up a device by name ("RTX4090", "RTX4070Ti", "RTX3070Ti",
+ * "CloudA100"); returns rtx4090() for unknown names.
+ */
+DeviceSpec deviceByName(const std::string &name);
+
+/** All edge devices the evaluation sweeps over. */
+std::vector<DeviceSpec> allEdgeDevices();
+
+} // namespace fasttts
+
+#endif // FASTTTS_SIM_DEVICE_H

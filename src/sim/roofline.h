@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Roofline latency model for transformer prefill and decode.
+ *
+ * Sec. 4.3.1 of the paper estimates per-batch latency as
+ * T = max(FLOPs / P, Bytes / BW). We use the same model as the
+ * simulation substrate, so the Asymmetric Memory Allocation search and
+ * the simulated engine agree by construction on single-batch latency,
+ * while end-to-end effects (stragglers, eviction recompute, phase
+ * interleaving) emerge from the event loop built on top.
+ *
+ * The key property the model must reproduce (paper Fig. 6): prefill is
+ * compute-bound and saturates with little KV memory, while decode is
+ * bandwidth-bound and needs 5-10x more memory to reach the same
+ * relative throughput. Both follow directly from the FLOP and byte
+ * counts of the two phases.
+ */
+
+#ifndef FASTTTS_SIM_ROOFLINE_H
+#define FASTTTS_SIM_ROOFLINE_H
+
+#include "model/model_spec.h"
+#include "sim/device.h"
+
+namespace fasttts
+{
+
+/**
+ * Roofline cost model bound to one device.
+ */
+class RooflineModel
+{
+  public:
+    /**
+     * @param device Device roofline parameters.
+     * @param compute_eff Fraction of peak FLOPs dense kernels achieve.
+     * @param bw_eff Fraction of peak bandwidth streaming achieves.
+     * @param step_overhead Fixed per-kernel-launch overhead (seconds),
+     *        charged once per decode step / prefill pass.
+     */
+    explicit RooflineModel(const DeviceSpec &device,
+                           double compute_eff = 0.55,
+                           double bw_eff = 0.80,
+                           double step_overhead = 2e-4);
+
+    /** The device this model is bound to. */
+    const DeviceSpec &device() const { return device_; }
+
+    /** FLOPs of one decode step for a batch (weights + attention). */
+    double decodeFlops(const ModelSpec &m, int batch, double avg_ctx) const;
+
+    /** Bytes moved by one decode step (weights + KV read/write). */
+    double decodeBytes(const ModelSpec &m, int batch, double avg_ctx) const;
+
+    /**
+     * Wall time of one decode step: every sequence in the batch emits
+     * one token.
+     * @param avg_ctx Average context length whose KV must be read.
+     */
+    double decodeStepTime(const ModelSpec &m, int batch,
+                          double avg_ctx) const;
+
+    /** FLOPs of a full prefill pass over batch x seq_len tokens. */
+    double prefillFlops(const ModelSpec &m, int batch, double seq_len) const;
+
+    /** Bytes moved by a prefill pass (weights + KV write). */
+    double prefillBytes(const ModelSpec &m, int batch, double seq_len) const;
+
+    /** Wall time of one prefill pass of batch sequences of seq_len. */
+    double prefillTime(const ModelSpec &m, int batch, double seq_len) const;
+
+    /**
+     * Marginal time to re-prefill evicted KV piggybacked on a running
+     * decode batch (vLLM chunked prefill): the weights are already
+     * being streamed every decode step, so the recompute pays only its
+     * compute and its KV writes.
+     */
+    double chunkedRecomputeTime(const ModelSpec &m, double tokens) const;
+
+    /**
+     * Compute (tensor-core) utilization during a decode step: the
+     * fraction of peak FLOPs the active batch keeps busy. Mirrors the
+     * Nsight metric of paper Fig. 4 / Fig. 17.
+     */
+    double decodeComputeUtil(const ModelSpec &m, int batch,
+                             double avg_ctx) const;
+
+    /** Compute utilization during a prefill pass. */
+    double prefillComputeUtil(const ModelSpec &m, int batch,
+                              double seq_len) const;
+
+    /** Host<->device transfer time for the offloading strategy. */
+    double transferTime(double bytes) const;
+
+    /** Effective sustained compute rate (FLOP/s). */
+    double effectiveFlops() const { return device_.peakFlops * computeEff_; }
+
+    /** Effective sustained bandwidth (bytes/s). */
+    double
+    effectiveBandwidth() const
+    {
+        return device_.memBandwidth * bwEff_;
+    }
+
+    /**
+     * Decode-kernel occupancy: small batches cannot saturate HBM
+     * (latency-bound lanes, launch gaps), which is exactly why a
+     * draining batch wastes the GPU (paper Fig. 4) and why keeping the
+     * batch full with speculative work pays (Sec. 4.1). Returns the
+     * achieved fraction of effective bandwidth, in (0, 1].
+     */
+    static double
+    decodeOccupancy(int batch)
+    {
+        return batch <= 0 ? 1.0
+                          : static_cast<double>(batch) / (batch + 3.0);
+    }
+
+  private:
+    DeviceSpec device_;
+    double computeEff_;
+    double bwEff_;
+    double stepOverhead_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_SIM_ROOFLINE_H

@@ -1,0 +1,84 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fasttts
+{
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Generation:
+        return "generation";
+      case Phase::Verification:
+        return "verification";
+      case Phase::Recompute:
+        return "recompute";
+      case Phase::Transfer:
+        return "transfer";
+      case Phase::Idle:
+        return "idle";
+    }
+    return "unknown";
+}
+
+void
+SimClock::advance(double duration, Phase phase, double compute_util,
+                  int active, int total)
+{
+    assert(duration >= 0.0);
+    if (duration <= 0.0)
+        return;
+    if (traceEnabled_) {
+        TimelineSegment seg;
+        seg.start = now_;
+        seg.duration = duration;
+        seg.phase = phase;
+        seg.computeUtil = compute_util;
+        seg.activeSlots = active;
+        seg.totalSlots = total < 0 ? active : total;
+        trace_.push_back(seg);
+    }
+    phaseTotals_[static_cast<int>(phase)] += duration;
+    now_ += duration;
+}
+
+double
+SimClock::phaseTime(Phase phase) const
+{
+    return phaseTotals_[static_cast<int>(phase)];
+}
+
+std::vector<double>
+SimClock::sampleUtilization(double dt, double t_end) const
+{
+    if (t_end < 0)
+        t_end = now_;
+    std::vector<double> samples;
+    if (dt <= 0 || t_end <= 0)
+        return samples;
+    samples.reserve(static_cast<size_t>(t_end / dt) + 1);
+    size_t seg = 0;
+    for (double t = 0; t < t_end; t += dt) {
+        while (seg < trace_.size()
+               && trace_[seg].start + trace_[seg].duration <= t) {
+            ++seg;
+        }
+        if (seg < trace_.size() && trace_[seg].start <= t)
+            samples.push_back(trace_[seg].computeUtil);
+        else
+            samples.push_back(0.0);
+    }
+    return samples;
+}
+
+void
+SimClock::discardTrace()
+{
+    trace_.clear();
+    trace_.shrink_to_fit();
+}
+
+} // namespace fasttts

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulated clock and GPU-utilization timeline.
+ *
+ * The engine advances a single logical clock; phases (generation,
+ * verification, transfer) annotate each advance, and the timeline
+ * records compute utilization so the bench harnesses can regenerate
+ * the Nsight-style traces of paper Fig. 4 and Fig. 17.
+ */
+
+#ifndef FASTTTS_SIM_TIMELINE_H
+#define FASTTTS_SIM_TIMELINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fasttts
+{
+
+/** Execution phase tags for timeline segments. */
+enum class Phase
+{
+    Generation,   //!< Generator decode steps.
+    Verification, //!< Verifier prefill passes.
+    Recompute,    //!< Prefill re-building evicted KV prefixes.
+    Transfer,     //!< Host<->device offload traffic.
+    Idle,         //!< Bubble (no work scheduled).
+};
+
+/** Human-readable phase name. */
+const char *phaseName(Phase phase);
+
+/** One homogeneous stretch of simulated execution. */
+struct TimelineSegment
+{
+    double start = 0;      //!< Segment start (seconds).
+    double duration = 0;   //!< Segment length (seconds).
+    Phase phase = Phase::Idle;
+    double computeUtil = 0; //!< Fraction of peak FLOPs busy [0, 1].
+    int activeSlots = 0;    //!< Sequences actually decoding.
+    int totalSlots = 0;     //!< Batch capacity during the segment.
+};
+
+/**
+ * Monotonic simulated clock with an attached utilization trace.
+ */
+class SimClock
+{
+  public:
+    /** Current simulated time in seconds. */
+    double now() const { return now_; }
+
+    /**
+     * Advance the clock, logging one segment.
+     * @param duration Seconds to advance (>= 0).
+     * @param phase Phase tag for the segment.
+     * @param compute_util Compute utilization during the segment.
+     * @param active Active sequences (decode) or batch (prefill).
+     * @param total Slot capacity; defaults to active.
+     */
+    void advance(double duration, Phase phase, double compute_util = 0.0,
+                 int active = 0, int total = -1);
+
+    /** Total recorded time in a phase. */
+    double phaseTime(Phase phase) const;
+
+    /** Whole trace, in time order. */
+    const std::vector<TimelineSegment> &segments() const { return trace_; }
+
+    /**
+     * Sample compute utilization on a fixed grid (for plotting). The
+     * value at each sample is the utilization of the segment covering
+     * that instant, 0 if none.
+     * @param dt Sample spacing in seconds.
+     * @param t_end Sample up to this time (default: now()).
+     */
+    std::vector<double> sampleUtilization(double dt,
+                                          double t_end = -1.0) const;
+
+    /** Drop the trace but keep the clock (saves memory on long runs). */
+    void discardTrace();
+
+    /** Disable trace recording entirely (clock still advances). */
+    void setTraceEnabled(bool enabled) { traceEnabled_ = enabled; }
+
+  private:
+    double now_ = 0;
+    bool traceEnabled_ = true;
+    std::vector<TimelineSegment> trace_;
+    double phaseTotals_[5] = {0, 0, 0, 0, 0};
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_SIM_TIMELINE_H

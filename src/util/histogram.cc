@@ -1,0 +1,128 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fasttts
+{
+
+void
+SummaryStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+SummaryStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : lo_(lo), hi_(hi), bins_(std::max<size_t>(num_bins, 1), 0)
+{
+    assert(hi > lo);
+    width_ = (hi_ - lo_) / static_cast<double>(bins_.size());
+}
+
+void
+Histogram::add(double value)
+{
+    double idx = (value - lo_) / width_;
+    long bin = static_cast<long>(std::floor(idx));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(bins_.size()) - 1);
+    ++bins_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(total_);
+    double cum = 0.0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        const double next = cum + static_cast<double>(bins_[i]);
+        if (next >= target && bins_[i] > 0) {
+            const double frac =
+                (target - cum) / static_cast<double>(bins_[i]);
+            return binLo(i) + frac * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+double
+Histogram::binLo(size_t bin) const
+{
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::binHi(size_t bin) const
+{
+    return binLo(bin) + width_;
+}
+
+std::string
+Histogram::sparkline() const
+{
+    static const char *levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    size_t peak = 0;
+    for (size_t c : bins_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (size_t c : bins_) {
+        size_t level = 0;
+        if (peak > 0)
+            level = (c * 7 + peak - 1) / peak;
+        out += levels[std::min<size_t>(level, 7)];
+    }
+    return out;
+}
+
+} // namespace fasttts

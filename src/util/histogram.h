@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Streaming summary statistics and a fixed-bin histogram.
+ *
+ * Used by the metrics layer and the bench harnesses to report the
+ * step-length and utilization distributions the paper plots (Fig. 3
+ * right, Fig. 4, Fig. 17).
+ */
+
+#ifndef FASTTTS_UTIL_HISTOGRAM_H
+#define FASTTTS_UTIL_HISTOGRAM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * Online mean / variance / extrema accumulator (Welford's algorithm).
+ */
+class SummaryStats
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Merge another accumulator into this one. */
+    void merge(const SummaryStats &other);
+
+    /** Number of observations. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean, 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance, 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Minimum observed value, 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Maximum observed value, 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-width binned histogram over [lo, hi).
+ *
+ * Out-of-range samples are clamped into the terminal bins so that counts
+ * are never lost; percentile queries interpolate within bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed lo.
+     * @param num_bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, size_t num_bins);
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Count in a bin. */
+    size_t binCount(size_t bin) const { return bins_[bin]; }
+
+    /** Number of bins. */
+    size_t numBins() const { return bins_.size(); }
+
+    /** Total observations. */
+    size_t total() const { return total_; }
+
+    /** Approximate p-quantile (0 <= p <= 1) by linear interpolation. */
+    double quantile(double p) const;
+
+    /** Lower edge of a bin. */
+    double binLo(size_t bin) const;
+
+    /** Upper edge of a bin. */
+    double binHi(size_t bin) const;
+
+    /** Render a compact ASCII sparkline of bin densities. */
+    std::string sparkline() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<size_t> bins_;
+    size_t total_ = 0;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_UTIL_HISTOGRAM_H

@@ -1,0 +1,149 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace fasttts
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed)
+{
+    uint64_t state = seed;
+    for (auto &s : s_)
+        s = splitMix64(state);
+    // Avoid the theoretically possible all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa construction gives uniform doubles in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Guard against log(0).
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double sd)
+{
+    return mean + sd * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    double u = uniform();
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u) / rate;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+int
+Rng::categorical(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return 0;
+    double target = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+uint64_t
+Rng::mix(uint64_t seed, uint64_t stream_id)
+{
+    uint64_t state = seed ^ (0xd1342543de82ef95ULL * (stream_id + 1));
+    return splitMix64(state);
+}
+
+Rng
+Rng::fork(uint64_t stream_id) const
+{
+    return Rng(mix(seed_, stream_id));
+}
+
+} // namespace fasttts

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench harnesses.
+ *
+ * Every bench binary regenerates one paper figure by printing the same
+ * rows/series the paper reports; Table gives them a uniform, aligned
+ * format, and an optional CSV mirror makes the output easy to re-plot.
+ */
+
+#ifndef FASTTTS_UTIL_TABLE_H
+#define FASTTTS_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * Column-aligned ASCII table with a title and optional caption.
+ */
+class Table
+{
+  public:
+    /** @param title Printed above the table body. */
+    explicit Table(std::string title);
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a pre-formatted row; short rows are padded with "". */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row of doubles formatted with the given precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    /** Free-text note printed under the table (paper expectation etc.). */
+    void setCaption(std::string caption);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Write a CSV version of the table body to the given path. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for bench output). */
+std::string formatDouble(double value, int precision = 2);
+
+} // namespace fasttts
+
+#endif // FASTTTS_UTIL_TABLE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator.
+ *
+ * All quantities in the code base use SI base units: bytes, seconds and
+ * FLOP/s. These constexpr helpers keep magic powers of two out of the
+ * model and bench code.
+ */
+
+#ifndef FASTTTS_UTIL_UNITS_H
+#define FASTTTS_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace fasttts
+{
+
+/** Kibibyte in bytes. */
+constexpr double KiB = 1024.0;
+/** Mebibyte in bytes. */
+constexpr double MiB = 1024.0 * KiB;
+/** Gibibyte in bytes. */
+constexpr double GiB = 1024.0 * MiB;
+
+/** 10^9 FLOP/s. */
+constexpr double GFLOPS = 1e9;
+/** 10^12 FLOP/s. */
+constexpr double TFLOPS = 1e12;
+
+/** 10^9 bytes/s (vendor-style bandwidth figure). */
+constexpr double GBps = 1e9;
+
+/** Convert bytes to GiB for reporting. */
+constexpr double
+toGiB(double bytes)
+{
+    return bytes / GiB;
+}
+
+/** Milliseconds from seconds, for reporting. */
+constexpr double
+toMs(double seconds)
+{
+    return seconds * 1e3;
+}
+
+} // namespace fasttts
+
+#endif // FASTTTS_UTIL_UNITS_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the answer-aggregation metrics (Top-1 majority voting and
+ * Pass@N) and the goodput/latency aggregates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/accuracy.h"
+#include "metrics/request_metrics.h"
+
+namespace fasttts
+{
+namespace
+{
+
+CompletedSolution
+sol(int answer, double score, long tokens = 100)
+{
+    CompletedSolution s;
+    s.answer = answer;
+    s.score = score;
+    s.tokens = tokens;
+    return s;
+}
+
+TEST(MajorityVote, EmptyReturnsMinusOne)
+{
+    EXPECT_EQ(majorityVoteAnswer({}), -1);
+    EXPECT_FALSE(top1Correct({}));
+}
+
+TEST(MajorityVote, PicksMostFrequent)
+{
+    const std::vector<CompletedSolution> s = {
+        sol(3, 0.5), sol(3, 0.5), sol(7, 0.9)};
+    EXPECT_EQ(majorityVoteAnswer(s), 3);
+    EXPECT_FALSE(top1Correct(s));
+}
+
+TEST(MajorityVote, CorrectWins)
+{
+    const std::vector<CompletedSolution> s = {
+        sol(0, 0.5), sol(0, 0.5), sol(7, 0.9)};
+    EXPECT_TRUE(top1Correct(s));
+}
+
+TEST(MajorityVote, TieBrokenByScoreSum)
+{
+    const std::vector<CompletedSolution> s = {
+        sol(2, 0.4), sol(2, 0.4), sol(5, 0.9), sol(5, 0.8)};
+    EXPECT_EQ(majorityVoteAnswer(s), 5);
+}
+
+TEST(MajorityVote, FullTieBrokenBySmallerAnswer)
+{
+    const std::vector<CompletedSolution> s = {sol(4, 0.5), sol(2, 0.5)};
+    EXPECT_EQ(majorityVoteAnswer(s), 2);
+}
+
+TEST(PassAtN, TopNByVerifierScore)
+{
+    // Correct answer exists but ranks third by score.
+    const std::vector<CompletedSolution> s = {
+        sol(5, 0.9), sol(7, 0.8), sol(0, 0.7), sol(9, 0.6)};
+    EXPECT_FALSE(passAtN(s, 1));
+    EXPECT_FALSE(passAtN(s, 2));
+    EXPECT_TRUE(passAtN(s, 3));
+    EXPECT_TRUE(passAtN(s, 4));
+    EXPECT_TRUE(passAtN(s, 100)); // N beyond size is fine.
+}
+
+TEST(PassAtN, NoCorrectAnswerNeverPasses)
+{
+    const std::vector<CompletedSolution> s = {sol(5, 0.9), sol(7, 0.8)};
+    EXPECT_FALSE(passAtN(s, 2));
+}
+
+TEST(PassAtN, EmptyFails)
+{
+    EXPECT_FALSE(passAtN({}, 4));
+}
+
+TEST(PassAtN, MonotoneInN)
+{
+    const std::vector<CompletedSolution> s = {
+        sol(5, 0.9), sol(0, 0.2), sol(7, 0.8), sol(3, 0.5)};
+    bool prev = false;
+    for (size_t n = 1; n <= s.size(); ++n) {
+        const bool now = passAtN(s, n);
+        EXPECT_TRUE(!prev || now); // Once true, stays true.
+        prev = now;
+    }
+}
+
+TEST(RequestMetrics, PreciseGoodputDefinition)
+{
+    RequestResult r;
+    r.completedBeams = 4;
+    r.avgBeamTokens = 800;
+    r.avgBeamCompletion = 10;
+    EXPECT_DOUBLE_EQ(r.preciseGoodput(), 80.0);
+}
+
+TEST(RequestMetrics, GoodputZeroWhenNoBeams)
+{
+    RequestResult r;
+    EXPECT_DOUBLE_EQ(r.preciseGoodput(), 0.0);
+}
+
+TEST(RequestMetrics, MeansAcrossRequests)
+{
+    RequestResult a;
+    a.completionTime = 10;
+    a.generatorTime = 6;
+    a.verifierTime = 4;
+    a.completedBeams = 1;
+    a.avgBeamTokens = 100;
+    a.avgBeamCompletion = 10;
+    RequestResult b;
+    b.completionTime = 20;
+    b.generatorTime = 12;
+    b.verifierTime = 8;
+    b.completedBeams = 1;
+    b.avgBeamTokens = 300;
+    b.avgBeamCompletion = 10;
+    const std::vector<RequestResult> rs = {a, b};
+    EXPECT_DOUBLE_EQ(meanCompletionTime(rs), 15.0);
+    EXPECT_DOUBLE_EQ(meanGeneratorTime(rs), 9.0);
+    EXPECT_DOUBLE_EQ(meanVerifierTime(rs), 6.0);
+    EXPECT_DOUBLE_EQ(meanGoodput(rs), (10.0 + 30.0) / 2);
+}
+
+TEST(RequestMetrics, EmptyMeansAreZero)
+{
+    EXPECT_DOUBLE_EQ(meanGoodput({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanCompletionTime({}), 0.0);
+}
+
+} // namespace
+} // namespace fasttts

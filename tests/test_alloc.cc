@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the memory planners (Sec. 4.3): the roofline-guided linear
+ * search, the budget-boundary property (Eq. 1), tie-breaking, and the
+ * offloading dual strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/memory_planner.h"
+#include "util/units.h"
+
+namespace fasttts
+{
+namespace
+{
+
+class AllocTest : public ::testing::Test
+{
+  protected:
+    AllocTest()
+        : roofline_(rtx4090()), gen_(qwen25Math1_5B()),
+          ver_(mathShepherd7B())
+    {
+        shape_.numRequests = 64;
+        shape_.verifierSeqLen = 1200;
+        shape_.verifierReqLen = 200;
+        shape_.decodeLen = 180;
+        shape_.avgCacheLen = 900;
+    }
+
+    RooflineModel roofline_;
+    ModelSpec gen_;
+    ModelSpec ver_;
+    WorkloadShape shape_;
+};
+
+TEST_F(AllocTest, StaticSplitsEvenly)
+{
+    auto planner = makeStaticPlanner(gen_, ver_, roofline_);
+    const auto plan = planner->plan(shape_, 4 * GiB);
+    EXPECT_DOUBLE_EQ(plan.generatorKvBytes, 2 * GiB);
+    EXPECT_DOUBLE_EQ(plan.verifierKvBytes, 2 * GiB);
+    EXPECT_FALSE(plan.offloadActive);
+    EXPECT_GE(plan.decodeBatch, 1);
+    EXPECT_GE(plan.prefillBatch, 1);
+}
+
+TEST_F(AllocTest, RooflinePlanRespectsBudget)
+{
+    auto planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    for (double budget : {0.5 * GiB, 1.0 * GiB, 4.0 * GiB, 12.0 * GiB}) {
+        const auto plan = planner->plan(shape_, budget);
+        const double used = plan.prefillBatch
+                * ver_.kvBytes(shape_.verifierSeqLen)
+            + plan.decodeBatch * gen_.kvBytes(shape_.avgCacheLen);
+        EXPECT_LE(used, budget * 1.001)
+            << "plan exceeds budget at " << toGiB(budget) << " GiB";
+        EXPECT_GE(plan.decodeBatch, 1);
+        EXPECT_GE(plan.prefillBatch, 1);
+    }
+}
+
+TEST_F(AllocTest, RooflineBeatsStatic)
+{
+    // The asymmetric plan never predicts worse total time than the
+    // 50/50 split under the same cost model.
+    auto roofline_planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    auto static_planner = makeStaticPlanner(gen_, ver_, roofline_);
+    for (double budget : {1.0 * GiB, 2.0 * GiB, 6.0 * GiB}) {
+        const auto a = roofline_planner->plan(shape_, budget);
+        const auto s = static_planner->plan(shape_, budget);
+        const double ta =
+            predictedTotalTime(a, shape_, gen_, ver_, roofline_);
+        const double ts =
+            predictedTotalTime(s, shape_, gen_, ver_, roofline_);
+        EXPECT_LE(ta, ts * 1.0001);
+    }
+}
+
+TEST_F(AllocTest, MoreMemoryNeverHurts)
+{
+    auto planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    double prev = 1e100;
+    for (double budget : {0.5 * GiB, 1.0 * GiB, 2.0 * GiB, 4.0 * GiB,
+                          8.0 * GiB, 16.0 * GiB}) {
+        const auto plan = planner->plan(shape_, budget);
+        EXPECT_LE(plan.predictedTime, prev * 1.0001);
+        prev = plan.predictedTime;
+    }
+}
+
+TEST_F(AllocTest, DecodeBatchGrowsWithMemory)
+{
+    auto planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    const auto small = planner->plan(shape_, 1.0 * GiB);
+    const auto large = planner->plan(shape_, 12.0 * GiB);
+    EXPECT_GT(large.decodeBatch, small.decodeBatch);
+}
+
+TEST_F(AllocTest, BatchesCappedByRequests)
+{
+    auto planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    shape_.numRequests = 4;
+    const auto plan = planner->plan(shape_, 16.0 * GiB);
+    EXPECT_LE(plan.decodeBatch, 4);
+    EXPECT_LE(plan.prefillBatch, 4);
+}
+
+TEST_F(AllocTest, PredictedTimeFormula)
+{
+    // ceil(N / B) structure of the paper's T_tot.
+    AllocationPlan plan;
+    plan.prefillBatch = 10;
+    plan.decodeBatch = 16;
+    plan.verifierKvBytes = 0; // Forces full-path re-prefill estimate.
+    shape_.numRequests = 64;
+    const double t =
+        predictedTotalTime(plan, shape_, gen_, ver_, roofline_);
+    const double expected = 7
+            * roofline_.prefillTime(ver_, 10, shape_.verifierSeqLen)
+        + 4 * shape_.decodeLen
+            * roofline_.decodeStepTime(gen_, 16, shape_.avgCacheLen);
+    EXPECT_NEAR(t, expected, 1e-9);
+}
+
+TEST_F(AllocTest, CachedVerifierUsesIncrementalLength)
+{
+    AllocationPlan plan;
+    plan.prefillBatch = 8;
+    plan.decodeBatch = 8;
+    plan.verifierKvBytes = ver_.kvBytes(shape_.verifierSeqLen) * 8;
+    const double cached =
+        predictedTotalTime(plan, shape_, gen_, ver_, roofline_);
+    plan.verifierKvBytes = 0;
+    const double uncached =
+        predictedTotalTime(plan, shape_, gen_, ver_, roofline_);
+    EXPECT_LT(cached, uncached);
+}
+
+TEST_F(AllocTest, OffloadChosenWhenMemoryTiny)
+{
+    // With a budget that cannot hold both working sets, the dual
+    // strategy should pick offloading (each phase gets everything).
+    auto planner = makeOffloadPlanner(gen_, ver_, roofline_);
+    const auto tight = planner->plan(shape_, 0.25 * GiB);
+    auto shared_planner = makeRooflinePlanner(gen_, ver_, roofline_);
+    const auto shared = shared_planner->plan(shape_, 0.25 * GiB);
+    // Offload must never be worse than the shared-budget plan.
+    EXPECT_LE(tight.predictedTime, shared.predictedTime * 1.0001);
+    if (tight.offloadActive) {
+        EXPECT_GT(tight.offloadOverhead, 0);
+        EXPECT_DOUBLE_EQ(tight.generatorKvBytes, 0.25 * GiB);
+        EXPECT_DOUBLE_EQ(tight.verifierKvBytes, 0.25 * GiB);
+    }
+}
+
+TEST_F(AllocTest, OffloadNotChosenWhenMemoryAmple)
+{
+    auto planner = makeOffloadPlanner(gen_, ver_, roofline_);
+    const auto plan = planner->plan(shape_, 16.0 * GiB);
+    EXPECT_FALSE(plan.offloadActive);
+}
+
+TEST_F(AllocTest, PlannerNames)
+{
+    EXPECT_EQ(makeStaticPlanner(gen_, ver_, roofline_)->name(),
+              "static_50_50");
+    EXPECT_EQ(makeRooflinePlanner(gen_, ver_, roofline_)->name(),
+              "roofline_guided");
+    EXPECT_EQ(makeOffloadPlanner(gen_, ver_, roofline_)->name(),
+              "roofline_offload");
+}
+
+/** Fig. 10 property sweep: as memory grows, the optimal decode batch
+ *  dominates the allocation and throughput saturates. */
+class RooflineAllocationSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RooflineAllocationSweep, LinearSearchMatchesBruteForce)
+{
+    const double budget = GetParam() * GiB;
+    RooflineModel roofline(rtx4090());
+    const ModelSpec gen = qwen25Math1_5B();
+    const ModelSpec ver = skywork1_5B();
+    WorkloadShape shape;
+    shape.numRequests = 128;
+    shape.verifierSeqLen = 1000;
+    shape.verifierReqLen = 180;
+    shape.decodeLen = 180;
+    shape.avgCacheLen = 800;
+
+    auto planner = makeRooflinePlanner(gen, ver, roofline);
+    const auto plan = planner->plan(shape, budget);
+
+    // Brute force over the same feasible grid (b_pre = 1 is always
+    // admissible, as in the planner's search).
+    double best = 1e100;
+    for (int b_pre = 1; b_pre <= shape.numRequests; ++b_pre) {
+        AllocationPlan p;
+        p.prefillBatch = b_pre;
+        p.verifierKvBytes = b_pre * ver.kvBytes(shape.verifierSeqLen);
+        if (b_pre > 1
+            && p.verifierKvBytes + gen.kvBytes(shape.avgCacheLen)
+                > budget) {
+            continue; // Infeasible: no room for even one decode seq.
+        }
+        p.generatorKvBytes =
+            std::max(0.0, budget - p.verifierKvBytes);
+        p.decodeBatch = std::min(
+            shape.numRequests,
+            std::max(1, static_cast<int>(p.generatorKvBytes
+                                         / gen.kvBytes(
+                                             shape.avgCacheLen))));
+        best = std::min(
+            best, predictedTotalTime(p, shape, gen, ver, roofline));
+    }
+    EXPECT_NEAR(plan.predictedTime, best, best * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RooflineAllocationSweep,
+                         ::testing::Values(0.0625, 0.125, 0.25, 0.5, 1.0,
+                                           2.0, 4.0, 8.0, 16.0));
+
+} // namespace
+} // namespace fasttts

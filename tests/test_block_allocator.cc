@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the paged block allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kv/block_allocator.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(BlockAllocator, StartsEmpty)
+{
+    BlockAllocator alloc(100);
+    EXPECT_EQ(alloc.total(), 100u);
+    EXPECT_EQ(alloc.used(), 0u);
+    EXPECT_EQ(alloc.free(), 100u);
+    EXPECT_EQ(alloc.peakUsed(), 0u);
+}
+
+TEST(BlockAllocator, AllocateAndRelease)
+{
+    BlockAllocator alloc(10);
+    EXPECT_TRUE(alloc.allocate(4));
+    EXPECT_EQ(alloc.used(), 4u);
+    EXPECT_EQ(alloc.free(), 6u);
+    alloc.release(2);
+    EXPECT_EQ(alloc.used(), 2u);
+    EXPECT_EQ(alloc.peakUsed(), 4u);
+}
+
+TEST(BlockAllocator, FailedAllocationLeavesStateUnchanged)
+{
+    BlockAllocator alloc(5);
+    EXPECT_TRUE(alloc.allocate(5));
+    EXPECT_FALSE(alloc.allocate(1));
+    EXPECT_EQ(alloc.used(), 5u);
+    EXPECT_EQ(alloc.failedAllocations(), 1u);
+}
+
+TEST(BlockAllocator, ZeroAllocationAlwaysSucceeds)
+{
+    BlockAllocator alloc(0);
+    EXPECT_TRUE(alloc.allocate(0));
+    EXPECT_FALSE(alloc.allocate(1));
+}
+
+TEST(BlockAllocator, PeakTracksHighWaterMark)
+{
+    BlockAllocator alloc(100);
+    alloc.allocate(30);
+    alloc.release(30);
+    alloc.allocate(60);
+    alloc.release(10);
+    EXPECT_EQ(alloc.peakUsed(), 60u);
+}
+
+TEST(BlockAllocator, ResizeGrow)
+{
+    BlockAllocator alloc(10);
+    alloc.allocate(10);
+    alloc.resize(20);
+    EXPECT_EQ(alloc.total(), 20u);
+    EXPECT_TRUE(alloc.allocate(10));
+}
+
+TEST(BlockAllocator, ResizeShrinkClampsToUsed)
+{
+    BlockAllocator alloc(20);
+    alloc.allocate(15);
+    alloc.resize(5);
+    // Cannot shrink below what is already allocated.
+    EXPECT_EQ(alloc.total(), 15u);
+    EXPECT_EQ(alloc.free(), 0u);
+    alloc.release(15);
+    alloc.resize(5);
+    EXPECT_EQ(alloc.total(), 5u);
+}
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The paper's central correctness property: *algorithmic equivalence*.
+ * FastTTS's optimizations (speculation, scheduling, allocation) may
+ * only change WHEN tokens are computed, never WHAT the search decides.
+ * A baseline run and a FastTTS run with the same seeds must produce
+ * identical solution sets — same answers, same verifier scores, same
+ * token counts — differing only in timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace fasttts
+{
+namespace
+{
+
+struct EquivalenceCase
+{
+    std::string models;
+    std::string dataset;
+    std::string algorithm;
+    int numBeams;
+};
+
+void
+PrintTo(const EquivalenceCase &c, std::ostream *os)
+{
+    *os << c.models << "/" << c.dataset << "/" << c.algorithm << "/n="
+        << c.numBeams;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivalenceCase>
+{
+};
+
+RequestResult
+runWith(const FastTtsConfig &config, const EquivalenceCase &c,
+        const Problem &problem)
+{
+    const DatasetProfile profile = datasetByName(c.dataset);
+    auto algo = makeAlgorithm(c.algorithm, c.numBeams, 4);
+    FastTtsEngine engine(config, modelConfigByLabel(c.models), rtx4090(),
+                         profile, *algo);
+    return engine.runRequest(problem);
+}
+
+TEST_P(EquivalenceTest, BaselineAndFastTtsDecideIdentically)
+{
+    const EquivalenceCase c = GetParam();
+    const auto problems =
+        makeProblems(datasetByName(c.dataset), 2, 31337);
+
+    for (const auto &problem : problems) {
+        const auto base =
+            runWith(FastTtsConfig::baseline(), c, problem);
+        const auto fast = runWith(FastTtsConfig::fastTts(), c, problem);
+
+        ASSERT_EQ(base.solutions.size(), fast.solutions.size());
+        for (size_t i = 0; i < base.solutions.size(); ++i) {
+            EXPECT_EQ(base.solutions[i].answer, fast.solutions[i].answer)
+                << "solution " << i;
+            EXPECT_DOUBLE_EQ(base.solutions[i].score,
+                             fast.solutions[i].score)
+                << "solution " << i;
+            EXPECT_EQ(base.solutions[i].tokens, fast.solutions[i].tokens)
+                << "solution " << i;
+        }
+        EXPECT_EQ(base.verifiedTokens, fast.verifiedTokens);
+    }
+}
+
+TEST_P(EquivalenceTest, EachOptimizationAloneIsEquivalent)
+{
+    const EquivalenceCase c = GetParam();
+    const auto problem =
+        makeProblems(datasetByName(c.dataset), 1, 777)[0];
+    const auto base = runWith(FastTtsConfig::baseline(), c, problem);
+
+    for (int opt = 0; opt < 3; ++opt) {
+        FastTtsConfig config = FastTtsConfig::baseline();
+        if (opt == 0)
+            config.prefixAwareScheduling = true;
+        if (opt == 1)
+            config.asymmetricAllocation = true;
+        if (opt == 2) {
+            config.speculativeExtension = true;
+            config.lookaheadVerification = true;
+        }
+        const auto r = runWith(config, c, problem);
+        ASSERT_EQ(base.solutions.size(), r.solutions.size())
+            << "opt " << opt;
+        for (size_t i = 0; i < base.solutions.size(); ++i) {
+            EXPECT_EQ(base.solutions[i].answer, r.solutions[i].answer)
+                << "opt " << opt << " solution " << i;
+            EXPECT_DOUBLE_EQ(base.solutions[i].score,
+                             r.solutions[i].score)
+                << "opt " << opt << " solution " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceTest,
+    ::testing::Values(
+        EquivalenceCase{"1.5B+1.5B", "AIME", "beam_search", 8},
+        EquivalenceCase{"1.5B+1.5B", "AIME", "beam_search", 32},
+        EquivalenceCase{"1.5B+1.5B", "AIME", "dvts", 16},
+        EquivalenceCase{"1.5B+1.5B", "AIME", "dynamic_branching", 16},
+        EquivalenceCase{"1.5B+1.5B", "AIME", "varying_granularity", 16},
+        EquivalenceCase{"1.5B+1.5B", "AIME", "best_of_n", 8},
+        EquivalenceCase{"1.5B+1.5B", "AMC", "beam_search", 16},
+        EquivalenceCase{"1.5B+7B", "AIME", "beam_search", 16},
+        EquivalenceCase{"7B+1.5B", "AMC", "dvts", 16},
+        EquivalenceCase{"1.5B+1.5B", "HumanEval", "beam_search", 16}));
+
+TEST(EquivalenceEdge, TruncationRatioDoesNotAffectDecisions)
+{
+    // R changes how many speculative tokens duplicates keep — timing
+    // only. Decisions must match across R.
+    const EquivalenceCase c{"1.5B+1.5B", "AIME", "beam_search", 16};
+    const auto problem = makeProblems(aime2024(), 1, 55)[0];
+    FastTtsConfig r0 = FastTtsConfig::fastTts();
+    r0.truncationRatio = 0.0;
+    FastTtsConfig r85 = FastTtsConfig::fastTts();
+    r85.truncationRatio = 0.85;
+    const auto a = runWith(r0, c, problem);
+    const auto b = runWith(r85, c, problem);
+    ASSERT_EQ(a.solutions.size(), b.solutions.size());
+    for (size_t i = 0; i < a.solutions.size(); ++i) {
+        EXPECT_EQ(a.solutions[i].answer, b.solutions[i].answer);
+        EXPECT_DOUBLE_EQ(a.solutions[i].score, b.solutions[i].score);
+    }
+}
+
+TEST(EquivalenceEdge, SchedulerChoiceDoesNotAffectDecisions)
+{
+    const EquivalenceCase c{"1.5B+1.5B", "AIME", "beam_search", 16};
+    const auto problem = makeProblems(aime2024(), 1, 66)[0];
+    FastTtsConfig worst = FastTtsConfig::baseline();
+    worst.baselineScheduler = "worst_case";
+    FastTtsConfig fifo = FastTtsConfig::baseline();
+    fifo.baselineScheduler = "fifo";
+    const auto a = runWith(worst, c, problem);
+    const auto b = runWith(fifo, c, problem);
+    ASSERT_EQ(a.solutions.size(), b.solutions.size());
+    for (size_t i = 0; i < a.solutions.size(); ++i)
+        EXPECT_EQ(a.solutions[i].answer, b.solutions[i].answer);
+}
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for the radix-tree KV cache manager: structure, refcounting,
+ * residency, LRU eviction and the invariants the engine relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kv/kv_cache.h"
+#include "util/rng.h"
+
+namespace fasttts
+{
+namespace
+{
+
+// 1 byte per token, 16-token blocks: a budget of B bytes is B tokens.
+constexpr double kTokenByte = 1.0;
+
+KvCacheManager
+makeCache(double budget_tokens, int block_tokens = 16)
+{
+    return KvCacheManager(budget_tokens, kTokenByte, block_tokens);
+}
+
+TEST(KvCache, RootExistsAndIsResident)
+{
+    auto kv = makeCache(1024);
+    EXPECT_TRUE(kv.isResident(KvCacheManager::kRoot));
+    EXPECT_EQ(kv.pathTokens(KvCacheManager::kRoot), 0);
+    EXPECT_EQ(kv.nodeCount(), 0);
+}
+
+TEST(KvCache, CreateChildBuildsPath)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    const int b = kv.createChild(a, 2, 50);
+    EXPECT_EQ(kv.pathTokens(b), 150);
+    EXPECT_EQ(kv.nodeTokens(b), 50);
+    EXPECT_EQ(kv.parentOf(b), a);
+    EXPECT_EQ(kv.parentOf(a), KvCacheManager::kRoot);
+    EXPECT_EQ(kv.childOf(KvCacheManager::kRoot, 1), a);
+    EXPECT_EQ(kv.childOf(KvCacheManager::kRoot, 99),
+              KvCacheManager::kInvalid);
+    EXPECT_EQ(kv.nodeCount(), 2);
+}
+
+TEST(KvCache, NewNodesStartNonResident)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    EXPECT_FALSE(kv.isResident(a));
+    EXPECT_EQ(kv.residentNodeCount(), 0);
+}
+
+TEST(KvCache, EnsureResidentMaterialisesWholePath)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    const int b = kv.createChild(a, 2, 60);
+    const auto touch = kv.ensureResident(b, 1);
+    EXPECT_TRUE(touch.ok);
+    EXPECT_EQ(touch.cachedTokens, 0);
+    EXPECT_EQ(touch.recomputeTokens, 160);
+    EXPECT_TRUE(kv.isResident(a));
+    EXPECT_TRUE(kv.isResident(b));
+    EXPECT_EQ(kv.residentTokens(), 160);
+    // 100 tokens -> 7 blocks, 60 tokens -> 4 blocks.
+    EXPECT_EQ(kv.allocator().used(), 11u);
+}
+
+TEST(KvCache, SecondTouchIsAHit)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    kv.ensureResident(a, 1);
+    const auto touch = kv.ensureResident(a, 2);
+    EXPECT_TRUE(touch.ok);
+    EXPECT_EQ(touch.cachedTokens, 100);
+    EXPECT_EQ(touch.recomputeTokens, 0);
+    EXPECT_EQ(kv.stats().hitTokens, 100u);
+}
+
+TEST(KvCache, SharedPrefixCountedOnce)
+{
+    auto kv = makeCache(4096);
+    const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 200);
+    const int left = kv.createChild(trunk, 2, 50);
+    const int right = kv.createChild(trunk, 3, 50);
+    kv.ensureResident(left, 1);
+    const auto touch = kv.ensureResident(right, 2);
+    // The trunk is already resident: only the right leaf misses.
+    EXPECT_EQ(touch.cachedTokens, 200);
+    EXPECT_EQ(touch.recomputeTokens, 50);
+    EXPECT_EQ(kv.residentTokens(), 300);
+}
+
+TEST(KvCache, RefCountingAlongPath)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 10);
+    const int b = kv.createChild(a, 2, 10);
+    kv.retain(b);
+    EXPECT_EQ(kv.refCount(b), 1);
+    EXPECT_EQ(kv.refCount(a), 1);
+    kv.retain(a);
+    EXPECT_EQ(kv.refCount(a), 2);
+    kv.release(b);
+    EXPECT_EQ(kv.refCount(a), 1);
+    EXPECT_EQ(kv.refCount(b), 0);
+    kv.release(a);
+    EXPECT_EQ(kv.refCount(a), 0);
+}
+
+TEST(KvCache, EvictionFreesUnreferencedLru)
+{
+    // Pool of 8 blocks = 128 tokens.
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
+    const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
+    EXPECT_TRUE(kv.ensureResident(a, 1).ok);
+    EXPECT_TRUE(kv.ensureResident(b, 2).ok);
+    // Pool is full; touching c must evict a (the LRU victim).
+    EXPECT_TRUE(kv.ensureResident(c, 3).ok);
+    EXPECT_FALSE(kv.isResident(a));
+    EXPECT_TRUE(kv.isResident(b));
+    EXPECT_TRUE(kv.isResident(c));
+    EXPECT_GE(kv.stats().evictions, 1u);
+    EXPECT_EQ(kv.stats().evictedTokens, 64u);
+}
+
+TEST(KvCache, PinnedNodesAreNotEvicted)
+{
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
+    const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
+    kv.ensureResident(a, 1);
+    kv.retain(a); // Pin.
+    kv.ensureResident(b, 2);
+    EXPECT_TRUE(kv.ensureResident(c, 3).ok);
+    EXPECT_TRUE(kv.isResident(a));  // Pinned survived.
+    EXPECT_FALSE(kv.isResident(b)); // Unpinned LRU evicted.
+}
+
+TEST(KvCache, EnsureResidentFailsWhenEverythingPinned)
+{
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 128);
+    kv.ensureResident(a, 1);
+    kv.retain(a);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
+    const auto touch = kv.ensureResident(b, 2);
+    EXPECT_FALSE(touch.ok);
+}
+
+TEST(KvCache, ParentsEvictOnlyAfterChildren)
+{
+    auto kv = makeCache(160);
+    const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 80);
+    const int leaf = kv.createChild(trunk, 2, 80);
+    kv.ensureResident(leaf, 1);
+    // A new competing path forces eviction; the leaf must go before
+    // the trunk (top-closed residency).
+    const int other = kv.createChild(KvCacheManager::kRoot, 3, 80);
+    EXPECT_TRUE(kv.ensureResident(other, 2).ok);
+    if (kv.isResident(leaf))
+        EXPECT_TRUE(kv.isResident(trunk));
+}
+
+TEST(KvCache, ReTouchAfterEvictionRecomputes)
+{
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
+    const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
+    kv.ensureResident(a, 1);
+    kv.ensureResident(b, 2);
+    kv.ensureResident(c, 3); // Evicts a.
+    const auto touch = kv.ensureResident(a, 4);
+    EXPECT_TRUE(touch.ok);
+    EXPECT_EQ(touch.recomputeTokens, 64);
+    EXPECT_EQ(kv.stats().recomputedTokens, 64u + 192u);
+}
+
+TEST(KvCache, AppendTokensGrowsBlocks)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 0);
+    kv.ensureResident(a, 1);
+    EXPECT_EQ(kv.allocator().used(), 0u);
+    EXPECT_TRUE(kv.appendTokens(a, 16, 2));
+    EXPECT_EQ(kv.allocator().used(), 1u);
+    EXPECT_TRUE(kv.appendTokens(a, 1, 3));
+    EXPECT_EQ(kv.allocator().used(), 2u);
+    EXPECT_EQ(kv.nodeTokens(a), 17);
+    EXPECT_EQ(kv.residentTokens(), 17);
+}
+
+TEST(KvCache, AppendToNonResidentNodeTracksTokensOnly)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 0);
+    EXPECT_TRUE(kv.appendTokens(a, 100, 1));
+    EXPECT_EQ(kv.nodeTokens(a), 100);
+    EXPECT_EQ(kv.allocator().used(), 0u);
+    EXPECT_EQ(kv.residentTokens(), 0);
+}
+
+TEST(KvCache, AppendNoEvictFailsInsteadOfEvicting)
+{
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 112);
+    kv.ensureResident(a, 1);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 0);
+    kv.ensureResident(b, 2);
+    // One free block: a 16-token append fits, the next does not.
+    EXPECT_TRUE(kv.appendTokens(b, 16, 3, /*allow_evict=*/false));
+    EXPECT_FALSE(kv.appendTokens(b, 16, 4, /*allow_evict=*/false));
+    EXPECT_TRUE(kv.isResident(a)); // Nothing was evicted.
+    // With eviction allowed the same append succeeds by evicting a.
+    EXPECT_TRUE(kv.appendTokens(b, 16, 5, /*allow_evict=*/true));
+    EXPECT_FALSE(kv.isResident(a));
+}
+
+TEST(KvCache, TruncateReleasesBlocks)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    kv.ensureResident(a, 1);
+    const size_t before = kv.allocator().used();
+    kv.truncateTokens(a, 10);
+    EXPECT_EQ(kv.nodeTokens(a), 10);
+    EXPECT_LT(kv.allocator().used(), before);
+    EXPECT_EQ(kv.residentTokens(), 10);
+}
+
+TEST(KvCache, TruncateToZeroKeepsNodeValid)
+{
+    auto kv = makeCache(1024);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 50);
+    kv.ensureResident(a, 1);
+    kv.truncateTokens(a, 0);
+    EXPECT_EQ(kv.nodeTokens(a), 0);
+    EXPECT_EQ(kv.allocator().used(), 0u);
+    EXPECT_TRUE(kv.isResident(a));
+    EXPECT_TRUE(kv.appendTokens(a, 5, 2));
+}
+
+TEST(KvCache, ResidentPrefixTokens)
+{
+    auto kv = makeCache(128);
+    const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 64);
+    const int leaf = kv.createChild(trunk, 2, 64);
+    EXPECT_EQ(kv.residentPrefixTokens(leaf), 0);
+    kv.ensureResident(trunk, 1);
+    EXPECT_EQ(kv.residentPrefixTokens(leaf), 64);
+    kv.ensureResident(leaf, 2);
+    EXPECT_EQ(kv.residentPrefixTokens(leaf), 128);
+}
+
+TEST(KvCache, BudgetResizeAffectsCapacity)
+{
+    auto kv = makeCache(160);
+    EXPECT_EQ(kv.allocator().total(), 10u);
+    kv.setBudgetBytes(320);
+    EXPECT_EQ(kv.allocator().total(), 20u);
+    EXPECT_NEAR(kv.budgetBytes(), 320, 1e-9);
+}
+
+TEST(KvCache, BlocksForRounding)
+{
+    auto kv = makeCache(1024, 16);
+    EXPECT_EQ(kv.blocksFor(0), 0u);
+    EXPECT_EQ(kv.blocksFor(1), 1u);
+    EXPECT_EQ(kv.blocksFor(16), 1u);
+    EXPECT_EQ(kv.blocksFor(17), 2u);
+}
+
+TEST(KvCache, UnsharedTokensCountsPerReference)
+{
+    auto kv = makeCache(4096);
+    const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    const int l1 = kv.createChild(trunk, 2, 10);
+    const int l2 = kv.createChild(trunk, 3, 10);
+    kv.retain(l1);
+    kv.retain(l2);
+    // Without sharing both beams would hold a private copy of the
+    // trunk: 2 x 100 + 10 + 10.
+    EXPECT_EQ(kv.unsharedTokens(), 220);
+    kv.release(l2);
+    EXPECT_EQ(kv.unsharedTokens(), 110);
+}
+
+TEST(KvCache, StatsAccumulate)
+{
+    auto kv = makeCache(4096);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 32);
+    kv.ensureResident(a, 1);
+    kv.ensureResident(a, 2);
+    EXPECT_EQ(kv.stats().missTokens, 32u);
+    EXPECT_EQ(kv.stats().hitTokens, 32u);
+}
+
+/** Property sweep: under random workloads, block accounting and the
+ *  resident-token counter never diverge, and residency stays
+ *  top-closed. */
+class KvCacheProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KvCacheProperty, InvariantsUnderRandomWorkload)
+{
+    const int seed = GetParam();
+    Rng rng(static_cast<uint64_t>(seed));
+    auto kv = makeCache(2048, 16);
+    std::vector<int> leaves = {KvCacheManager::kRoot};
+    std::vector<int> pinned;
+    uint64_t seg = 100;
+    long expected_resident = -1;
+
+    for (int op = 0; op < 600; ++op) {
+        const int kind = rng.uniformInt(0, 5);
+        const int pick = rng.uniformInt(
+            0, static_cast<int>(leaves.size()) - 1);
+        const int node = leaves[static_cast<size_t>(pick)];
+        switch (kind) {
+          case 0:
+            leaves.push_back(
+                kv.createChild(node, seg++, rng.uniformInt(0, 90)));
+            break;
+          case 1:
+            kv.ensureResident(node, static_cast<uint64_t>(op));
+            break;
+          case 2:
+            if (node != KvCacheManager::kRoot) {
+                kv.retain(node);
+                pinned.push_back(node);
+            }
+            break;
+          case 3:
+            if (!pinned.empty()) {
+                kv.release(pinned.back());
+                pinned.pop_back();
+            }
+            break;
+          case 4:
+            if (node != KvCacheManager::kRoot)
+                kv.appendTokens(node, rng.uniformInt(0, 40),
+                                static_cast<uint64_t>(op));
+            break;
+          case 5:
+            if (node != KvCacheManager::kRoot && kv.isResident(node)) {
+                const int keep =
+                    rng.uniformInt(0, kv.nodeTokens(node));
+                kv.truncateTokens(node, keep);
+            }
+            break;
+        }
+        // Invariant: used blocks never exceed the pool.
+        ASSERT_LE(kv.allocator().used(), kv.allocator().total());
+        // Invariant: resident tokens fit in the allocated blocks.
+        ASSERT_LE(kv.residentTokens(),
+                  static_cast<long>(kv.allocator().used()) * 16);
+        // Invariant: residency is top-closed (resident node implies
+        // resident parent).
+        for (int leaf : leaves) {
+            if (leaf == KvCacheManager::kRoot)
+                continue;
+            if (kv.isResident(leaf)) {
+                const int parent = kv.parentOf(leaf);
+                ASSERT_TRUE(parent == KvCacheManager::kRoot
+                            || kv.isResident(parent));
+            }
+        }
+        (void)expected_resident;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvCacheProperty,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace fasttts

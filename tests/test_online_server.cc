@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the online (queued) serving front-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/online_server.h"
+
+namespace fasttts
+{
+namespace
+{
+
+ServingOptions
+smallOptions(bool fast)
+{
+    ServingOptions opts;
+    opts.config =
+        fast ? FastTtsConfig::fastTts() : FastTtsConfig::baseline();
+    opts.numBeams = 8;
+    return opts;
+}
+
+TEST(OnlineServer, EmptyTraceIsSafe)
+{
+    OnlineServer server(smallOptions(true));
+    const auto out = server.serveArrivals({});
+    EXPECT_TRUE(out.records.empty());
+    EXPECT_EQ(out.meanLatency, 0);
+}
+
+TEST(OnlineServer, RecordsAreCausal)
+{
+    OnlineServer server(smallOptions(true));
+    const auto out = server.serveTrace(6, 0.05, 7);
+    ASSERT_EQ(out.records.size(), 6u);
+    double prev_finish = 0;
+    double prev_arrival = 0;
+    for (const auto &rec : out.records) {
+        EXPECT_GE(rec.arrival, prev_arrival);   // Sorted arrivals.
+        EXPECT_GE(rec.start, rec.arrival);      // No time travel.
+        EXPECT_GE(rec.start, prev_finish - 1e-9); // FIFO device.
+        EXPECT_GT(rec.finish, rec.start);
+        prev_finish = rec.finish;
+        prev_arrival = rec.arrival;
+    }
+}
+
+TEST(OnlineServer, QueueDelayGrowsWithArrivalRate)
+{
+    OnlineServer slow(smallOptions(true));
+    OnlineServer fast_arrivals(smallOptions(true));
+    const auto relaxed = slow.serveTrace(8, 0.01, 7);
+    const auto saturated = fast_arrivals.serveTrace(8, 10.0, 7);
+    EXPECT_GT(saturated.meanQueueDelay, relaxed.meanQueueDelay);
+    EXPECT_GT(saturated.utilization, relaxed.utilization);
+}
+
+TEST(OnlineServer, FastTtsImprovesOnlineLatency)
+{
+    // Under the same saturated arrival trace, FastTTS's shorter
+    // service times compound through the queue.
+    OnlineServer baseline(smallOptions(false));
+    OnlineServer fast(smallOptions(true));
+    const auto b = baseline.serveTrace(6, 1.0, 11);
+    const auto f = fast.serveTrace(6, 1.0, 11);
+    EXPECT_LT(f.meanLatency, b.meanLatency);
+    EXPECT_LE(f.p95Latency, b.p95Latency * 1.001);
+    EXPECT_LE(f.makespan, b.makespan);
+}
+
+TEST(OnlineServer, DeterministicTraces)
+{
+    OnlineServer a(smallOptions(true));
+    OnlineServer b(smallOptions(true));
+    const auto ra = a.serveTrace(5, 0.5, 3);
+    const auto rb = b.serveTrace(5, 0.5, 3);
+    ASSERT_EQ(ra.records.size(), rb.records.size());
+    for (size_t i = 0; i < ra.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra.records[i].arrival, rb.records[i].arrival);
+        EXPECT_DOUBLE_EQ(ra.records[i].finish, rb.records[i].finish);
+    }
+}
+
+TEST(OnlineServer, UtilizationInUnitRange)
+{
+    OnlineServer server(smallOptions(true));
+    const auto out = server.serveTrace(5, 0.2, 9);
+    EXPECT_GT(out.utilization, 0.0);
+    EXPECT_LE(out.utilization, 1.0);
+}
+
+TEST(OnlineServer, P95AtLeastMean)
+{
+    OnlineServer server(smallOptions(true));
+    const auto out = server.serveTrace(10, 0.5, 13);
+    EXPECT_GE(out.p95Latency, out.meanLatency * 0.5);
+    EXPECT_GE(out.p95Latency,
+              out.records.front().latency() * 0.01);
+}
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(13);
+    double sum = 0;
+    double sq = 0;
+    const int count = 200000;
+    for (int i = 0; i < count; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / count;
+    const double var = sq / count - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(1.0, 0.8), 0.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int count = 100000;
+    for (int i = 0; i < count; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / count, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int count = 100000;
+    for (int i = 0; i < count; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / count, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[static_cast<size_t>(rng.categorical(weights))];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalAllZeroWeightsReturnsZero)
+{
+    Rng rng(31);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_EQ(rng.categorical(weights), 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent)
+{
+    Rng parent(101);
+    Rng a = parent.fork(5);
+    Rng b = parent.fork(5);
+    Rng c = parent.fork(6);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, MixIsPure)
+{
+    EXPECT_EQ(Rng::mix(7, 3), Rng::mix(7, 3));
+    EXPECT_NE(Rng::mix(7, 3), Rng::mix(7, 4));
+    EXPECT_NE(Rng::mix(8, 3), Rng::mix(7, 3));
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the device registry and roofline latency model, including
+ * the prefill/decode asymmetry the paper's Fig. 6 rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_spec.h"
+#include "sim/device.h"
+#include "sim/roofline.h"
+#include "util/units.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(Device, RegistryLookups)
+{
+    EXPECT_EQ(deviceByName("RTX4090").name, "RTX4090");
+    EXPECT_EQ(deviceByName("RTX4070Ti").name, "RTX4070Ti");
+    EXPECT_EQ(deviceByName("RTX3070Ti").name, "RTX3070Ti");
+    EXPECT_EQ(deviceByName("CloudA100").name, "CloudA100");
+    // Unknown names default to the 4090 platform.
+    EXPECT_EQ(deviceByName("bogus").name, "RTX4090");
+}
+
+TEST(Device, EdgeDeviceMemoryOrdering)
+{
+    EXPECT_GT(rtx4090().vramBytes, rtx4070Ti().vramBytes);
+    EXPECT_GT(rtx4070Ti().vramBytes, rtx3070Ti().vramBytes);
+    EXPECT_EQ(allEdgeDevices().size(), 3u);
+}
+
+TEST(Device, UsableBytesBelowTotal)
+{
+    for (const auto &d : allEdgeDevices()) {
+        EXPECT_LT(d.usableBytes(), d.vramBytes);
+        EXPECT_GT(d.usableBytes(), 0.5 * d.vramBytes);
+    }
+}
+
+TEST(ModelSpec, KvBytesPerTokenMatchesArchitecture)
+{
+    // 2 (K,V) x 28 layers x 2 KV heads x 128 dim x 2 bytes.
+    EXPECT_DOUBLE_EQ(qwen25Math1_5B().kvBytesPerToken(),
+                     2.0 * 28 * 2 * 128 * 2);
+    // Mistral-7B GQA: 32 layers x 8 KV heads.
+    EXPECT_DOUBLE_EQ(mathShepherd7B().kvBytesPerToken(),
+                     2.0 * 32 * 8 * 128 * 2);
+}
+
+TEST(ModelSpec, WeightBytesFp16)
+{
+    const ModelSpec m = qwen25Math7B();
+    EXPECT_DOUBLE_EQ(m.weightBytes(), m.numParams * 2.0);
+}
+
+TEST(ModelSpec, ConfigsMatchPaperSetups)
+{
+    EXPECT_DOUBLE_EQ(config1_5Bplus1_5B().memoryFraction, 0.40);
+    EXPECT_DOUBLE_EQ(config1_5Bplus7B().memoryFraction, 0.90);
+    EXPECT_DOUBLE_EQ(config7Bplus1_5B().memoryFraction, 0.90);
+    EXPECT_EQ(allModelConfigs().size(), 3u);
+    EXPECT_EQ(modelConfigByLabel("7B+1.5B").label, "7B+1.5B");
+}
+
+class RooflineTest : public ::testing::Test
+{
+  protected:
+    RooflineModel roofline_{rtx4090()};
+    ModelSpec model_ = qwen25Math1_5B();
+};
+
+TEST_F(RooflineTest, DecodeTimeShape)
+{
+    // Per-step time first falls (occupancy improves) then rises (KV
+    // traffic dominates); it is always positive.
+    for (int batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+        const double t = roofline_.decodeStepTime(model_, batch, 512);
+        EXPECT_GT(t, 0);
+    }
+    // Small-batch penalty: a lone straggler decodes slower per token
+    // than a half-full batch (Fig. 4's wasted-GPU premise).
+    EXPECT_GT(roofline_.decodeStepTime(model_, 1, 512),
+              roofline_.decodeStepTime(model_, 16, 512));
+    // At scale, KV traffic makes steps slower again.
+    EXPECT_GT(roofline_.decodeStepTime(model_, 512, 512),
+              roofline_.decodeStepTime(model_, 64, 512));
+}
+
+TEST_F(RooflineTest, DecodeThroughputImprovesWithBatch)
+{
+    // Tokens/s = batch / step time must grow: weight reads amortise.
+    const double tp1 = 1 / roofline_.decodeStepTime(model_, 1, 512);
+    const double tp32 = 32 / roofline_.decodeStepTime(model_, 32, 512);
+    EXPECT_GT(tp32, 4 * tp1);
+}
+
+TEST_F(RooflineTest, DecodeIsMemoryBound)
+{
+    // At moderate batch the memory term dominates compute.
+    const int batch = 16;
+    const double ctx = 1024;
+    const double t_compute =
+        roofline_.decodeFlops(model_, batch, ctx)
+        / roofline_.effectiveFlops();
+    const double t_memory = roofline_.decodeBytes(model_, batch, ctx)
+        / roofline_.effectiveBandwidth();
+    EXPECT_GT(t_memory, t_compute);
+}
+
+TEST_F(RooflineTest, PrefillIsComputeBoundAtScale)
+{
+    const int batch = 8;
+    const double seq = 1024;
+    const double t_compute =
+        roofline_.prefillFlops(model_, batch, seq)
+        / roofline_.effectiveFlops();
+    const double t_memory = roofline_.prefillBytes(model_, batch, seq)
+        / roofline_.effectiveBandwidth();
+    EXPECT_GT(t_compute, t_memory);
+}
+
+TEST_F(RooflineTest, Fig6Asymmetry)
+{
+    // The decode stage needs several times more KV memory than the
+    // prefill stage to reach 80% of its peak throughput (paper Fig. 6).
+    auto prefill_tp = [&](int batch) {
+        return batch * 640
+            / roofline_.prefillTime(model_, batch, 640);
+    };
+    auto decode_tp = [&](int batch) {
+        return batch / roofline_.decodeStepTime(model_, batch, 512);
+    };
+    // Find the batch reaching 80% of the throughput at batch 512.
+    const double pre_peak = prefill_tp(512);
+    const double dec_peak = decode_tp(512);
+    int pre80 = 512;
+    int dec80 = 512;
+    for (int b = 1; b <= 512; ++b) {
+        if (prefill_tp(b) >= 0.8 * pre_peak) {
+            pre80 = b;
+            break;
+        }
+    }
+    for (int b = 1; b <= 512; ++b) {
+        if (decode_tp(b) >= 0.8 * dec_peak) {
+            dec80 = b;
+            break;
+        }
+    }
+    const double pre_mem = model_.kvBytes(640) * pre80;
+    const double dec_mem = model_.kvBytes(512) * dec80;
+    EXPECT_GT(dec_mem, 3.0 * pre_mem);
+}
+
+TEST_F(RooflineTest, UtilizationInUnitRange)
+{
+    for (int batch : {1, 7, 33, 250}) {
+        const double u = roofline_.decodeComputeUtil(model_, batch, 800);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+        const double p = roofline_.prefillComputeUtil(model_, batch, 700);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST_F(RooflineTest, PrefillUtilExceedsSmallBatchDecodeUtil)
+{
+    // Fig. 4: verification (prefill) keeps compute busy; a draining
+    // decode batch does not.
+    EXPECT_GT(roofline_.prefillComputeUtil(model_, 8, 640),
+              roofline_.decodeComputeUtil(model_, 2, 640));
+}
+
+TEST_F(RooflineTest, DecodeOccupancyCurve)
+{
+    EXPECT_LT(RooflineModel::decodeOccupancy(1), 0.5);
+    EXPECT_GT(RooflineModel::decodeOccupancy(64), 0.9);
+    double prev = 0;
+    for (int b = 1; b < 200; b += 7) {
+        const double o = RooflineModel::decodeOccupancy(b);
+        EXPECT_GT(o, prev);
+        EXPECT_LE(o, 1.0);
+        prev = o;
+    }
+}
+
+TEST_F(RooflineTest, TransferTimeLinearInBytes)
+{
+    const double t1 = roofline_.transferTime(1 * GiB);
+    const double t2 = roofline_.transferTime(2 * GiB);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR((t2 - 1e-4) / (t1 - 1e-4), 2.0, 0.01);
+    EXPECT_EQ(roofline_.transferTime(0), 0.0);
+}
+
+TEST_F(RooflineTest, ZeroBatchIsFree)
+{
+    EXPECT_EQ(roofline_.decodeStepTime(model_, 0, 100), 0.0);
+    EXPECT_EQ(roofline_.prefillTime(model_, 0, 100), 0.0);
+}
+
+/** Bigger models are slower at the same batch across devices. */
+class RooflineModelSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(RooflineModelSweep, BiggerModelsSlower)
+{
+    const auto &[device_name, batch] = GetParam();
+    RooflineModel roofline(deviceByName(device_name));
+    const double small =
+        roofline.decodeStepTime(qwen25Math1_5B(), batch, 512);
+    const double large =
+        roofline.decodeStepTime(qwen25Math7B(), batch, 512);
+    EXPECT_GT(large, small);
+    const double small_pre =
+        roofline.prefillTime(skywork1_5B(), batch, 640);
+    const double large_pre =
+        roofline.prefillTime(mathShepherd7B(), batch, 640);
+    EXPECT_GT(large_pre, small_pre);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndBatches, RooflineModelSweep,
+    ::testing::Combine(::testing::Values("RTX4090", "RTX4070Ti",
+                                         "RTX3070Ti"),
+                       ::testing::Values(1, 8, 64)));
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the generation-phase schedulers, the shared-prefix cost
+ * model, and the Sec. 4.2 / Appendix A greedy-optimality property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace fasttts
+{
+namespace
+{
+
+/** Fixture building the paper's Fig. 8 style tree:
+ *  root -> A -> {B -> {D -> {G, H}, E -> I}, C -> F -> J}. */
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest() : kv_(1 << 20, 1.0, 16)
+    {
+        a_ = kv_.createChild(KvCacheManager::kRoot, 'A', 10);
+        b_ = kv_.createChild(a_, 'B', 10);
+        c_ = kv_.createChild(a_, 'C', 10);
+        d_ = kv_.createChild(b_, 'D', 10);
+        e_ = kv_.createChild(b_, 'E', 10);
+        f_ = kv_.createChild(c_, 'F', 10);
+        g_ = kv_.createChild(d_, 'G', 10);
+        h_ = kv_.createChild(d_, 'H', 10);
+        i_ = kv_.createChild(e_, 'I', 10);
+        j_ = kv_.createChild(f_, 'J', 10);
+    }
+
+    SchedEntry
+    entry(size_t index, int leaf, uint64_t parent, int prev_pos = 0)
+    {
+        SchedEntry e;
+        e.index = index;
+        e.beamId = index + 1;
+        e.parentBeam = parent;
+        e.leaf = leaf;
+        e.pathTokens = kv_.pathTokens(leaf);
+        e.prevPosition = prev_pos;
+        return e;
+    }
+
+    /** The four leaf paths of Fig. 8: ABDG, ABDH, ABEI, ACFJ. */
+    std::vector<SchedEntry>
+    fig8Entries()
+    {
+        return {entry(0, g_, 100), entry(1, h_, 100), entry(2, i_, 101),
+                entry(3, j_, 102)};
+    }
+
+    KvCacheManager kv_;
+    int a_, b_, c_, d_, e_, f_, g_, h_, i_, j_;
+};
+
+TEST_F(SchedulerTest, SharedPrefixTokens)
+{
+    // ABDG vs ABDH share A+B+D = 30 tokens.
+    EXPECT_EQ(sharedPrefixTokens(kv_, g_, h_), 30);
+    // ABDG vs ABEI share A+B = 20.
+    EXPECT_EQ(sharedPrefixTokens(kv_, g_, i_), 20);
+    // ABDG vs ACFJ share A = 10.
+    EXPECT_EQ(sharedPrefixTokens(kv_, g_, j_), 10);
+    // A path shares its whole length with itself.
+    EXPECT_EQ(sharedPrefixTokens(kv_, g_, g_), 40);
+    // Symmetry.
+    EXPECT_EQ(sharedPrefixTokens(kv_, j_, g_),
+              sharedPrefixTokens(kv_, g_, j_));
+}
+
+TEST_F(SchedulerTest, ScheduleCostMatchesDefinition)
+{
+    auto entries = fig8Entries();
+    // Order ABDG, ABDH, ABEI, ACFJ: shared = 30 + 20 + 10 = 60.
+    EXPECT_EQ(scheduleSharedPrefixSum(kv_, entries), 60);
+    // Cost = total tokens (4 x 40) - shared.
+    EXPECT_EQ(scheduleEvictionCost(kv_, entries), 160 - 60);
+}
+
+TEST_F(SchedulerTest, GreedyBeatsWorstCase)
+{
+    auto greedy_order = fig8Entries();
+    auto worst_order = fig8Entries();
+    Rng rng(1);
+    makeGreedyPrefixScheduler()->order(greedy_order, kv_, rng);
+    makeWorstCaseScheduler()->order(worst_order, kv_, rng);
+    EXPECT_GE(scheduleSharedPrefixSum(kv_, greedy_order),
+              scheduleSharedPrefixSum(kv_, worst_order));
+    // On Fig. 8 the greedy order achieves the maximum (60).
+    EXPECT_EQ(scheduleSharedPrefixSum(kv_, greedy_order), 60);
+}
+
+TEST_F(SchedulerTest, PrefixAwareGroupsSiblings)
+{
+    // Interleave siblings; prefix-aware must re-group them by parent.
+    std::vector<SchedEntry> entries = {
+        entry(0, g_, 100, 0), entry(1, j_, 102, 2),
+        entry(2, h_, 100, 0), entry(3, i_, 101, 1)};
+    Rng rng(1);
+    makePrefixAwareScheduler()->order(entries, kv_, rng);
+    // Order by prevPosition: the two parent-100 children first.
+    EXPECT_EQ(entries[0].parentBeam, 100u);
+    EXPECT_EQ(entries[1].parentBeam, 100u);
+    EXPECT_EQ(entries[2].parentBeam, 101u);
+    EXPECT_EQ(entries[3].parentBeam, 102u);
+}
+
+TEST_F(SchedulerTest, FifoOrdersById)
+{
+    std::vector<SchedEntry> entries = {entry(2, i_, 1), entry(0, g_, 1),
+                                       entry(1, h_, 1)};
+    Rng rng(1);
+    makeFifoScheduler()->order(entries, kv_, rng);
+    EXPECT_EQ(entries[0].beamId, 1u);
+    EXPECT_EQ(entries[1].beamId, 2u);
+    EXPECT_EQ(entries[2].beamId, 3u);
+}
+
+TEST_F(SchedulerTest, RandomIsAPermutationAndSeedDeterministic)
+{
+    auto entries = fig8Entries();
+    Rng r1(7);
+    Rng r2(7);
+    auto a = entries;
+    auto b = entries;
+    makeRandomScheduler()->order(a, kv_, r1);
+    makeRandomScheduler()->order(b, kv_, r2);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].beamId, b[i].beamId);
+    std::set<uint64_t> ids;
+    for (const auto &e : a)
+        ids.insert(e.beamId);
+    EXPECT_EQ(ids.size(), entries.size());
+}
+
+TEST_F(SchedulerTest, FactoryByName)
+{
+    EXPECT_EQ(makeScheduler("fifo")->name(), "fifo");
+    EXPECT_EQ(makeScheduler("random")->name(), "random");
+    EXPECT_EQ(makeScheduler("worst_case")->name(), "worst_case");
+    EXPECT_EQ(makeScheduler("prefix_aware")->name(), "prefix_aware");
+    EXPECT_EQ(makeScheduler("greedy_prefix")->name(), "greedy_prefix");
+    EXPECT_EQ(makeScheduler("bogus")->name(), "fifo");
+}
+
+/**
+ * Appendix A.2 property: the greedy schedule is locally optimal — no
+ * single swap of two elements improves the shared-prefix sum.
+ */
+class GreedyOptimality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GreedyOptimality, NoSingleSwapImproves)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    KvCacheManager kv(1 << 20, 1.0, 16);
+
+    // Random reasoning tree with 24 leaves.
+    std::vector<int> frontier = {KvCacheManager::kRoot};
+    std::vector<int> leaves;
+    uint64_t seg = 1;
+    for (int step = 0; step < 4; ++step) {
+        std::vector<int> next;
+        for (int node : frontier) {
+            const int kids = rng.uniformInt(1, 3);
+            for (int k = 0; k < kids; ++k) {
+                next.push_back(
+                    kv.createChild(node, seg++, rng.uniformInt(5, 60)));
+            }
+        }
+        frontier = next;
+    }
+    leaves = frontier;
+    if (leaves.size() > 24)
+        leaves.resize(24);
+
+    std::vector<SchedEntry> entries;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        SchedEntry e;
+        e.index = i;
+        e.beamId = i + 1;
+        e.leaf = leaves[i];
+        e.parentBeam = static_cast<uint64_t>(kv.parentOf(leaves[i]));
+        e.pathTokens = kv.pathTokens(leaves[i]);
+        entries.push_back(e);
+    }
+    rng.shuffle(entries);
+    makeGreedyPrefixScheduler()->order(entries, kv, rng);
+
+    const long base = scheduleSharedPrefixSum(kv, entries);
+    for (size_t i = 0; i < entries.size(); ++i) {
+        for (size_t j = i + 1; j < entries.size(); ++j) {
+            auto swapped = entries;
+            std::swap(swapped[i], swapped[j]);
+            EXPECT_LE(scheduleSharedPrefixSum(kv, swapped), base)
+                << "swap (" << i << "," << j << ") improved the greedy "
+                << "schedule";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOptimality,
+                         ::testing::Range(1, 9));
+
+/** The production sibling-grouping policy should be close to the
+ *  greedy argmax on beam-search-shaped trees. */
+TEST(PrefixAwareQuality, CloseToGreedyOnSiblingGroups)
+{
+    Rng rng(123);
+    KvCacheManager kv(1 << 20, 1.0, 16);
+    // One parent generation of 8 beams, each spawning 4 children —
+    // the structure the engine produces.
+    std::vector<SchedEntry> entries;
+    uint64_t seg = 1;
+    size_t index = 0;
+    for (int p = 0; p < 8; ++p) {
+        const int parent = kv.createChild(KvCacheManager::kRoot, seg++,
+                                          rng.uniformInt(50, 200));
+        for (int c = 0; c < 4; ++c) {
+            const int leaf =
+                kv.createChild(parent, seg++, rng.uniformInt(20, 100));
+            SchedEntry e;
+            e.index = index++;
+            e.beamId = index;
+            e.parentBeam = static_cast<uint64_t>(p);
+            e.leaf = leaf;
+            e.pathTokens = kv.pathTokens(leaf);
+            e.prevPosition = p;
+            entries.push_back(e);
+        }
+    }
+    rng.shuffle(entries);
+
+    auto grouped = entries;
+    auto greedy = entries;
+    makePrefixAwareScheduler()->order(grouped, kv, rng);
+    makeGreedyPrefixScheduler()->order(greedy, kv, rng);
+    const long grouped_sum = scheduleSharedPrefixSum(kv, grouped);
+    const long greedy_sum = scheduleSharedPrefixSum(kv, greedy);
+    EXPECT_GE(grouped_sum, static_cast<long>(0.95 * greedy_sum));
+
+    auto random_order = entries;
+    makeRandomScheduler()->order(random_order, kv, rng);
+    EXPECT_GT(grouped_sum, scheduleSharedPrefixSum(kv, random_order));
+}
+
+} // namespace
+} // namespace fasttts

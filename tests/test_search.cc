@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the five TTS search algorithms (paper Fig. 2 / Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "search/search_algorithm.h"
+
+namespace fasttts
+{
+namespace
+{
+
+std::vector<BeamCandidate>
+makeCandidates(const std::vector<double> &scores, int group_size = 4)
+{
+    std::vector<BeamCandidate> out;
+    for (size_t i = 0; i < scores.size(); ++i) {
+        BeamCandidate c;
+        c.index = i;
+        c.score = scores[i];
+        c.prevScore = scores[i];
+        c.rootIndex = static_cast<int>(i) / group_size;
+        c.beamId = i + 1;
+        out.push_back(c);
+    }
+    return out;
+}
+
+TEST(BeamSearch, KeepsTopCandidatesAndSpreadsWidth)
+{
+    auto algo = makeBeamSearch(8, 4);
+    Rng rng(1);
+    const auto cands =
+        makeCandidates({0.9, 0.1, 0.8, 0.2, 0.5, 0.3, 0.4, 0.6});
+    const auto result = algo->select(cands, 8, rng);
+    EXPECT_EQ(result.totalChildren(), 8);
+    // keep = ceil(8/4) = 2 survivors: indices 0 (0.9) and 2 (0.8).
+    ASSERT_EQ(result.expansions.size(), 2u);
+    EXPECT_EQ(result.expansions[0].first, 0u);
+    EXPECT_EQ(result.expansions[1].first, 2u);
+    EXPECT_EQ(result.expansions[0].second, 4);
+    EXPECT_EQ(result.expansions[1].second, 4);
+}
+
+TEST(BeamSearch, UnevenWidthDistributed)
+{
+    auto algo = makeBeamSearch(8, 4);
+    Rng rng(1);
+    const auto cands = makeCandidates({0.9, 0.8, 0.7, 0.1});
+    const auto result = algo->select(cands, 7, rng);
+    EXPECT_EQ(result.totalChildren(), 7);
+    // ceil(7/4) = 2 survivors; 4 + 3 children.
+    ASSERT_EQ(result.expansions.size(), 2u);
+    EXPECT_EQ(result.expansions[0].second, 4);
+    EXPECT_EQ(result.expansions[1].second, 3);
+}
+
+TEST(BeamSearch, TieBrokenByBeamId)
+{
+    auto algo = makeBeamSearch(4, 4);
+    Rng rng(1);
+    const auto cands = makeCandidates({0.5, 0.5, 0.5, 0.5});
+    const auto result = algo->select(cands, 4, rng);
+    ASSERT_EQ(result.expansions.size(), 1u);
+    EXPECT_EQ(result.expansions[0].first, 0u); // Smallest beam id wins.
+}
+
+TEST(BeamSearch, EmptyInputsAreSafe)
+{
+    auto algo = makeBeamSearch(8, 4);
+    Rng rng(1);
+    EXPECT_TRUE(algo->select({}, 8, rng).expansions.empty());
+    EXPECT_TRUE(algo->select(makeCandidates({0.5}), 0, rng)
+                    .expansions.empty());
+}
+
+TEST(Dvts, SelectsBestPerSubtree)
+{
+    auto algo = makeDvts(8, 4);
+    Rng rng(1);
+    // Two subtrees of 4; best of subtree 0 is index 1, best of
+    // subtree 1 is index 6.
+    const auto cands =
+        makeCandidates({0.3, 0.9, 0.1, 0.2, 0.4, 0.5, 0.8, 0.6}, 4);
+    const auto result = algo->select(cands, 8, rng);
+    ASSERT_EQ(result.expansions.size(), 2u);
+    EXPECT_EQ(result.expansions[0].first, 1u);
+    EXPECT_EQ(result.expansions[1].first, 6u);
+    EXPECT_EQ(result.totalChildren(), 8);
+}
+
+TEST(Dvts, MaintainsDiversityUnlikeBeamSearch)
+{
+    // All strong candidates in one subtree: beam search collapses to
+    // it, DVTS keeps one survivor per subtree.
+    auto dvts = makeDvts(8, 4);
+    auto beam = makeBeamSearch(8, 4);
+    Rng rng(1);
+    const auto cands =
+        makeCandidates({0.9, 0.95, 0.99, 0.98, 0.1, 0.2, 0.15, 0.12}, 4);
+    const auto dr = dvts->select(cands, 8, rng);
+    const auto br = beam->select(cands, 8, rng);
+    std::set<int> dvts_roots;
+    for (const auto &[idx, k] : dr.expansions)
+        dvts_roots.insert(cands[idx].rootIndex);
+    std::set<int> beam_roots;
+    for (const auto &[idx, k] : br.expansions)
+        beam_roots.insert(cands[idx].rootIndex);
+    EXPECT_EQ(dvts_roots.size(), 2u);
+    EXPECT_EQ(beam_roots.size(), 1u);
+}
+
+TEST(DynamicBranching, ChildrenProportionalToScore)
+{
+    auto algo = makeDynamicBranching(16, 4);
+    Rng rng(1);
+    const auto cands = makeCandidates({0.9, 0.5, 0.1});
+    const auto result = algo->select(cands, 16, rng);
+    EXPECT_EQ(result.totalChildren(), 16);
+    int by_index[3] = {0, 0, 0};
+    for (const auto &[idx, k] : result.expansions)
+        by_index[idx] = k;
+    EXPECT_GT(by_index[0], by_index[1]);
+    EXPECT_GT(by_index[1], by_index[2]);
+}
+
+TEST(DynamicBranching, ExactTotalWithLargestRemainder)
+{
+    auto algo = makeDynamicBranching(8, 4);
+    Rng rng(1);
+    for (int target : {1, 3, 7, 8, 13}) {
+        const auto cands =
+            makeCandidates({0.61, 0.59, 0.6, 0.58, 0.62});
+        const auto result = algo->select(cands, target, rng);
+        EXPECT_EQ(result.totalChildren(), target);
+    }
+}
+
+TEST(BestOfN, EveryChainContinuesIndependently)
+{
+    auto algo = makeBestOfN(8);
+    Rng rng(1);
+    const auto cands = makeCandidates({0.9, 0.1, 0.5});
+    const auto result = algo->select(cands, 3, rng);
+    ASSERT_EQ(result.expansions.size(), 3u);
+    for (const auto &[idx, k] : result.expansions)
+        EXPECT_EQ(k, 1);
+}
+
+TEST(VaryingGranularity, StepCapSchedule)
+{
+    auto algo = makeVaryingGranularity(8, 4);
+    // Fig. 11 config: 64 tokens for the first 3 steps, 2048 after.
+    EXPECT_EQ(algo->stepTokenCap(0), 64);
+    EXPECT_EQ(algo->stepTokenCap(2), 64);
+    EXPECT_EQ(algo->stepTokenCap(3), 2048);
+    EXPECT_EQ(algo->stepTokenCap(11), 2048);
+}
+
+TEST(VaryingGranularity, SelectsLikeBeamSearch)
+{
+    auto vg = makeVaryingGranularity(8, 4);
+    auto bs = makeBeamSearch(8, 4);
+    Rng rng(1);
+    const auto cands =
+        makeCandidates({0.9, 0.1, 0.8, 0.2, 0.5, 0.3, 0.4, 0.6});
+    const auto a = vg->select(cands, 8, rng);
+    const auto b = bs->select(cands, 8, rng);
+    EXPECT_EQ(a.expansions, b.expansions);
+}
+
+TEST(AlgorithmFactory, ByName)
+{
+    EXPECT_EQ(makeAlgorithm("best_of_n", 8)->name(), "best_of_n");
+    EXPECT_EQ(makeAlgorithm("beam_search", 8)->name(), "beam_search");
+    EXPECT_EQ(makeAlgorithm("dvts", 8)->name(), "dvts");
+    EXPECT_EQ(makeAlgorithm("dynamic_branching", 8)->name(),
+              "dynamic_branching");
+    EXPECT_EQ(makeAlgorithm("varying_granularity", 8)->name(),
+              "varying_granularity");
+    // Unknown names fall back to beam search.
+    EXPECT_EQ(makeAlgorithm("bogus", 8)->name(), "beam_search");
+}
+
+TEST(AlgorithmFactory, WidthAndBranchFactorStored)
+{
+    auto algo = makeAlgorithm("beam_search", 128, 8);
+    EXPECT_EQ(algo->beamWidth(), 128);
+    EXPECT_EQ(algo->branchFactor(), 8);
+}
+
+/** Property sweep: every algorithm is deterministic and respects the
+ *  target width (except Best-of-N, which continues all chains). */
+class AlgorithmSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(AlgorithmSweep, DeterministicAndWidthRespecting)
+{
+    const auto &[name, n] = GetParam();
+    auto algo = makeAlgorithm(name, n, 4);
+    Rng rng_seed(99);
+    std::vector<double> scores;
+    for (int i = 0; i < n; ++i)
+        scores.push_back(rng_seed.uniform());
+    const auto cands = makeCandidates(scores);
+
+    Rng r1(5);
+    Rng r2(5);
+    const auto a = algo->select(cands, n, r1);
+    const auto b = algo->select(cands, n, r2);
+    EXPECT_EQ(a.expansions, b.expansions);
+
+    if (name != "best_of_n")
+        EXPECT_EQ(a.totalChildren(), n);
+    for (const auto &[idx, k] : a.expansions) {
+        EXPECT_LT(idx, cands.size());
+        EXPECT_GE(k, 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmSweep,
+    ::testing::Combine(::testing::Values("best_of_n", "beam_search",
+                                         "dvts", "dynamic_branching",
+                                         "varying_granularity"),
+                       ::testing::Values(4, 8, 32, 128)));
+
+} // namespace
+} // namespace fasttts

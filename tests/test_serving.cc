@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the ServingSystem facade and batch aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/serving.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(ServingSystem, ServesProblemsAndAggregates)
+{
+    ServingOptions opts;
+    opts.numBeams = 8;
+    ServingSystem system(opts);
+    const auto out = system.serveProblems(3);
+    EXPECT_EQ(out.requests.size(), 3u);
+    EXPECT_GT(out.meanGoodput, 0);
+    EXPECT_GT(out.meanLatency, 0);
+    EXPECT_GE(out.top1Accuracy, 0);
+    EXPECT_LE(out.top1Accuracy, 100);
+    EXPECT_GE(out.passAtNAccuracy, out.passAt1);
+}
+
+TEST(ServingSystem, ProblemSetIsDeterministic)
+{
+    ServingOptions opts;
+    ServingSystem a(opts);
+    ServingSystem b(opts);
+    ASSERT_FALSE(a.problems().empty());
+    EXPECT_EQ(a.problems()[0].seed, b.problems()[0].seed);
+}
+
+TEST(ServingSystem, SeedChangesProblems)
+{
+    ServingOptions a;
+    a.seed = 1;
+    ServingOptions b;
+    b.seed = 2;
+    EXPECT_NE(ServingSystem(a).problems()[0].seed,
+              ServingSystem(b).problems()[0].seed);
+}
+
+TEST(ServingSystem, OptionsRoundTrip)
+{
+    ServingOptions opts;
+    opts.deviceName = "RTX4070Ti";
+    opts.datasetName = "AMC";
+    opts.algorithmName = "dvts";
+    opts.numBeams = 12;
+    ServingSystem system(opts);
+    EXPECT_EQ(system.options().deviceName, "RTX4070Ti");
+    EXPECT_EQ(system.options().numBeams, 12);
+}
+
+TEST(ServingSystem, ServeSingleProblem)
+{
+    ServingOptions opts;
+    opts.numBeams = 8;
+    ServingSystem system(opts);
+    const auto r = system.serve(system.problems()[0]);
+    EXPECT_EQ(r.completedBeams, 8);
+}
+
+TEST(AggregateResults, AccuracyPercentages)
+{
+    // Two requests: one solved (answer 0 majority), one not.
+    RequestResult solved;
+    solved.completedBeams = 2;
+    solved.avgBeamTokens = 100;
+    solved.avgBeamCompletion = 10;
+    solved.solutions = {{0, 0.9, 100, 1.0}, {0, 0.8, 100, 2.0}};
+    RequestResult failed;
+    failed.completedBeams = 2;
+    failed.avgBeamTokens = 100;
+    failed.avgBeamCompletion = 10;
+    failed.solutions = {{3, 0.9, 100, 1.0}, {3, 0.8, 100, 2.0}};
+    const auto out = aggregateResults({solved, failed}, 2);
+    EXPECT_DOUBLE_EQ(out.top1Accuracy, 50.0);
+    EXPECT_DOUBLE_EQ(out.passAtNAccuracy, 50.0);
+}
+
+TEST(AggregateResults, EmptyIsSafe)
+{
+    const auto out = aggregateResults({}, 8);
+    EXPECT_TRUE(out.requests.empty());
+    EXPECT_DOUBLE_EQ(out.meanGoodput, 0.0);
+}
+
+} // namespace
+} // namespace fasttts

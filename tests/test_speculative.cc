@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the SelectSPEC policy (Sec. 4.1.1) and the duplicate
+ * truncation draw (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/speculative.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(SpeculativePolicy, TopBinGetsFullPotential)
+{
+    SpeculativePolicy policy(4, 0.85);
+    const std::vector<double> scores = {0.1, 0.4, 0.7, 0.9};
+    EXPECT_EQ(policy.speculativePotential(0.9, scores), 4);
+    EXPECT_EQ(policy.speculativePotential(0.1, scores), 1);
+}
+
+TEST(SpeculativePolicy, PotentialMonotoneInScore)
+{
+    SpeculativePolicy policy(4, 0.85);
+    const std::vector<double> scores = {0.0, 0.25, 0.5, 0.75, 1.0};
+    int prev = 0;
+    for (double s : {0.05, 0.3, 0.6, 0.95}) {
+        const int m = policy.speculativePotential(s, scores);
+        EXPECT_GE(m, prev);
+        EXPECT_GE(m, 1);
+        EXPECT_LE(m, 4);
+        prev = m;
+    }
+}
+
+TEST(SpeculativePolicy, EqualScoresAllTopBin)
+{
+    SpeculativePolicy policy(4, 0.85);
+    const std::vector<double> scores = {0.5, 0.5, 0.5};
+    EXPECT_EQ(policy.speculativePotential(0.5, scores), 4);
+}
+
+TEST(SpeculativePolicy, EmptyScoresGiveMinimum)
+{
+    SpeculativePolicy policy(4, 0.85);
+    EXPECT_EQ(policy.speculativePotential(0.9, {}), 1);
+}
+
+TEST(SpeculativePolicy, BinCountMatchesBranchFactor)
+{
+    // With B bins over [0,1], score 1.0 gives B and score 0.0 gives 1.
+    for (int b : {1, 2, 4, 8}) {
+        SpeculativePolicy policy(b, 0.85);
+        std::vector<double> scores = {0.0, 1.0};
+        EXPECT_EQ(policy.speculativePotential(1.0, scores), b);
+        EXPECT_EQ(policy.speculativePotential(0.0, scores), 1);
+    }
+}
+
+TEST(SpeculativePolicy, TruncationMeanTracksRatio)
+{
+    SpeculativePolicy policy(4, 0.85);
+    Rng rng(17);
+    double total = 0;
+    const int len = 200;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        total += policy.truncationKeep(len, rng);
+    EXPECT_NEAR(total / trials, 0.85 * len, 2.0);
+}
+
+TEST(SpeculativePolicy, TruncationClampedToSegment)
+{
+    SpeculativePolicy policy(4, 0.85);
+    Rng rng(18);
+    for (int i = 0; i < 5000; ++i) {
+        const int keep = policy.truncationKeep(50, rng);
+        EXPECT_GE(keep, 0);
+        EXPECT_LE(keep, 50);
+    }
+    EXPECT_EQ(policy.truncationKeep(0, rng), 0);
+}
+
+TEST(SpeculativePolicy, ZeroRatioDropsMostTokens)
+{
+    SpeculativePolicy policy(4, 0.0);
+    Rng rng(19);
+    double total = 0;
+    for (int i = 0; i < 5000; ++i)
+        total += policy.truncationKeep(100, rng);
+    EXPECT_LT(total / 5000, 10.0);
+}
+
+TEST(SpeculativePolicy, RatioClampedToUnitInterval)
+{
+    SpeculativePolicy policy(4, 1.7);
+    EXPECT_DOUBLE_EQ(policy.truncationRatio(), 1.0);
+    SpeculativePolicy negative(4, -0.5);
+    EXPECT_DOUBLE_EQ(negative.truncationRatio(), 0.0);
+}
+
+} // namespace
+} // namespace fasttts

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the simulated clock and utilization timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timeline.h"
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(SimClock, StartsAtZero)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0.0);
+    EXPECT_TRUE(clock.segments().empty());
+}
+
+TEST(SimClock, AdvanceAccumulates)
+{
+    SimClock clock;
+    clock.advance(1.5, Phase::Generation, 0.4, 8, 8);
+    clock.advance(0.5, Phase::Verification, 0.9, 4, 8);
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+    EXPECT_DOUBLE_EQ(clock.phaseTime(Phase::Generation), 1.5);
+    EXPECT_DOUBLE_EQ(clock.phaseTime(Phase::Verification), 0.5);
+    EXPECT_DOUBLE_EQ(clock.phaseTime(Phase::Transfer), 0.0);
+    ASSERT_EQ(clock.segments().size(), 2u);
+    EXPECT_EQ(clock.segments()[0].phase, Phase::Generation);
+    EXPECT_DOUBLE_EQ(clock.segments()[1].start, 1.5);
+}
+
+TEST(SimClock, ZeroAdvanceIsNoop)
+{
+    SimClock clock;
+    clock.advance(0.0, Phase::Generation);
+    EXPECT_EQ(clock.now(), 0.0);
+    EXPECT_TRUE(clock.segments().empty());
+}
+
+TEST(SimClock, SampleUtilization)
+{
+    SimClock clock;
+    clock.advance(1.0, Phase::Generation, 0.5, 4, 4);
+    clock.advance(1.0, Phase::Verification, 0.9, 4, 4);
+    const auto samples = clock.sampleUtilization(0.25);
+    ASSERT_EQ(samples.size(), 8u);
+    EXPECT_DOUBLE_EQ(samples[0], 0.5);
+    EXPECT_DOUBLE_EQ(samples[3], 0.5);
+    EXPECT_DOUBLE_EQ(samples[4], 0.9);
+    EXPECT_DOUBLE_EQ(samples[7], 0.9);
+}
+
+TEST(SimClock, SampleBeyondTraceIsZero)
+{
+    SimClock clock;
+    clock.advance(0.5, Phase::Generation, 0.7, 1, 1);
+    const auto samples = clock.sampleUtilization(0.2, 1.0);
+    ASSERT_EQ(samples.size(), 5u);
+    EXPECT_DOUBLE_EQ(samples[4], 0.0);
+}
+
+TEST(SimClock, TraceDisabledStillAdvances)
+{
+    SimClock clock;
+    clock.setTraceEnabled(false);
+    clock.advance(2.0, Phase::Generation, 0.5, 1, 1);
+    EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+    EXPECT_TRUE(clock.segments().empty());
+    EXPECT_DOUBLE_EQ(clock.phaseTime(Phase::Generation), 2.0);
+}
+
+TEST(SimClock, DiscardTraceKeepsClock)
+{
+    SimClock clock;
+    clock.advance(1.0, Phase::Recompute, 0.2, 1, 1);
+    clock.discardTrace();
+    EXPECT_TRUE(clock.segments().empty());
+    EXPECT_DOUBLE_EQ(clock.now(), 1.0);
+}
+
+TEST(SimClock, PhaseNames)
+{
+    EXPECT_STREQ(phaseName(Phase::Generation), "generation");
+    EXPECT_STREQ(phaseName(Phase::Verification), "verification");
+    EXPECT_STREQ(phaseName(Phase::Recompute), "recompute");
+    EXPECT_STREQ(phaseName(Phase::Transfer), "transfer");
+    EXPECT_STREQ(phaseName(Phase::Idle), "idle");
+}
+
+TEST(SimClock, DefaultTotalSlotsEqualsActive)
+{
+    SimClock clock;
+    clock.advance(1.0, Phase::Generation, 0.5, 6);
+    EXPECT_EQ(clock.segments()[0].totalSlots, 6);
+}
+
+} // namespace
+} // namespace fasttts

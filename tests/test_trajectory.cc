@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the deterministic trajectory draws — the foundation of the
+ * algorithmic-equivalence guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "core/trajectory.h"
+
+namespace fasttts
+{
+namespace
+{
+
+class TrajectoryTest : public ::testing::Test
+{
+  protected:
+    DatasetProfile profile_ = aime2024();
+    SyntheticGenerator gen_{qwen25Math1_5B(), profile_};
+    SyntheticVerifier ver_{skywork1_5B()};
+    Problem problem_ = makeProblems(profile_, 1, 42)[0];
+};
+
+TEST_F(TrajectoryTest, DrawStepIsPure)
+{
+    const uint64_t seed = rootLineageSeed(problem_, 0);
+    const StepDraw a = drawStep(gen_, problem_, seed, 3, 0.2, INT_MAX);
+    const StepDraw b = drawStep(gen_, problem_, seed, 3, 0.2, INT_MAX);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_DOUBLE_EQ(a.quality, b.quality);
+    EXPECT_EQ(a.terminal, b.terminal);
+    EXPECT_EQ(a.answer, b.answer);
+}
+
+TEST_F(TrajectoryTest, DifferentStepsDiffer)
+{
+    const uint64_t seed = rootLineageSeed(problem_, 0);
+    const StepDraw a = drawStep(gen_, problem_, seed, 3, 0.2, INT_MAX);
+    const StepDraw b = drawStep(gen_, problem_, seed, 4, 0.2, INT_MAX);
+    EXPECT_TRUE(a.tokens != b.tokens || a.quality != b.quality);
+}
+
+TEST_F(TrajectoryTest, CapTruncatesTokensOnly)
+{
+    const uint64_t seed = rootLineageSeed(problem_, 1);
+    const StepDraw full = drawStep(gen_, problem_, seed, 0, 0.0, INT_MAX);
+    const StepDraw capped = drawStep(gen_, problem_, seed, 0, 0.0, 64);
+    EXPECT_LE(capped.tokens, 64);
+    EXPECT_DOUBLE_EQ(full.quality, capped.quality);
+    EXPECT_EQ(full.terminal, capped.terminal);
+}
+
+TEST_F(TrajectoryTest, ScoreIsPureAndIndependentOfGenerationLane)
+{
+    const uint64_t seed = rootLineageSeed(problem_, 2);
+    const double s1 = drawScore(ver_, seed, 5, 0.3);
+    const double s2 = drawScore(ver_, seed, 5, 0.3);
+    EXPECT_DOUBLE_EQ(s1, s2);
+    // Different step -> different observation noise (almost surely).
+    const double s3 = drawScore(ver_, seed, 6, 0.3);
+    EXPECT_NE(s1, s3);
+}
+
+TEST_F(TrajectoryTest, ChildSeedsAreDistinct)
+{
+    const uint64_t parent = rootLineageSeed(problem_, 0);
+    const uint64_t c0 = childLineageSeed(parent, 2, 0);
+    const uint64_t c1 = childLineageSeed(parent, 2, 1);
+    const uint64_t other_step = childLineageSeed(parent, 3, 0);
+    EXPECT_NE(c0, c1);
+    EXPECT_NE(c0, other_step);
+    EXPECT_EQ(c0, childLineageSeed(parent, 2, 0));
+}
+
+TEST_F(TrajectoryTest, RootSeedsPerBeamDistinct)
+{
+    EXPECT_NE(rootLineageSeed(problem_, 0), rootLineageSeed(problem_, 1));
+    const Problem other = makeProblems(profile_, 2, 43)[1];
+    EXPECT_NE(rootLineageSeed(problem_, 0), rootLineageSeed(other, 0));
+}
+
+TEST_F(TrajectoryTest, RootQualityDeterministic)
+{
+    EXPECT_DOUBLE_EQ(rootQuality(gen_, problem_, 4),
+                     rootQuality(gen_, problem_, 4));
+    EXPECT_NE(rootQuality(gen_, problem_, 4),
+              rootQuality(gen_, problem_, 5));
+}
+
+TEST_F(TrajectoryTest, GenerationAndVerifierLanesAreSeparate)
+{
+    // Consuming the generation lane must not perturb the verifier
+    // lane: draw order independence.
+    const uint64_t seed = rootLineageSeed(problem_, 3);
+    const double before = drawScore(ver_, seed, 2, 0.1);
+    (void)drawStep(gen_, problem_, seed, 2, 0.1, INT_MAX);
+    const double after = drawScore(ver_, seed, 2, 0.1);
+    EXPECT_DOUBLE_EQ(before, after);
+}
+
+} // namespace
+} // namespace fasttts
