@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Machine-readable benchmark harness.
+ *
+ * Each paper-figure bench binary prints a human-oriented ASCII table;
+ * this runner executes the same serving configurations programmatically
+ * and writes one BENCH_<name>.json per benchmark with the numbers every
+ * optimisation PR is judged against: throughput (Precise Goodput and
+ * wall-clock tokens/s), end-to-end latency percentiles, KV-cache
+ * utilization, and accuracy — for the vLLM-style baseline and for
+ * FastTTS, plus the derived speedups.
+ *
+ * Usage:
+ *   bench_runner --list                 # enumerate benchmark names
+ *   bench_runner [--quick] [--out-dir D] [--seed S] [name...]
+ *
+ * --quick shrinks beam widths and problem counts so the full suite
+ * finishes in seconds (used by CI and scripts/run_benchmarks.sh).
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace fasttts
+{
+namespace
+{
+
+/** Generator+verifier pairs a benchmark can request. */
+enum class ModelPair { Pair1_5Bplus1_5B, Pair1_5Bplus7B, Pair7Bplus1_5B };
+
+/** One registered figure benchmark: name + serving configuration. */
+struct BenchSpec
+{
+    const char *name;
+    const char *description;
+    const char *dataset;
+    const char *device;
+    const char *algorithm;
+    ModelPair models;
+    int numBeams;    //!< Search width in full mode.
+    int numProblems; //!< Problems served in full mode.
+};
+
+/**
+ * The figure suite. Names match the bench_<name> binaries; the configs
+ * mirror each figure's headline setting (scaled to finish quickly —
+ * the per-figure binaries remain the faithful reproductions).
+ */
+const BenchSpec kBenchmarks[] = {
+    {"fig01_frontier", "Latency vs. accuracy frontier (Fig. 1b)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig03_patterns", "TTS workload patterns (Fig. 3)", "MATH500", "RTX4090",
+     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig04_utilization", "GPU utilization timeline (Fig. 4)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 4},
+    {"fig05_prefix_sharing", "Prefix sharing working set (Fig. 5)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 4},
+    {"fig06_kv_throughput", "KV pressure vs. throughput (Fig. 6)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig10_allocation", "Asymmetric memory allocation (Fig. 10)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus7B, 48, 4},
+    {"fig11_variants", "Search method variants (Fig. 11)", "AIME", "RTX4090",
+     "dvts", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig12_goodput", "Precise Goodput comparison (Fig. 12)", "MATH500",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 6},
+    {"fig13_latency", "Latency breakdown (Fig. 13)", "AMC", "RTX4090",
+     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig14_accuracy", "Accuracy preservation (Fig. 14)", "MATH500",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 8},
+    {"fig15_hardware", "Hardware sensitivity (Fig. 15)", "AIME", "RTX3070Ti",
+     "beam_search", ModelPair::Pair1_5Bplus1_5B, 48, 4},
+    {"fig16_ablation", "P/M/S ablation (Fig. 16)", "AIME", "RTX4090",
+     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig17_speculative", "Speculative beam extension (Fig. 17)", "AMC",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+    {"fig18_scheduling", "Prefix-aware scheduling (Fig. 18)", "AIME",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 4},
+    {"micro", "Engine micro cost sanity run", "AMC", "RTX4090", "beam_search",
+     ModelPair::Pair1_5Bplus1_5B, 16, 2},
+    {"online_responsiveness", "Online serving responsiveness", "AMC",
+     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 32, 6},
+};
+
+ModelConfig
+modelsFor(ModelPair pair)
+{
+    switch (pair) {
+    case ModelPair::Pair1_5Bplus7B:
+        return config1_5Bplus7B();
+    case ModelPair::Pair7Bplus1_5B:
+        return config7Bplus1_5B();
+    case ModelPair::Pair1_5Bplus1_5B:
+    default:
+        return config1_5Bplus1_5B();
+    }
+}
+
+const char *
+modelPairName(ModelPair pair)
+{
+    switch (pair) {
+    case ModelPair::Pair1_5Bplus7B:
+        return "1.5B+7B";
+    case ModelPair::Pair7Bplus1_5B:
+        return "7B+1.5B";
+    case ModelPair::Pair1_5Bplus1_5B:
+    default:
+        return "1.5B+1.5B";
+    }
+}
+
+/** Exact sample quantile with linear interpolation between ranks. */
+double
+sampleQuantile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/** Metrics of one (benchmark, engine-variant) measurement. */
+Json
+measureVariant(const BenchSpec &spec, bool fast, int num_beams,
+               int num_problems, uint64_t seed)
+{
+    ServingOptions opts;
+    opts.config = fast ? FastTtsConfig::fastTts() : FastTtsConfig::baseline();
+    opts.models = modelsFor(spec.models);
+    opts.deviceName = spec.device;
+    opts.datasetName = spec.dataset;
+    opts.algorithmName = spec.algorithm;
+    opts.numBeams = num_beams;
+    opts.seed = seed;
+    if (opts.deviceName != "RTX4090") {
+        // On 8-12 GB cards the model weights leave little headroom:
+        // grant the run the full device and a slimmer reserve, and let
+        // FastTTS offload, as bench_fig15_hardware (and the paper's
+        // constrained-hardware study) do.
+        opts.models.memoryFraction = 0.95;
+        opts.config.reservedBytes = 0.5 * GiB;
+        opts.config.offloadEnabled = fast;
+    }
+
+    ServingSystem system(opts);
+    const BatchResult out = system.serveProblems(num_problems);
+
+    std::vector<double> latencies;
+    double wallSeconds = 0;
+    long verifiedTokens = 0;
+    long generatedTokens = 0;
+    long wastedSpecTokens = 0;
+    KvStats kv;
+    for (const RequestResult &request : out.requests) {
+        latencies.push_back(request.completionTime);
+        wallSeconds += request.completionTime;
+        verifiedTokens += request.verifiedTokens;
+        generatedTokens += request.generatedTokens;
+        wastedSpecTokens += request.wastedSpecTokens;
+        kv.evictions += request.kvStats.evictions;
+        kv.evictedTokens += request.kvStats.evictedTokens;
+        kv.recomputedTokens += request.kvStats.recomputedTokens;
+        kv.hitTokens += request.kvStats.hitTokens;
+        kv.missTokens += request.kvStats.missTokens;
+    }
+
+    Json throughput = Json::object();
+    throughput.set("precise_goodput_tok_s", out.meanGoodput);
+    throughput.set("wall_tok_s",
+                   wallSeconds > 0
+                       ? static_cast<double>(verifiedTokens) / wallSeconds
+                       : 0.0);
+    throughput.set("verified_tokens", verifiedTokens);
+    throughput.set("generated_tokens", generatedTokens);
+    throughput.set("wasted_speculative_tokens", wastedSpecTokens);
+
+    Json latency = Json::object();
+    latency.set("mean", out.meanLatency);
+    latency.set("p50", sampleQuantile(latencies, 0.50));
+    latency.set("p90", sampleQuantile(latencies, 0.90));
+    latency.set("p99", sampleQuantile(latencies, 0.99));
+    latency.set("max", sampleQuantile(latencies, 1.0));
+    latency.set("generator_mean", out.meanGeneratorTime);
+    latency.set("verifier_mean", out.meanVerifierTime);
+
+    const double touched =
+        static_cast<double>(kv.hitTokens) + static_cast<double>(kv.missTokens);
+    Json kvJson = Json::object();
+    kvJson.set("hit_rate",
+               touched > 0 ? static_cast<double>(kv.hitTokens) / touched
+                           : 0.0);
+    kvJson.set("evictions", kv.evictions);
+    kvJson.set("evicted_tokens", kv.evictedTokens);
+    kvJson.set("recomputed_tokens", kv.recomputedTokens);
+    kvJson.set("budget_gib", toGiB(system.engine().kvBudgetBytes()));
+
+    Json accuracy = Json::object();
+    accuracy.set("top1", out.top1Accuracy);
+    accuracy.set("pass_at_1", out.passAt1);
+    accuracy.set("pass_at_n", out.passAtNAccuracy);
+
+    Json variant = Json::object();
+    variant.set("throughput", std::move(throughput));
+    variant.set("latency_s", std::move(latency));
+    variant.set("kv", std::move(kvJson));
+    variant.set("accuracy", std::move(accuracy));
+    return variant;
+}
+
+Json
+runBenchmark(const BenchSpec &spec, bool quick, uint64_t seed)
+{
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", spec.name);
+    doc.set("description", spec.description);
+    doc.set("quick", quick);
+
+    // Quick mode shrinks each run; computed once so the emitted config
+    // always matches what was actually measured.
+    const int numBeams = quick ? std::min(spec.numBeams, 16) : spec.numBeams;
+    const int numProblems =
+        quick ? std::min(spec.numProblems, 2) : spec.numProblems;
+
+    Json config = Json::object();
+    config.set("dataset", spec.dataset);
+    config.set("device", spec.device);
+    config.set("algorithm", spec.algorithm);
+    config.set("models", modelPairName(spec.models));
+    config.set("num_beams", numBeams);
+    config.set("num_problems", numProblems);
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    Json variants = Json::object();
+    variants.set("baseline",
+                 measureVariant(spec, false, numBeams, numProblems, seed));
+    variants.set("fasttts",
+                 measureVariant(spec, true, numBeams, numProblems, seed));
+
+    const double baseGoodput =
+        variants["baseline"]["throughput"]["precise_goodput_tok_s"].asNumber();
+    const double fastGoodput =
+        variants["fasttts"]["throughput"]["precise_goodput_tok_s"].asNumber();
+    const double baseLatency =
+        variants["baseline"]["latency_s"]["mean"].asNumber();
+    const double fastLatency =
+        variants["fasttts"]["latency_s"]["mean"].asNumber();
+
+    Json speedup = Json::object();
+    speedup.set("goodput", baseGoodput > 0 ? fastGoodput / baseGoodput : 0.0);
+    speedup.set("latency", fastLatency > 0 ? baseLatency / fastLatency : 0.0);
+
+    doc.set("variants", std::move(variants));
+    doc.set("speedup", std::move(speedup));
+    return doc;
+}
+
+int
+usage(std::ostream &os, int exit_code)
+{
+    os << "usage: bench_runner [--list] [--quick] [--out-dir DIR]\n"
+          "                    [--seed N] [name...]\n"
+          "\n"
+          "Runs the registered figure benchmarks (all by default, or the\n"
+          "named subset) and writes BENCH_<name>.json into --out-dir\n"
+          "(default: current directory). --list prints the benchmark\n"
+          "names, one per line, and exits.\n";
+    return exit_code;
+}
+
+int
+runnerMain(int argc, char **argv)
+{
+    bool list = false;
+    bool quick = false;
+    uint64_t seed = 2026;
+    std::string outDir = ".";
+    std::vector<std::string> selected;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            outDir = argv[++i];
+        } else if (arg == "--seed" && i + 1 < argc) {
+            try {
+                size_t used = 0;
+                const std::string token = argv[++i];
+                // stoull wraps negatives; reject them explicitly.
+                if (token.empty() || token[0] == '-')
+                    throw std::invalid_argument(token);
+                seed = static_cast<uint64_t>(std::stoull(token, &used));
+                if (used != token.size())
+                    throw std::invalid_argument(token);
+            } catch (const std::exception &) {
+                std::cerr << "bench_runner: --seed expects an unsigned "
+                             "integer, got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "bench_runner: unknown option '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            selected.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const BenchSpec &spec : kBenchmarks)
+            std::cout << spec.name << "\n";
+        return 0;
+    }
+
+    std::vector<const BenchSpec *> toRun;
+    if (selected.empty()) {
+        for (const BenchSpec &spec : kBenchmarks)
+            toRun.push_back(&spec);
+    } else {
+        for (const std::string &name : selected) {
+            const BenchSpec *found = nullptr;
+            for (const BenchSpec &spec : kBenchmarks)
+                if (name == spec.name)
+                    found = &spec;
+            if (found == nullptr) {
+                std::cerr << "bench_runner: unknown benchmark '" << name
+                          << "' (see --list)\n";
+                return 2;
+            }
+            toRun.push_back(found);
+        }
+    }
+
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    if (ec) {
+        std::cerr << "bench_runner: cannot create out-dir '" << outDir
+                  << "': " << ec.message() << "\n";
+        return 1;
+    }
+
+    for (const BenchSpec *spec : toRun) {
+        const Json doc = runBenchmark(*spec, quick, seed);
+        const std::filesystem::path path =
+            std::filesystem::path(outDir) /
+            ("BENCH_" + std::string(spec->name) + ".json");
+        std::ofstream file(path);
+        if (!file) {
+            std::cerr << "bench_runner: cannot write " << path << "\n";
+            return 1;
+        }
+        file << doc.dump(2);
+        std::cout << spec->name << ": goodput x"
+                  << formatDouble(doc["speedup"]["goodput"].asNumber(), 2)
+                  << ", latency x"
+                  << formatDouble(doc["speedup"]["latency"].asNumber(), 2)
+                  << " -> " << path.string() << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace fasttts
+
+int
+main(int argc, char **argv)
+{
+    return fasttts::runnerMain(argc, argv);
+}

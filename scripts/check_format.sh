@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Check clang-format compliance of C++ files changed since a base ref.
+#
+# Usage: scripts/check_format.sh [BASE_REF]
+#
+# BASE_REF defaults to HEAD~1. Only changed files are checked, so the
+# seed tree is never mass-reformatted under a contributor's feet. Used
+# by the CI format job; run locally before pushing with:
+#   scripts/check_format.sh origin/main
+
+set -euo pipefail
+
+base="${1:-HEAD~1}"
+
+clang_format=""
+# clang-format-15 first: it is the version CI installs, and major
+# versions disagree on formatting details.
+for candidate in clang-format-15 clang-format-16 clang-format; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+        clang_format="${candidate}"
+        break
+    fi
+done
+if [[ -z ${clang_format} ]]; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+files=$(git diff --name-only --diff-filter=ACMR "${base}"...HEAD \
+        -- '*.cc' '*.h' || true)
+if [[ -z ${files} ]]; then
+    echo "check_format: no C++ files changed since ${base}"
+    exit 0
+fi
+
+echo "${files}" | xargs "${clang_format}" --dry-run --Werror
+echo "check_format: OK ($(echo "${files}" | wc -l) files)"

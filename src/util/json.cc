@@ -1,0 +1,516 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fasttts
+{
+
+namespace
+{
+
+const Json kNullJson;
+const std::string kEmptyString;
+
+/** Recursive-descent parser over a bounded character range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    Json
+    parseDocument()
+    {
+        Json value = parseValue();
+        skipWhitespace();
+        if (ok() && pos_ != text_.size())
+            fail("trailing characters after document");
+        return ok() ? value : Json();
+    }
+
+  private:
+    bool ok() const { return !failed_; }
+
+    void
+    fail(const std::string &message)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (error_)
+            *error_ = message + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        size_t len = 0;
+        while (literal[len] != '\0')
+            ++len;
+        if (text_.compare(pos_, len, literal) != 0) {
+            fail("invalid literal");
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return Json(parseString());
+        case 't':
+            return consumeLiteral("true") ? Json(true) : Json();
+        case 'f':
+            return consumeLiteral("false") ? Json(false) : Json();
+        case 'n':
+            return consumeLiteral("null") ? Json(nullptr) : Json();
+        default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        Json object = Json::object();
+        ++pos_; // '{'
+        skipWhitespace();
+        if (consume('}'))
+            return object;
+        while (ok()) {
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                break;
+            }
+            std::string key = parseString();
+            skipWhitespace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                break;
+            }
+            object.set(key, parseValue());
+            skipWhitespace();
+            if (consume('}'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                break;
+            }
+        }
+        return object;
+    }
+
+    Json
+    parseArray()
+    {
+        Json array = Json::array();
+        ++pos_; // '['
+        skipWhitespace();
+        if (consume(']'))
+            return array;
+        while (ok()) {
+            array.push(parseValue());
+            skipWhitespace();
+            if (consume(']'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                break;
+            }
+        }
+        return array;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char escape = text_[pos_++];
+            switch (escape) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(escape);
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("invalid \\u escape");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the BMP code point (the harness never
+                // emits surrogate pairs).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                fail("invalid escape character");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("invalid value");
+            return Json();
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("invalid number");
+            return Json();
+        }
+        return Json(value);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::array()
+{
+    Json value;
+    value.type_ = Type::Array;
+    return value;
+}
+
+Json
+Json::object()
+{
+    Json value;
+    value.type_ = Type::Object;
+    return value;
+}
+
+bool
+Json::asBool(bool fallback) const
+{
+    return isBool() ? bool_ : fallback;
+}
+
+double
+Json::asNumber(double fallback) const
+{
+    return isNumber() ? number_ : fallback;
+}
+
+const std::string &
+Json::asString() const
+{
+    return isString() ? string_ : kEmptyString;
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ == Type::Array)
+        array_.push_back(std::move(value));
+}
+
+size_t
+Json::size() const
+{
+    if (isArray())
+        return array_.size();
+    if (isObject())
+        return object_.size();
+    return 0;
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    if (!isArray() || index >= array_.size())
+        return kNullJson;
+    return array_[index];
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        return;
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    for (const auto &member : object_)
+        if (member.first == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    for (const auto &member : object_)
+        if (member.first == key)
+            return member.second;
+    return kNullJson;
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out.push_back('\n');
+    return out;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                   : std::string();
+    const std::string closePad =
+        indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ')
+                   : std::string();
+    const char *eol = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number: {
+        if (!std::isfinite(number_)) {
+            out += "null";
+            break;
+        }
+        // Integers print without a fraction (%.0f is exact through
+        // 2^53); %.12g round-trips metrics.
+        if (number_ == std::floor(number_) &&
+            std::fabs(number_) <= 9007199254740992.0) {
+            char buffer[32];
+            std::snprintf(buffer, sizeof(buffer), "%.0f", number_);
+            out += buffer;
+        } else {
+            char buffer[40];
+            std::snprintf(buffer, sizeof(buffer), "%.12g", number_);
+            out += buffer;
+        }
+        break;
+    }
+    case Type::String:
+        out += jsonEscape(string_);
+        break;
+    case Type::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += eol;
+        for (size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += eol;
+        }
+        out += closePad;
+        out += ']';
+        break;
+    }
+    case Type::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += eol;
+        for (size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += jsonEscape(object_[i].first);
+            out += colon;
+            object_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += eol;
+        }
+        out += closePad;
+        out += '}';
+        break;
+    }
+    }
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser parser(text, error);
+    return parser.parseDocument();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace fasttts

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal JSON document model: build, serialize, parse.
+ *
+ * The bench harness (bench/bench_runner.cc) emits machine-readable
+ * BENCH_<fig>.json result files and the test suite parses them back to
+ * validate the output contract. Only the JSON subset the harness needs
+ * is supported: null, bool, finite doubles, strings, arrays, objects.
+ * Object insertion order is preserved so emitted files diff cleanly.
+ */
+
+#ifndef FASTTTS_UTIL_JSON_H
+#define FASTTTS_UTIL_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fasttts
+{
+
+/**
+ * One JSON value; a tree of these is a document.
+ *
+ * Values are cheap to move and deep-copied on assignment. Numbers are
+ * stored as double (sufficient for metrics; integers up to 2^53 round-
+ * trip exactly). Non-finite doubles serialize as null, matching what
+ * strict parsers accept.
+ */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool value) : type_(Type::Bool), bool_(value) {}
+    Json(double value) : type_(Type::Number), number_(value) {}
+    Json(int value) : type_(Type::Number), number_(value) {}
+    Json(long value) : type_(Type::Number), number_(static_cast<double>(value)) {}
+    Json(uint64_t value) : type_(Type::Number), number_(static_cast<double>(value)) {}
+    Json(const char *value) : type_(Type::String), string_(value) {}
+    Json(std::string value) : type_(Type::String), string_(std::move(value)) {}
+
+    /** An empty array value. */
+    static Json array();
+
+    /** An empty object value. */
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; defaults are returned on type mismatch. */
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    const std::string &asString() const;
+
+    /** Array: append an element (value must be an array). */
+    void push(Json value);
+
+    /** Array/object element count; 0 for scalars. */
+    size_t size() const;
+
+    /** Array element access; null value when out of range. */
+    const Json &at(size_t index) const;
+
+    /** Object: set a key (value must be an object). */
+    void set(const std::string &key, Json value);
+
+    /** Object: true when the key exists. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Object member access; a shared null value when missing, so
+     * lookups chain safely: doc["a"]["b"].asNumber().
+     */
+    const Json &operator[](const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return object_;
+    }
+
+    /**
+     * Serialize. @param indent Spaces per nesting level; 0 emits the
+     * compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON document.
+     * @param[out] error First syntax error, empty on success.
+     * @return Parsed value, or null on error.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace fasttts
+
+#endif // FASTTTS_UTIL_JSON_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Smoke test for the JSON-emitting benchmark harness.
+ *
+ * Runs the real bench_runner binary (path injected by CMake as
+ * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 16 registered
+ * figure benchmarks, and a --quick run must write BENCH_<name>.json
+ * files that parse and carry the throughput / latency-percentile /
+ * KV-utilization contract every optimisation PR is judged against.
+ */
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace fasttts
+{
+namespace
+{
+
+/** Run a command, capture stdout, and return its exit status. */
+int
+runCommand(const std::string &command, std::string *output)
+{
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return -1;
+    char buffer[4096];
+    output->clear();
+    size_t read = 0;
+    while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0)
+        output->append(buffer, read);
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
+{
+    std::string output;
+    const int status =
+        runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH) + " --list",
+                   &output);
+    ASSERT_EQ(status, 0);
+
+    const std::vector<std::string> names = splitLines(output);
+    EXPECT_EQ(names.size(), 16u);
+    for (const char *expected :
+         {"fig01_frontier", "fig03_patterns", "fig04_utilization",
+          "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
+          "fig11_variants", "fig12_goodput", "fig13_latency",
+          "fig14_accuracy", "fig15_hardware", "fig16_ablation",
+          "fig17_speculative", "fig18_scheduling", "micro",
+          "online_responsiveness"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing benchmark: " << expected;
+    }
+}
+
+TEST(BenchRunner, QuickRunEmitsParsableJson)
+{
+    const std::filesystem::path outDir =
+        std::filesystem::path(testing::TempDir()) / "fasttts_bench_smoke";
+    std::filesystem::remove_all(outDir);
+
+    std::string output;
+    const int status =
+        runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH) +
+                       " --quick --out-dir " + outDir.string() + " micro",
+                   &output);
+    ASSERT_EQ(status, 0) << output;
+
+    const std::filesystem::path jsonPath = outDir / "BENCH_micro.json";
+    ASSERT_TRUE(std::filesystem::exists(jsonPath));
+
+    std::ifstream file(jsonPath);
+    std::stringstream contents;
+    contents << file.rdbuf();
+
+    std::string error;
+    const Json doc = Json::parse(contents.str(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(doc["schema"].asString(), "fasttts-bench-v1");
+    EXPECT_EQ(doc["benchmark"].asString(), "micro");
+    EXPECT_TRUE(doc["quick"].asBool());
+
+    for (const char *variant : {"baseline", "fasttts"}) {
+        const Json &v = doc["variants"][variant];
+        EXPECT_GT(v["throughput"]["precise_goodput_tok_s"].asNumber(), 0.0)
+            << variant;
+        EXPECT_GT(v["latency_s"]["p50"].asNumber(), 0.0) << variant;
+        EXPECT_LE(v["latency_s"]["p50"].asNumber(),
+                  v["latency_s"]["p99"].asNumber())
+            << variant;
+        EXPECT_GE(v["kv"]["hit_rate"].asNumber(), 0.0) << variant;
+        EXPECT_LE(v["kv"]["hit_rate"].asNumber(), 1.0) << variant;
+        EXPECT_GT(v["kv"]["budget_gib"].asNumber(), 0.0) << variant;
+    }
+    EXPECT_GT(doc["speedup"]["goodput"].asNumber(), 0.0);
+
+    std::filesystem::remove_all(outDir);
+}
+
+} // namespace
+} // namespace fasttts

@@ -65,8 +65,9 @@ TEST_P(EngineGrid, StructuralInvariants)
 
     // --- Completion invariants ---
     EXPECT_GT(r.completedBeams, 0);
-    if (c.algorithm != "best_of_n")
+    if (c.algorithm != "best_of_n") {
         EXPECT_EQ(r.completedBeams, c.numBeams);
+    }
     EXPECT_EQ(r.solutions.size(),
               static_cast<size_t>(r.completedBeams));
 
@@ -83,8 +84,9 @@ TEST_P(EngineGrid, StructuralInvariants)
     EXPECT_GE(r.generatedTokens, 0);
     EXPECT_GE(r.speculativeTokens, 0);
     EXPECT_LE(r.wastedSpecTokens, r.speculativeTokens);
-    if (!(c.optMask & 4))
+    if (!(c.optMask & 4)) {
         EXPECT_EQ(r.speculativeTokens, 0);
+    }
 
     // --- Solution invariants ---
     for (const auto &s : r.solutions) {
@@ -115,8 +117,9 @@ TEST_P(EngineGrid, StructuralInvariants)
         EXPECT_GE(s.decodeBatch, 1);
         EXPECT_GE(s.prefillBatch, 1);
         // Width never grows (completed beams shrink the target).
-        if (c.algorithm != "best_of_n")
+        if (c.algorithm != "best_of_n") {
             EXPECT_LE(s.activeBeams, prev_active);
+        }
         prev_active = s.activeBeams;
     }
 }
@@ -178,8 +181,9 @@ TEST_P(DeviceGrid, RunsOnEveryEdgeDevice)
                          *algo);
     const auto r = engine.runRequest(makeProblems(profile, 1, 99)[0]);
     EXPECT_EQ(r.completedBeams, 8) << device;
-    if (offload)
+    if (offload) {
         EXPECT_GE(r.transferTime, 0.0);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

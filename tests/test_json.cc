@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON document model (util/json.h):
+ * building, serializing, parsing, and round-tripping the structures
+ * the benchmark harness emits.
+ */
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fasttts
+{
+namespace
+{
+
+TEST(Json, DefaultIsNull)
+{
+    Json value;
+    EXPECT_TRUE(value.isNull());
+    EXPECT_EQ(value.dump(), "null");
+}
+
+TEST(Json, Scalars)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json object = Json::object();
+    object.set("z", 1);
+    object.set("a", 2);
+    object.set("m", 3);
+    EXPECT_EQ(object.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+    object.set("z", 9); // Overwrite keeps position.
+    EXPECT_EQ(object.dump(), "{\"z\":9,\"a\":2,\"m\":3}");
+}
+
+TEST(Json, MissingKeyLookupsChainSafely)
+{
+    Json object = Json::object();
+    EXPECT_TRUE(object["nope"]["deeper"].isNull());
+    EXPECT_EQ(object["nope"].asNumber(7.0), 7.0);
+}
+
+TEST(Json, StringEscaping)
+{
+    const Json value(std::string("a\"b\\c\n\t\x01"));
+    EXPECT_EQ(value.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    std::string error;
+    const Json back = Json::parse(value.dump(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.asString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, ParseDocument)
+{
+    std::string error;
+    const Json doc = Json::parse(
+        R"({"name":"fig01","quick":true,"n":64,"xs":[1,2.5,-3e2],"sub":{"k":null}})",
+        &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(doc["name"].asString(), "fig01");
+    EXPECT_TRUE(doc["quick"].asBool());
+    EXPECT_EQ(doc["n"].asNumber(), 64.0);
+    ASSERT_EQ(doc["xs"].size(), 3u);
+    EXPECT_EQ(doc["xs"].at(1).asNumber(), 2.5);
+    EXPECT_EQ(doc["xs"].at(2).asNumber(), -300.0);
+    EXPECT_TRUE(doc["sub"]["k"].isNull());
+}
+
+TEST(Json, ParseUnicodeEscape)
+{
+    std::string error;
+    const Json doc = Json::parse(R"("aé中")", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(doc.asString(), "a\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(Json, ParseErrors)
+{
+    std::string error;
+    EXPECT_TRUE(Json::parse("{", &error).isNull());
+    EXPECT_FALSE(error.empty());
+    Json::parse("[1,]", &error); // Trailing comma rejected.
+    EXPECT_FALSE(error.empty());
+    Json::parse("12 34", &error);
+    EXPECT_FALSE(error.empty());
+    Json::parse("\"unterminated", &error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RoundTripPrettyPrinted)
+{
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    Json latency = Json::object();
+    latency.set("p50", 1.25);
+    latency.set("p99", 7.5);
+    doc.set("latency_s", std::move(latency));
+    Json beams = Json::array();
+    beams.push(8);
+    beams.push(64);
+    doc.set("beams", std::move(beams));
+
+    const std::string pretty = doc.dump(2);
+    EXPECT_NE(pretty.find("\n  \"latency_s\": {"), std::string::npos);
+
+    std::string error;
+    const Json back = Json::parse(pretty, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.dump(), doc.dump());
+}
+
+TEST(Json, IntegersRoundTripExactly)
+{
+    const Json value(static_cast<long>(1234567890123L));
+    EXPECT_EQ(value.dump(), "1234567890123");
+    std::string error;
+    EXPECT_EQ(Json::parse(value.dump(), &error).asNumber(), 1234567890123.0);
+    EXPECT_TRUE(error.empty()) << error;
+}
+
+} // namespace
+} // namespace fasttts

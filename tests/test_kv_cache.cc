@@ -166,8 +166,9 @@ TEST(KvCache, ParentsEvictOnlyAfterChildren)
     // the trunk (top-closed residency).
     const int other = kv.createChild(KvCacheManager::kRoot, 3, 80);
     EXPECT_TRUE(kv.ensureResident(other, 2).ok);
-    if (kv.isResident(leaf))
+    if (kv.isResident(leaf)) {
         EXPECT_TRUE(kv.isResident(trunk));
+    }
 }
 
 TEST(KvCache, ReTouchAfterEvictionRecomputes)

@@ -214,8 +214,9 @@ TEST_P(AlgorithmSweep, DeterministicAndWidthRespecting)
     const auto b = algo->select(cands, n, r2);
     EXPECT_EQ(a.expansions, b.expansions);
 
-    if (name != "best_of_n")
+    if (name != "best_of_n") {
         EXPECT_EQ(a.totalChildren(), n);
+    }
     for (const auto &[idx, k] : a.expansions) {
         EXPECT_LT(idx, cands.size());
         EXPECT_GE(k, 1);
