@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -23,10 +24,17 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 12;
+    EngineArgs defaults;
+    defaults.numProblems = 12;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.1b latency vs. accuracy frontier (n swept; --beams/--mode "
+        "fixed by the figure)",
+        {"--problems", "--dataset", "--seed"});
+    const int problems = args.numProblems;
 
-    Table table("Fig.1b latency vs. accuracy frontier - AIME, "
-                "1.5B+1.5B on RTX4090");
+    Table table("Fig.1b latency vs. accuracy frontier - " + args.dataset
+                + ", 1.5B+1.5B on RTX4090");
     table.setHeader({"system", "n", "latency s", "top-1 acc %"});
 
     for (const bool fast : {false, true}) {
@@ -35,9 +43,10 @@ main(int argc, char **argv)
             opts.config = fast ? FastTtsConfig::fastTts()
                                : FastTtsConfig::baseline();
             opts.models = config1_5Bplus1_5B();
-            opts.datasetName = "AIME";
+            opts.datasetName = args.dataset;
             opts.numBeams = n;
-            ServingSystem system(opts);
+            opts.seed = args.seed;
+            ServingSystem system = ServingSystem::create(opts).value();
             const BatchResult out = system.serveProblems(problems);
             table.addRow({fast ? "fasttts" : "baseline",
                           std::to_string(n),

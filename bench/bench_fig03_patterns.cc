@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/engine.h"
 #include "core/serving.h"
 #include "util/histogram.h"
@@ -25,7 +26,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 16;
+    EngineArgs defaults;
+    defaults.numProblems = 16;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.3 TTS workload patterns (datasets fixed by the figure: "
+        "MATH500 left, AIME right)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
 
     // --- Left: accuracy vs latency across TTS methods (baseline
     //     serving, as in the motivation section). ---
@@ -40,7 +48,8 @@ main(int argc, char **argv)
         opts.datasetName = "MATH500";
         opts.algorithmName = method;
         opts.numBeams = 64;
-        ServingSystem system(opts);
+        opts.seed = args.seed;
+        ServingSystem system = ServingSystem::create(opts).value();
         const BatchResult out = system.serveProblems(problems);
         left.addRow({method, formatDouble(out.meanLatency, 1),
                      formatDouble(out.top1Accuracy, 1)});
@@ -61,7 +70,8 @@ main(int argc, char **argv)
     FastTtsEngine engine(FastTtsConfig::baseline(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     std::vector<SummaryStats> per_step(10);
-    for (const auto &problem : makeProblems(profile, problems, 2026)) {
+    for (const auto &problem :
+         makeProblems(profile, problems, args.seed)) {
         engine.runRequest(problem);
         const auto &samples = engine.stepTokenSamples();
         for (size_t s = 0; s < per_step.size() && s < samples.size();

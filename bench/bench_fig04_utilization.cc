@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/engine.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -18,8 +19,14 @@
 using namespace fasttts;
 
 int
-main()
+main(int argc, char **argv)
 {
+    EngineArgs::parseOrExit(
+        argc, argv, EngineArgs(),
+        "Fig.4 GPU utilization timeline (single-request trace; the "
+        "figure's configuration is fixed)",
+        {});
+
     FastTtsConfig config = FastTtsConfig::baseline();
     config.recordTrace = true;
     const DatasetProfile profile = aime2024();

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "api/engine_args.h"
 #include "core/engine.h"
 #include "sched/scheduler.h"
 #include "util/table.h"
@@ -21,13 +22,19 @@
 using namespace fasttts;
 
 int
-main()
+main(int argc, char **argv)
 {
+    EngineArgs::parseOrExit(
+        argc, argv, EngineArgs(),
+        "Fig.5 prefix-sharing working set (single-request traces; the "
+        "figure's configuration is fixed)",
+        {});
+
     const DatasetProfile profile = aime2024();
 
     // --- Left: footprint with vs without prefix cache. ---
     for (const std::string method : {"beam_search", "dvts"}) {
-        auto algo = makeAlgorithm(method, 128, 4);
+        auto algo = makeAlgorithm(method, 128, 4).value();
         FastTtsEngine engine(FastTtsConfig::baseline(),
                              config1_5Bplus1_5B(), rtx4090(), profile,
                              *algo);

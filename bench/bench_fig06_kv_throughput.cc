@@ -12,6 +12,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "model/model_spec.h"
 #include "sim/roofline.h"
 #include "util/table.h"
@@ -43,8 +44,14 @@ decodeThroughput(const RooflineModel &roofline, const ModelSpec &model,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    EngineArgs::parseOrExit(
+        argc, argv, EngineArgs(),
+        "Fig.6 normalized throughput vs KV size (analytic roofline "
+        "sweep; the figure's configuration is fixed)",
+        {});
+
     RooflineModel roofline(rtx4090());
     const ModelSpec model = qwen25Math1_5B();
     const std::vector<double> budgets_gib = {0.05,  0.1, 0.2, 0.39, 0.5,

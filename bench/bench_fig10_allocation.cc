@@ -15,14 +15,21 @@
 #include <vector>
 
 #include "alloc/memory_planner.h"
+#include "api/engine_args.h"
 #include "util/table.h"
 #include "util/units.h"
 
 using namespace fasttts;
 
 int
-main()
+main(int argc, char **argv)
 {
+    EngineArgs::parseOrExit(
+        argc, argv, EngineArgs(),
+        "Fig.10 roofline-guided KV allocation (analytic planner sweep; "
+        "the figure's configuration is fixed)",
+        {});
+
     RooflineModel roofline(rtx4090());
     const ModelSpec gen = qwen25Math1_5B();
     const ModelSpec ver = skywork1_5B();

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -24,7 +25,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 5;
+    EngineArgs defaults;
+    defaults.numProblems = 5;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.11 goodput across search-method variants (methods and n "
+        "swept by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
     const std::vector<int> beam_counts = {8, 16, 32, 64, 128, 256, 512};
 
     double gain_min = 1e9;
@@ -45,7 +53,9 @@ main(int argc, char **argv)
                 opts.datasetName = "AIME";
                 opts.algorithmName = method;
                 opts.numBeams = n;
-                ServingSystem system(opts);
+                opts.seed = args.seed;
+                ServingSystem system =
+                    ServingSystem::create(opts).value();
                 goodput[pass] =
                     system.serveProblems(problems).meanGoodput;
             }

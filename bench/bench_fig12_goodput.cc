@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -29,7 +30,7 @@ struct Cell
 
 Cell
 runCell(const std::string &dataset, const ModelConfig &models, int n,
-        int problems)
+        int problems, uint64_t seed)
 {
     Cell cell;
     for (int pass = 0; pass < 2; ++pass) {
@@ -40,7 +41,8 @@ runCell(const std::string &dataset, const ModelConfig &models, int n,
         opts.datasetName = dataset;
         opts.algorithmName = "beam_search";
         opts.numBeams = n;
-        ServingSystem system(opts);
+        opts.seed = seed;
+        ServingSystem system = ServingSystem::create(opts).value();
         const BatchResult out = system.serveProblems(problems);
         (pass == 0 ? cell.baseline : cell.fasttts) = out.meanGoodput;
     }
@@ -52,7 +54,14 @@ runCell(const std::string &dataset, const ModelConfig &models, int n,
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 6;
+    EngineArgs defaults;
+    defaults.numProblems = 6;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.12 Precise Goodput comparison (datasets, model configs "
+        "and n swept by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
     const std::vector<int> beam_counts = {8, 16, 32, 64, 128, 256, 512};
     const auto configs = allModelConfigs();
 
@@ -67,7 +76,8 @@ main(int argc, char **argv)
                         + models.label);
             table.setHeader({"n", "baseline", "fasttts", "gain x"});
             for (int n : beam_counts) {
-                const Cell cell = runCell(dataset, models, n, problems);
+                const Cell cell =
+                    runCell(dataset, models, n, problems, args.seed);
                 const double gain =
                     cell.baseline > 0 ? cell.fasttts / cell.baseline : 0;
                 gain_sum += gain;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -22,7 +23,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 4;
+    EngineArgs defaults;
+    defaults.numProblems = 4;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.13 latency breakdown (datasets, model configs and n swept "
+        "by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
     const std::vector<int> beam_counts = {8, 32, 128, 512};
 
     SummaryStats latency_reduction;
@@ -45,7 +53,9 @@ main(int argc, char **argv)
                     opts.models = models;
                     opts.datasetName = dataset;
                     opts.numBeams = n;
-                    ServingSystem system(opts);
+                    opts.seed = args.seed;
+                    ServingSystem system =
+                        ServingSystem::create(opts).value();
                     out[pass] = system.serveProblems(problems);
                 }
                 const double reduction = 100.0

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -22,7 +23,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 16;
+    EngineArgs defaults;
+    defaults.numProblems = 16;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.14 accuracy preservation (datasets and model configs "
+        "swept by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
 
     // --- (a) Top-1 accuracy at n = 512. ---
     for (const std::string dataset : {"AIME", "AMC"}) {
@@ -37,7 +45,9 @@ main(int argc, char **argv)
                 opts.models = models;
                 opts.datasetName = dataset;
                 opts.numBeams = 512;
-                ServingSystem system(opts);
+                opts.seed = args.seed;
+                ServingSystem system =
+                    ServingSystem::create(opts).value();
                 acc[pass] = system.serveProblems(problems).top1Accuracy;
             }
             table.addRow(models.label, {acc[0], acc[1]}, 1);
@@ -60,7 +70,8 @@ main(int argc, char **argv)
             opts.models = config1_5Bplus1_5B();
             opts.datasetName = dataset;
             opts.numBeams = 512;
-            ServingSystem system(opts);
+            opts.seed = args.seed;
+            ServingSystem system = ServingSystem::create(opts).value();
             out[pass] = system.serveProblems(problems);
         }
         auto pass_at = [&](const BatchResult &r, size_t n) {

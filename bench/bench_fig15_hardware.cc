@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -38,7 +39,14 @@ struct Setup
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 5;
+    EngineArgs defaults;
+    defaults.numProblems = 5;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.15 hardware/domain generality (devices and datasets swept "
+        "by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
     const std::vector<int> beam_counts = {8, 16, 32, 64, 128, 256};
     const std::vector<Setup> setups = {
         {"AIME on RTX 3070 Ti (8GB, offloading)", "RTX3070Ti", "AIME",
@@ -69,7 +77,9 @@ main(int argc, char **argv)
                 opts.deviceName = setup.device;
                 opts.datasetName = setup.dataset;
                 opts.numBeams = n;
-                ServingSystem system(opts);
+                opts.seed = args.seed;
+                ServingSystem system =
+                    ServingSystem::create(opts).value();
                 goodput[pass] =
                     system.serveProblems(problems).meanGoodput;
             }

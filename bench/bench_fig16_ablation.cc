@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -25,7 +26,7 @@ namespace
 
 double
 runGoodput(const FastTtsConfig &config, const ModelConfig &models, int n,
-           int problems, const std::string &dataset)
+           int problems, const std::string &dataset, uint64_t seed)
 {
     ServingOptions opts;
     opts.config = config;
@@ -33,7 +34,8 @@ runGoodput(const FastTtsConfig &config, const ModelConfig &models, int n,
     opts.datasetName = dataset;
     opts.algorithmName = "beam_search";
     opts.numBeams = n;
-    ServingSystem system(opts);
+    opts.seed = seed;
+    ServingSystem system = ServingSystem::create(opts).value();
     return system.serveProblems(problems).meanGoodput;
 }
 
@@ -42,8 +44,15 @@ runGoodput(const FastTtsConfig &config, const ModelConfig &models, int n,
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 5;
-    const std::string dataset = argc > 2 ? argv[2] : "AIME";
+    EngineArgs defaults;
+    defaults.numProblems = 5;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.16 cumulative P/M/S ablation (--dataset selects the "
+        "workload; model configs and n swept by the figure)",
+        {"--problems", "--dataset", "--seed"});
+    const int problems = args.numProblems;
+    const std::string dataset = args.dataset;
     const std::vector<int> beam_counts = {8, 32, 128, 512};
 
     for (const auto &models : allModelConfigs()) {
@@ -63,10 +72,14 @@ main(int argc, char **argv)
             smp.speculativeExtension = true;
             smp.lookaheadVerification = true;
 
-            const double g0 = runGoodput(base, models, n, problems, dataset);
-            const double g1 = runGoodput(p, models, n, problems, dataset);
-            const double g2 = runGoodput(mp, models, n, problems, dataset);
-            const double g3 = runGoodput(smp, models, n, problems, dataset);
+            const double g0 =
+                runGoodput(base, models, n, problems, dataset, args.seed);
+            const double g1 =
+                runGoodput(p, models, n, problems, dataset, args.seed);
+            const double g2 =
+                runGoodput(mp, models, n, problems, dataset, args.seed);
+            const double g3 =
+                runGoodput(smp, models, n, problems, dataset, args.seed);
 
             auto gain = [g0](double g) {
                 return g0 > 0 ? 100.0 * (g - g0) / g0 : 0.0;

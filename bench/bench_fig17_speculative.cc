@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/engine.h"
 #include "core/serving.h"
 #include "util/histogram.h"
@@ -25,7 +26,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 5;
+    EngineArgs defaults;
+    defaults.numProblems = 5;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.17 speculative beam extension study (datasets and R swept "
+        "by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
 
     // --- Left: utilization over one iteration. ---
     Table util_table("Fig.17 (left) generation-phase compute "
@@ -40,7 +48,7 @@ main(int argc, char **argv)
         auto algo = makeBeamSearch(32, 4);
         FastTtsEngine engine(config, config1_5Bplus1_5B(), rtx4090(),
                              profile, *algo);
-        engine.runRequest(makeProblems(profile, 2, 2026)[1]);
+        engine.runRequest(makeProblems(profile, 2, args.seed)[1]);
         // Sample utilization during generation segments only.
         for (const auto &seg : engine.clock().segments()) {
             if (seg.phase == Phase::Generation) {
@@ -87,7 +95,9 @@ main(int argc, char **argv)
                 opts.models = config1_5Bplus1_5B();
                 opts.datasetName = dataset;
                 opts.numBeams = n;
-                ServingSystem system(opts);
+                opts.seed = args.seed;
+                ServingSystem system =
+                    ServingSystem::create(opts).value();
                 row.push_back(system.serveProblems(problems).meanGoodput);
             }
             table.addRow(std::to_string(n), row);

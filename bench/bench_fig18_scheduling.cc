@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/engine.h"
 #include "core/serving.h"
 #include "sched/scheduler.h"
@@ -29,7 +30,14 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 4;
+    EngineArgs defaults;
+    defaults.numProblems = 4;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Fig.18 prefix-aware scheduling study (policies and KV budgets "
+        "swept by the figure)",
+        {"--problems", "--seed"});
+    const int problems = args.numProblems;
 
     // --- Left: KV growth by scheduling order on a final-iteration
     //     trace. ---
@@ -123,7 +131,8 @@ main(int argc, char **argv)
             opts.models.memoryFraction = fraction;
             opts.datasetName = "AIME";
             opts.numBeams = 512;
-            ServingSystem system(opts);
+            opts.seed = args.seed;
+            ServingSystem system = ServingSystem::create(opts).value();
             goodput[pass] = system.serveProblems(problems).meanGoodput;
         }
         auto gain = [&](double g) {

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/online_server.h"
 #include "util/table.h"
 
@@ -22,10 +23,18 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    const int requests = argc > 1 ? std::atoi(argv[1]) : 10;
+    EngineArgs defaults;
+    defaults.numProblems = 10;
+    defaults.dataset = "AMC";
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Online serving responsiveness under Poisson load (arrival "
+        "rates swept; --problems sets the request count)",
+        {"--problems", "--dataset", "--seed"});
+    const int requests = args.numProblems;
 
-    Table table("Online serving under Poisson load - AMC 1.5B+1.5B "
-                "n=32, RTX4090");
+    Table table("Online serving under Poisson load - " + args.dataset
+                + " 1.5B+1.5B n=32, RTX4090");
     table.setHeader({"arrival rate /s", "system", "mean latency s",
                      "p95 latency s", "mean queue s", "device util"});
     for (double rate : {0.01, 0.05, 0.2}) {
@@ -34,9 +43,10 @@ main(int argc, char **argv)
             opts.config = fast ? FastTtsConfig::fastTts()
                                : FastTtsConfig::baseline();
             opts.models = config1_5Bplus1_5B();
-            opts.datasetName = "AMC";
+            opts.datasetName = args.dataset;
             opts.numBeams = 32;
-            OnlineServer server(opts);
+            opts.seed = args.seed;
+            OnlineServer server = OnlineServer::create(opts).value();
             const auto out = server.serveTrace(requests, rate, 99);
             table.addRow({formatDouble(rate, 2),
                           fast ? "fasttts" : "baseline",

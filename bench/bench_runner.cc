@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -34,9 +35,6 @@ namespace fasttts
 namespace
 {
 
-/** Generator+verifier pairs a benchmark can request. */
-enum class ModelPair { Pair1_5Bplus1_5B, Pair1_5Bplus7B, Pair7Bplus1_5B };
-
 /** One registered figure benchmark: name + serving configuration. */
 struct BenchSpec
 {
@@ -45,7 +43,7 @@ struct BenchSpec
     const char *dataset;
     const char *device;
     const char *algorithm;
-    ModelPair models;
+    const char *models; //!< Model-config registry label.
     int numBeams;    //!< Search width in full mode.
     int numProblems; //!< Problems served in full mode.
 };
@@ -57,66 +55,38 @@ struct BenchSpec
  */
 const BenchSpec kBenchmarks[] = {
     {"fig01_frontier", "Latency vs. accuracy frontier (Fig. 1b)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "RTX4090", "beam_search", "1.5B+1.5B", 64, 6},
     {"fig03_patterns", "TTS workload patterns (Fig. 3)", "MATH500", "RTX4090",
-     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "beam_search", "1.5B+1.5B", 64, 6},
     {"fig04_utilization", "GPU utilization timeline (Fig. 4)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 4},
+     "RTX4090", "beam_search", "1.5B+1.5B", 64, 4},
     {"fig05_prefix_sharing", "Prefix sharing working set (Fig. 5)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 4},
+     "RTX4090", "beam_search", "1.5B+1.5B", 64, 4},
     {"fig06_kv_throughput", "KV pressure vs. throughput (Fig. 6)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "RTX4090", "beam_search", "1.5B+1.5B", 64, 6},
     {"fig10_allocation", "Asymmetric memory allocation (Fig. 10)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus7B, 48, 4},
+     "RTX4090", "beam_search", "1.5B+7B", 48, 4},
     {"fig11_variants", "Search method variants (Fig. 11)", "AIME", "RTX4090",
-     "dvts", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "dvts", "1.5B+1.5B", 64, 6},
     {"fig12_goodput", "Precise Goodput comparison (Fig. 12)", "MATH500",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 6},
+     "RTX4090", "beam_search", "1.5B+1.5B", 96, 6},
     {"fig13_latency", "Latency breakdown (Fig. 13)", "AMC", "RTX4090",
-     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "beam_search", "1.5B+1.5B", 64, 6},
     {"fig14_accuracy", "Accuracy preservation (Fig. 14)", "MATH500",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 8},
+     "RTX4090", "beam_search", "1.5B+1.5B", 96, 8},
     {"fig15_hardware", "Hardware sensitivity (Fig. 15)", "AIME", "RTX3070Ti",
-     "beam_search", ModelPair::Pair1_5Bplus1_5B, 48, 4},
+     "beam_search", "1.5B+1.5B", 48, 4},
     {"fig16_ablation", "P/M/S ablation (Fig. 16)", "AIME", "RTX4090",
-     "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "beam_search", "1.5B+1.5B", 64, 6},
     {"fig17_speculative", "Speculative beam extension (Fig. 17)", "AMC",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 64, 6},
+     "RTX4090", "beam_search", "1.5B+1.5B", 64, 6},
     {"fig18_scheduling", "Prefix-aware scheduling (Fig. 18)", "AIME",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 96, 4},
+     "RTX4090", "beam_search", "1.5B+1.5B", 96, 4},
     {"micro", "Engine micro cost sanity run", "AMC", "RTX4090", "beam_search",
-     ModelPair::Pair1_5Bplus1_5B, 16, 2},
+     "1.5B+1.5B", 16, 2},
     {"online_responsiveness", "Online serving responsiveness", "AMC",
-     "RTX4090", "beam_search", ModelPair::Pair1_5Bplus1_5B, 32, 6},
+     "RTX4090", "beam_search", "1.5B+1.5B", 32, 6},
 };
-
-ModelConfig
-modelsFor(ModelPair pair)
-{
-    switch (pair) {
-    case ModelPair::Pair1_5Bplus7B:
-        return config1_5Bplus7B();
-    case ModelPair::Pair7Bplus1_5B:
-        return config7Bplus1_5B();
-    case ModelPair::Pair1_5Bplus1_5B:
-    default:
-        return config1_5Bplus1_5B();
-    }
-}
-
-const char *
-modelPairName(ModelPair pair)
-{
-    switch (pair) {
-    case ModelPair::Pair1_5Bplus7B:
-        return "1.5B+7B";
-    case ModelPair::Pair7Bplus1_5B:
-        return "7B+1.5B";
-    case ModelPair::Pair1_5Bplus1_5B:
-    default:
-        return "1.5B+1.5B";
-    }
-}
 
 /** Exact sample quantile with linear interpolation between ranks. */
 double
@@ -137,14 +107,17 @@ Json
 measureVariant(const BenchSpec &spec, bool fast, int num_beams,
                int num_problems, uint64_t seed)
 {
-    ServingOptions opts;
-    opts.config = fast ? FastTtsConfig::fastTts() : FastTtsConfig::baseline();
-    opts.models = modelsFor(spec.models);
-    opts.deviceName = spec.device;
-    opts.datasetName = spec.dataset;
-    opts.algorithmName = spec.algorithm;
-    opts.numBeams = num_beams;
-    opts.seed = seed;
+    // The registered configuration goes through the string-friendly
+    // EngineArgs front door, so every name is registry-validated.
+    EngineArgs args;
+    args.device = spec.device;
+    args.dataset = spec.dataset;
+    args.algorithm = spec.algorithm;
+    args.models = spec.models;
+    args.mode = fast ? "fasttts" : "baseline";
+    args.numBeams = num_beams;
+    args.seed = seed;
+    ServingOptions opts = args.toServingOptions().value();
     if (opts.deviceName != "RTX4090") {
         // On 8-12 GB cards the model weights leave little headroom:
         // grant the run the full device and a slimmer reserve, and let
@@ -155,7 +128,7 @@ measureVariant(const BenchSpec &spec, bool fast, int num_beams,
         opts.config.offloadEnabled = fast;
     }
 
-    ServingSystem system(opts);
+    ServingSystem system = ServingSystem::create(opts).value();
     const BatchResult out = system.serveProblems(num_problems);
 
     std::vector<double> latencies;
@@ -239,7 +212,7 @@ runBenchmark(const BenchSpec &spec, bool quick, uint64_t seed)
     config.set("dataset", spec.dataset);
     config.set("device", spec.device);
     config.set("algorithm", spec.algorithm);
-    config.set("models", modelPairName(spec.models));
+    config.set("models", spec.models);
     config.set("num_beams", numBeams);
     config.set("num_problems", numProblems);
     config.set("seed", seed);
@@ -278,7 +251,10 @@ usage(std::ostream &os, int exit_code)
           "Runs the registered figure benchmarks (all by default, or the\n"
           "named subset) and writes BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
-          "names, one per line, and exits.\n";
+          "names, one per line, and exits.\n"
+          "\n"
+          "Registered serving names (see api/engine_args.h):\n";
+    os << EngineArgs::registryListing();
     return exit_code;
 }
 
@@ -300,21 +276,15 @@ runnerMain(int argc, char **argv)
         } else if (arg == "--out-dir" && i + 1 < argc) {
             outDir = argv[++i];
         } else if (arg == "--seed" && i + 1 < argc) {
-            try {
-                size_t used = 0;
-                const std::string token = argv[++i];
-                // stoull wraps negatives; reject them explicitly.
-                if (token.empty() || token[0] == '-')
-                    throw std::invalid_argument(token);
-                seed = static_cast<uint64_t>(std::stoull(token, &used));
-                if (used != token.size())
-                    throw std::invalid_argument(token);
-            } catch (const std::exception &) {
-                std::cerr << "bench_runner: --seed expects an unsigned "
-                             "integer, got '"
-                          << argv[i] << "'\n";
+            // Reuse the EngineArgs number grammar for the seed flag.
+            const char *fake[] = {"bench_runner", "--seed", argv[++i]};
+            auto parsed = EngineArgs::fromArgv(3, fake);
+            if (!parsed.ok()) {
+                std::cerr << "bench_runner: "
+                          << parsed.status().toString() << "\n";
                 return 2;
             }
+            seed = parsed->seed;
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else if (!arg.empty() && arg[0] == '-') {

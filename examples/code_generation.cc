@@ -8,12 +8,12 @@
  * program skeleton) and reports goodput, latency and accuracy across
  * search widths.
  *
- *   ./build/examples/code_generation [num_problems]
+ *   ./build/examples/example_code_generation [--problems N] [--help]
  */
 
-#include <cstdlib>
 #include <iostream>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -21,10 +21,18 @@ int
 main(int argc, char **argv)
 {
     using namespace fasttts;
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 8;
 
-    std::cout << "Code-generation serving demo: HumanEval profile, "
-                 "DVTS search, 1.5B+1.5B on RTX4090\n";
+    EngineArgs defaults;
+    defaults.dataset = "HumanEval";
+    defaults.algorithm = "dvts";
+    defaults.numProblems = 8;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Code-generation serving demo (search widths swept)");
+
+    std::cout << "Code-generation serving demo: " << args.dataset
+              << " profile, " << args.algorithm
+              << " search, 1.5B+1.5B on RTX4090\n";
 
     Table table("HumanEval serving: baseline vs FastTTS across search "
                 "widths");
@@ -32,15 +40,14 @@ main(int argc, char **argv)
                      "top-1 %", "pass@n %"});
     for (int n : {8, 32, 128}) {
         for (const bool fast : {false, true}) {
-            ServingOptions opts;
-            opts.config = fast ? FastTtsConfig::fastTts()
-                               : FastTtsConfig::baseline();
-            opts.models = config1_5Bplus1_5B();
-            opts.datasetName = "HumanEval";
-            opts.algorithmName = "dvts";
-            opts.numBeams = n;
-            ServingSystem system(opts);
-            const BatchResult out = system.serveProblems(problems);
+            EngineArgs cell = args;
+            cell.mode = fast ? "fasttts" : "baseline";
+            cell.numBeams = n;
+            ServingSystem system =
+                ServingSystem::create(cell.toServingOptions().value())
+                    .value();
+            const BatchResult out =
+                system.serveProblems(args.numProblems);
             table.addRow({std::to_string(n),
                           fast ? "fasttts" : "baseline",
                           formatDouble(out.meanGoodput, 1),

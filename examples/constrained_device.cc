@@ -8,12 +8,12 @@
  * budget plan against offloading the inactive model's KV to host
  * memory, and picks the faster option per iteration.
  *
- *   ./build/examples/constrained_device [num_problems]
+ *   ./build/examples/example_constrained_device [--problems N] [--help]
  */
 
-#include <cstdlib>
 #include <iostream>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -21,30 +21,34 @@ int
 main(int argc, char **argv)
 {
     using namespace fasttts;
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 6;
 
-    std::cout << "Constrained-device demo: AIME on RTX 3070 Ti (8 GB), "
-                 "1.5B generator + 1.5B PRM\n";
+    EngineArgs defaults;
+    defaults.device = "RTX3070Ti";
+    defaults.numProblems = 6;
+    // The two 1.5B models' weights occupy 6.2 of the card's 8 GiB:
+    // grant the run the whole device and slim the reserve, as the
+    // paper's constrained-hardware study does.
+    defaults.memoryFraction = 0.95;
+    defaults.reservedGiB = 0.5;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "Constrained-device demo: baseline vs FastTTS vs "
+        "FastTTS+offload on an 8 GB card");
+
+    std::cout << "Constrained-device demo: " << args.dataset << " on "
+              << args.device << ", 1.5B generator + 1.5B PRM\n";
 
     Table table("RTX 3070 Ti: baseline vs FastTTS vs FastTTS+offload");
     table.setHeader({"system", "goodput tok/s", "latency s",
                      "transfer s", "top-1 %"});
     for (int mode = 0; mode < 3; ++mode) {
-        ServingOptions opts;
-        opts.config = mode == 0 ? FastTtsConfig::baseline()
-                                : FastTtsConfig::fastTts();
-        opts.config.offloadEnabled = mode == 2;
-        // The two 1.5B models' weights occupy 6.2 of the card's 8 GiB:
-        // grant the run the whole device and slim the reserve, as the
-        // paper's constrained-hardware study does.
-        opts.config.reservedBytes = 0.5 * GiB;
-        opts.models = config1_5Bplus1_5B();
-        opts.models.memoryFraction = 0.95;
-        opts.deviceName = "RTX3070Ti";
-        opts.datasetName = "AIME";
-        opts.numBeams = 32;
-        ServingSystem system(opts);
-        const BatchResult out = system.serveProblems(problems);
+        EngineArgs variant = args;
+        variant.mode = mode == 0 ? "baseline" : "fasttts";
+        variant.offload = mode == 2;
+        ServingSystem system =
+            ServingSystem::create(variant.toServingOptions().value())
+                .value();
+        const BatchResult out = system.serveProblems(args.numProblems);
         double transfer = 0;
         for (const auto &r : out.requests)
             transfer += r.transferTime;

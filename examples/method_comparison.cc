@@ -8,12 +8,12 @@
  * trade-off — the decision a practitioner deploying edge reasoning
  * actually faces (paper Sec. 3.1).
  *
- *   ./build/examples/method_comparison [num_problems]
+ *   ./build/examples/example_method_comparison [--problems N] [--help]
  */
 
-#include <cstdlib>
 #include <iostream>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
@@ -21,25 +21,32 @@ int
 main(int argc, char **argv)
 {
     using namespace fasttts;
-    const int problems = argc > 1 ? std::atoi(argv[1]) : 10;
 
-    std::cout << "TTS method comparison under FastTTS serving: AMC, "
-                 "1.5B+1.5B, n=64\n";
+    EngineArgs defaults;
+    defaults.dataset = "AMC";
+    defaults.numBeams = 64;
+    defaults.numProblems = 10;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "TTS method comparison under FastTTS serving (every registered "
+        "algorithm is swept)");
+
+    std::cout << "TTS method comparison under FastTTS serving: "
+              << args.dataset << ", 1.5B+1.5B, n=" << args.numBeams
+              << "\n";
 
     Table table("Accuracy / latency / token cost by search method");
     table.setHeader({"method", "top-1 %", "pass@n %", "latency s",
                      "goodput tok/s", "tokens/request"});
-    for (const std::string method :
-         {"best_of_n", "beam_search", "dvts", "dynamic_branching",
-          "varying_granularity"}) {
-        ServingOptions opts;
-        opts.config = FastTtsConfig::fastTts();
-        opts.models = config1_5Bplus1_5B();
-        opts.datasetName = "AMC";
-        opts.algorithmName = method;
-        opts.numBeams = 64;
-        ServingSystem system(opts);
-        const BatchResult out = system.serveProblems(problems);
+    // Sweep whatever is registered — a custom algorithm registered
+    // before this loop shows up automatically.
+    for (const std::string &method : algorithmRegistry().list()) {
+        EngineArgs cell = args;
+        cell.algorithm = method;
+        ServingSystem system =
+            ServingSystem::create(cell.toServingOptions().value())
+                .value();
+        const BatchResult out = system.serveProblems(args.numProblems);
         double tokens = 0;
         for (const auto &r : out.requests)
             tokens += static_cast<double>(r.generatedTokens);

@@ -5,24 +5,30 @@
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/example_quickstart
+ *   ./build/examples/example_quickstart --help   # full flag reference
  */
 
 #include <iostream>
 
+#include "api/engine_args.h"
 #include "core/serving.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace fasttts;
 
-    ServingOptions options;
-    options.models = config1_5Bplus1_5B();
-    options.datasetName = "AMC";
-    options.algorithmName = "beam_search";
-    options.numBeams = 32;
+    EngineArgs defaults;
+    defaults.dataset = "AMC";
+    defaults.numBeams = 32;
+    defaults.numProblems = 8;
+    const EngineArgs args = EngineArgs::parseOrExit(
+        argc, argv, defaults,
+        "FastTTS quickstart: baseline vs optimised serving");
+
+    ServingOptions options = args.toServingOptions().value();
 
     // Baseline: the same engine with every optimization disabled.
     ServingOptions baseline_options = options;
@@ -32,12 +38,12 @@ main()
               << " on " << options.deviceName << ", n=" << options.numBeams
               << ", " << options.datasetName << "\n";
 
-    ServingSystem baseline(baseline_options);
-    ServingSystem fast(options);
+    ServingSystem baseline =
+        ServingSystem::create(baseline_options).value();
+    ServingSystem fast = ServingSystem::create(options).value();
 
-    const int num_problems = 8;
-    BatchResult base = baseline.serveProblems(num_problems);
-    BatchResult opt = fast.serveProblems(num_problems);
+    BatchResult base = baseline.serveProblems(args.numProblems);
+    BatchResult opt = fast.serveProblems(args.numProblems);
 
     Table table("Baseline (vLLM-style) vs FastTTS");
     table.setHeader({"system", "goodput tok/s", "latency s",

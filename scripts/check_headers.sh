@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile standalone (all of its includes reachable from the header
+# itself, no hidden ordering dependencies).
+#
+# Usage:
+#   scripts/check_headers.sh [compiler]
+#
+# The optional argument selects the compiler (default: c++).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+compiler="${1:-c++}"
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+failures=0
+checked=0
+while IFS= read -r header; do
+    rel="${header#"${repo_root}/src/"}"
+    tu="${tmp_dir}/check.cc"
+    printf '#include "%s"\n#include "%s"\n' "${rel}" "${rel}" >"${tu}"
+    checked=$((checked + 1))
+    if ! "${compiler}" -std=c++17 -fsyntax-only -Wall -Wextra -Werror \
+        -I "${repo_root}/src" "${tu}" 2>"${tmp_dir}/err"; then
+        echo "NOT SELF-CONTAINED: src/${rel}" >&2
+        sed 's/^/    /' "${tmp_dir}/err" >&2
+        failures=$((failures + 1))
+    fi
+done < <(find "${repo_root}/src" -name '*.h' | sort)
+
+if [[ ${failures} -gt 0 ]]; then
+    echo "-- ${failures}/${checked} headers failed the self-containment check" >&2
+    exit 1
+fi
+echo "-- all ${checked} headers are self-contained"

@@ -1,0 +1,514 @@
+#include "api/engine_args.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/json.h"
+#include "util/units.h"
+
+namespace fasttts
+{
+
+namespace
+{
+
+/** Strict decimal integer in [min, max]; rejects trailing junk. */
+StatusOr<long long>
+parseInt(const std::string &flag, const std::string &token,
+         long long min, long long max)
+{
+    if (token.empty())
+        return Status::invalidArgument(flag + " expects an integer");
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (errno == ERANGE || end != token.c_str() + token.size()
+        || end == token.c_str())
+        return Status::invalidArgument(flag + " expects an integer, got '"
+                                       + token + "'");
+    if (value < min || value > max)
+        return Status::invalidArgument(
+            flag + " must be in [" + std::to_string(min) + ", "
+            + std::to_string(max) + "], got " + token);
+    return value;
+}
+
+/** Strict unsigned decimal integer; rejects sign and trailing junk. */
+StatusOr<uint64_t>
+parseUnsigned(const std::string &flag, const std::string &token)
+{
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return Status::invalidArgument(
+            flag + " expects an unsigned integer, got '" + token + "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(token.c_str(), &end, 10);
+    if (errno == ERANGE || end != token.c_str() + token.size()
+        || end == token.c_str())
+        return Status::invalidArgument(
+            flag + " expects an unsigned integer, got '" + token + "'");
+    return static_cast<uint64_t>(value);
+}
+
+/** Strict finite double; rejects trailing junk. */
+StatusOr<double>
+parseDouble(const std::string &flag, const std::string &token)
+{
+    if (token.empty())
+        return Status::invalidArgument(flag + " expects a number");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE || end != token.c_str() + token.size()
+        || end == token.c_str())
+        return Status::invalidArgument(flag + " expects a number, got '"
+                                       + token + "'");
+    return value;
+}
+
+/** JSON number that must be an integer in [min, max]. */
+StatusOr<long long>
+jsonInt(const std::string &key, const Json &value, long long min,
+        long long max)
+{
+    if (!value.isNumber())
+        return Status::invalidArgument("\"" + key
+                                       + "\" must be a number");
+    const double number = value.asNumber();
+    const long long integral = static_cast<long long>(number);
+    if (static_cast<double>(integral) != number)
+        return Status::invalidArgument("\"" + key
+                                       + "\" must be an integer");
+    if (integral < min || integral > max)
+        return Status::invalidArgument(
+            "\"" + key + "\" must be in [" + std::to_string(min) + ", "
+            + std::to_string(max) + "]");
+    return integral;
+}
+
+StatusOr<std::string>
+jsonString(const std::string &key, const Json &value)
+{
+    if (!value.isString())
+        return Status::invalidArgument("\"" + key
+                                       + "\" must be a string");
+    return value.asString();
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string joined;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (i > 0)
+            joined += ", ";
+        joined += names[i];
+    }
+    return joined;
+}
+
+} // namespace
+
+StatusOr<EngineArgs>
+EngineArgs::fromArgv(int argc, const char *const *argv,
+                     const EngineArgs &defaults)
+{
+    EngineArgs args = defaults;
+    int positionals = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        std::string value;
+        bool has_value = false;
+
+        const size_t eq = flag.find('=');
+        if (flag.size() > 2 && flag[0] == '-' && flag[1] == '-'
+            && eq != std::string::npos) {
+            value = flag.substr(eq + 1);
+            flag = flag.substr(0, eq);
+            has_value = true;
+        }
+
+        auto take_value = [&]() -> Status {
+            if (has_value)
+                return okStatus();
+            if (i + 1 >= argc)
+                return Status::invalidArgument(flag
+                                               + " expects a value");
+            value = argv[++i];
+            has_value = true;
+            return okStatus();
+        };
+
+        if (flag == "--help" || flag == "-h") {
+            args.helpRequested = true;
+            return args;
+        }
+        if (flag == "--offload" || flag == "--no-offload") {
+            if (has_value)
+                return Status::invalidArgument(
+                    flag + " does not take a value (use --offload or "
+                           "--no-offload)");
+            args.offload = flag == "--offload";
+            args.parsedFlags.push_back("--offload");
+            continue;
+        }
+
+        if (flag == "--device" || flag == "--dataset"
+            || flag == "--algorithm" || flag == "--models"
+            || flag == "--mode") {
+            if (Status s = take_value(); !s.ok())
+                return s;
+            if (flag == "--device")
+                args.device = value;
+            else if (flag == "--dataset")
+                args.dataset = value;
+            else if (flag == "--algorithm")
+                args.algorithm = value;
+            else if (flag == "--models")
+                args.models = value;
+            else
+                args.mode = value;
+            args.parsedFlags.push_back(flag);
+            continue;
+        }
+
+        if (flag == "--beams" || flag == "--branch-factor"
+            || flag == "--problems") {
+            if (Status s = take_value(); !s.ok())
+                return s;
+            auto parsed = parseInt(flag, value, flag == "--problems" ? 0 : 1,
+                                   1 << 20);
+            if (!parsed.ok())
+                return parsed.status();
+            if (flag == "--beams")
+                args.numBeams = static_cast<int>(*parsed);
+            else if (flag == "--branch-factor")
+                args.branchFactor = static_cast<int>(*parsed);
+            else
+                args.numProblems = static_cast<int>(*parsed);
+            args.parsedFlags.push_back(flag);
+            continue;
+        }
+
+        if (flag == "--seed") {
+            if (Status s = take_value(); !s.ok())
+                return s;
+            auto parsed = parseUnsigned(flag, value);
+            if (!parsed.ok())
+                return parsed.status();
+            args.seed = *parsed;
+            args.parsedFlags.push_back(flag);
+            continue;
+        }
+
+        if (flag == "--memory-fraction" || flag == "--reserved-gib") {
+            if (Status s = take_value(); !s.ok())
+                return s;
+            auto parsed = parseDouble(flag, value);
+            if (!parsed.ok())
+                return parsed.status();
+            if (flag == "--memory-fraction")
+                args.memoryFraction = *parsed;
+            else
+                args.reservedGiB = *parsed;
+            args.parsedFlags.push_back(flag);
+            continue;
+        }
+
+        if (!flag.empty() && flag[0] == '-')
+            return Status::invalidArgument("unknown flag '" + flag
+                                           + "' (see --help)");
+
+        // Legacy positionals: [num_problems] [dataset].
+        if (positionals == 0) {
+            auto parsed = parseInt("num_problems", flag, 0, 1 << 20);
+            if (!parsed.ok())
+                return parsed.status();
+            args.numProblems = static_cast<int>(*parsed);
+            args.parsedFlags.push_back("--problems");
+        } else if (positionals == 1) {
+            args.dataset = flag;
+            args.parsedFlags.push_back("--dataset");
+        } else {
+            return Status::invalidArgument(
+                "unexpected extra positional argument '" + flag + "'");
+        }
+        ++positionals;
+    }
+    return args;
+}
+
+StatusOr<EngineArgs>
+EngineArgs::fromArgv(int argc, const char *const *argv)
+{
+    return fromArgv(argc, argv, EngineArgs());
+}
+
+StatusOr<EngineArgs>
+EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
+{
+    if (!doc.isObject())
+        return Status::invalidArgument(
+            "EngineArgs JSON must be an object");
+
+    EngineArgs args = defaults;
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "device" || key == "dataset" || key == "algorithm"
+            || key == "models" || key == "mode") {
+            auto parsed = jsonString(key, value);
+            if (!parsed.ok())
+                return parsed.status();
+            if (key == "device")
+                args.device = *parsed;
+            else if (key == "dataset")
+                args.dataset = *parsed;
+            else if (key == "algorithm")
+                args.algorithm = *parsed;
+            else if (key == "models")
+                args.models = *parsed;
+            else
+                args.mode = *parsed;
+        } else if (key == "num_beams" || key == "branch_factor"
+                   || key == "num_problems") {
+            auto parsed = jsonInt(key, value,
+                                  key == "num_problems" ? 0 : 1, 1 << 20);
+            if (!parsed.ok())
+                return parsed.status();
+            if (key == "num_beams")
+                args.numBeams = static_cast<int>(*parsed);
+            else if (key == "branch_factor")
+                args.branchFactor = static_cast<int>(*parsed);
+            else
+                args.numProblems = static_cast<int>(*parsed);
+        } else if (key == "seed") {
+            auto parsed = jsonInt(key, value, 0,
+                                  (1LL << 53)); // Doubles round-trip 2^53.
+            if (!parsed.ok())
+                return parsed.status();
+            args.seed = static_cast<uint64_t>(*parsed);
+        } else if (key == "offload") {
+            if (!value.isBool())
+                return Status::invalidArgument(
+                    "\"offload\" must be a boolean");
+            args.offload = value.asBool();
+        } else if (key == "memory_fraction") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"memory_fraction\" must be a number");
+            args.memoryFraction = value.asNumber();
+        } else if (key == "reserved_gib") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"reserved_gib\" must be a number");
+            args.reservedGiB = value.asNumber();
+        } else {
+            return Status::invalidArgument("unknown EngineArgs key \""
+                                           + key + "\"");
+        }
+    }
+    return args;
+}
+
+StatusOr<EngineArgs>
+EngineArgs::fromJsonText(const std::string &text,
+                         const EngineArgs &defaults)
+{
+    std::string error;
+    const Json doc = Json::parse(text, &error);
+    if (!error.empty())
+        return Status::invalidArgument("EngineArgs JSON parse error: "
+                                       + error);
+    return fromJson(doc, defaults);
+}
+
+StatusOr<EngineArgs>
+EngineArgs::fromJsonText(const std::string &text)
+{
+    return fromJsonText(text, EngineArgs());
+}
+
+Status
+EngineArgs::validate() const
+{
+    if (auto device_spec = deviceByName(device); !device_spec.ok())
+        return device_spec.status();
+    if (auto profile = datasetByName(dataset); !profile.ok())
+        return profile.status();
+    if (!modelConfigRegistry().contains(models))
+        return modelConfigByLabel(models).status();
+    if (numBeams < 1)
+        return Status::invalidArgument("num_beams must be >= 1, got "
+                                       + std::to_string(numBeams));
+    if (branchFactor < 1)
+        return Status::invalidArgument(
+            "branch_factor must be >= 1, got "
+            + std::to_string(branchFactor));
+    if (auto algo = makeAlgorithm(algorithm, numBeams, branchFactor);
+        !algo.ok())
+        return algo.status();
+    if (numProblems < 0)
+        return Status::invalidArgument("num_problems must be >= 0, got "
+                                       + std::to_string(numProblems));
+    if (mode != "fasttts" && mode != "baseline")
+        return Status::invalidArgument(
+            "mode must be 'fasttts' or 'baseline', got '" + mode + "'");
+    if (memoryFraction < 0 || memoryFraction > 1)
+        return Status::invalidArgument(
+            "memory_fraction must be in (0, 1] (or 0 for the model "
+            "config default)");
+    return okStatus();
+}
+
+Status
+EngineArgs::rejectUnsupportedFlags(
+    const std::vector<std::string> &supported) const
+{
+    for (const std::string &flag : parsedFlags) {
+        bool found = false;
+        for (const std::string &ok_flag : supported)
+            found = found || ok_flag == flag;
+        if (!found) {
+            std::string message = flag
+                + " is not supported by this tool (its configuration "
+                  "is fixed); supported flags: ";
+            if (supported.empty()) {
+                message += "none (only --help)";
+            } else {
+                for (size_t i = 0; i < supported.size(); ++i)
+                    message += (i == 0 ? "" : ", ") + supported[i];
+            }
+            return Status::invalidArgument(message);
+        }
+    }
+    return okStatus();
+}
+
+StatusOr<ServingOptions>
+EngineArgs::toServingOptions() const
+{
+    if (Status status = validate(); !status.ok())
+        return status;
+
+    ServingOptions opts;
+    opts.config = mode == "baseline" ? FastTtsConfig::baseline()
+                                     : FastTtsConfig::fastTts();
+    opts.config.offloadEnabled = offload;
+    if (reservedGiB >= 0)
+        opts.config.reservedBytes = reservedGiB * GiB;
+    opts.models = *modelConfigByLabel(models);
+    if (memoryFraction > 0)
+        opts.models.memoryFraction = memoryFraction;
+    opts.deviceName = device;
+    opts.datasetName = dataset;
+    opts.algorithmName = algorithm;
+    opts.numBeams = numBeams;
+    opts.branchFactor = branchFactor;
+    opts.seed = seed;
+    // Keep the deterministic 256-problem set (a prefix is identical
+    // for any larger count) but grow it when more problems were asked
+    // for, so serveProblems(numProblems) never silently clamps.
+    opts.problemCount = std::max(opts.problemCount, numProblems);
+    return opts;
+}
+
+std::string
+EngineArgs::help(const std::string &program)
+{
+    std::string text =
+        "usage: " + program + " [flags] [num_problems] [dataset]\n"
+        "\n"
+        "  --device NAME        accelerator to serve on\n"
+        "  --dataset NAME       workload profile\n"
+        "  --algorithm NAME     TTS search method\n"
+        "  --models LABEL       generator+verifier configuration\n"
+        "  --mode MODE          'fasttts' (optimised) or 'baseline'\n"
+        "  --beams N            search width n (>= 1)\n"
+        "  --branch-factor N    branch factor B (>= 1)\n"
+        "  --problems N         problems to serve (>= 0)\n"
+        "  --seed N             master problem-set seed\n"
+        "  --offload            enable KV offloading (Sec. 4.3.2)\n"
+        "  --no-offload         disable KV offloading\n"
+        "  --memory-fraction F  GPU memory fraction in (0, 1]\n"
+        "  --reserved-gib F     reserved VRAM (GiB) outside serving\n"
+        "  --help               print this text and exit\n"
+        "\n"
+        "Bare positionals (legacy): first = --problems, second = "
+        "--dataset.\n"
+        "\n"
+        "Registered names (extensible; see the README's Extending "
+        "FastTTS):\n";
+    text += registryListing();
+    return text;
+}
+
+std::string
+EngineArgs::registryListing()
+{
+    std::string text;
+    text += "  devices:       " + joinNames(deviceRegistry().list()) + "\n";
+    text +=
+        "  datasets:      " + joinNames(datasetRegistry().list()) + "\n";
+    text += "  algorithms:    " + joinNames(algorithmRegistry().list())
+        + "\n";
+    text += "  model configs: " + joinNames(modelConfigRegistry().list())
+        + "\n";
+    return text;
+}
+
+namespace
+{
+
+/** All flags fromArgv can record; "every flag supported". */
+const std::vector<std::string> &
+allFlags()
+{
+    static const std::vector<std::string> flags = {
+        "--device",        "--dataset",      "--algorithm",
+        "--models",        "--mode",         "--beams",
+        "--branch-factor", "--problems",     "--seed",
+        "--offload",       "--memory-fraction", "--reserved-gib"};
+    return flags;
+}
+
+} // namespace
+
+EngineArgs
+EngineArgs::parseOrExit(int argc, const char *const *argv,
+                        const EngineArgs &defaults,
+                        const std::string &description)
+{
+    return parseOrExit(argc, argv, defaults, description, allFlags());
+}
+
+EngineArgs
+EngineArgs::parseOrExit(int argc, const char *const *argv,
+                        const EngineArgs &defaults,
+                        const std::string &description,
+                        const std::vector<std::string> &supported)
+{
+    const std::string program = argc > 0 ? argv[0] : "fasttts";
+    auto parsed = fromArgv(argc, argv, defaults);
+    if (parsed.ok() && parsed->helpRequested) {
+        if (!description.empty())
+            std::printf("%s\n\n", description.c_str());
+        std::fputs(help(program).c_str(), stdout);
+        std::exit(0);
+    }
+    Status status = parsed.ok() ? parsed->validate() : parsed.status();
+    if (status.ok())
+        status = parsed->rejectUnsupportedFlags(supported);
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", program.c_str(),
+                     status.toString().c_str());
+        std::fprintf(stderr, "try '%s --help'\n", program.c_str());
+        std::exit(2);
+    }
+    return *std::move(parsed);
+}
+
+} // namespace fasttts

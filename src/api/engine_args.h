@@ -1,0 +1,148 @@
+/**
+ * @file
+ * EngineArgs: flat, string-friendly serving configuration.
+ *
+ * The vLLM-style front door of the library: every knob a CLI flag or
+ * JSON key away, with full validation against the registries and an
+ * explicit conversion into ServingOptions. The bench binaries and
+ * examples all parse their command line through fromArgv() (so they
+ * share one flag vocabulary and a --help that prints the registry
+ * contents), and services embedding the library can load the same
+ * configuration from a JSON document via fromJson().
+ *
+ *   EngineArgs defaults;
+ *   defaults.dataset = "AMC";
+ *   const EngineArgs args =
+ *       EngineArgs::parseOrExit(argc, argv, defaults, "my tool");
+ *   auto system = ServingSystem::create(args.toServingOptions().value());
+ */
+
+#ifndef FASTTTS_API_ENGINE_ARGS_H
+#define FASTTTS_API_ENGINE_ARGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "core/serving.h"
+
+namespace fasttts
+{
+
+class Json;
+
+/**
+ * One serving configuration in string-friendly form. Every field maps
+ * 1:1 to a CLI flag and a JSON key; names are resolved through the
+ * registries only at validate()/toServingOptions() time, so custom
+ * registrations made before parsing are honoured.
+ */
+struct EngineArgs
+{
+    std::string device = "RTX4090";       //!< --device / "device"
+    std::string dataset = "AIME";         //!< --dataset / "dataset"
+    std::string algorithm = "beam_search"; //!< --algorithm / "algorithm"
+    std::string models = "1.5B+1.5B";     //!< --models / "models"
+    std::string mode = "fasttts";  //!< --mode: "fasttts" | "baseline"
+    int numBeams = 32;        //!< --beams / "num_beams"
+    int branchFactor = 4;     //!< --branch-factor / "branch_factor"
+    int numProblems = 8;      //!< --problems / "num_problems"
+    uint64_t seed = 2026;     //!< --seed / "seed"
+    bool offload = false;     //!< --offload / "offload" (Sec. 4.3.2)
+    double memoryFraction = 0;  //!< --memory-fraction; 0 keeps the
+                                //!< model configuration's default.
+    double reservedGiB = -1;    //!< --reserved-gib; negative keeps the
+                                //!< engine default.
+    bool helpRequested = false; //!< --help seen; see parseOrExit().
+
+    /**
+     * Canonical names of the flags the command line explicitly set
+     * ("--problems", "--dataset", ... — positionals map to their flag
+     * names). Lets tools with figure-fixed configurations reject
+     * flags they would otherwise silently ignore.
+     */
+    std::vector<std::string> parsedFlags;
+
+    /**
+     * Parse a command line on top of the given defaults. Recognised
+     * flags are listed by help(); "--flag value" and "--flag=value"
+     * both work. For backward compatibility with the original bench
+     * CLIs, up to two bare positionals are accepted: the first sets
+     * numProblems, the second sets dataset. Syntax and number-format
+     * errors are kInvalidArgument; names are NOT resolved here (call
+     * validate()).
+     */
+    static StatusOr<EngineArgs> fromArgv(int argc, const char *const *argv,
+                                         const EngineArgs &defaults);
+
+    static StatusOr<EngineArgs> fromArgv(int argc,
+                                         const char *const *argv);
+
+    /**
+     * Load from a JSON object on top of the given defaults. Keys are
+     * the doc-comment names above ("device", ..., "reserved_gib");
+     * unknown keys and type mismatches are kInvalidArgument.
+     */
+    static StatusOr<EngineArgs> fromJson(const Json &doc,
+                                         const EngineArgs &defaults);
+
+    /** Parse a JSON document text, then load as above. */
+    static StatusOr<EngineArgs> fromJsonText(const std::string &text,
+                                             const EngineArgs &defaults);
+
+    static StatusOr<EngineArgs> fromJsonText(const std::string &text);
+
+    /**
+     * Full validation: every name must exist in its registry, numeric
+     * fields must be in range, mode must be "fasttts" or "baseline".
+     */
+    Status validate() const;
+
+    /** Validate, then build the equivalent ServingOptions. */
+    StatusOr<ServingOptions> toServingOptions() const;
+
+    /**
+     * kInvalidArgument when the command line explicitly set a flag
+     * outside the supported set — for tools whose configuration is
+     * (partly) fixed, so an ignored flag is an error rather than a
+     * silently wrong run.
+     */
+    Status
+    rejectUnsupportedFlags(const std::vector<std::string> &supported) const;
+
+    /**
+     * The flag reference plus the current registry contents (devices,
+     * datasets, algorithms, model configs) — the discoverability
+     * surface of the CLI.
+     */
+    static std::string help(const std::string &program);
+
+    /** Just the registered-names block of help() (shared by tools
+     *  with their own usage text, e.g. bench_runner). */
+    static std::string registryListing();
+
+    /**
+     * fromArgv + validate for command-line tools: prints help and
+     * exits 0 on --help, prints the error and exits 2 on bad input,
+     * otherwise returns the validated arguments.
+     * @param description One-line tool description printed atop help.
+     */
+    static EngineArgs parseOrExit(int argc, const char *const *argv,
+                                  const EngineArgs &defaults,
+                                  const std::string &description);
+
+    /**
+     * As above, but additionally rejects explicitly-set flags outside
+     * `supported` (pass {} for a tool with a fully fixed
+     * configuration that only takes --help).
+     */
+    static EngineArgs parseOrExit(int argc, const char *const *argv,
+                                  const EngineArgs &defaults,
+                                  const std::string &description,
+                                  const std::vector<std::string> &supported);
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_API_ENGINE_ARGS_H

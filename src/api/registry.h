@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Named-factory registries: the extension points of the library.
+ *
+ * Devices, datasets, model configurations and search algorithms are
+ * each looked up through a Registry rather than a hard-coded if-chain,
+ * so new entries can be registered by downstream code without touching
+ * the core (see the "Extending FastTTS" section of the README).
+ * Lookups of unknown names are hard errors that list the valid names —
+ * never a silent fallback.
+ *
+ * The built-in entries are installed by each subsystem's registry
+ * accessor (deviceRegistry(), datasetRegistry(), algorithmRegistry(),
+ * modelConfigRegistry()) on first use. Registries are not synchronised;
+ * register custom entries at startup, before serving.
+ */
+
+#ifndef FASTTTS_API_REGISTRY_H
+#define FASTTTS_API_REGISTRY_H
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+namespace fasttts
+{
+
+/**
+ * An ordered map of name -> factory for one kind of pluggable entity.
+ *
+ * @tparam T    What a factory produces (a value or a unique_ptr).
+ * @tparam Args Extra arguments every factory takes (e.g. the search
+ *              width and branch factor for algorithms).
+ */
+template <typename T, typename... Args>
+class Registry
+{
+  public:
+    using Factory = std::function<T(Args...)>;
+
+    /** @param kind Singular noun used in error messages ("device"). */
+    explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+    /**
+     * Register a factory under a unique, non-empty name.
+     * @return kInvalidArgument for an empty name or null factory,
+     *         kAlreadyExists for a duplicate.
+     */
+    Status
+    add(const std::string &name, Factory factory)
+    {
+        if (name.empty())
+            return Status::invalidArgument(kind_
+                                           + " name must be non-empty");
+        if (!factory)
+            return Status::invalidArgument(
+                kind_ + " factory for '" + name + "' must be callable");
+        if (contains(name))
+            return Status::alreadyExists(kind_ + " '" + name
+                                         + "' is already registered");
+        entries_.emplace_back(name, std::move(factory));
+        return okStatus();
+    }
+
+    /** Remove an entry; kNotFound when absent. */
+    Status
+    remove(const std::string &name)
+    {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first == name) {
+                entries_.erase(it);
+                return okStatus();
+            }
+        }
+        return Status::notFound(unknownMessage(name));
+    }
+
+    bool
+    contains(const std::string &name) const
+    {
+        return find(name) != nullptr;
+    }
+
+    /** Registered names, in registration order. */
+    std::vector<std::string>
+    list() const
+    {
+        std::vector<std::string> names;
+        names.reserve(entries_.size());
+        for (const auto &[name, factory] : entries_)
+            names.push_back(name);
+        return names;
+    }
+
+    size_t size() const { return entries_.size(); }
+
+    /** The kind noun this registry was constructed with. */
+    const std::string &kind() const { return kind_; }
+
+    /**
+     * Invoke the named factory. Unknown names are a kNotFound error
+     * whose message lists every valid name.
+     */
+    StatusOr<T>
+    create(const std::string &name, Args... args) const
+    {
+        const Factory *factory = find(name);
+        if (factory == nullptr)
+            return Status::notFound(unknownMessage(name));
+        return (*factory)(std::forward<Args>(args)...);
+    }
+
+  private:
+    const Factory *
+    find(const std::string &name) const
+    {
+        for (const auto &entry : entries_)
+            if (entry.first == name)
+                return &entry.second;
+        return nullptr;
+    }
+
+    std::string
+    unknownMessage(const std::string &name) const
+    {
+        std::string message = "unknown " + kind_ + " '" + name
+            + "'; valid " + kind_ + "s: ";
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            if (i > 0)
+                message += ", ";
+            message += entries_[i].first;
+        }
+        if (entries_.empty())
+            message += "(none registered)";
+        return message;
+    }
+
+    std::string kind_;
+    std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_API_REGISTRY_H

@@ -1,0 +1,47 @@
+#include "api/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fasttts
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kOk:
+        return "ok";
+    case StatusCode::kInvalidArgument:
+        return "invalid_argument";
+    case StatusCode::kNotFound:
+        return "not_found";
+    case StatusCode::kAlreadyExists:
+        return "already_exists";
+    case StatusCode::kFailedPrecondition:
+        return "failed_precondition";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+namespace detail
+{
+
+void
+failStatus(const Status &status)
+{
+    std::fprintf(stderr, "fasttts: fatal: %s\n",
+                 status.toString().c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace fasttts

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Lightweight error propagation without exceptions.
+ *
+ * Every fallible operation in the public API returns a Status (or a
+ * StatusOr<T> when it produces a value): registry lookups, EngineArgs
+ * parsing/validation, ServingSystem construction, request
+ * cancellation. A Status carries a machine-checkable code plus a
+ * human-readable message; callers either branch on ok() or use
+ * StatusOr<T>::value(), which terminates the process with the error
+ * message on failure (the CHECK-style escape hatch for call sites
+ * whose inputs are known-valid, e.g. benches running built-in
+ * configurations).
+ */
+
+#ifndef FASTTTS_API_STATUS_H
+#define FASTTTS_API_STATUS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fasttts
+{
+
+/** Machine-checkable failure category of a Status. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument, //!< Malformed input (bad flag, bad JSON, range).
+    kNotFound,        //!< Unknown name in a registry lookup.
+    kAlreadyExists,   //!< Duplicate registration.
+    kFailedPrecondition, //!< Operation invalid in the current state.
+};
+
+/** The name of a status code ("ok", "invalid_argument", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Result of a fallible operation: kOk, or a code plus message.
+ */
+class Status
+{
+  public:
+    /** Success. */
+    Status() : code_(StatusCode::kOk) {}
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status
+    invalidArgument(std::string message)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(message));
+    }
+
+    static Status
+    notFound(std::string message)
+    {
+        return Status(StatusCode::kNotFound, std::move(message));
+    }
+
+    static Status
+    alreadyExists(std::string message)
+    {
+        return Status(StatusCode::kAlreadyExists, std::move(message));
+    }
+
+    static Status
+    failedPrecondition(std::string message)
+    {
+        return Status(StatusCode::kFailedPrecondition,
+                      std::move(message));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>", for logs and CLI errors. */
+    std::string toString() const;
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/** The success Status (named constructor; Status() is equivalent). */
+inline Status
+okStatus()
+{
+    return Status();
+}
+
+namespace detail
+{
+/** Print the status and abort; the non-inline slow path of value(). */
+[[noreturn]] void failStatus(const Status &status);
+} // namespace detail
+
+/**
+ * A Status or a value of type T (exactly one of the two).
+ *
+ * Converts implicitly from T and from a non-ok Status, so factory
+ * functions can `return Status::notFound(...)` and `return value`
+ * interchangeably. T must be movable; copy-only use is supported when
+ * T is copyable.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** From a failure; must not be kOk. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            detail::failStatus(Status::failedPrecondition(
+                "StatusOr constructed from an ok Status"));
+    }
+
+    /** From a value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return value_.has_value(); }
+
+    /** The status: ok() when a value is present. */
+    const Status &status() const { return status_; }
+
+    /** The value; terminates with the error message when !ok(). */
+    T &
+    value() &
+    {
+        if (!ok())
+            detail::failStatus(status_);
+        return *value_;
+    }
+
+    const T &
+    value() const &
+    {
+        if (!ok())
+            detail::failStatus(status_);
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        if (!ok())
+            detail::failStatus(status_);
+        return *std::move(value_);
+    }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_; //!< kOk iff value_ holds a value.
+    std::optional<T> value_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_API_STATUS_H

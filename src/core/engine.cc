@@ -946,10 +946,23 @@ FastTtsEngine::runSelectionPhase()
 RequestResult
 FastTtsEngine::runRequest(const Problem &problem)
 {
-    resetRequestState(problem);
+    beginRequest(problem);
+    while (stepRequest()) {
+    }
+    return finishRequest();
+}
 
+void
+FastTtsEngine::beginRequest(const Problem &problem)
+{
+    resetRequestState(problem);
+}
+
+bool
+FastTtsEngine::stepRequest()
+{
     const int hard_cap = dataset_.maxSteps + 4;
-    while (!active_.empty() && iteration_ < hard_cap) {
+    if (!active_.empty() && iteration_ < hard_cap) {
         replan();
         runGenerationPhase();
         runVerificationPhase();
@@ -984,8 +997,14 @@ FastTtsEngine::runRequest(const Problem &problem)
         iterStats_.push_back(stats);
         ++iteration_;
     }
+    return !active_.empty() && iteration_ < hard_cap;
+}
 
-    // Any beams alive at the hard cap are abandoned.
+RequestResult
+FastTtsEngine::finishRequest()
+{
+    // Any beams alive at the hard cap (or at cancellation) are
+    // abandoned.
     for (auto &b : active_)
         pruneBeam(*b);
     active_.clear();

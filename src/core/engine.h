@@ -94,6 +94,29 @@ class FastTtsEngine
     /** Serve one problem with search width algorithm().beamWidth(). */
     RequestResult runRequest(const Problem &problem);
 
+    // --- Incremental request lifecycle (the async serving facade in
+    //     core/serving.h drives these; runRequest() is begin + step
+    //     loop + finish) ---
+
+    /** Reset engine state and admit the problem's initial beams. */
+    void beginRequest(const Problem &problem);
+
+    /**
+     * Advance the in-flight request by one TTS iteration (replan,
+     * generation, verification, selection).
+     * @return true while further iterations remain; false once every
+     *         beam completed (or the step hard cap was reached), after
+     *         which finishRequest() collects the result.
+     */
+    bool stepRequest();
+
+    /**
+     * Abandon any still-active beams and build the request's metrics.
+     * Also serves as cancellation: callable after any number of
+     * stepRequest() calls.
+     */
+    RequestResult finishRequest();
+
     /** KV budget shared by the two models (bytes). */
     double kvBudgetBytes() const { return kvBudget_; }
 

@@ -2,15 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/rng.h"
 
 namespace fasttts
 {
 
-OnlineServer::OnlineServer(const ServingOptions &options)
-    : system_(options)
+OnlineServer::OnlineServer(ServingSystem system)
+    : system_(std::move(system))
 {
+}
+
+StatusOr<OnlineServer>
+OnlineServer::create(const ServingOptions &options)
+{
+    auto system = ServingSystem::create(options);
+    if (!system.ok())
+        return system.status();
+    return OnlineServer(*std::move(system));
 }
 
 OnlineTraceResult
@@ -19,7 +29,7 @@ OnlineServer::serveTrace(int num_requests, double arrival_rate,
 {
     Rng rng = Rng(seed).fork(0xa881);
     std::vector<double> arrivals;
-    arrivals.reserve(static_cast<size_t>(num_requests));
+    arrivals.reserve(static_cast<size_t>(std::max(0, num_requests)));
     double t = 0;
     for (int i = 0; i < num_requests; ++i) {
         t += rng.exponential(arrival_rate);
@@ -31,28 +41,57 @@ OnlineServer::serveTrace(int num_requests, double arrival_rate,
 OnlineTraceResult
 OnlineServer::serveArrivals(const std::vector<double> &arrivals)
 {
-    OnlineTraceResult out;
     const auto &problems = system_.problems();
+    if (arrivals.empty() || problems.empty())
+        return aggregateTrace({}, 0.0);
+
+    std::vector<OnlineRequestRecord> records;
+    records.reserve(arrivals.size());
+    std::vector<RequestId> ids;
+    ids.reserve(arrivals.size());
     double device_free_at = 0;
     double busy = 0;
 
+    // FIFO admission: submit in arrival order; completion callbacks
+    // convert engine service time into queue-aware wall-clock times.
     for (size_t i = 0; i < arrivals.size(); ++i) {
-        OnlineRequestRecord rec;
-        rec.problemId = static_cast<int>(i % problems.size());
-        rec.arrival = arrivals[i];
-        rec.start = std::max(rec.arrival, device_free_at);
-        const RequestResult r =
-            system_.serve(problems[static_cast<size_t>(rec.problemId)]);
-        rec.finish = rec.start + r.completionTime;
-        device_free_at = rec.finish;
-        busy += r.completionTime;
-        out.records.push_back(rec);
+        const int problem_id =
+            static_cast<int>(i % problems.size());
+        const double arrival = arrivals[i];
+        ids.push_back(system_.submit(
+            problems[static_cast<size_t>(problem_id)],
+            {/*onStep=*/nullptr,
+             /*onComplete=*/[&records, &device_free_at, &busy,
+                             problem_id,
+                             arrival](RequestId, const RequestResult &r) {
+                 OnlineRequestRecord rec;
+                 rec.problemId = problem_id;
+                 rec.arrival = arrival;
+                 rec.start = std::max(arrival, device_free_at);
+                 rec.finish = rec.start + r.completionTime;
+                 device_free_at = rec.finish;
+                 busy += r.completionTime;
+                 records.push_back(rec);
+             }}));
     }
+    system_.drain();
+    // The callbacks consumed every result; drop the records so a
+    // long-lived server does not accumulate them trace after trace.
+    for (const RequestId id : ids)
+        system_.release(id);
+    return aggregateTrace(std::move(records), busy);
+}
 
+OnlineTraceResult
+aggregateTrace(std::vector<OnlineRequestRecord> records, double busy_time)
+{
+    OnlineTraceResult out;
+    out.records = std::move(records);
     if (out.records.empty())
         return out;
 
     std::vector<double> latencies;
+    latencies.reserve(out.records.size());
     double lat_total = 0;
     double queue_total = 0;
     for (const auto &rec : out.records) {
@@ -67,7 +106,7 @@ OnlineServer::serveArrivals(const std::vector<double> &arrivals)
     out.p95Latency = latencies[static_cast<size_t>(
         std::min(latencies.size() - 1.0, std::ceil(0.95 * n) - 1))];
     out.makespan = out.records.back().finish;
-    out.utilization = out.makespan > 0 ? busy / out.makespan : 0;
+    out.utilization = out.makespan > 0 ? busy_time / out.makespan : 0;
     return out;
 }
 

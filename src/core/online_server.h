@@ -10,6 +10,11 @@
  * deterministic arrival process and reports per-request queueing
  * delay, service time and end-to-end latency — the level at which a
  * downstream user would deploy the library.
+ *
+ * The server owns only the queueing policy; engine pumping goes
+ * through ServingSystem's request-level async facade (submit + step
+ * + onComplete callbacks), so alternative admission policies can be
+ * built on the same primitives without touching the engine.
  */
 
 #ifndef FASTTTS_CORE_ONLINE_SERVER_H
@@ -17,6 +22,7 @@
 
 #include <vector>
 
+#include "api/status.h"
 #include "core/serving.h"
 
 namespace fasttts
@@ -47,17 +53,28 @@ struct OnlineTraceResult
 };
 
 /**
+ * Aggregate per-request records into trace statistics.
+ * @param busy_time Total device-busy seconds across the records.
+ * Safe on an empty record set: every statistic stays zero (no NaN or
+ * division by zero).
+ */
+OnlineTraceResult aggregateTrace(std::vector<OnlineRequestRecord> records,
+                                 double busy_time);
+
+/**
  * FIFO online server wrapping one ServingSystem.
  *
  * Requests are served run-to-completion in arrival order (one TTS
  * request is itself a large parallel job that fills the device; the
  * engine's internal continuous beam batching provides the
- * within-request concurrency).
+ * within-request concurrency). Move-only; obtain instances through
+ * create().
  */
 class OnlineServer
 {
   public:
-    explicit OnlineServer(const ServingOptions &options);
+    /** Build the wrapped ServingSystem; fails on invalid options. */
+    static StatusOr<OnlineServer> create(const ServingOptions &options);
 
     /**
      * Serve a Poisson-arrival trace of num_requests problems.
@@ -74,6 +91,8 @@ class OnlineServer
     ServingSystem &system() { return system_; }
 
   private:
+    explicit OnlineServer(ServingSystem system);
+
     ServingSystem system_;
 };
 

@@ -1,19 +1,55 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace fasttts
 {
 
-ServingSystem::ServingSystem(const ServingOptions &options)
-    : options_(options), dataset_(datasetByName(options.datasetName))
+StatusOr<ServingSystem>
+ServingSystem::create(const ServingOptions &options)
 {
-    algorithm_ = makeAlgorithm(options.algorithmName, options.numBeams,
-                               options.branchFactor);
-    engine_ = std::make_unique<FastTtsEngine>(
-        options.config, options.models, deviceByName(options.deviceName),
-        dataset_, *algorithm_);
-    problems_ = makeProblems(dataset_, 256, options.seed);
+    if (options.numBeams < 1)
+        return Status::invalidArgument(
+            "numBeams must be >= 1, got "
+            + std::to_string(options.numBeams));
+    if (options.branchFactor < 1)
+        return Status::invalidArgument(
+            "branchFactor must be >= 1, got "
+            + std::to_string(options.branchFactor));
+    if (options.problemCount < 0)
+        return Status::invalidArgument(
+            "problemCount must be >= 0, got "
+            + std::to_string(options.problemCount));
+
+    auto dataset = datasetByName(options.datasetName);
+    if (!dataset.ok())
+        return dataset.status();
+    auto device = deviceByName(options.deviceName);
+    if (!device.ok())
+        return device.status();
+    auto algorithm = makeAlgorithm(options.algorithmName,
+                                   options.numBeams,
+                                   options.branchFactor);
+    if (!algorithm.ok())
+        return algorithm.status();
+
+    return ServingSystem(options, *std::move(dataset),
+                         std::move(*algorithm), *device);
+}
+
+ServingSystem::ServingSystem(const ServingOptions &options,
+                             DatasetProfile dataset,
+                             std::unique_ptr<SearchAlgorithm> algorithm,
+                             const DeviceSpec &device)
+    : options_(options), dataset_(std::move(dataset)),
+      algorithm_(std::move(algorithm))
+{
+    engine_ = std::make_unique<FastTtsEngine>(options.config,
+                                              options.models, device,
+                                              dataset_, *algorithm_);
+    problems_ =
+        makeProblems(dataset_, options.problemCount, options.seed);
 }
 
 ServingSystem::~ServingSystem() = default;
@@ -21,19 +57,197 @@ ServingSystem::~ServingSystem() = default;
 RequestResult
 ServingSystem::serve(const Problem &problem)
 {
+    // The engine serves one request at a time: finish pending async
+    // work before taking it over, so the in-flight request's state is
+    // never clobbered mid-run.
+    drain();
     return engine_->runRequest(problem);
 }
 
 BatchResult
 ServingSystem::serveProblems(int num_problems)
 {
-    std::vector<RequestResult> results;
     const int count =
         std::min<int>(num_problems, static_cast<int>(problems_.size()));
-    results.reserve(static_cast<size_t>(count));
+
+    std::vector<RequestResult> results;
+    results.reserve(static_cast<size_t>(std::max(0, count)));
+    std::vector<RequestId> ids;
+    ids.reserve(static_cast<size_t>(std::max(0, count)));
     for (int i = 0; i < count; ++i)
-        results.push_back(serve(problems_[static_cast<size_t>(i)]));
+        ids.push_back(submit(problems_[static_cast<size_t>(i)]));
+    drain();
+    for (const RequestId id : ids) {
+        results.push_back(*result(id));
+        release(id); // Batch-owned records; don't accumulate.
+    }
     return aggregateResults(std::move(results), options_.numBeams);
+}
+
+RequestId
+ServingSystem::submit(const Problem &problem, RequestCallbacks callbacks)
+{
+    const RequestId id = nextId_++;
+    Request request;
+    request.problem = problem;
+    request.callbacks = std::move(callbacks);
+    requests_.emplace(id, std::move(request));
+    queue_.push_back(id);
+    return id;
+}
+
+void
+ServingSystem::admitNext()
+{
+    while (running_ == 0 && !queue_.empty()) {
+        const RequestId id = queue_.front();
+        queue_.pop_front();
+        auto it = requests_.find(id);
+        // Cancelled while queued (possibly already released); skip.
+        if (it == requests_.end()
+            || it->second.state == RequestState::Cancelled)
+            continue;
+        it->second.state = RequestState::Running;
+        engine_->beginRequest(it->second.problem);
+        running_ = id;
+    }
+}
+
+bool
+ServingSystem::step()
+{
+    admitNext();
+    if (running_ == 0)
+        return false;
+
+    const RequestId id = running_;
+    const bool more = engine_->stepRequest();
+    const int iterations = ++requests_.at(id).iterations;
+
+    // Copy the callback out of the map: the callback itself may
+    // cancel() and even release() this request, erasing the map node
+    // (and with it the std::function) while it executes.
+    const auto on_step = requests_.at(id).callbacks.onStep;
+    if (on_step) {
+        StepEvent event;
+        event.id = id;
+        event.iteration = iterations;
+        event.activeBeams = engine_->iterationStats().empty()
+            ? 0
+            : engine_->iterationStats().back().activeBeams;
+        event.clock = engine_->clock().now();
+        on_step(event);
+    }
+
+    // Re-find after the callback: cancel() may have finished the
+    // request on the engine, release() may have erased its record.
+    auto it = requests_.find(id);
+    if (it != requests_.end()
+        && it->second.state == RequestState::Running && !more) {
+        it->second.result = engine_->finishRequest();
+        it->second.state = RequestState::Completed;
+        running_ = 0;
+        const auto on_complete = it->second.callbacks.onComplete;
+        if (on_complete) {
+            // Copied so the callback may release(id) its own record.
+            const RequestResult result = it->second.result;
+            on_complete(id, result);
+        }
+    }
+
+    return running_ != 0 || !queue_.empty();
+}
+
+void
+ServingSystem::drain()
+{
+    while (step()) {
+    }
+}
+
+Status
+ServingSystem::cancel(RequestId id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    Request &request = it->second;
+    switch (request.state) {
+    case RequestState::Completed:
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " already completed");
+    case RequestState::Cancelled:
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " already cancelled");
+    case RequestState::Running:
+        // Abandon the in-flight beams; the partial result is dropped.
+        engine_->finishRequest();
+        running_ = 0;
+        request.state = RequestState::Cancelled;
+        return okStatus();
+    case RequestState::Queued:
+        request.state = RequestState::Cancelled;
+        return okStatus();
+    }
+    return Status::failedPrecondition("unreachable request state");
+}
+
+StatusOr<RequestState>
+ServingSystem::requestState(RequestId id) const
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    return it->second.state;
+}
+
+StatusOr<RequestResult>
+ServingSystem::result(RequestId id) const
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    switch (it->second.state) {
+    case RequestState::Completed:
+        return it->second.result;
+    case RequestState::Cancelled:
+        return Status::notFound("request " + std::to_string(id)
+                                + " was cancelled");
+    default:
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " has not completed");
+    }
+}
+
+Status
+ServingSystem::release(RequestId id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    const RequestState state = it->second.state;
+    if (state == RequestState::Queued || state == RequestState::Running)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id)
+            + " is still pending; cancel it first");
+    requests_.erase(it);
+    return okStatus();
+}
+
+size_t
+ServingSystem::pendingRequests() const
+{
+    size_t pending = 0;
+    for (const auto &[id, request] : requests_) {
+        if (request.state == RequestState::Queued
+            || request.state == RequestState::Running)
+            ++pending;
+    }
+    return pending;
 }
 
 BatchResult

@@ -1,31 +1,50 @@
 /**
  * @file
- * ServingSystem: the plug-and-play public API of the library.
+ * ServingSystem: the request-level public API of the library.
  *
  * Mirrors the paper's deployment model (Sec. 5): pick a device, a
  * generator+verifier configuration, a dataset workload and a TTS
- * search strategy, then serve requests. A ServingOptions struct
- * gathers everything; serveProblems() runs a batch of problems and
- * returns per-request metrics plus aggregates.
+ * search strategy, then serve requests. Construction is fallible and
+ * exception-free: ServingSystem::create() resolves every name through
+ * the extensible registries (deviceRegistry(), datasetRegistry(),
+ * algorithmRegistry(), modelConfigRegistry()) and returns a Status
+ * with the valid names on any unknown name — never a silent default.
  *
- * Typical use (see examples/quickstart.cc):
+ * Two serving styles share one engine:
+ *
+ *  - Batch: serve(problem) runs one request to completion;
+ *    serveProblems(n) serves a prefix of the dataset's deterministic
+ *    problem set and aggregates metrics.
+ *  - Request-level async: submit(problem, callbacks) enqueues a
+ *    request and returns a RequestId; each step() call advances the
+ *    in-flight request by one TTS iteration, firing per-request
+ *    onStep/onComplete callbacks; cancel(id) aborts a queued or
+ *    running request. Queueing policy (e.g. OnlineServer's FIFO
+ *    arrival queue) is thereby decoupled from engine pumping.
+ *
+ * Typical use (see examples/quickstart.cc; string-friendly
+ * configuration via EngineArgs in api/engine_args.h):
  *
  *   ServingOptions opts;
- *   opts.config = FastTtsConfig::fastTts();
- *   opts.models = config1_5Bplus1_5B();
  *   opts.algorithmName = "beam_search";
  *   opts.numBeams = 32;
- *   ServingSystem system(opts);
- *   BatchResult out = system.serveProblems(8);
+ *   auto system = ServingSystem::create(opts);
+ *   if (!system.ok()) { ... system.status().message() ... }
+ *   BatchResult out = system->serveProblems(8);
  */
 
 #ifndef FASTTTS_CORE_SERVING_H
 #define FASTTTS_CORE_SERVING_H
 
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "api/status.h"
 #include "core/config.h"
 #include "core/engine.h"
 #include "metrics/request_metrics.h"
@@ -47,6 +66,7 @@ struct ServingOptions
     int numBeams = 32;       //!< Search width n.
     int branchFactor = 4;    //!< B for tree-search methods.
     uint64_t seed = 2026;    //!< Master seed for the problem set.
+    int problemCount = 256;  //!< Size of the generated problem set.
 };
 
 /** Batch-level aggregation over served problems. */
@@ -64,23 +84,124 @@ struct BatchResult
     double passAtNAccuracy = 0;    //!< Pass@n.
 };
 
+/** Identity of one submitted request (process-unique, never reused). */
+using RequestId = uint64_t;
+
+/** Lifecycle state of a submitted request. */
+enum class RequestState {
+    Queued,    //!< Submitted, not yet started.
+    Running,   //!< In flight on the engine.
+    Completed, //!< Finished; result() is available.
+    Cancelled, //!< Aborted by cancel(); no result.
+};
+
+/** Progress notification delivered after each engine iteration. */
+struct StepEvent
+{
+    RequestId id = 0;
+    int iteration = 0;   //!< Iterations completed so far (1-based).
+    int activeBeams = 0; //!< Beams still active after the iteration.
+    double clock = 0;    //!< Engine-internal time (s) so far.
+};
+
+/** Per-request observers; default-constructed means "no callbacks". */
+struct RequestCallbacks
+{
+    /** Fired after every engine iteration of this request. */
+    std::function<void(const StepEvent &)> onStep;
+
+    /** Fired once when the request completes (not when cancelled). */
+    std::function<void(RequestId, const RequestResult &)> onComplete;
+};
+
 /**
  * One configured serving stack (device + models + search).
+ *
+ * Move-only; obtain instances through create().
  */
 class ServingSystem
 {
   public:
-    explicit ServingSystem(const ServingOptions &options);
+    /**
+     * Build a serving stack, resolving every name in the options
+     * through the registries. Unknown names and out-of-range widths
+     * are errors (kNotFound / kInvalidArgument).
+     */
+    static StatusOr<ServingSystem> create(const ServingOptions &options);
+
     ~ServingSystem();
 
     ServingSystem(const ServingSystem &) = delete;
     ServingSystem &operator=(const ServingSystem &) = delete;
+    ServingSystem(ServingSystem &&) = default;
+    ServingSystem &operator=(ServingSystem &&) = default;
 
-    /** Serve one problem. */
+    // --- Batch serving ---
+
+    /**
+     * Serve one problem to completion (synchronous). The engine runs
+     * one request at a time, so any pending async work is drained
+     * first — a sync call can never corrupt an in-flight request.
+     */
     RequestResult serve(const Problem &problem);
 
-    /** Serve the first num_problems of the dataset's problem set. */
+    /**
+     * Serve the first num_problems of the dataset's problem set
+     * (implemented on the async submit/step path) and aggregate.
+     */
     BatchResult serveProblems(int num_problems);
+
+    // --- Request-level async serving ---
+
+    /**
+     * Enqueue a request. Requests start in submission order; the
+     * engine serves one request at a time (a TTS request is itself a
+     * device-filling parallel job).
+     */
+    RequestId submit(const Problem &problem,
+                     RequestCallbacks callbacks = {});
+
+    /**
+     * Advance serving by one engine iteration: admit the next queued
+     * request if none is running, run one iteration, fire callbacks.
+     * @return true while queued or running work remains.
+     */
+    bool step();
+
+    /** step() until no submitted request remains unfinished. */
+    void drain();
+
+    /**
+     * Abort a queued or running request. Running requests abandon
+     * their active beams immediately; no onComplete fires.
+     * @return kNotFound for unknown ids, kFailedPrecondition when the
+     *         request already completed.
+     */
+    Status cancel(RequestId id);
+
+    /** Lifecycle state of a submitted request (kNotFound if unknown). */
+    StatusOr<RequestState> requestState(RequestId id) const;
+
+    /**
+     * Result of a completed request (kFailedPrecondition while it is
+     * queued/running, kNotFound for unknown or cancelled ids).
+     */
+    StatusOr<RequestResult> result(RequestId id) const;
+
+    /** Submitted requests not yet completed or cancelled. */
+    size_t pendingRequests() const;
+
+    /**
+     * Drop the record of a completed or cancelled request (its result
+     * becomes unavailable). Long-lived systems should release
+     * requests they are done with; records are otherwise kept so
+     * result() stays answerable. kFailedPrecondition while the
+     * request is still queued/running (cancel it first), kNotFound
+     * for unknown ids.
+     */
+    Status release(RequestId id);
+
+    // --- Introspection ---
 
     /** The options the system was built with. */
     const ServingOptions &options() const { return options_; }
@@ -93,14 +214,37 @@ class ServingSystem
     const std::vector<Problem> &problems() const { return problems_; }
 
   private:
+    struct Request
+    {
+        Problem problem;
+        RequestCallbacks callbacks;
+        RequestState state = RequestState::Queued;
+        RequestResult result;
+        int iterations = 0;
+    };
+
+    ServingSystem(const ServingOptions &options, DatasetProfile dataset,
+                  std::unique_ptr<SearchAlgorithm> algorithm,
+                  const DeviceSpec &device);
+
+    /** Pop cancelled entries and begin the next queued request. */
+    void admitNext();
+
     ServingOptions options_;
     DatasetProfile dataset_;
     std::unique_ptr<SearchAlgorithm> algorithm_;
     std::unique_ptr<FastTtsEngine> engine_;
     std::vector<Problem> problems_;
+
+    // --- Async state ---
+    std::unordered_map<RequestId, Request> requests_;
+    std::deque<RequestId> queue_;
+    RequestId running_ = 0; //!< 0 = none (ids start at 1).
+    RequestId nextId_ = 1;
 };
 
-/** Aggregate a set of request results into a BatchResult. */
+/** Aggregate a set of request results into a BatchResult. Safe on an
+ *  empty set: every aggregate field stays zero. */
 BatchResult aggregateResults(std::vector<RequestResult> requests,
                              int num_beams);
 

@@ -55,16 +55,24 @@ skywork1_5B()
     return m;
 }
 
-ModelSpec
+Registry<ModelSpec> &
+modelRegistry()
+{
+    static Registry<ModelSpec> *registry = [] {
+        auto *r = new Registry<ModelSpec>("model");
+        r->add("qwen1.5b", qwen25Math1_5B);
+        r->add("qwen7b", qwen25Math7B);
+        r->add("shepherd7b", mathShepherd7B);
+        r->add("skywork1.5b", skywork1_5B);
+        return r;
+    }();
+    return *registry;
+}
+
+StatusOr<ModelSpec>
 modelByName(const std::string &name)
 {
-    if (name == "qwen7b")
-        return qwen25Math7B();
-    if (name == "shepherd7b")
-        return mathShepherd7B();
-    if (name == "skywork1.5b")
-        return skywork1_5B();
-    return qwen25Math1_5B();
+    return modelRegistry().create(name);
 }
 
 ModelConfig
@@ -93,14 +101,23 @@ allModelConfigs()
     return {config1_5Bplus1_5B(), config1_5Bplus7B(), config7Bplus1_5B()};
 }
 
-ModelConfig
+Registry<ModelConfig> &
+modelConfigRegistry()
+{
+    static Registry<ModelConfig> *registry = [] {
+        auto *r = new Registry<ModelConfig>("model config");
+        r->add("1.5B+1.5B", config1_5Bplus1_5B);
+        r->add("1.5B+7B", config1_5Bplus7B);
+        r->add("7B+1.5B", config7Bplus1_5B);
+        return r;
+    }();
+    return *registry;
+}
+
+StatusOr<ModelConfig>
 modelConfigByLabel(const std::string &label)
 {
-    if (label == "1.5B+7B")
-        return config1_5Bplus7B();
-    if (label == "7B+1.5B")
-        return config7Bplus1_5B();
-    return config1_5Bplus1_5B();
+    return modelConfigRegistry().create(label);
 }
 
 } // namespace fasttts

@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
+#include "api/status.h"
+
 namespace fasttts
 {
 
@@ -61,8 +64,17 @@ ModelSpec mathShepherd7B();
 /** Skywork-o1-Open-PRM-Qwen-2.5-1.5B (verifier, *+1.5B configs). */
 ModelSpec skywork1_5B();
 
-/** Look up a model by short name ("qwen1.5b", "qwen7b", ...). */
-ModelSpec modelByName(const std::string &name);
+/**
+ * The model registry ("qwen1.5b", "qwen7b", "shepherd7b",
+ * "skywork1.5b"); register custom architectures here.
+ */
+Registry<ModelSpec> &modelRegistry();
+
+/**
+ * Look up a model by registered short name. Unknown names are a
+ * kNotFound error listing the valid names.
+ */
+StatusOr<ModelSpec> modelByName(const std::string &name);
 
 /**
  * One generator+verifier pairing from the paper's evaluation, together
@@ -88,8 +100,18 @@ ModelConfig config7Bplus1_5B();
 /** The three configurations of Sec. 6.1, in paper order. */
 std::vector<ModelConfig> allModelConfigs();
 
-/** Look up a configuration by label ("1.5B+1.5B", ...). */
-ModelConfig modelConfigByLabel(const std::string &label);
+/**
+ * The model-configuration registry ("1.5B+1.5B", "1.5B+7B",
+ * "7B+1.5B"); register custom generator+verifier pairings here to make
+ * them selectable through EngineArgs.
+ */
+Registry<ModelConfig> &modelConfigRegistry();
+
+/**
+ * Look up a configuration by registered label. Unknown labels are a
+ * kNotFound error listing the valid labels.
+ */
+StatusOr<ModelConfig> modelConfigByLabel(const std::string &label);
 
 } // namespace fasttts
 

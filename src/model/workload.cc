@@ -88,16 +88,24 @@ humanEval()
     return p;
 }
 
-DatasetProfile
+Registry<DatasetProfile> &
+datasetRegistry()
+{
+    static Registry<DatasetProfile> *registry = [] {
+        auto *r = new Registry<DatasetProfile>("dataset");
+        r->add("AIME", aime2024);
+        r->add("AMC", amc2023);
+        r->add("MATH500", math500);
+        r->add("HumanEval", humanEval);
+        return r;
+    }();
+    return *registry;
+}
+
+StatusOr<DatasetProfile>
 datasetByName(const std::string &name)
 {
-    if (name == "AMC")
-        return amc2023();
-    if (name == "MATH500")
-        return math500();
-    if (name == "HumanEval")
-        return humanEval();
-    return aime2024();
+    return datasetRegistry().create(name);
 }
 
 std::vector<Problem>

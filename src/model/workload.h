@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
+#include "api/status.h"
+
 namespace fasttts
 {
 
@@ -59,8 +62,20 @@ DatasetProfile math500();
 /** HumanEval: code generation (Sec. 6.4 generality study). */
 DatasetProfile humanEval();
 
-/** Look up by name ("AIME", "AMC", "MATH500", "HumanEval"). */
-DatasetProfile datasetByName(const std::string &name);
+/**
+ * The dataset registry. Ships with "AIME", "AMC", "MATH500" and
+ * "HumanEval"; register custom workload profiles here to serve new
+ * domains without touching core code:
+ *
+ *   datasetRegistry().add("MyBench", [] { DatasetProfile p; ...; return p; });
+ */
+Registry<DatasetProfile> &datasetRegistry();
+
+/**
+ * Look up a dataset by registered name. Unknown names are a kNotFound
+ * error listing the valid names — never a silent default.
+ */
+StatusOr<DatasetProfile> datasetByName(const std::string &name);
 
 /**
  * One problem instance drawn from a dataset.

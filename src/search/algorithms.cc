@@ -294,18 +294,32 @@ makeVaryingGranularity(int n, int branch_factor)
     return std::make_unique<VaryingGranularity>(n, branch_factor);
 }
 
-std::unique_ptr<SearchAlgorithm>
+Registry<std::unique_ptr<SearchAlgorithm>, int, int> &
+algorithmRegistry()
+{
+    static Registry<std::unique_ptr<SearchAlgorithm>, int, int>
+        *registry = [] {
+            auto *r =
+                new Registry<std::unique_ptr<SearchAlgorithm>, int, int>(
+                    "algorithm");
+            r->add("best_of_n",
+                   [](int n, int branch) {
+                       (void)branch;
+                       return makeBestOfN(n);
+                   });
+            r->add("beam_search", makeBeamSearch);
+            r->add("dvts", makeDvts);
+            r->add("dynamic_branching", makeDynamicBranching);
+            r->add("varying_granularity", makeVaryingGranularity);
+            return r;
+        }();
+    return *registry;
+}
+
+StatusOr<std::unique_ptr<SearchAlgorithm>>
 makeAlgorithm(const std::string &name, int n, int branch_factor)
 {
-    if (name == "best_of_n")
-        return makeBestOfN(n);
-    if (name == "dvts")
-        return makeDvts(n, branch_factor);
-    if (name == "dynamic_branching")
-        return makeDynamicBranching(n, branch_factor);
-    if (name == "varying_granularity")
-        return makeVaryingGranularity(n, branch_factor);
-    return makeBeamSearch(n, branch_factor);
+    return algorithmRegistry().create(name, n, branch_factor);
 }
 
 } // namespace fasttts

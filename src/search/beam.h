@@ -13,7 +13,9 @@
 #ifndef FASTTTS_SEARCH_BEAM_H
 #define FASTTTS_SEARCH_BEAM_H
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace fasttts

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
+#include "api/status.h"
 #include "search/beam.h"
 #include "util/rng.h"
 
@@ -81,12 +83,23 @@ std::unique_ptr<SearchAlgorithm> makeVaryingGranularity(int n,
                                                         int branch_factor);
 
 /**
- * Construct by name: "best_of_n", "beam_search", "dvts",
- * "dynamic_branching", "varying_granularity".
+ * The search-algorithm registry. Ships with "best_of_n",
+ * "beam_search", "dvts", "dynamic_branching" and
+ * "varying_granularity"; factories take the search width n and the
+ * branch factor B. Register custom TTS methods here:
+ *
+ *   algorithmRegistry().add("my_search", [](int n, int b) {
+ *       return std::unique_ptr<SearchAlgorithm>(new MySearch(n, b));
+ *   });
  */
-std::unique_ptr<SearchAlgorithm> makeAlgorithm(const std::string &name,
-                                               int n,
-                                               int branch_factor = 4);
+Registry<std::unique_ptr<SearchAlgorithm>, int, int> &algorithmRegistry();
+
+/**
+ * Construct a registered algorithm by name. Unknown names are a
+ * kNotFound error listing the valid names — never a silent default.
+ */
+StatusOr<std::unique_ptr<SearchAlgorithm>>
+makeAlgorithm(const std::string &name, int n, int branch_factor = 4);
 
 } // namespace fasttts
 

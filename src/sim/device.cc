@@ -57,16 +57,24 @@ cloudA100()
     return d;
 }
 
-DeviceSpec
+Registry<DeviceSpec> &
+deviceRegistry()
+{
+    static Registry<DeviceSpec> *registry = [] {
+        auto *r = new Registry<DeviceSpec>("device");
+        r->add("RTX4090", rtx4090);
+        r->add("RTX4070Ti", rtx4070Ti);
+        r->add("RTX3070Ti", rtx3070Ti);
+        r->add("CloudA100", cloudA100);
+        return r;
+    }();
+    return *registry;
+}
+
+StatusOr<DeviceSpec>
 deviceByName(const std::string &name)
 {
-    if (name == "RTX4070Ti")
-        return rtx4070Ti();
-    if (name == "RTX3070Ti")
-        return rtx3070Ti();
-    if (name == "CloudA100")
-        return cloudA100();
-    return rtx4090();
+    return deviceRegistry().create(name);
 }
 
 std::vector<DeviceSpec>

@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
+#include "api/status.h"
+
 namespace fasttts
 {
 
@@ -55,10 +58,19 @@ DeviceSpec rtx3070Ti();
 DeviceSpec cloudA100();
 
 /**
- * Look up a device by name ("RTX4090", "RTX4070Ti", "RTX3070Ti",
- * "CloudA100"); returns rtx4090() for unknown names.
+ * The device registry. Ships with "RTX4090", "RTX4070Ti", "RTX3070Ti"
+ * and "CloudA100"; register additional accelerators here to make them
+ * available to ServingOptions/EngineArgs without touching core code:
+ *
+ *   deviceRegistry().add("MyGPU", [] { DeviceSpec d; ...; return d; });
  */
-DeviceSpec deviceByName(const std::string &name);
+Registry<DeviceSpec> &deviceRegistry();
+
+/**
+ * Look up a device by registered name. Unknown names are a kNotFound
+ * error listing the valid names — never a silent default.
+ */
+StatusOr<DeviceSpec> deviceByName(const std::string &name);
 
 /** All edge devices the evaluation sweeps over. */
 std::vector<DeviceSpec> allEdgeDevices();

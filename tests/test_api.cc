@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Tests for the public API subsystem: Status/StatusOr, the generic
+ * Registry, and EngineArgs parsing (argv and JSON) including every
+ * error path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/engine_args.h"
+#include "api/registry.h"
+#include "api/status.h"
+#include "core/serving.h"
+#include "util/json.h"
+
+namespace fasttts
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk)
+{
+    EXPECT_TRUE(Status().ok());
+    EXPECT_TRUE(okStatus().ok());
+    EXPECT_EQ(okStatus().toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status s = Status::notFound("missing thing");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kNotFound);
+    EXPECT_EQ(s.message(), "missing thing");
+    EXPECT_EQ(s.toString(), "not_found: missing thing");
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(Status::alreadyExists("x").code(),
+              StatusCode::kAlreadyExists);
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusOr, HoldsValueOrStatus)
+{
+    StatusOr<int> good(7);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(*good, 7);
+    EXPECT_TRUE(good.status().ok());
+
+    StatusOr<int> bad(Status::invalidArgument("no"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, SupportsMoveOnlyTypes)
+{
+    StatusOr<std::unique_ptr<int>> holder(std::make_unique<int>(3));
+    ASSERT_TRUE(holder.ok());
+    std::unique_ptr<int> taken = *std::move(holder);
+    EXPECT_EQ(*taken, 3);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(Registry, RegisterLookupListRoundTrip)
+{
+    Registry<int> reg("widget");
+    EXPECT_TRUE(reg.add("one", [] { return 1; }).ok());
+    EXPECT_TRUE(reg.add("two", [] { return 2; }).ok());
+
+    EXPECT_TRUE(reg.contains("one"));
+    EXPECT_FALSE(reg.contains("three"));
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.list(), (std::vector<std::string>{"one", "two"}));
+    EXPECT_EQ(*reg.create("two"), 2);
+}
+
+TEST(Registry, DuplicateAndEmptyNamesRejected)
+{
+    Registry<int> reg("widget");
+    EXPECT_TRUE(reg.add("one", [] { return 1; }).ok());
+    EXPECT_EQ(reg.add("one", [] { return 9; }).code(),
+              StatusCode::kAlreadyExists);
+    EXPECT_EQ(reg.add("", [] { return 0; }).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(reg.add("null", nullptr).code(),
+              StatusCode::kInvalidArgument);
+    // The failed registrations must not have changed the contents.
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(*reg.create("one"), 1);
+}
+
+TEST(Registry, UnknownNameListsValidNames)
+{
+    Registry<int> reg("widget");
+    reg.add("alpha", [] { return 1; });
+    reg.add("beta", [] { return 2; });
+    const auto missing = reg.create("gamma");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(missing.status().message().find("alpha"),
+              std::string::npos);
+    EXPECT_NE(missing.status().message().find("beta"),
+              std::string::npos);
+}
+
+TEST(Registry, RemoveDropsEntries)
+{
+    Registry<int> reg("widget");
+    reg.add("one", [] { return 1; });
+    EXPECT_TRUE(reg.remove("one").ok());
+    EXPECT_FALSE(reg.contains("one"));
+    EXPECT_EQ(reg.remove("one").code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, FactoryArgumentsForwarded)
+{
+    Registry<int, int, int> reg("adder");
+    reg.add("sum", [](int a, int b) { return a + b; });
+    EXPECT_EQ(*reg.create("sum", 3, 4), 7);
+}
+
+TEST(Registry, CustomDeviceRegistrationIsServable)
+{
+    const std::string name = "TestGPU-registry-roundtrip";
+    ASSERT_TRUE(deviceRegistry()
+                    .add(name,
+                         [name] {
+                             DeviceSpec d = rtx4090();
+                             d.name = name;
+                             return d;
+                         })
+                    .ok());
+    EXPECT_EQ(deviceByName(name)->name, name);
+
+    ServingOptions opts;
+    opts.deviceName = name;
+    opts.numBeams = 4;
+    auto system = ServingSystem::create(opts);
+    ASSERT_TRUE(system.ok());
+    EXPECT_GT(system->serveProblems(1).meanGoodput, 0);
+
+    EXPECT_TRUE(deviceRegistry().remove(name).ok());
+    EXPECT_FALSE(deviceByName(name).ok());
+}
+
+TEST(Registry, BuiltInsPresent)
+{
+    EXPECT_GE(deviceRegistry().size(), 4u);
+    EXPECT_GE(datasetRegistry().size(), 4u);
+    EXPECT_GE(algorithmRegistry().size(), 5u);
+    EXPECT_GE(modelConfigRegistry().size(), 3u);
+    EXPECT_GE(modelRegistry().size(), 4u);
+    EXPECT_EQ((*modelByName("qwen7b")).numLayers, 28);
+    EXPECT_FALSE(modelByName("gpt5").ok());
+}
+
+// ---------------------------------------------------------------------
+// EngineArgs: argv parsing
+// ---------------------------------------------------------------------
+
+StatusOr<EngineArgs>
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return EngineArgs::fromArgv(static_cast<int>(argv.size()),
+                                argv.data());
+}
+
+TEST(EngineArgsArgv, DefaultsSurviveEmptyCommandLine)
+{
+    const auto args = parse({});
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->device, "RTX4090");
+    EXPECT_EQ(args->dataset, "AIME");
+    EXPECT_EQ(args->algorithm, "beam_search");
+    EXPECT_EQ(args->models, "1.5B+1.5B");
+    EXPECT_EQ(args->mode, "fasttts");
+    EXPECT_EQ(args->numBeams, 32);
+    EXPECT_EQ(args->seed, 2026u);
+    EXPECT_TRUE(args->validate().ok());
+}
+
+TEST(EngineArgsArgv, AllFlagsParse)
+{
+    const auto args = parse(
+        {"--device", "RTX3070Ti", "--dataset", "AMC", "--algorithm",
+         "dvts", "--models", "1.5B+7B", "--mode", "baseline", "--beams",
+         "64", "--branch-factor", "8", "--problems", "3", "--seed",
+         "42", "--offload", "--memory-fraction", "0.5",
+         "--reserved-gib", "0.25"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->device, "RTX3070Ti");
+    EXPECT_EQ(args->dataset, "AMC");
+    EXPECT_EQ(args->algorithm, "dvts");
+    EXPECT_EQ(args->models, "1.5B+7B");
+    EXPECT_EQ(args->mode, "baseline");
+    EXPECT_EQ(args->numBeams, 64);
+    EXPECT_EQ(args->branchFactor, 8);
+    EXPECT_EQ(args->numProblems, 3);
+    EXPECT_EQ(args->seed, 42u);
+    EXPECT_TRUE(args->offload);
+    EXPECT_DOUBLE_EQ(args->memoryFraction, 0.5);
+    EXPECT_DOUBLE_EQ(args->reservedGiB, 0.25);
+    EXPECT_TRUE(args->validate().ok());
+}
+
+TEST(EngineArgsArgv, EqualsFormAndNoOffload)
+{
+    const auto args =
+        parse({"--beams=16", "--offload", "--no-offload"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->numBeams, 16);
+    EXPECT_FALSE(args->offload);
+}
+
+TEST(EngineArgsArgv, LegacyPositionals)
+{
+    const auto args = parse({"7", "MATH500"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->numProblems, 7);
+    EXPECT_EQ(args->dataset, "MATH500");
+
+    EXPECT_EQ(parse({"7", "MATH500", "extra"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"seven"}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(EngineArgsArgv, HelpShortCircuits)
+{
+    const auto args = parse({"--help"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_TRUE(args->helpRequested);
+    const auto short_form = parse({"-h"});
+    ASSERT_TRUE(short_form.ok());
+    EXPECT_TRUE(short_form->helpRequested);
+}
+
+TEST(EngineArgsArgv, ErrorPaths)
+{
+    // Unknown flag.
+    EXPECT_EQ(parse({"--bogus"}).status().code(),
+              StatusCode::kInvalidArgument);
+    // Missing value.
+    EXPECT_EQ(parse({"--beams"}).status().code(),
+              StatusCode::kInvalidArgument);
+    // Non-numeric and out-of-range numbers.
+    EXPECT_EQ(parse({"--beams", "ten"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--beams", "0"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--beams", "12x"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--problems", "-1"}).status().code(),
+              StatusCode::kInvalidArgument);
+    // Seed must be unsigned.
+    EXPECT_EQ(parse({"--seed", "-3"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--seed", "1.5"}).status().code(),
+              StatusCode::kInvalidArgument);
+    // Malformed doubles.
+    EXPECT_EQ(parse({"--memory-fraction", "half"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--reserved-gib", "1.0gib"}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(EngineArgsValidate, RegistryMembershipEnforced)
+{
+    EngineArgs args;
+    args.device = "RTX409O";
+    EXPECT_EQ(args.validate().code(), StatusCode::kNotFound);
+
+    args = EngineArgs();
+    args.dataset = "AIME2025";
+    EXPECT_EQ(args.validate().code(), StatusCode::kNotFound);
+
+    args = EngineArgs();
+    args.algorithm = "mcts";
+    EXPECT_EQ(args.validate().code(), StatusCode::kNotFound);
+
+    args = EngineArgs();
+    args.models = "70B+70B";
+    EXPECT_EQ(args.validate().code(), StatusCode::kNotFound);
+
+    args = EngineArgs();
+    args.mode = "turbo";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.memoryFraction = 1.5;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineArgsConvert, ToServingOptionsRoundTrip)
+{
+    EngineArgs args;
+    args.device = "RTX4070Ti";
+    args.dataset = "AMC";
+    args.algorithm = "dvts";
+    args.models = "1.5B+7B";
+    args.mode = "baseline";
+    args.numBeams = 24;
+    args.branchFactor = 6;
+    args.seed = 777;
+    args.offload = true;
+    args.memoryFraction = 0.6;
+    args.reservedGiB = 2.0;
+
+    const auto opts = args.toServingOptions();
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->deviceName, "RTX4070Ti");
+    EXPECT_EQ(opts->datasetName, "AMC");
+    EXPECT_EQ(opts->algorithmName, "dvts");
+    EXPECT_EQ(opts->models.label, "1.5B+7B");
+    EXPECT_DOUBLE_EQ(opts->models.memoryFraction, 0.6);
+    EXPECT_EQ(opts->numBeams, 24);
+    EXPECT_EQ(opts->branchFactor, 6);
+    EXPECT_EQ(opts->seed, 777u);
+    EXPECT_FALSE(opts->config.speculativeExtension); // baseline
+    EXPECT_TRUE(opts->config.offloadEnabled);
+    EXPECT_DOUBLE_EQ(opts->config.reservedBytes, 2.0 * GiB);
+
+    // Invalid args refuse to convert.
+    args.algorithm = "nope";
+    EXPECT_FALSE(args.toServingOptions().ok());
+}
+
+TEST(EngineArgsConvert, UnsetOverridesKeepDefaults)
+{
+    const EngineArgs args; // memoryFraction = 0, reservedGiB = -1.
+    const auto opts = args.toServingOptions();
+    ASSERT_TRUE(opts.ok());
+    EXPECT_DOUBLE_EQ(opts->models.memoryFraction,
+                     config1_5Bplus1_5B().memoryFraction);
+    EXPECT_DOUBLE_EQ(opts->config.reservedBytes,
+                     FastTtsConfig().reservedBytes);
+}
+
+TEST(EngineArgsHelp, ListsRegistriesAndFlags)
+{
+    const std::string text = EngineArgs::help("tool");
+    for (const char *needle :
+         {"--device", "--dataset", "--algorithm", "--models", "--beams",
+          "--seed", "RTX4090", "AIME", "beam_search", "1.5B+1.5B"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(EngineArgsArgv, OffloadRejectsAttachedValue)
+{
+    EXPECT_EQ(parse({"--offload=false"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--no-offload=1"}).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(EngineArgsArgv, ParsedFlagsRecorded)
+{
+    const auto args = parse({"--beams", "16", "--offload", "3", "AMC"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->parsedFlags,
+              (std::vector<std::string>{"--beams", "--offload",
+                                        "--problems", "--dataset"}));
+}
+
+TEST(EngineArgsArgv, UnsupportedFlagsRejected)
+{
+    const auto args = parse({"--beams", "16", "--problems", "2"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_TRUE(args->rejectUnsupportedFlags({"--beams", "--problems"})
+                    .ok());
+    const Status narrow =
+        args->rejectUnsupportedFlags({"--problems"});
+    EXPECT_EQ(narrow.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(narrow.message().find("--beams"), std::string::npos);
+    // A fully fixed tool accepts an empty command line only.
+    EXPECT_TRUE(parse({})->rejectUnsupportedFlags({}).ok());
+    EXPECT_FALSE(parse({"4"})->rejectUnsupportedFlags({}).ok());
+}
+
+TEST(EngineArgsConvert, ProblemCountGrowsWithNumProblems)
+{
+    EngineArgs args;
+    args.numProblems = 4;
+    EXPECT_EQ(args.toServingOptions()->problemCount, 256); // Default.
+    args.numProblems = 1000;
+    const auto opts = args.toServingOptions();
+    ASSERT_TRUE(opts.ok());
+    EXPECT_EQ(opts->problemCount, 1000);
+    // serveProblems(numProblems) therefore never silently clamps.
+    auto system = ServingSystem::create(*opts);
+    ASSERT_TRUE(system.ok());
+    EXPECT_EQ(system->problems().size(), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// EngineArgs: JSON parsing
+// ---------------------------------------------------------------------
+
+TEST(EngineArgsJson, FullDocumentParses)
+{
+    const auto args = EngineArgs::fromJsonText(R"({
+        "device": "RTX3070Ti",
+        "dataset": "HumanEval",
+        "algorithm": "best_of_n",
+        "models": "7B+1.5B",
+        "mode": "fasttts",
+        "num_beams": 48,
+        "branch_factor": 2,
+        "num_problems": 5,
+        "seed": 99,
+        "offload": true,
+        "memory_fraction": 0.8,
+        "reserved_gib": 0.5
+    })");
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->device, "RTX3070Ti");
+    EXPECT_EQ(args->dataset, "HumanEval");
+    EXPECT_EQ(args->algorithm, "best_of_n");
+    EXPECT_EQ(args->models, "7B+1.5B");
+    EXPECT_EQ(args->numBeams, 48);
+    EXPECT_EQ(args->branchFactor, 2);
+    EXPECT_EQ(args->numProblems, 5);
+    EXPECT_EQ(args->seed, 99u);
+    EXPECT_TRUE(args->offload);
+    EXPECT_DOUBLE_EQ(args->memoryFraction, 0.8);
+    EXPECT_DOUBLE_EQ(args->reservedGiB, 0.5);
+    EXPECT_TRUE(args->validate().ok());
+}
+
+TEST(EngineArgsJson, PartialDocumentKeepsDefaults)
+{
+    const auto args =
+        EngineArgs::fromJsonText(R"({"num_beams": 8})");
+    ASSERT_TRUE(args.ok());
+    EXPECT_EQ(args->numBeams, 8);
+    EXPECT_EQ(args->device, "RTX4090");
+}
+
+TEST(EngineArgsJson, ErrorPaths)
+{
+    // Malformed document.
+    EXPECT_EQ(EngineArgs::fromJsonText("{nope").status().code(),
+              StatusCode::kInvalidArgument);
+    // Root must be an object.
+    EXPECT_EQ(EngineArgs::fromJsonText("[1,2]").status().code(),
+              StatusCode::kInvalidArgument);
+    // Unknown key.
+    EXPECT_EQ(
+        EngineArgs::fromJsonText(R"({"beam_count": 4})").status().code(),
+        StatusCode::kInvalidArgument);
+    // Type mismatches.
+    EXPECT_EQ(
+        EngineArgs::fromJsonText(R"({"device": 4090})").status().code(),
+        StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"num_beams": "32"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"num_beams": 2.5})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"offload": "yes"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"seed": -1})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"num_beams": 0})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+}
+
+} // namespace
+} // namespace fasttts

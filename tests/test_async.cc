@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the request-level async serving facade: submit / step /
+ * per-request callbacks / cancellation, and its equivalence with the
+ * synchronous batch path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/serving.h"
+
+namespace fasttts
+{
+namespace
+{
+
+ServingSystem
+smallSystem(int beams = 8)
+{
+    ServingOptions opts;
+    opts.numBeams = beams;
+    return ServingSystem::create(opts).value();
+}
+
+TEST(AsyncServing, SubmitStepCompleteLifecycle)
+{
+    ServingSystem system = smallSystem();
+
+    std::vector<StepEvent> steps;
+    RequestResult completed;
+    bool complete_fired = false;
+
+    RequestCallbacks callbacks;
+    callbacks.onStep = [&steps](const StepEvent &e) {
+        steps.push_back(e);
+    };
+    callbacks.onComplete = [&](RequestId, const RequestResult &r) {
+        complete_fired = true;
+        completed = r;
+    };
+
+    const RequestId id =
+        system.submit(system.problems()[0], callbacks);
+    EXPECT_EQ(*system.requestState(id), RequestState::Queued);
+    EXPECT_EQ(system.pendingRequests(), 1u);
+    // No result while queued.
+    EXPECT_EQ(system.result(id).status().code(),
+              StatusCode::kFailedPrecondition);
+
+    system.drain();
+
+    EXPECT_TRUE(complete_fired);
+    EXPECT_EQ(*system.requestState(id), RequestState::Completed);
+    EXPECT_EQ(system.pendingRequests(), 0u);
+    ASSERT_TRUE(system.result(id).ok());
+    EXPECT_EQ(system.result(id)->completedBeams, 8);
+    EXPECT_GT(completed.completionTime, 0);
+
+    // onStep fired once per engine iteration, with monotone clock and
+    // 1-based iteration numbers.
+    ASSERT_FALSE(steps.empty());
+    for (size_t i = 0; i < steps.size(); ++i) {
+        EXPECT_EQ(steps[i].id, id);
+        EXPECT_EQ(steps[i].iteration, static_cast<int>(i) + 1);
+        if (i > 0) {
+            EXPECT_GE(steps[i].clock, steps[i - 1].clock);
+        }
+    }
+}
+
+TEST(AsyncServing, MatchesSynchronousServe)
+{
+    ServingSystem async_system = smallSystem();
+    ServingSystem sync_system = smallSystem();
+
+    const Problem problem = async_system.problems()[0];
+    const RequestId id = async_system.submit(problem);
+    async_system.drain();
+    const RequestResult sync = sync_system.serve(problem);
+    const RequestResult async = *async_system.result(id);
+
+    EXPECT_DOUBLE_EQ(async.completionTime, sync.completionTime);
+    EXPECT_EQ(async.verifiedTokens, sync.verifiedTokens);
+    EXPECT_EQ(async.generatedTokens, sync.generatedTokens);
+    ASSERT_EQ(async.solutions.size(), sync.solutions.size());
+    for (size_t i = 0; i < sync.solutions.size(); ++i)
+        EXPECT_EQ(async.solutions[i].answer, sync.solutions[i].answer);
+}
+
+TEST(AsyncServing, RequestsRunFifo)
+{
+    ServingSystem system = smallSystem();
+    std::vector<RequestId> completion_order;
+    RequestCallbacks callbacks;
+    callbacks.onComplete =
+        [&completion_order](RequestId id, const RequestResult &) {
+            completion_order.push_back(id);
+        };
+
+    std::vector<RequestId> submitted;
+    for (int i = 0; i < 3; ++i)
+        submitted.push_back(
+            system.submit(system.problems()[static_cast<size_t>(i)],
+                          callbacks));
+    system.drain();
+    EXPECT_EQ(completion_order, submitted);
+}
+
+TEST(AsyncServing, StepReturnsFalseWhenIdle)
+{
+    ServingSystem system = smallSystem();
+    EXPECT_FALSE(system.step());
+    system.submit(system.problems()[0]);
+    EXPECT_TRUE(system.step()); // At least one more iteration coming.
+    system.drain();
+    EXPECT_FALSE(system.step());
+}
+
+TEST(AsyncServing, CancelQueuedRequestNeverRuns)
+{
+    ServingSystem system = smallSystem();
+    bool first_completed = false;
+    bool second_completed = false;
+    RequestCallbacks first_cb;
+    first_cb.onComplete = [&](RequestId, const RequestResult &) {
+        first_completed = true;
+    };
+    RequestCallbacks second_cb;
+    second_cb.onComplete = [&](RequestId, const RequestResult &) {
+        second_completed = true;
+    };
+
+    system.submit(system.problems()[0], first_cb);
+    const RequestId doomed =
+        system.submit(system.problems()[1], second_cb);
+
+    EXPECT_TRUE(system.cancel(doomed).ok());
+    EXPECT_EQ(*system.requestState(doomed), RequestState::Cancelled);
+    system.drain();
+
+    EXPECT_TRUE(first_completed);
+    EXPECT_FALSE(second_completed);
+    EXPECT_EQ(system.result(doomed).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(AsyncServing, CancelRunningRequestMidFlight)
+{
+    ServingSystem system = smallSystem();
+    int iterations_before_cancel = 0;
+    bool completed = false;
+    RequestCallbacks callbacks;
+    callbacks.onStep = [&](const StepEvent &e) {
+        iterations_before_cancel = e.iteration;
+        if (e.iteration == 2) {
+            EXPECT_TRUE(system.cancel(e.id).ok());
+        }
+    };
+    callbacks.onComplete = [&](RequestId, const RequestResult &) {
+        completed = true;
+    };
+
+    const RequestId id = system.submit(system.problems()[0], callbacks);
+    // A follow-up request proves the engine recovers after the abort.
+    bool next_completed = false;
+    RequestCallbacks next_cb;
+    next_cb.onComplete = [&](RequestId, const RequestResult &) {
+        next_completed = true;
+    };
+    const RequestId next =
+        system.submit(system.problems()[1], next_cb);
+
+    system.drain();
+
+    EXPECT_EQ(iterations_before_cancel, 2);
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(*system.requestState(id), RequestState::Cancelled);
+    EXPECT_TRUE(next_completed);
+    EXPECT_EQ(*system.requestState(next), RequestState::Completed);
+    EXPECT_EQ(system.result(next)->completedBeams, 8);
+}
+
+TEST(AsyncServing, CancelErrorPaths)
+{
+    ServingSystem system = smallSystem();
+    EXPECT_EQ(system.cancel(999).code(), StatusCode::kNotFound);
+
+    const RequestId id = system.submit(system.problems()[0]);
+    system.drain();
+    EXPECT_EQ(system.cancel(id).code(),
+              StatusCode::kFailedPrecondition); // Already completed.
+
+    const RequestId queued = system.submit(system.problems()[1]);
+    EXPECT_TRUE(system.cancel(queued).ok());
+    EXPECT_EQ(system.cancel(queued).code(),
+              StatusCode::kFailedPrecondition); // Already cancelled.
+
+    EXPECT_EQ(system.requestState(31337).status().code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(system.result(31337).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(AsyncServing, ServeProblemsMatchesManualSubmission)
+{
+    ServingSystem batch = smallSystem();
+    ServingSystem manual = smallSystem();
+
+    const BatchResult via_batch = batch.serveProblems(3);
+
+    std::vector<RequestId> ids;
+    for (int i = 0; i < 3; ++i)
+        ids.push_back(
+            manual.submit(manual.problems()[static_cast<size_t>(i)]));
+    manual.drain();
+    std::vector<RequestResult> results;
+    for (const RequestId id : ids)
+        results.push_back(*manual.result(id));
+    const BatchResult via_manual =
+        aggregateResults(std::move(results), 8);
+
+    EXPECT_DOUBLE_EQ(via_batch.meanGoodput, via_manual.meanGoodput);
+    EXPECT_DOUBLE_EQ(via_batch.meanLatency, via_manual.meanLatency);
+    EXPECT_DOUBLE_EQ(via_batch.top1Accuracy, via_manual.top1Accuracy);
+}
+
+TEST(AsyncServing, ReleaseDropsCompletedRecords)
+{
+    ServingSystem system = smallSystem();
+    const RequestId id = system.submit(system.problems()[0]);
+
+    // Pending requests cannot be released.
+    EXPECT_EQ(system.release(id).code(),
+              StatusCode::kFailedPrecondition);
+    system.drain();
+
+    EXPECT_TRUE(system.result(id).ok());
+    EXPECT_TRUE(system.release(id).ok());
+    EXPECT_EQ(system.result(id).status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(system.release(id).code(), StatusCode::kNotFound);
+}
+
+TEST(AsyncServing, ReleaseCancelledQueuedRequestIsSafe)
+{
+    ServingSystem system = smallSystem();
+    system.submit(system.problems()[0]);
+    const RequestId doomed = system.submit(system.problems()[1]);
+    EXPECT_TRUE(system.cancel(doomed).ok());
+    // Released while its id still sits in the admission queue.
+    EXPECT_TRUE(system.release(doomed).ok());
+    system.drain(); // Must not trip over the released id.
+    EXPECT_EQ(system.pendingRequests(), 0u);
+}
+
+TEST(AsyncServing, ServeProblemsDoesNotAccumulateRecords)
+{
+    ServingSystem system = smallSystem();
+    system.serveProblems(2);
+    system.serveProblems(2);
+    // Batch-serving owns its records; nothing lingers afterwards.
+    EXPECT_EQ(system.pendingRequests(), 0u);
+    EXPECT_EQ(system.result(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AsyncServing, SyncServeDrainsPendingAsyncWorkFirst)
+{
+    ServingSystem system = smallSystem();
+    RequestResult async_result;
+    bool completed = false;
+    RequestCallbacks callbacks;
+    callbacks.onComplete = [&](RequestId, const RequestResult &r) {
+        completed = true;
+        async_result = r;
+    };
+    const RequestId id = system.submit(system.problems()[0], callbacks);
+    system.step(); // Request is now mid-flight on the engine.
+
+    // A sync serve must not clobber it: the pending request finishes
+    // first with its own, correct result.
+    const RequestResult sync = system.serve(system.problems()[1]);
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(*system.requestState(id), RequestState::Completed);
+    EXPECT_EQ(async_result.completedBeams, 8);
+    EXPECT_GT(sync.completionTime, 0);
+
+    // And the async result matches a clean run of the same problem.
+    ServingSystem fresh = smallSystem();
+    const RequestResult expected = fresh.serve(fresh.problems()[0]);
+    EXPECT_DOUBLE_EQ(async_result.completionTime,
+                     expected.completionTime);
+    EXPECT_EQ(async_result.verifiedTokens, expected.verifiedTokens);
+}
+
+TEST(AsyncServing, ReleaseFromOnStepCallbackIsSafe)
+{
+    // The callback cancels AND releases its own running request —
+    // step() must not touch the freed record afterwards.
+    ServingSystem system = smallSystem();
+    RequestCallbacks callbacks;
+    callbacks.onStep = [&system](const StepEvent &e) {
+        if (e.iteration == 1) {
+            EXPECT_TRUE(system.cancel(e.id).ok());
+            EXPECT_TRUE(system.release(e.id).ok());
+        }
+    };
+    const RequestId id = system.submit(system.problems()[0], callbacks);
+    system.drain();
+    EXPECT_EQ(system.requestState(id).status().code(),
+              StatusCode::kNotFound);
+
+    // The engine is reusable afterwards.
+    const RequestId next = system.submit(system.problems()[1]);
+    system.drain();
+    EXPECT_EQ(*system.requestState(next), RequestState::Completed);
+}
+
+TEST(AsyncServing, ReleaseFromOnCompleteCallbackIsSafe)
+{
+    ServingSystem system = smallSystem();
+    int beams_seen = 0;
+    RequestCallbacks callbacks;
+    callbacks.onComplete = [&](RequestId id, const RequestResult &r) {
+        EXPECT_TRUE(system.release(id).ok());
+        beams_seen = r.completedBeams; // Still valid: passed by copy.
+    };
+    const RequestId id = system.submit(system.problems()[0], callbacks);
+    system.drain();
+    EXPECT_EQ(beams_seen, 8);
+    EXPECT_EQ(system.requestState(id).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(AsyncServing, ServeProblemsEmptyIsSafe)
+{
+    ServingSystem system = smallSystem();
+    const BatchResult out = system.serveProblems(0);
+    EXPECT_TRUE(out.requests.empty());
+    EXPECT_EQ(out.meanGoodput, 0);
+    EXPECT_EQ(out.top1Accuracy, 0);
+}
+
+} // namespace
+} // namespace fasttts

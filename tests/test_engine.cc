@@ -19,8 +19,8 @@ run(const FastTtsConfig &config, const ModelConfig &models, int n,
     const std::string &dataset = "AIME", const std::string &algo_name
     = "beam_search", int problem_index = 0)
 {
-    const DatasetProfile profile = datasetByName(dataset);
-    auto algo = makeAlgorithm(algo_name, n, 4);
+    const DatasetProfile profile = *datasetByName(dataset);
+    auto algo = *makeAlgorithm(algo_name, n, 4);
     FastTtsEngine engine(config, models, rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, problem_index + 1, 2026);
     return engine.runRequest(problems[static_cast<size_t>(problem_index)]);

@@ -55,10 +55,10 @@ class EngineGrid : public ::testing::TestWithParam<GridCase>
 TEST_P(EngineGrid, StructuralInvariants)
 {
     const GridCase c = GetParam();
-    const DatasetProfile profile = datasetByName(c.dataset);
-    auto algo = makeAlgorithm(c.algorithm, c.numBeams, 4);
+    const DatasetProfile profile = *datasetByName(c.dataset);
+    auto algo = *makeAlgorithm(c.algorithm, c.numBeams, 4);
     FastTtsEngine engine(configFromMask(c.optMask),
-                         modelConfigByLabel(c.models), rtx4090(),
+                         *modelConfigByLabel(c.models), rtx4090(),
                          profile, *algo);
     const auto problems = makeProblems(profile, 1, 4242);
     const RequestResult r = engine.runRequest(problems[0]);
@@ -177,8 +177,8 @@ TEST_P(DeviceGrid, RunsOnEveryEdgeDevice)
     }
     const DatasetProfile profile = amc2023();
     auto algo = makeBeamSearch(8, 4);
-    FastTtsEngine engine(config, models, deviceByName(device), profile,
-                         *algo);
+    FastTtsEngine engine(config, models, *deviceByName(device),
+                         profile, *algo);
     const auto r = engine.runRequest(makeProblems(profile, 1, 99)[0]);
     EXPECT_EQ(r.completedBeams, 8) << device;
     if (offload) {

@@ -40,10 +40,10 @@ RequestResult
 runWith(const FastTtsConfig &config, const EquivalenceCase &c,
         const Problem &problem)
 {
-    const DatasetProfile profile = datasetByName(c.dataset);
-    auto algo = makeAlgorithm(c.algorithm, c.numBeams, 4);
-    FastTtsEngine engine(config, modelConfigByLabel(c.models), rtx4090(),
-                         profile, *algo);
+    const DatasetProfile profile = *datasetByName(c.dataset);
+    auto algo = *makeAlgorithm(c.algorithm, c.numBeams, 4);
+    FastTtsEngine engine(config, *modelConfigByLabel(c.models),
+                         rtx4090(), profile, *algo);
     return engine.runRequest(problem);
 }
 
@@ -51,7 +51,7 @@ TEST_P(EquivalenceTest, BaselineAndFastTtsDecideIdentically)
 {
     const EquivalenceCase c = GetParam();
     const auto problems =
-        makeProblems(datasetByName(c.dataset), 2, 31337);
+        makeProblems(*datasetByName(c.dataset), 2, 31337);
 
     for (const auto &problem : problems) {
         const auto base =
@@ -76,7 +76,7 @@ TEST_P(EquivalenceTest, EachOptimizationAloneIsEquivalent)
 {
     const EquivalenceCase c = GetParam();
     const auto problem =
-        makeProblems(datasetByName(c.dataset), 1, 777)[0];
+        makeProblems(*datasetByName(c.dataset), 1, 777)[0];
     const auto base = runWith(FastTtsConfig::baseline(), c, problem);
 
     for (int opt = 0; opt < 3; ++opt) {

@@ -18,11 +18,16 @@ namespace
 
 TEST(Workload, DatasetRegistry)
 {
-    EXPECT_EQ(datasetByName("AIME").name, "AIME");
-    EXPECT_EQ(datasetByName("AMC").name, "AMC");
-    EXPECT_EQ(datasetByName("MATH500").name, "MATH500");
-    EXPECT_EQ(datasetByName("HumanEval").name, "HumanEval");
-    EXPECT_EQ(datasetByName("unknown").name, "AIME");
+    EXPECT_EQ(datasetByName("AIME")->name, "AIME");
+    EXPECT_EQ(datasetByName("AMC")->name, "AMC");
+    EXPECT_EQ(datasetByName("MATH500")->name, "MATH500");
+    EXPECT_EQ(datasetByName("HumanEval")->name, "HumanEval");
+    // Unknown names are a hard error that lists the valid names.
+    const auto unknown = datasetByName("unknown");
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(unknown.status().message().find("MATH500"),
+              std::string::npos);
 }
 
 TEST(Workload, ProblemsAreDeterministic)

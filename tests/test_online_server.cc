@@ -24,7 +24,7 @@ smallOptions(bool fast)
 
 TEST(OnlineServer, EmptyTraceIsSafe)
 {
-    OnlineServer server(smallOptions(true));
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
     const auto out = server.serveArrivals({});
     EXPECT_TRUE(out.records.empty());
     EXPECT_EQ(out.meanLatency, 0);
@@ -32,7 +32,7 @@ TEST(OnlineServer, EmptyTraceIsSafe)
 
 TEST(OnlineServer, RecordsAreCausal)
 {
-    OnlineServer server(smallOptions(true));
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
     const auto out = server.serveTrace(6, 0.05, 7);
     ASSERT_EQ(out.records.size(), 6u);
     double prev_finish = 0;
@@ -49,8 +49,9 @@ TEST(OnlineServer, RecordsAreCausal)
 
 TEST(OnlineServer, QueueDelayGrowsWithArrivalRate)
 {
-    OnlineServer slow(smallOptions(true));
-    OnlineServer fast_arrivals(smallOptions(true));
+    OnlineServer slow = OnlineServer::create(smallOptions(true)).value();
+    OnlineServer fast_arrivals =
+        OnlineServer::create(smallOptions(true)).value();
     const auto relaxed = slow.serveTrace(8, 0.01, 7);
     const auto saturated = fast_arrivals.serveTrace(8, 10.0, 7);
     EXPECT_GT(saturated.meanQueueDelay, relaxed.meanQueueDelay);
@@ -61,8 +62,9 @@ TEST(OnlineServer, FastTtsImprovesOnlineLatency)
 {
     // Under the same saturated arrival trace, FastTTS's shorter
     // service times compound through the queue.
-    OnlineServer baseline(smallOptions(false));
-    OnlineServer fast(smallOptions(true));
+    OnlineServer baseline =
+        OnlineServer::create(smallOptions(false)).value();
+    OnlineServer fast = OnlineServer::create(smallOptions(true)).value();
     const auto b = baseline.serveTrace(6, 1.0, 11);
     const auto f = fast.serveTrace(6, 1.0, 11);
     EXPECT_LT(f.meanLatency, b.meanLatency);
@@ -72,8 +74,8 @@ TEST(OnlineServer, FastTtsImprovesOnlineLatency)
 
 TEST(OnlineServer, DeterministicTraces)
 {
-    OnlineServer a(smallOptions(true));
-    OnlineServer b(smallOptions(true));
+    OnlineServer a = OnlineServer::create(smallOptions(true)).value();
+    OnlineServer b = OnlineServer::create(smallOptions(true)).value();
     const auto ra = a.serveTrace(5, 0.5, 3);
     const auto rb = b.serveTrace(5, 0.5, 3);
     ASSERT_EQ(ra.records.size(), rb.records.size());
@@ -85,7 +87,7 @@ TEST(OnlineServer, DeterministicTraces)
 
 TEST(OnlineServer, UtilizationInUnitRange)
 {
-    OnlineServer server(smallOptions(true));
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
     const auto out = server.serveTrace(5, 0.2, 9);
     EXPECT_GT(out.utilization, 0.0);
     EXPECT_LE(out.utilization, 1.0);
@@ -93,11 +95,60 @@ TEST(OnlineServer, UtilizationInUnitRange)
 
 TEST(OnlineServer, P95AtLeastMean)
 {
-    OnlineServer server(smallOptions(true));
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
     const auto out = server.serveTrace(10, 0.5, 13);
     EXPECT_GE(out.p95Latency, out.meanLatency * 0.5);
     EXPECT_GE(out.p95Latency,
               out.records.front().latency() * 0.01);
+}
+
+TEST(OnlineServer, EmptyProblemSetIsSafe)
+{
+    // problemCount = 0 must not reach the modulo in serveArrivals.
+    ServingOptions opts = smallOptions(true);
+    opts.problemCount = 0;
+    OnlineServer server = OnlineServer::create(opts).value();
+    const auto out = server.serveTrace(3, 0.5, 7);
+    EXPECT_TRUE(out.records.empty());
+    EXPECT_EQ(out.meanLatency, 0);
+}
+
+TEST(OnlineServer, TracesDoNotAccumulateRequestRecords)
+{
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
+    server.serveTrace(3, 0.5, 7);
+    server.serveTrace(3, 0.5, 7);
+    EXPECT_EQ(server.system().pendingRequests(), 0u);
+    // Records were released after each trace; early ids are gone.
+    EXPECT_EQ(server.system().result(1).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(AggregateTrace, EmptyRecordSetIsAllZero)
+{
+    const auto out = aggregateTrace({}, 0.0);
+    EXPECT_TRUE(out.records.empty());
+    EXPECT_EQ(out.meanLatency, 0);
+    EXPECT_EQ(out.p95Latency, 0);
+    EXPECT_EQ(out.meanQueueDelay, 0);
+    EXPECT_EQ(out.makespan, 0);
+    EXPECT_EQ(out.utilization, 0);
+}
+
+TEST(AggregateTrace, ZeroMakespanDoesNotDivide)
+{
+    // A degenerate record finishing at t=0 must not produce NaN.
+    OnlineRequestRecord rec;
+    const auto out = aggregateTrace({rec}, 0.0);
+    EXPECT_EQ(out.utilization, 0);
+    EXPECT_EQ(out.meanLatency, 0);
+}
+
+TEST(OnlineServer, CreateRejectsUnknownDataset)
+{
+    ServingOptions opts;
+    opts.datasetName = "nope";
+    EXPECT_FALSE(OnlineServer::create(opts).ok());
 }
 
 } // namespace

@@ -18,12 +18,16 @@ namespace
 
 TEST(Device, RegistryLookups)
 {
-    EXPECT_EQ(deviceByName("RTX4090").name, "RTX4090");
-    EXPECT_EQ(deviceByName("RTX4070Ti").name, "RTX4070Ti");
-    EXPECT_EQ(deviceByName("RTX3070Ti").name, "RTX3070Ti");
-    EXPECT_EQ(deviceByName("CloudA100").name, "CloudA100");
-    // Unknown names default to the 4090 platform.
-    EXPECT_EQ(deviceByName("bogus").name, "RTX4090");
+    EXPECT_EQ(deviceByName("RTX4090")->name, "RTX4090");
+    EXPECT_EQ(deviceByName("RTX4070Ti")->name, "RTX4070Ti");
+    EXPECT_EQ(deviceByName("RTX3070Ti")->name, "RTX3070Ti");
+    EXPECT_EQ(deviceByName("CloudA100")->name, "CloudA100");
+    // Unknown names are a hard error that lists the valid names.
+    const auto bogus = deviceByName("bogus");
+    ASSERT_FALSE(bogus.ok());
+    EXPECT_EQ(bogus.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(bogus.status().message().find("RTX4090"),
+              std::string::npos);
 }
 
 TEST(Device, EdgeDeviceMemoryOrdering)
@@ -63,7 +67,8 @@ TEST(ModelSpec, ConfigsMatchPaperSetups)
     EXPECT_DOUBLE_EQ(config1_5Bplus7B().memoryFraction, 0.90);
     EXPECT_DOUBLE_EQ(config7Bplus1_5B().memoryFraction, 0.90);
     EXPECT_EQ(allModelConfigs().size(), 3u);
-    EXPECT_EQ(modelConfigByLabel("7B+1.5B").label, "7B+1.5B");
+    EXPECT_EQ(modelConfigByLabel("7B+1.5B")->label, "7B+1.5B");
+    EXPECT_FALSE(modelConfigByLabel("13B+70B").ok());
 }
 
 class RooflineTest : public ::testing::Test
@@ -213,7 +218,7 @@ class RooflineModelSweep
 TEST_P(RooflineModelSweep, BiggerModelsSlower)
 {
     const auto &[device_name, batch] = GetParam();
-    RooflineModel roofline(deviceByName(device_name));
+    RooflineModel roofline(*deviceByName(device_name));
     const double small =
         roofline.decodeStepTime(qwen25Math1_5B(), batch, 512);
     const double large =

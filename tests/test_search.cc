@@ -173,20 +173,25 @@ TEST(VaryingGranularity, SelectsLikeBeamSearch)
 
 TEST(AlgorithmFactory, ByName)
 {
-    EXPECT_EQ(makeAlgorithm("best_of_n", 8)->name(), "best_of_n");
-    EXPECT_EQ(makeAlgorithm("beam_search", 8)->name(), "beam_search");
-    EXPECT_EQ(makeAlgorithm("dvts", 8)->name(), "dvts");
-    EXPECT_EQ(makeAlgorithm("dynamic_branching", 8)->name(),
+    EXPECT_EQ(makeAlgorithm("best_of_n", 8)->get()->name(), "best_of_n");
+    EXPECT_EQ(makeAlgorithm("beam_search", 8)->get()->name(),
+              "beam_search");
+    EXPECT_EQ(makeAlgorithm("dvts", 8)->get()->name(), "dvts");
+    EXPECT_EQ(makeAlgorithm("dynamic_branching", 8)->get()->name(),
               "dynamic_branching");
-    EXPECT_EQ(makeAlgorithm("varying_granularity", 8)->name(),
+    EXPECT_EQ(makeAlgorithm("varying_granularity", 8)->get()->name(),
               "varying_granularity");
-    // Unknown names fall back to beam search.
-    EXPECT_EQ(makeAlgorithm("bogus", 8)->name(), "beam_search");
+    // Unknown names are a hard error that lists the valid names.
+    const auto bogus = makeAlgorithm("bogus", 8);
+    ASSERT_FALSE(bogus.ok());
+    EXPECT_EQ(bogus.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(bogus.status().message().find("beam_search"),
+              std::string::npos);
 }
 
 TEST(AlgorithmFactory, WidthAndBranchFactorStored)
 {
-    auto algo = makeAlgorithm("beam_search", 128, 8);
+    auto algo = *makeAlgorithm("beam_search", 128, 8);
     EXPECT_EQ(algo->beamWidth(), 128);
     EXPECT_EQ(algo->branchFactor(), 8);
 }
@@ -201,7 +206,7 @@ class AlgorithmSweep
 TEST_P(AlgorithmSweep, DeterministicAndWidthRespecting)
 {
     const auto &[name, n] = GetParam();
-    auto algo = makeAlgorithm(name, n, 4);
+    auto algo = *makeAlgorithm(name, n, 4);
     Rng rng_seed(99);
     std::vector<double> scores;
     for (int i = 0; i < n; ++i)

@@ -16,7 +16,7 @@ TEST(ServingSystem, ServesProblemsAndAggregates)
 {
     ServingOptions opts;
     opts.numBeams = 8;
-    ServingSystem system(opts);
+    ServingSystem system = ServingSystem::create(opts).value();
     const auto out = system.serveProblems(3);
     EXPECT_EQ(out.requests.size(), 3u);
     EXPECT_GT(out.meanGoodput, 0);
@@ -29,8 +29,8 @@ TEST(ServingSystem, ServesProblemsAndAggregates)
 TEST(ServingSystem, ProblemSetIsDeterministic)
 {
     ServingOptions opts;
-    ServingSystem a(opts);
-    ServingSystem b(opts);
+    ServingSystem a = ServingSystem::create(opts).value();
+    ServingSystem b = ServingSystem::create(opts).value();
     ASSERT_FALSE(a.problems().empty());
     EXPECT_EQ(a.problems()[0].seed, b.problems()[0].seed);
 }
@@ -41,8 +41,8 @@ TEST(ServingSystem, SeedChangesProblems)
     a.seed = 1;
     ServingOptions b;
     b.seed = 2;
-    EXPECT_NE(ServingSystem(a).problems()[0].seed,
-              ServingSystem(b).problems()[0].seed);
+    EXPECT_NE(ServingSystem::create(a)->problems()[0].seed,
+              ServingSystem::create(b)->problems()[0].seed);
 }
 
 TEST(ServingSystem, OptionsRoundTrip)
@@ -52,7 +52,7 @@ TEST(ServingSystem, OptionsRoundTrip)
     opts.datasetName = "AMC";
     opts.algorithmName = "dvts";
     opts.numBeams = 12;
-    ServingSystem system(opts);
+    ServingSystem system = ServingSystem::create(opts).value();
     EXPECT_EQ(system.options().deviceName, "RTX4070Ti");
     EXPECT_EQ(system.options().numBeams, 12);
 }
@@ -61,7 +61,7 @@ TEST(ServingSystem, ServeSingleProblem)
 {
     ServingOptions opts;
     opts.numBeams = 8;
-    ServingSystem system(opts);
+    ServingSystem system = ServingSystem::create(opts).value();
     const auto r = system.serve(system.problems()[0]);
     EXPECT_EQ(r.completedBeams, 8);
 }
@@ -82,6 +82,40 @@ TEST(AggregateResults, AccuracyPercentages)
     const auto out = aggregateResults({solved, failed}, 2);
     EXPECT_DOUBLE_EQ(out.top1Accuracy, 50.0);
     EXPECT_DOUBLE_EQ(out.passAtNAccuracy, 50.0);
+}
+
+TEST(ServingSystem, CreateRejectsUnknownNames)
+{
+    ServingOptions opts;
+    opts.deviceName = "RTX409O"; // Typo: letter O, not zero.
+    const auto bad_device = ServingSystem::create(opts);
+    ASSERT_FALSE(bad_device.ok());
+    EXPECT_EQ(bad_device.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(bad_device.status().message().find("RTX4090"),
+              std::string::npos);
+
+    opts = ServingOptions();
+    opts.datasetName = "AIMEE";
+    EXPECT_EQ(ServingSystem::create(opts).status().code(),
+              StatusCode::kNotFound);
+
+    opts = ServingOptions();
+    opts.algorithmName = "beam_serach";
+    EXPECT_EQ(ServingSystem::create(opts).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(ServingSystem, CreateRejectsBadWidths)
+{
+    ServingOptions opts;
+    opts.numBeams = 0;
+    EXPECT_EQ(ServingSystem::create(opts).status().code(),
+              StatusCode::kInvalidArgument);
+
+    opts = ServingOptions();
+    opts.branchFactor = 0;
+    EXPECT_EQ(ServingSystem::create(opts).status().code(),
+              StatusCode::kInvalidArgument);
 }
 
 TEST(AggregateResults, EmptyIsSafe)
