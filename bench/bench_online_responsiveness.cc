@@ -4,14 +4,17 @@
  * quantifies the Sec. 4.1.2 deployment claim that FastTTS keeps the
  * edge device responsive for interactive agentic use).
  *
- * A Poisson stream of TTS requests is served FIFO by one device; we
- * report mean/p95 end-to-end latency and queueing delay for the
+ * A stream of TTS requests (Poisson or heavy-tailed bursty arrivals)
+ * is served by one device under a pluggable admission policy with up
+ * to --max-inflight requests interleaved; we report mean/p50/p95/p99
+ * end-to-end latency, queueing delay and SLO attainment for the
  * baseline and FastTTS at increasing arrival rates. Shorter service
  * times compound through the queue, so FastTTS's advantage grows with
  * load.
  */
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "api/engine_args.h"
@@ -26,33 +29,46 @@ main(int argc, char **argv)
     EngineArgs defaults;
     defaults.numProblems = 10;
     defaults.dataset = "AMC";
+    defaults.numBeams = 32;
     const EngineArgs args = EngineArgs::parseOrExit(
         argc, argv, defaults,
-        "Online serving responsiveness under Poisson load (arrival "
-        "rates swept; --problems sets the request count)",
-        {"--problems", "--dataset", "--seed"});
+        "Online serving responsiveness under load (arrival rates swept; "
+        "--problems sets the request count, --policy/--max-inflight/"
+        "--slo/--arrivals the queueing discipline)",
+        {"--problems", "--dataset", "--seed", "--beams", "--policy",
+         "--max-inflight", "--slo", "--arrivals"});
     const int requests = args.numProblems;
+    const OnlineServerOptions online = args.toOnlineOptions();
 
-    Table table("Online serving under Poisson load - " + args.dataset
-                + " 1.5B+1.5B n=32, RTX4090");
+    Table table("Online serving under " + args.arrivals + " load - "
+                + args.dataset + " 1.5B+1.5B n="
+                + std::to_string(args.numBeams) + ", RTX4090, policy="
+                + online.policy + ", K="
+                + std::to_string(online.maxInflight));
     table.setHeader({"arrival rate /s", "system", "mean latency s",
-                     "p95 latency s", "mean queue s", "device util"});
+                     "p50 s", "p95 s", "p99 s", "mean queue s",
+                     "slo att %", "device util"});
     for (double rate : {0.01, 0.05, 0.2}) {
+        const std::vector<double> arrivals =
+            makeArrivalTrace(args.arrivals, requests, rate, args.seed)
+                .value();
         for (const bool fast : {false, true}) {
-            ServingOptions opts;
+            ServingOptions opts = args.toServingOptions().value();
             opts.config = fast ? FastTtsConfig::fastTts()
                                : FastTtsConfig::baseline();
-            opts.models = config1_5Bplus1_5B();
-            opts.datasetName = args.dataset;
-            opts.numBeams = 32;
-            opts.seed = args.seed;
-            OnlineServer server = OnlineServer::create(opts).value();
-            const auto out = server.serveTrace(requests, rate, 99);
+            OnlineServer server =
+                OnlineServer::create(opts, online).value();
+            const auto out = server.serveArrivals(arrivals);
             table.addRow({formatDouble(rate, 2),
                           fast ? "fasttts" : "baseline",
                           formatDouble(out.meanLatency, 1),
+                          formatDouble(out.p50Latency, 1),
                           formatDouble(out.p95Latency, 1),
+                          formatDouble(out.p99Latency, 1),
                           formatDouble(out.meanQueueDelay, 1),
+                          online.slo > 0
+                              ? formatDouble(100.0 * out.sloAttainment, 1)
+                              : "-",
                           formatDouble(out.utilization, 2)});
         }
     }

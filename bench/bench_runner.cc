@@ -26,7 +26,10 @@
 #include <vector>
 
 #include "api/engine_args.h"
+#include "core/online_server.h"
 #include "core/serving.h"
+#include "metrics/request_metrics.h"
+#include "online_calibration.h"
 #include "util/json.h"
 #include "util/table.h"
 
@@ -87,20 +90,6 @@ const BenchSpec kBenchmarks[] = {
     {"online_responsiveness", "Online serving responsiveness", "AMC",
      "RTX4090", "beam_search", "1.5B+1.5B", 32, 6},
 };
-
-/** Exact sample quantile with linear interpolation between ranks. */
-double
-sampleQuantile(std::vector<double> samples, double p)
-{
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    const double rank = p * static_cast<double>(samples.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
-}
 
 /** Metrics of one (benchmark, engine-variant) measurement. */
 Json
@@ -242,14 +231,95 @@ runBenchmark(const BenchSpec &spec, bool quick, uint64_t seed)
     return doc;
 }
 
+/**
+ * The admission-policy benchmark is not BenchSpec-shaped: it measures
+ * the online queueing front-end (OnlineServer) across queue policies
+ * on one identical heavy-tailed arrival trace, instead of batch
+ * serving across engine variants.
+ */
+constexpr const char *kOnlineSchedulingName = "online_scheduling";
+
+Json
+runOnlineSchedulingBenchmark(bool quick, uint64_t seed)
+{
+    EngineArgs args;
+    args.dataset = "AMC";
+    args.numBeams = quick ? 8 : 32;
+    args.seed = seed;
+    const int numRequests = quick ? 8 : 32;
+    const int maxInflight = 4;
+    const std::string arrivalMode = "bursty";
+    ServingOptions opts = args.toServingOptions().value();
+
+    // Probe-calibrated overload trace with tiered priorities/SLOs —
+    // the same recipe as bench_fig18_scheduling's bottom table, so
+    // the JSON mirrors the figure (bench/online_calibration.h).
+    const CalibratedOnlineTrace calibrated =
+        calibrateOnlineTrace(opts, arrivalMode, numRequests, seed)
+            .value();
+
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", kOnlineSchedulingName);
+    doc.set("description",
+            "Online admission-policy sweep (SLO attainment)");
+    doc.set("quick", quick);
+
+    Json config = Json::object();
+    config.set("dataset", args.dataset);
+    config.set("device", args.device);
+    config.set("models", args.models);
+    config.set("num_beams", args.numBeams);
+    config.set("requests", numRequests);
+    config.set("max_inflight", maxInflight);
+    config.set("arrivals", arrivalMode);
+    config.set("arrival_rate_per_s", calibrated.rate);
+    config.set("slo_s", calibrated.slo);
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    Json policies = Json::object();
+    for (const std::string &name :
+         queuePolicyRegistry().list()) {
+        OnlineServerOptions online;
+        online.policy = name;
+        online.maxInflight = maxInflight;
+        online.slo = calibrated.slo;
+        OnlineServer server =
+            OnlineServer::create(opts, online).value();
+        const OnlineTraceResult out =
+            server.serveRequests(calibrated.requests).value();
+
+        Json latency = Json::object();
+        latency.set("mean", out.meanLatency);
+        latency.set("p50", out.p50Latency);
+        latency.set("p95", out.p95Latency);
+        latency.set("p99", out.p99Latency);
+
+        Json policy = Json::object();
+        policy.set("latency_s", std::move(latency));
+        policy.set("mean_queue_delay_s", out.meanQueueDelay);
+        policy.set("slo_attainment", out.sloAttainment);
+        policy.set("deadline_misses", out.deadlineMisses);
+        policy.set("utilization", out.utilization);
+        policy.set("makespan_s", out.makespan);
+        policy.set("completed",
+                   static_cast<long>(out.records.size()));
+        policies.set(name, std::move(policy));
+    }
+    doc.set("policies", std::move(policies));
+    return doc;
+}
+
 int
 usage(std::ostream &os, int exit_code)
 {
     os << "usage: bench_runner [--list] [--quick] [--out-dir DIR]\n"
           "                    [--seed N] [name...]\n"
           "\n"
-          "Runs the registered figure benchmarks (all by default, or the\n"
-          "named subset) and writes BENCH_<name>.json into --out-dir\n"
+          "Runs the registered benchmarks (all by default, or the named\n"
+          "subset: the figure suite plus the online_scheduling policy\n"
+          "sweep) and writes BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
           "names, one per line, and exits.\n"
           "\n"
@@ -298,15 +368,23 @@ runnerMain(int argc, char **argv)
     if (list) {
         for (const BenchSpec &spec : kBenchmarks)
             std::cout << spec.name << "\n";
+        std::cout << kOnlineSchedulingName << "\n";
         return 0;
     }
 
+    // nullptr stands for the online_scheduling benchmark, which is
+    // not BenchSpec-shaped.
     std::vector<const BenchSpec *> toRun;
     if (selected.empty()) {
         for (const BenchSpec &spec : kBenchmarks)
             toRun.push_back(&spec);
+        toRun.push_back(nullptr);
     } else {
         for (const std::string &name : selected) {
+            if (name == kOnlineSchedulingName) {
+                toRun.push_back(nullptr);
+                continue;
+            }
             const BenchSpec *found = nullptr;
             for (const BenchSpec &spec : kBenchmarks)
                 if (name == spec.name)
@@ -329,21 +407,43 @@ runnerMain(int argc, char **argv)
     }
 
     for (const BenchSpec *spec : toRun) {
-        const Json doc = runBenchmark(*spec, quick, seed);
+        const std::string name =
+            spec != nullptr ? spec->name : kOnlineSchedulingName;
+        const Json doc = spec != nullptr
+            ? runBenchmark(*spec, quick, seed)
+            : runOnlineSchedulingBenchmark(quick, seed);
         const std::filesystem::path path =
-            std::filesystem::path(outDir) /
-            ("BENCH_" + std::string(spec->name) + ".json");
+            std::filesystem::path(outDir) / ("BENCH_" + name + ".json");
         std::ofstream file(path);
         if (!file) {
             std::cerr << "bench_runner: cannot write " << path << "\n";
             return 1;
         }
         file << doc.dump(2);
-        std::cout << spec->name << ": goodput x"
-                  << formatDouble(doc["speedup"]["goodput"].asNumber(), 2)
-                  << ", latency x"
-                  << formatDouble(doc["speedup"]["latency"].asNumber(), 2)
-                  << " -> " << path.string() << "\n";
+        if (spec != nullptr) {
+            std::cout
+                << name << ": goodput x"
+                << formatDouble(doc["speedup"]["goodput"].asNumber(), 2)
+                << ", latency x"
+                << formatDouble(doc["speedup"]["latency"].asNumber(), 2)
+                << " -> " << path.string() << "\n";
+        } else {
+            std::cout << name << ": slo attainment fifo "
+                      << formatDouble(
+                             100.0
+                                 * doc["policies"]["fifo"]
+                                      ["slo_attainment"]
+                                          .asNumber(),
+                             0)
+                      << "% vs edf "
+                      << formatDouble(
+                             100.0
+                                 * doc["policies"]["edf"]
+                                      ["slo_attainment"]
+                                          .asNumber(),
+                             0)
+                      << "% -> " << path.string() << "\n";
+        }
     }
     return 0;
 }

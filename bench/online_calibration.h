@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared probe-based calibration for the admission-policy sweeps.
+ *
+ * bench_fig18_scheduling (bottom table) and bench_runner's
+ * online_scheduling benchmark must measure the same recipe so the
+ * figure mirrors the JSON: probe a few real requests for the mean
+ * service time, offer ~3x that rate in heavy-tailed bursts (long
+ * silences drain the queue, so the mean rate must sit well past
+ * capacity for backlog to build), and hand every request a
+ * deterministic priority and SLO-tier mix (a uniform SLO would make
+ * edf collapse to arrival order).
+ */
+
+#ifndef FASTTTS_BENCH_ONLINE_CALIBRATION_H
+#define FASTTTS_BENCH_ONLINE_CALIBRATION_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "core/online_server.h"
+#include "core/serving.h"
+
+namespace fasttts
+{
+
+/** One probe-calibrated overload trace, identical across policies. */
+struct CalibratedOnlineTrace
+{
+    std::vector<OnlineRequest> requests;
+    double rate = 0;         //!< Offered arrival rate (requests/s).
+    double slo = 0;          //!< Base SLO budget (s); requests carry
+                             //!< tiered multiples of it.
+    double measuredMean = 0; //!< Probe-measured mean service time (s).
+};
+
+/**
+ * Build the standard policy-sweep trace for one serving
+ * configuration.
+ * @param arrival_mode "poisson" or "bursty".
+ * @param slo_override < 0 derives the base SLO (3x the measured mean
+ *        service time), 0 disables SLOs entirely (requests carry no
+ *        deadline, matching the flag's documented zero semantics),
+ *        > 0 sets the base budget directly.
+ */
+inline StatusOr<CalibratedOnlineTrace>
+calibrateOnlineTrace(const ServingOptions &opts,
+                     const std::string &arrival_mode, int num_requests,
+                     uint64_t seed, double slo_override = -1.0)
+{
+    auto probe = ServingSystem::create(opts);
+    if (!probe.ok())
+        return probe.status();
+    const int num_probes = std::min<int>(
+        4, static_cast<int>(probe->problems().size()));
+    double measured_mean = 0;
+    for (int i = 0; i < num_probes; ++i)
+        measured_mean +=
+            probe->serve(probe->problems()[static_cast<size_t>(i)])
+                .completionTime;
+    measured_mean /= std::max(1, num_probes);
+
+    CalibratedOnlineTrace out;
+    out.measuredMean = measured_mean;
+    out.rate = 3.0 / measured_mean;
+    out.slo = slo_override < 0 ? 3.0 * measured_mean : slo_override;
+
+    auto trace =
+        makeArrivalTrace(arrival_mode, num_requests, out.rate, seed);
+    if (!trace.ok())
+        return trace.status();
+    const double slo_tiers[] = {0.75, 1.5, 3.0, 6.0};
+    out.requests.reserve(trace->size());
+    for (size_t i = 0; i < trace->size(); ++i) {
+        OnlineRequest request;
+        request.arrival = (*trace)[i];
+        request.priority = static_cast<int>(i % 3) - 1;
+        // OnlineRequest::slo == 0 means "no deadline".
+        request.slo =
+            out.slo > 0 ? out.slo * slo_tiers[i % 4] : 0.0;
+        out.requests.push_back(request);
+    }
+    return out;
+}
+
+} // namespace fasttts
+
+#endif // FASTTTS_BENCH_ONLINE_CALIBRATION_H

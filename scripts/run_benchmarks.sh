@@ -6,7 +6,7 @@
 #                             [name...]
 #
 # Configures and builds the bench_runner target if the build directory
-# does not contain it yet, then runs the requested benchmarks (all 16
+# does not contain it yet, then runs the requested benchmarks (all 17
 # by default). --quick shrinks each benchmark so the whole suite
 # finishes in seconds; extra positional names select a subset (see
 # bench_runner --list).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -160,7 +161,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
 
         if (flag == "--device" || flag == "--dataset"
             || flag == "--algorithm" || flag == "--models"
-            || flag == "--mode") {
+            || flag == "--mode" || flag == "--policy"
+            || flag == "--arrivals") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -171,6 +173,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.algorithm = value;
             else if (flag == "--models")
                 args.models = value;
+            else if (flag == "--policy")
+                args.policy = value;
+            else if (flag == "--arrivals")
+                args.arrivals = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -178,17 +184,19 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         }
 
         if (flag == "--beams" || flag == "--branch-factor"
-            || flag == "--problems") {
+            || flag == "--problems" || flag == "--max-inflight") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseInt(flag, value, flag == "--problems" ? 0 : 1,
-                                   1 << 20);
+                                   flag == "--max-inflight" ? 64 : 1 << 20);
             if (!parsed.ok())
                 return parsed.status();
             if (flag == "--beams")
                 args.numBeams = static_cast<int>(*parsed);
             else if (flag == "--branch-factor")
                 args.branchFactor = static_cast<int>(*parsed);
+            else if (flag == "--max-inflight")
+                args.maxInflight = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
             args.parsedFlags.push_back(flag);
@@ -206,7 +214,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             continue;
         }
 
-        if (flag == "--memory-fraction" || flag == "--reserved-gib") {
+        if (flag == "--memory-fraction" || flag == "--reserved-gib"
+            || flag == "--slo") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseDouble(flag, value);
@@ -214,6 +223,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 return parsed.status();
             if (flag == "--memory-fraction")
                 args.memoryFraction = *parsed;
+            else if (flag == "--slo")
+                args.slo = *parsed;
             else
                 args.reservedGiB = *parsed;
             args.parsedFlags.push_back(flag);
@@ -259,7 +270,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
     EngineArgs args = defaults;
     for (const auto &[key, value] : doc.members()) {
         if (key == "device" || key == "dataset" || key == "algorithm"
-            || key == "models" || key == "mode") {
+            || key == "models" || key == "mode" || key == "policy"
+            || key == "arrivals") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -271,20 +283,32 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.algorithm = *parsed;
             else if (key == "models")
                 args.models = *parsed;
+            else if (key == "policy")
+                args.policy = *parsed;
+            else if (key == "arrivals")
+                args.arrivals = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
-                   || key == "num_problems") {
-            auto parsed = jsonInt(key, value,
-                                  key == "num_problems" ? 0 : 1, 1 << 20);
+                   || key == "num_problems" || key == "max_inflight") {
+            auto parsed =
+                jsonInt(key, value, key == "num_problems" ? 0 : 1,
+                        key == "max_inflight" ? 64 : 1 << 20);
             if (!parsed.ok())
                 return parsed.status();
             if (key == "num_beams")
                 args.numBeams = static_cast<int>(*parsed);
             else if (key == "branch_factor")
                 args.branchFactor = static_cast<int>(*parsed);
+            else if (key == "max_inflight")
+                args.maxInflight = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
+        } else if (key == "slo") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"slo\" must be a number");
+            args.slo = value.asNumber();
         } else if (key == "seed") {
             auto parsed = jsonInt(key, value, 0,
                                   (1LL << 53)); // Doubles round-trip 2^53.
@@ -357,10 +381,28 @@ EngineArgs::validate() const
     if (mode != "fasttts" && mode != "baseline")
         return Status::invalidArgument(
             "mode must be 'fasttts' or 'baseline', got '" + mode + "'");
-    if (memoryFraction < 0 || memoryFraction > 1)
+    if (!std::isfinite(memoryFraction) || memoryFraction < 0
+        || memoryFraction > 1)
         return Status::invalidArgument(
             "memory_fraction must be in (0, 1] (or 0 for the model "
             "config default)");
+    if (!std::isfinite(reservedGiB))
+        return Status::invalidArgument(
+            "reserved_gib must be finite (negative keeps the engine "
+            "default)");
+    if (!queuePolicyRegistry().contains(policy))
+        return makeQueuePolicy(policy).status();
+    if (maxInflight < 1 || maxInflight > 64)
+        return Status::invalidArgument(
+            "max_inflight must be in [1, 64], got "
+            + std::to_string(maxInflight));
+    if (!(slo >= 0) || !std::isfinite(slo))
+        return Status::invalidArgument(
+            "slo must be >= 0 seconds (0 disables SLO tracking)");
+    if (arrivals != "poisson" && arrivals != "bursty")
+        return Status::invalidArgument(
+            "arrivals must be 'poisson' or 'bursty', got '" + arrivals
+            + "'");
     return okStatus();
 }
 
@@ -386,6 +428,13 @@ EngineArgs::rejectUnsupportedFlags(
         }
     }
     return okStatus();
+}
+
+bool
+EngineArgs::wasSet(const std::string &flag) const
+{
+    return std::find(parsedFlags.begin(), parsedFlags.end(), flag)
+        != parsedFlags.end();
 }
 
 StatusOr<ServingOptions>
@@ -416,6 +465,16 @@ EngineArgs::toServingOptions() const
     return opts;
 }
 
+OnlineServerOptions
+EngineArgs::toOnlineOptions() const
+{
+    OnlineServerOptions online;
+    online.policy = policy;
+    online.maxInflight = maxInflight;
+    online.slo = slo;
+    return online;
+}
+
 std::string
 EngineArgs::help(const std::string &program)
 {
@@ -435,6 +494,10 @@ EngineArgs::help(const std::string &program)
         "  --no-offload         disable KV offloading\n"
         "  --memory-fraction F  GPU memory fraction in (0, 1]\n"
         "  --reserved-gib F     reserved VRAM (GiB) outside serving\n"
+        "  --policy NAME        online admission policy\n"
+        "  --max-inflight N     interleaved online requests (1-64)\n"
+        "  --slo SECONDS        per-request latency SLO (0 disables)\n"
+        "  --arrivals MODE      arrival process: 'poisson' or 'bursty'\n"
         "  --help               print this text and exit\n"
         "\n"
         "Bare positionals (legacy): first = --problems, second = "
@@ -457,6 +520,8 @@ EngineArgs::registryListing()
         + "\n";
     text += "  model configs: " + joinNames(modelConfigRegistry().list())
         + "\n";
+    text += "  queue policies: " + joinNames(queuePolicyRegistry().list())
+        + "\n";
     return text;
 }
 
@@ -471,7 +536,9 @@ allFlags()
         "--device",        "--dataset",      "--algorithm",
         "--models",        "--mode",         "--beams",
         "--branch-factor", "--problems",     "--seed",
-        "--offload",       "--memory-fraction", "--reserved-gib"};
+        "--offload",       "--memory-fraction", "--reserved-gib",
+        "--policy",        "--max-inflight", "--slo",
+        "--arrivals"};
     return flags;
 }
 

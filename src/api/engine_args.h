@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "core/online_server.h"
 #include "core/serving.h"
 
 namespace fasttts
@@ -54,6 +55,16 @@ struct EngineArgs
                                 //!< model configuration's default.
     double reservedGiB = -1;    //!< --reserved-gib; negative keeps the
                                 //!< engine default.
+
+    // --- Online serving (OnlineServer) ---
+    std::string policy = "fifo";   //!< --policy / "policy": admission
+                                   //!< order (queuePolicyRegistry()).
+    int maxInflight = 1;  //!< --max-inflight / "max_inflight" (1-64).
+    double slo = 0;       //!< --slo / "slo": per-request latency
+                          //!< budget in seconds; 0 disables.
+    std::string arrivals = "poisson"; //!< --arrivals / "arrivals":
+                                      //!< 'poisson' or 'bursty'.
+
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 
     /**
@@ -102,6 +113,11 @@ struct EngineArgs
     /** Validate, then build the equivalent ServingOptions. */
     StatusOr<ServingOptions> toServingOptions() const;
 
+    /** The OnlineServer queueing configuration (policy, max-inflight,
+     *  SLO) these arguments describe; pair with toServingOptions()
+     *  for OnlineServer::create(). */
+    OnlineServerOptions toOnlineOptions() const;
+
     /**
      * kInvalidArgument when the command line explicitly set a flag
      * outside the supported set — for tools whose configuration is
@@ -110,6 +126,14 @@ struct EngineArgs
      */
     Status
     rejectUnsupportedFlags(const std::vector<std::string> &supported) const;
+
+    /**
+     * Whether the command line (or a positional alias) explicitly set
+     * the given canonical flag ("--slo", "--problems", ...). Lets
+     * tools distinguish "left at default" from "explicitly set to the
+     * default value" (e.g. --slo 0 meaning "disable SLOs").
+     */
+    bool wasSet(const std::string &flag) const;
 
     /**
      * The flag reference plus the current registry contents (devices,

@@ -126,8 +126,13 @@ class Registry
     std::string
     unknownMessage(const std::string &name) const
     {
+        // "device" -> "devices", but "queue policy" -> "queue
+        // policies".
+        std::string plural = kind_;
+        if (!plural.empty() && plural.back() == 'y')
+            plural.replace(plural.size() - 1, 1, "ie");
         std::string message = "unknown " + kind_ + " '" + name
-            + "'; valid " + kind_ + "s: ";
+            + "'; valid " + plural + "s: ";
         for (size_t i = 0; i < entries_.size(); ++i) {
             if (i > 0)
                 message += ", ";

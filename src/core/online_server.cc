@@ -9,77 +9,293 @@
 namespace fasttts
 {
 
-OnlineServer::OnlineServer(ServingSystem system)
-    : system_(std::move(system))
+OnlineServer::OnlineServer(std::vector<ServingSystem> slots,
+                           OnlineServerOptions online,
+                           std::unique_ptr<QueuePolicy> policy,
+                           RooflineModel roofline, DatasetProfile profile)
+    : slots_(std::move(slots)), online_(std::move(online)),
+      policy_(std::move(policy)), roofline_(std::move(roofline)),
+      profile_(std::move(profile))
 {
 }
 
 StatusOr<OnlineServer>
 OnlineServer::create(const ServingOptions &options)
 {
-    auto system = ServingSystem::create(options);
-    if (!system.ok())
-        return system.status();
-    return OnlineServer(*std::move(system));
+    return create(options, OnlineServerOptions());
+}
+
+StatusOr<OnlineServer>
+OnlineServer::create(const ServingOptions &options,
+                     const OnlineServerOptions &online)
+{
+    if (online.maxInflight < 1 || online.maxInflight > 64)
+        return Status::invalidArgument(
+            "max_inflight must be in [1, 64], got "
+            + std::to_string(online.maxInflight));
+    if (!(online.slo >= 0) || !std::isfinite(online.slo))
+        return Status::invalidArgument("slo must be >= 0 seconds");
+
+    auto policy = makeQueuePolicy(online.policy);
+    if (!policy.ok())
+        return policy.status();
+
+    // One ServingSystem per in-flight slot: each slot pumps its own
+    // request through the async facade, so interleaving never touches
+    // another request's engine state. Only slot 0 owns the problem
+    // set (requests reach the other slots as Problem values), so the
+    // extra slots skip generating duplicates.
+    std::vector<ServingSystem> slots;
+    slots.reserve(static_cast<size_t>(online.maxInflight));
+    ServingOptions slot_options = options;
+    slot_options.problemCount = 0;
+    for (int i = 0; i < online.maxInflight; ++i) {
+        auto system =
+            ServingSystem::create(i == 0 ? options : slot_options);
+        if (!system.ok())
+            return system.status();
+        slots.push_back(*std::move(system));
+    }
+
+    // The SJF predictor's inputs; names were just validated by
+    // ServingSystem::create, so the lookups cannot fail.
+    auto device = deviceByName(options.deviceName);
+    auto profile = datasetByName(options.datasetName);
+    return OnlineServer(std::move(slots), online, *std::move(policy),
+                        RooflineModel(*device), *std::move(profile));
 }
 
 OnlineTraceResult
 OnlineServer::serveTrace(int num_requests, double arrival_rate,
                          uint64_t seed)
 {
-    Rng rng = Rng(seed).fork(0xa881);
-    std::vector<double> arrivals;
-    arrivals.reserve(static_cast<size_t>(std::max(0, num_requests)));
-    double t = 0;
-    for (int i = 0; i < num_requests; ++i) {
-        t += rng.exponential(arrival_rate);
-        arrivals.push_back(t);
-    }
-    return serveArrivals(arrivals);
+    return serveArrivals(
+        poissonArrivalTrace(num_requests, arrival_rate, seed));
 }
 
 OnlineTraceResult
 OnlineServer::serveArrivals(const std::vector<double> &arrivals)
 {
-    const auto &problems = system_.problems();
-    if (arrivals.empty() || problems.empty())
+    std::vector<OnlineRequest> requests;
+    requests.reserve(arrivals.size());
+    for (const double arrival : arrivals) {
+        OnlineRequest request;
+        request.arrival = arrival;
+        requests.push_back(request);
+    }
+    // Problem ids are in range by construction, so the only way
+    // serveRequests can reject this input is a non-finite arrival
+    // time; degrade that to the empty trace instead of serving
+    // garbage timings.
+    auto result = serveRequests(requests);
+    if (!result.ok())
+        return aggregateTrace({}, 0.0);
+    return *std::move(result);
+}
+
+StatusOr<OnlineTraceResult>
+OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
+{
+    const std::vector<Problem> &problems = slots_.front().problems();
+    if (requests.empty() || problems.empty())
         return aggregateTrace({}, 0.0);
 
-    std::vector<OnlineRequestRecord> records;
-    records.reserve(arrivals.size());
-    std::vector<RequestId> ids;
-    ids.reserve(arrivals.size());
-    double device_free_at = 0;
-    double busy = 0;
+    constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-    // FIFO admission: submit in arrival order; completion callbacks
-    // convert engine service time into queue-aware wall-clock times.
-    for (size_t i = 0; i < arrivals.size(); ++i) {
-        const int problem_id =
-            static_cast<int>(i % problems.size());
-        const double arrival = arrivals[i];
-        ids.push_back(system_.submit(
-            problems[static_cast<size_t>(problem_id)],
-            {/*onStep=*/nullptr,
-             /*onComplete=*/[&records, &device_free_at, &busy,
-                             problem_id,
-                             arrival](RequestId, const RequestResult &r) {
-                 OnlineRequestRecord rec;
-                 rec.problemId = problem_id;
-                 rec.arrival = arrival;
-                 rec.start = std::max(arrival, device_free_at);
-                 rec.finish = rec.start + r.completionTime;
-                 device_free_at = rec.finish;
-                 busy += r.completionTime;
-                 records.push_back(rec);
-             }}));
+    // --- Build and validate tickets in submission order. ---
+    struct Ticket
+    {
+        QueuedRequest meta;
+        double cancelAt = -1;
+    };
+    std::vector<Ticket> tickets;
+    tickets.reserve(requests.size());
+    // predictServiceTime is a pure function of the problem for a
+    // fixed server; memoize it so long traces over a small problem
+    // set don't recompute it per request.
+    std::vector<double> predicted(problems.size(), -1.0);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const OnlineRequest &request = requests[i];
+        // Negative arrivals are served as "queued since before the
+        // trace began" (legacy max(arrival, device_free) semantics);
+        // only non-finite times are meaningless.
+        if (!std::isfinite(request.arrival))
+            return Status::invalidArgument(
+                "request arrival times must be finite");
+        int problem_id = request.problemId;
+        if (problem_id < 0)
+            problem_id = static_cast<int>(i % problems.size());
+        if (problem_id >= static_cast<int>(problems.size()))
+            return Status::invalidArgument(
+                "problemId " + std::to_string(problem_id)
+                + " is out of range; the problem set has "
+                + std::to_string(problems.size()) + " problems");
+
+        Ticket ticket;
+        ticket.meta.id = static_cast<uint64_t>(i);
+        ticket.meta.problemId = problem_id;
+        ticket.meta.arrival = request.arrival;
+        ticket.meta.priority = request.priority;
+        const double slo =
+            request.slo < 0 ? online_.slo : request.slo;
+        ticket.meta.deadline =
+            slo > 0 ? request.arrival + slo : kInfinity;
+        double &cost = predicted[static_cast<size_t>(problem_id)];
+        if (cost < 0)
+            cost = predictServiceTime(
+                roofline_, slots_.front().options().models, profile_,
+                problems[static_cast<size_t>(problem_id)],
+                slots_.front().options().numBeams);
+        ticket.meta.predictedCost = cost;
+        ticket.cancelAt = request.cancelAt;
+        tickets.push_back(ticket);
     }
-    system_.drain();
-    // The callbacks consumed every result; drop the records so a
-    // long-lived server does not accumulate them trace after trace.
-    for (const RequestId id : ids)
-        system_.release(id);
-    return aggregateTrace(std::move(records), busy);
+    std::stable_sort(tickets.begin(), tickets.end(),
+                     [](const Ticket &a, const Ticket &b) {
+                         return a.meta.arrival < b.meta.arrival;
+                     });
+
+    // --- Per-slot progress boxes. Callbacks capture their addresses,
+    //     so this storage must stay stable for the whole trace. ---
+    struct SlotProgress
+    {
+        double clock = 0; //!< Engine clock after the last iteration.
+        bool finished = false;
+        RequestResult result;
+    };
+    std::vector<SlotProgress> progress(slots_.size());
+
+    struct InFlight
+    {
+        Ticket ticket;
+        size_t slot = 0;
+        RequestId sysId = 0;
+        double wallBase = 0; //!< Wall time of the request's engine
+                             //!< clock zero: start + slices the device
+                             //!< spent on other requests since.
+        OnlineRequestRecord rec;
+    };
+
+    std::vector<Ticket> queued;
+    std::vector<InFlight> inflight;
+    std::vector<size_t> free_slots;
+    for (size_t s = slots_.size(); s > 0; --s)
+        free_slots.push_back(s - 1);
+
+    std::vector<OnlineRequestRecord> records;
+    records.reserve(tickets.size());
+    std::vector<QueuedRequest> view; // pick() scratch.
+    size_t next_ticket = 0;
+    size_t rr = 0; //!< Round-robin cursor into inflight.
+    double now = 0;
+    double busy = 0;
+    int cancelled = 0;
+
+    while (true) {
+        // Requests whose arrival has passed join the policy's queue.
+        while (next_ticket < tickets.size()
+               && tickets[next_ticket].meta.arrival <= now)
+            queued.push_back(tickets[next_ticket++]);
+
+        // Clients that gave up while queued leave it.
+        for (size_t i = queued.size(); i > 0; --i) {
+            const double cancel_at = queued[i - 1].cancelAt;
+            if (cancel_at >= 0 && cancel_at <= now) {
+                queued.erase(queued.begin()
+                             + static_cast<long>(i - 1));
+                ++cancelled;
+            }
+        }
+
+        // The policy fills free slots (work conservation: the device
+        // never idles while a request is queued).
+        while (!queued.empty() && !free_slots.empty()) {
+            view.clear();
+            for (const Ticket &ticket : queued)
+                view.push_back(ticket.meta);
+            size_t pick = policy_->pick(view, now);
+            if (pick >= queued.size())
+                pick = 0; // Defensive against custom policies.
+
+            const Ticket ticket = queued[pick];
+            queued.erase(queued.begin() + static_cast<long>(pick));
+            const size_t slot = free_slots.back();
+            free_slots.pop_back();
+            progress[slot] = SlotProgress();
+
+            RequestCallbacks callbacks;
+            callbacks.onStep =
+                [box = &progress[slot]](const StepEvent &event) {
+                    box->clock = event.clock;
+                };
+            callbacks.onComplete = [box = &progress[slot]](
+                                       RequestId,
+                                       const RequestResult &result) {
+                box->finished = true;
+                box->result = result;
+            };
+
+            InFlight flight;
+            flight.ticket = ticket;
+            flight.slot = slot;
+            flight.sysId = slots_[slot].submit(
+                problems[static_cast<size_t>(ticket.meta.problemId)],
+                std::move(callbacks));
+            flight.wallBase = std::max(ticket.meta.arrival, now);
+            flight.rec.problemId = ticket.meta.problemId;
+            flight.rec.arrival = ticket.meta.arrival;
+            flight.rec.start = flight.wallBase;
+            flight.rec.priority = ticket.meta.priority;
+            flight.rec.deadline = ticket.meta.deadline;
+            inflight.push_back(flight);
+        }
+
+        if (inflight.empty()) {
+            // All slots are free, so the admission loop above drained
+            // the queue; the device idles until the next arrival.
+            if (next_ticket >= tickets.size())
+                break; // Trace drained.
+            now = std::max(now, tickets[next_ticket].meta.arrival);
+            continue;
+        }
+
+        // Round-robin: one engine iteration of one in-flight request
+        // per turn (continuous batching at the request level).
+        if (rr >= inflight.size())
+            rr = 0;
+        InFlight &flight = inflight[rr];
+        SlotProgress &box = progress[flight.slot];
+        slots_[flight.slot].step();
+
+        // The request's wall clock is its engine clock offset by every
+        // slice the device spent elsewhere; computed this way (rather
+        // than by accumulating deltas) the fifo/maxInflight=1 path
+        // reproduces the legacy run-to-completion times bit-for-bit.
+        const double slice_end = flight.wallBase
+            + (box.finished ? box.result.completionTime : box.clock);
+        for (InFlight &other : inflight) {
+            if (&other != &flight)
+                other.wallBase += slice_end - now;
+        }
+        now = slice_end;
+
+        if (box.finished) {
+            flight.rec.finish = now;
+            busy += box.result.completionTime;
+            records.push_back(flight.rec);
+            slots_[flight.slot].release(flight.sysId);
+            free_slots.push_back(flight.slot);
+            inflight.erase(inflight.begin() + static_cast<long>(rr));
+            if (rr >= inflight.size())
+                rr = 0;
+        } else {
+            rr = (rr + 1) % inflight.size();
+        }
+    }
+
+    OnlineTraceResult out = aggregateTrace(std::move(records), busy);
+    out.cancelled = cancelled;
+    return out;
 }
 
 OnlineTraceResult
@@ -94,20 +310,89 @@ aggregateTrace(std::vector<OnlineRequestRecord> records, double busy_time)
     latencies.reserve(out.records.size());
     double lat_total = 0;
     double queue_total = 0;
+    int with_deadline = 0;
+    int missed = 0;
     for (const auto &rec : out.records) {
         latencies.push_back(rec.latency());
         lat_total += rec.latency();
         queue_total += rec.queueDelay();
+        if (rec.hasDeadline()) {
+            ++with_deadline;
+            if (rec.missedDeadline())
+                ++missed;
+        }
     }
     std::sort(latencies.begin(), latencies.end());
     const double n = static_cast<double>(out.records.size());
     out.meanLatency = lat_total / n;
     out.meanQueueDelay = queue_total / n;
-    out.p95Latency = latencies[static_cast<size_t>(
-        std::min(latencies.size() - 1.0, std::ceil(0.95 * n) - 1))];
-    out.makespan = out.records.back().finish;
+    out.p50Latency = ceilRankPercentile(latencies, 0.50);
+    out.p95Latency = ceilRankPercentile(latencies, 0.95);
+    out.p99Latency = ceilRankPercentile(latencies, 0.99);
+    out.deadlineMisses = missed;
+    out.sloAttainment = with_deadline > 0
+        ? 1.0 - static_cast<double>(missed) / with_deadline
+        : 1.0;
+    double makespan = 0;
+    for (const auto &rec : out.records)
+        makespan = std::max(makespan, rec.finish);
+    out.makespan = makespan;
     out.utilization = out.makespan > 0 ? busy_time / out.makespan : 0;
     return out;
+}
+
+std::vector<double>
+poissonArrivalTrace(int n, double rate, uint64_t seed)
+{
+    Rng rng = Rng(seed).fork(0xa881);
+    std::vector<double> arrivals;
+    arrivals.reserve(static_cast<size_t>(std::max(0, n)));
+    double t = 0;
+    for (int i = 0; i < n; ++i) {
+        t += rng.exponential(rate);
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+std::vector<double>
+burstyArrivalTrace(int n, double rate, uint64_t seed)
+{
+    // Pareto(alpha, xm) inter-arrival gaps with mean 1/rate: the
+    // shape keeps most gaps tiny (bursts) and a heavy tail of long
+    // silences, unlike the memoryless exponential.
+    constexpr double kAlpha = 1.5;
+    const double xm = (kAlpha - 1.0) / (kAlpha * rate);
+    Rng rng = Rng(seed).fork(0xb117);
+    std::vector<double> arrivals;
+    arrivals.reserve(static_cast<size_t>(std::max(0, n)));
+    double t = 0;
+    for (int i = 0; i < n; ++i) {
+        const double u = 1.0 - rng.uniform(); // (0, 1].
+        t += xm * std::pow(u, -1.0 / kAlpha);
+        arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+StatusOr<std::vector<double>>
+makeArrivalTrace(const std::string &mode, int n, double rate,
+                 uint64_t seed)
+{
+    if (n < 0)
+        return Status::invalidArgument(
+            "arrival trace length must be >= 0, got "
+            + std::to_string(n));
+    if (!(rate > 0) || !std::isfinite(rate))
+        return Status::invalidArgument(
+            "arrival rate must be a positive, finite number");
+    if (mode == "poisson")
+        return poissonArrivalTrace(n, rate, seed);
+    if (mode == "bursty")
+        return burstyArrivalTrace(n, rate, seed);
+    return Status::invalidArgument(
+        "unknown arrival mode '" + mode
+        + "'; valid modes: poisson, bursty");
 }
 
 } // namespace fasttts

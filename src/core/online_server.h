@@ -6,24 +6,40 @@
  * Sec. 6.1), but the serving system must stay responsive when new
  * requests arrive: the two-phase scheduler's speculative phase is
  * fully preemptible, so pending work never waits behind speculation
- * (Sec. 4.1.2). This front-end simulates a FIFO request queue with a
+ * (Sec. 4.1.2). This front-end simulates a request queue with a
  * deterministic arrival process and reports per-request queueing
- * delay, service time and end-to-end latency — the level at which a
- * downstream user would deploy the library.
+ * delay, service time, end-to-end latency and SLO attainment — the
+ * level at which a downstream user would deploy the library.
  *
- * The server owns only the queueing policy; engine pumping goes
- * through ServingSystem's request-level async facade (submit + step
- * + onComplete callbacks), so alternative admission policies can be
- * built on the same primitives without touching the engine.
+ * Two axes are pluggable without touching the engine:
+ *
+ *  - Admission order: a registry-backed QueuePolicy
+ *    (sched/queue_policy.h) decides which queued request takes the
+ *    next free serving slot — "fifo", "priority" (with aging), "sjf"
+ *    (roofline-predicted cost) and "edf" (SLO deadlines) ship
+ *    built-in.
+ *  - Interleaving degree: up to OnlineServerOptions::maxInflight
+ *    requests are in flight at once, round-robined one engine
+ *    iteration at a time (continuous batching at the request level),
+ *    so short requests are not stuck behind long ones.
+ *
+ * Engine pumping goes through ServingSystem's request-level async
+ * facade (submit + step + callbacks), one ServingSystem per in-flight
+ * slot. With the defaults ("fifo", maxInflight 1) the server is
+ * exactly the legacy run-to-completion FIFO queue.
  */
 
 #ifndef FASTTTS_CORE_ONLINE_SERVER_H
 #define FASTTTS_CORE_ONLINE_SERVER_H
 
+#include <cmath>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "api/status.h"
 #include "core/serving.h"
+#include "sched/queue_policy.h"
 
 namespace fasttts
 {
@@ -35,46 +51,99 @@ struct OnlineRequestRecord
     double arrival = 0;   //!< Arrival time (s).
     double start = 0;     //!< Service start (s).
     double finish = 0;    //!< Completion (s).
+    int priority = 0;     //!< Admission priority the request carried.
+    double deadline = std::numeric_limits<double>::infinity();
+                          //!< Absolute SLO deadline (s); infinity when
+                          //!< the request carried no SLO.
 
     double queueDelay() const { return start - arrival; }
+
+    /** Time between service start and completion. Under interleaving
+     *  this includes slices the device spent on other requests. */
     double serviceTime() const { return finish - start; }
+
     double latency() const { return finish - arrival; }
+
+    bool hasDeadline() const { return std::isfinite(deadline); }
+    bool missedDeadline() const
+    {
+        return hasDeadline() && finish > deadline;
+    }
 };
 
 /** Aggregate results of an online trace. */
 struct OnlineTraceResult
 {
-    std::vector<OnlineRequestRecord> records;
+    std::vector<OnlineRequestRecord> records; //!< Completion order.
     double meanLatency = 0;
+    double p50Latency = 0;
     double p95Latency = 0;
+    double p99Latency = 0;
     double meanQueueDelay = 0;
     double makespan = 0;     //!< Finish time of the last request.
     double utilization = 0;  //!< Busy fraction of the makespan.
+
+    /**
+     * Fraction of deadline-bearing requests that finished within
+     * their SLO; 1 when no request carried a deadline (vacuous).
+     */
+    double sloAttainment = 1.0;
+    int deadlineMisses = 0;  //!< Requests that blew their deadline.
+    int cancelled = 0;       //!< Requests abandoned while queued.
 };
 
 /**
  * Aggregate per-request records into trace statistics.
  * @param busy_time Total device-busy seconds across the records.
  * Safe on an empty record set: every statistic stays zero (no NaN or
- * division by zero).
+ * division by zero). The cancelled count is the caller's to fill in.
  */
 OnlineTraceResult aggregateTrace(std::vector<OnlineRequestRecord> records,
                                  double busy_time);
 
+/** Queueing/scheduling configuration of an OnlineServer. */
+struct OnlineServerOptions
+{
+    std::string policy = "fifo"; //!< queuePolicyRegistry() name.
+    int maxInflight = 1;         //!< Interleaved requests (1-64).
+    double slo = 0;              //!< Default per-request latency budget
+                                 //!< (s); 0 disables SLO tracking.
+};
+
+/** One request of an explicit online trace (serveRequests()). */
+struct OnlineRequest
+{
+    int problemId = -1;  //!< Index into the system's problem set;
+                         //!< -1 cycles through it by submission order.
+    double arrival = 0;  //!< Arrival time (s); must be finite.
+    int priority = 0;    //!< Higher = more important ("priority").
+    double slo = -1;     //!< Latency budget (s): < 0 uses the server
+                         //!< default, 0 means none, > 0 sets
+                         //!< deadline = arrival + slo.
+    double cancelAt = -1; //!< Client abandons the request if it is
+                          //!< still queued at this time; < 0 = never.
+};
+
 /**
- * FIFO online server wrapping one ServingSystem.
+ * Policy-driven online server multiplexing one simulated device.
  *
- * Requests are served run-to-completion in arrival order (one TTS
- * request is itself a large parallel job that fills the device; the
- * engine's internal continuous beam batching provides the
- * within-request concurrency). Move-only; obtain instances through
- * create().
+ * Requests are admitted by the configured QueuePolicy into up to
+ * maxInflight serving slots and advanced round-robin, one engine
+ * iteration per turn. Move-only; obtain instances through create().
  */
 class OnlineServer
 {
   public:
-    /** Build the wrapped ServingSystem; fails on invalid options. */
+    /** Legacy construction: FIFO admission, one request in flight. */
     static StatusOr<OnlineServer> create(const ServingOptions &options);
+
+    /**
+     * Build the serving slots and resolve the queue policy; fails on
+     * invalid options, unknown policy names (kNotFound, listing the
+     * registered names) and maxInflight outside [1, 64].
+     */
+    static StatusOr<OnlineServer> create(const ServingOptions &options,
+                                         const OnlineServerOptions &online);
 
     /**
      * Serve a Poisson-arrival trace of num_requests problems.
@@ -84,17 +153,67 @@ class OnlineServer
     OnlineTraceResult serveTrace(int num_requests, double arrival_rate,
                                  uint64_t seed);
 
-    /** Serve requests with explicit arrival times (sorted ascending). */
+    /** Serve requests with explicit arrival times (sorted ascending),
+     *  cycling through the problem set with the server-default SLO.
+     *  Non-finite arrival times yield the empty trace. */
     OnlineTraceResult serveArrivals(const std::vector<double> &arrivals);
 
-    /** The wrapped system. */
-    ServingSystem &system() { return system_; }
+    /**
+     * Serve an explicit request trace (the most general entry point:
+     * per-request problems, priorities, SLOs and client cancellation).
+     * Requests may be given in any order; they are served by arrival
+     * time (negative arrivals queue from the trace start).
+     * kInvalidArgument on non-finite arrivals or out-of-range problem
+     * ids.
+     */
+    StatusOr<OnlineTraceResult>
+    serveRequests(const std::vector<OnlineRequest> &requests);
+
+    /** The primary serving slot (slot 0). */
+    ServingSystem &system() { return slots_.front(); }
+
+    /** The queueing/scheduling configuration. */
+    const OnlineServerOptions &onlineOptions() const { return online_; }
+
+    /** The admission policy instance. */
+    const QueuePolicy &policy() const { return *policy_; }
 
   private:
-    explicit OnlineServer(ServingSystem system);
+    OnlineServer(std::vector<ServingSystem> slots,
+                 OnlineServerOptions online,
+                 std::unique_ptr<QueuePolicy> policy,
+                 RooflineModel roofline, DatasetProfile profile);
 
-    ServingSystem system_;
+    std::vector<ServingSystem> slots_;
+    OnlineServerOptions online_;
+    std::unique_ptr<QueuePolicy> policy_;
+    RooflineModel roofline_;   //!< For SJF cost prediction.
+    DatasetProfile profile_;
 };
+
+/**
+ * Poisson arrival process: n exponential inter-arrival gaps of rate
+ * `rate` (the stream serveTrace() serves).
+ */
+std::vector<double> poissonArrivalTrace(int n, double rate,
+                                        uint64_t seed);
+
+/**
+ * Heavy-tailed (bursty) arrival process: Pareto inter-arrival gaps
+ * (alpha = 1.5) with the same mean rate — long silences separating
+ * bursts of closely spaced requests, the regime where admission
+ * policy choice matters most.
+ */
+std::vector<double> burstyArrivalTrace(int n, double rate,
+                                       uint64_t seed);
+
+/**
+ * Arrival-process factory by mode name: "poisson" or "bursty".
+ * Unknown modes, n < 0 and non-positive rates are kInvalidArgument.
+ */
+StatusOr<std::vector<double>>
+makeArrivalTrace(const std::string &mode, int n, double rate,
+                 uint64_t seed);
 
 } // namespace fasttts
 

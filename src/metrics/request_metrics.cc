@@ -1,5 +1,8 @@
 #include "metrics/request_metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace fasttts
 {
 
@@ -46,6 +49,29 @@ meanVerifierTime(const std::vector<RequestResult> &results)
 {
     return meanOf(results,
                   [](const RequestResult &r) { return r.verifierTime; });
+}
+
+double
+sampleQuantile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double
+ceilRankPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double n = static_cast<double>(sorted.size());
+    return sorted[static_cast<size_t>(
+        std::min(n - 1.0, std::ceil(p * n) - 1))];
 }
 
 } // namespace fasttts

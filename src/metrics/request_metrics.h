@@ -65,6 +65,22 @@ double meanCompletionTime(const std::vector<RequestResult> &results);
 double meanGeneratorTime(const std::vector<RequestResult> &results);
 double meanVerifierTime(const std::vector<RequestResult> &results);
 
+/**
+ * Exact sample quantile with linear interpolation between ranks — the
+ * latency-percentile definition of the fasttts-bench-v1 JSON schema.
+ * Returns 0 on an empty sample set.
+ */
+double sampleQuantile(std::vector<double> samples, double p);
+
+/**
+ * Ceil-rank percentile over an ascending-sorted sample set: the value
+ * at index ceil(p*n)-1 (clamped), i.e. the smallest sample such that
+ * at least a fraction p of the set is <= it. No interpolation — the
+ * online-trace percentile definition (p50/p95/p99 of
+ * OnlineTraceResult). Returns 0 on an empty set.
+ */
+double ceilRankPercentile(const std::vector<double> &sorted, double p);
+
 } // namespace fasttts
 
 #endif // FASTTTS_METRICS_REQUEST_METRICS_H

@@ -483,5 +483,136 @@ TEST(EngineArgsJson, ErrorPaths)
               StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------
+// EngineArgs: online serving flags (--policy / --max-inflight / --slo /
+// --arrivals)
+// ---------------------------------------------------------------------
+
+TEST(EngineArgsOnline, DefaultsMatchLegacyServer)
+{
+    const EngineArgs args;
+    EXPECT_EQ(args.policy, "fifo");
+    EXPECT_EQ(args.maxInflight, 1);
+    EXPECT_DOUBLE_EQ(args.slo, 0);
+    EXPECT_EQ(args.arrivals, "poisson");
+    const OnlineServerOptions online = args.toOnlineOptions();
+    EXPECT_EQ(online.policy, "fifo");
+    EXPECT_EQ(online.maxInflight, 1);
+    EXPECT_DOUBLE_EQ(online.slo, 0);
+}
+
+TEST(EngineArgsOnline, ArgvAndJsonAgree)
+{
+    const auto via_argv =
+        parse({"--policy", "sjf", "--max-inflight", "8", "--slo",
+               "30.5", "--arrivals", "bursty"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(R"({
+        "policy": "sjf",
+        "max_inflight": 8,
+        "slo": 30.5,
+        "arrivals": "bursty"
+    })");
+    ASSERT_TRUE(via_json.ok());
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->policy, "sjf");
+        EXPECT_EQ(args->maxInflight, 8);
+        EXPECT_DOUBLE_EQ(args->slo, 30.5);
+        EXPECT_EQ(args->arrivals, "bursty");
+        EXPECT_TRUE(args->validate().ok());
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.policy, "sjf");
+        EXPECT_EQ(online.maxInflight, 8);
+        EXPECT_DOUBLE_EQ(online.slo, 30.5);
+    }
+    // The equals form works for the new flags too.
+    const auto equals_form =
+        parse({"--policy=edf", "--max-inflight=2", "--slo=1.5",
+               "--arrivals=poisson"});
+    ASSERT_TRUE(equals_form.ok());
+    EXPECT_EQ(equals_form->policy, "edf");
+    EXPECT_EQ(equals_form->maxInflight, 2);
+}
+
+TEST(EngineArgsOnline, UnknownPolicyListsRegisteredNames)
+{
+    const auto args = parse({"--policy", "round_robin"});
+    ASSERT_TRUE(args.ok()); // Names resolve at validate() time.
+    const Status status = args->validate();
+    EXPECT_EQ(status.code(), StatusCode::kNotFound);
+    for (const char *known : {"fifo", "priority", "sjf", "edf"})
+        EXPECT_NE(status.message().find(known), std::string::npos)
+            << "policy listing should mention " << known;
+}
+
+TEST(EngineArgsOnline, RangeAndModeValidation)
+{
+    // max_inflight range is enforced at parse time for argv/JSON and
+    // at validate() time for programmatic construction.
+    EXPECT_EQ(parse({"--max-inflight", "0"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--max-inflight", "65"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"max_inflight": 0})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EngineArgs args;
+    args.maxInflight = 100;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.slo = -1;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.arrivals = "steady";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"arrivals": 3})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"slo": "fast"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(EngineArgsOnline, FixedConfigToolsRejectOnlineFlags)
+{
+    // A tool whose queueing discipline is figure-fixed must reject the
+    // new flags rather than silently ignore them.
+    const auto args = parse({"--policy", "sjf"});
+    ASSERT_TRUE(args.ok());
+    const Status status =
+        args->rejectUnsupportedFlags({"--problems", "--seed"});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--policy"), std::string::npos);
+
+    // And tools that do support them accept.
+    EXPECT_TRUE(args->rejectUnsupportedFlags({"--policy"}).ok());
+}
+
+TEST(EngineArgsOnline, WasSetDistinguishesExplicitFromDefault)
+{
+    const auto args = parse({"--slo", "0", "4"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_TRUE(args->wasSet("--slo"));
+    EXPECT_TRUE(args->wasSet("--problems")); // Positional alias.
+    EXPECT_FALSE(args->wasSet("--policy"));
+    EXPECT_FALSE(EngineArgs().wasSet("--slo"));
+}
+
+TEST(EngineArgsOnline, HelpAndRegistryListingCoverPolicies)
+{
+    const std::string help = EngineArgs::help("prog");
+    for (const char *needle :
+         {"--policy", "--max-inflight", "--slo", "--arrivals"})
+        EXPECT_NE(help.find(needle), std::string::npos) << needle;
+    const std::string listing = EngineArgs::registryListing();
+    EXPECT_NE(listing.find("queue policies"), std::string::npos);
+    EXPECT_NE(listing.find("sjf"), std::string::npos);
+}
+
 } // namespace
 } // namespace fasttts

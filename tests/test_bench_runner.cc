@@ -3,10 +3,12 @@
  * Smoke test for the JSON-emitting benchmark harness.
  *
  * Runs the real bench_runner binary (path injected by CMake as
- * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 16 registered
- * figure benchmarks, and a --quick run must write BENCH_<name>.json
- * files that parse and carry the throughput / latency-percentile /
- * KV-utilization contract every optimisation PR is judged against.
+ * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 17 registered
+ * benchmarks (16 figure benchmarks plus the online_scheduling policy
+ * sweep), and a --quick run must write BENCH_<name>.json files that
+ * parse and carry the throughput / latency-percentile /
+ * KV-utilization / SLO-attainment contract every optimisation PR is
+ * judged against.
  */
 
 #include <sys/wait.h>
@@ -66,14 +68,14 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
     ASSERT_EQ(status, 0);
 
     const std::vector<std::string> names = splitLines(output);
-    EXPECT_EQ(names.size(), 16u);
+    EXPECT_EQ(names.size(), 17u);
     for (const char *expected :
          {"fig01_frontier", "fig03_patterns", "fig04_utilization",
           "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
           "fig11_variants", "fig12_goodput", "fig13_latency",
           "fig14_accuracy", "fig15_hardware", "fig16_ablation",
           "fig17_speculative", "fig18_scheduling", "micro",
-          "online_responsiveness"}) {
+          "online_responsiveness", "online_scheduling"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing benchmark: " << expected;
@@ -121,6 +123,59 @@ TEST(BenchRunner, QuickRunEmitsParsableJson)
         EXPECT_GT(v["kv"]["budget_gib"].asNumber(), 0.0) << variant;
     }
     EXPECT_GT(doc["speedup"]["goodput"].asNumber(), 0.0);
+
+    std::filesystem::remove_all(outDir);
+}
+
+TEST(BenchRunner, OnlineSchedulingSweepsPoliciesOnOneTrace)
+{
+    const std::filesystem::path outDir =
+        std::filesystem::path(testing::TempDir())
+        / "fasttts_bench_sched_smoke";
+    std::filesystem::remove_all(outDir);
+
+    std::string output;
+    const int status =
+        runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                       + " --quick --out-dir " + outDir.string()
+                       + " online_scheduling",
+                   &output);
+    ASSERT_EQ(status, 0) << output;
+
+    const std::filesystem::path jsonPath =
+        outDir / "BENCH_online_scheduling.json";
+    ASSERT_TRUE(std::filesystem::exists(jsonPath));
+
+    std::ifstream file(jsonPath);
+    std::stringstream contents;
+    contents << file.rdbuf();
+    std::string error;
+    const Json doc = Json::parse(contents.str(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(doc["schema"].asString(), "fasttts-bench-v1");
+    EXPECT_EQ(doc["benchmark"].asString(), "online_scheduling");
+    EXPECT_EQ(doc["config"]["arrivals"].asString(), "bursty");
+    EXPECT_GT(doc["config"]["slo_s"].asNumber(), 0.0);
+
+    const int requests =
+        static_cast<int>(doc["config"]["requests"].asNumber());
+    for (const char *policy : {"fifo", "priority", "sjf", "edf"}) {
+        const Json &p = doc["policies"][policy];
+        EXPECT_GE(p["slo_attainment"].asNumber(), 0.0) << policy;
+        EXPECT_LE(p["slo_attainment"].asNumber(), 1.0) << policy;
+        EXPECT_GE(p["deadline_misses"].asNumber(), 0.0) << policy;
+        EXPECT_GT(p["latency_s"]["mean"].asNumber(), 0.0) << policy;
+        EXPECT_LE(p["latency_s"]["p50"].asNumber(),
+                  p["latency_s"]["p99"].asNumber())
+            << policy;
+        EXPECT_GT(p["utilization"].asNumber(), 0.0) << policy;
+        EXPECT_LE(p["utilization"].asNumber(), 1.0) << policy;
+        // Every policy serves the identical trace to completion.
+        EXPECT_EQ(static_cast<int>(p["completed"].asNumber()),
+                  requests)
+            << policy;
+    }
 
     std::filesystem::remove_all(outDir);
 }

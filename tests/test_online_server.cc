@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "core/online_server.h"
 
 namespace fasttts
@@ -149,6 +154,311 @@ TEST(OnlineServer, CreateRejectsUnknownDataset)
     ServingOptions opts;
     opts.datasetName = "nope";
     EXPECT_FALSE(OnlineServer::create(opts).ok());
+}
+
+// --- Differential: the policy-driven server at its defaults must
+//     reproduce the legacy run-to-completion FIFO server exactly. ---
+
+TEST(OnlineServer, FifoMaxInflightOneMatchesLegacyTraceExactly)
+{
+    // Independent reimplementation of the legacy OnlineServer: run
+    // each problem to completion in arrival order on a fresh system
+    // and chain start = max(arrival, device_free).
+    const ServingOptions opts = smallOptions(true);
+    const std::vector<double> arrivals =
+        poissonArrivalTrace(7, 0.08, 21);
+
+    ServingSystem reference = ServingSystem::create(opts).value();
+    std::vector<OnlineRequestRecord> expected;
+    double device_free = 0;
+    double busy = 0;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        const int problem_id = static_cast<int>(
+            i % reference.problems().size());
+        const RequestResult result = reference.serve(
+            reference.problems()[static_cast<size_t>(problem_id)]);
+        OnlineRequestRecord rec;
+        rec.problemId = problem_id;
+        rec.arrival = arrivals[i];
+        rec.start = std::max(arrivals[i], device_free);
+        rec.finish = rec.start + result.completionTime;
+        device_free = rec.finish;
+        busy += result.completionTime;
+        expected.push_back(rec);
+    }
+    const OnlineTraceResult want = aggregateTrace(expected, busy);
+
+    // Both construction paths (legacy and explicit default options).
+    OnlineServerOptions defaults;
+    ASSERT_EQ(defaults.policy, "fifo");
+    ASSERT_EQ(defaults.maxInflight, 1);
+    OnlineServer legacy = OnlineServer::create(opts).value();
+    OnlineServer explicit_defaults =
+        OnlineServer::create(opts, defaults).value();
+    for (OnlineServer *server : {&legacy, &explicit_defaults}) {
+        const OnlineTraceResult got = server->serveTrace(7, 0.08, 21);
+        ASSERT_EQ(got.records.size(), want.records.size());
+        for (size_t i = 0; i < want.records.size(); ++i) {
+            EXPECT_EQ(got.records[i].problemId,
+                      want.records[i].problemId);
+            EXPECT_DOUBLE_EQ(got.records[i].arrival,
+                             want.records[i].arrival);
+            EXPECT_DOUBLE_EQ(got.records[i].start,
+                             want.records[i].start);
+            EXPECT_DOUBLE_EQ(got.records[i].finish,
+                             want.records[i].finish);
+        }
+        EXPECT_DOUBLE_EQ(got.meanLatency, want.meanLatency);
+        EXPECT_DOUBLE_EQ(got.p95Latency, want.p95Latency);
+        EXPECT_DOUBLE_EQ(got.meanQueueDelay, want.meanQueueDelay);
+        EXPECT_DOUBLE_EQ(got.makespan, want.makespan);
+        EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+    }
+}
+
+TEST(OnlineServer, ServeTraceMatchesPoissonArrivalTrace)
+{
+    // serveTrace() is exactly serveArrivals() of the Poisson stream.
+    OnlineServer a = OnlineServer::create(smallOptions(true)).value();
+    OnlineServer b = OnlineServer::create(smallOptions(true)).value();
+    const auto via_trace = a.serveTrace(5, 0.5, 3);
+    const auto via_arrivals =
+        b.serveArrivals(poissonArrivalTrace(5, 0.5, 3));
+    ASSERT_EQ(via_trace.records.size(), via_arrivals.records.size());
+    for (size_t i = 0; i < via_trace.records.size(); ++i)
+        EXPECT_DOUBLE_EQ(via_trace.records[i].finish,
+                         via_arrivals.records[i].finish);
+}
+
+// --- New aggregate statistics ---
+
+TEST(AggregateTrace, SingleRecordPercentiles)
+{
+    OnlineRequestRecord rec;
+    rec.arrival = 1.0;
+    rec.start = 2.0;
+    rec.finish = 5.0;
+    const auto out = aggregateTrace({rec}, 3.0);
+    EXPECT_DOUBLE_EQ(out.meanLatency, 4.0);
+    EXPECT_DOUBLE_EQ(out.p50Latency, 4.0);
+    EXPECT_DOUBLE_EQ(out.p95Latency, 4.0);
+    EXPECT_DOUBLE_EQ(out.p99Latency, 4.0);
+    EXPECT_DOUBLE_EQ(out.makespan, 5.0);
+}
+
+TEST(AggregateTrace, TwoRecordPercentiles)
+{
+    OnlineRequestRecord fast;
+    fast.arrival = 0.0;
+    fast.start = 0.0;
+    fast.finish = 2.0; // Latency 2.
+    OnlineRequestRecord slow;
+    slow.arrival = 0.0;
+    slow.start = 2.0;
+    slow.finish = 10.0; // Latency 10.
+    const auto out = aggregateTrace({fast, slow}, 10.0);
+    // Ceil-rank: p50 of two samples is the lower one, p95/p99 the
+    // upper.
+    EXPECT_DOUBLE_EQ(out.p50Latency, 2.0);
+    EXPECT_DOUBLE_EQ(out.p95Latency, 10.0);
+    EXPECT_DOUBLE_EQ(out.p99Latency, 10.0);
+    EXPECT_DOUBLE_EQ(out.meanLatency, 6.0);
+}
+
+TEST(AggregateTrace, EmptyRecordSetNewFieldsAreNeutral)
+{
+    const auto out = aggregateTrace({}, 0.0);
+    EXPECT_EQ(out.p50Latency, 0);
+    EXPECT_EQ(out.p99Latency, 0);
+    EXPECT_EQ(out.deadlineMisses, 0);
+    EXPECT_EQ(out.cancelled, 0);
+    EXPECT_DOUBLE_EQ(out.sloAttainment, 1.0);
+}
+
+TEST(AggregateTrace, SloAttainmentCountsOnlyDeadlineBearers)
+{
+    OnlineRequestRecord met;
+    met.finish = 5.0;
+    met.deadline = 10.0;
+    OnlineRequestRecord missed;
+    missed.finish = 12.0;
+    missed.deadline = 10.0;
+    OnlineRequestRecord no_slo; // Infinite deadline: excluded.
+    no_slo.finish = 100.0;
+    const auto out = aggregateTrace({met, missed, no_slo}, 1.0);
+    EXPECT_DOUBLE_EQ(out.sloAttainment, 0.5);
+    EXPECT_EQ(out.deadlineMisses, 1);
+}
+
+TEST(OnlineServer, SloBudgetSetsDeadlinesAndAttainment)
+{
+    ServingOptions opts = smallOptions(true);
+    OnlineServerOptions tight;
+    tight.slo = 1e-3; // Impossible budget: everything misses.
+    OnlineServer tight_server =
+        OnlineServer::create(opts, tight).value();
+    const auto missed = tight_server.serveTrace(4, 0.5, 7);
+    EXPECT_DOUBLE_EQ(missed.sloAttainment, 0.0);
+    EXPECT_EQ(missed.deadlineMisses, 4);
+
+    OnlineServerOptions loose;
+    loose.slo = 1e9; // Unmissable budget.
+    OnlineServer loose_server =
+        OnlineServer::create(opts, loose).value();
+    const auto met = loose_server.serveTrace(4, 0.5, 7);
+    EXPECT_DOUBLE_EQ(met.sloAttainment, 1.0);
+    EXPECT_EQ(met.deadlineMisses, 0);
+    for (const auto &rec : met.records)
+        EXPECT_TRUE(rec.hasDeadline());
+
+    // No SLO configured: records carry no deadline, attainment is
+    // vacuously 1.
+    OnlineServer none = OnlineServer::create(opts).value();
+    const auto out = none.serveTrace(4, 0.5, 7);
+    EXPECT_DOUBLE_EQ(out.sloAttainment, 1.0);
+    for (const auto &rec : out.records)
+        EXPECT_FALSE(rec.hasDeadline());
+}
+
+// --- Option and request validation ---
+
+TEST(OnlineServer, CreateRejectsBadOnlineOptions)
+{
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions bad_policy;
+    bad_policy.policy = "round_robin";
+    const auto unknown = OnlineServer::create(opts, bad_policy);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+    EXPECT_NE(unknown.status().message().find("fifo"),
+              std::string::npos);
+
+    OnlineServerOptions zero_inflight;
+    zero_inflight.maxInflight = 0;
+    EXPECT_EQ(OnlineServer::create(opts, zero_inflight).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions negative_slo;
+    negative_slo.slo = -1;
+    EXPECT_EQ(OnlineServer::create(opts, negative_slo).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineServer, ServeRequestsValidatesInput)
+{
+    OnlineServer server = OnlineServer::create(smallOptions(true)).value();
+    OnlineRequest nan_arrival;
+    nan_arrival.arrival = std::nan("");
+    EXPECT_EQ(server.serveRequests({nan_arrival}).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineRequest out_of_range;
+    out_of_range.problemId = 1 << 20;
+    EXPECT_EQ(server.serveRequests({out_of_range}).status().code(),
+              StatusCode::kInvalidArgument);
+
+    // Legacy tolerance: negative finite arrivals queue from the trace
+    // start (start = max(arrival, 0)), and serveArrivals never
+    // crashes on them.
+    OnlineRequest early;
+    early.arrival = -1.0;
+    early.problemId = 0;
+    const auto served = server.serveRequests({early});
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served->records.size(), 1u);
+    EXPECT_DOUBLE_EQ(served->records[0].arrival, -1.0);
+    EXPECT_DOUBLE_EQ(served->records[0].start, 0.0);
+
+    // Non-finite input through the legacy entry point degrades to the
+    // empty trace instead of aborting.
+    const auto empty =
+        server.serveArrivals({std::nan(""), 1.0});
+    EXPECT_TRUE(empty.records.empty());
+}
+
+TEST(OnlineServer, ServeRequestsAcceptsUnsortedArrivals)
+{
+    OnlineServer sorted_server =
+        OnlineServer::create(smallOptions(true)).value();
+    OnlineServer shuffled_server =
+        OnlineServer::create(smallOptions(true)).value();
+    std::vector<OnlineRequest> sorted_requests;
+    std::vector<OnlineRequest> shuffled;
+    for (int i = 0; i < 4; ++i) {
+        OnlineRequest r;
+        r.problemId = i;
+        r.arrival = 3.0 * i;
+        sorted_requests.push_back(r);
+    }
+    shuffled = {sorted_requests[2], sorted_requests[0],
+                sorted_requests[3], sorted_requests[1]};
+    const auto a = sorted_server.serveRequests(sorted_requests).value();
+    const auto b = shuffled_server.serveRequests(shuffled).value();
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].problemId, b.records[i].problemId);
+        EXPECT_DOUBLE_EQ(a.records[i].finish, b.records[i].finish);
+    }
+}
+
+// --- Arrival traces ---
+
+TEST(ArrivalTraces, GeneratorsAreDeterministicAndSorted)
+{
+    for (const char *mode : {"poisson", "bursty"}) {
+        const auto a = makeArrivalTrace(mode, 32, 0.5, 11).value();
+        const auto b = makeArrivalTrace(mode, 32, 0.5, 11).value();
+        ASSERT_EQ(a.size(), 32u) << mode;
+        EXPECT_EQ(a, b) << mode;
+        for (size_t i = 1; i < a.size(); ++i)
+            EXPECT_GT(a[i], a[i - 1]) << mode;
+        EXPECT_GT(a.front(), 0.0) << mode;
+    }
+    // Different modes produce different streams.
+    EXPECT_NE(makeArrivalTrace("poisson", 8, 0.5, 11).value(),
+              makeArrivalTrace("bursty", 8, 0.5, 11).value());
+}
+
+TEST(ArrivalTraces, BurstyIsHeavierTailedThanPoisson)
+{
+    // Same mean rate, but the Pareto gaps' maximum dominates: the
+    // largest inter-arrival gap is a much bigger multiple of the
+    // median gap than under the exponential.
+    auto gap_spread = [](const std::vector<double> &arrivals) {
+        std::vector<double> gaps;
+        for (size_t i = 1; i < arrivals.size(); ++i)
+            gaps.push_back(arrivals[i] - arrivals[i - 1]);
+        std::sort(gaps.begin(), gaps.end());
+        return gaps.back() / gaps[gaps.size() / 2];
+    };
+    const double poisson =
+        gap_spread(poissonArrivalTrace(256, 1.0, 5));
+    const double bursty = gap_spread(burstyArrivalTrace(256, 1.0, 5));
+    EXPECT_GT(bursty, poisson);
+}
+
+TEST(ArrivalTraces, RejectsBadModesAndRates)
+{
+    EXPECT_EQ(makeArrivalTrace("uniform", 4, 1.0, 0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(makeArrivalTrace("poisson", -1, 1.0, 0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(makeArrivalTrace("poisson", 4, 0.0, 0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_TRUE(makeArrivalTrace("poisson", 0, 1.0, 0)->empty());
+}
+
+TEST(OnlineServer, InterleavedTracesDoNotAccumulateRecords)
+{
+    OnlineServerOptions online;
+    online.maxInflight = 3;
+    OnlineServer server =
+        OnlineServer::create(smallOptions(true), online).value();
+    server.serveTrace(5, 2.0, 7);
+    server.serveTrace(5, 2.0, 7);
+    EXPECT_EQ(server.system().pendingRequests(), 0u);
+    EXPECT_EQ(server.system().result(1).status().code(),
+              StatusCode::kNotFound);
 }
 
 } // namespace
