@@ -12,17 +12,32 @@
  *
  * Usage:
  *   bench_runner --list                 # enumerate benchmark names
- *   bench_runner [--quick] [--out-dir D] [--seed S] [name...]
+ *   bench_runner [--quick] [--jobs N] [--out-dir D] [--seed S] [name...]
  *
  * --quick shrinks beam widths and problem counts so the full suite
  * finishes in seconds (used by CI and scripts/run_benchmarks.sh).
+ *
+ * --jobs N runs the selected benchmarks on a pool of N threads. Every
+ * benchmark is deterministic and self-contained (its own ServingSystem,
+ * seeded RNGs), so the emitted BENCH_<name>.json bytes are identical
+ * for any N; files and stdout lines are still written in registration
+ * order by the main thread after all runs finish.
+ *
+ * The harness also times itself: BENCH_harness.json (schema
+ * fasttts-harness-v1) records per-benchmark wall_ms and simulated
+ * tokens per wall-second, so optimisation PRs are judged against a
+ * real harness-performance trajectory (see scripts/compare_harness.py).
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine_args.h"
@@ -311,17 +326,73 @@ runOnlineSchedulingBenchmark(bool quick, uint64_t seed)
     return doc;
 }
 
+/**
+ * Wall-clock and simulated-token volume of one benchmark run, for the
+ * fasttts-harness-v1 self-timing document.
+ */
+struct HarnessSample
+{
+    double wallMs = 0;
+    long simulatedTokens = 0;
+};
+
+/** Simulated tokens generated by one benchmark, read back from its
+ *  emitted document (0 for documents without token counts). */
+long
+simulatedTokensOf(const Json &doc)
+{
+    long tokens = 0;
+    const Json &variants = doc["variants"];
+    for (const char *variant : {"baseline", "fasttts"}) {
+        tokens += static_cast<long>(
+            variants[variant]["throughput"]["generated_tokens"]
+                .asNumber());
+    }
+    return tokens;
+}
+
+Json
+buildHarnessDoc(const std::vector<std::string> &names,
+                const std::vector<HarnessSample> &samples, int jobs,
+                bool quick, uint64_t seed, double total_wall_ms)
+{
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-harness-v1");
+    doc.set("jobs", jobs);
+    doc.set("quick", quick);
+    doc.set("seed", seed);
+    doc.set("total_wall_ms", total_wall_ms);
+    Json list = Json::array();
+    for (size_t i = 0; i < names.size(); ++i) {
+        Json entry = Json::object();
+        entry.set("name", names[i]);
+        entry.set("wall_ms", samples[i].wallMs);
+        entry.set("simulated_tokens", samples[i].simulatedTokens);
+        entry.set("simulated_tokens_per_s",
+                  samples[i].wallMs > 0
+                      ? static_cast<double>(samples[i].simulatedTokens)
+                          / (samples[i].wallMs / 1000.0)
+                      : 0.0);
+        list.push(std::move(entry));
+    }
+    doc.set("benchmarks", std::move(list));
+    return doc;
+}
+
 int
 usage(std::ostream &os, int exit_code)
 {
-    os << "usage: bench_runner [--list] [--quick] [--out-dir DIR]\n"
-          "                    [--seed N] [name...]\n"
+    os << "usage: bench_runner [--list] [--quick] [--jobs N]\n"
+          "                    [--out-dir DIR] [--seed N] [name...]\n"
           "\n"
           "Runs the registered benchmarks (all by default, or the named\n"
           "subset: the figure suite plus the online_scheduling policy\n"
           "sweep) and writes BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
-          "names, one per line, and exits.\n"
+          "names, one per line, and exits. --jobs N runs benchmarks on\n"
+          "N threads; output is bit-identical to --jobs 1. Every run\n"
+          "also writes BENCH_harness.json (schema fasttts-harness-v1)\n"
+          "with per-benchmark wall_ms and simulated tokens/s.\n"
           "\n"
           "Registered serving names (see api/engine_args.h):\n";
     os << EngineArgs::registryListing();
@@ -334,6 +405,7 @@ runnerMain(int argc, char **argv)
     bool list = false;
     bool quick = false;
     uint64_t seed = 2026;
+    int jobs = 1;
     std::string outDir = ".";
     std::vector<std::string> selected;
 
@@ -343,6 +415,17 @@ runnerMain(int argc, char **argv)
             list = true;
         } else if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            char *end = nullptr;
+            const long value = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || value < 1
+                || value > 1024) {
+                std::cerr << "bench_runner: --jobs expects an integer "
+                             "in [1, 1024], got '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
+            jobs = static_cast<int>(value);
         } else if (arg == "--out-dir" && i + 1 < argc) {
             outDir = argv[++i];
         } else if (arg == "--seed" && i + 1 < argc) {
@@ -406,12 +489,64 @@ runnerMain(int argc, char **argv)
         return 1;
     }
 
-    for (const BenchSpec *spec : toRun) {
+    // Touch every registry once on the main thread: the function-local
+    // registries initialise lazily, and worker threads must only ever
+    // read them.
+    (void)EngineArgs::registryListing();
+
+    // Run the benchmarks — on a thread pool when --jobs > 1. Each
+    // benchmark is deterministic and owns all of its state, so results
+    // are bit-identical for any job count; docs are collected in
+    // memory and written in registration order below.
+    using Clock = std::chrono::steady_clock;
+    std::vector<Json> docs(toRun.size());
+    std::vector<HarnessSample> samples(toRun.size());
+    const auto suiteStart = Clock::now();
+    {
+        std::atomic<size_t> nextTask{0};
+        auto worker = [&]() {
+            for (size_t i = nextTask.fetch_add(1); i < toRun.size();
+                 i = nextTask.fetch_add(1)) {
+                const BenchSpec *spec = toRun[i];
+                const auto start = Clock::now();
+                docs[i] = spec != nullptr
+                    ? runBenchmark(*spec, quick, seed)
+                    : runOnlineSchedulingBenchmark(quick, seed);
+                samples[i].wallMs =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+                samples[i].simulatedTokens = simulatedTokensOf(docs[i]);
+            }
+        };
+        const int poolSize = std::min<int>(
+            jobs, static_cast<int>(toRun.size()) > 0
+                ? static_cast<int>(toRun.size())
+                : 1);
+        if (poolSize <= 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(static_cast<size_t>(poolSize));
+            for (int t = 0; t < poolSize; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &thread : pool)
+                thread.join();
+        }
+    }
+    const double totalWallMs =
+        std::chrono::duration<double, std::milli>(Clock::now()
+                                                  - suiteStart)
+            .count();
+
+    std::vector<std::string> names;
+    names.reserve(toRun.size());
+    for (size_t i = 0; i < toRun.size(); ++i) {
+        const BenchSpec *spec = toRun[i];
         const std::string name =
             spec != nullptr ? spec->name : kOnlineSchedulingName;
-        const Json doc = spec != nullptr
-            ? runBenchmark(*spec, quick, seed)
-            : runOnlineSchedulingBenchmark(quick, seed);
+        names.push_back(name);
+        const Json &doc = docs[i];
         const std::filesystem::path path =
             std::filesystem::path(outDir) / ("BENCH_" + name + ".json");
         std::ofstream file(path);
@@ -445,6 +580,24 @@ runnerMain(int argc, char **argv)
                       << "% -> " << path.string() << "\n";
         }
     }
+
+    // Self-timing document: the harness-performance trajectory future
+    // perf PRs are judged against.
+    const Json harness = buildHarnessDoc(names, samples, jobs, quick,
+                                         seed, totalWallMs);
+    const std::filesystem::path harnessPath =
+        std::filesystem::path(outDir) / "BENCH_harness.json";
+    std::ofstream harnessFile(harnessPath);
+    if (!harnessFile) {
+        std::cerr << "bench_runner: cannot write " << harnessPath
+                  << "\n";
+        return 1;
+    }
+    harnessFile << harness.dump(2);
+    std::cout << "harness: " << names.size() << " benchmark"
+              << (names.size() == 1 ? "" : "s") << " in "
+              << formatDouble(totalWallMs, 1) << " ms (--jobs " << jobs
+              << ") -> " << harnessPath.string() << "\n";
     return 0;
 }
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fail when the benchmark harness got slower than a committed baseline.
+
+Usage:
+    scripts/compare_harness.py BASELINE CURRENT [--threshold X]
+                               [--min-delta-ms D]
+
+Both arguments are fasttts-harness-v1 documents (BENCH_harness.json,
+emitted by every bench_runner invocation). A benchmark present in both
+documents is a regression when its current wall_ms exceeds
+threshold * baseline wall_ms (default 2.0) AND grew by at least
+--min-delta-ms (default 5.0 ms, an absolute guard so microsecond-scale
+noise on quick runs cannot trip the ratio). Benchmarks present in only
+one document are reported but never fail the check.
+
+Exit status: 0 when no benchmark regressed, 1 otherwise, 2 on bad
+input. CI runs this against the committed bench/harness_baseline.json;
+after an intentional change of machine or workload, refresh the
+baseline by copying the new quick-mode BENCH_harness.json over it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_harness(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as err:
+        sys.exit(f"compare_harness: cannot read {path}: {err}")
+    if doc.get("schema") != "fasttts-harness-v1":
+        sys.exit(
+            f"compare_harness: {path}: expected schema "
+            f"fasttts-harness-v1, got {doc.get('schema')!r}"
+        )
+    return doc
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare two fasttts-harness-v1 documents."
+    )
+    parser.add_argument("baseline", help="committed BENCH_harness.json")
+    parser.add_argument("current", help="freshly produced BENCH_harness.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current wall_ms > threshold * baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-delta-ms",
+        type=float,
+        default=5.0,
+        help="ignore regressions smaller than this absolute growth "
+        "(default 5.0 ms)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline_doc = load_harness(args.baseline)
+    current_doc = load_harness(args.current)
+    if baseline_doc.get("quick") != current_doc.get("quick"):
+        print(
+            "compare_harness: WARNING: quick flags differ "
+            f"(baseline quick={baseline_doc.get('quick')}, current "
+            f"quick={current_doc.get('quick')}); wall times are not "
+            "comparable across modes",
+            file=sys.stderr,
+        )
+    baseline = {
+        b["name"]: float(b["wall_ms"])
+        for b in baseline_doc.get("benchmarks", [])
+    }
+    current = {
+        b["name"]: float(b["wall_ms"])
+        for b in current_doc.get("benchmarks", [])
+    }
+
+    regressions = []
+    for name in sorted(set(baseline) & set(current)):
+        base_ms, cur_ms = baseline[name], current[name]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        marker = ""
+        if ratio > args.threshold and cur_ms - base_ms >= args.min_delta_ms:
+            regressions.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"{name:28s} {base_ms:10.2f} ms -> {cur_ms:10.2f} ms "
+              f"(x{ratio:.2f}){marker}")
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:28s} only in baseline (skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:28s} only in current (skipped)")
+
+    if regressions:
+        print(
+            f"compare_harness: {len(regressions)} benchmark(s) regressed "
+            f">{args.threshold}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("compare_harness: no wall-clock regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,16 @@
 # Run the FastTTS figure benchmark suite and emit BENCH_<fig>.json files.
 #
 # Usage:
-#   scripts/run_benchmarks.sh [--quick] [--build-dir DIR] [--out-dir DIR]
-#                             [name...]
+#   scripts/run_benchmarks.sh [--quick] [--jobs N] [--build-dir DIR]
+#                             [--out-dir DIR] [name...]
 #
 # Configures and builds the bench_runner target if the build directory
 # does not contain it yet, then runs the requested benchmarks (all 17
 # by default). --quick shrinks each benchmark so the whole suite
-# finishes in seconds; extra positional names select a subset (see
-# bench_runner --list).
+# finishes in seconds; --jobs N runs benchmarks on N threads
+# (bit-identical output to --jobs 1); extra positional names select a
+# subset (see bench_runner --list). Every run also writes
+# BENCH_harness.json with per-benchmark wall-clock timings.
 
 set -euo pipefail
 
@@ -24,6 +26,10 @@ while [[ $# -gt 0 ]]; do
         runner_args+=(--quick)
         shift
         ;;
+    --jobs)
+        runner_args+=(--jobs "$2")
+        shift 2
+        ;;
     --build-dir)
         build_dir="$2"
         shift 2
@@ -33,7 +39,7 @@ while [[ $# -gt 0 ]]; do
         shift 2
         ;;
     --help | -h)
-        sed -n '2,13p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+        sed -n '2,14p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
     *)

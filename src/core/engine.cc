@@ -108,6 +108,10 @@ FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
     scheduler_ = config_.prefixAwareScheduling
         ? makePrefixAwareScheduler()
         : makeScheduler(config_.baselineScheduler);
+    // The dataset profile is fixed for the engine's lifetime; the
+    // admission loop asks for this every queue pop, so pay the exp()
+    // once.
+    expectedStepTokens_ = expectedStepTokens(dataset_);
 
     const double usable = device_.usableBytes() * models_.memoryFraction;
     const double weights = models_.generator.weightBytes()
@@ -128,6 +132,9 @@ FastTtsEngine::resetRequestState(const Problem &problem)
     active_.clear();
     completed_.clear();
     iterStats_.clear();
+    queue_.clear();
+    decodeSet_.clear();
+    specRunning_.clear();
     stepTokens_.assign(static_cast<size_t>(dataset_.maxSteps) + 1, {});
     nextBeamId_ = 1;
     nextSegId_ = 1;
@@ -191,7 +198,7 @@ FastTtsEngine::replan()
     shape.numRequests = algorithm_.beamWidth();
     const int cap = algorithm_.stepTokenCap(iteration_);
     shape.decodeLen =
-        std::min(expectedStepTokens(dataset_), static_cast<double>(cap));
+        std::min(expectedStepTokens_, static_cast<double>(cap));
     // The verifier's KV working set is the *full* reasoning path (a
     // discriminative PRM scores the whole path), not the incremental
     // request; plan memory for it.
@@ -234,24 +241,27 @@ FastTtsEngine::replan()
 double
 FastTtsEngine::currentAvgContext() const
 {
-    double total = 0;
+    // Path tokens are cached per node (O(1)) and the running branch
+    // set is maintained incrementally, so this is O(batch members)
+    // instead of O(beams x branches x depth). The accumulator stays
+    // integral, so the mean is bit-identical to the full rescan.
+    long total = 0;
     int count = 0;
     for (size_t idx : decodeSet_) {
         const ActiveBeam &b = *active_[idx];
         total += kvGen_->pathTokens(b.curSeg);
         ++count;
     }
-    for (const auto &b : active_) {
-        for (const auto &br : b->branches) {
-            if (br.node >= 0 && !br.complete && br.retained) {
-                total += kvGen_->pathTokens(br.node);
-                ++count;
-            }
+    for (const auto &[beam_idx, branch_idx] : specRunning_) {
+        const SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+        if (br.node >= 0 && !br.complete && br.retained) {
+            total += kvGen_->pathTokens(br.node);
+            ++count;
         }
     }
     if (count == 0)
         return problem_.promptTokens;
-    return total / count;
+    return static_cast<double>(total) / count;
 }
 
 void
@@ -336,30 +346,21 @@ FastTtsEngine::killAllSpeculation()
 {
     // Branches are only *marked* dead (node = -1); the vector is never
     // resized here because the event loop may hold pointers into it.
-    for (auto &b : active_) {
-        for (auto &br : b->branches) {
-            if (br.node >= 0 && !br.complete)
-                releaseBranch(br);
-        }
+    // Only the tracked running set needs visiting: completed branches
+    // stay alive for selection, dead ones are already node = -1.
+    for (const auto &[beam_idx, branch_idx] : specRunning_) {
+        SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+        if (br.node >= 0 && !br.complete)
+            releaseBranch(br);
     }
+    specRunning_.clear();
 }
 
 void
 FastTtsEngine::fillSpeculativeSlots()
 {
     const int capacity = std::max(1, plan_.decodeBatch);
-    // Count running speculative branches.
-    auto count_spec = [&]() {
-        int count = 0;
-        for (const auto &b : active_) {
-            for (const auto &br : b->branches) {
-                if (br.node >= 0 && !br.complete)
-                    ++count;
-            }
-        }
-        return count;
-    };
-    int running = count_spec();
+    const int running = static_cast<int>(specRunning_.size());
     int free_slots =
         capacity - static_cast<int>(decodeSet_.size()) - running;
     if (free_slots <= 0)
@@ -369,15 +370,25 @@ FastTtsEngine::fillSpeculativeSlots()
     // standard beams still need. Only speculate when the generator
     // pool has slack for a typical child step.
     const size_t slack_blocks = kvGen_->blocksFor(
-        static_cast<int>(expectedStepTokens(dataset_)) * 4);
+        static_cast<int>(expectedStepTokens_) * 4);
     if (kvGen_->allocator().free() < slack_blocks)
         return;
 
-    // Score bins over the active beams' previous-step scores.
+    // Score bins over the active beams' previous-step scores: one
+    // O(n) edge scan, then every potential query is O(1). The event
+    // loop calls this every wave, so the per-beam potentials are
+    // computed exactly once per call instead of per comparison.
     std::vector<double> scores;
     scores.reserve(active_.size());
     for (const auto &b : active_)
         scores.push_back(b->score);
+    const SpeculativePolicy::ScoreBins bins =
+        specPolicy_.scoreBins(scores);
+    std::vector<int> potentials(active_.size(), 0);
+    for (size_t i = 0; i < active_.size(); ++i) {
+        potentials[i] = specPolicy_.binnedPotential(
+            active_[i]->score, bins);
+    }
 
     // Candidates: finished, non-terminal beams with branch capacity
     // left, highest speculative potential first.
@@ -395,20 +406,14 @@ FastTtsEngine::fillSpeculativeSlots()
                 != kvGen_->pathTokens(b.curSeg)) {
             continue;
         }
-        const int potential =
-            specPolicy_.speculativePotential(b.score, scores);
-        if (b.branchesStarted >= potential)
+        if (b.branchesStarted >= potentials[i])
             continue;
         candidates.push_back(i);
     }
     std::sort(candidates.begin(), candidates.end(),
               [&](size_t a, size_t c) {
-                  const int pa = specPolicy_.speculativePotential(
-                      active_[a]->score, scores);
-                  const int pc = specPolicy_.speculativePotential(
-                      active_[c]->score, scores);
-                  if (pa != pc)
-                      return pa > pc;
+                  if (potentials[a] != potentials[c])
+                      return potentials[a] > potentials[c];
                   if (active_[a]->score != active_[c]->score)
                       return active_[a]->score > active_[c]->score;
                   return active_[a]->id < active_[c]->id;
@@ -416,8 +421,7 @@ FastTtsEngine::fillSpeculativeSlots()
 
     for (size_t i = 0; i < candidates.size() && free_slots > 0;) {
         ActiveBeam &b = *active_[candidates[i]];
-        const int potential =
-            specPolicy_.speculativePotential(b.score, scores);
+        const int potential = potentials[candidates[i]];
         if (b.branchesStarted >= potential) {
             ++i;
             continue;
@@ -436,14 +440,19 @@ FastTtsEngine::fillSpeculativeSlots()
         auto touch = kvGen_->ensureResident(
             br.node, static_cast<uint64_t>(clock_.now() * 1e6));
         if (!touch.ok)
-            return; // Memory too tight to speculate at all.
+            break; // Memory too tight to speculate at all.
         chargeRecompute(touch.recomputeTokens);
         kvGen_->retain(br.node);
         br.retained = true;
         b.branches.push_back(br);
+        specRunning_.emplace_back(candidates[i], b.branches.size() - 1);
         ++b.branchesStarted;
         --free_slots;
     }
+    // Keep the running set in (beam, branch) order: the event loop
+    // applies tokens in this order, and allocation-failure behaviour
+    // under memory pressure must match the original full rescan.
+    std::sort(specRunning_.begin(), specRunning_.end());
 }
 
 void
@@ -473,6 +482,9 @@ FastTtsEngine::runGenerationPhase()
         queue_.push_back(entries[pos].index);
     }
     decodeSet_.clear();
+    // Selection released every branch of the previous iteration; start
+    // the running-set bookkeeping from a clean slate regardless.
+    specRunning_.clear();
 
     const int capacity = std::max(1, plan_.decodeBatch);
     // Pinned working-set estimate (tokens) for admission control.
@@ -507,7 +519,7 @@ FastTtsEngine::runGenerationPhase()
             // running beams outgrow the pool (Sec. 6.5.1).
             const int remaining = b.stepPrepared
                 ? b.targetTokens - b.decoded
-                : std::min(static_cast<int>(expectedStepTokens(dataset_)),
+                : std::min(static_cast<int>(expectedStepTokens_),
                            algorithm_.stepTokenCap(b.steps));
             const double need = kvGen_->pathTokens(b.leaf) + b.decoded
                 + remaining;
@@ -546,13 +558,16 @@ FastTtsEngine::runGenerationPhase()
             fillSpeculativeSlots();
         }
 
-        // Collect running members.
+        // Snapshot the running members for this wave. Branch vectors
+        // may grow (invalidating pointers) only in fillSpeculativeSlots
+        // above, so pointers are stable for the rest of the wave.
+        specScratch_ = specRunning_;
         std::vector<SpecBranch *> spec_run;
-        for (auto &b : active_) {
-            for (auto &br : b->branches) {
-                if (br.node >= 0 && !br.complete && br.retained)
-                    spec_run.push_back(&br);
-            }
+        spec_run.reserve(specScratch_.size());
+        for (const auto &[beam_idx, branch_idx] : specScratch_) {
+            SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+            if (br.node >= 0 && !br.complete && br.retained)
+                spec_run.push_back(&br);
         }
         if (decodeSet_.empty() && spec_run.empty()) {
             if (q_head >= queue_.size())
@@ -645,6 +660,17 @@ FastTtsEngine::runGenerationPhase()
                 br->complete = true;
         }
 
+        // Refresh the running set from this wave's snapshot: branches
+        // that completed, were preempted, or were killed above drop
+        // out; order is preserved.
+        specRunning_.clear();
+        for (const auto &entry : specScratch_) {
+            const SpecBranch &br =
+                active_[entry.first]->branches[entry.second];
+            if (br.node >= 0 && !br.complete && br.retained)
+                specRunning_.push_back(entry);
+        }
+
         // Iteration ends when every standard beam finished its step;
         // in-flight speculation is strictly terminated at that point
         // (partial tokens are kept as head starts).
@@ -671,9 +697,15 @@ FastTtsEngine::runVerificationPhase()
 
     std::vector<size_t> order = queue_;
     // Beams that never entered the queue (pendingStepDone) need their
-    // state updated but no verifier request.
+    // state updated but no verifier request. A membership bitmap makes
+    // this O(n) instead of the former O(n^2) std::find sweep.
+    std::vector<char> queued(active_.size(), 0);
+    for (size_t idx : queue_) {
+        if (idx < queued.size())
+            queued[idx] = 1;
+    }
     for (size_t i = 0; i < active_.size(); ++i) {
-        if (std::find(order.begin(), order.end(), i) == order.end())
+        if (!queued[i])
             order.push_back(i);
     }
 
@@ -681,12 +713,14 @@ FastTtsEngine::runVerificationPhase()
     lookaheadScores.reserve(active_.size());
     for (const auto &bp : active_)
         lookaheadScores.push_back(bp->score);
+    const SpeculativePolicy::ScoreBins lookaheadBins =
+        specPolicy_.scoreBins(lookaheadScores);
 
-    std::unordered_set<size_t> seen;
+    std::vector<char> seen(active_.size(), 0);
     for (size_t idx : order) {
-        if (seen.count(idx))
+        if (seen[idx])
             continue; // Suspended beams appear twice in queue_.
-        seen.insert(idx);
+        seen[idx] = 1;
         ActiveBeam &b = *active_[idx];
         if (b.forceKilled)
             continue;
@@ -709,7 +743,7 @@ FastTtsEngine::runVerificationPhase()
         // is about to prune wastes verifier compute.
         SpecBranch *ahead = nullptr;
         if (config_.lookaheadVerification && lookaheadAllowed_
-            && specPolicy_.speculativePotential(b.score, lookaheadScores)
+            && specPolicy_.binnedPotential(b.score, lookaheadBins)
                 >= specPolicy_.branchFactor()) {
             for (auto &br : b.branches) {
                 if (br.childIdx == 0 && br.node >= 0 && br.complete) {

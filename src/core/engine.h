@@ -186,6 +186,7 @@ class FastTtsEngine
     std::unique_ptr<BeamScheduler> scheduler_;
 
     double kvBudget_ = 0;
+    double expectedStepTokens_ = 0; //!< Cached mean step length.
     std::unique_ptr<KvCacheManager> kvGen_;
     std::unique_ptr<KvCacheManager> kvVer_;
 
@@ -213,6 +214,12 @@ class FastTtsEngine
     // Generation-phase scratch (valid within one iteration).
     std::vector<size_t> queue_;
     std::vector<size_t> decodeSet_;
+    // Running speculative branches as (active_ index, branch index)
+    // pairs, kept sorted in beam order and maintained incrementally
+    // (added at creation, filtered per event wave, cleared on kill) so
+    // the event loop never rescans all beams x branches.
+    std::vector<std::pair<size_t, size_t>> specRunning_;
+    std::vector<std::pair<size_t, size_t>> specScratch_;
     double meanVerifierSeq_ = 0;  //!< Mean incremental request length.
     double meanVerifierPath_ = 0; //!< Mean full-path length (planning).
     bool specAllowed_ = true;      //!< Memory allows speculation.

@@ -13,22 +13,39 @@ SpeculativePolicy::SpeculativePolicy(int branch_factor,
 {
 }
 
+SpeculativePolicy::ScoreBins
+SpeculativePolicy::scoreBins(const std::vector<double> &scores) const
+{
+    ScoreBins bins;
+    if (scores.empty())
+        return bins;
+    bins.empty = false;
+    bins.lo = scores[0];
+    bins.hi = scores[0];
+    for (double s : scores) {
+        bins.lo = std::min(bins.lo, s);
+        bins.hi = std::max(bins.hi, s);
+    }
+    return bins;
+}
+
 int
 SpeculativePolicy::speculativePotential(
     double prev_score, const std::vector<double> &scores) const
 {
-    if (scores.empty())
+    return binnedPotential(prev_score, scoreBins(scores));
+}
+
+int
+SpeculativePolicy::binnedPotential(double prev_score,
+                                   const ScoreBins &bins) const
+{
+    if (bins.empty)
         return 1;
-    double lo = scores[0];
-    double hi = scores[0];
-    for (double s : scores) {
-        lo = std::min(lo, s);
-        hi = std::max(hi, s);
-    }
-    if (hi <= lo)
+    if (bins.hi <= bins.lo)
         return branchFactor_; // All equal: everyone is in the top bin.
     // Bin j (1-based, C_1 highest): equal-width partition of [lo, hi].
-    const double frac = (prev_score - lo) / (hi - lo);
+    const double frac = (prev_score - bins.lo) / (bins.hi - bins.lo);
     const int from_top = static_cast<int>((1.0 - frac) * branchFactor_);
     const int j = std::clamp(from_top + 1, 1, branchFactor_);
     return branchFactor_ - j + 1;

@@ -43,6 +43,23 @@ class SpeculativePolicy
     double truncationRatio() const { return truncationRatio_; }
 
     /**
+     * Bin edges of one iteration's score set: the [lo, hi] range that
+     * the equal-width partition divides. Computing this once per
+     * iteration and reusing it for every beam turns the per-beam
+     * potential query into O(1) (the engine's event loop queries every
+     * candidate every wave).
+     */
+    struct ScoreBins
+    {
+        double lo = 0;
+        double hi = 0;
+        bool empty = true;
+    };
+
+    /** Scan the score set once for its bin edges. */
+    ScoreBins scoreBins(const std::vector<double> &scores) const;
+
+    /**
      * Speculative potential M_i of a beam: the maximum number of
      * branches it may speculate.
      * @param prev_score The beam's previous-step verifier score.
@@ -52,6 +69,11 @@ class SpeculativePolicy
      */
     int speculativePotential(double prev_score,
                              const std::vector<double> &scores) const;
+
+    /** O(1) variant against pre-computed bin edges; identical result
+     *  to speculativePotential(prev_score, scores) for
+     *  bins = scoreBins(scores). */
+    int binnedPotential(double prev_score, const ScoreBins &bins) const;
 
     /**
      * Tokens a duplicate keeps from a speculated segment of spec_len

@@ -1,7 +1,6 @@
 #include "kv/block_allocator.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace fasttts
 {
@@ -23,8 +22,14 @@ BlockAllocator::allocate(size_t n)
 void
 BlockAllocator::release(size_t n)
 {
-    assert(n <= used_);
-    used_ -= std::min(n, used_);
+    // Releasing more than is allocated indicates a caller accounting
+    // bug; clamp identically in every build mode and surface it as a
+    // counted event instead of asserting in debug only.
+    if (n > used_) {
+        ++clampedReleases_;
+        n = used_;
+    }
+    used_ -= n;
 }
 
 void

@@ -32,7 +32,9 @@ class BlockAllocator
     /** Try to allocate n blocks; returns false (no change) on failure. */
     bool allocate(size_t n);
 
-    /** Return n blocks to the pool. n must not exceed used(). */
+    /** Return n blocks to the pool. Releasing more than used() is a
+     *  caller accounting bug: the release is clamped to used() and
+     *  counted in clampedReleases() — identically in all build modes. */
     void release(size_t n);
 
     /** Pool capacity. */
@@ -50,6 +52,9 @@ class BlockAllocator
     /** Number of allocation calls that failed for lack of space. */
     uint64_t failedAllocations() const { return failed_; }
 
+    /** Number of release calls clamped because they exceeded used(). */
+    uint64_t clampedReleases() const { return clampedReleases_; }
+
     /** Grow or shrink the pool (re-planning by the memory allocator).
      *  Shrinking below used() clamps capacity to used(). */
     void resize(size_t total_blocks);
@@ -59,6 +64,7 @@ class BlockAllocator
     size_t used_ = 0;
     size_t peakUsed_ = 0;
     uint64_t failed_ = 0;
+    uint64_t clampedReleases_ = 0;
 };
 
 } // namespace fasttts

@@ -61,7 +61,10 @@ KvCacheManager::createChild(NodeId parent, uint64_t seg_id, int tokens)
     n.segId = seg_id;
     n.parent = parent;
     n.tokens = tokens;
+    const Node &p = node(parent);
+    n.prefixTokens = p.prefixTokens + p.tokens;
     node(parent).children.emplace_back(seg_id, id);
+    ++liveNodes_;
     return id;
 }
 
@@ -74,10 +77,25 @@ KvCacheManager::nodeTokens(NodeId id) const
 int
 KvCacheManager::pathTokens(NodeId leaf) const
 {
-    int total = 0;
-    for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
-        total += node(id).tokens;
-    return total;
+    const Node &n = node(leaf);
+    return n.prefixTokens + n.tokens;
+}
+
+void
+KvCacheManager::shiftDescendantPrefixes(NodeId id, int delta)
+{
+    if (delta == 0 || node(id).children.empty())
+        return;
+    dfsScratch_.clear();
+    for (const auto &[seg, child] : node(id).children)
+        dfsScratch_.push_back(child);
+    while (!dfsScratch_.empty()) {
+        const NodeId cur = dfsScratch_.back();
+        dfsScratch_.pop_back();
+        node(cur).prefixTokens += delta;
+        for (const auto &[seg, child] : node(cur).children)
+            dfsScratch_.push_back(child);
+    }
 }
 
 KvCacheManager::NodeId
@@ -109,6 +127,8 @@ KvCacheManager::appendTokens(NodeId id, int delta, uint64_t tick,
         residentTokens_ += delta;
     }
     n.tokens = new_tokens;
+    unsharedTokens_ += static_cast<long>(delta) * n.refCount;
+    shiftDescendantPrefixes(id, delta);
     return true;
 }
 
@@ -125,7 +145,10 @@ KvCacheManager::truncateTokens(NodeId id, int new_tokens)
         }
         residentTokens_ -= n.tokens - new_tokens;
     }
+    const int delta = new_tokens - n.tokens;
     n.tokens = new_tokens;
+    unsharedTokens_ += static_cast<long>(delta) * n.refCount;
+    shiftDescendantPrefixes(id, delta);
 }
 
 void
@@ -133,6 +156,9 @@ KvCacheManager::retain(NodeId leaf)
 {
     for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
         ++node(id).refCount;
+    // One reference through every path node = one private copy of the
+    // whole path in the unshared accounting.
+    unsharedTokens_ += pathTokens(leaf);
 }
 
 void
@@ -148,6 +174,7 @@ KvCacheManager::release(NodeId leaf)
         if (n.refCount == 0 && n.resident)
             maybeEnqueueVictim(id);
     }
+    unsharedTokens_ -= pathTokens(leaf);
 }
 
 int
@@ -168,29 +195,75 @@ KvCacheManager::maybeEnqueueVictim(NodeId id)
 {
     if (id == kRoot)
         return;
-    const Node &n = node(id);
-    if (evictable(n))
-        victims_.emplace(n.lastUse, id);
+    Node &n = node(id);
+    // One heap entry per node: re-enqueueing while an (older) entry is
+    // still queued would grow the heap with duplicates on every
+    // release/reclaim cycle; the live entry is refreshed lazily when it
+    // surfaces in reclaim().
+    if (n.inVictimHeap || !evictable(n))
+        return;
+    victims_.emplace(n.lastUse, id);
+    n.inVictimHeap = true;
+}
+
+void
+KvCacheManager::compactVictims()
+{
+    ++stats_.victimCompactions;
+    std::vector<Victim> fresh;
+    while (!victims_.empty()) {
+        const auto [tick, id] = victims_.top();
+        victims_.pop();
+        Node &n = node(id);
+        n.inVictimHeap = false;
+        if (!evictable(n)) {
+            ++stats_.staleVictimEntries;
+            continue;
+        }
+        fresh.emplace_back(n.lastUse, id);
+        n.inVictimHeap = true;
+    }
+    victims_ = std::priority_queue<Victim, std::vector<Victim>,
+                                   std::greater<>>(std::greater<>(),
+                                                   std::move(fresh));
 }
 
 bool
 KvCacheManager::reclaim(size_t need_blocks)
 {
+    // Defensive bound: with one entry per node the heap cannot exceed
+    // the resident set, but if stale (non-evictable) entries ever pile
+    // up past it, rebuild once instead of popping them one by one.
+    if (victims_.size()
+        > 2 * static_cast<size_t>(residentCount_) + 16) {
+        compactVictims();
+    }
     bool rescanned = false;
     while (alloc_.free() < need_blocks) {
-        // Pop lazily-invalidated heap entries.
+        // Surface the LRU victim, lazily discarding entries whose node
+        // is no longer evictable and refreshing entries whose key is
+        // stale (the node was touched after it was enqueued).
         while (!victims_.empty()) {
-            auto [tick, id] = victims_.top();
-            const Node &n = node(id);
+            const auto [tick, id] = victims_.top();
+            Node &n = node(id);
             if (!n.erased && evictable(n) && n.lastUse == tick)
                 break;
             victims_.pop();
+            n.inVictimHeap = false;
+            ++stats_.staleVictimEntries;
+            if (!n.erased && evictable(n)) {
+                // Still a candidate, just under an outdated key:
+                // re-arm it with the current lastUse.
+                victims_.emplace(n.lastUse, id);
+                n.inVictimHeap = true;
+            }
         }
         if (victims_.empty()) {
             if (rescanned)
                 return false;
-            // Rebuild candidates from a full scan (heap may have missed
-            // nodes whose evictability changed without an event).
+            // Rebuild candidates from a full scan (a node's
+            // evictability may have changed without an enqueue event);
+            // nodes already queued are skipped by maybeEnqueueVictim.
             for (NodeId id = 1; id < static_cast<NodeId>(nodes_.size());
                  ++id) {
                 if (!node(id).erased)
@@ -203,6 +276,7 @@ KvCacheManager::reclaim(size_t need_blocks)
         }
         const NodeId id = victims_.top().second;
         victims_.pop();
+        node(id).inVictimHeap = false;
         evictNode(id);
     }
     return true;
@@ -243,8 +317,9 @@ KvCacheManager::markResident(NodeId id, uint64_t tick)
 KvCacheManager::TouchResult
 KvCacheManager::ensureResident(NodeId leaf, uint64_t tick)
 {
-    // Collect root->leaf path.
-    std::vector<NodeId> path;
+    // Collect root->leaf path (scratch reused across calls).
+    std::vector<NodeId> &path = pathScratch_;
+    path.clear();
     for (NodeId id = leaf; id != kInvalid; id = node(id).parent)
         path.push_back(id);
     std::reverse(path.begin(), path.end());
@@ -300,26 +375,19 @@ int
 KvCacheManager::residentPrefixTokens(NodeId leaf) const
 {
     // Residency is top-closed (a resident node's ancestors are
-    // resident), so the resident prefix is the path minus the trailing
-    // non-resident suffix.
-    int non_resident = 0;
+    // resident), so the resident prefix is the cached path length of
+    // the deepest resident ancestor. The walk covers only the
+    // non-resident suffix, which is empty or one node on the hot path.
     NodeId id = leaf;
-    while (id != kInvalid && !node(id).resident) {
-        non_resident += node(id).tokens;
+    while (id != kInvalid && !node(id).resident)
         id = node(id).parent;
-    }
-    return pathTokens(leaf) - non_resident;
+    return id == kInvalid ? 0 : pathTokens(id);
 }
 
 int
 KvCacheManager::nodeCount() const
 {
-    int count = 0;
-    for (size_t i = 1; i < nodes_.size(); ++i) {
-        if (!nodes_[i].erased)
-            ++count;
-    }
-    return count;
+    return liveNodes_;
 }
 
 int
@@ -339,14 +407,10 @@ KvCacheManager::unsharedTokens() const
 {
     // Without prefix sharing every beam privately stores its whole
     // path: sum over nodes of tokens * refCount (each active reference
-    // through a node implies a private copy of that segment).
-    long total = 0;
-    for (size_t i = 1; i < nodes_.size(); ++i) {
-        const Node &n = nodes_[i];
-        if (!n.erased)
-            total += static_cast<long>(n.tokens) * n.refCount;
-    }
-    return total;
+    // through a node implies a private copy of that segment). The sum
+    // is counter-backed; the root's permanent self-reference carries
+    // zero tokens, so it never contributes.
+    return unsharedTokens_;
 }
 
 void

@@ -37,6 +37,8 @@ struct KvStats
     uint64_t recomputedTokens = 0; //!< Tokens re-prefilled after eviction.
     uint64_t hitTokens = 0;        //!< Tokens found resident on touch.
     uint64_t missTokens = 0;       //!< Tokens materialised on touch.
+    uint64_t staleVictimEntries = 0; //!< Lazily-discarded heap entries.
+    uint64_t victimCompactions = 0;  //!< Victim-heap rebuilds.
 };
 
 /**
@@ -77,7 +79,9 @@ class KvCacheManager
     /** Segment token count of a node. */
     int nodeTokens(NodeId node) const;
 
-    /** Total tokens on the root->leaf path (context length). */
+    /** Total tokens on the root->leaf path (context length). O(1):
+     *  served from a per-node cached prefix sum that createChild /
+     *  appendTokens / truncateTokens maintain incrementally. */
     int pathTokens(NodeId leaf) const;
 
     /** Parent node id (kInvalid for root). */
@@ -147,7 +151,7 @@ class KvCacheManager
     /** Running statistics. */
     const KvStats &stats() const { return stats_; }
 
-    /** Number of live (not erased) nodes, excluding root. */
+    /** Number of live (not erased) nodes, excluding root. O(1). */
     int nodeCount() const;
 
     /** Number of resident nodes, excluding root. */
@@ -159,7 +163,8 @@ class KvCacheManager
     /**
      * Tokens that would be resident if no prefix sharing existed
      * (every retained beam stores its full path privately). Used for
-     * the "w/o prefix cache" series of Fig. 5.
+     * the "w/o prefix cache" series of Fig. 5. O(1): counter-backed,
+     * maintained by retain/release/append/truncate.
      */
     long unsharedTokens() const;
 
@@ -182,11 +187,13 @@ class KvCacheManager
         NodeId parent = kInvalid;
         std::vector<std::pair<uint64_t, NodeId>> children;
         int tokens = 0;
+        int prefixTokens = 0; //!< Path tokens of all strict ancestors.
         size_t blocksHeld = 0;
         int refCount = 0;
         int residentChildren = 0;
         bool resident = false;
         bool erased = false;
+        bool inVictimHeap = false; //!< Has exactly one victims_ entry.
         uint64_t lastUse = 0;
     };
 
@@ -204,6 +211,11 @@ class KvCacheManager
     bool reclaim(size_t need_blocks);
     void evictNode(NodeId id);
     void markResident(NodeId id, uint64_t tick);
+    /** Add delta to the cached prefix sums of every descendant of id.
+     *  Hot-path appends hit leaves, so this is almost always a no-op. */
+    void shiftDescendantPrefixes(NodeId id, int delta);
+    /** Drop stale victims_ entries and rebuild the heap. */
+    void compactVictims();
 
     double kvBytesPerToken_;
     int blockTokens_;
@@ -213,8 +225,14 @@ class KvCacheManager
     KvStats stats_;
     int residentCount_ = 0;   //!< Resident nodes, excluding root.
     long residentTokens_ = 0; //!< Unique resident tokens.
+    int liveNodes_ = 0;       //!< Live nodes, excluding root.
+    long unsharedTokens_ = 0; //!< Sum of tokens * refCount over nodes.
+    std::vector<NodeId> dfsScratch_;  //!< Reused by prefix propagation.
+    std::vector<NodeId> pathScratch_; //!< Reused by ensureResident.
 
-    // Lazy min-heap of (lastUse, node) eviction candidates.
+    // Min-heap of (lastUse, node) eviction candidates. Each node has at
+    // most one entry (Node::inVictimHeap); entries whose key no longer
+    // matches the node's lastUse are lazily refreshed on pop.
     using Victim = std::pair<uint64_t, NodeId>;
     std::priority_queue<Victim, std::vector<Victim>, std::greater<>>
         victims_;

@@ -7,25 +7,38 @@
 namespace fasttts
 {
 
-int
-sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b)
+void
+SharedPrefixMap::build(const KvCacheManager &kv, int anchor_leaf)
 {
-    // Depth-tokens of every ancestor of a, then first hit walking up
-    // from b is the lowest common ancestor.
-    std::unordered_map<int, int> depth_of;
-    int depth = kv.pathTokens(leaf_a);
-    for (int id = leaf_a; id != KvCacheManager::kInvalid;
+    // Depth-tokens of every ancestor of the anchor; the first hit
+    // walking up from another leaf is their lowest common ancestor.
+    depthOf_.clear();
+    int depth = kv.pathTokens(anchor_leaf);
+    for (int id = anchor_leaf; id != KvCacheManager::kInvalid;
          id = kv.parentOf(id)) {
-        depth_of[id] = depth;
+        depthOf_[id] = depth;
         depth -= kv.nodeTokens(id);
     }
+}
+
+int
+SharedPrefixMap::sharedWith(const KvCacheManager &kv, int leaf_b) const
+{
     for (int id = leaf_b; id != KvCacheManager::kInvalid;
          id = kv.parentOf(id)) {
-        auto it = depth_of.find(id);
-        if (it != depth_of.end())
+        auto it = depthOf_.find(id);
+        if (it != depthOf_.end())
             return it->second;
     }
     return 0;
+}
+
+int
+sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b)
+{
+    SharedPrefixMap anchor;
+    anchor.build(kv, leaf_a);
+    return anchor.sharedWith(kv, leaf_b);
 }
 
 long
@@ -33,8 +46,11 @@ scheduleSharedPrefixSum(const KvCacheManager &kv,
                         const std::vector<SchedEntry> &order)
 {
     long total = 0;
-    for (size_t i = 0; i + 1 < order.size(); ++i)
-        total += sharedPrefixTokens(kv, order[i].leaf, order[i + 1].leaf);
+    SharedPrefixMap anchor;
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+        anchor.build(kv, order[i].leaf);
+        total += anchor.sharedWith(kv, order[i + 1].leaf);
+    }
     return total;
 }
 
@@ -173,13 +189,15 @@ class GreedyPrefixScheduler : public BeamScheduler
         }
         scheduled.push_back(pending[first]);
         pending.erase(pending.begin() + static_cast<long>(first));
+        // One ancestor map per scheduled anchor (not per candidate
+        // pair): O(n depth) map builds for the whole schedule.
+        SharedPrefixMap anchor;
         while (!pending.empty()) {
-            const SchedEntry &last = scheduled.back();
+            anchor.build(kv, scheduled.back().leaf);
             size_t best = 0;
             int best_shared = -1;
             for (size_t i = 0; i < pending.size(); ++i) {
-                const int shared =
-                    sharedPrefixTokens(kv, last.leaf, pending[i].leaf);
+                const int shared = anchor.sharedWith(kv, pending[i].leaf);
                 if (shared > best_shared
                     || (shared == best_shared
                         && pending[i].beamId < pending[best].beamId)) {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kv/kv_cache.h"
@@ -42,6 +43,27 @@ struct SchedEntry
  * P(c_i, c_j) of the paper's objective.
  */
 int sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b);
+
+/**
+ * Ancestor depth map of one anchor leaf, built once and queried
+ * against many other leaves. Callers that compare one anchor to n
+ * candidates (the greedy argmax of Sec. 4.2) pay one O(depth) build
+ * plus n O(depth) walks instead of n map builds — the difference
+ * between O(n^2 depth) and O(n depth) per schedule.
+ */
+class SharedPrefixMap
+{
+  public:
+    /** Record the path depth of every ancestor of anchor_leaf. */
+    void build(const KvCacheManager &kv, int anchor_leaf);
+
+    /** Shared-prefix tokens between the anchor and leaf_b; equals
+     *  sharedPrefixTokens(kv, anchor, leaf_b). */
+    int sharedWith(const KvCacheManager &kv, int leaf_b) const;
+
+  private:
+    std::unordered_map<int, int> depthOf_;
+};
 
 /**
  * Total eviction-cost surrogate of a schedule: sum over adjacent pairs

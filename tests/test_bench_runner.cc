@@ -127,6 +127,109 @@ TEST(BenchRunner, QuickRunEmitsParsableJson)
     std::filesystem::remove_all(outDir);
 }
 
+/** Whole-file read used by the byte-identity differential. */
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::stringstream contents;
+    contents << file.rdbuf();
+    return contents.str();
+}
+
+TEST(BenchRunner, ParallelJobsAreByteIdenticalToSerial)
+{
+    const std::filesystem::path base =
+        std::filesystem::path(testing::TempDir()) / "fasttts_bench_jobs";
+    const std::filesystem::path serialDir = base / "serial";
+    const std::filesystem::path parallelDir = base / "parallel";
+    std::filesystem::remove_all(base);
+
+    const std::string subset = " micro online_scheduling";
+    std::string output;
+    ASSERT_EQ(runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                             + " --quick --jobs 1 --out-dir "
+                             + serialDir.string() + subset,
+                         &output),
+              0)
+        << output;
+    ASSERT_EQ(runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                             + " --quick --jobs 4 --out-dir "
+                             + parallelDir.string() + subset,
+                         &output),
+              0)
+        << output;
+
+    for (const char *name :
+         {"BENCH_micro.json", "BENCH_online_scheduling.json"}) {
+        const std::string serial = readFile(serialDir / name);
+        const std::string parallel = readFile(parallelDir / name);
+        ASSERT_FALSE(serial.empty()) << name;
+        EXPECT_EQ(serial, parallel)
+            << name << " differs between --jobs 1 and --jobs 4";
+    }
+    std::filesystem::remove_all(base);
+}
+
+TEST(BenchRunner, EmitsSelfTimingHarnessDocument)
+{
+    const std::filesystem::path outDir =
+        std::filesystem::path(testing::TempDir())
+        / "fasttts_bench_harness";
+    std::filesystem::remove_all(outDir);
+
+    std::string output;
+    ASSERT_EQ(runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                             + " --quick --jobs 2 --out-dir "
+                             + outDir.string()
+                             + " micro online_scheduling",
+                         &output),
+              0)
+        << output;
+
+    const std::filesystem::path path = outDir / "BENCH_harness.json";
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::string error;
+    const Json doc = Json::parse(readFile(path), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(doc["schema"].asString(), "fasttts-harness-v1");
+    EXPECT_EQ(static_cast<int>(doc["jobs"].asNumber()), 2);
+    EXPECT_TRUE(doc["quick"].asBool());
+    EXPECT_GT(doc["total_wall_ms"].asNumber(), 0.0);
+
+    const Json &benchmarks = doc["benchmarks"];
+    ASSERT_TRUE(benchmarks.isArray());
+    ASSERT_EQ(benchmarks.size(), 2u);
+    EXPECT_EQ(benchmarks.at(0)["name"].asString(), "micro");
+    EXPECT_EQ(benchmarks.at(1)["name"].asString(), "online_scheduling");
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        EXPECT_GT(benchmarks.at(i)["wall_ms"].asNumber(), 0.0);
+        EXPECT_GE(benchmarks.at(i)["simulated_tokens"].asNumber(), 0.0);
+        EXPECT_GE(benchmarks.at(i)["simulated_tokens_per_s"].asNumber(),
+                  0.0);
+    }
+    // The figure benchmark simulates real tokens; tokens/s must be
+    // consistent with the recorded wall time.
+    EXPECT_GT(benchmarks.at(0)["simulated_tokens"].asNumber(), 0.0);
+    EXPECT_GT(benchmarks.at(0)["simulated_tokens_per_s"].asNumber(), 0.0);
+
+    std::filesystem::remove_all(outDir);
+}
+
+TEST(BenchRunner, RejectsInvalidJobs)
+{
+    std::string output;
+    EXPECT_NE(runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                             + " --jobs 0 --list 2>&1",
+                         &output),
+              0);
+    EXPECT_NE(runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                             + " --jobs banana --list 2>&1",
+                         &output),
+              0);
+}
+
 TEST(BenchRunner, OnlineSchedulingSweepsPoliciesOnOneTrace)
 {
     const std::filesystem::path outDir =

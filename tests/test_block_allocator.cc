@@ -48,6 +48,30 @@ TEST(BlockAllocator, ZeroAllocationAlwaysSucceeds)
     EXPECT_FALSE(alloc.allocate(1));
 }
 
+TEST(BlockAllocator, OverReleaseClampsAndIsCounted)
+{
+    BlockAllocator alloc(10);
+    alloc.allocate(4);
+    // Releasing more than is allocated clamps to used() — identically
+    // in every build mode — and the accounting bug is counted.
+    alloc.release(6);
+    EXPECT_EQ(alloc.used(), 0u);
+    EXPECT_EQ(alloc.free(), 10u);
+    EXPECT_EQ(alloc.clampedReleases(), 1u);
+    alloc.release(1);
+    EXPECT_EQ(alloc.used(), 0u);
+    EXPECT_EQ(alloc.clampedReleases(), 2u);
+}
+
+TEST(BlockAllocator, ExactReleaseIsNotCounted)
+{
+    BlockAllocator alloc(10);
+    alloc.allocate(4);
+    alloc.release(4);
+    alloc.release(0);
+    EXPECT_EQ(alloc.clampedReleases(), 0u);
+}
+
 TEST(BlockAllocator, PeakTracksHighWaterMark)
 {
     BlockAllocator alloc(100);

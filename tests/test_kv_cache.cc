@@ -295,6 +295,25 @@ TEST(KvCache, UnsharedTokensCountsPerReference)
     EXPECT_EQ(kv.unsharedTokens(), 110);
 }
 
+TEST(KvCache, ReTouchedVictimKeepsLruOrderViaLazyRefresh)
+{
+    // Pool of 8 blocks = 128 tokens. a and b become eviction
+    // candidates; re-touching a makes its queued heap entry stale. The
+    // heap must still evict b (the true LRU), count the stale entry,
+    // and keep exactly one entry per node.
+    auto kv = makeCache(128);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
+    kv.ensureResident(a, 1);
+    kv.ensureResident(b, 2);
+    kv.ensureResident(a, 3); // Hit: refreshes a's lastUse past b's.
+    const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
+    EXPECT_TRUE(kv.ensureResident(c, 4).ok);
+    EXPECT_TRUE(kv.isResident(a));
+    EXPECT_FALSE(kv.isResident(b));
+    EXPECT_GE(kv.stats().staleVictimEntries, 1u);
+}
+
 TEST(KvCache, StatsAccumulate)
 {
     auto kv = makeCache(4096);
@@ -304,6 +323,137 @@ TEST(KvCache, StatsAccumulate)
     EXPECT_EQ(kv.stats().missTokens, 32u);
     EXPECT_EQ(kv.stats().hitTokens, 32u);
 }
+
+// --- Reference implementations: fresh walks over the public API, used
+// to validate the cached/counter-backed accounting. ---
+
+int
+freshPathTokens(const KvCacheManager &kv, int node)
+{
+    int total = 0;
+    for (int id = node; id != KvCacheManager::kInvalid;
+         id = kv.parentOf(id))
+        total += kv.nodeTokens(id);
+    return total;
+}
+
+int
+freshResidentPrefixTokens(const KvCacheManager &kv, int node)
+{
+    int non_resident = 0;
+    int id = node;
+    while (id != KvCacheManager::kInvalid && !kv.isResident(id)) {
+        non_resident += kv.nodeTokens(id);
+        id = kv.parentOf(id);
+    }
+    return freshPathTokens(kv, node) - non_resident;
+}
+
+long
+freshUnsharedTokens(const KvCacheManager &kv,
+                    const std::vector<int> &nodes)
+{
+    long total = 0;
+    for (int id : nodes) {
+        if (id != KvCacheManager::kRoot)
+            total += static_cast<long>(kv.nodeTokens(id))
+                * kv.refCount(id);
+    }
+    return total;
+}
+
+/**
+ * Cached path-token invariants: after randomized createChild / append /
+ * truncate / evict / re-resident / retain / release sequences
+ * (including appends and truncations on interior nodes, which must
+ * propagate to every descendant's cached prefix), the O(1) accessors
+ * must agree with a fresh walk of the public API. The small budget
+ * keeps eviction and re-materialisation cycles frequent.
+ */
+class KvCachePathCacheProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KvCachePathCacheProperty, CachedAccountingMatchesFreshWalk)
+{
+    Rng rng(0x9e3779b9ull
+            + static_cast<uint64_t>(GetParam()) * 0x85ebca6bull);
+    auto kv = makeCache(1024, 16);
+    std::vector<int> nodes = {KvCacheManager::kRoot};
+    std::vector<int> pinned;
+    uint64_t seg = 1000;
+    int created = 0;
+
+    for (int op = 0; op < 800; ++op) {
+        const int kind = rng.uniformInt(0, 6);
+        const int node = nodes[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(nodes.size()) - 1))];
+        switch (kind) {
+          case 0:
+          case 1: // Bias toward growth so trees get deep and bushy.
+            nodes.push_back(
+                kv.createChild(node, seg++, rng.uniformInt(0, 70)));
+            ++created;
+            break;
+          case 2:
+            kv.ensureResident(node, static_cast<uint64_t>(op));
+            break;
+          case 3:
+            if (node != KvCacheManager::kRoot) {
+                kv.retain(node);
+                pinned.push_back(node);
+            }
+            break;
+          case 4:
+            if (!pinned.empty()) {
+                const size_t pick = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int>(pinned.size()) - 1));
+                kv.release(pinned[pick]);
+                pinned.erase(pinned.begin()
+                             + static_cast<long>(pick));
+            }
+            break;
+          case 5: // Interior-node appends must shift descendants.
+            if (node != KvCacheManager::kRoot)
+                kv.appendTokens(node, rng.uniformInt(0, 50),
+                                static_cast<uint64_t>(op));
+            break;
+          case 6:
+            if (node != KvCacheManager::kRoot)
+                kv.truncateTokens(node,
+                                  rng.uniformInt(0, kv.nodeTokens(node)));
+            break;
+        }
+
+        // Spot-check one random node every op; full sweep periodically.
+        const int probe = nodes[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(nodes.size()) - 1))];
+        ASSERT_EQ(kv.pathTokens(probe), freshPathTokens(kv, probe));
+        ASSERT_EQ(kv.residentPrefixTokens(probe),
+                  freshResidentPrefixTokens(kv, probe));
+        if (op % 50 == 0) {
+            for (int id : nodes) {
+                ASSERT_EQ(kv.pathTokens(id), freshPathTokens(kv, id))
+                    << "node " << id << " after op " << op;
+                ASSERT_EQ(kv.residentPrefixTokens(id),
+                          freshResidentPrefixTokens(kv, id));
+            }
+            ASSERT_EQ(kv.nodeCount(), created);
+            ASSERT_EQ(kv.unsharedTokens(),
+                      freshUnsharedTokens(kv, nodes));
+        }
+    }
+    for (int id : nodes) {
+        ASSERT_EQ(kv.pathTokens(id), freshPathTokens(kv, id));
+        ASSERT_EQ(kv.residentPrefixTokens(id),
+                  freshResidentPrefixTokens(kv, id));
+    }
+    ASSERT_EQ(kv.nodeCount(), created);
+    ASSERT_EQ(kv.unsharedTokens(), freshUnsharedTokens(kv, nodes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvCachePathCacheProperty,
+                         ::testing::Range(1, 9));
 
 /** Property sweep: under random workloads, block accounting and the
  *  resident-token counter never diverge, and residency stays

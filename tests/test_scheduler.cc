@@ -57,6 +57,24 @@ class SchedulerTest : public ::testing::Test
     int a_, b_, c_, d_, e_, f_, g_, h_, i_, j_;
 };
 
+TEST_F(SchedulerTest, SharedPrefixMapMatchesPairwiseQueries)
+{
+    // The anchor map (built once, queried many times — the greedy
+    // scheduler's fast path) must agree with the pairwise helper for
+    // every (anchor, other) combination, including anchor == other.
+    const std::vector<int> leaves = {a_, b_, c_, d_, e_,
+                                     f_, g_, h_, i_, j_};
+    SharedPrefixMap anchor;
+    for (int leaf_a : leaves) {
+        anchor.build(kv_, leaf_a);
+        for (int leaf_b : leaves) {
+            EXPECT_EQ(anchor.sharedWith(kv_, leaf_b),
+                      sharedPrefixTokens(kv_, leaf_a, leaf_b))
+                << "anchor " << leaf_a << " vs " << leaf_b;
+        }
+    }
+}
+
 TEST_F(SchedulerTest, SharedPrefixTokens)
 {
     // ABDG vs ABDH share A+B+D = 30 tokens.
