@@ -327,6 +327,130 @@ runOnlineSchedulingBenchmark(bool quick, uint64_t seed)
 }
 
 /**
+ * The preemption benchmark sweeps the shared KV budget and compares
+ * non-preemptive time slicing against policy-driven preemption
+ * (preemptive EDF with doomed-request shedding) on one identical
+ * bursty overload trace: shed rate, recompute volume and SLO
+ * attainment versus memory — the honest-cost serving study the
+ * shared-engine refactor enables.
+ */
+constexpr const char *kOnlinePreemptionName = "online_preemption";
+
+Json
+measurePreemptionRun(const ServingOptions &opts,
+                     const CalibratedOnlineTrace &calibrated,
+                     const std::string &preempt, double kv_budget_gib,
+                     int max_inflight)
+{
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = max_inflight;
+    online.slo = calibrated.slo;
+    online.preempt = preempt;
+    online.kvBudgetGiB = kv_budget_gib;
+    online.shedDoomed = true;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const OnlineTraceResult out =
+        server.serveRequests(calibrated.requests).value();
+
+    Json latency = Json::object();
+    latency.set("mean", out.meanLatency);
+    latency.set("p50", out.p50Latency);
+    latency.set("p95", out.p95Latency);
+    latency.set("p99", out.p99Latency);
+
+    const int total = static_cast<int>(out.records.size())
+        + out.shedRequests + out.cancelled;
+    Json run = Json::object();
+    run.set("latency_s", std::move(latency));
+    run.set("slo_attainment", out.sloAttainment);
+    run.set("deadline_misses", out.deadlineMisses);
+    run.set("completed", static_cast<long>(out.records.size()));
+    run.set("shed_requests", out.shedRequests);
+    run.set("shed_rate",
+            total > 0 ? static_cast<double>(out.shedRequests) / total
+                      : 0.0);
+    run.set("context_switches", out.contextSwitches);
+    run.set("preemptions", out.preemptions);
+    run.set("recomputed_tokens", out.recomputedTokens);
+    run.set("preempt_evicted_tokens", out.preemptEvictedTokens);
+    run.set("kv_peak_gib", toGiB(server.kvLedger().peakUsedBytes()));
+    run.set("utilization", out.utilization);
+    return run;
+}
+
+Json
+runOnlinePreemptionBenchmark(bool quick, uint64_t seed)
+{
+    EngineArgs args;
+    args.dataset = "AMC";
+    args.numBeams = quick ? 8 : 16;
+    args.seed = seed;
+    const int numRequests = quick ? 10 : 24;
+    const int maxInflight = 4;
+    ServingOptions opts = args.toServingOptions().value();
+
+    // One identical probe-calibrated bursty overload trace with
+    // tiered SLOs for every (budget, preemption-mode) cell.
+    const CalibratedOnlineTrace calibrated =
+        calibrateOnlineTrace(opts, "bursty", numRequests, seed)
+            .value();
+
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", kOnlinePreemptionName);
+    doc.set("description",
+            "Preemptive vs sliced serving under a shared KV budget");
+    doc.set("quick", quick);
+
+    // Budget tiers relative to the engine's device budget; 0 is the
+    // legacy accounting (every in-flight slot a full budget).
+    const double engine_budget_gib = [&] {
+        ServingSystem probe = ServingSystem::create(opts).value();
+        return probe.engine().kvBudgetBytes() / GiB;
+    }();
+
+    Json config = Json::object();
+    config.set("dataset", args.dataset);
+    config.set("device", args.device);
+    config.set("models", args.models);
+    config.set("num_beams", args.numBeams);
+    config.set("requests", numRequests);
+    config.set("max_inflight", maxInflight);
+    config.set("policy", "edf");
+    config.set("arrivals", "bursty");
+    config.set("arrival_rate_per_s", calibrated.rate);
+    config.set("slo_s", calibrated.slo);
+    config.set("engine_kv_budget_gib", engine_budget_gib);
+    config.set("shed_doomed", true);
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    struct Tier
+    {
+        const char *label;
+        double fraction; //!< Of the engine budget; 0 = legacy.
+    };
+    const Tier tiers[] = {
+        {"legacy", 0.0}, {"1.00x", 1.0}, {"0.50x", 0.5}, {"0.25x", 0.25}};
+
+    Json budgets = Json::object();
+    for (const Tier &tier : tiers) {
+        const double budget_gib = tier.fraction * engine_budget_gib;
+        Json cell = Json::object();
+        cell.set("kv_budget_gib", budget_gib);
+        for (const char *preempt : {"slice", "policy"}) {
+            cell.set(preempt,
+                     measurePreemptionRun(opts, calibrated, preempt,
+                                          budget_gib, maxInflight));
+        }
+        budgets.set(tier.label, std::move(cell));
+    }
+    doc.set("budgets", std::move(budgets));
+    return doc;
+}
+
+/**
  * Wall-clock and simulated-token volume of one benchmark run, for the
  * fasttts-harness-v1 self-timing document.
  */
@@ -387,7 +511,8 @@ usage(std::ostream &os, int exit_code)
           "\n"
           "Runs the registered benchmarks (all by default, or the named\n"
           "subset: the figure suite plus the online_scheduling policy\n"
-          "sweep) and writes BENCH_<name>.json into --out-dir\n"
+          "sweep and the online_preemption kv-budget sweep) and writes\n"
+          "BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
           "names, one per line, and exits. --jobs N runs benchmarks on\n"
           "N threads; output is bit-identical to --jobs 1. Every run\n"
@@ -448,36 +573,58 @@ runnerMain(int argc, char **argv)
         }
     }
 
+    // The online serving benchmarks are not BenchSpec-shaped; they
+    // register as (name, runner) pairs instead.
+    struct OnlineBench
+    {
+        const char *name;
+        Json (*run)(bool quick, uint64_t seed);
+    };
+    static constexpr OnlineBench kOnlineBenchmarks[] = {
+        {kOnlineSchedulingName, runOnlineSchedulingBenchmark},
+        {kOnlinePreemptionName, runOnlinePreemptionBenchmark},
+    };
+
     if (list) {
         for (const BenchSpec &spec : kBenchmarks)
             std::cout << spec.name << "\n";
-        std::cout << kOnlineSchedulingName << "\n";
+        for (const OnlineBench &bench : kOnlineBenchmarks)
+            std::cout << bench.name << "\n";
         return 0;
     }
 
-    // nullptr stands for the online_scheduling benchmark, which is
-    // not BenchSpec-shaped.
-    std::vector<const BenchSpec *> toRun;
+    // Exactly one of spec/run is set; `name` is always authoritative.
+    struct RunEntry
+    {
+        const BenchSpec *spec;
+        Json (*run)(bool quick, uint64_t seed);
+        const char *name;
+    };
+    std::vector<RunEntry> toRun;
     if (selected.empty()) {
         for (const BenchSpec &spec : kBenchmarks)
-            toRun.push_back(&spec);
-        toRun.push_back(nullptr);
+            toRun.push_back({&spec, nullptr, spec.name});
+        for (const OnlineBench &bench : kOnlineBenchmarks)
+            toRun.push_back({nullptr, bench.run, bench.name});
     } else {
         for (const std::string &name : selected) {
-            if (name == kOnlineSchedulingName) {
-                toRun.push_back(nullptr);
-                continue;
-            }
             const BenchSpec *found = nullptr;
             for (const BenchSpec &spec : kBenchmarks)
                 if (name == spec.name)
                     found = &spec;
-            if (found == nullptr) {
+            const OnlineBench *online = nullptr;
+            for (const OnlineBench &bench : kOnlineBenchmarks)
+                if (name == bench.name)
+                    online = &bench;
+            if (found == nullptr && online == nullptr) {
                 std::cerr << "bench_runner: unknown benchmark '" << name
                           << "' (see --list)\n";
                 return 2;
             }
-            toRun.push_back(found);
+            toRun.push_back({found,
+                             online != nullptr ? online->run : nullptr,
+                             found != nullptr ? found->name
+                                              : online->name});
         }
     }
 
@@ -507,11 +654,11 @@ runnerMain(int argc, char **argv)
         auto worker = [&]() {
             for (size_t i = nextTask.fetch_add(1); i < toRun.size();
                  i = nextTask.fetch_add(1)) {
-                const BenchSpec *spec = toRun[i];
+                const RunEntry &entry = toRun[i];
                 const auto start = Clock::now();
-                docs[i] = spec != nullptr
-                    ? runBenchmark(*spec, quick, seed)
-                    : runOnlineSchedulingBenchmark(quick, seed);
+                docs[i] = entry.spec != nullptr
+                    ? runBenchmark(*entry.spec, quick, seed)
+                    : entry.run(quick, seed);
                 samples[i].wallMs =
                     std::chrono::duration<double, std::milli>(
                         Clock::now() - start)
@@ -542,9 +689,7 @@ runnerMain(int argc, char **argv)
     std::vector<std::string> names;
     names.reserve(toRun.size());
     for (size_t i = 0; i < toRun.size(); ++i) {
-        const BenchSpec *spec = toRun[i];
-        const std::string name =
-            spec != nullptr ? spec->name : kOnlineSchedulingName;
+        const std::string name = toRun[i].name;
         names.push_back(name);
         const Json &doc = docs[i];
         const std::filesystem::path path =
@@ -555,14 +700,14 @@ runnerMain(int argc, char **argv)
             return 1;
         }
         file << doc.dump(2);
-        if (spec != nullptr) {
+        if (toRun[i].spec != nullptr) {
             std::cout
                 << name << ": goodput x"
                 << formatDouble(doc["speedup"]["goodput"].asNumber(), 2)
                 << ", latency x"
                 << formatDouble(doc["speedup"]["latency"].asNumber(), 2)
                 << " -> " << path.string() << "\n";
-        } else {
+        } else if (name == kOnlineSchedulingName) {
             std::cout << name << ": slo attainment fifo "
                       << formatDouble(
                              100.0
@@ -576,6 +721,27 @@ runnerMain(int argc, char **argv)
                                  * doc["policies"]["edf"]
                                       ["slo_attainment"]
                                           .asNumber(),
+                             0)
+                      << "% -> " << path.string() << "\n";
+        } else {
+            const Json &tight = doc["budgets"]["0.25x"];
+            std::cout << name << ": slo (0.25x budget) slice "
+                      << formatDouble(
+                             100.0
+                                 * tight["slice"]["slo_attainment"]
+                                       .asNumber(),
+                             0)
+                      << "% vs policy "
+                      << formatDouble(
+                             100.0
+                                 * tight["policy"]["slo_attainment"]
+                                       .asNumber(),
+                             0)
+                      << "%, shed "
+                      << formatDouble(
+                             100.0
+                                 * tight["policy"]["shed_rate"]
+                                       .asNumber(),
                              0)
                       << "% -> " << path.string() << "\n";
         }

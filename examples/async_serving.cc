@@ -1,6 +1,7 @@
 /**
  * @file
- * Request-level async serving: submit / step / callbacks / cancel.
+ * Request-level async serving: submit / step / callbacks / cancel,
+ * plus true preemption (suspend / evict / resume).
  *
  * Shows the facade OnlineServer is built on. Three requests are
  * submitted up front; the caller pumps the engine one TTS iteration at
@@ -8,6 +9,11 @@
  * and collecting results through onComplete. A fourth request is
  * cancelled mid-flight from its own onStep callback — the engine
  * abandons its beams immediately and moves on to queued work.
+ * Finally, a request is preempted mid-flight: suspend() parks its
+ * entire engine state, evictSuspendedKv() drops its KV back to the
+ * pool, and after an intervening request completes, resume()
+ * continues it — the evicted paths come back as recompute, visible in
+ * the request's own KvStats.
  *
  *   ./build/examples/example_async_serving [--problems N] [--help]
  */
@@ -90,5 +96,37 @@ main(int argc, char **argv)
     std::cout << "\nPumped " << steps << " engine steps, observed "
               << iterations_seen << " onStep events, "
               << system.pendingRequests() << " requests pending\n";
+
+    // --- Preemption: one engine, two requests, zero extra devices ---
+    // Start a victim, park it (KV evicted to the shared pool), serve
+    // an "urgent" request on the same engine, then resume the victim.
+    const RequestId victim =
+        system.submit(system.problems()[0]);
+    system.step();
+    system.step();
+    if (Status s = system.suspend(victim); !s.ok()) {
+        std::cerr << s.toString() << "\n";
+        return 1;
+    }
+    const long evicted = system.evictSuspendedKv(victim).value();
+
+    const RequestId urgent = system.submit(system.problems()[1]);
+    while (*system.requestState(urgent) != RequestState::Completed)
+        system.step();
+
+    if (Status s = system.resume(victim); !s.ok()) {
+        std::cerr << s.toString() << "\n";
+        return 1;
+    }
+    system.drain();
+    const RequestResult after = *system.result(victim);
+    std::cout << "\nPreemption demo: request #" << victim
+              << " was suspended and " << evicted
+              << " KV tokens force-evicted for #" << urgent
+              << "; resumed, it recomputed "
+              << after.kvStats.recomputedTokens
+              << " tokens (prompt re-prefill included) and still "
+              << "completed " << after.completedBeams << " beams in "
+              << formatDouble(after.completionTime, 1) << " s\n";
     return 0;
 }

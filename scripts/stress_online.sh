@@ -10,7 +10,10 @@
 # 512-request trace with 8 requests interleaved under each of two
 # admission policies — one queue-reordering policy (sjf) and the aging
 # path (priority) — so scheduler races, lifetime bugs and leaks in the
-# multi-request interleaving machinery cannot land silently.
+# multi-request interleaving machinery cannot land silently. A third
+# pass runs preemptive EDF with doomed-request shedding under a tight
+# shared KV budget (--preempt policy --kv-budget), hammering the
+# suspend/evict/resume path of the shared-engine server.
 
 set -euo pipefail
 
@@ -61,4 +64,14 @@ for policy in sjf priority; do
         --arrivals bursty --policy "${policy}" \
         --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 done
+
+# Preemption storm: policy-driven preemption + doomed-request shedding
+# under a deliberately tight shared KV budget, so every request is
+# suspended, force-evicted and recomputed many times.
+echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
+    "policy=edf, preempt=policy, kv-budget=0.5 GiB, shed-doomed"
+"${bench}" --problems "${requests}" --beams 4 --dataset AMC \
+    --arrivals bursty --policy edf --preempt policy \
+    --kv-budget 0.5 --shed-doomed \
+    --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 echo "-- scheduler stress passed (ASan+UBSan clean)"

@@ -158,11 +158,20 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             args.parsedFlags.push_back("--offload");
             continue;
         }
+        if (flag == "--shed-doomed" || flag == "--no-shed-doomed") {
+            if (has_value)
+                return Status::invalidArgument(
+                    flag + " does not take a value (use --shed-doomed "
+                           "or --no-shed-doomed)");
+            args.shedDoomed = flag == "--shed-doomed";
+            args.parsedFlags.push_back("--shed-doomed");
+            continue;
+        }
 
         if (flag == "--device" || flag == "--dataset"
             || flag == "--algorithm" || flag == "--models"
             || flag == "--mode" || flag == "--policy"
-            || flag == "--arrivals") {
+            || flag == "--arrivals" || flag == "--preempt") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -177,6 +186,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.policy = value;
             else if (flag == "--arrivals")
                 args.arrivals = value;
+            else if (flag == "--preempt")
+                args.preempt = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -215,7 +226,7 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         }
 
         if (flag == "--memory-fraction" || flag == "--reserved-gib"
-            || flag == "--slo") {
+            || flag == "--slo" || flag == "--kv-budget") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseDouble(flag, value);
@@ -225,6 +236,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.memoryFraction = *parsed;
             else if (flag == "--slo")
                 args.slo = *parsed;
+            else if (flag == "--kv-budget")
+                args.kvBudgetGiB = *parsed;
             else
                 args.reservedGiB = *parsed;
             args.parsedFlags.push_back(flag);
@@ -271,7 +284,7 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
     for (const auto &[key, value] : doc.members()) {
         if (key == "device" || key == "dataset" || key == "algorithm"
             || key == "models" || key == "mode" || key == "policy"
-            || key == "arrivals") {
+            || key == "arrivals" || key == "preempt") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -287,6 +300,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.policy = *parsed;
             else if (key == "arrivals")
                 args.arrivals = *parsed;
+            else if (key == "preempt")
+                args.preempt = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
@@ -309,6 +324,16 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 return Status::invalidArgument(
                     "\"slo\" must be a number");
             args.slo = value.asNumber();
+        } else if (key == "kv_budget_gib") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"kv_budget_gib\" must be a number");
+            args.kvBudgetGiB = value.asNumber();
+        } else if (key == "shed_doomed") {
+            if (!value.isBool())
+                return Status::invalidArgument(
+                    "\"shed_doomed\" must be a boolean");
+            args.shedDoomed = value.asBool();
         } else if (key == "seed") {
             auto parsed = jsonInt(key, value, 0,
                                   (1LL << 53)); // Doubles round-trip 2^53.
@@ -403,6 +428,14 @@ EngineArgs::validate() const
         return Status::invalidArgument(
             "arrivals must be 'poisson' or 'bursty', got '" + arrivals
             + "'");
+    if (preempt != "off" && preempt != "slice" && preempt != "policy")
+        return Status::invalidArgument(
+            "preempt must be 'off', 'slice' or 'policy', got '"
+            + preempt + "'");
+    if (!(kvBudgetGiB >= 0) || !std::isfinite(kvBudgetGiB))
+        return Status::invalidArgument(
+            "kv_budget must be >= 0 GiB (0 keeps the legacy per-slot "
+            "accounting)");
     return okStatus();
 }
 
@@ -472,6 +505,9 @@ EngineArgs::toOnlineOptions() const
     online.policy = policy;
     online.maxInflight = maxInflight;
     online.slo = slo;
+    online.preempt = preempt;
+    online.kvBudgetGiB = kvBudgetGiB;
+    online.shedDoomed = shedDoomed;
     return online;
 }
 
@@ -498,6 +534,16 @@ EngineArgs::help(const std::string &program)
         "  --max-inflight N     interleaved online requests (1-64)\n"
         "  --slo SECONDS        per-request latency SLO (0 disables)\n"
         "  --arrivals MODE      arrival process: 'poisson' or 'bursty'\n"
+        "  --preempt MODE       online preemption: 'off' (run to\n"
+        "                       completion), 'slice' (round-robin time\n"
+        "                       slices) or 'policy' (the queue policy\n"
+        "                       preempts the running victim)\n"
+        "  --kv-budget GIB      shared KV budget all in-flight online\n"
+        "                       requests contend for (0 = legacy\n"
+        "                       per-slot accounting)\n"
+        "  --shed-doomed        shed queued requests whose predicted\n"
+        "                       finish already misses their deadline\n"
+        "  --no-shed-doomed     serve doomed requests anyway (default)\n"
         "  --help               print this text and exit\n"
         "\n"
         "Bare positionals (legacy): first = --problems, second = "
@@ -538,7 +584,8 @@ allFlags()
         "--branch-factor", "--problems",     "--seed",
         "--offload",       "--memory-fraction", "--reserved-gib",
         "--policy",        "--max-inflight", "--slo",
-        "--arrivals"};
+        "--arrivals",      "--preempt",      "--kv-budget",
+        "--shed-doomed"};
     return flags;
 }
 

@@ -64,6 +64,18 @@ struct EngineArgs
                           //!< budget in seconds; 0 disables.
     std::string arrivals = "poisson"; //!< --arrivals / "arrivals":
                                       //!< 'poisson' or 'bursty'.
+    std::string preempt = "slice"; //!< --preempt / "preempt": 'off'
+                                   //!< (run-to-completion), 'slice'
+                                   //!< (round-robin time slices) or
+                                   //!< 'policy' (QueuePolicy-driven
+                                   //!< preemption of the victim).
+    double kvBudgetGiB = 0; //!< --kv-budget / "kv_budget_gib": shared
+                            //!< KV budget (GiB) all in-flight requests
+                            //!< contend for; 0 = legacy per-slot
+                            //!< accounting.
+    bool shedDoomed = false; //!< --shed-doomed / "shed_doomed": shed
+                             //!< queued requests whose predicted
+                             //!< finish already misses their deadline.
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 

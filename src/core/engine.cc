@@ -6,6 +6,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "kv/kv_session.h"
+
 namespace fasttts
 {
 
@@ -69,6 +71,53 @@ struct FastTtsEngine::ActiveBeam
     int branchesStarted = 0;
 };
 
+/**
+ * Everything that belongs to one in-flight request: mounted on the
+ * engine between beginRequest() and finishRequest(), or parked inside
+ * a SuspendedEngineRequest. Field names keep the engine-member style
+ * (trailing underscore) because the engine code reads them through
+ * ctx_->.
+ */
+struct FastTtsEngine::RequestContext
+{
+    Problem problem_;
+    SimClock clock_;
+    AllocationPlan plan_;
+    Rng systemRng_{0};
+    std::vector<std::unique_ptr<ActiveBeam>> active_;
+    std::vector<CompletedSolution> completed_;
+    std::vector<IterationStats> iterStats_;
+    std::vector<std::vector<int>> stepTokens_;
+    std::unique_ptr<KvCacheManager> kvGen_;
+    std::unique_ptr<KvCacheManager> kvVer_;
+    uint64_t nextBeamId_ = 1;
+    uint64_t nextSegId_ = 1;
+    int iteration_ = 0;
+    int forcedTerminations_ = 0;
+    int promptNodeGen_ = -1;
+    int promptNodeVer_ = -1;
+    bool inRequest_ = false; //!< Between beginRequest and finish.
+
+    // Accumulated request metrics.
+    long generatedTokens_ = 0;
+    long speculativeTokens_ = 0;
+    long wastedSpecTokens_ = 0;
+
+    // Generation-phase scratch (valid within one iteration).
+    std::vector<size_t> queue_;
+    std::vector<size_t> decodeSet_;
+    // Running speculative branches as (active_ index, branch index)
+    // pairs, kept sorted in beam order and maintained incrementally
+    // (added at creation, filtered per event wave, cleared on kill) so
+    // the event loop never rescans all beams x branches.
+    std::vector<std::pair<size_t, size_t>> specRunning_;
+    std::vector<std::pair<size_t, size_t>> specScratch_;
+    double meanVerifierSeq_ = 0;  //!< Mean incremental request length.
+    double meanVerifierPath_ = 0; //!< Mean full-path length (planning).
+    bool specAllowed_ = true;      //!< Memory allows speculation.
+    bool lookaheadAllowed_ = true; //!< Verifier cache under pressure.
+};
+
 namespace
 {
 
@@ -118,6 +167,7 @@ FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
         + models_.verifier.weightBytes();
     kvBudget_ = std::max(64.0 * MiB,
                          usable - weights - config_.reservedBytes);
+    ctx_ = std::make_unique<RequestContext>();
 }
 
 FastTtsEngine::~FastTtsEngine() = default;
@@ -125,66 +175,78 @@ FastTtsEngine::~FastTtsEngine() = default;
 void
 FastTtsEngine::resetRequestState(const Problem &problem)
 {
-    problem_ = problem;
-    clock_ = SimClock();
-    clock_.setTraceEnabled(config_.recordTrace);
-    systemRng_ = Rng(config_.systemSeed ^ problem.seed);
-    active_.clear();
-    completed_.clear();
-    iterStats_.clear();
-    queue_.clear();
-    decodeSet_.clear();
-    specRunning_.clear();
-    stepTokens_.assign(static_cast<size_t>(dataset_.maxSteps) + 1, {});
-    nextBeamId_ = 1;
-    nextSegId_ = 1;
-    iteration_ = 0;
-    forcedTerminations_ = 0;
-    generatedTokens_ = 0;
-    speculativeTokens_ = 0;
-    wastedSpecTokens_ = 0;
-    meanVerifierSeq_ = 0;
-    meanVerifierPath_ = 0;
+    ctx_->problem_ = problem;
+    ctx_->clock_ = SimClock();
+    ctx_->clock_.setTraceEnabled(config_.recordTrace);
+    ctx_->systemRng_ = Rng(config_.systemSeed ^ problem.seed);
+    ctx_->active_.clear();
+    ctx_->completed_.clear();
+    ctx_->iterStats_.clear();
+    ctx_->queue_.clear();
+    ctx_->decodeSet_.clear();
+    ctx_->specRunning_.clear();
+    ctx_->stepTokens_.assign(static_cast<size_t>(dataset_.maxSteps) + 1, {});
+    ctx_->nextBeamId_ = 1;
+    ctx_->nextSegId_ = 1;
+    ctx_->iteration_ = 0;
+    ctx_->forcedTerminations_ = 0;
+    ctx_->generatedTokens_ = 0;
+    ctx_->speculativeTokens_ = 0;
+    ctx_->wastedSpecTokens_ = 0;
+    ctx_->meanVerifierSeq_ = 0;
+    ctx_->meanVerifierPath_ = 0;
 
     // Fresh KV managers; the plan resizes their budgets each iteration.
-    kvGen_ = std::make_unique<KvCacheManager>(
+    ctx_->kvGen_ = std::make_unique<KvCacheManager>(
         kvBudget_ * 0.5, models_.generator.kvBytesPerToken(),
         config_.blockTokens);
-    kvVer_ = std::make_unique<KvCacheManager>(
+    ctx_->kvVer_ = std::make_unique<KvCacheManager>(
         kvBudget_ * 0.5, models_.verifier.kvBytesPerToken(),
         config_.blockTokens);
+    if (ledger_ != nullptr) {
+        ctx_->kvGen_->attachLedger(ledger_);
+        ctx_->kvVer_->attachLedger(ledger_);
+    }
 
     // Shared question prompt: prefilled once by the generator; the
     // verifier materialises it lazily at first verification.
-    promptNodeGen_ = kvGen_->createChild(KvCacheManager::kRoot,
-                                         nextSegId_, problem.promptTokens);
-    promptNodeVer_ = kvVer_->createChild(KvCacheManager::kRoot,
-                                         nextSegId_, problem.promptTokens);
-    ++nextSegId_;
-    kvGen_->retain(promptNodeGen_);
-    kvVer_->retain(promptNodeVer_);
-    kvGen_->ensureResident(promptNodeGen_, 0);
-    clock_.advance(
-        roofline_.prefillTime(models_.generator, 1, problem.promptTokens),
-        Phase::Recompute,
-        roofline_.prefillComputeUtil(models_.generator, 1,
-                                     problem.promptTokens),
-        1, 1);
+    ctx_->promptNodeGen_ = ctx_->kvGen_->createChild(KvCacheManager::kRoot,
+                                         ctx_->nextSegId_, problem.promptTokens);
+    ctx_->promptNodeVer_ = ctx_->kvVer_->createChild(KvCacheManager::kRoot,
+                                         ctx_->nextSegId_, problem.promptTokens);
+    ++ctx_->nextSegId_;
+    ctx_->kvGen_->retain(ctx_->promptNodeGen_);
+    ctx_->kvVer_->retain(ctx_->promptNodeVer_);
+    // When the shared ledger is exhausted by other in-flight requests
+    // the prompt KV cannot be stored yet; charging the prefill now
+    // AND the inevitable recompute at first touch would double-count
+    // it, so the prefill is deferred to that touch instead.
+    const auto prompt_touch =
+        ctx_->kvGen_->ensureResident(ctx_->promptNodeGen_, 0);
+    if (prompt_touch.ok) {
+        ctx_->clock_.advance(
+            roofline_.prefillTime(models_.generator, 1,
+                                  problem.promptTokens),
+            Phase::Recompute,
+            roofline_.prefillComputeUtil(models_.generator, 1,
+                                         problem.promptTokens),
+            1, 1);
+    }
 
     const int n = algorithm_.beamWidth();
     const int branch = std::max(1, algorithm_.branchFactor());
-    active_.reserve(static_cast<size_t>(n));
+    ctx_->active_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
         auto beam = std::make_unique<ActiveBeam>();
-        beam->id = nextBeamId_++;
+        beam->id = ctx_->nextBeamId_++;
         beam->seed = rootLineageSeed(problem, i);
         beam->rootIndex = i / branch;
         beam->quality = rootQuality(generator_, problem, i);
-        beam->leaf = promptNodeGen_;
-        beam->verLeaf = promptNodeVer_;
+        beam->leaf = ctx_->promptNodeGen_;
+        beam->verLeaf = ctx_->promptNodeVer_;
         beam->prevPos = i;
-        beam->spawnTime = clock_.now();
-        active_.push_back(std::move(beam));
+        beam->spawnTime = ctx_->clock_.now();
+        ctx_->active_.push_back(std::move(beam));
     }
 }
 
@@ -196,46 +258,46 @@ FastTtsEngine::replan()
     // count: the speculative phase keeps the execution batch full
     // (Sec. 4.1.2), so capacity must not shrink as paths complete.
     shape.numRequests = algorithm_.beamWidth();
-    const int cap = algorithm_.stepTokenCap(iteration_);
+    const int cap = algorithm_.stepTokenCap(ctx_->iteration_);
     shape.decodeLen =
         std::min(expectedStepTokens_, static_cast<double>(cap));
     // The verifier's KV working set is the *full* reasoning path (a
     // discriminative PRM scores the whole path), not the incremental
     // request; plan memory for it.
-    shape.verifierSeqLen = meanVerifierPath_ > 0
-        ? meanVerifierPath_
-        : problem_.promptTokens + (iteration_ + 1) * shape.decodeLen;
+    shape.verifierSeqLen = ctx_->meanVerifierPath_ > 0
+        ? ctx_->meanVerifierPath_
+        : ctx_->problem_.promptTokens + (ctx_->iteration_ + 1) * shape.decodeLen;
     shape.verifierReqLen =
-        meanVerifierSeq_ > 0 ? meanVerifierSeq_ : shape.decodeLen;
+        ctx_->meanVerifierSeq_ > 0 ? ctx_->meanVerifierSeq_ : shape.decodeLen;
     double ctx_total = 0;
-    for (const auto &b : active_)
-        ctx_total += kvGen_->pathTokens(b->leaf);
+    for (const auto &b : ctx_->active_)
+        ctx_total += ctx_->kvGen_->pathTokens(b->leaf);
     shape.avgCacheLen = shape.decodeLen / 2
-        + (active_.empty() ? problem_.promptTokens
+        + (ctx_->active_.empty() ? ctx_->problem_.promptTokens
                            : ctx_total / static_cast<double>(
-                                 active_.size()));
-    plan_ = planner_->plan(shape, kvBudget_);
-    kvGen_->setBudgetBytes(plan_.generatorKvBytes);
-    kvVer_->setBudgetBytes(plan_.verifierKvBytes);
+                                 ctx_->active_.size()));
+    ctx_->plan_ = planner_->plan(shape, kvBudget_);
+    ctx_->kvGen_->setBudgetBytes(ctx_->plan_.generatorKvBytes);
+    ctx_->kvVer_->setBudgetBytes(ctx_->plan_.verifierKvBytes);
 
     // Speculation pays only when memory is not the bottleneck
     // (Sec. 6.5.1): with the working set oversubscribed, speculative
     // KV would displace cache the standard beams still need.
     const double pool_tokens =
-        plan_.generatorKvBytes / models_.generator.kvBytesPerToken();
+        ctx_->plan_.generatorKvBytes / models_.generator.kvBytesPerToken();
     const double working_set =
         shape.numRequests * (shape.avgCacheLen + shape.decodeLen / 2);
-    specAllowed_ = working_set <= 0.8 * pool_tokens;
+    ctx_->specAllowed_ = working_set <= 0.8 * pool_tokens;
 
     // LookAhead Verification pays when the verifier cache cannot hold
     // the beams' paths between iterations (pre-verifying avoids the
     // full-path re-prefill, Sec. 4.1.3); when the cache comfortably
     // retains prefixes, pre-verifying soon-pruned beams is pure waste.
     const double ver_pool_tokens =
-        plan_.verifierKvBytes / models_.verifier.kvBytesPerToken();
+        ctx_->plan_.verifierKvBytes / models_.verifier.kvBytesPerToken();
     const double ver_working_set =
         shape.numRequests * shape.verifierSeqLen;
-    lookaheadAllowed_ = ver_working_set > ver_pool_tokens;
+    ctx_->lookaheadAllowed_ = ver_working_set > ver_pool_tokens;
 }
 
 double
@@ -247,20 +309,20 @@ FastTtsEngine::currentAvgContext() const
     // integral, so the mean is bit-identical to the full rescan.
     long total = 0;
     int count = 0;
-    for (size_t idx : decodeSet_) {
-        const ActiveBeam &b = *active_[idx];
-        total += kvGen_->pathTokens(b.curSeg);
+    for (size_t idx : ctx_->decodeSet_) {
+        const ActiveBeam &b = *ctx_->active_[idx];
+        total += ctx_->kvGen_->pathTokens(b.curSeg);
         ++count;
     }
-    for (const auto &[beam_idx, branch_idx] : specRunning_) {
-        const SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+    for (const auto &[beam_idx, branch_idx] : ctx_->specRunning_) {
+        const SpecBranch &br = ctx_->active_[beam_idx]->branches[branch_idx];
         if (br.node >= 0 && !br.complete && br.retained) {
-            total += kvGen_->pathTokens(br.node);
+            total += ctx_->kvGen_->pathTokens(br.node);
             ++count;
         }
     }
     if (count == 0)
-        return problem_.promptTokens;
+        return ctx_->problem_.promptTokens;
     return static_cast<double>(total) / count;
 }
 
@@ -271,7 +333,7 @@ FastTtsEngine::chargeRecompute(int tokens)
         return;
     // Re-prefill of evicted prefixes piggybacks on the running decode
     // batch (chunked prefill): marginal compute + KV writes only.
-    clock_.advance(
+    ctx_->clock_.advance(
         roofline_.chunkedRecomputeTime(models_.generator, tokens),
         Phase::Recompute, 0.6, 1, 1);
 }
@@ -279,37 +341,37 @@ FastTtsEngine::chargeRecompute(int tokens)
 bool
 FastTtsEngine::admitBeam(size_t idx)
 {
-    ActiveBeam &b = *active_[idx];
+    ActiveBeam &b = *ctx_->active_[idx];
     if (!b.stepPrepared) {
-        b.draw = drawStep(generator_, problem_, b.seed, b.steps, b.quality,
+        b.draw = drawStep(generator_, ctx_->problem_, b.seed, b.steps, b.quality,
                           algorithm_.stepTokenCap(b.steps));
         b.targetTokens = b.draw.tokens;
         b.decoded = 0;
         b.stepPrepared = true;
     }
     if (b.curSeg < 0) {
-        b.curSegId = nextSegId_++;
-        b.curSeg = kvGen_->createChild(b.leaf, b.curSegId, 0);
+        b.curSegId = ctx_->nextSegId_++;
+        b.curSeg = ctx_->kvGen_->createChild(b.leaf, b.curSegId, 0);
     }
-    auto touch = kvGen_->ensureResident(
-        b.curSeg, static_cast<uint64_t>(clock_.now() * 1e6));
+    auto touch = ctx_->kvGen_->ensureResident(
+        b.curSeg, static_cast<uint64_t>(ctx_->clock_.now() * 1e6));
     if (!touch.ok)
         return false;
     chargeRecompute(touch.recomputeTokens);
-    kvGen_->retain(b.curSeg);
+    ctx_->kvGen_->retain(b.curSeg);
     b.pinned = true;
     if (b.pendingStepDone || b.decoded >= b.targetTokens) {
         // Step already materialised (kept speculation); nothing to
         // decode — straight to the finished set.
         b.finishedGen = true;
         b.pinned = false;
-        kvGen_->release(b.curSeg);
-        stepTokens_[static_cast<size_t>(
+        ctx_->kvGen_->release(b.curSeg);
+        ctx_->stepTokens_[static_cast<size_t>(
                         std::min(b.steps, dataset_.maxSteps))]
             .push_back(b.targetTokens);
     } else {
         b.inDecode = true;
-        decodeSet_.push_back(idx);
+        ctx_->decodeSet_.push_back(idx);
     }
     return true;
 }
@@ -317,14 +379,14 @@ FastTtsEngine::admitBeam(size_t idx)
 void
 FastTtsEngine::finishStandardBeam(size_t idx)
 {
-    ActiveBeam &b = *active_[idx];
+    ActiveBeam &b = *ctx_->active_[idx];
     b.inDecode = false;
     b.finishedGen = true;
     if (b.pinned) {
-        kvGen_->release(b.curSeg);
+        ctx_->kvGen_->release(b.curSeg);
         b.pinned = false;
     }
-    stepTokens_[static_cast<size_t>(std::min(b.steps, dataset_.maxSteps))]
+    ctx_->stepTokens_[static_cast<size_t>(std::min(b.steps, dataset_.maxSteps))]
         .push_back(b.targetTokens);
 }
 
@@ -332,10 +394,10 @@ void
 FastTtsEngine::releaseBranch(SpecBranch &branch)
 {
     if (branch.retained && branch.node >= 0) {
-        kvGen_->release(branch.node);
+        ctx_->kvGen_->release(branch.node);
         branch.retained = false;
     }
-    wastedSpecTokens_ += branch.decoded;
+    ctx_->wastedSpecTokens_ += branch.decoded;
     branch.decoded = 0;
     branch.complete = false;
     branch.node = -1;
@@ -348,30 +410,30 @@ FastTtsEngine::killAllSpeculation()
     // resized here because the event loop may hold pointers into it.
     // Only the tracked running set needs visiting: completed branches
     // stay alive for selection, dead ones are already node = -1.
-    for (const auto &[beam_idx, branch_idx] : specRunning_) {
-        SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+    for (const auto &[beam_idx, branch_idx] : ctx_->specRunning_) {
+        SpecBranch &br = ctx_->active_[beam_idx]->branches[branch_idx];
         if (br.node >= 0 && !br.complete)
             releaseBranch(br);
     }
-    specRunning_.clear();
+    ctx_->specRunning_.clear();
 }
 
 void
 FastTtsEngine::fillSpeculativeSlots()
 {
-    const int capacity = std::max(1, plan_.decodeBatch);
-    const int running = static_cast<int>(specRunning_.size());
+    const int capacity = std::max(1, ctx_->plan_.decodeBatch);
+    const int running = static_cast<int>(ctx_->specRunning_.size());
     int free_slots =
-        capacity - static_cast<int>(decodeSet_.size()) - running;
+        capacity - static_cast<int>(ctx_->decodeSet_.size()) - running;
     if (free_slots <= 0)
         return;
 
     // Memory-headroom gate: speculation must never evict cache the
     // standard beams still need. Only speculate when the generator
     // pool has slack for a typical child step.
-    const size_t slack_blocks = kvGen_->blocksFor(
+    const size_t slack_blocks = ctx_->kvGen_->blocksFor(
         static_cast<int>(expectedStepTokens_) * 4);
-    if (kvGen_->allocator().free() < slack_blocks)
+    if (ctx_->kvGen_->freeBlocks() < slack_blocks)
         return;
 
     // Score bins over the active beams' previous-step scores: one
@@ -379,22 +441,22 @@ FastTtsEngine::fillSpeculativeSlots()
     // loop calls this every wave, so the per-beam potentials are
     // computed exactly once per call instead of per comparison.
     std::vector<double> scores;
-    scores.reserve(active_.size());
-    for (const auto &b : active_)
+    scores.reserve(ctx_->active_.size());
+    for (const auto &b : ctx_->active_)
         scores.push_back(b->score);
     const SpeculativePolicy::ScoreBins bins =
         specPolicy_.scoreBins(scores);
-    std::vector<int> potentials(active_.size(), 0);
-    for (size_t i = 0; i < active_.size(); ++i) {
+    std::vector<int> potentials(ctx_->active_.size(), 0);
+    for (size_t i = 0; i < ctx_->active_.size(); ++i) {
         potentials[i] = specPolicy_.binnedPotential(
-            active_[i]->score, bins);
+            ctx_->active_[i]->score, bins);
     }
 
     // Candidates: finished, non-terminal beams with branch capacity
     // left, highest speculative potential first.
     std::vector<size_t> candidates;
-    for (size_t i = 0; i < active_.size(); ++i) {
-        const ActiveBeam &b = *active_[i];
+    for (size_t i = 0; i < ctx_->active_.size(); ++i) {
+        const ActiveBeam &b = *ctx_->active_[i];
         if (!b.finishedGen || b.forceKilled || b.draw.terminal)
             continue;
         if (b.steps + 1 >= dataset_.maxSteps)
@@ -402,8 +464,8 @@ FastTtsEngine::fillSpeculativeSlots()
         // Speculating from an evicted path would force a recompute
         // prefill — never worth it for speculative work.
         if (b.curSeg < 0
-            || kvGen_->residentPrefixTokens(b.curSeg)
-                != kvGen_->pathTokens(b.curSeg)) {
+            || ctx_->kvGen_->residentPrefixTokens(b.curSeg)
+                != ctx_->kvGen_->pathTokens(b.curSeg)) {
             continue;
         }
         if (b.branchesStarted >= potentials[i])
@@ -414,13 +476,13 @@ FastTtsEngine::fillSpeculativeSlots()
               [&](size_t a, size_t c) {
                   if (potentials[a] != potentials[c])
                       return potentials[a] > potentials[c];
-                  if (active_[a]->score != active_[c]->score)
-                      return active_[a]->score > active_[c]->score;
-                  return active_[a]->id < active_[c]->id;
+                  if (ctx_->active_[a]->score != ctx_->active_[c]->score)
+                      return ctx_->active_[a]->score > ctx_->active_[c]->score;
+                  return ctx_->active_[a]->id < ctx_->active_[c]->id;
               });
 
     for (size_t i = 0; i < candidates.size() && free_slots > 0;) {
-        ActiveBeam &b = *active_[candidates[i]];
+        ActiveBeam &b = *ctx_->active_[candidates[i]];
         const int potential = potentials[candidates[i]];
         if (b.branchesStarted >= potential) {
             ++i;
@@ -431,82 +493,88 @@ FastTtsEngine::fillSpeculativeSlots()
         br.childIdx = j;
         const uint64_t child_seed =
             childLineageSeed(b.seed, b.steps + 1, j);
-        br.draw = drawStep(generator_, problem_, child_seed, b.steps + 1,
+        br.draw = drawStep(generator_, ctx_->problem_, child_seed, b.steps + 1,
                            b.draw.quality,
                            algorithm_.stepTokenCap(b.steps + 1));
         br.target = br.draw.tokens;
-        br.segId = nextSegId_++;
-        br.node = kvGen_->createChild(b.curSeg, br.segId, 0);
-        auto touch = kvGen_->ensureResident(
-            br.node, static_cast<uint64_t>(clock_.now() * 1e6));
+        br.segId = ctx_->nextSegId_++;
+        br.node = ctx_->kvGen_->createChild(b.curSeg, br.segId, 0);
+        auto touch = ctx_->kvGen_->ensureResident(
+            br.node, static_cast<uint64_t>(ctx_->clock_.now() * 1e6));
         if (!touch.ok)
             break; // Memory too tight to speculate at all.
         chargeRecompute(touch.recomputeTokens);
-        kvGen_->retain(br.node);
+        ctx_->kvGen_->retain(br.node);
         br.retained = true;
         b.branches.push_back(br);
-        specRunning_.emplace_back(candidates[i], b.branches.size() - 1);
+        ctx_->specRunning_.emplace_back(candidates[i], b.branches.size() - 1);
         ++b.branchesStarted;
         --free_slots;
     }
     // Keep the running set in (beam, branch) order: the event loop
     // applies tokens in this order, and allocation-failure behaviour
     // under memory pressure must match the original full rescan.
-    std::sort(specRunning_.begin(), specRunning_.end());
+    std::sort(ctx_->specRunning_.begin(), ctx_->specRunning_.end());
 }
 
 void
 FastTtsEngine::runGenerationPhase()
 {
-    if (plan_.offloadActive && plan_.offloadOverhead > 0)
-        clock_.advance(plan_.offloadOverhead * 0.5, Phase::Transfer);
+    if (ctx_->plan_.offloadActive && ctx_->plan_.offloadOverhead > 0)
+        ctx_->clock_.advance(ctx_->plan_.offloadOverhead * 0.5, Phase::Transfer);
 
     // --- Scheduling (Sec. 4.2) ---
     std::vector<SchedEntry> entries;
-    for (size_t i = 0; i < active_.size(); ++i) {
-        const ActiveBeam &b = *active_[i];
+    for (size_t i = 0; i < ctx_->active_.size(); ++i) {
+        const ActiveBeam &b = *ctx_->active_[i];
         SchedEntry e;
         e.index = i;
         e.beamId = b.id;
         e.parentBeam = b.prevPos >= 0 ? static_cast<uint64_t>(b.prevPos)
                                       : b.id;
         e.leaf = b.leaf;
-        e.pathTokens = kvGen_->pathTokens(b.leaf);
+        e.pathTokens = ctx_->kvGen_->pathTokens(b.leaf);
         e.prevPosition = b.prevPos;
         entries.push_back(e);
     }
-    scheduler_->order(entries, *kvGen_, systemRng_);
-    queue_.clear();
+    scheduler_->order(entries, *ctx_->kvGen_, ctx_->systemRng_);
+    ctx_->queue_.clear();
     for (size_t pos = 0; pos < entries.size(); ++pos) {
-        active_[entries[pos].index]->prevPos = static_cast<int>(pos);
-        queue_.push_back(entries[pos].index);
+        ctx_->active_[entries[pos].index]->prevPos = static_cast<int>(pos);
+        ctx_->queue_.push_back(entries[pos].index);
     }
-    decodeSet_.clear();
+    ctx_->decodeSet_.clear();
     // Selection released every branch of the previous iteration; start
     // the running-set bookkeeping from a clean slate regardless.
-    specRunning_.clear();
+    ctx_->specRunning_.clear();
 
-    const int capacity = std::max(1, plan_.decodeBatch);
+    const int capacity = std::max(1, ctx_->plan_.decodeBatch);
     // Pinned working-set estimate (tokens) for admission control.
+    // Capacity is what this request can actually obtain: the local
+    // pool capped by the shared ledger's remaining headroom (equal to
+    // the local total whenever no ledger binds), so admission waits
+    // under cross-request memory pressure instead of admitting beams
+    // the ledger will immediately refuse.
     double pinned_tokens = 0;
     const double budget_tokens =
-        static_cast<double>(kvGen_->allocator().total())
+        static_cast<double>(ctx_->kvGen_->allocator().used()
+                            + ctx_->kvGen_->freeBlocks())
         * config_.blockTokens;
 
     size_t q_head = 0;
     bool spec_disabled = false;
     int safety = 0;
-    const int safety_cap = static_cast<int>(active_.size()) * 4096 + 4096;
+    const int safety_cap = static_cast<int>(ctx_->active_.size()) * 4096 + 4096;
 
     while (true) {
         if (++safety > safety_cap)
             break; // Defensive: never hang a simulation.
 
         // --- Phase 1: Continuous Beam Batching admission ---
-        while (static_cast<int>(decodeSet_.size()) < capacity
-               && q_head < queue_.size()) {
-            const size_t idx = queue_[q_head];
-            ActiveBeam &b = *active_[idx];
+        while (static_cast<int>(ctx_->decodeSet_.size()) < capacity
+               && q_head < ctx_->queue_.size()) {
+            const size_t idx = ctx_->queue_[q_head];
+            ActiveBeam &b = *ctx_->active_[idx];
             if (b.forceKilled) {
                 ++q_head;
                 continue;
@@ -521,11 +589,11 @@ FastTtsEngine::runGenerationPhase()
                 ? b.targetTokens - b.decoded
                 : std::min(static_cast<int>(expectedStepTokens_),
                            algorithm_.stepTokenCap(b.steps));
-            const double need = kvGen_->pathTokens(b.leaf) + b.decoded
+            const double need = ctx_->kvGen_->pathTokens(b.leaf) + b.decoded
                 + remaining;
             if (config_.asymmetricAllocation
                 && pinned_tokens + need > budget_tokens * 0.95
-                && !decodeSet_.empty()) {
+                && !ctx_->decodeSet_.empty()) {
                 break; // Wait for running beams to finish.
             }
             // Baseline (M off): admit whenever blocks can be found now
@@ -536,12 +604,12 @@ FastTtsEngine::runGenerationPhase()
                 killAllSpeculation();
                 spec_disabled = true;
                 if (!admitBeam(idx)) {
-                    if (decodeSet_.empty()) {
+                    if (ctx_->decodeSet_.empty()) {
                         // Alone it still does not fit: the beam can
                         // never run under this budget.
                         b.forceKilled = true;
                         b.finishedGen = true;
-                        ++forcedTerminations_;
+                        ++ctx_->forcedTerminations_;
                         ++q_head;
                     }
                     break;
@@ -553,58 +621,58 @@ FastTtsEngine::runGenerationPhase()
         }
 
         // --- Phase 2: speculative extension (preemptible) ---
-        if (config_.speculativeExtension && specAllowed_
-            && !spec_disabled && q_head >= queue_.size()) {
+        if (config_.speculativeExtension && ctx_->specAllowed_
+            && !spec_disabled && q_head >= ctx_->queue_.size()) {
             fillSpeculativeSlots();
         }
 
         // Snapshot the running members for this wave. Branch vectors
         // may grow (invalidating pointers) only in fillSpeculativeSlots
         // above, so pointers are stable for the rest of the wave.
-        specScratch_ = specRunning_;
+        ctx_->specScratch_ = ctx_->specRunning_;
         std::vector<SpecBranch *> spec_run;
-        spec_run.reserve(specScratch_.size());
-        for (const auto &[beam_idx, branch_idx] : specScratch_) {
-            SpecBranch &br = active_[beam_idx]->branches[branch_idx];
+        spec_run.reserve(ctx_->specScratch_.size());
+        for (const auto &[beam_idx, branch_idx] : ctx_->specScratch_) {
+            SpecBranch &br = ctx_->active_[beam_idx]->branches[branch_idx];
             if (br.node >= 0 && !br.complete && br.retained)
                 spec_run.push_back(&br);
         }
-        if (decodeSet_.empty() && spec_run.empty()) {
-            if (q_head >= queue_.size())
+        if (ctx_->decodeSet_.empty() && spec_run.empty()) {
+            if (q_head >= ctx_->queue_.size())
                 break;
             continue; // More standard beams to admit.
         }
 
         // --- Next event: smallest remaining token count ---
         int dt = std::numeric_limits<int>::max();
-        for (size_t idx : decodeSet_) {
-            const ActiveBeam &b = *active_[idx];
+        for (size_t idx : ctx_->decodeSet_) {
+            const ActiveBeam &b = *ctx_->active_[idx];
             dt = std::min(dt, b.targetTokens - b.decoded);
         }
         for (SpecBranch *br : spec_run)
             dt = std::min(dt, br->target - br->decoded);
         dt = std::max(dt, 1);
 
-        const int active_total = static_cast<int>(decodeSet_.size())
+        const int active_total = static_cast<int>(ctx_->decodeSet_.size())
             + static_cast<int>(spec_run.size());
         const double ctx = currentAvgContext() + dt * 0.5;
         const double step_time = roofline_.decodeStepTime(
             models_.generator, active_total, ctx);
-        clock_.advance(dt * step_time, Phase::Generation,
+        ctx_->clock_.advance(dt * step_time, Phase::Generation,
                        roofline_.decodeComputeUtil(models_.generator,
                                                    active_total, ctx),
                        active_total, capacity);
 
         const uint64_t tick =
-            static_cast<uint64_t>(clock_.now() * 1e6);
+            static_cast<uint64_t>(ctx_->clock_.now() * 1e6);
 
         // Memory pressure from the standard beams preempts speculation
         // *before* any useful cache gets evicted (Sec. 4.1.2: the
         // speculative phase is fully preemptible).
         if (!spec_run.empty()) {
-            const size_t wave_need = kvGen_->blocksFor(dt)
-                * (decodeSet_.size() + spec_run.size());
-            if (kvGen_->allocator().free() < wave_need) {
+            const size_t wave_need = ctx_->kvGen_->blocksFor(dt)
+                * (ctx_->decodeSet_.size() + spec_run.size());
+            if (ctx_->kvGen_->freeBlocks() < wave_need) {
                 killAllSpeculation();
                 spec_disabled = true;
             }
@@ -612,50 +680,50 @@ FastTtsEngine::runGenerationPhase()
 
         // --- Apply dt tokens to every running member ---
         std::vector<size_t> still_running;
-        for (size_t idx : decodeSet_) {
-            ActiveBeam &b = *active_[idx];
-            if (!kvGen_->appendTokens(b.curSeg, dt, tick)) {
+        for (size_t idx : ctx_->decodeSet_) {
+            ActiveBeam &b = *ctx_->active_[idx];
+            if (!ctx_->kvGen_->appendTokens(b.curSeg, dt, tick)) {
                 // Memory pressure: stop speculation, then preempt the
                 // beam itself if still stuck (vLLM swap semantics).
                 killAllSpeculation();
                 spec_disabled = true;
-                if (!kvGen_->appendTokens(b.curSeg, dt, tick)) {
-                    kvGen_->release(b.curSeg);
+                if (!ctx_->kvGen_->appendTokens(b.curSeg, dt, tick)) {
+                    ctx_->kvGen_->release(b.curSeg);
                     b.pinned = false;
                     b.inDecode = false;
                     pinned_tokens = std::max(
                         0.0, pinned_tokens
-                                 - (kvGen_->pathTokens(b.curSeg)
+                                 - (ctx_->kvGen_->pathTokens(b.curSeg)
                                     + b.targetTokens - b.decoded));
-                    queue_.push_back(idx);
+                    ctx_->queue_.push_back(idx);
                     continue;
                 }
             }
             b.decoded += dt;
-            generatedTokens_ += dt;
+            ctx_->generatedTokens_ += dt;
             if (b.decoded >= b.targetTokens) {
                 pinned_tokens = std::max(
-                    0.0, pinned_tokens - kvGen_->pathTokens(b.curSeg));
+                    0.0, pinned_tokens - ctx_->kvGen_->pathTokens(b.curSeg));
                 finishStandardBeam(idx);
             } else {
                 still_running.push_back(idx);
             }
         }
-        decodeSet_ = std::move(still_running);
+        ctx_->decodeSet_ = std::move(still_running);
 
         for (SpecBranch *br : spec_run) {
             if (br->node < 0 || !br->retained)
                 continue; // Killed above.
             // Speculative appends may only take free blocks; they must
             // never evict cache the standard beams will re-touch.
-            if (!kvGen_->appendTokens(br->node, dt, tick,
+            if (!ctx_->kvGen_->appendTokens(br->node, dt, tick,
                                       /*allow_evict=*/false)) {
                 releaseBranch(*br);
                 continue;
             }
             br->decoded += dt;
-            generatedTokens_ += dt;
-            speculativeTokens_ += dt;
+            ctx_->generatedTokens_ += dt;
+            ctx_->speculativeTokens_ += dt;
             if (br->decoded >= br->target)
                 br->complete = true;
         }
@@ -663,18 +731,18 @@ FastTtsEngine::runGenerationPhase()
         // Refresh the running set from this wave's snapshot: branches
         // that completed, were preempted, or were killed above drop
         // out; order is preserved.
-        specRunning_.clear();
-        for (const auto &entry : specScratch_) {
+        ctx_->specRunning_.clear();
+        for (const auto &entry : ctx_->specScratch_) {
             const SpecBranch &br =
-                active_[entry.first]->branches[entry.second];
+                ctx_->active_[entry.first]->branches[entry.second];
             if (br.node >= 0 && !br.complete && br.retained)
-                specRunning_.push_back(entry);
+                ctx_->specRunning_.push_back(entry);
         }
 
         // Iteration ends when every standard beam finished its step;
         // in-flight speculation is strictly terminated at that point
         // (partial tokens are kept as head starts).
-        if (decodeSet_.empty() && q_head >= queue_.size())
+        if (ctx_->decodeSet_.empty() && q_head >= ctx_->queue_.size())
             break;
     }
 }
@@ -682,10 +750,10 @@ FastTtsEngine::runGenerationPhase()
 void
 FastTtsEngine::runVerificationPhase()
 {
-    if (plan_.offloadActive && plan_.offloadOverhead > 0)
-        clock_.advance(plan_.offloadOverhead * 0.5, Phase::Transfer);
+    if (ctx_->plan_.offloadActive && ctx_->plan_.offloadOverhead > 0)
+        ctx_->clock_.advance(ctx_->plan_.offloadOverhead * 0.5, Phase::Transfer);
 
-    // Requests follow the generation schedule order (queue_), which is
+    // Requests follow the generation schedule order (ctx_->queue_), which is
     // what lets Prefix-Aware Scheduling help the verifier cache too.
     struct Request
     {
@@ -693,35 +761,35 @@ FastTtsEngine::runVerificationPhase()
         int tokens;
     };
     std::vector<Request> requests;
-    const uint64_t tick = static_cast<uint64_t>(clock_.now() * 1e6);
+    const uint64_t tick = static_cast<uint64_t>(ctx_->clock_.now() * 1e6);
 
-    std::vector<size_t> order = queue_;
+    std::vector<size_t> order = ctx_->queue_;
     // Beams that never entered the queue (pendingStepDone) need their
     // state updated but no verifier request. A membership bitmap makes
     // this O(n) instead of the former O(n^2) std::find sweep.
-    std::vector<char> queued(active_.size(), 0);
-    for (size_t idx : queue_) {
+    std::vector<char> queued(ctx_->active_.size(), 0);
+    for (size_t idx : ctx_->queue_) {
         if (idx < queued.size())
             queued[idx] = 1;
     }
-    for (size_t i = 0; i < active_.size(); ++i) {
+    for (size_t i = 0; i < ctx_->active_.size(); ++i) {
         if (!queued[i])
             order.push_back(i);
     }
 
     std::vector<double> lookaheadScores;
-    lookaheadScores.reserve(active_.size());
-    for (const auto &bp : active_)
+    lookaheadScores.reserve(ctx_->active_.size());
+    for (const auto &bp : ctx_->active_)
         lookaheadScores.push_back(bp->score);
     const SpeculativePolicy::ScoreBins lookaheadBins =
         specPolicy_.scoreBins(lookaheadScores);
 
-    std::vector<char> seen(active_.size(), 0);
+    std::vector<char> seen(ctx_->active_.size(), 0);
     for (size_t idx : order) {
         if (seen[idx])
-            continue; // Suspended beams appear twice in queue_.
+            continue; // Suspended beams appear twice in ctx_->queue_.
         seen[idx] = 1;
-        ActiveBeam &b = *active_[idx];
+        ActiveBeam &b = *ctx_->active_[idx];
         if (b.forceKilled)
             continue;
         if (b.pendingStepDone) {
@@ -730,9 +798,9 @@ FastTtsEngine::runVerificationPhase()
             continue;
         }
         // Mirror the new segment into the verifier tree.
-        int ver_seg = kvVer_->childOf(b.verLeaf, b.curSegId);
+        int ver_seg = ctx_->kvVer_->childOf(b.verLeaf, b.curSegId);
         if (ver_seg < 0)
-            ver_seg = kvVer_->createChild(b.verLeaf, b.curSegId,
+            ver_seg = ctx_->kvVer_->createChild(b.verLeaf, b.curSegId,
                                           b.targetTokens);
         b.newVerSeg = ver_seg;
         int touch_leaf = ver_seg;
@@ -742,7 +810,7 @@ FastTtsEngine::runVerificationPhase()
         // beams in the top score bin — pre-verifying a beam the search
         // is about to prune wastes verifier compute.
         SpecBranch *ahead = nullptr;
-        if (config_.lookaheadVerification && lookaheadAllowed_
+        if (config_.lookaheadVerification && ctx_->lookaheadAllowed_
             && specPolicy_.binnedPotential(b.score, lookaheadBins)
                 >= specPolicy_.branchFactor()) {
             for (auto &br : b.branches) {
@@ -753,15 +821,15 @@ FastTtsEngine::runVerificationPhase()
             }
         }
         if (ahead != nullptr) {
-            ahead->verNode = kvVer_->createChild(
+            ahead->verNode = ctx_->kvVer_->createChild(
                 ver_seg, static_cast<uint64_t>(ahead->node) | (1ULL << 62),
                 ahead->decoded);
             touch_leaf = ahead->verNode;
         }
-        auto touch = kvVer_->ensureResident(touch_leaf, tick);
+        auto touch = ctx_->kvVer_->ensureResident(touch_leaf, tick);
         const int req_tokens = touch.ok
             ? touch.recomputeTokens
-            : kvVer_->pathTokens(touch_leaf); // Budget too small to
+            : ctx_->kvVer_->pathTokens(touch_leaf); // Budget too small to
                                               // cache: full re-prefill.
         requests.push_back({idx, std::max(req_tokens, 1)});
 
@@ -780,17 +848,17 @@ FastTtsEngine::runVerificationPhase()
     // working-set estimate).
     double path_total = 0;
     int path_count = 0;
-    for (const auto &bp : active_) {
+    for (const auto &bp : ctx_->active_) {
         if (bp->newVerSeg >= 0) {
-            path_total += kvVer_->pathTokens(bp->newVerSeg);
+            path_total += ctx_->kvVer_->pathTokens(bp->newVerSeg);
             ++path_count;
         }
     }
     if (path_count > 0)
-        meanVerifierPath_ = path_total / path_count;
+        ctx_->meanVerifierPath_ = path_total / path_count;
 
     // Batch the requests at the planned prefill batch size.
-    const int b_pre = std::max(1, plan_.prefillBatch);
+    const int b_pre = std::max(1, ctx_->plan_.prefillBatch);
     double seq_total = 0;
     for (size_t i = 0; i < requests.size();) {
         const size_t count =
@@ -799,7 +867,7 @@ FastTtsEngine::runVerificationPhase()
         for (size_t k = 0; k < count; ++k)
             batch_tokens += requests[i + k].tokens;
         const double mean_len = batch_tokens / count;
-        clock_.advance(
+        ctx_->clock_.advance(
             roofline_.prefillTime(models_.verifier,
                                   static_cast<int>(count), mean_len),
             Phase::Verification,
@@ -811,7 +879,7 @@ FastTtsEngine::runVerificationPhase()
         i += count;
     }
     if (!requests.empty())
-        meanVerifierSeq_ = seq_total / requests.size();
+        ctx_->meanVerifierSeq_ = seq_total / requests.size();
 }
 
 void
@@ -821,8 +889,8 @@ FastTtsEngine::completeBeam(ActiveBeam &beam, double score)
     sol.answer = beam.draw.answer;
     sol.score = score;
     sol.tokens = beam.totalTokens;
-    sol.finishTime = clock_.now();
-    completed_.push_back(sol);
+    sol.finishTime = ctx_->clock_.now();
+    ctx_->completed_.push_back(sol);
 }
 
 void
@@ -839,7 +907,7 @@ void
 FastTtsEngine::runSelectionPhase()
 {
     // --- Commit step results ---
-    for (auto &bp : active_) {
+    for (auto &bp : ctx_->active_) {
         ActiveBeam &b = *bp;
         if (b.forceKilled) {
             // Unverified forced completion: weak score.
@@ -860,8 +928,8 @@ FastTtsEngine::runSelectionPhase()
 
     // --- Collect terminal beams ---
     std::vector<size_t> live;
-    for (size_t i = 0; i < active_.size(); ++i) {
-        ActiveBeam &b = *active_[i];
+    for (size_t i = 0; i < ctx_->active_.size(); ++i) {
+        ActiveBeam &b = *ctx_->active_[i];
         if (b.forceKilled)
             continue;
         if (b.draw.terminal) {
@@ -873,11 +941,11 @@ FastTtsEngine::runSelectionPhase()
     }
 
     const int target = algorithm_.beamWidth()
-        - static_cast<int>(completed_.size());
+        - static_cast<int>(ctx_->completed_.size());
 
     std::vector<BeamCandidate> candidates;
     for (size_t k = 0; k < live.size(); ++k) {
-        const ActiveBeam &b = *active_[live[k]];
+        const ActiveBeam &b = *ctx_->active_[live[k]];
         BeamCandidate c;
         c.index = k;
         c.score = b.score;
@@ -890,9 +958,9 @@ FastTtsEngine::runSelectionPhase()
 
     std::vector<std::unique_ptr<ActiveBeam>> next;
     if (target > 0 && !candidates.empty()) {
-        Rng sel_rng(Rng::mix(problem_.seed,
+        Rng sel_rng(Rng::mix(ctx_->problem_.seed,
                              0x5e1ec7 + static_cast<uint64_t>(
-                                 iteration_)));
+                                 ctx_->iteration_)));
         const SelectionResult result =
             algorithm_.select(candidates, target, sel_rng);
 
@@ -901,11 +969,11 @@ FastTtsEngine::runSelectionPhase()
             child_count[cand_idx] = k;
 
         for (size_t k = 0; k < live.size(); ++k) {
-            ActiveBeam &parent = *active_[live[k]];
+            ActiveBeam &parent = *ctx_->active_[live[k]];
             const int num_children = child_count[k];
             for (int j = 0; j < num_children; ++j) {
                 auto child = std::make_unique<ActiveBeam>();
-                child->id = nextBeamId_++;
+                child->id = ctx_->nextBeamId_++;
                 child->seed =
                     childLineageSeed(parent.seed, parent.steps, j);
                 child->rootIndex = parent.rootIndex;
@@ -917,7 +985,7 @@ FastTtsEngine::runSelectionPhase()
                 child->leaf = parent.leaf;
                 child->verLeaf = parent.verLeaf;
                 child->prevPos = parent.prevPos;
-                child->spawnTime = clock_.now();
+                child->spawnTime = ctx_->clock_.now();
 
                 // Adopt the matching speculative branch, if any
                 // (Algorithm 1: DuplicateThenTruncate — the original,
@@ -933,9 +1001,9 @@ FastTtsEngine::runSelectionPhase()
                     int keep = branch->decoded;
                     if (j != 0) {
                         keep = specPolicy_.truncationKeep(
-                            branch->decoded, systemRng_);
-                        kvGen_->truncateTokens(branch->node, keep);
-                        wastedSpecTokens_ += branch->decoded - keep;
+                            branch->decoded, ctx_->systemRng_);
+                        ctx_->kvGen_->truncateTokens(branch->node, keep);
+                        ctx_->wastedSpecTokens_ += branch->decoded - keep;
                     }
                     child->curSeg = branch->node;
                     child->curSegId = branch->segId;
@@ -955,7 +1023,7 @@ FastTtsEngine::runSelectionPhase()
                     // waiting beams hold no pins (evictable), matching
                     // vLLM semantics.
                     if (branch->retained) {
-                        kvGen_->release(branch->node);
+                        ctx_->kvGen_->release(branch->node);
                         branch->retained = false;
                     }
                     branch->node = -1; // Consumed.
@@ -971,10 +1039,10 @@ FastTtsEngine::runSelectionPhase()
     } else {
         // Width exhausted: prune all remaining candidates.
         for (size_t k = 0; k < live.size(); ++k)
-            pruneBeam(*active_[live[k]]);
+            pruneBeam(*ctx_->active_[live[k]]);
     }
 
-    active_ = std::move(next);
+    ctx_->active_ = std::move(next);
 }
 
 RequestResult
@@ -990,48 +1058,49 @@ void
 FastTtsEngine::beginRequest(const Problem &problem)
 {
     resetRequestState(problem);
+    ctx_->inRequest_ = true;
 }
 
 bool
 FastTtsEngine::stepRequest()
 {
     const int hard_cap = dataset_.maxSteps + 4;
-    if (!active_.empty() && iteration_ < hard_cap) {
+    if (!ctx_->active_.empty() && ctx_->iteration_ < hard_cap) {
         replan();
         runGenerationPhase();
         runVerificationPhase();
 
         IterationStats stats;
-        stats.iteration = iteration_;
-        stats.activeBeams = static_cast<int>(active_.size());
-        stats.residentNodes = kvGen_->residentNodeCount();
-        stats.residentTokens = kvGen_->residentTokens();
+        stats.iteration = ctx_->iteration_;
+        stats.activeBeams = static_cast<int>(ctx_->active_.size());
+        stats.residentNodes = ctx_->kvGen_->residentNodeCount();
+        stats.residentTokens = ctx_->kvGen_->residentTokens();
         long unshared = 0;
         long unique = 0;
         std::unordered_set<int> visited;
-        for (const auto &b : active_) {
+        for (const auto &b : ctx_->active_) {
             const int leaf = b->curSeg >= 0 ? b->curSeg : b->leaf;
-            unshared += kvGen_->pathTokens(leaf);
+            unshared += ctx_->kvGen_->pathTokens(leaf);
             for (int id = leaf; id != KvCacheManager::kInvalid;
-                 id = kvGen_->parentOf(id)) {
+                 id = ctx_->kvGen_->parentOf(id)) {
                 if (!visited.insert(id).second)
                     break; // Shared ancestors already counted.
-                unique += kvGen_->nodeTokens(id);
+                unique += ctx_->kvGen_->nodeTokens(id);
             }
         }
         stats.unsharedTokens = unshared;
         stats.uniqueTokens = unique;
-        stats.evictions = kvGen_->stats().evictions;
-        stats.recomputedTokens = kvGen_->stats().recomputedTokens;
-        stats.decodeBatch = plan_.decodeBatch;
-        stats.prefillBatch = plan_.prefillBatch;
+        stats.evictions = ctx_->kvGen_->stats().evictions;
+        stats.recomputedTokens = ctx_->kvGen_->stats().recomputedTokens;
+        stats.decodeBatch = ctx_->plan_.decodeBatch;
+        stats.prefillBatch = ctx_->plan_.prefillBatch;
 
         runSelectionPhase();
-        stats.clock = clock_.now();
-        iterStats_.push_back(stats);
-        ++iteration_;
+        stats.clock = ctx_->clock_.now();
+        ctx_->iterStats_.push_back(stats);
+        ++ctx_->iteration_;
     }
-    return !active_.empty() && iteration_ < hard_cap;
+    return !ctx_->active_.empty() && ctx_->iteration_ < hard_cap;
 }
 
 RequestResult
@@ -1039,42 +1108,158 @@ FastTtsEngine::finishRequest()
 {
     // Any beams alive at the hard cap (or at cancellation) are
     // abandoned.
-    for (auto &b : active_)
+    for (auto &b : ctx_->active_)
         pruneBeam(*b);
-    active_.clear();
+    ctx_->active_.clear();
 
     RequestResult result;
-    result.completionTime = clock_.now();
-    result.generatorTime = clock_.phaseTime(Phase::Generation)
-        + clock_.phaseTime(Phase::Recompute);
-    result.verifierTime = clock_.phaseTime(Phase::Verification);
-    result.transferTime = clock_.phaseTime(Phase::Transfer);
-    result.generatedTokens = generatedTokens_;
-    result.speculativeTokens = speculativeTokens_;
-    result.wastedSpecTokens = wastedSpecTokens_;
-    result.completedBeams = static_cast<int>(completed_.size());
+    result.completionTime = ctx_->clock_.now();
+    result.generatorTime = ctx_->clock_.phaseTime(Phase::Generation)
+        + ctx_->clock_.phaseTime(Phase::Recompute);
+    result.verifierTime = ctx_->clock_.phaseTime(Phase::Verification);
+    result.transferTime = ctx_->clock_.phaseTime(Phase::Transfer);
+    result.generatedTokens = ctx_->generatedTokens_;
+    result.speculativeTokens = ctx_->speculativeTokens_;
+    result.wastedSpecTokens = ctx_->wastedSpecTokens_;
+    result.completedBeams = static_cast<int>(ctx_->completed_.size());
     double token_total = 0;
     double time_total = 0;
-    for (const auto &s : completed_) {
+    for (const auto &s : ctx_->completed_) {
         token_total += static_cast<double>(s.tokens);
         time_total += s.finishTime;
         result.verifiedTokens += s.tokens;
     }
-    if (!completed_.empty()) {
+    if (!ctx_->completed_.empty()) {
         result.avgBeamTokens =
-            token_total / static_cast<double>(completed_.size());
+            token_total / static_cast<double>(ctx_->completed_.size());
         result.avgBeamCompletion =
-            time_total / static_cast<double>(completed_.size());
+            time_total / static_cast<double>(ctx_->completed_.size());
     }
-    result.solutions = completed_;
-    result.kvStats = kvGen_->stats();
-    const KvStats &ver = kvVer_->stats();
+    result.solutions = ctx_->completed_;
+    result.kvStats = ctx_->kvGen_->stats();
+    const KvStats &ver = ctx_->kvVer_->stats();
     result.kvStats.evictions += ver.evictions;
     result.kvStats.evictedTokens += ver.evictedTokens;
     result.kvStats.recomputedTokens += ver.recomputedTokens;
     result.kvStats.hitTokens += ver.hitTokens;
     result.kvStats.missTokens += ver.missTokens;
+    result.kvStats.preemptEvictions += ver.preemptEvictions;
+    result.kvStats.preemptEvictedTokens += ver.preemptEvictedTokens;
+    ctx_->inRequest_ = false;
     return result;
+}
+
+// --- Multi-request contexts ---
+
+SuspendedEngineRequest
+FastTtsEngine::suspendRequest()
+{
+    SuspendedEngineRequest out;
+    out.ctx_ = std::move(ctx_);
+    ctx_ = std::make_unique<RequestContext>();
+    return out;
+}
+
+void
+FastTtsEngine::resumeRequest(SuspendedEngineRequest suspended)
+{
+    if (suspended.ctx_ == nullptr)
+        return;
+    assert(!hasActiveRequest());
+    ctx_ = std::move(suspended.ctx_);
+}
+
+bool
+FastTtsEngine::hasActiveRequest() const
+{
+    return ctx_->inRequest_;
+}
+
+// --- Context-backed accessors (RequestContext is engine.cc-private,
+//     so these cannot be inline in the header) ---
+
+const SimClock &
+FastTtsEngine::clock() const
+{
+    return ctx_->clock_;
+}
+
+const AllocationPlan &
+FastTtsEngine::currentPlan() const
+{
+    return ctx_->plan_;
+}
+
+const std::vector<IterationStats> &
+FastTtsEngine::iterationStats() const
+{
+    return ctx_->iterStats_;
+}
+
+const KvCacheManager &
+FastTtsEngine::generatorKv() const
+{
+    return *ctx_->kvGen_;
+}
+
+const KvCacheManager &
+FastTtsEngine::verifierKv() const
+{
+    return *ctx_->kvVer_;
+}
+
+const std::vector<std::vector<int>> &
+FastTtsEngine::stepTokenSamples() const
+{
+    return ctx_->stepTokens_;
+}
+
+int
+FastTtsEngine::forcedTerminations() const
+{
+    return ctx_->forcedTerminations_;
+}
+
+// --- SuspendedEngineRequest ---
+
+SuspendedEngineRequest::SuspendedEngineRequest() = default;
+SuspendedEngineRequest::~SuspendedEngineRequest() = default;
+SuspendedEngineRequest::SuspendedEngineRequest(
+    SuspendedEngineRequest &&) noexcept = default;
+SuspendedEngineRequest &
+SuspendedEngineRequest::operator=(SuspendedEngineRequest &&) noexcept =
+    default;
+
+double
+SuspendedEngineRequest::residentKvBytes() const
+{
+    if (ctx_ == nullptr)
+        return 0;
+    double bytes = 0;
+    if (ctx_->kvGen_ != nullptr)
+        bytes += ctx_->kvGen_->residentBytes();
+    if (ctx_->kvVer_ != nullptr)
+        bytes += ctx_->kvVer_->residentBytes();
+    return bytes;
+}
+
+long
+SuspendedEngineRequest::evictKv()
+{
+    if (ctx_ == nullptr)
+        return 0;
+    const uint64_t tick =
+        static_cast<uint64_t>(ctx_->clock_.now() * 1e6);
+    long dropped = 0;
+    // Skip trees that hold no blocks (O(1)): under sustained budget
+    // pressure the serving layer retries eviction every time slice,
+    // and an already-evicted victim must not pay two full-tree scans
+    // per retry.
+    if (ctx_->kvGen_ != nullptr && ctx_->kvGen_->residentBytes() > 0)
+        dropped += KvSession(*ctx_->kvGen_).suspend(tick);
+    if (ctx_->kvVer_ != nullptr && ctx_->kvVer_->residentBytes() > 0)
+        dropped += KvSession(*ctx_->kvVer_).suspend(tick);
+    return dropped;
 }
 
 } // namespace fasttts

@@ -49,6 +49,8 @@
 namespace fasttts
 {
 
+class SuspendedEngineRequest;
+
 /** Per-iteration snapshot for the cache/scheduling figures (5, 18). */
 struct IterationStats
 {
@@ -71,10 +73,22 @@ struct IterationStats
  * runRequest() simulates one TTS request end-to-end and returns its
  * metrics; the engine is reusable across requests (the clock and KV
  * state reset each run).
+ *
+ * Every piece of per-request state — beams, speculative running set,
+ * clocks, KV trees, counters — lives in a RequestContext, and exactly
+ * one context is mounted on the engine at a time. suspendRequest()
+ * unmounts the live context into a SuspendedEngineRequest handle
+ * (cheap: no KV movement) and resumeRequest() mounts it back, so one
+ * engine serves many interleaved requests with true preemption; a
+ * suspended request's KV can additionally be force-evicted to the
+ * shared pool (SuspendedEngineRequest::evictKv) and is then rebuilt
+ * lazily — charged as recompute — when the request next runs.
  */
 class FastTtsEngine
 {
   public:
+    /** All per-request engine state (opaque; defined in engine.cc). */
+    struct RequestContext;
     /**
      * @param config Optimization toggles and substrate knobs.
      * @param models Generator/verifier pair + memory fraction.
@@ -117,36 +131,61 @@ class FastTtsEngine
      */
     RequestResult finishRequest();
 
+    // --- Multi-request contexts (preemption) ---
+
+    /**
+     * Unmount the live request context — beams, clocks, KV trees and
+     * all — into a movable handle, leaving the engine idle with a
+     * fresh empty context. The parked request's KV stays resident
+     * (and keeps its shared-ledger charge) until evictKv() is called
+     * on the handle or the handle is destroyed.
+     */
+    SuspendedEngineRequest suspendRequest();
+
+    /**
+     * Mount a previously suspended context back on the engine; the
+     * request continues exactly where stepRequest() left off (its
+     * clock included). The engine must be idle (no in-flight request).
+     * Invalid (moved-from) handles are ignored.
+     */
+    void resumeRequest(SuspendedEngineRequest suspended);
+
+    /** Whether a request is mounted and unfinished (between
+     *  beginRequest() and the end of its finishRequest()). */
+    bool hasActiveRequest() const;
+
+    /**
+     * Attach a shared KV byte budget (kv/kv_session.h): the KV trees
+     * of every subsequent request charge it, so concurrent contexts
+     * on one device genuinely contend for memory. Affects requests
+     * begun after the call; the ledger must outlive the engine.
+     */
+    void attachKvLedger(KvBudgetLedger *ledger) { ledger_ = ledger; }
+
     /** KV budget shared by the two models (bytes). */
     double kvBudgetBytes() const { return kvBudget_; }
 
     /** Clock of the last run (utilization trace when recordTrace). */
-    const SimClock &clock() const { return clock_; }
+    const SimClock &clock() const;
 
     /** Allocation plan of the last iteration. */
-    const AllocationPlan &currentPlan() const { return plan_; }
+    const AllocationPlan &currentPlan() const;
 
     /** Per-iteration snapshots of the last run. */
-    const std::vector<IterationStats> &iterationStats() const
-    {
-        return iterStats_;
-    }
+    const std::vector<IterationStats> &iterationStats() const;
 
     /** Generator-side KV cache (introspection for benches/tests). */
-    const KvCacheManager &generatorKv() const { return *kvGen_; }
+    const KvCacheManager &generatorKv() const;
 
     /** Verifier-side KV cache. */
-    const KvCacheManager &verifierKv() const { return *kvVer_; }
+    const KvCacheManager &verifierKv() const;
 
     /** Step-length histogram access: samples recorded per step index
      *  of the last run (for Fig. 3 right). */
-    const std::vector<std::vector<int>> &stepTokenSamples() const
-    {
-        return stepTokens_;
-    }
+    const std::vector<std::vector<int>> &stepTokenSamples() const;
 
     /** Beams forcibly terminated because they could never fit. */
-    int forcedTerminations() const { return forcedTerminations_; }
+    int forcedTerminations() const;
 
   private:
     struct ActiveBeam;
@@ -187,43 +226,49 @@ class FastTtsEngine
 
     double kvBudget_ = 0;
     double expectedStepTokens_ = 0; //!< Cached mean step length.
-    std::unique_ptr<KvCacheManager> kvGen_;
-    std::unique_ptr<KvCacheManager> kvVer_;
+    KvBudgetLedger *ledger_ = nullptr; //!< Shared KV budget (optional).
 
-    // --- Per-request state ---
-    Problem problem_;
-    SimClock clock_;
-    AllocationPlan plan_;
-    Rng systemRng_{0};
-    std::vector<std::unique_ptr<ActiveBeam>> active_;
-    std::vector<CompletedSolution> completed_;
-    std::vector<IterationStats> iterStats_;
-    std::vector<std::vector<int>> stepTokens_;
-    uint64_t nextBeamId_ = 1;
-    uint64_t nextSegId_ = 1;
-    int iteration_ = 0;
-    int forcedTerminations_ = 0;
-    int promptNodeGen_ = -1;
-    int promptNodeVer_ = -1;
+    // All per-request state lives here; exactly one context is
+    // mounted at a time (suspendRequest/resumeRequest swap it).
+    std::unique_ptr<RequestContext> ctx_;
+};
 
-    // Accumulated request metrics.
-    long generatedTokens_ = 0;
-    long speculativeTokens_ = 0;
-    long wastedSpecTokens_ = 0;
+/**
+ * A request context unmounted from its engine by suspendRequest().
+ *
+ * Move-only owner of the parked request's entire engine state. The
+ * request's KV trees keep their device blocks (and shared-ledger
+ * charge) while parked; evictKv() drops them back to the pool, after
+ * which the next resume rebuilds resident paths lazily, charged as
+ * recompute. Destroying the handle abandons the request and frees
+ * everything.
+ */
+class SuspendedEngineRequest
+{
+  public:
+    SuspendedEngineRequest();
+    ~SuspendedEngineRequest();
+    SuspendedEngineRequest(SuspendedEngineRequest &&) noexcept;
+    SuspendedEngineRequest &operator=(SuspendedEngineRequest &&) noexcept;
 
-    // Generation-phase scratch (valid within one iteration).
-    std::vector<size_t> queue_;
-    std::vector<size_t> decodeSet_;
-    // Running speculative branches as (active_ index, branch index)
-    // pairs, kept sorted in beam order and maintained incrementally
-    // (added at creation, filtered per event wave, cleared on kill) so
-    // the event loop never rescans all beams x branches.
-    std::vector<std::pair<size_t, size_t>> specRunning_;
-    std::vector<std::pair<size_t, size_t>> specScratch_;
-    double meanVerifierSeq_ = 0;  //!< Mean incremental request length.
-    double meanVerifierPath_ = 0; //!< Mean full-path length (planning).
-    bool specAllowed_ = true;      //!< Memory allows speculation.
-    bool lookaheadAllowed_ = true; //!< Verifier cache under pressure.
+    /** Whether this handle holds a parked request. */
+    bool valid() const { return ctx_ != nullptr; }
+
+    /** Device bytes the parked request's KV trees still hold. */
+    double residentKvBytes() const;
+
+    /**
+     * Force-evict the parked request's KV state (KvSession::suspend
+     * on both trees): every block returns to the allocator and shared
+     * ledger; the request's beams keep logical references and
+     * recompute their paths — counted in KvStats — when next run.
+     * @return Tokens whose KV was dropped.
+     */
+    long evictKv();
+
+  private:
+    friend class FastTtsEngine;
+    std::unique_ptr<FastTtsEngine::RequestContext> ctx_;
 };
 
 } // namespace fasttts

@@ -2,20 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace fasttts
 {
 
-OnlineServer::OnlineServer(std::vector<ServingSystem> slots,
+namespace
+{
+
+/** Preemption modes of OnlineServerOptions::preempt. */
+enum class PreemptMode { Off, Slice, Policy };
+
+/** Parse a preempt-mode name; nullopt-style via ok flag. */
+bool
+parsePreemptMode(const std::string &name, PreemptMode *mode)
+{
+    if (name == "off")
+        *mode = PreemptMode::Off;
+    else if (name == "slice")
+        *mode = PreemptMode::Slice;
+    else if (name == "policy")
+        *mode = PreemptMode::Policy;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+OnlineServer::OnlineServer(ServingSystem system,
+                           std::unique_ptr<KvBudgetLedger> ledger,
                            OnlineServerOptions online,
                            std::unique_ptr<QueuePolicy> policy,
                            RooflineModel roofline, DatasetProfile profile)
-    : slots_(std::move(slots)), online_(std::move(online)),
-      policy_(std::move(policy)), roofline_(std::move(roofline)),
-      profile_(std::move(profile))
+    : ledger_(std::move(ledger)), system_(std::move(system)),
+      online_(std::move(online)), policy_(std::move(policy)),
+      roofline_(std::move(roofline)), profile_(std::move(profile))
 {
 }
 
@@ -35,34 +61,45 @@ OnlineServer::create(const ServingOptions &options,
             + std::to_string(online.maxInflight));
     if (!(online.slo >= 0) || !std::isfinite(online.slo))
         return Status::invalidArgument("slo must be >= 0 seconds");
+    PreemptMode mode;
+    if (!parsePreemptMode(online.preempt, &mode))
+        return Status::invalidArgument(
+            "unknown preempt mode '" + online.preempt
+            + "'; valid modes: off, slice, policy");
+    if (!(online.kvBudgetGiB >= 0) || !std::isfinite(online.kvBudgetGiB))
+        return Status::invalidArgument(
+            "kv_budget must be >= 0 GiB (0 keeps the legacy "
+            "per-slot accounting)");
 
     auto policy = makeQueuePolicy(online.policy);
     if (!policy.ok())
         return policy.status();
 
-    // One ServingSystem per in-flight slot: each slot pumps its own
-    // request through the async facade, so interleaving never touches
-    // another request's engine state. Only slot 0 owns the problem
-    // set (requests reach the other slots as Problem values), so the
-    // extra slots skip generating duplicates.
-    std::vector<ServingSystem> slots;
-    slots.reserve(static_cast<size_t>(online.maxInflight));
-    ServingOptions slot_options = options;
-    slot_options.problemCount = 0;
-    for (int i = 0; i < online.maxInflight; ++i) {
-        auto system =
-            ServingSystem::create(i == 0 ? options : slot_options);
-        if (!system.ok())
-            return system.status();
-        slots.push_back(*std::move(system));
-    }
+    // ONE serving system — engine, device, KV — shared by every
+    // in-flight request; interleaving goes through suspend/resume.
+    auto system = ServingSystem::create(options);
+    if (!system.ok())
+        return system.status();
+
+    // The shared KV budget. An explicit --kv-budget is the honest
+    // single-device pool all in-flight requests contend for; 0 keeps
+    // the legacy PR3 accounting where every in-flight slot enjoyed a
+    // full engine budget (2x covers the offload planner, which grants
+    // each model the whole budget), so pre-existing traces replay
+    // bit-for-bit.
+    const double budget_bytes = online.kvBudgetGiB > 0
+        ? online.kvBudgetGiB * GiB
+        : 2.0 * online.maxInflight * system->engine().kvBudgetBytes();
+    auto ledger = std::make_unique<KvBudgetLedger>(budget_bytes);
+    system->attachKvLedger(ledger.get());
 
     // The SJF predictor's inputs; names were just validated by
     // ServingSystem::create, so the lookups cannot fail.
     auto device = deviceByName(options.deviceName);
     auto profile = datasetByName(options.datasetName);
-    return OnlineServer(std::move(slots), online, *std::move(policy),
-                        RooflineModel(*device), *std::move(profile));
+    return OnlineServer(*std::move(system), std::move(ledger), online,
+                        *std::move(policy), RooflineModel(*device),
+                        *std::move(profile));
 }
 
 OnlineTraceResult
@@ -96,17 +133,21 @@ OnlineServer::serveArrivals(const std::vector<double> &arrivals)
 StatusOr<OnlineTraceResult>
 OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
 {
-    const std::vector<Problem> &problems = slots_.front().problems();
+    const std::vector<Problem> &problems = system_.problems();
     if (requests.empty() || problems.empty())
         return aggregateTrace({}, 0.0);
 
     constexpr double kInfinity = std::numeric_limits<double>::infinity();
+    PreemptMode mode = PreemptMode::Slice;
+    parsePreemptMode(online_.preempt, &mode); // Validated at create().
+    const bool memory_aware = online_.kvBudgetGiB > 0;
 
     // --- Build and validate tickets in submission order. ---
     struct Ticket
     {
         QueuedRequest meta;
         double cancelAt = -1;
+        double kvBytes = 0; //!< Predicted working set (admission).
     };
     std::vector<Ticket> tickets;
     tickets.reserve(requests.size());
@@ -114,6 +155,7 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
     // fixed server; memoize it so long traces over a small problem
     // set don't recompute it per request.
     std::vector<double> predicted(problems.size(), -1.0);
+    std::vector<double> predicted_kv(problems.size(), -1.0);
     for (size_t i = 0; i < requests.size(); ++i) {
         const OnlineRequest &request = requests[i];
         // Negative arrivals are served as "queued since before the
@@ -143,10 +185,17 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
         double &cost = predicted[static_cast<size_t>(problem_id)];
         if (cost < 0)
             cost = predictServiceTime(
-                roofline_, slots_.front().options().models, profile_,
+                roofline_, system_.options().models, profile_,
                 problems[static_cast<size_t>(problem_id)],
-                slots_.front().options().numBeams);
+                system_.options().numBeams);
         ticket.meta.predictedCost = cost;
+        double &kv = predicted_kv[static_cast<size_t>(problem_id)];
+        if (kv < 0)
+            kv = predictKvWorkingSetBytes(
+                system_.options().models, profile_,
+                problems[static_cast<size_t>(problem_id)],
+                system_.options().numBeams);
+        ticket.kvBytes = kv;
         ticket.cancelAt = request.cancelAt;
         tickets.push_back(ticket);
     }
@@ -155,41 +204,45 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
                          return a.meta.arrival < b.meta.arrival;
                      });
 
-    // --- Per-slot progress boxes. Callbacks capture their addresses,
-    //     so this storage must stay stable for the whole trace. ---
-    struct SlotProgress
+    // --- In-flight bookkeeping. Callbacks capture their box's
+    //     address, so boxes live behind stable unique_ptrs. ---
+    struct FlightBox
     {
         double clock = 0; //!< Engine clock after the last iteration.
         bool finished = false;
         RequestResult result;
     };
-    std::vector<SlotProgress> progress(slots_.size());
 
     struct InFlight
     {
         Ticket ticket;
-        size_t slot = 0;
-        RequestId sysId = 0;
+        RequestId sysId = 0; //!< 0 until first mounted on the engine.
         double wallBase = 0; //!< Wall time of the request's engine
                              //!< clock zero: start + slices the device
                              //!< spent on other requests since.
         OnlineRequestRecord rec;
+        std::unique_ptr<FlightBox> box;
     };
 
+    constexpr size_t kNone = static_cast<size_t>(-1);
     std::vector<Ticket> queued;
     std::vector<InFlight> inflight;
-    std::vector<size_t> free_slots;
-    for (size_t s = slots_.size(); s > 0; --s)
-        free_slots.push_back(s - 1);
-
     std::vector<OnlineRequestRecord> records;
     records.reserve(tickets.size());
     std::vector<QueuedRequest> view; // pick() scratch.
     size_t next_ticket = 0;
-    size_t rr = 0; //!< Round-robin cursor into inflight.
+    size_t rr = 0;        //!< Round-robin cursor (slice mode).
+    size_t current = kNone; //!< In-flight index mounted on the engine.
     double now = 0;
     double busy = 0;
     int cancelled = 0;
+    int shed = 0;
+    int context_switches = 0;
+    int preemptions = 0;
+    long recomputed_tokens = 0;
+    long preempt_evicted = 0;
+    const size_t max_inflight =
+        static_cast<size_t>(online_.maxInflight);
 
     while (true) {
         // Requests whose arrival has passed join the policy's queue.
@@ -207,9 +260,9 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
             }
         }
 
-        // The policy fills free slots (work conservation: the device
-        // never idles while a request is queued).
-        while (!queued.empty() && !free_slots.empty()) {
+        // The policy fills free in-flight slots (work conservation:
+        // the device never idles while a request is queued).
+        while (!queued.empty() && inflight.size() < max_inflight) {
             view.clear();
             for (const Ticket &ticket : queued)
                 view.push_back(ticket.meta);
@@ -218,36 +271,43 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
                 pick = 0; // Defensive against custom policies.
 
             const Ticket ticket = queued[pick];
+
+            // Doomed-request shedding: when the predicted finish
+            // already exceeds the deadline, admitting it only burns
+            // device time another request could meet its SLO with.
+            if (online_.shedDoomed && std::isfinite(ticket.meta.deadline)
+                && now + ticket.meta.predictedCost
+                    > ticket.meta.deadline) {
+                queued.erase(queued.begin() + static_cast<long>(pick));
+                ++shed;
+                continue;
+            }
+
+            // Memory-aware admission: never admit a request the
+            // shared budget cannot hold alongside the in-flight
+            // working sets (an always-thrashing mix helps nobody).
+            // A lone request is always admitted — the engine degrades
+            // gracefully under budget pressure.
+            if (memory_aware && !inflight.empty()) {
+                double inflight_kv = 0;
+                for (const InFlight &f : inflight)
+                    inflight_kv += f.ticket.kvBytes;
+                if (inflight_kv + ticket.kvBytes
+                    > ledger_->totalBytes())
+                    break; // Wait for completions.
+            }
+
             queued.erase(queued.begin() + static_cast<long>(pick));
-            const size_t slot = free_slots.back();
-            free_slots.pop_back();
-            progress[slot] = SlotProgress();
-
-            RequestCallbacks callbacks;
-            callbacks.onStep =
-                [box = &progress[slot]](const StepEvent &event) {
-                    box->clock = event.clock;
-                };
-            callbacks.onComplete = [box = &progress[slot]](
-                                       RequestId,
-                                       const RequestResult &result) {
-                box->finished = true;
-                box->result = result;
-            };
-
             InFlight flight;
             flight.ticket = ticket;
-            flight.slot = slot;
-            flight.sysId = slots_[slot].submit(
-                problems[static_cast<size_t>(ticket.meta.problemId)],
-                std::move(callbacks));
+            flight.box = std::make_unique<FlightBox>();
             flight.wallBase = std::max(ticket.meta.arrival, now);
             flight.rec.problemId = ticket.meta.problemId;
             flight.rec.arrival = ticket.meta.arrival;
             flight.rec.start = flight.wallBase;
             flight.rec.priority = ticket.meta.priority;
             flight.rec.deadline = ticket.meta.deadline;
-            inflight.push_back(flight);
+            inflight.push_back(std::move(flight));
         }
 
         if (inflight.empty()) {
@@ -259,13 +319,119 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
             continue;
         }
 
-        // Round-robin: one engine iteration of one in-flight request
-        // per turn (continuous batching at the request level).
-        if (rr >= inflight.size())
-            rr = 0;
-        InFlight &flight = inflight[rr];
-        SlotProgress &box = progress[flight.slot];
-        slots_[flight.slot].step();
+        // --- Choose which in-flight request runs this time slice. ---
+        size_t chosen;
+        switch (mode) {
+        case PreemptMode::Off:
+            // Run-to-completion: stick with the mounted request;
+            // otherwise take the earliest admitted.
+            chosen = current != kNone ? current : 0;
+            break;
+        case PreemptMode::Slice:
+            // Round-robin, one engine iteration per turn (continuous
+            // batching at the request level).
+            if (rr >= inflight.size())
+                rr = 0;
+            chosen = rr;
+            break;
+        case PreemptMode::Policy:
+        default: {
+            // The policy ranks the in-flight set every slice; it may
+            // take the engine from the running victim, but only when
+            // its preemption predicate says the challenger is
+            // strictly more urgent (no thrash on ties). predictedCost
+            // is discounted by the device time each request has
+            // already consumed, so "sjf" preempts on *remaining* work
+            // (SRPT) rather than yanking a nearly finished victim for
+            // a shorter total job.
+            view.clear();
+            for (const InFlight &f : inflight) {
+                QueuedRequest meta = f.ticket.meta;
+                meta.predictedCost = std::max(
+                    0.0, meta.predictedCost - f.box->clock);
+                view.push_back(meta);
+            }
+            size_t best = policy_->pick(view, now);
+            if (best >= inflight.size())
+                best = 0;
+            if (current == kNone)
+                chosen = best;
+            else if (best != current
+                     && policy_->shouldPreempt(view[current],
+                                               view[best], now))
+                chosen = best;
+            else
+                chosen = current;
+            break;
+        }
+        }
+
+        // --- Mount the chosen request on the engine. ---
+        if (current != chosen) {
+            if (current != kNone) {
+                system_.suspend(inflight[current].sysId);
+                ++inflight[current].rec.preemptions;
+                ++context_switches;
+                // Mid-run switches only happen through slice-mode
+                // rotation or the policy's shouldPreempt; only the
+                // latter is a preemption in the scheduling sense.
+                if (mode == PreemptMode::Policy)
+                    ++preemptions;
+            }
+            InFlight &f = inflight[chosen];
+            if (f.sysId == 0) {
+                // In the non-slicing modes an admitted request may sit
+                // unmounted behind run-to-completion predecessors (or
+                // a policy that ranks it low); that wait is queueing,
+                // not service, so service starts at first mount.
+                // wallBase has been advanced by every intervening
+                // slice, so it equals "now" here. Slice mode keeps the
+                // admission stamp: rotation reaches a new request
+                // within one round, and the legacy traces are defined
+                // that way.
+                if (mode != PreemptMode::Slice)
+                    f.rec.start = f.wallBase;
+                RequestCallbacks callbacks;
+                callbacks.onStep =
+                    [box = f.box.get()](const StepEvent &event) {
+                        box->clock = event.clock;
+                    };
+                callbacks.onComplete =
+                    [box = f.box.get()](RequestId,
+                                        const RequestResult &result) {
+                        box->finished = true;
+                        box->result = result;
+                    };
+                f.sysId = system_.submit(
+                    problems[static_cast<size_t>(
+                        f.ticket.meta.problemId)],
+                    std::move(callbacks));
+            } else {
+                system_.resume(f.sysId);
+            }
+            current = chosen;
+        }
+
+        // Under an explicit shared budget, make room for the running
+        // request by force-evicting suspended victims (in admission
+        // order) before their caches squeeze it into thrashing.
+        if (memory_aware) {
+            const double headroom = 0.10 * ledger_->totalBytes();
+            for (size_t i = 0;
+                 i < inflight.size() && ledger_->freeBytes() < headroom;
+                 ++i) {
+                if (i == current || inflight[i].sysId == 0)
+                    continue;
+                auto evicted =
+                    system_.evictSuspendedKv(inflight[i].sysId);
+                if (evicted.ok())
+                    preempt_evicted += *evicted;
+            }
+        }
+
+        InFlight &flight = inflight[current];
+        FlightBox &box = *flight.box;
+        system_.step();
 
         // The request's wall clock is its engine clock offset by every
         // slice the device spent elsewhere; computed this way (rather
@@ -281,20 +447,35 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
 
         if (box.finished) {
             flight.rec.finish = now;
+            // The engine clock is cumulative device time for this
+            // request (it survives suspend/resume and includes any
+            // post-eviction recompute), so it IS the active time.
+            flight.rec.activeTime = box.result.completionTime;
             busy += box.result.completionTime;
+            recomputed_tokens += static_cast<long>(
+                box.result.kvStats.recomputedTokens);
             records.push_back(flight.rec);
-            slots_[flight.slot].release(flight.sysId);
-            free_slots.push_back(flight.slot);
-            inflight.erase(inflight.begin() + static_cast<long>(rr));
+            system_.release(flight.sysId);
+            const size_t finished = current;
+            inflight.erase(inflight.begin()
+                           + static_cast<long>(finished));
+            current = kNone;
+            if (finished < rr)
+                --rr;
             if (rr >= inflight.size())
                 rr = 0;
-        } else {
+        } else if (mode == PreemptMode::Slice) {
             rr = (rr + 1) % inflight.size();
         }
     }
 
     OnlineTraceResult out = aggregateTrace(std::move(records), busy);
     out.cancelled = cancelled;
+    out.shedRequests = shed;
+    out.contextSwitches = context_switches;
+    out.preemptions = preemptions;
+    out.recomputedTokens = recomputed_tokens;
+    out.preemptEvictedTokens = preempt_evicted;
     return out;
 }
 

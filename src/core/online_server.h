@@ -8,25 +8,44 @@
  * fully preemptible, so pending work never waits behind speculation
  * (Sec. 4.1.2). This front-end simulates a request queue with a
  * deterministic arrival process and reports per-request queueing
- * delay, service time, end-to-end latency and SLO attainment — the
+ * delay, device time, end-to-end latency and SLO attainment — the
  * level at which a downstream user would deploy the library.
  *
- * Two axes are pluggable without touching the engine:
+ * The server owns exactly ONE ServingSystem — one engine, one device,
+ * one shared KV budget — no matter how many requests are in flight.
+ * In-flight requests time-share the engine through the async facade's
+ * suspend()/resume(): switching requests parks the victim's entire
+ * engine state (beams, clocks, KV trees) in a SuspendedEngineRequest
+ * and mounts the next one. All resident KV is charged to one shared
+ * KvBudgetLedger, so concurrent requests genuinely contend for device
+ * memory; under pressure a suspended request's KV is force-evicted
+ * back to the pool and re-prefilled (counted as recompute) when it
+ * next runs.
+ *
+ * Three axes are pluggable without touching the engine:
  *
  *  - Admission order: a registry-backed QueuePolicy
  *    (sched/queue_policy.h) decides which queued request takes the
- *    next free serving slot — "fifo", "priority" (with aging), "sjf"
- *    (roofline-predicted cost) and "edf" (SLO deadlines) ship
- *    built-in.
- *  - Interleaving degree: up to OnlineServerOptions::maxInflight
- *    requests are in flight at once, round-robined one engine
- *    iteration at a time (continuous batching at the request level),
- *    so short requests are not stuck behind long ones.
+ *    next free in-flight slot — "fifo", "priority" (with aging),
+ *    "sjf" (roofline-predicted cost) and "edf" (SLO deadlines) ship
+ *    built-in. With shedDoomed, a request whose predicted finish
+ *    already exceeds its deadline is shed at admission instead of
+ *    served doomed.
+ *  - Preemption mode (OnlineServerOptions::preempt): "off" runs each
+ *    admitted request to completion; "slice" round-robins in-flight
+ *    requests one engine iteration at a time (continuous batching at
+ *    the request level); "policy" lets the QueuePolicy preempt the
+ *    running victim whenever a higher-urgency request is in flight
+ *    (QueuePolicy::shouldPreempt — preemptive EDF/SJF/priority).
+ *  - Memory budget (OnlineServerOptions::kvBudgetGiB): the shared KV
+ *    budget all in-flight requests contend for; also enables
+ *    memory-aware admission (a request is not admitted while the
+ *    in-flight working sets already fill the budget). 0 keeps the
+ *    legacy PR3 accounting (every in-flight slot enjoys a full
+ *    engine budget) so existing traces replay bit-for-bit.
  *
- * Engine pumping goes through ServingSystem's request-level async
- * facade (submit + step + callbacks), one ServingSystem per in-flight
- * slot. With the defaults ("fifo", maxInflight 1) the server is
- * exactly the legacy run-to-completion FIFO queue.
+ * With the defaults ("fifo", maxInflight 1) the server is exactly the
+ * legacy run-to-completion FIFO queue.
  */
 
 #ifndef FASTTTS_CORE_ONLINE_SERVER_H
@@ -39,6 +58,7 @@
 
 #include "api/status.h"
 #include "core/serving.h"
+#include "kv/kv_session.h"
 #include "sched/queue_policy.h"
 
 namespace fasttts
@@ -49,17 +69,33 @@ struct OnlineRequestRecord
 {
     int problemId = 0;
     double arrival = 0;   //!< Arrival time (s).
-    double start = 0;     //!< Service start (s).
+    double start = 0;     //!< Service start (s): first time slice in
+                          //!< "off"/"policy" preempt modes; admission
+                          //!< into the round-robin in "slice" mode
+                          //!< (the legacy definition).
     double finish = 0;    //!< Completion (s).
     int priority = 0;     //!< Admission priority the request carried.
     double deadline = std::numeric_limits<double>::infinity();
                           //!< Absolute SLO deadline (s); infinity when
                           //!< the request carried no SLO.
 
+    /** Engine time actually spent on this request (decode, verify,
+     *  recompute — including re-prefill after a preemption eviction).
+     *  Unlike serviceTime(), never counts slices the device spent on
+     *  other requests, so utilization and cost models built on it do
+     *  not over-count under interleaving. */
+    double activeTime = 0;
+
+    /** Times this request was suspended off the engine mid-run —
+     *  every context switch counts, including routine "slice"-mode
+     *  round-robin rotation, not only policy-driven preemption. */
+    int preemptions = 0;
+
     double queueDelay() const { return start - arrival; }
 
-    /** Time between service start and completion. Under interleaving
-     *  this includes slices the device spent on other requests. */
+    /** Wall time between service start and completion. Under
+     *  interleaving this includes slices the device spent on other
+     *  requests — use activeTime for device-time accounting. */
     double serviceTime() const { return finish - start; }
 
     double latency() const { return finish - arrival; }
@@ -90,6 +126,17 @@ struct OnlineTraceResult
     double sloAttainment = 1.0;
     int deadlineMisses = 0;  //!< Requests that blew their deadline.
     int cancelled = 0;       //!< Requests abandoned while queued.
+    int shedRequests = 0;    //!< Doomed requests shed at admission.
+    int contextSwitches = 0; //!< Mid-run suspensions across the trace
+                             //!< (any cause, slice rotation included).
+    int preemptions = 0;     //!< Policy-driven takeovers only: the
+                             //!< QueuePolicy displaced the running
+                             //!< victim for a more urgent request
+                             //!< ("policy" preempt mode).
+    long recomputedTokens = 0; //!< KV tokens re-prefilled (all causes,
+                               //!< preemption eviction included).
+    long preemptEvictedTokens = 0; //!< KV tokens force-evicted from
+                                   //!< suspended requests.
 };
 
 /**
@@ -108,6 +155,22 @@ struct OnlineServerOptions
     int maxInflight = 1;         //!< Interleaved requests (1-64).
     double slo = 0;              //!< Default per-request latency budget
                                  //!< (s); 0 disables SLO tracking.
+
+    /** Preemption mode: "off" (run-to-completion), "slice"
+     *  (round-robin time slices; the default, and the legacy PR3
+     *  interleaving), or "policy" (QueuePolicy::shouldPreempt decides
+     *  when a higher-urgency in-flight request takes the engine). */
+    std::string preempt = "slice";
+
+    /** Shared KV budget (GiB) all in-flight requests contend for;
+     *  also enables memory-aware admission. 0 = legacy accounting
+     *  (each in-flight slot gets a full engine budget). */
+    double kvBudgetGiB = 0;
+
+    /** Shed queued requests whose predicted finish already exceeds
+     *  their deadline instead of serving them doomed (counted in
+     *  OnlineTraceResult::shedRequests). */
+    bool shedDoomed = false;
 };
 
 /** One request of an explicit online trace (serveRequests()). */
@@ -128,8 +191,9 @@ struct OnlineRequest
  * Policy-driven online server multiplexing one simulated device.
  *
  * Requests are admitted by the configured QueuePolicy into up to
- * maxInflight serving slots and advanced round-robin, one engine
- * iteration per turn. Move-only; obtain instances through create().
+ * maxInflight in-flight slots that time-share ONE engine through
+ * suspend/resume, under one shared KV budget. Move-only; obtain
+ * instances through create().
  */
 class OnlineServer
 {
@@ -138,9 +202,10 @@ class OnlineServer
     static StatusOr<OnlineServer> create(const ServingOptions &options);
 
     /**
-     * Build the serving slots and resolve the queue policy; fails on
-     * invalid options, unknown policy names (kNotFound, listing the
-     * registered names) and maxInflight outside [1, 64].
+     * Build the shared serving system and resolve the queue policy;
+     * fails on invalid options, unknown policy/preempt names
+     * (kNotFound, listing the registered names) and maxInflight
+     * outside [1, 64].
      */
     static StatusOr<OnlineServer> create(const ServingOptions &options,
                                          const OnlineServerOptions &online);
@@ -169,8 +234,11 @@ class OnlineServer
     StatusOr<OnlineTraceResult>
     serveRequests(const std::vector<OnlineRequest> &requests);
 
-    /** The primary serving slot (slot 0). */
-    ServingSystem &system() { return slots_.front(); }
+    /** The single shared serving system (all in-flight requests). */
+    ServingSystem &system() { return system_; }
+
+    /** The shared KV budget every in-flight request charges. */
+    const KvBudgetLedger &kvLedger() const { return *ledger_; }
 
     /** The queueing/scheduling configuration. */
     const OnlineServerOptions &onlineOptions() const { return online_; }
@@ -179,12 +247,17 @@ class OnlineServer
     const QueuePolicy &policy() const { return *policy_; }
 
   private:
-    OnlineServer(std::vector<ServingSystem> slots,
+    OnlineServer(ServingSystem system,
+                 std::unique_ptr<KvBudgetLedger> ledger,
                  OnlineServerOptions online,
                  std::unique_ptr<QueuePolicy> policy,
                  RooflineModel roofline, DatasetProfile profile);
 
-    std::vector<ServingSystem> slots_;
+    // Declared before system_: the engine's KV managers release their
+    // ledger charge on destruction, so the ledger must outlive the
+    // system (members destruct in reverse declaration order).
+    std::unique_ptr<KvBudgetLedger> ledger_;
+    ServingSystem system_; //!< The one engine + device + problem set.
     OnlineServerOptions online_;
     std::unique_ptr<QueuePolicy> policy_;
     RooflineModel roofline_;   //!< For SJF cost prediction.

@@ -166,6 +166,56 @@ ServingSystem::drain()
 }
 
 Status
+ServingSystem::suspend(RequestId id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    if (it->second.state != RequestState::Running || running_ != id)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id)
+            + " is not the running request");
+    it->second.suspended = engine_->suspendRequest();
+    it->second.state = RequestState::Suspended;
+    running_ = 0;
+    return okStatus();
+}
+
+Status
+ServingSystem::resume(RequestId id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    if (it->second.state != RequestState::Suspended)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " is not suspended");
+    if (running_ != 0)
+        return Status::failedPrecondition(
+            "request " + std::to_string(running_)
+            + " is running; suspend or finish it first");
+    engine_->resumeRequest(std::move(it->second.suspended));
+    it->second.state = RequestState::Running;
+    running_ = id;
+    return okStatus();
+}
+
+StatusOr<long>
+ServingSystem::evictSuspendedKv(RequestId id)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    if (it->second.state != RequestState::Suspended)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " is not suspended");
+    return it->second.suspended.evictKv();
+}
+
+Status
 ServingSystem::cancel(RequestId id)
 {
     auto it = requests_.find(id);
@@ -184,6 +234,12 @@ ServingSystem::cancel(RequestId id)
         // Abandon the in-flight beams; the partial result is dropped.
         engine_->finishRequest();
         running_ = 0;
+        request.state = RequestState::Cancelled;
+        return okStatus();
+    case RequestState::Suspended:
+        // Drop the parked context; its KV blocks (and any shared-
+        // ledger charge) are freed with it.
+        request.suspended = SuspendedEngineRequest();
         request.state = RequestState::Cancelled;
         return okStatus();
     case RequestState::Queued:
@@ -230,7 +286,8 @@ ServingSystem::release(RequestId id)
         return Status::notFound("unknown request id "
                                 + std::to_string(id));
     const RequestState state = it->second.state;
-    if (state == RequestState::Queued || state == RequestState::Running)
+    if (state == RequestState::Queued || state == RequestState::Running
+        || state == RequestState::Suspended)
         return Status::failedPrecondition(
             "request " + std::to_string(id)
             + " is still pending; cancel it first");
@@ -244,7 +301,8 @@ ServingSystem::pendingRequests() const
     size_t pending = 0;
     for (const auto &[id, request] : requests_) {
         if (request.state == RequestState::Queued
-            || request.state == RequestState::Running)
+            || request.state == RequestState::Running
+            || request.state == RequestState::Suspended)
             ++pending;
     }
     return pending;

@@ -21,6 +21,12 @@
  *    onStep/onComplete callbacks; cancel(id) aborts a queued or
  *    running request. Queueing policy (e.g. OnlineServer's FIFO
  *    arrival queue) is thereby decoupled from engine pumping.
+ *    suspend(id)/resume(id) give true request-level preemption: the
+ *    running request's whole engine state is parked (beams, clocks,
+ *    KV trees) so another request can take the engine, and
+ *    evictSuspendedKv(id) drops a parked request's KV back to the
+ *    shared pool (rebuilt lazily as recompute) — the mechanism
+ *    OnlineServer time-shares one device with.
  *
  * Typical use (see examples/quickstart.cc; string-friendly
  * configuration via EngineArgs in api/engine_args.h):
@@ -91,6 +97,7 @@ using RequestId = uint64_t;
 enum class RequestState {
     Queued,    //!< Submitted, not yet started.
     Running,   //!< In flight on the engine.
+    Suspended, //!< Preempted mid-flight; resume() continues it.
     Completed, //!< Finished; result() is available.
     Cancelled, //!< Aborted by cancel(); no result.
 };
@@ -172,8 +179,38 @@ class ServingSystem
     void drain();
 
     /**
-     * Abort a queued or running request. Running requests abandon
-     * their active beams immediately; no onComplete fires.
+     * Preempt the running request: its entire engine state (beams,
+     * clock, KV trees) is parked and the engine becomes free for
+     * another request. The parked KV stays resident — and keeps its
+     * shared-budget charge — until the serving layer evicts it
+     * (evictSuspendedKv) or the request is resumed/cancelled.
+     * @return kNotFound for unknown ids, kFailedPrecondition unless
+     *         the request is the one currently running.
+     */
+    Status suspend(RequestId id);
+
+    /**
+     * Continue a suspended request where it left off. The engine must
+     * be idle (suspend or finish the current request first); the
+     * resumed request runs on the next step().
+     * @return kNotFound for unknown ids, kFailedPrecondition when the
+     *         request is not suspended or another request is running.
+     */
+    Status resume(RequestId id);
+
+    /**
+     * Drop a suspended request's KV from the device (both trees),
+     * returning every block to the allocator and shared ledger. The
+     * request remains resumable: evicted paths are re-prefilled
+     * lazily when next touched, counted as recompute in its KvStats.
+     * @return Tokens whose KV was dropped; kFailedPrecondition unless
+     *         the request is suspended.
+     */
+    StatusOr<long> evictSuspendedKv(RequestId id);
+
+    /**
+     * Abort a queued, running or suspended request. Running requests
+     * abandon their active beams immediately; no onComplete fires.
      * @return kNotFound for unknown ids, kFailedPrecondition when the
      *         request already completed.
      */
@@ -203,6 +240,17 @@ class ServingSystem
 
     // --- Introspection ---
 
+    /**
+     * Attach a shared KV byte budget (kv/kv_session.h) that every
+     * subsequently started request charges — the single-device memory
+     * model OnlineServer serves under. The ledger must outlive the
+     * system.
+     */
+    void attachKvLedger(KvBudgetLedger *ledger)
+    {
+        engine_->attachKvLedger(ledger);
+    }
+
     /** The options the system was built with. */
     const ServingOptions &options() const { return options_; }
 
@@ -221,6 +269,8 @@ class ServingSystem
         RequestState state = RequestState::Queued;
         RequestResult result;
         int iterations = 0;
+        SuspendedEngineRequest suspended; //!< Parked engine context
+                                          //!< while state==Suspended.
     };
 
     ServingSystem(const ServingOptions &options, DatasetProfile dataset,

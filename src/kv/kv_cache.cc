@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kv/kv_session.h"
+
 namespace fasttts
 {
 
@@ -32,6 +34,67 @@ KvCacheManager::KvCacheManager(double budget_bytes,
     root.resident = true;
     root.refCount = 1;
     nodes_.push_back(root);
+}
+
+KvCacheManager::~KvCacheManager()
+{
+    if (ledger_ != nullptr)
+        ledger_->release(ledgerCharged_);
+}
+
+void
+KvCacheManager::attachLedger(KvBudgetLedger *ledger)
+{
+    assert(alloc_.used() == 0 && ledgerCharged_ == 0);
+    ledger_ = ledger;
+}
+
+size_t
+KvCacheManager::freeBlocks() const
+{
+    const size_t local = alloc_.free();
+    if (ledger_ == nullptr)
+        return local;
+    // The same half-byte slack as KvBudgetLedger::charge(), so a
+    // block the ledger would accept is never under-reported here.
+    const double by_ledger =
+        std::floor((ledger_->freeBytes() + 0.5) / blockBytes());
+    if (by_ledger <= 0)
+        return 0;
+    return std::min(local, static_cast<size_t>(by_ledger));
+}
+
+double
+KvCacheManager::residentBytes() const
+{
+    return static_cast<double>(alloc_.used()) * blockBytes();
+}
+
+bool
+KvCacheManager::allocateBlocks(size_t n)
+{
+    if (!alloc_.allocate(n))
+        return false;
+    if (ledger_ != nullptr) {
+        const double bytes = static_cast<double>(n) * blockBytes();
+        if (!ledger_->charge(bytes)) {
+            alloc_.release(n);
+            return false;
+        }
+        ledgerCharged_ += bytes;
+    }
+    return true;
+}
+
+void
+KvCacheManager::releaseBlocks(size_t n)
+{
+    alloc_.release(n);
+    if (ledger_ != nullptr) {
+        const double bytes = static_cast<double>(n) * blockBytes();
+        ledger_->release(bytes);
+        ledgerCharged_ = std::max(0.0, ledgerCharged_ - bytes);
+    }
 }
 
 KvCacheManager::NodeId
@@ -115,11 +178,11 @@ KvCacheManager::appendTokens(NodeId id, int delta, uint64_t tick,
         const size_t need = blocksForTokens(new_tokens, blockTokens_)
             - n.blocksHeld;
         if (need > 0) {
-            if (alloc_.free() < need
+            if (freeBlocks() < need
                 && (!allow_evict || !reclaim(need))) {
                 return false;
             }
-            if (!alloc_.allocate(need))
+            if (!allocateBlocks(need))
                 return false;
             n.blocksHeld += need;
         }
@@ -140,7 +203,7 @@ KvCacheManager::truncateTokens(NodeId id, int new_tokens)
     if (n.resident) {
         const size_t keep = blocksForTokens(new_tokens, blockTokens_);
         if (keep < n.blocksHeld) {
-            alloc_.release(n.blocksHeld - keep);
+            releaseBlocks(n.blocksHeld - keep);
             n.blocksHeld = keep;
         }
         residentTokens_ -= n.tokens - new_tokens;
@@ -239,7 +302,7 @@ KvCacheManager::reclaim(size_t need_blocks)
         compactVictims();
     }
     bool rescanned = false;
-    while (alloc_.free() < need_blocks) {
+    while (freeBlocks() < need_blocks) {
         // Surface the LRU victim, lazily discarding entries whose node
         // is no longer evictable and refreshing entries whose key is
         // stale (the node was touched after it was enqueued).
@@ -287,7 +350,7 @@ KvCacheManager::evictNode(NodeId id)
 {
     Node &n = node(id);
     assert(evictable(n));
-    alloc_.release(n.blocksHeld);
+    releaseBlocks(n.blocksHeld);
     n.blocksHeld = 0;
     n.resident = false;
     --residentCount_;
@@ -338,11 +401,11 @@ KvCacheManager::ensureResident(NodeId leaf, uint64_t tick)
             continue;
         }
         const size_t need = blocksForTokens(n.tokens, blockTokens_);
-        if (alloc_.free() < need && !reclaim(need)) {
+        if (freeBlocks() < need && !reclaim(need)) {
             result.ok = false;
             break;
         }
-        if (!alloc_.allocate(need)) {
+        if (!allocateBlocks(need)) {
             result.ok = false;
             break;
         }
@@ -369,6 +432,44 @@ bool
 KvCacheManager::isResident(NodeId id) const
 {
     return node(id).resident;
+}
+
+long
+KvCacheManager::forceEvictAll()
+{
+    long dropped = 0;
+    for (NodeId id = 1; id < static_cast<NodeId>(nodes_.size()); ++id) {
+        Node &n = node(id);
+        n.inVictimHeap = false;
+        if (n.erased || !n.resident)
+            continue;
+        releaseBlocks(n.blocksHeld);
+        n.blocksHeld = 0;
+        n.resident = false;
+        n.residentChildren = 0;
+        --residentCount_;
+        residentTokens_ -= n.tokens;
+        dropped += n.tokens;
+        ++stats_.preemptEvictions;
+        stats_.preemptEvictedTokens += static_cast<uint64_t>(n.tokens);
+    }
+    // Only the root survives; its resident-children count and the
+    // victim heap (every entry now stale) restart from scratch.
+    node(kRoot).residentChildren = 0;
+    victims_ = {};
+    return dropped;
+}
+
+std::vector<KvCacheManager::NodeId>
+KvCacheManager::residentFrontier() const
+{
+    std::vector<NodeId> frontier;
+    for (NodeId id = 1; id < static_cast<NodeId>(nodes_.size()); ++id) {
+        const Node &n = node(id);
+        if (!n.erased && n.resident && n.residentChildren == 0)
+            frontier.push_back(id);
+    }
+    return frontier;
 }
 
 int

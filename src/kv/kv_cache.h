@@ -39,7 +39,11 @@ struct KvStats
     uint64_t missTokens = 0;       //!< Tokens materialised on touch.
     uint64_t staleVictimEntries = 0; //!< Lazily-discarded heap entries.
     uint64_t victimCompactions = 0;  //!< Victim-heap rebuilds.
+    uint64_t preemptEvictions = 0;     //!< Nodes dropped by forceEvictAll.
+    uint64_t preemptEvictedTokens = 0; //!< Tokens dropped by forceEvictAll.
 };
+
+class KvBudgetLedger;
 
 /**
  * Paged, prefix-sharing KV cache for a tree of reasoning beams.
@@ -61,6 +65,26 @@ class KvCacheManager
      */
     KvCacheManager(double budget_bytes, double kv_bytes_per_token,
                    int block_tokens = 16);
+
+    /** Releases any shared-ledger charge still held. */
+    ~KvCacheManager();
+
+    KvCacheManager(const KvCacheManager &) = delete;
+    KvCacheManager &operator=(const KvCacheManager &) = delete;
+
+    /**
+     * Attach a shared byte budget (kv/kv_session.h). Every block this
+     * manager allocates is additionally charged to the ledger (block
+     * count x block bytes), and an exhausted ledger fails allocations
+     * exactly like an exhausted local pool — after LRU reclaim has
+     * been tried. Must be called while the manager holds no blocks;
+     * pass nullptr to detach (only valid when nothing is charged).
+     * The ledger must outlive the manager.
+     */
+    void attachLedger(KvBudgetLedger *ledger);
+
+    /** The attached shared ledger (nullptr when standalone). */
+    KvBudgetLedger *ledger() const { return ledger_; }
 
     // ------------------------------------------------------------------
     // Tree structure
@@ -141,12 +165,41 @@ class KvCacheManager
     /** Tokens of the path that are currently resident (prefix hit). */
     int residentPrefixTokens(NodeId leaf) const;
 
+    /**
+     * Force-evict every resident node except the root, regardless of
+     * reference counts — the whole-request preemption path (a
+     * suspended request's beams keep their logical pins; their KV is
+     * simply gone from the device until re-touched). Counted in
+     * KvStats::preemptEvictions/preemptEvictedTokens, not in the LRU
+     * eviction counters.
+     * @return Tokens whose KV was dropped.
+     */
+    long forceEvictAll();
+
+    /** Deepest resident node of every cached path (resident nodes
+     *  with no resident children), excluding the root; the snapshot
+     *  KvSession::suspend() restores from. */
+    std::vector<NodeId> residentFrontier() const;
+
     // ------------------------------------------------------------------
     // Introspection / metrics
     // ------------------------------------------------------------------
 
     /** Pool accounting. */
     const BlockAllocator &allocator() const { return alloc_; }
+
+    /**
+     * Blocks this manager could allocate right now without eviction:
+     * the local pool's free count, further capped by the shared
+     * ledger's remaining bytes when one is attached.
+     */
+    size_t freeBlocks() const;
+
+    /** Bytes one block of this manager occupies. */
+    double blockBytes() const { return blockTokens_ * kvBytesPerToken_; }
+
+    /** Device bytes currently held (used blocks x block bytes). */
+    double residentBytes() const;
 
     /** Running statistics. */
     const KvStats &stats() const { return stats_; }
@@ -206,6 +259,11 @@ class KvCacheManager
 
     bool evictable(const Node &n) const;
     void maybeEnqueueVictim(NodeId id);
+    /** allocate() on the local pool and charge the ledger; all-or-
+     *  nothing. */
+    bool allocateBlocks(size_t n);
+    /** release() on the local pool and refund the ledger. */
+    void releaseBlocks(size_t n);
     /** Evict LRU victims until at least need_blocks are free.
      *  @return true on success. */
     bool reclaim(size_t need_blocks);
@@ -220,6 +278,8 @@ class KvCacheManager
     double kvBytesPerToken_;
     int blockTokens_;
     BlockAllocator alloc_;
+    KvBudgetLedger *ledger_ = nullptr; //!< Shared budget (optional).
+    double ledgerCharged_ = 0;         //!< Bytes charged to ledger_.
     std::vector<Node> nodes_;
     std::vector<NodeId> freeList_;
     KvStats stats_;

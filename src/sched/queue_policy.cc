@@ -12,6 +12,35 @@ namespace
 {
 
 /**
+ * Expected reasoning depth of a profile's termination process:
+ * survival through step k requires not terminating after steps
+ * 1..k-1. Shared by the service-time and working-set predictors so
+ * the admission gate and the SJF/shedding cost estimate can never
+ * desynchronize.
+ */
+double
+expectedSteps(const DatasetProfile &profile)
+{
+    double survival = 1.0;
+    double steps = 0.0;
+    for (int k = 1; k <= profile.maxSteps; ++k) {
+        steps += survival;
+        const double p_terminal = std::min(
+            1.0, profile.terminalBase + profile.terminalGrowth * (k - 1));
+        survival *= 1.0 - p_terminal;
+    }
+    return steps;
+}
+
+/** Clamp a raw step-length estimate to the profile's support. */
+double
+clampStepTokens(const DatasetProfile &profile, double raw)
+{
+    return std::clamp(raw, static_cast<double>(profile.minStepTokens),
+                      static_cast<double>(profile.maxStepTokens));
+}
+
+/**
  * Shared argmin scan: smallest key wins, ties broken by earlier
  * arrival, then by lower submission id so every policy is a total,
  * deterministic order.
@@ -68,6 +97,17 @@ class PriorityPolicy final : public QueuePolicy
         });
     }
 
+    bool
+    shouldPreempt(const QueuedRequest &running,
+                  const QueuedRequest &challenger, double now) override
+    {
+        const auto effective = [&](const QueuedRequest &r) {
+            return static_cast<double>(r.priority)
+                + agingPerSecond_ * (now - r.arrival);
+        };
+        return effective(challenger) > effective(running);
+    }
+
   private:
     double agingPerSecond_;
 };
@@ -84,6 +124,13 @@ class SjfPolicy final : public QueuePolicy
             pending,
             [](const QueuedRequest &r) { return r.predictedCost; });
     }
+
+    bool
+    shouldPreempt(const QueuedRequest &running,
+                  const QueuedRequest &challenger, double) override
+    {
+        return challenger.predictedCost < running.predictedCost;
+    }
 };
 
 class EdfPolicy final : public QueuePolicy
@@ -97,6 +144,13 @@ class EdfPolicy final : public QueuePolicy
         // Deadline-free requests carry +infinity and so sort last.
         return pickByKey(pending,
                          [](const QueuedRequest &r) { return r.deadline; });
+    }
+
+    bool
+    shouldPreempt(const QueuedRequest &running,
+                  const QueuedRequest &challenger, double) override
+    {
+        return challenger.deadline < running.deadline;
     }
 };
 
@@ -170,22 +224,11 @@ predictServiceTime(const RooflineModel &roofline,
                 / (2.0 * root);
         z_max = std::max(0.0, z_max);
     }
-    const double raw_step =
-        std::exp(profile.stepLenMu + profile.stepLenSigma * z_max);
-    const double step_tokens =
-        std::clamp(raw_step, static_cast<double>(profile.minStepTokens),
-                   static_cast<double>(profile.maxStepTokens));
+    const double step_tokens = clampStepTokens(
+        profile,
+        std::exp(profile.stepLenMu + profile.stepLenSigma * z_max));
 
-    // Expected reasoning depth from the termination process: survival
-    // through step k requires not terminating after steps 1..k-1.
-    double survival = 1.0;
-    double steps = 0.0;
-    for (int k = 1; k <= profile.maxSteps; ++k) {
-        steps += survival;
-        const double p_terminal = std::min(
-            1.0, profile.terminalBase + profile.terminalGrowth * (k - 1));
-        survival *= 1.0 - p_terminal;
-    }
+    const double steps = expectedSteps(profile);
 
     // Midpoint context: prompt plus half the expected reasoning tokens.
     const double ctx =
@@ -199,6 +242,30 @@ predictServiceTime(const RooflineModel &roofline,
     const double verify_per_step =
         roofline.prefillTime(models.verifier, beams, step_tokens);
     return prompt_prefill + steps * (decode_per_step + verify_per_step);
+}
+
+double
+predictKvWorkingSetBytes(const ModelConfig &models,
+                         const DatasetProfile &profile,
+                         const Problem &problem, int num_beams)
+{
+    const int beams = std::max(1, num_beams);
+
+    // Expected (mean) step length of the log-normal profile, and the
+    // same reasoning-depth process as the service-time predictor.
+    const double step_tokens = clampStepTokens(
+        profile,
+        std::exp(profile.stepLenMu
+                 + 0.5 * profile.stepLenSigma * profile.stepLenSigma));
+    const double steps = expectedSteps(profile);
+
+    // Prefix sharing keeps most of the tree a single trunk; the
+    // per-beam unique suffix is about one step deep at any moment.
+    const double tree_tokens = problem.promptTokens
+        + steps * step_tokens + beams * step_tokens;
+    return tree_tokens
+        * (models.generator.kvBytesPerToken()
+           + models.verifier.kvBytesPerToken());
 }
 
 } // namespace fasttts

@@ -12,7 +12,10 @@
  *
  * A QueuePolicy ranks the *request* queue of OnlineServer; it is
  * distinct from sched/scheduler.h's BeamScheduler, which orders the
- * *beams* of one in-flight request. Built-ins:
+ * *beams* of one in-flight request. Each policy also carries a
+ * preemptive variant (shouldPreempt) used by the server's
+ * --preempt policy mode to take the engine away from a running
+ * victim when a strictly more urgent request is in flight. Built-ins:
  *
  *  - "fifo"     arrival order (the legacy OnlineServer behaviour),
  *  - "priority" highest priority first, with time-based aging so a
@@ -83,6 +86,28 @@ class QueuePolicy
      */
     virtual size_t pick(const std::vector<QueuedRequest> &pending,
                         double now) = 0;
+
+    /**
+     * Preemptive variant (OnlineServer's --preempt policy mode):
+     * whether `challenger` is urgent enough to take the device away
+     * from `running` mid-request. The server then suspends the
+     * victim's engine state and runs the challenger; the victim keeps
+     * its in-flight slot and continues later.
+     *
+     * The base implementation never preempts (every policy is usable
+     * non-preemptively); built-ins override it with a strict version
+     * of their pick() ordering — strict so equal-urgency requests
+     * cannot thrash the engine with suspend/resume cycles.
+     */
+    virtual bool shouldPreempt(const QueuedRequest &running,
+                               const QueuedRequest &challenger,
+                               double now)
+    {
+        (void)running;
+        (void)challenger;
+        (void)now;
+        return false;
+    }
 };
 
 /** Arrival order — the legacy OnlineServer behaviour. */
@@ -136,6 +161,18 @@ double predictServiceTime(const RooflineModel &roofline,
                           const ModelConfig &models,
                           const DatasetProfile &profile,
                           const Problem &problem, int num_beams);
+
+/**
+ * Rough prediction of one request's resident KV working set (bytes,
+ * generator + verifier trees) for memory-aware admission: a shared
+ * trunk of the expected reasoning depth plus a per-beam frontier of
+ * one expected step, priced at each model's per-token KV cost. A
+ * ranking/gating heuristic from pre-serving observables only — it
+ * never sees the request's sampled trajectory.
+ */
+double predictKvWorkingSetBytes(const ModelConfig &models,
+                                const DatasetProfile &profile,
+                                const Problem &problem, int num_beams);
 
 } // namespace fasttts
 

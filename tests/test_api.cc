@@ -495,10 +495,74 @@ TEST(EngineArgsOnline, DefaultsMatchLegacyServer)
     EXPECT_EQ(args.maxInflight, 1);
     EXPECT_DOUBLE_EQ(args.slo, 0);
     EXPECT_EQ(args.arrivals, "poisson");
+    EXPECT_EQ(args.preempt, "slice");
+    EXPECT_DOUBLE_EQ(args.kvBudgetGiB, 0);
+    EXPECT_FALSE(args.shedDoomed);
     const OnlineServerOptions online = args.toOnlineOptions();
     EXPECT_EQ(online.policy, "fifo");
     EXPECT_EQ(online.maxInflight, 1);
     EXPECT_DOUBLE_EQ(online.slo, 0);
+    EXPECT_EQ(online.preempt, "slice");
+    EXPECT_DOUBLE_EQ(online.kvBudgetGiB, 0);
+    EXPECT_FALSE(online.shedDoomed);
+}
+
+TEST(EngineArgsOnline, PreemptionFlagsArgvAndJsonAgree)
+{
+    const auto via_argv =
+        parse({"--preempt", "policy", "--kv-budget", "1.5",
+               "--shed-doomed"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(R"({
+        "preempt": "policy",
+        "kv_budget_gib": 1.5,
+        "shed_doomed": true
+    })");
+    ASSERT_TRUE(via_json.ok());
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->preempt, "policy");
+        EXPECT_DOUBLE_EQ(args->kvBudgetGiB, 1.5);
+        EXPECT_TRUE(args->shedDoomed);
+        EXPECT_TRUE(args->validate().ok());
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.preempt, "policy");
+        EXPECT_DOUBLE_EQ(online.kvBudgetGiB, 1.5);
+        EXPECT_TRUE(online.shedDoomed);
+    }
+    // The equals and negation forms work too.
+    const auto negated =
+        parse({"--preempt=off", "--kv-budget=0", "--no-shed-doomed"});
+    ASSERT_TRUE(negated.ok());
+    EXPECT_EQ(negated->preempt, "off");
+    EXPECT_FALSE(negated->shedDoomed);
+    EXPECT_TRUE(negated->wasSet("--shed-doomed"));
+    EXPECT_TRUE(negated->wasSet("--preempt"));
+}
+
+TEST(EngineArgsOnline, PreemptionFlagValidation)
+{
+    EngineArgs args;
+    args.preempt = "sometimes";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.kvBudgetGiB = -2;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    EXPECT_EQ(parse({"--shed-doomed=yes"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"preempt": 1})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"shed_doomed": "yes"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"kv_budget_gib": "big"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
 }
 
 TEST(EngineArgsOnline, ArgvAndJsonAgree)

@@ -341,5 +341,126 @@ TEST(AsyncServing, ServeProblemsEmptyIsSafe)
     EXPECT_EQ(out.top1Accuracy, 0);
 }
 
+// --- Suspension: one engine time-shared between requests ---
+
+TEST(AsyncServing, SuspendResumeInterleavesTwoRequests)
+{
+    ServingSystem system = smallSystem();
+    const RequestId a = system.submit(system.problems()[0]);
+    const RequestId b = system.submit(system.problems()[1]);
+
+    ASSERT_TRUE(system.step()); // Starts a.
+    EXPECT_EQ(*system.requestState(a), RequestState::Running);
+    ASSERT_TRUE(system.suspend(a).ok());
+    EXPECT_EQ(*system.requestState(a), RequestState::Suspended);
+    EXPECT_EQ(system.pendingRequests(), 2u);
+
+    // With a parked, stepping starts (and can finish) b.
+    while (*system.requestState(b) != RequestState::Completed)
+        system.step();
+    EXPECT_EQ(*system.requestState(a), RequestState::Suspended);
+
+    // Resume a; it finishes where it left off.
+    ASSERT_TRUE(system.resume(a).ok());
+    EXPECT_EQ(*system.requestState(a), RequestState::Running);
+    system.drain();
+    EXPECT_EQ(*system.requestState(a), RequestState::Completed);
+    EXPECT_GT(system.result(a)->completionTime, 0);
+}
+
+TEST(AsyncServing, SuspendResumeIsTimingTransparent)
+{
+    // Parking a request (without KV eviction) must not change its
+    // result at all: same completion time, same solutions.
+    ServingSystem plain = smallSystem();
+    ServingSystem preempted = smallSystem();
+
+    const RequestId p = plain.submit(plain.problems()[0]);
+    plain.drain();
+    const RequestResult want = *plain.result(p);
+
+    const RequestId id = preempted.submit(preempted.problems()[0]);
+    int steps = 0;
+    while (*preempted.requestState(id) != RequestState::Completed) {
+        preempted.step();
+        if (++steps % 3 == 0
+            && *preempted.requestState(id) == RequestState::Running) {
+            ASSERT_TRUE(preempted.suspend(id).ok());
+            ASSERT_TRUE(preempted.resume(id).ok());
+        }
+    }
+    const RequestResult got = *preempted.result(id);
+    EXPECT_DOUBLE_EQ(got.completionTime, want.completionTime);
+    EXPECT_EQ(got.generatedTokens, want.generatedTokens);
+    ASSERT_EQ(got.solutions.size(), want.solutions.size());
+    for (size_t i = 0; i < got.solutions.size(); ++i) {
+        EXPECT_EQ(got.solutions[i].answer, want.solutions[i].answer);
+        EXPECT_DOUBLE_EQ(got.solutions[i].score,
+                         want.solutions[i].score);
+    }
+}
+
+TEST(AsyncServing, EvictSuspendedKvForcesRecomputeButSameAnswers)
+{
+    // Evicting a suspended request's KV costs recompute time but can
+    // never change what the beams sample (trajectory separation).
+    ServingSystem plain = smallSystem();
+    ServingSystem evicted = smallSystem();
+
+    const RequestId p = plain.submit(plain.problems()[0]);
+    plain.drain();
+    const RequestResult want = *plain.result(p);
+
+    const RequestId id = evicted.submit(evicted.problems()[0]);
+    evicted.step();
+    evicted.step();
+    ASSERT_TRUE(evicted.suspend(id).ok());
+    const auto dropped = evicted.evictSuspendedKv(id);
+    ASSERT_TRUE(dropped.ok());
+    EXPECT_GT(*dropped, 0);
+    ASSERT_TRUE(evicted.resume(id).ok());
+    evicted.drain();
+
+    const RequestResult got = *evicted.result(id);
+    EXPECT_GE(got.completionTime, want.completionTime);
+    EXPECT_GT(got.kvStats.preemptEvictedTokens, 0u);
+    ASSERT_EQ(got.solutions.size(), want.solutions.size());
+    for (size_t i = 0; i < got.solutions.size(); ++i) {
+        EXPECT_EQ(got.solutions[i].answer, want.solutions[i].answer);
+        EXPECT_DOUBLE_EQ(got.solutions[i].score,
+                         want.solutions[i].score);
+    }
+}
+
+TEST(AsyncServing, SuspendResumeErrorPaths)
+{
+    ServingSystem system = smallSystem();
+    const RequestId a = system.submit(system.problems()[0]);
+    const RequestId b = system.submit(system.problems()[1]);
+
+    // Nothing is running yet.
+    EXPECT_EQ(system.suspend(a).code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(system.suspend(999).code(), StatusCode::kNotFound);
+    EXPECT_EQ(system.resume(a).code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(system.evictSuspendedKv(a).status().code(),
+              StatusCode::kFailedPrecondition);
+
+    system.step(); // a running.
+    EXPECT_EQ(system.suspend(b).code(), StatusCode::kFailedPrecondition);
+    ASSERT_TRUE(system.suspend(a).ok());
+    system.step(); // b running.
+    // Cannot resume while another request holds the engine.
+    EXPECT_EQ(system.resume(a).code(), StatusCode::kFailedPrecondition);
+    // Cannot release a suspended (still pending) request.
+    EXPECT_EQ(system.release(a).code(), StatusCode::kFailedPrecondition);
+
+    // Cancelling a suspended request frees it without resuming.
+    ASSERT_TRUE(system.cancel(a).ok());
+    EXPECT_EQ(*system.requestState(a), RequestState::Cancelled);
+    system.drain();
+    EXPECT_EQ(*system.requestState(b), RequestState::Completed);
+    EXPECT_EQ(system.pendingRequests(), 0u);
+}
+
 } // namespace
 } // namespace fasttts

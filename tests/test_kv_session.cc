@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the shared KV budget ledger and KV session save/restore:
+ * cross-manager budget enforcement, force-eviction, and the
+ * randomized suspend -> evict -> resume round-trip property the
+ * online server's preemption relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kv/kv_cache.h"
+#include "kv/kv_session.h"
+#include "util/rng.h"
+
+namespace fasttts
+{
+namespace
+{
+
+// 1 byte per token, 16-token blocks: a budget of B bytes is B tokens.
+constexpr double kTokenByte = 1.0;
+constexpr int kBlockTokens = 16;
+
+TEST(KvBudgetLedger, ChargeAndReleaseTrackOccupancy)
+{
+    KvBudgetLedger ledger(1000);
+    EXPECT_EQ(ledger.totalBytes(), 1000);
+    EXPECT_EQ(ledger.usedBytes(), 0);
+    EXPECT_TRUE(ledger.charge(600));
+    EXPECT_EQ(ledger.usedBytes(), 600);
+    EXPECT_EQ(ledger.freeBytes(), 400);
+    ledger.release(200);
+    EXPECT_EQ(ledger.usedBytes(), 400);
+    EXPECT_EQ(ledger.peakUsedBytes(), 600);
+}
+
+TEST(KvBudgetLedger, FailedChargeLeavesStateUnchanged)
+{
+    KvBudgetLedger ledger(100);
+    EXPECT_TRUE(ledger.charge(80));
+    EXPECT_FALSE(ledger.charge(30));
+    EXPECT_EQ(ledger.usedBytes(), 80);
+    EXPECT_EQ(ledger.failedCharges(), 1u);
+    // Release clamps at zero occupancy.
+    ledger.release(500);
+    EXPECT_EQ(ledger.usedBytes(), 0);
+}
+
+TEST(KvBudgetLedger, ManagerChargesExactlyItsResidentBytes)
+{
+    KvBudgetLedger ledger(4096);
+    KvCacheManager kv(2048, kTokenByte, kBlockTokens);
+    kv.attachLedger(&ledger);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    const int b = kv.createChild(a, 2, 50);
+    kv.ensureResident(b, 1);
+    EXPECT_GT(ledger.usedBytes(), 0);
+    EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
+    kv.appendTokens(b, 40, 2);
+    EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
+    kv.truncateTokens(b, 10);
+    EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
+}
+
+TEST(KvBudgetLedger, ManagerDestructionRefundsItsCharge)
+{
+    KvBudgetLedger ledger(4096);
+    {
+        KvCacheManager kv(2048, kTokenByte, kBlockTokens);
+        kv.attachLedger(&ledger);
+        const int a = kv.createChild(KvCacheManager::kRoot, 1, 200);
+        kv.ensureResident(a, 1);
+        EXPECT_GT(ledger.usedBytes(), 0);
+    }
+    EXPECT_EQ(ledger.usedBytes(), 0);
+}
+
+TEST(KvBudgetLedger, SharedBudgetBindsAcrossManagers)
+{
+    // Two managers with roomy local pools share a ledger that can
+    // only hold one of their working sets: the second must evict its
+    // own cache or fail, never exceed the shared budget.
+    KvBudgetLedger ledger(256);
+    KvCacheManager a(1024, kTokenByte, kBlockTokens);
+    KvCacheManager b(1024, kTokenByte, kBlockTokens);
+    a.attachLedger(&ledger);
+    b.attachLedger(&ledger);
+
+    const int leaf_a = a.createChild(KvCacheManager::kRoot, 1, 192);
+    a.retain(leaf_a); // Pinned: b cannot steal it back.
+    EXPECT_TRUE(a.ensureResident(leaf_a, 1).ok);
+
+    const int leaf_b = b.createChild(KvCacheManager::kRoot, 1, 192);
+    b.retain(leaf_b);
+    // 192 + 192 > 256: the shared pool cannot hold both.
+    EXPECT_FALSE(b.ensureResident(leaf_b, 2).ok);
+    EXPECT_LE(ledger.usedBytes(), ledger.totalBytes());
+    // b's local pool has plenty of room: only the shared ledger can
+    // be what stopped it.
+    EXPECT_GT(b.allocator().free(), b.blocksFor(192));
+    EXPECT_EQ(b.freeBlocks(), 4u); // (256-192+0.5)/16 rounded down.
+
+    // Releasing a's pin and force-evicting it frees the budget for b.
+    a.release(leaf_a);
+    KvSession(a).suspend(3);
+    EXPECT_TRUE(b.ensureResident(leaf_b, 4).ok);
+    EXPECT_LE(ledger.usedBytes(), ledger.totalBytes());
+}
+
+TEST(KvSession, SuspendDropsEverythingAndCountsIt)
+{
+    KvCacheManager kv(2048, kTokenByte, kBlockTokens);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
+    const int b = kv.createChild(a, 2, 60);
+    kv.retain(b); // Pins survive suspension (logical references).
+    kv.ensureResident(b, 1);
+    ASSERT_TRUE(kv.isResident(b));
+
+    KvSession session(kv);
+    const long dropped = session.suspend(2);
+    EXPECT_EQ(dropped, 160);
+    EXPECT_TRUE(session.suspended());
+    EXPECT_FALSE(kv.isResident(a));
+    EXPECT_FALSE(kv.isResident(b));
+    EXPECT_TRUE(kv.isResident(KvCacheManager::kRoot));
+    EXPECT_EQ(kv.allocator().used(), 0u);
+    EXPECT_EQ(kv.residentTokens(), 0);
+    EXPECT_EQ(kv.stats().preemptEvictedTokens, 160u);
+    EXPECT_EQ(kv.refCount(b), 1); // The pin is still logical.
+
+    // Resume restores the frontier (and hence the whole path),
+    // counted as recompute.
+    const long restored = session.resume(3);
+    EXPECT_EQ(restored, 160);
+    EXPECT_TRUE(kv.isResident(a));
+    EXPECT_TRUE(kv.isResident(b));
+    EXPECT_EQ(session.stats().suspends, 1);
+    EXPECT_EQ(session.stats().resumes, 1);
+}
+
+/**
+ * Apply one pseudo-random tree operation to a manager. Determinism:
+ * both twins run the identical op stream from identical seeds.
+ */
+void
+applyRandomOp(KvCacheManager &kv, std::vector<int> &leaves,
+              std::vector<int> &retained, Rng &rng, uint64_t &next_seg,
+              uint64_t tick)
+{
+    const int op = rng.uniformInt(0, 5);
+    const int pick = leaves.empty()
+        ? -1
+        : leaves[static_cast<size_t>(
+              rng.uniformInt(0, static_cast<int>(leaves.size()) - 1))];
+    switch (op) {
+    case 0: { // Grow the tree.
+        const int parent = pick < 0 ? KvCacheManager::kRoot : pick;
+        const int child = kv.createChild(parent, next_seg++,
+                                         rng.uniformInt(1, 40));
+        leaves.push_back(child);
+        break;
+    }
+    case 1: // Touch a path.
+        if (pick >= 0)
+            kv.ensureResident(pick, tick);
+        break;
+    case 2: // Decode into a leaf.
+        if (pick >= 0)
+            kv.appendTokens(pick, rng.uniformInt(1, 24), tick);
+        break;
+    case 3: // Truncate (speculative duplicate).
+        if (pick >= 0 && kv.nodeTokens(pick) > 1)
+            kv.truncateTokens(pick,
+                              rng.uniformInt(0, kv.nodeTokens(pick) - 1));
+        break;
+    case 4: // Pin a beam.
+        if (pick >= 0) {
+            kv.retain(pick);
+            retained.push_back(pick);
+        }
+        break;
+    default: // Unpin.
+        if (!retained.empty()) {
+            const size_t at = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int>(retained.size()) - 1));
+            kv.release(retained[at]);
+            retained.erase(retained.begin() + static_cast<long>(at));
+        }
+        break;
+    }
+}
+
+TEST(KvSession, RandomizedSuspendEvictResumeRoundTrip)
+{
+    // Property: running an op stream with interleaved
+    // suspend -> (blocks evicted) -> resume cycles leaves every
+    // observable — path tokens, unshared tokens, node count and
+    // allocator occupancy — identical to the uninterrupted twin.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        KvCacheManager plain(1 << 12, kTokenByte, kBlockTokens);
+        KvCacheManager preempted(1 << 12, kTokenByte, kBlockTokens);
+        KvSession session(preempted);
+        Rng rng_a(seed);
+        Rng rng_b(seed);
+        std::vector<int> leaves_a, retained_a;
+        std::vector<int> leaves_b, retained_b;
+        uint64_t seg_a = 1, seg_b = 1;
+
+        for (int step = 0; step < 200; ++step) {
+            const uint64_t tick = static_cast<uint64_t>(step) + 1;
+            applyRandomOp(plain, leaves_a, retained_a, rng_a, seg_a,
+                          tick);
+            applyRandomOp(preempted, leaves_b, retained_b, rng_b,
+                          seg_b, tick);
+            ASSERT_EQ(leaves_a.size(), leaves_b.size());
+            if (step % 37 == 36) {
+                session.suspend(tick);
+                EXPECT_EQ(preempted.allocator().used(), 0u);
+                session.resume(tick);
+            }
+        }
+        // One final cycle so the comparison happens right after a
+        // round trip too.
+        session.suspend(999);
+        session.resume(999);
+
+        ASSERT_EQ(plain.nodeCount(), preempted.nodeCount());
+        EXPECT_EQ(plain.unsharedTokens(), preempted.unsharedTokens());
+        for (size_t i = 0; i < leaves_a.size(); ++i) {
+            EXPECT_EQ(plain.pathTokens(leaves_a[i]),
+                      preempted.pathTokens(leaves_b[i]));
+            EXPECT_EQ(plain.nodeTokens(leaves_a[i]),
+                      preempted.nodeTokens(leaves_b[i]));
+            EXPECT_EQ(plain.refCount(leaves_a[i]),
+                      preempted.refCount(leaves_b[i]));
+        }
+        // Resume restores exactly the frontier that was resident, so
+        // block occupancy matches the uninterrupted run whenever the
+        // budget was never the binding constraint — which a 4 KiB
+        // pool over <= 200 small ops guarantees here.
+        EXPECT_EQ(plain.allocator().used(),
+                  preempted.allocator().used());
+        EXPECT_EQ(plain.residentTokens(), preempted.residentTokens());
+    }
+}
+
+} // namespace
+} // namespace fasttts

@@ -188,14 +188,22 @@ TEST(OnlineServer, FifoMaxInflightOneMatchesLegacyTraceExactly)
     }
     const OnlineTraceResult want = aggregateTrace(expected, busy);
 
-    // Both construction paths (legacy and explicit default options).
+    // All construction paths: legacy, explicit defaults, and the
+    // documented legacy triple --policy fifo --max-inflight 1
+    // --preempt off (run-to-completion equals time slicing at K=1).
     OnlineServerOptions defaults;
     ASSERT_EQ(defaults.policy, "fifo");
     ASSERT_EQ(defaults.maxInflight, 1);
+    ASSERT_EQ(defaults.preempt, "slice");
+    OnlineServerOptions preempt_off = defaults;
+    preempt_off.preempt = "off";
     OnlineServer legacy = OnlineServer::create(opts).value();
     OnlineServer explicit_defaults =
         OnlineServer::create(opts, defaults).value();
-    for (OnlineServer *server : {&legacy, &explicit_defaults}) {
+    OnlineServer run_to_completion =
+        OnlineServer::create(opts, preempt_off).value();
+    for (OnlineServer *server :
+         {&legacy, &explicit_defaults, &run_to_completion}) {
         const OnlineTraceResult got = server->serveTrace(7, 0.08, 21);
         ASSERT_EQ(got.records.size(), want.records.size());
         for (size_t i = 0; i < want.records.size(); ++i) {
@@ -459,6 +467,217 @@ TEST(OnlineServer, InterleavedTracesDoNotAccumulateRecords)
     EXPECT_EQ(server.system().pendingRequests(), 0u);
     EXPECT_EQ(server.system().result(1).status().code(),
               StatusCode::kNotFound);
+}
+
+// --- Shared engine, preemption and the one-device memory budget ---
+
+TEST(OnlineServer, CreateRejectsBadPreemptAndKvBudget)
+{
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions bad_preempt;
+    bad_preempt.preempt = "sometimes";
+    const auto unknown = OnlineServer::create(opts, bad_preempt);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(unknown.status().message().find("slice"),
+              std::string::npos);
+
+    OnlineServerOptions negative_budget;
+    negative_budget.kvBudgetGiB = -1;
+    EXPECT_EQ(
+        OnlineServer::create(opts, negative_budget).status().code(),
+        StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineServer, SharedLedgerBoundsResidentKvAcrossInflight)
+{
+    // Whatever the interleaving does, total resident KV across every
+    // in-flight request can never exceed the one shared budget.
+    ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.maxInflight = 4;
+    online.kvBudgetGiB = 1.0;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    // Overlapping burst: everything arrives at once.
+    const auto out = server.serveArrivals({0, 0, 0, 0, 0, 0});
+    EXPECT_EQ(out.records.size(), 6u);
+    const KvBudgetLedger &ledger = server.kvLedger();
+    EXPECT_DOUBLE_EQ(ledger.totalBytes(), 1.0 * (1ull << 30));
+    EXPECT_GT(ledger.peakUsedBytes(), 0.0);
+    EXPECT_LE(ledger.peakUsedBytes(), ledger.totalBytes() + 1.0);
+}
+
+TEST(OnlineServer, TightSharedBudgetForcesPreemptionEviction)
+{
+    // A budget far below the combined working sets makes the server
+    // evict suspended victims; their paths come back as recompute.
+    // ~0.75 GiB admits four predicted working sets (~136 MiB each)
+    // but cannot hold four opportunistically filled caches (~370 MiB
+    // each): the suspended victims get force-evicted.
+    ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.maxInflight = 4;
+    online.kvBudgetGiB = 0.75;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const auto out = server.serveArrivals({0, 0, 0, 0, 0, 0, 0, 0});
+    EXPECT_EQ(out.records.size(), 8u);
+    EXPECT_GT(out.preemptEvictedTokens, 0);
+    EXPECT_GT(out.recomputedTokens, 0);
+    EXPECT_LE(server.kvLedger().peakUsedBytes(),
+              server.kvLedger().totalBytes() + 1.0);
+}
+
+TEST(OnlineServer, PolicyModePreemptsForUrgentArrival)
+{
+    // A deadline-free long request is on the device when an urgent
+    // SLO-bearing request arrives: preemptive EDF takes the engine
+    // away mid-request; the victim still completes.
+    ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = 2;
+    online.preempt = "policy";
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    OnlineRequest relaxed;
+    relaxed.problemId = 0;
+    relaxed.arrival = 0;
+    relaxed.slo = 0; // No deadline.
+    OnlineRequest urgent;
+    urgent.problemId = 1;
+    urgent.arrival = 1.0; // Arrives while `relaxed` runs.
+    urgent.slo = 30.0;
+    const auto out =
+        server.serveRequests({relaxed, urgent}).value();
+    ASSERT_EQ(out.records.size(), 2u);
+    EXPECT_GE(out.preemptions, 1);
+    // The victim is the deadline-free request.
+    for (const auto &rec : out.records) {
+        if (!rec.hasDeadline()) {
+            EXPECT_GE(rec.preemptions, 1);
+        }
+    }
+
+    // The same trace under non-preemptive slicing treats both
+    // equally; preemptive EDF must serve the urgent one no slower.
+    OnlineServerOptions sliced = online;
+    sliced.preempt = "slice";
+    OnlineServer slice_server =
+        OnlineServer::create(opts, sliced).value();
+    const auto slice_out =
+        slice_server.serveRequests({relaxed, urgent}).value();
+    double policy_urgent = 0, slice_urgent = 0;
+    for (const auto &rec : out.records)
+        if (rec.hasDeadline())
+            policy_urgent = rec.latency();
+    for (const auto &rec : slice_out.records)
+        if (rec.hasDeadline())
+            slice_urgent = rec.latency();
+    EXPECT_LE(policy_urgent, slice_urgent + 1e-9);
+}
+
+TEST(OnlineServer, ShedDoomedShedsOnlyDoomedRequests)
+{
+    ServingOptions opts = smallOptions(true);
+
+    // Impossible SLO + shedding: everything is shed at admission.
+    OnlineServerOptions doomed;
+    doomed.slo = 1e-3;
+    doomed.shedDoomed = true;
+    OnlineServer shedding =
+        OnlineServer::create(opts, doomed).value();
+    const auto shed_out = shedding.serveTrace(4, 0.5, 7);
+    EXPECT_EQ(shed_out.shedRequests, 4);
+    EXPECT_TRUE(shed_out.records.empty());
+
+    // Same SLO without the flag: served doomed (legacy behaviour).
+    OnlineServerOptions served;
+    served.slo = 1e-3;
+    OnlineServer serving = OnlineServer::create(opts, served).value();
+    const auto served_out = serving.serveTrace(4, 0.5, 7);
+    EXPECT_EQ(served_out.shedRequests, 0);
+    EXPECT_EQ(served_out.records.size(), 4u);
+    EXPECT_EQ(served_out.deadlineMisses, 4);
+
+    // Generous SLO with the flag: nothing to shed.
+    OnlineServerOptions generous;
+    generous.slo = 1e9;
+    generous.shedDoomed = true;
+    OnlineServer relaxed =
+        OnlineServer::create(opts, generous).value();
+    const auto relaxed_out = relaxed.serveTrace(4, 0.5, 7);
+    EXPECT_EQ(relaxed_out.shedRequests, 0);
+    EXPECT_EQ(relaxed_out.records.size(), 4u);
+}
+
+TEST(OnlineServer, ActiveTimeIsDeviceTimeNotWallTime)
+{
+    // Under interleaving, wall service time includes other requests'
+    // slices; activeTime never does, and it is exactly what the
+    // utilization accounting sums.
+    ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.maxInflight = 3;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const auto out = server.serveArrivals({0, 0, 0, 0, 0});
+    ASSERT_EQ(out.records.size(), 5u);
+    double active_total = 0;
+    bool any_interleaved = false;
+    for (const auto &rec : out.records) {
+        EXPECT_GT(rec.activeTime, 0.0);
+        EXPECT_LE(rec.activeTime, rec.serviceTime() + 1e-9);
+        if (rec.activeTime < rec.serviceTime() - 1e-9)
+            any_interleaved = true;
+        active_total += rec.activeTime;
+    }
+    EXPECT_TRUE(any_interleaved);
+    EXPECT_GT(out.contextSwitches, 0); // Slicing rotates mid-request.
+    EXPECT_EQ(out.preemptions, 0); // ...but that is not preemption.
+    EXPECT_NEAR(out.utilization, active_total / out.makespan, 1e-12);
+    EXPECT_LE(out.utilization, 1.0 + 1e-9);
+}
+
+TEST(OnlineServer, PreemptionStormHoldsInvariants)
+{
+    // Storm: tight shared budget, preemptive policy, shedding and
+    // client cancellations all at once (also exercised under
+    // ASan+UBSan by the sanitizer CI job).
+    ServingOptions opts = smallOptions(true);
+    opts.numBeams = 4;
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = 8;
+    online.preempt = "policy";
+    online.kvBudgetGiB = 0.5;
+    online.shedDoomed = true;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    const auto arrivals = burstyArrivalTrace(24, 0.5, 11);
+    std::vector<OnlineRequest> requests;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        OnlineRequest r;
+        r.arrival = arrivals[i];
+        r.priority = static_cast<int>(i % 3) - 1;
+        const double tiers[] = {20.0, 60.0, 240.0, 0.0};
+        r.slo = tiers[i % 4];
+        if (i % 7 == 6)
+            r.cancelAt = arrivals[i] + 1.0;
+        requests.push_back(r);
+    }
+    const auto out = server.serveRequests(requests).value();
+    EXPECT_EQ(static_cast<int>(out.records.size()) + out.shedRequests
+                  + out.cancelled,
+              24);
+    EXPECT_LE(server.kvLedger().peakUsedBytes(),
+              server.kvLedger().totalBytes() + 1.0);
+    EXPECT_LE(out.utilization, 1.0 + 1e-9);
+    for (const auto &rec : out.records) {
+        EXPECT_GE(rec.start, rec.arrival);
+        EXPECT_GT(rec.finish, rec.start);
+        EXPECT_GT(rec.activeTime, 0.0);
+        EXPECT_LE(rec.activeTime, rec.serviceTime() + 1e-9);
+    }
 }
 
 } // namespace
