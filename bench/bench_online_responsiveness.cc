@@ -34,11 +34,12 @@ main(int argc, char **argv)
         argc, argv, defaults,
         "Online serving responsiveness under load (arrival rates swept; "
         "--problems sets the request count, --policy/--max-inflight/"
-        "--slo/--arrivals/--preempt/--kv-budget/--shed-doomed the "
-        "queueing discipline)",
+        "--slo/--arrivals/--preempt/--kv-budget/--shed-doomed/"
+        "--batching the queueing discipline)",
         {"--problems", "--dataset", "--seed", "--beams", "--policy",
          "--max-inflight", "--slo", "--arrivals", "--preempt",
-         "--kv-budget", "--shed-doomed"});
+         "--kv-budget", "--shed-doomed", "--batching",
+         "--max-batched-tokens", "--prefill-chunk"});
     const int requests = args.numProblems;
     const OnlineServerOptions online = args.toOnlineOptions();
 

@@ -451,6 +451,142 @@ runOnlinePreemptionBenchmark(bool quick, uint64_t seed)
 }
 
 /**
+ * The continuous-batching benchmark pits co-scheduled decode
+ * (--batching continuous) against round-robin time slicing
+ * (--preempt slice) on one identical probe-calibrated bursty overload
+ * trace at equal shared KV budgets: trace goodput, latency
+ * percentiles, SLO attainment and batch occupancy — the serving study
+ * behind the unified BatchPlan API.
+ */
+constexpr const char *kOnlineBatchingName = "online_batching";
+
+Json
+measureBatchingRun(const ServingOptions &opts,
+                   const CalibratedOnlineTrace &calibrated,
+                   const std::string &batching, double kv_budget_gib,
+                   int max_inflight, int max_batched_tokens)
+{
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = max_inflight;
+    online.slo = calibrated.slo;
+    online.preempt = "slice"; // Ignored under continuous batching.
+    online.kvBudgetGiB = kv_budget_gib;
+    online.shedDoomed = true;
+    online.batching = batching;
+    online.maxBatchedTokens = max_batched_tokens;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const OnlineTraceResult out =
+        server.serveRequests(calibrated.requests).value();
+
+    Json latency = Json::object();
+    latency.set("mean", out.meanLatency);
+    latency.set("p50", out.p50Latency);
+    latency.set("p95", out.p95Latency);
+    latency.set("p99", out.p99Latency);
+
+    Json run = Json::object();
+    run.set("latency_s", std::move(latency));
+    run.set("goodput_tokens_per_s",
+            out.makespan > 0
+                ? static_cast<double>(out.verifiedTokens) / out.makespan
+                : 0.0);
+    run.set("verified_tokens", out.verifiedTokens);
+    run.set("makespan_s", out.makespan);
+    run.set("slo_attainment", out.sloAttainment);
+    run.set("deadline_misses", out.deadlineMisses);
+    run.set("completed", static_cast<long>(out.records.size()));
+    run.set("shed_requests", out.shedRequests);
+    run.set("batch_occupancy", out.batchOccupancy);
+    run.set("context_switches", out.contextSwitches);
+    run.set("recomputed_tokens", out.recomputedTokens);
+    run.set("kv_peak_gib", toGiB(server.kvLedger().peakUsedBytes()));
+    run.set("utilization", out.utilization);
+    return run;
+}
+
+Json
+runOnlineBatchingBenchmark(bool quick, uint64_t seed)
+{
+    EngineArgs args;
+    args.dataset = "AMC";
+    args.numBeams = quick ? 8 : 16;
+    args.seed = seed;
+    const int numRequests = quick ? 10 : 24;
+    const int maxInflight = 4;
+    ServingOptions opts = args.toServingOptions().value();
+
+    // One identical probe-calibrated bursty overload trace with
+    // tiered SLOs for every (budget, batching-mode) cell.
+    const CalibratedOnlineTrace calibrated =
+        calibrateOnlineTrace(opts, "bursty", numRequests, seed)
+            .value();
+
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", kOnlineBatchingName);
+    doc.set("description",
+            "Continuous batching vs time-sliced serving on one "
+            "bursty trace");
+    doc.set("quick", quick);
+
+    double engine_budget_gib = 0;
+    int maxBatchedTokens = 0;
+    {
+        ServingSystem probe = ServingSystem::create(opts).value();
+        engine_budget_gib = probe.engine().kvBudgetBytes() / GiB;
+        // Size the wave budget to fuse every in-flight request's
+        // decode work (README's sizing rule of thumb), so occupancy
+        // is limited by arrivals and memory, not the token knob.
+        maxBatchedTokens = maxInflight * args.numBeams
+            * std::max(1, static_cast<int>(
+                              probe.engine().expectedStepTokens() + 1));
+    }
+
+    Json config = Json::object();
+    config.set("dataset", args.dataset);
+    config.set("device", args.device);
+    config.set("models", args.models);
+    config.set("num_beams", args.numBeams);
+    config.set("requests", numRequests);
+    config.set("max_inflight", maxInflight);
+    config.set("policy", "edf");
+    config.set("arrivals", "bursty");
+    config.set("arrival_rate_per_s", calibrated.rate);
+    config.set("slo_s", calibrated.slo);
+    config.set("engine_kv_budget_gib", engine_budget_gib);
+    config.set("max_batched_tokens", maxBatchedTokens);
+    config.set("prefill_chunk", OnlineServerOptions().prefillChunk);
+    config.set("shed_doomed", true);
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    struct Tier
+    {
+        const char *label;
+        double fraction; //!< Of the engine budget.
+    };
+    const Tier tiers[] = {{"1.00x", 1.0}, {"0.50x", 0.5}};
+
+    Json budgets = Json::object();
+    for (const Tier &tier : tiers) {
+        const double budget_gib = tier.fraction * engine_budget_gib;
+        Json cell = Json::object();
+        cell.set("kv_budget_gib", budget_gib);
+        cell.set("sliced",
+                 measureBatchingRun(opts, calibrated, "off", budget_gib,
+                                    maxInflight, maxBatchedTokens));
+        cell.set("continuous",
+                 measureBatchingRun(opts, calibrated, "continuous",
+                                    budget_gib, maxInflight,
+                                    maxBatchedTokens));
+        budgets.set(tier.label, std::move(cell));
+    }
+    doc.set("budgets", std::move(budgets));
+    return doc;
+}
+
+/**
  * Wall-clock and simulated-token volume of one benchmark run, for the
  * fasttts-harness-v1 self-timing document.
  */
@@ -511,7 +647,8 @@ usage(std::ostream &os, int exit_code)
           "\n"
           "Runs the registered benchmarks (all by default, or the named\n"
           "subset: the figure suite plus the online_scheduling policy\n"
-          "sweep and the online_preemption kv-budget sweep) and writes\n"
+          "sweep, the online_preemption kv-budget sweep and the\n"
+          "online_batching continuous-vs-sliced study) and writes\n"
           "BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
           "names, one per line, and exits. --jobs N runs benchmarks on\n"
@@ -583,6 +720,7 @@ runnerMain(int argc, char **argv)
     static constexpr OnlineBench kOnlineBenchmarks[] = {
         {kOnlineSchedulingName, runOnlineSchedulingBenchmark},
         {kOnlinePreemptionName, runOnlinePreemptionBenchmark},
+        {kOnlineBatchingName, runOnlineBatchingBenchmark},
     };
 
     if (list) {
@@ -723,6 +861,23 @@ runnerMain(int argc, char **argv)
                                           .asNumber(),
                              0)
                       << "% -> " << path.string() << "\n";
+        } else if (name == kOnlineBatchingName) {
+            const Json &full = doc["budgets"]["1.00x"];
+            std::cout
+                << name << ": goodput sliced "
+                << formatDouble(full["sliced"]["goodput_tokens_per_s"]
+                                    .asNumber(),
+                                0)
+                << " vs continuous "
+                << formatDouble(
+                       full["continuous"]["goodput_tokens_per_s"]
+                           .asNumber(),
+                       0)
+                << " tok/s, occupancy "
+                << formatDouble(
+                       full["continuous"]["batch_occupancy"].asNumber(),
+                       2)
+                << " -> " << path.string() << "\n";
         } else {
             const Json &tight = doc["budgets"]["0.25x"];
             std::cout << name << ": slo (0.25x budget) slice "

@@ -13,7 +13,10 @@
 # multi-request interleaving machinery cannot land silently. A third
 # pass runs preemptive EDF with doomed-request shedding under a tight
 # shared KV budget (--preempt policy --kv-budget), hammering the
-# suspend/evict/resume path of the shared-engine server.
+# suspend/evict/resume path of the shared-engine server. A fourth pass
+# runs continuous batching under the same tight budget (--batching
+# continuous --kv-budget 0.5), fusing decode across requests while the
+# ledger benches and lazily restores batch members.
 
 set -euo pipefail
 
@@ -72,6 +75,16 @@ echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
     "policy=edf, preempt=policy, kv-budget=0.5 GiB, shed-doomed"
 "${bench}" --problems "${requests}" --beams 4 --dataset AMC \
     --arrivals bursty --policy edf --preempt policy \
+    --kv-budget 0.5 --shed-doomed \
+    --max-inflight "${max_inflight}" --slo 2000 >/dev/null
+
+# Continuous-batching storm: co-scheduled decode under the same tight
+# shared budget, so batch members are benched (force-evicted) and
+# lazily restored while other members keep decoding in fused waves.
+echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
+    "policy=edf, batching=continuous, kv-budget=0.5 GiB, shed-doomed"
+"${bench}" --problems "${requests}" --beams 4 --dataset AMC \
+    --arrivals bursty --policy edf --batching continuous \
     --kv-budget 0.5 --shed-doomed \
     --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 echo "-- scheduler stress passed (ASan+UBSan clean)"

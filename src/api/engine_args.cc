@@ -171,7 +171,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         if (flag == "--device" || flag == "--dataset"
             || flag == "--algorithm" || flag == "--models"
             || flag == "--mode" || flag == "--policy"
-            || flag == "--arrivals" || flag == "--preempt") {
+            || flag == "--arrivals" || flag == "--preempt"
+            || flag == "--batching") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -188,6 +189,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.arrivals = value;
             else if (flag == "--preempt")
                 args.preempt = value;
+            else if (flag == "--batching")
+                args.batching = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -195,7 +198,9 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         }
 
         if (flag == "--beams" || flag == "--branch-factor"
-            || flag == "--problems" || flag == "--max-inflight") {
+            || flag == "--problems" || flag == "--max-inflight"
+            || flag == "--max-batched-tokens"
+            || flag == "--prefill-chunk") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseInt(flag, value, flag == "--problems" ? 0 : 1,
@@ -208,6 +213,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.branchFactor = static_cast<int>(*parsed);
             else if (flag == "--max-inflight")
                 args.maxInflight = static_cast<int>(*parsed);
+            else if (flag == "--max-batched-tokens")
+                args.maxBatchedTokens = static_cast<int>(*parsed);
+            else if (flag == "--prefill-chunk")
+                args.prefillChunk = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
             args.parsedFlags.push_back(flag);
@@ -248,16 +257,19 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             return Status::invalidArgument("unknown flag '" + flag
                                            + "' (see --help)");
 
-        // Legacy positionals: [num_problems] [dataset].
+        // Legacy positionals: [num_problems] [dataset]. Deprecated in
+        // favour of --problems/--dataset; parseOrExit() warns.
         if (positionals == 0) {
             auto parsed = parseInt("num_problems", flag, 0, 1 << 20);
             if (!parsed.ok())
                 return parsed.status();
             args.numProblems = static_cast<int>(*parsed);
             args.parsedFlags.push_back("--problems");
+            args.usedLegacyPositionals = true;
         } else if (positionals == 1) {
             args.dataset = flag;
             args.parsedFlags.push_back("--dataset");
+            args.usedLegacyPositionals = true;
         } else {
             return Status::invalidArgument(
                 "unexpected extra positional argument '" + flag + "'");
@@ -284,7 +296,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
     for (const auto &[key, value] : doc.members()) {
         if (key == "device" || key == "dataset" || key == "algorithm"
             || key == "models" || key == "mode" || key == "policy"
-            || key == "arrivals" || key == "preempt") {
+            || key == "arrivals" || key == "preempt"
+            || key == "batching") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -302,10 +315,14 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.arrivals = *parsed;
             else if (key == "preempt")
                 args.preempt = *parsed;
+            else if (key == "batching")
+                args.batching = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
-                   || key == "num_problems" || key == "max_inflight") {
+                   || key == "num_problems" || key == "max_inflight"
+                   || key == "max_batched_tokens"
+                   || key == "prefill_chunk") {
             auto parsed =
                 jsonInt(key, value, key == "num_problems" ? 0 : 1,
                         key == "max_inflight" ? 64 : 1 << 20);
@@ -317,6 +334,10 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.branchFactor = static_cast<int>(*parsed);
             else if (key == "max_inflight")
                 args.maxInflight = static_cast<int>(*parsed);
+            else if (key == "max_batched_tokens")
+                args.maxBatchedTokens = static_cast<int>(*parsed);
+            else if (key == "prefill_chunk")
+                args.prefillChunk = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
         } else if (key == "slo") {
@@ -436,6 +457,18 @@ EngineArgs::validate() const
         return Status::invalidArgument(
             "kv_budget must be >= 0 GiB (0 keeps the legacy per-slot "
             "accounting)");
+    if (batching != "off" && batching != "continuous")
+        return Status::invalidArgument(
+            "batching must be 'off' or 'continuous', got '" + batching
+            + "'");
+    if (maxBatchedTokens < 1)
+        return Status::invalidArgument(
+            "max_batched_tokens must be >= 1, got "
+            + std::to_string(maxBatchedTokens));
+    if (prefillChunk < 1)
+        return Status::invalidArgument(
+            "prefill_chunk must be >= 1, got "
+            + std::to_string(prefillChunk));
     return okStatus();
 }
 
@@ -508,6 +541,9 @@ EngineArgs::toOnlineOptions() const
     online.preempt = preempt;
     online.kvBudgetGiB = kvBudgetGiB;
     online.shedDoomed = shedDoomed;
+    online.batching = batching;
+    online.maxBatchedTokens = maxBatchedTokens;
+    online.prefillChunk = prefillChunk;
     return online;
 }
 
@@ -544,9 +580,19 @@ EngineArgs::help(const std::string &program)
         "  --shed-doomed        shed queued requests whose predicted\n"
         "                       finish already misses their deadline\n"
         "  --no-shed-doomed     serve doomed requests anyway (default)\n"
+        "  --batching MODE      online wave scheduling: 'off' (time-\n"
+        "                       sliced; default) or 'continuous' (co-\n"
+        "                       scheduled decode across requests)\n"
+        "  --max-batched-tokens N\n"
+        "                       per-wave token budget for continuous\n"
+        "                       batching (default 2048)\n"
+        "  --prefill-chunk N    largest prompt slice per request per\n"
+        "                       wave under continuous batching\n"
+        "                       (default 512)\n"
         "  --help               print this text and exit\n"
         "\n"
-        "Bare positionals (legacy): first = --problems, second = "
+        "Bare positionals (DEPRECATED; use --problems/--dataset — they\n"
+        "will be removed next release): first = --problems, second = "
         "--dataset.\n"
         "\n"
         "Registered names (extensible; see the README's Extending "
@@ -585,7 +631,8 @@ allFlags()
         "--offload",       "--memory-fraction", "--reserved-gib",
         "--policy",        "--max-inflight", "--slo",
         "--arrivals",      "--preempt",      "--kv-budget",
-        "--shed-doomed"};
+        "--shed-doomed",   "--batching",     "--max-batched-tokens",
+        "--prefill-chunk"};
     return flags;
 }
 
@@ -622,6 +669,12 @@ EngineArgs::parseOrExit(int argc, const char *const *argv,
         std::fprintf(stderr, "try '%s --help'\n", program.c_str());
         std::exit(2);
     }
+    if (parsed->usedLegacyPositionals)
+        std::fprintf(stderr,
+                     "%s: warning: bare positional arguments are "
+                     "deprecated and will be removed next release; "
+                     "use --problems/--dataset\n",
+                     program.c_str());
     return *std::move(parsed);
 }
 

@@ -76,8 +76,24 @@ struct EngineArgs
     bool shedDoomed = false; //!< --shed-doomed / "shed_doomed": shed
                              //!< queued requests whose predicted
                              //!< finish already misses their deadline.
+    std::string batching = "off"; //!< --batching / "batching": 'off'
+                                  //!< (time-sliced waves) or
+                                  //!< 'continuous' (co-scheduled
+                                  //!< decode across requests).
+    int maxBatchedTokens = 2048; //!< --max-batched-tokens /
+                                 //!< "max_batched_tokens": per-wave
+                                 //!< token budget under continuous
+                                 //!< batching (>= 1).
+    int prefillChunk = 512; //!< --prefill-chunk / "prefill_chunk":
+                            //!< largest prompt slice per request per
+                            //!< wave under continuous batching (>= 1).
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
+
+    /** The command line configured the tool through the deprecated
+     *  bare positionals ([num_problems] [dataset]) rather than flags;
+     *  parseOrExit() warns once per run. */
+    bool usedLegacyPositionals = false;
 
     /**
      * Canonical names of the flags the command line explicitly set

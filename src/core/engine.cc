@@ -96,6 +96,8 @@ struct FastTtsEngine::RequestContext
     int forcedTerminations_ = 0;
     int promptNodeGen_ = -1;
     int promptNodeVer_ = -1;
+    int promptRemaining_ = 0; //!< Prompt tokens awaiting chunked
+                              //!< prefill (deferred-prompt mode).
     bool inRequest_ = false; //!< Between beginRequest and finish.
 
     // Accumulated request metrics.
@@ -123,7 +125,7 @@ namespace
 
 /** Expected step length of a log-normal profile, for planning. */
 double
-expectedStepTokens(const DatasetProfile &p)
+meanProfileStepTokens(const DatasetProfile &p)
 {
     const double mean =
         std::exp(p.stepLenMu + 0.5 * p.stepLenSigma * p.stepLenSigma);
@@ -160,7 +162,7 @@ FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
     // The dataset profile is fixed for the engine's lifetime; the
     // admission loop asks for this every queue pop, so pay the exp()
     // once.
-    expectedStepTokens_ = expectedStepTokens(dataset_);
+    expectedStepTokens_ = meanProfileStepTokens(dataset_);
 
     const double usable = device_.usableBytes() * models_.memoryFraction;
     const double weights = models_.generator.weightBytes()
@@ -173,7 +175,8 @@ FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
 FastTtsEngine::~FastTtsEngine() = default;
 
 void
-FastTtsEngine::resetRequestState(const Problem &problem)
+FastTtsEngine::resetRequestState(const Problem &problem,
+                                 bool defer_prompt_prefill)
 {
     ctx_->problem_ = problem;
     ctx_->clock_ = SimClock();
@@ -217,20 +220,31 @@ FastTtsEngine::resetRequestState(const Problem &problem)
     ++ctx_->nextSegId_;
     ctx_->kvGen_->retain(ctx_->promptNodeGen_);
     ctx_->kvVer_->retain(ctx_->promptNodeVer_);
-    // When the shared ledger is exhausted by other in-flight requests
-    // the prompt KV cannot be stored yet; charging the prefill now
-    // AND the inevitable recompute at first touch would double-count
-    // it, so the prefill is deferred to that touch instead.
-    const auto prompt_touch =
-        ctx_->kvGen_->ensureResident(ctx_->promptNodeGen_, 0);
-    if (prompt_touch.ok) {
-        ctx_->clock_.advance(
-            roofline_.prefillTime(models_.generator, 1,
-                                  problem.promptTokens),
-            Phase::Recompute,
-            roofline_.prefillComputeUtil(models_.generator, 1,
-                                         problem.promptTokens),
-            1, 1);
+    ctx_->promptRemaining_ = 0;
+    if (defer_prompt_prefill) {
+        // Continuous batching: the batch scheduler feeds the prompt
+        // in chunks (prefillPromptChunk) from each wave's leftover
+        // token budget, so a long prompt never stalls co-resident
+        // decoders; the request must not decode until the chunks
+        // finish (prefillPending() reaches 0).
+        ctx_->promptRemaining_ = problem.promptTokens;
+    } else {
+        // When the shared ledger is exhausted by other in-flight
+        // requests the prompt KV cannot be stored yet; charging the
+        // prefill now AND the inevitable recompute at first touch
+        // would double-count it, so the prefill is deferred to that
+        // touch instead.
+        const auto prompt_touch =
+            ctx_->kvGen_->ensureResident(ctx_->promptNodeGen_, 0);
+        if (prompt_touch.ok) {
+            ctx_->clock_.advance(
+                roofline_.prefillTime(models_.generator, 1,
+                                      problem.promptTokens),
+                Phase::Recompute,
+                roofline_.prefillComputeUtil(models_.generator, 1,
+                                             problem.promptTokens),
+                1, 1);
+        }
     }
 
     const int n = algorithm_.beamWidth();
@@ -1055,10 +1069,156 @@ FastTtsEngine::runRequest(const Problem &problem)
 }
 
 void
-FastTtsEngine::beginRequest(const Problem &problem)
+FastTtsEngine::beginRequest(const Problem &problem,
+                            bool defer_prompt_prefill)
 {
-    resetRequestState(problem);
+    resetRequestState(problem, defer_prompt_prefill);
     ctx_->inRequest_ = true;
+}
+
+int
+FastTtsEngine::prefillPromptChunk(int max_tokens)
+{
+    if (ctx_->promptRemaining_ <= 0 || max_tokens <= 0)
+        return 0;
+    const int chunk = std::min(max_tokens, ctx_->promptRemaining_);
+    if (ctx_->promptRemaining_ == ctx_->problem_.promptTokens) {
+        // First chunk: materialise the prompt node. Under shared-
+        // ledger exhaustion the prompt cannot be stored yet — fall
+        // back to paying it as recompute at first decode touch,
+        // exactly like the up-front path's ledger deferral (charging
+        // chunks AND the inevitable recompute would double-count).
+        const auto touch = ctx_->kvGen_->ensureResident(
+            ctx_->promptNodeGen_,
+            static_cast<uint64_t>(ctx_->clock_.now() * 1e6));
+        if (!touch.ok) {
+            ctx_->promptRemaining_ = 0;
+            return 0;
+        }
+    }
+    ctx_->clock_.advance(
+        roofline_.prefillTime(models_.generator, 1, chunk),
+        Phase::Recompute,
+        roofline_.prefillComputeUtil(models_.generator, 1, chunk), 1,
+        1);
+    ctx_->promptRemaining_ -= chunk;
+    return chunk;
+}
+
+BatchWaveResult
+FastTtsEngine::stepBatch(const std::vector<RequestContext *> &contexts,
+                         const BatchPlan &plan)
+{
+    BatchWaveResult out;
+    out.outcomes.resize(contexts.size());
+    assert(!hasActiveRequest());
+
+    // Park the engine's own (idle) context; members mount one at a
+    // time, borrowed — ownership stays with the caller's handles.
+    std::unique_ptr<RequestContext> parked = std::move(ctx_);
+
+    struct DecodeRun
+    {
+        size_t member = 0;
+        double genTime = 0;    //!< Generation+recompute clock delta.
+        double serialTime = 0; //!< Everything else (verify, transfer).
+        int beams = 1;
+        double avgCtx = 0;     //!< Mean resident context (tokens).
+    };
+    std::vector<DecodeRun> runs;
+    runs.reserve(plan.entries.size());
+
+    for (const BatchPlanEntry &entry : plan.entries) {
+        if (entry.member >= contexts.size()
+            || contexts[entry.member] == nullptr)
+            continue;
+        ctx_.reset(contexts[entry.member]);
+        BatchMemberOutcome &outcome = out.outcomes[entry.member];
+        outcome.participated = true;
+        if (entry.kind == BatchWorkKind::PrefillChunk) {
+            const double before = ctx_->clock_.now();
+            outcome.prefilledTokens += prefillPromptChunk(entry.tokens);
+            const double delta = ctx_->clock_.now() - before;
+            outcome.activeDelta += delta;
+            out.waveTime += delta;
+            ++out.prefillChunks;
+        } else {
+            DecodeRun run;
+            run.member = entry.member;
+            run.beams =
+                std::max(1, static_cast<int>(ctx_->active_.size()));
+            long path_total = 0;
+            for (const auto &b : ctx_->active_)
+                path_total += ctx_->kvGen_->pathTokens(b->leaf);
+            run.avgCtx = ctx_->active_.empty()
+                ? static_cast<double>(ctx_->problem_.promptTokens)
+                : static_cast<double>(path_total)
+                    / static_cast<double>(ctx_->active_.size());
+            const double gen0 =
+                ctx_->clock_.phaseTime(Phase::Generation)
+                + ctx_->clock_.phaseTime(Phase::Recompute);
+            const double t0 = ctx_->clock_.now();
+            const long decoded0 = ctx_->generatedTokens_;
+            outcome.moreWork = stepRequest();
+            run.genTime = ctx_->clock_.phaseTime(Phase::Generation)
+                + ctx_->clock_.phaseTime(Phase::Recompute) - gen0;
+            run.serialTime = (ctx_->clock_.now() - t0) - run.genTime;
+            const long decoded = ctx_->generatedTokens_ - decoded0;
+            outcome.decodedTokens += decoded;
+            out.tokensDecoded += decoded;
+            runs.push_back(run);
+        }
+        ctx_.release();
+    }
+
+    // Fuse the decode members' generation time: one wave of
+    // sum(beams) sequences from all members streams the generator
+    // weights ONCE, so the fused step is priced by the roofline at
+    // the combined batch and the serial per-member sum scales down
+    // proportionally (decodeStepTime is sublinear in batch — the
+    // physical basis of continuous batching's goodput win). Each
+    // member's own clock keeps its solo time: per-request results
+    // stay independent of batch composition; only the wall/device
+    // attribution (activeDelta, waveTime) is fused.
+    if (!runs.empty()) {
+        double solo_sum = 0;
+        double weighted_ctx = 0;
+        int batch_total = 0;
+        for (const DecodeRun &run : runs) {
+            solo_sum += roofline_.decodeStepTime(models_.generator,
+                                                 run.beams, run.avgCtx);
+            batch_total += run.beams;
+            weighted_ctx +=
+                static_cast<double>(run.beams) * run.avgCtx;
+        }
+        double scale = 1.0;
+        if (runs.size() > 1 && solo_sum > 0) {
+            const double fused = roofline_.decodeStepTime(
+                models_.generator, batch_total,
+                weighted_ctx / static_cast<double>(batch_total));
+            scale = std::min(1.0, fused / solo_sum);
+        }
+        for (const DecodeRun &run : runs) {
+            const double share = scale * run.genTime + run.serialTime;
+            out.outcomes[run.member].activeDelta += share;
+            out.waveTime += share;
+        }
+    }
+
+    ctx_ = std::move(parked);
+    return out;
+}
+
+int
+FastTtsEngine::prefillPending() const
+{
+    return ctx_->promptRemaining_;
+}
+
+long
+FastTtsEngine::generatedTokensSoFar() const
+{
+    return ctx_->generatedTokens_;
 }
 
 bool
@@ -1229,6 +1389,19 @@ SuspendedEngineRequest::SuspendedEngineRequest(
 SuspendedEngineRequest &
 SuspendedEngineRequest::operator=(SuspendedEngineRequest &&) noexcept =
     default;
+
+int
+SuspendedEngineRequest::promptTokensPending() const
+{
+    return ctx_ != nullptr ? ctx_->promptRemaining_ : 0;
+}
+
+int
+SuspendedEngineRequest::activeBeams() const
+{
+    return ctx_ != nullptr ? static_cast<int>(ctx_->active_.size())
+                           : 0;
+}
 
 double
 SuspendedEngineRequest::residentKvBytes() const

@@ -40,6 +40,7 @@
 #include "model/model_spec.h"
 #include "model/verifier.h"
 #include "model/workload.h"
+#include "sched/batch_scheduler.h"
 #include "sched/scheduler.h"
 #include "search/beam.h"
 #include "search/search_algorithm.h"
@@ -67,6 +68,30 @@ struct IterationStats
     int prefillBatch = 0;      //!< Planned B_pre this iteration.
 };
 
+/** One request's share of a fused batch wave (see stepBatch()). */
+struct BatchMemberOutcome
+{
+    bool participated = false; //!< The plan scheduled this member.
+    bool moreWork = true;      //!< stepRequest()'s verdict after a
+                               //!< decode turn (prefill leaves true).
+    long decodedTokens = 0;    //!< Tokens decoded this wave.
+    int prefilledTokens = 0;   //!< Prompt tokens prefilled this wave.
+    double activeDelta = 0;    //!< Device time attributed to this
+                               //!< member under the fused wave clock.
+};
+
+/** What one fused engine wave did across all planned members. */
+struct BatchWaveResult
+{
+    double waveTime = 0;    //!< Shared device-clock advance (s): the
+                            //!< fused decode time plus the serial
+                            //!< verification/transfer/prefill parts.
+    long tokensDecoded = 0; //!< Decode tokens across members.
+    int prefillChunks = 0;  //!< Prompt chunks prefilled.
+    std::vector<BatchMemberOutcome> outcomes; //!< One per context
+                                              //!< passed to stepBatch.
+};
+
 /**
  * Serving engine for one generator+verifier pair on one device.
  *
@@ -83,6 +108,13 @@ struct IterationStats
  * suspended request's KV can additionally be force-evicted to the
  * shared pool (SuspendedEngineRequest::evictKv) and is then rebuilt
  * lazily — charged as recompute — when the request next runs.
+ *
+ * stepBatch() is the continuous-batching entry point: it advances
+ * every request named by a BatchPlan in ONE fused device wave —
+ * decode work from different requests shares the weight-read so the
+ * wave is sublinear in the member count (RooflineModel::decodeStepTime
+ * is sublinear in batch), while each member's beams, KV trees,
+ * counters and RNG streams stay fully isolated in its own context.
  */
 class FastTtsEngine
 {
@@ -112,8 +144,16 @@ class FastTtsEngine
     //     core/serving.h drives these; runRequest() is begin + step
     //     loop + finish) ---
 
-    /** Reset engine state and admit the problem's initial beams. */
-    void beginRequest(const Problem &problem);
+    /**
+     * Reset engine state and admit the problem's initial beams.
+     * @param defer_prompt_prefill Leave the prompt unprefilled so a
+     *        batch scheduler can feed it in chunks (prefillPending();
+     *        stepBatch()'s PrefillChunk entries); false reproduces
+     *        the legacy pay-the-whole-prompt-up-front behaviour
+     *        bit-for-bit.
+     */
+    void beginRequest(const Problem &problem,
+                      bool defer_prompt_prefill = false);
 
     /**
      * Advance the in-flight request by one TTS iteration (replan,
@@ -130,6 +170,36 @@ class FastTtsEngine
      * stepRequest() calls.
      */
     RequestResult finishRequest();
+
+    /**
+     * Advance every request the plan names in one fused device wave
+     * (continuous batching). Decode entries run one full TTS
+     * iteration of their context; PrefillChunk entries prefill up to
+     * `tokens` prompt tokens. The generation-side time of all decode
+     * members is re-priced as ONE fused decode batch (sublinear in
+     * the member count); verification and transfer stay serial, as do
+     * prefill chunks. Per-member KV trees, beams, counters and RNG
+     * streams are untouched by batch composition, so each member's
+     * results are identical to a solo run.
+     *
+     * The engine must be idle (no mounted in-flight request); the
+     * contexts are borrowed for the call and returned untouched in
+     * ownership terms. Plan entries whose member index is out of
+     * range or whose context is null are skipped.
+     */
+    BatchWaveResult stepBatch(const std::vector<RequestContext *> &contexts,
+                              const BatchPlan &plan);
+
+    /** Prompt tokens of the mounted request still awaiting chunked
+     *  prefill (0 unless beginRequest deferred the prompt). */
+    int prefillPending() const;
+
+    /** Tokens the mounted request has decoded so far (cumulative). */
+    long generatedTokensSoFar() const;
+
+    /** Expected decode tokens per step of this engine's dataset (the
+     *  planning estimate batch schedulers budget with). */
+    double expectedStepTokens() const { return expectedStepTokens_; }
 
     // --- Multi-request contexts (preemption) ---
 
@@ -192,8 +262,10 @@ class FastTtsEngine
     struct SpecBranch;
 
     // --- Request lifecycle ---
-    void resetRequestState(const Problem &problem);
+    void resetRequestState(const Problem &problem,
+                           bool defer_prompt_prefill);
     void replan();
+    int prefillPromptChunk(int max_tokens);
     void runGenerationPhase();
     void runVerificationPhase();
     void runSelectionPhase();
@@ -256,6 +328,21 @@ class SuspendedEngineRequest
 
     /** Device bytes the parked request's KV trees still hold. */
     double residentKvBytes() const;
+
+    /** Prompt tokens still awaiting chunked prefill (0 when the
+     *  request began with an up-front prompt prefill). */
+    int promptTokensPending() const;
+
+    /** Beams still active in the parked request (batch schedulers
+     *  budget decode waves with this). */
+    int activeBeams() const;
+
+    /**
+     * Borrow the parked context for FastTtsEngine::stepBatch().
+     * Ownership stays with the handle; the pointer is valid until the
+     * handle is moved-from, reset or destroyed. Null when !valid().
+     */
+    FastTtsEngine::RequestContext *context() const { return ctx_.get(); }
 
     /**
      * Force-evict the parked request's KV state (KvSession::suspend

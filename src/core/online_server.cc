@@ -70,6 +70,18 @@ OnlineServer::create(const ServingOptions &options,
         return Status::invalidArgument(
             "kv_budget must be >= 0 GiB (0 keeps the legacy "
             "per-slot accounting)");
+    if (online.batching != "off" && online.batching != "continuous")
+        return Status::invalidArgument(
+            "unknown batching mode '" + online.batching
+            + "'; valid modes: off, continuous");
+    if (online.maxBatchedTokens < 1)
+        return Status::invalidArgument(
+            "max_batched_tokens must be >= 1, got "
+            + std::to_string(online.maxBatchedTokens));
+    if (online.prefillChunk < 1)
+        return Status::invalidArgument(
+            "prefill_chunk must be >= 1, got "
+            + std::to_string(online.prefillChunk));
 
     auto policy = makeQueuePolicy(online.policy);
     if (!policy.ok())
@@ -132,6 +144,36 @@ OnlineServer::serveArrivals(const std::vector<double> &arrivals)
 
 StatusOr<OnlineTraceResult>
 OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
+{
+    return serveRequestsImpl(requests, nullptr);
+}
+
+BatchResult
+OnlineServer::serveProblems(int num_problems)
+{
+    const int count = std::min<int>(
+        num_problems, static_cast<int>(system_.problems().size()));
+    std::vector<OnlineRequest> requests;
+    requests.reserve(static_cast<size_t>(std::max(0, count)));
+    for (int i = 0; i < count; ++i) {
+        OnlineRequest request;
+        request.problemId = i;
+        request.arrival = 0;
+        request.slo = 0; // Batch serving carries no deadline.
+        requests.push_back(request);
+    }
+    std::vector<RequestResult> results;
+    // Arrivals are finite and ids in range by construction, so the
+    // one serve loop cannot reject this input.
+    auto trace = serveRequestsImpl(requests, &results);
+    (void)trace;
+    return aggregateResults(std::move(results),
+                            system_.options().numBeams);
+}
+
+StatusOr<OnlineTraceResult>
+OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
+                                std::vector<RequestResult> *results_sink)
 {
     const std::vector<Problem> &problems = system_.problems();
     if (requests.empty() || problems.empty())
@@ -204,6 +246,224 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
                          return a.meta.arrival < b.meta.arrival;
                      });
 
+    // --- Continuous batching: every wave co-schedules decode across
+    //     ALL in-flight requests in one fused engine wave
+    //     (sched/batch_scheduler.h); the time-slicing loop below is
+    //     bypassed entirely. Admission (policy pick, doomed shedding,
+    //     memory gate) is identical to the time-sliced path. ---
+    if (online_.batching == "continuous") {
+        const BatchScheduler scheduler(online_.maxBatchedTokens,
+                                       online_.prefillChunk);
+        const double step_tokens =
+            std::max(1.0, system_.engine().expectedStepTokens());
+
+        struct BatchFlight
+        {
+            Ticket ticket;
+            RequestId sysId = 0;
+            bool started = false; //!< rec.start stamped at the first
+                                  //!< wave that scheduled the request.
+            bool benched = false; //!< Force-evicted under memory
+                                  //!< pressure; sits waves out until
+                                  //!< the ledger can hold its
+                                  //!< predicted working set again.
+            OnlineRequestRecord rec;
+        };
+
+        std::vector<Ticket> queued;
+        std::vector<BatchFlight> inflight;
+        std::vector<OnlineRequestRecord> records;
+        records.reserve(tickets.size());
+        std::vector<QueuedRequest> view; // pick() scratch.
+        size_t next_ticket = 0;
+        double now = 0;
+        double busy = 0;
+        int cancelled = 0;
+        int shed = 0;
+        long recomputed_tokens = 0;
+        long preempt_evicted = 0;
+        long verified_tokens = 0;
+        long waves = 0;
+        long decode_members = 0;
+        const size_t max_inflight =
+            static_cast<size_t>(online_.maxInflight);
+
+        while (true) {
+            while (next_ticket < tickets.size()
+                   && tickets[next_ticket].meta.arrival <= now)
+                queued.push_back(tickets[next_ticket++]);
+
+            for (size_t i = queued.size(); i > 0; --i) {
+                const double cancel_at = queued[i - 1].cancelAt;
+                if (cancel_at >= 0 && cancel_at <= now) {
+                    queued.erase(queued.begin()
+                                 + static_cast<long>(i - 1));
+                    ++cancelled;
+                }
+            }
+
+            while (!queued.empty() && inflight.size() < max_inflight) {
+                view.clear();
+                for (const Ticket &ticket : queued)
+                    view.push_back(ticket.meta);
+                size_t pick = policy_->pick(view, now);
+                if (pick >= queued.size())
+                    pick = 0; // Defensive against custom policies.
+                const Ticket ticket = queued[pick];
+                if (online_.shedDoomed
+                    && std::isfinite(ticket.meta.deadline)
+                    && now + ticket.meta.predictedCost
+                        > ticket.meta.deadline) {
+                    queued.erase(queued.begin()
+                                 + static_cast<long>(pick));
+                    ++shed;
+                    continue;
+                }
+                if (memory_aware && !inflight.empty()) {
+                    double inflight_kv = 0;
+                    for (const BatchFlight &f : inflight)
+                        inflight_kv += f.ticket.kvBytes;
+                    if (inflight_kv + ticket.kvBytes
+                        > ledger_->totalBytes())
+                        break; // Wait for completions.
+                }
+                queued.erase(queued.begin() + static_cast<long>(pick));
+                BatchFlight flight;
+                flight.ticket = ticket;
+                flight.rec.problemId = ticket.meta.problemId;
+                flight.rec.arrival = ticket.meta.arrival;
+                flight.rec.priority = ticket.meta.priority;
+                flight.rec.deadline = ticket.meta.deadline;
+                flight.sysId = system_.submit(problems[
+                    static_cast<size_t>(ticket.meta.problemId)]);
+                // Park it immediately with a deferred prompt: the
+                // scheduler feeds the prompt in chunks so it never
+                // stalls the decoders already in the batch.
+                system_.startSuspended(flight.sysId,
+                                       /*defer_prompt=*/true);
+                inflight.push_back(std::move(flight));
+            }
+
+            if (inflight.empty()) {
+                if (next_ticket >= tickets.size())
+                    break; // Trace drained.
+                now = std::max(now, tickets[next_ticket].meta.arrival);
+                continue;
+            }
+
+            // Under budget pressure the later-admitted members are
+            // force-evicted and benched. Benching is sticky with
+            // hysteresis: a member returns only when the ledger can
+            // hold its predicted working set on top of double the
+            // pressure threshold — re-admitting it the moment its own
+            // eviction freed the room would lazily re-prefill its KV,
+            // re-create the pressure and evict it again, paying the
+            // recompute forever. The oldest member always runs (a
+            // benched member that becomes oldest after a completion
+            // is released), so a thrashing batch degenerates to the
+            // time-sliced server's one-resident-working-set shape
+            // instead of deadlocking or ping-ponging.
+            if (memory_aware) {
+                const double headroom = 0.10 * ledger_->totalBytes();
+                inflight.front().benched = false;
+                for (size_t i = inflight.size();
+                     i > 1 && ledger_->freeBytes() < headroom; --i) {
+                    if (inflight[i - 1].benched)
+                        continue;
+                    auto evicted =
+                        system_.evictSuspendedKv(inflight[i - 1].sysId);
+                    if (evicted.ok()) {
+                        preempt_evicted += *evicted;
+                        inflight[i - 1].benched = true;
+                    }
+                }
+                // At most one return per wave, oldest benched first.
+                for (BatchFlight &flight : inflight) {
+                    if (!flight.benched)
+                        continue;
+                    if (ledger_->freeBytes()
+                        >= flight.ticket.kvBytes + 2 * headroom)
+                        flight.benched = false;
+                    break;
+                }
+            }
+
+            std::vector<RequestId> ids;
+            ids.reserve(inflight.size());
+            std::vector<BatchCandidate> candidates;
+            candidates.reserve(inflight.size());
+            for (size_t i = 0; i < inflight.size(); ++i) {
+                ids.push_back(inflight[i].sysId);
+                if (inflight[i].benched)
+                    continue;
+                const auto info =
+                    system_.suspendedInfo(inflight[i].sysId);
+                BatchCandidate candidate;
+                candidate.member = i;
+                candidate.promptRemaining = info->promptTokensPending;
+                candidate.decodeTokens = std::max(
+                    1, static_cast<int>(
+                           std::max(1, info->activeBeams)
+                           * step_tokens));
+                candidates.push_back(candidate);
+            }
+
+            const BatchPlan plan = scheduler.plan(candidates);
+            auto outcome = system_.stepBatch(ids, plan);
+            if (!outcome.ok())
+                return outcome.status(); // Unreachable: all suspended.
+
+            ++waves;
+            decode_members += plan.decodeMembers();
+            const double wave_start = now;
+            now += outcome->schedule.waveTime;
+            busy += outcome->schedule.waveTime;
+
+            for (size_t i = inflight.size(); i > 0; --i) {
+                const size_t idx = i - 1;
+                const BatchMemberOutcome &member =
+                    outcome->members[idx];
+                if (!member.participated)
+                    continue;
+                BatchFlight &flight = inflight[idx];
+                if (!flight.started) {
+                    flight.rec.start = wave_start;
+                    flight.started = true;
+                }
+                flight.rec.activeTime += member.activeDelta;
+                if (member.moreWork)
+                    continue;
+                // Finished this wave (stepBatch completed it).
+                flight.rec.finish = now;
+                auto result = system_.result(flight.sysId);
+                if (result.ok()) {
+                    verified_tokens += result->verifiedTokens;
+                    recomputed_tokens += static_cast<long>(
+                        result->kvStats.recomputedTokens);
+                    if (results_sink)
+                        results_sink->push_back(*std::move(result));
+                }
+                records.push_back(flight.rec);
+                system_.release(flight.sysId);
+                inflight.erase(inflight.begin()
+                               + static_cast<long>(idx));
+            }
+        }
+
+        OnlineTraceResult out =
+            aggregateTrace(std::move(records), busy);
+        out.cancelled = cancelled;
+        out.shedRequests = shed;
+        out.recomputedTokens = recomputed_tokens;
+        out.preemptEvictedTokens = preempt_evicted;
+        out.verifiedTokens = verified_tokens;
+        out.batchOccupancy = waves > 0
+            ? static_cast<double>(decode_members)
+                / static_cast<double>(waves)
+            : 0.0;
+        return out;
+    }
+
     // --- In-flight bookkeeping. Callbacks capture their box's
     //     address, so boxes live behind stable unique_ptrs. ---
     struct FlightBox
@@ -241,6 +501,7 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
     int preemptions = 0;
     long recomputed_tokens = 0;
     long preempt_evicted = 0;
+    long verified_tokens = 0;
     const size_t max_inflight =
         static_cast<size_t>(online_.maxInflight);
 
@@ -454,6 +715,9 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
             busy += box.result.completionTime;
             recomputed_tokens += static_cast<long>(
                 box.result.kvStats.recomputedTokens);
+            verified_tokens += box.result.verifiedTokens;
+            if (results_sink)
+                results_sink->push_back(box.result);
             records.push_back(flight.rec);
             system_.release(flight.sysId);
             const size_t finished = current;
@@ -476,6 +740,9 @@ OnlineServer::serveRequests(const std::vector<OnlineRequest> &requests)
     out.preemptions = preemptions;
     out.recomputedTokens = recomputed_tokens;
     out.preemptEvictedTokens = preempt_evicted;
+    out.verifiedTokens = verified_tokens;
+    // Time-slicing decodes exactly one request per engine wave.
+    out.batchOccupancy = out.records.empty() ? 0.0 : 1.0;
     return out;
 }
 

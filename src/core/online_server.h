@@ -22,7 +22,7 @@
  * back to the pool and re-prefilled (counted as recompute) when it
  * next runs.
  *
- * Three axes are pluggable without touching the engine:
+ * Four axes are pluggable without touching the engine:
  *
  *  - Admission order: a registry-backed QueuePolicy
  *    (sched/queue_policy.h) decides which queued request takes the
@@ -43,9 +43,19 @@
  *    in-flight working sets already fill the budget). 0 keeps the
  *    legacy PR3 accounting (every in-flight slot enjoys a full
  *    engine budget) so existing traces replay bit-for-bit.
+ *  - Batching (OnlineServerOptions::batching): "off" time-slices —
+ *    exactly one request decodes per engine wave, rotated by the
+ *    preempt mode above; "continuous" co-schedules decode across ALL
+ *    in-flight requests in fused engine waves under a
+ *    maxBatchedTokens budget (sched/batch_scheduler.h), with long
+ *    prompts fed in prefillChunk-token slices so they never stall
+ *    resident decoders. Admission policy, doomed-request shedding and
+ *    the shared KV budget compose unchanged; under memory pressure a
+ *    batch member's KV is force-evicted, it sits out the wave, and it
+ *    re-enters via lazy restore (recompute on next touch).
  *
- * With the defaults ("fifo", maxInflight 1) the server is exactly the
- * legacy run-to-completion FIFO queue.
+ * With the defaults ("fifo", maxInflight 1, batching "off") the
+ * server is exactly the legacy run-to-completion FIFO queue.
  */
 
 #ifndef FASTTTS_CORE_ONLINE_SERVER_H
@@ -137,6 +147,12 @@ struct OnlineTraceResult
                                //!< preemption eviction included).
     long preemptEvictedTokens = 0; //!< KV tokens force-evicted from
                                    //!< suspended requests.
+    long verifiedTokens = 0; //!< Tokens surviving in verified paths
+                             //!< across completed requests; divided by
+                             //!< the makespan this is trace goodput.
+    double batchOccupancy = 0; //!< Mean decode members per engine wave
+                               //!< (1 under time-slicing, > 1 when
+                               //!< continuous batching fuses requests).
 };
 
 /**
@@ -171,6 +187,24 @@ struct OnlineServerOptions
      *  their deadline instead of serving them doomed (counted in
      *  OnlineTraceResult::shedRequests). */
     bool shedDoomed = false;
+
+    /** Wave scheduling: "off" time-slices (one request decodes per
+     *  engine wave, rotated by `preempt`); "continuous" co-schedules
+     *  decode across all in-flight requests in fused waves under
+     *  maxBatchedTokens. `preempt` is ignored under "continuous" —
+     *  every in-flight request advances every wave it is planned
+     *  into, so there is no victim to rotate off the engine. */
+    std::string batching = "off";
+
+    /** Per-wave token budget for continuous batching: decode demand
+     *  is packed first, leftover budget becomes prompt-prefill
+     *  chunks. Ignored when batching == "off". */
+    int maxBatchedTokens = 2048;
+
+    /** Largest prompt slice one request prefills per wave under
+     *  continuous batching (chunked prefill). Ignored when
+     *  batching == "off". */
+    int prefillChunk = 512;
 };
 
 /** One request of an explicit online trace (serveRequests()). */
@@ -234,6 +268,15 @@ class OnlineServer
     StatusOr<OnlineTraceResult>
     serveRequests(const std::vector<OnlineRequest> &requests);
 
+    /**
+     * Serve the first num_problems of the system's problem set as an
+     * all-arrive-at-zero online trace and aggregate their results —
+     * a thin adapter over serveRequests(), so batch-style serving and
+     * online serving share ONE serve loop (admission policy, batching
+     * mode and KV budget all apply).
+     */
+    BatchResult serveProblems(int num_problems);
+
     /** The single shared serving system (all in-flight requests). */
     ServingSystem &system() { return system_; }
 
@@ -252,6 +295,12 @@ class OnlineServer
                  OnlineServerOptions online,
                  std::unique_ptr<QueuePolicy> policy,
                  RooflineModel roofline, DatasetProfile profile);
+
+    /** The one serve loop; results_sink (optional) collects each
+     *  completed request's engine result in completion order. */
+    StatusOr<OnlineTraceResult>
+    serveRequestsImpl(const std::vector<OnlineRequest> &requests,
+                      std::vector<RequestResult> *results_sink);
 
     // Declared before system_: the engine's KV managers release their
     // ledger charge on destruction, so the ledger must outlive the

@@ -113,15 +113,21 @@ ServingSystem::admitNext()
     }
 }
 
-bool
+ScheduleOutcome
 ServingSystem::step()
 {
+    ScheduleOutcome outcome;
     admitNext();
     if (running_ == 0)
-        return false;
+        return outcome;
 
     const RequestId id = running_;
+    const double clock0 = engine_->clock().now();
+    const long decoded0 = engine_->generatedTokensSoFar();
     const bool more = engine_->stepRequest();
+    outcome.requestsAdvanced = 1;
+    outcome.tokensDecoded = engine_->generatedTokensSoFar() - decoded0;
+    outcome.waveTime = engine_->clock().now() - clock0;
     const int iterations = ++requests_.at(id).iterations;
 
     // Copy the callback out of the map: the callback itself may
@@ -155,7 +161,8 @@ ServingSystem::step()
         }
     }
 
-    return running_ != 0 || !queue_.empty();
+    outcome.moreWork = running_ != 0 || !queue_.empty();
+    return outcome;
 }
 
 void
@@ -163,6 +170,91 @@ ServingSystem::drain()
 {
     while (step()) {
     }
+}
+
+Status
+ServingSystem::startSuspended(RequestId id, bool defer_prompt)
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    if (it->second.state != RequestState::Queued)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " is not queued");
+    if (running_ != 0)
+        return Status::failedPrecondition(
+            "request " + std::to_string(running_)
+            + " is running; suspend or finish it first");
+    engine_->beginRequest(it->second.problem, defer_prompt);
+    it->second.suspended = engine_->suspendRequest();
+    it->second.state = RequestState::Suspended;
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                 queue_.end());
+    return okStatus();
+}
+
+StatusOr<BatchStepOutcome>
+ServingSystem::stepBatch(const std::vector<RequestId> &ids,
+                         const BatchPlan &plan)
+{
+    if (running_ != 0)
+        return Status::failedPrecondition(
+            "request " + std::to_string(running_)
+            + " is running; suspend or finish it first");
+
+    std::vector<FastTtsEngine::RequestContext *> contexts;
+    contexts.reserve(ids.size());
+    for (const RequestId id : ids) {
+        auto it = requests_.find(id);
+        if (it == requests_.end())
+            return Status::notFound("unknown request id "
+                                    + std::to_string(id));
+        if (it->second.state != RequestState::Suspended)
+            return Status::failedPrecondition(
+                "request " + std::to_string(id) + " is not suspended");
+        contexts.push_back(it->second.suspended.context());
+    }
+
+    BatchStepOutcome out;
+    BatchWaveResult wave = engine_->stepBatch(contexts, plan);
+    out.schedule.tokensDecoded = wave.tokensDecoded;
+    out.schedule.prefillChunks = wave.prefillChunks;
+    out.schedule.waveTime = wave.waveTime;
+
+    // A Decode entry is one TTS iteration of its member.
+    for (const BatchPlanEntry &entry : plan.entries) {
+        if (entry.kind == BatchWorkKind::Decode
+            && entry.member < ids.size())
+            ++requests_.at(ids[entry.member]).iterations;
+    }
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const BatchMemberOutcome &member = wave.outcomes[i];
+        if (!member.participated)
+            continue;
+        ++out.schedule.requestsAdvanced;
+        const RequestId id = ids[i];
+        Request &request = requests_.at(id);
+        if (!member.moreWork) {
+            // Finished this wave: mount, collect, complete.
+            engine_->resumeRequest(std::move(request.suspended));
+            request.result = engine_->finishRequest();
+            request.state = RequestState::Completed;
+            const auto on_complete = request.callbacks.onComplete;
+            if (on_complete) {
+                // Copied so the callback may release(id) its record.
+                const RequestResult result = request.result;
+                on_complete(id, result);
+            }
+        } else {
+            ++out.schedule.requestsSuspended;
+        }
+    }
+
+    out.schedule.moreWork = pendingRequests() > 0;
+    out.members = std::move(wave.outcomes);
+    return out;
 }
 
 Status
@@ -200,6 +292,23 @@ ServingSystem::resume(RequestId id)
     it->second.state = RequestState::Running;
     running_ = id;
     return okStatus();
+}
+
+StatusOr<SuspendedRequestInfo>
+ServingSystem::suspendedInfo(RequestId id) const
+{
+    auto it = requests_.find(id);
+    if (it == requests_.end())
+        return Status::notFound("unknown request id "
+                                + std::to_string(id));
+    if (it->second.state != RequestState::Suspended)
+        return Status::failedPrecondition(
+            "request " + std::to_string(id) + " is not suspended");
+    SuspendedRequestInfo info;
+    info.promptTokensPending = it->second.suspended.promptTokensPending();
+    info.activeBeams = it->second.suspended.activeBeams();
+    info.residentKvBytes = it->second.suspended.residentKvBytes();
+    return info;
 }
 
 StatusOr<long>

@@ -122,6 +122,41 @@ struct RequestCallbacks
 };
 
 /**
+ * What one wave advance accomplished — the first-class result of
+ * ServingSystem::step()/stepBatch() so callers no longer re-derive
+ * progress from engine counters. Contextually convertible to bool
+ * ("is there more work?"), so `while (system.step())` keeps working.
+ */
+struct ScheduleOutcome
+{
+    bool moreWork = false;    //!< Queued or running work remains.
+    int requestsAdvanced = 0; //!< Requests that ran this wave.
+    int requestsSuspended = 0; //!< Wave participants still parked
+                               //!< (continuous batching; 0 for step()).
+    long tokensDecoded = 0;   //!< Generator tokens drawn this wave.
+    int prefillChunks = 0;    //!< Chunked-prefill slices executed.
+    double waveTime = 0;      //!< Device time consumed by the wave (s).
+
+    explicit operator bool() const { return moreWork; }
+};
+
+/** Result of one co-scheduled batch wave (stepBatch). */
+struct BatchStepOutcome
+{
+    ScheduleOutcome schedule;
+    /** Per-member outcome, parallel to the id list passed in. */
+    std::vector<BatchMemberOutcome> members;
+};
+
+/** Batch-planning view of a suspended request (suspendedInfo()). */
+struct SuspendedRequestInfo
+{
+    int promptTokensPending = 0; //!< Prompt left to chunk-prefill.
+    int activeBeams = 0;         //!< Beams a decode wave advances.
+    double residentKvBytes = 0;  //!< Device bytes its KV still holds.
+};
+
+/**
  * One configured serving stack (device + models + search).
  *
  * Move-only; obtain instances through create().
@@ -171,9 +206,41 @@ class ServingSystem
     /**
      * Advance serving by one engine iteration: admit the next queued
      * request if none is running, run one iteration, fire callbacks.
-     * @return true while queued or running work remains.
+     * @return A ScheduleOutcome that is truthy while queued or
+     *         running work remains, carrying what the wave did.
      */
-    bool step();
+    ScheduleOutcome step();
+
+    /**
+     * Start a queued request directly into the Suspended state: the
+     * engine begins it (prompt KV node created) and immediately parks
+     * the context, leaving the engine idle. Continuous batching mounts
+     * such parked contexts wave by wave via stepBatch(). With
+     * defer_prompt true the prompt prefill is NOT charged up front —
+     * the batch scheduler feeds it in chunks instead.
+     * @return kNotFound for unknown ids, kFailedPrecondition unless
+     *         the request is queued and the engine is idle.
+     */
+    Status startSuspended(RequestId id, bool defer_prompt);
+
+    /**
+     * Advance every listed suspended request in one fused engine wave
+     * according to `plan` (sched/batch_scheduler.h). Members that
+     * finish are completed (onComplete fires; per-iteration onStep
+     * callbacks do NOT fire from batched waves); the rest stay
+     * Suspended. Plan entries index into `ids`.
+     * @return kFailedPrecondition unless every id is Suspended.
+     */
+    StatusOr<BatchStepOutcome>
+    stepBatch(const std::vector<RequestId> &ids, const BatchPlan &plan);
+
+    /**
+     * Scheduling view of a suspended request — what a batch scheduler
+     * needs to build its BatchCandidate.
+     * @return kNotFound for unknown ids, kFailedPrecondition unless
+     *         the request is suspended.
+     */
+    StatusOr<SuspendedRequestInfo> suspendedInfo(RequestId id) const;
 
     /** step() until no submitted request remains unfinished. */
     void drain();

@@ -1,0 +1,81 @@
+#include "sched/batch_scheduler.h"
+
+#include <algorithm>
+
+namespace fasttts
+{
+
+int
+BatchPlan::decodeMembers() const
+{
+    int count = 0;
+    for (const BatchPlanEntry &entry : entries) {
+        if (entry.kind == BatchWorkKind::Decode)
+            ++count;
+    }
+    return count;
+}
+
+BatchScheduler::BatchScheduler(int max_batched_tokens, int prefill_chunk)
+    : maxBatchedTokens_(std::max(1, max_batched_tokens)),
+      prefillChunk_(std::max(1, prefill_chunk))
+{
+}
+
+BatchPlan
+BatchScheduler::plan(const std::vector<BatchCandidate> &candidates) const
+{
+    BatchPlan out;
+    long budget = maxBatchedTokens_;
+
+    // --- Decode phase: requests past their prompt keep decoding. ---
+    for (const BatchCandidate &candidate : candidates) {
+        if (candidate.promptRemaining > 0 || candidate.decodeTokens <= 0)
+            continue;
+        const long need = std::max(1, candidate.decodeTokens);
+        // Progress guarantee: the first decoder is admitted even when
+        // its demand alone exceeds the wave budget.
+        if (need > budget && !out.entries.empty())
+            continue;
+        BatchPlanEntry entry;
+        entry.member = candidate.member;
+        entry.kind = BatchWorkKind::Decode;
+        entry.tokens = static_cast<int>(need);
+        out.entries.push_back(entry);
+        out.plannedTokens += need;
+        budget -= need;
+        if (budget <= 0)
+            break;
+    }
+
+    // --- Prefill phase: leftover budget becomes prompt chunks, one
+    //     per prefilling request per wave (chunked prefill). ---
+    for (const BatchCandidate &candidate : candidates) {
+        if (candidate.promptRemaining <= 0)
+            continue;
+        long chunk = std::min<long>(
+            std::min<long>(prefillChunk_, candidate.promptRemaining),
+            std::max<long>(budget, 0));
+        if (chunk <= 0) {
+            // An empty plan would deadlock the server: when nothing
+            // else was scheduled, the first prefiller still gets its
+            // full chunk; otherwise it waits for the next wave.
+            if (!out.entries.empty())
+                continue;
+            chunk = std::min<long>(prefillChunk_,
+                                   candidate.promptRemaining);
+        }
+        BatchPlanEntry entry;
+        entry.member = candidate.member;
+        entry.kind = BatchWorkKind::PrefillChunk;
+        entry.tokens = static_cast<int>(chunk);
+        out.entries.push_back(entry);
+        out.plannedTokens += chunk;
+        budget -= chunk;
+        if (budget <= 0)
+            break;
+    }
+    return out;
+}
+
+} // namespace fasttts

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Wave-level batch scheduler for continuous cross-request batching.
+ *
+ * PR 5's shared-engine refactor made every in-flight request's state
+ * co-resident on one engine, but the server still time-slices: exactly
+ * one request decodes per engine wave. This scheduler produces the
+ * BatchPlan that fuses decode work from *different* requests into one
+ * wave under a token budget — the omniserve/vLLM continuous-batching
+ * design (max_num_batched_tokens with a prefill/decode phase split):
+ *
+ *  - Decode first: requests already past their prompt always keep
+ *    decoding, so a long prompt can never stall resident decoders.
+ *  - Chunked prefill second: leftover token budget is handed to
+ *    requests still prefilling their prompt, at most one chunk of
+ *    `prefillChunk` tokens per request per wave.
+ *  - Progress guarantee: the plan is never empty while any candidate
+ *    has work, even when a single request's demand exceeds the
+ *    budget (a budget that admits nobody would deadlock the server).
+ *
+ * The scheduler is a pure, deterministic function of its candidate
+ * list — policy questions (admission order, preemption, shedding)
+ * stay in OnlineServer/QueuePolicy; this class only packs one wave.
+ */
+
+#ifndef FASTTTS_SCHED_BATCH_SCHEDULER_H
+#define FASTTTS_SCHED_BATCH_SCHEDULER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fasttts
+{
+
+/** What one BatchPlan entry tells the engine to do for a member. */
+enum class BatchWorkKind
+{
+    Decode,       //!< One full TTS iteration (all active beams).
+    PrefillChunk, //!< Prefill up to `tokens` prompt tokens.
+};
+
+/** One request's share of a wave. */
+struct BatchPlanEntry
+{
+    size_t member = 0; //!< Caller-defined candidate index.
+    BatchWorkKind kind = BatchWorkKind::Decode;
+    int tokens = 0;    //!< Budgeted tokens (decode estimate or chunk).
+};
+
+/** The work of one fused engine wave. */
+struct BatchPlan
+{
+    std::vector<BatchPlanEntry> entries;
+    long plannedTokens = 0; //!< Sum of entry token budgets.
+
+    bool empty() const { return entries.empty(); }
+
+    /** Planned decode members (the wave's batch occupancy). */
+    int decodeMembers() const;
+};
+
+/** What the scheduler knows about one schedulable request. */
+struct BatchCandidate
+{
+    size_t member = 0;      //!< Index the plan refers back to.
+    int promptRemaining = 0; //!< Prompt tokens still to prefill;
+                             //!< > 0 means the request cannot decode.
+    int decodeTokens = 0;   //!< Predicted tokens one decode iteration
+                            //!< emits (active beams x expected step).
+};
+
+/**
+ * Packs one wave under --max-batched-tokens. Stateless and
+ * deterministic: identical candidates yield identical plans, so
+ * batched traces replay bit-for-bit.
+ */
+class BatchScheduler
+{
+  public:
+    /**
+     * @param max_batched_tokens Per-wave token budget (>= 1).
+     * @param prefill_chunk Largest prompt slice per request per wave
+     *        (>= 1).
+     */
+    BatchScheduler(int max_batched_tokens, int prefill_chunk);
+
+    /**
+     * Pack one wave: decode members in the given candidate order
+     * while the budget lasts, then prefill chunks from the leftover
+     * budget. Candidates with no work (no prompt left and
+     * decodeTokens <= 0) are skipped. The first admissible candidate
+     * is always admitted even when its demand alone exceeds the
+     * budget (progress guarantee).
+     */
+    BatchPlan plan(const std::vector<BatchCandidate> &candidates) const;
+
+    int maxBatchedTokens() const { return maxBatchedTokens_; }
+    int prefillChunk() const { return prefillChunk_; }
+
+  private:
+    int maxBatchedTokens_;
+    int prefillChunk_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_SCHED_BATCH_SCHEDULER_H

@@ -678,5 +678,91 @@ TEST(EngineArgsOnline, HelpAndRegistryListingCoverPolicies)
     EXPECT_NE(listing.find("sjf"), std::string::npos);
 }
 
+TEST(EngineArgsOnline, BatchingFlagsArgvAndJsonAgree)
+{
+    const auto via_argv =
+        parse({"--batching", "continuous", "--max-batched-tokens",
+               "4096", "--prefill-chunk", "256"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(R"({
+        "batching": "continuous",
+        "max_batched_tokens": 4096,
+        "prefill_chunk": 256
+    })");
+    ASSERT_TRUE(via_json.ok());
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->batching, "continuous");
+        EXPECT_EQ(args->maxBatchedTokens, 4096);
+        EXPECT_EQ(args->prefillChunk, 256);
+        EXPECT_TRUE(args->validate().ok());
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.batching, "continuous");
+        EXPECT_EQ(online.maxBatchedTokens, 4096);
+        EXPECT_EQ(online.prefillChunk, 256);
+    }
+    EXPECT_TRUE(via_argv->wasSet("--batching"));
+    EXPECT_TRUE(via_argv->wasSet("--max-batched-tokens"));
+    EXPECT_TRUE(via_argv->wasSet("--prefill-chunk"));
+
+    // Defaults keep batching off.
+    const auto defaults = parse({});
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_EQ(defaults->batching, "off");
+    EXPECT_EQ(defaults->toOnlineOptions().batching, "off");
+}
+
+TEST(EngineArgsOnline, BatchingFlagValidation)
+{
+    EngineArgs args;
+    args.batching = "dynamic";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.maxBatchedTokens = 0;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.prefillChunk = -1;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    // The parser rejects out-of-range values up front.
+    EXPECT_EQ(parse({"--max-batched-tokens", "0"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(parse({"--prefill-chunk", "0"}).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"batching": 1})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    // Fixed-config tools reject the batching flags too.
+    const auto set = parse({"--batching", "continuous"});
+    ASSERT_TRUE(set.ok());
+    const Status status = set->rejectUnsupportedFlags({"--problems"});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--batching"), std::string::npos);
+}
+
+TEST(EngineArgsArgv, LegacyPositionalsAreFlaggedDeprecated)
+{
+    // Bare positionals still parse but mark the configuration so
+    // parseOrExit() can print the one-release deprecation warning;
+    // the equivalent flags do not trip it.
+    const auto positional = parse({"7", "MATH500"});
+    ASSERT_TRUE(positional.ok());
+    EXPECT_TRUE(positional->usedLegacyPositionals);
+
+    const auto flagged =
+        parse({"--problems", "7", "--dataset", "MATH500"});
+    ASSERT_TRUE(flagged.ok());
+    EXPECT_FALSE(flagged->usedLegacyPositionals);
+    EXPECT_EQ(flagged->numProblems, positional->numProblems);
+    EXPECT_EQ(flagged->dataset, positional->dataset);
+
+    EXPECT_FALSE(EngineArgs().usedLegacyPositionals);
+    const std::string help = EngineArgs::help("prog");
+    EXPECT_NE(help.find("DEPRECATED"), std::string::npos);
+}
+
 } // namespace
 } // namespace fasttts

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/serving.h"
@@ -460,6 +461,191 @@ TEST(AsyncServing, SuspendResumeErrorPaths)
     system.drain();
     EXPECT_EQ(*system.requestState(b), RequestState::Completed);
     EXPECT_EQ(system.pendingRequests(), 0u);
+}
+
+TEST(AsyncServing, StepReturnsScheduleOutcome)
+{
+    ServingSystem system = smallSystem(4);
+
+    const ScheduleOutcome idle = system.step();
+    EXPECT_FALSE(idle);
+    EXPECT_EQ(idle.requestsAdvanced, 0);
+    EXPECT_EQ(idle.tokensDecoded, 0);
+    EXPECT_EQ(idle.waveTime, 0.0);
+
+    system.submit(system.problems()[0]);
+    const ScheduleOutcome first = system.step();
+    EXPECT_EQ(first.requestsAdvanced, 1);
+    EXPECT_GT(first.tokensDecoded, 0);
+    EXPECT_GT(first.waveTime, 0.0);
+    EXPECT_EQ(first.requestsSuspended, 0); // No batched parking here.
+
+    // The outcome stays truthy until the last iteration completes.
+    long decoded = first.tokensDecoded;
+    ScheduleOutcome last = first;
+    while (last) {
+        last = system.step();
+        decoded += last.tokensDecoded;
+    }
+    EXPECT_FALSE(last.moreWork);
+    EXPECT_GT(decoded, first.tokensDecoded);
+    EXPECT_EQ(system.pendingRequests(), 0u);
+}
+
+TEST(AsyncServing, StartSuspendedAndStepBatchPreconditions)
+{
+    ServingSystem system = smallSystem(4);
+
+    EXPECT_EQ(system.startSuspended(999, true).code(),
+              StatusCode::kNotFound);
+    EXPECT_EQ(system.suspendedInfo(999).status().code(),
+              StatusCode::kNotFound);
+
+    const RequestId a = system.submit(system.problems()[0]);
+    const RequestId b = system.submit(system.problems()[1]);
+    EXPECT_EQ(system.suspendedInfo(a).status().code(),
+              StatusCode::kFailedPrecondition);
+
+    // stepBatch demands every member be suspended.
+    EXPECT_EQ(system.stepBatch({a}, BatchPlan()).status().code(),
+              StatusCode::kFailedPrecondition);
+
+    ASSERT_TRUE(system.startSuspended(a, /*defer_prompt=*/true).ok());
+    EXPECT_EQ(*system.requestState(a), RequestState::Suspended);
+    // Deferred prompt: the whole prompt awaits chunked prefill.
+    const SuspendedRequestInfo info = system.suspendedInfo(a).value();
+    EXPECT_EQ(info.promptTokensPending,
+              system.problems()[0].promptTokens);
+    EXPECT_GT(info.activeBeams, 0);
+
+    // Already suspended — not queued any more.
+    EXPECT_EQ(system.startSuspended(a, true).code(),
+              StatusCode::kFailedPrecondition);
+
+    // Up-front prefill leaves nothing pending.
+    ASSERT_TRUE(system.startSuspended(b, /*defer_prompt=*/false).ok());
+    EXPECT_EQ(system.suspendedInfo(b).value().promptTokensPending, 0);
+
+    ASSERT_TRUE(system.cancel(a).ok());
+    ASSERT_TRUE(system.cancel(b).ok());
+}
+
+TEST(AsyncServing, BatchedResultsMatchSoloRuns)
+{
+    // The continuous-batching property: batch composition must not
+    // leak across members — every per-request result (answers,
+    // scores, token counts, even the request's own clock) is
+    // identical to a solo run of the same problem. The fused wave
+    // only changes the *device* attribution, never request content.
+    constexpr int kRequests = 3;
+
+    ServingSystem solo = smallSystem(8);
+    std::vector<RequestResult> want;
+    for (int i = 0; i < kRequests; ++i)
+        want.push_back(solo.serve(solo.problems()[static_cast<size_t>(i)]));
+
+    ServingSystem system = smallSystem(8);
+    std::vector<RequestId> ids;
+    for (int i = 0; i < kRequests; ++i)
+        ids.push_back(
+            system.submit(system.problems()[static_cast<size_t>(i)]));
+    for (const RequestId id : ids)
+        ASSERT_TRUE(system.startSuspended(id, /*defer_prompt=*/true).ok());
+
+    // Ample budget: the prompt lands in one chunk, so even the
+    // per-request clocks match the solo runs bit-for-bit.
+    const BatchScheduler scheduler(1 << 20, 1 << 20);
+    std::vector<RequestId> live = ids;
+    int guard = 0;
+    while (!live.empty() && ++guard < 10000) {
+        std::vector<BatchCandidate> candidates;
+        for (size_t i = 0; i < live.size(); ++i) {
+            const SuspendedRequestInfo info =
+                system.suspendedInfo(live[i]).value();
+            BatchCandidate candidate;
+            candidate.member = i;
+            candidate.promptRemaining = info.promptTokensPending;
+            candidate.decodeTokens = std::max(1, info.activeBeams);
+            candidates.push_back(candidate);
+        }
+        const auto outcome =
+            system.stepBatch(live, scheduler.plan(candidates));
+        ASSERT_TRUE(outcome.ok());
+        EXPECT_GT(outcome->schedule.waveTime, 0.0);
+        std::vector<RequestId> next;
+        for (const RequestId id : live) {
+            if (*system.requestState(id) != RequestState::Completed)
+                next.push_back(id);
+        }
+        live = std::move(next);
+    }
+    ASSERT_TRUE(live.empty()) << "batched serving did not converge";
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+        const RequestResult got = system.result(ids[i]).value();
+        EXPECT_EQ(got.verifiedTokens, want[i].verifiedTokens);
+        EXPECT_EQ(got.generatedTokens, want[i].generatedTokens);
+        EXPECT_EQ(got.completedBeams, want[i].completedBeams);
+        EXPECT_DOUBLE_EQ(got.completionTime, want[i].completionTime);
+        ASSERT_EQ(got.solutions.size(), want[i].solutions.size());
+        for (size_t j = 0; j < got.solutions.size(); ++j) {
+            EXPECT_EQ(got.solutions[j].answer,
+                      want[i].solutions[j].answer);
+            EXPECT_DOUBLE_EQ(got.solutions[j].score,
+                             want[i].solutions[j].score);
+            EXPECT_EQ(got.solutions[j].tokens,
+                      want[i].solutions[j].tokens);
+        }
+    }
+}
+
+TEST(AsyncServing, FusedWaveIsCheaperThanSerialSlices)
+{
+    // Co-scheduling N decode members in one wave must cost less
+    // device time than running the same members serially (the
+    // roofline's decode step is sublinear in batch).
+    constexpr int kRequests = 3;
+    ServingSystem system = smallSystem(8);
+    std::vector<RequestId> ids;
+    for (int i = 0; i < kRequests; ++i)
+        ids.push_back(
+            system.submit(system.problems()[static_cast<size_t>(i)]));
+    for (const RequestId id : ids)
+        ASSERT_TRUE(system.startSuspended(id, /*defer_prompt=*/false).ok());
+
+    BatchPlan plan;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        BatchPlanEntry entry;
+        entry.member = i;
+        entry.kind = BatchWorkKind::Decode;
+        entry.tokens = 1;
+        plan.entries.push_back(entry);
+    }
+    const auto outcome = system.stepBatch(ids, plan);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->schedule.requestsAdvanced, kRequests);
+
+    double serial = 0;
+    for (const BatchMemberOutcome &member : outcome->members) {
+        EXPECT_TRUE(member.participated);
+        EXPECT_GT(member.decodedTokens, 0);
+        serial += member.activeDelta;
+    }
+    // waveTime is the sum of fused member shares.
+    EXPECT_NEAR(outcome->schedule.waveTime, serial, 1e-9);
+
+    // Re-run the same iteration solo on fresh systems; the fused wave
+    // must be strictly cheaper than the serial sum of solo steps.
+    double solo_sum = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        ServingSystem one = smallSystem(8);
+        one.submit(one.problems()[static_cast<size_t>(i)]);
+        solo_sum += one.step().waveTime;
+    }
+    EXPECT_LT(outcome->schedule.waveTime, solo_sum);
+
+    for (const RequestId id : ids)
+        ASSERT_TRUE(system.cancel(id).ok());
 }
 
 } // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the wave-level batch scheduler (continuous batching).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/batch_scheduler.h"
+
+namespace fasttts
+{
+namespace
+{
+
+BatchCandidate
+decoder(size_t member, int decode_tokens)
+{
+    BatchCandidate c;
+    c.member = member;
+    c.decodeTokens = decode_tokens;
+    return c;
+}
+
+BatchCandidate
+prefiller(size_t member, int prompt_remaining)
+{
+    BatchCandidate c;
+    c.member = member;
+    c.promptRemaining = prompt_remaining;
+    return c;
+}
+
+TEST(BatchScheduler, PacksDecodersInOrderUnderBudget)
+{
+    const BatchScheduler scheduler(250, 512);
+    const BatchPlan plan = scheduler.plan(
+        {decoder(0, 100), decoder(1, 100), decoder(2, 100)});
+    // Two decoders fit; the third exceeds the leftover 50.
+    ASSERT_EQ(plan.entries.size(), 2u);
+    EXPECT_EQ(plan.entries[0].member, 0u);
+    EXPECT_EQ(plan.entries[1].member, 1u);
+    EXPECT_EQ(plan.entries[0].kind, BatchWorkKind::Decode);
+    EXPECT_EQ(plan.decodeMembers(), 2);
+    EXPECT_EQ(plan.plannedTokens, 200);
+}
+
+TEST(BatchScheduler, ProgressGuaranteeAdmitsOversizedDecoder)
+{
+    // A single decoder whose demand alone exceeds the budget must
+    // still run — an empty plan would deadlock the server.
+    const BatchScheduler scheduler(64, 512);
+    const BatchPlan plan = scheduler.plan({decoder(0, 4096)});
+    ASSERT_EQ(plan.entries.size(), 1u);
+    EXPECT_EQ(plan.entries[0].tokens, 4096);
+    EXPECT_FALSE(plan.empty());
+}
+
+TEST(BatchScheduler, PrefillersOnlyGetLeftoverBudget)
+{
+    // Decode demand is packed first; the prefiller's chunk shrinks to
+    // the leftover budget (chunked prefill never stalls decoders).
+    const BatchScheduler scheduler(300, 512);
+    const BatchPlan plan =
+        scheduler.plan({decoder(0, 250), prefiller(1, 1000)});
+    ASSERT_EQ(plan.entries.size(), 2u);
+    EXPECT_EQ(plan.entries[1].kind, BatchWorkKind::PrefillChunk);
+    EXPECT_EQ(plan.entries[1].tokens, 50);
+    EXPECT_EQ(plan.decodeMembers(), 1);
+}
+
+TEST(BatchScheduler, PrefillChunkCapsThePromptSlice)
+{
+    const BatchScheduler scheduler(10000, 128);
+    const BatchPlan plan =
+        scheduler.plan({prefiller(0, 1000), prefiller(1, 50)});
+    ASSERT_EQ(plan.entries.size(), 2u);
+    EXPECT_EQ(plan.entries[0].tokens, 128); // Chunk cap.
+    EXPECT_EQ(plan.entries[1].tokens, 50);  // Remaining prompt.
+    EXPECT_EQ(plan.decodeMembers(), 0);
+}
+
+TEST(BatchScheduler, PrefillingRequestsNeverDecode)
+{
+    // promptRemaining > 0 means the request cannot decode yet even if
+    // its decodeTokens estimate is stale.
+    const BatchScheduler scheduler(1000, 100);
+    BatchCandidate mixed = prefiller(0, 40);
+    mixed.decodeTokens = 500;
+    const BatchPlan plan = scheduler.plan({mixed});
+    ASSERT_EQ(plan.entries.size(), 1u);
+    EXPECT_EQ(plan.entries[0].kind, BatchWorkKind::PrefillChunk);
+    EXPECT_EQ(plan.entries[0].tokens, 40);
+}
+
+TEST(BatchScheduler, SkipsCandidatesWithNoWork)
+{
+    const BatchScheduler scheduler(1000, 100);
+    const BatchPlan plan =
+        scheduler.plan({decoder(0, 0), prefiller(1, 0), decoder(2, 10)});
+    ASSERT_EQ(plan.entries.size(), 1u);
+    EXPECT_EQ(plan.entries[0].member, 2u);
+}
+
+TEST(BatchScheduler, EmptyCandidatesYieldEmptyPlan)
+{
+    const BatchScheduler scheduler(1000, 100);
+    EXPECT_TRUE(scheduler.plan({}).empty());
+    EXPECT_EQ(scheduler.plan({}).plannedTokens, 0);
+}
+
+TEST(BatchScheduler, PlansAreDeterministic)
+{
+    const BatchScheduler scheduler(777, 99);
+    const std::vector<BatchCandidate> candidates = {
+        decoder(0, 300), prefiller(1, 450), decoder(2, 600),
+        prefiller(3, 20)};
+    const BatchPlan a = scheduler.plan(candidates);
+    const BatchPlan b = scheduler.plan(candidates);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].member, b.entries[i].member);
+        EXPECT_EQ(a.entries[i].kind, b.entries[i].kind);
+        EXPECT_EQ(a.entries[i].tokens, b.entries[i].tokens);
+    }
+    EXPECT_EQ(a.plannedTokens, b.plannedTokens);
+}
+
+TEST(BatchScheduler, NonPositiveKnobsClampToOne)
+{
+    const BatchScheduler scheduler(0, -5);
+    EXPECT_EQ(scheduler.maxBatchedTokens(), 1);
+    EXPECT_EQ(scheduler.prefillChunk(), 1);
+    // Still makes progress: budget 1 admits the first decoder.
+    const BatchPlan plan = scheduler.plan({decoder(0, 10)});
+    ASSERT_EQ(plan.entries.size(), 1u);
+}
+
+} // namespace
+} // namespace fasttts

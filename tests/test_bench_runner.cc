@@ -68,7 +68,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
     ASSERT_EQ(status, 0);
 
     const std::vector<std::string> names = splitLines(output);
-    EXPECT_EQ(names.size(), 18u);
+    EXPECT_EQ(names.size(), 19u);
     for (const char *expected :
          {"fig01_frontier", "fig03_patterns", "fig04_utilization",
           "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
@@ -76,7 +76,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
           "fig14_accuracy", "fig15_hardware", "fig16_ablation",
           "fig17_speculative", "fig18_scheduling", "micro",
           "online_responsiveness", "online_scheduling",
-          "online_preemption"}) {
+          "online_preemption", "online_batching"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing benchmark: " << expected;

@@ -680,5 +680,196 @@ TEST(OnlineServer, PreemptionStormHoldsInvariants)
     }
 }
 
+TEST(OnlineServer, CreateRejectsBadBatchingOptions)
+{
+    const ServingOptions opts = smallOptions(true);
+
+    OnlineServerOptions bad_mode;
+    bad_mode.batching = "dynamic";
+    const auto unknown = OnlineServer::create(opts, bad_mode);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(unknown.status().message().find("continuous"),
+              std::string::npos);
+
+    OnlineServerOptions zero_budget;
+    zero_budget.batching = "continuous";
+    zero_budget.maxBatchedTokens = 0;
+    EXPECT_EQ(OnlineServer::create(opts, zero_budget).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions zero_chunk;
+    zero_chunk.batching = "continuous";
+    zero_chunk.prefillChunk = 0;
+    EXPECT_EQ(OnlineServer::create(opts, zero_chunk).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineServer, BatchingOffReproducesLegacyTraceBitForBit)
+{
+    // --batching off must keep the pre-batching serve loop untouched:
+    // the batching knobs are inert, and every record field matches a
+    // default-configured server exactly (no epsilon).
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions legacy;
+    legacy.maxInflight = 3;
+    legacy.preempt = "slice";
+    OnlineServerOptions off = legacy;
+    off.batching = "off";
+    off.maxBatchedTokens = 7;  // Must not matter when off.
+    off.prefillChunk = 3;
+
+    OnlineServer a = OnlineServer::create(opts, legacy).value();
+    OnlineServer b = OnlineServer::create(opts, off).value();
+    const auto want = a.serveTrace(6, 0.5, 7);
+    const auto got = b.serveTrace(6, 0.5, 7);
+
+    ASSERT_EQ(got.records.size(), want.records.size());
+    for (size_t i = 0; i < got.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got.records[i].arrival,
+                         want.records[i].arrival);
+        EXPECT_DOUBLE_EQ(got.records[i].start, want.records[i].start);
+        EXPECT_DOUBLE_EQ(got.records[i].finish,
+                         want.records[i].finish);
+        EXPECT_DOUBLE_EQ(got.records[i].activeTime,
+                         want.records[i].activeTime);
+    }
+    EXPECT_DOUBLE_EQ(got.makespan, want.makespan);
+    EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+    EXPECT_EQ(got.contextSwitches, want.contextSwitches);
+    EXPECT_EQ(got.verifiedTokens, want.verifiedTokens);
+}
+
+TEST(OnlineServer, ContinuousMatchesTimeSlicedContent)
+{
+    // Content determinism: batching changes device-time attribution,
+    // never what each request computes. The same trace produces the
+    // same verified-token total under both modes, and the off mode
+    // reports occupancy exactly 1 (every wave is a solo slice).
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions sliced;
+    sliced.maxInflight = 3;
+    sliced.preempt = "slice";
+    OnlineServerOptions continuous = sliced;
+    continuous.batching = "continuous";
+
+    OnlineServer a = OnlineServer::create(opts, sliced).value();
+    OnlineServer b = OnlineServer::create(opts, continuous).value();
+    const auto sliced_out = a.serveTrace(6, 0.2, 11);
+    const auto continuous_out = b.serveTrace(6, 0.2, 11);
+
+    ASSERT_EQ(sliced_out.records.size(), 6u);
+    ASSERT_EQ(continuous_out.records.size(), 6u);
+    EXPECT_GT(continuous_out.verifiedTokens, 0);
+    EXPECT_EQ(continuous_out.verifiedTokens, sliced_out.verifiedTokens);
+    EXPECT_DOUBLE_EQ(sliced_out.batchOccupancy, 1.0);
+    // Continuous batching never rotates or preempts mid-request.
+    EXPECT_EQ(continuous_out.contextSwitches, 0);
+    EXPECT_EQ(continuous_out.preemptions, 0);
+}
+
+TEST(OnlineServer, ContinuousBeatsTimeSlicingOnBurstyTrace)
+{
+    // The headline claim: on a saturating bursty trace, fusing decode
+    // across in-flight requests finishes the trace sooner and cuts
+    // tail latency versus round-robin time slicing.
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions sliced;
+    sliced.maxInflight = 4;
+    sliced.preempt = "slice";
+    OnlineServerOptions continuous = sliced;
+    continuous.batching = "continuous";
+
+    const auto arrivals = burstyArrivalTrace(12, 0.2, 11);
+    std::vector<OnlineRequest> requests;
+    for (const double arrival : arrivals) {
+        OnlineRequest r;
+        r.arrival = arrival;
+        requests.push_back(r);
+    }
+
+    OnlineServer a = OnlineServer::create(opts, sliced).value();
+    OnlineServer b = OnlineServer::create(opts, continuous).value();
+    const auto sliced_out = a.serveRequests(requests).value();
+    const auto continuous_out = b.serveRequests(requests).value();
+
+    ASSERT_EQ(continuous_out.records.size(), arrivals.size());
+    EXPECT_GT(continuous_out.batchOccupancy, 1.0);
+    EXPECT_LT(continuous_out.makespan, sliced_out.makespan);
+    EXPECT_LT(continuous_out.p99Latency, sliced_out.p99Latency);
+    EXPECT_GT(
+        static_cast<double>(continuous_out.verifiedTokens)
+            / continuous_out.makespan,
+        static_cast<double>(sliced_out.verifiedTokens) / sliced_out.makespan);
+}
+
+TEST(OnlineServer, ContinuousBatchingStormHoldsInvariants)
+{
+    // The preemption-storm workload rerun under continuous batching:
+    // tight shared KV budget, shedding and client cancellations, with
+    // memory pressure resolved by benching batch members instead of
+    // slice-rotation (also an ASan+UBSan CI pass).
+    ServingOptions opts = smallOptions(true);
+    opts.numBeams = 4;
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = 8;
+    online.batching = "continuous";
+    online.kvBudgetGiB = 0.5;
+    online.shedDoomed = true;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    const auto arrivals = burstyArrivalTrace(24, 0.5, 11);
+    std::vector<OnlineRequest> requests;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        OnlineRequest r;
+        r.arrival = arrivals[i];
+        r.priority = static_cast<int>(i % 3) - 1;
+        const double tiers[] = {20.0, 60.0, 240.0, 0.0};
+        r.slo = tiers[i % 4];
+        if (i % 7 == 6)
+            r.cancelAt = arrivals[i] + 1.0;
+        requests.push_back(r);
+    }
+    const auto out = server.serveRequests(requests).value();
+    EXPECT_EQ(static_cast<int>(out.records.size()) + out.shedRequests
+                  + out.cancelled,
+              24);
+    EXPECT_LE(server.kvLedger().peakUsedBytes(),
+              server.kvLedger().totalBytes() + 1.0);
+    EXPECT_LE(out.utilization, 1.0 + 1e-9);
+    EXPECT_EQ(out.contextSwitches, 0);
+    EXPECT_EQ(out.preemptions, 0);
+    for (const auto &rec : out.records) {
+        EXPECT_GE(rec.start, rec.arrival);
+        EXPECT_GT(rec.finish, rec.start);
+        EXPECT_GT(rec.activeTime, 0.0);
+        EXPECT_LE(rec.activeTime, rec.serviceTime() + 1e-9);
+    }
+}
+
+TEST(OnlineServer, ServeProblemsAdapterMatchesServingSystem)
+{
+    // serveProblems() is a thin adapter over the request loop: at
+    // arrival 0 / fifo / max-inflight 1 it degenerates to the batch
+    // path and must reproduce ServingSystem::serveProblems exactly.
+    const ServingOptions opts = smallOptions(true);
+    ServingSystem batch = ServingSystem::create(opts).value();
+    const BatchResult want = batch.serveProblems(4);
+
+    OnlineServer server = OnlineServer::create(opts).value();
+    const BatchResult got = server.serveProblems(4);
+
+    ASSERT_EQ(got.requests.size(), want.requests.size());
+    EXPECT_DOUBLE_EQ(got.meanGoodput, want.meanGoodput);
+    EXPECT_DOUBLE_EQ(got.top1Accuracy, want.top1Accuracy);
+    for (size_t i = 0; i < got.requests.size(); ++i) {
+        EXPECT_EQ(got.requests[i].verifiedTokens,
+                  want.requests[i].verifiedTokens);
+        EXPECT_DOUBLE_EQ(got.requests[i].completionTime,
+                         want.requests[i].completionTime);
+    }
+}
+
 } // namespace
 } // namespace fasttts
