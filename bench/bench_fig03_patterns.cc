@@ -72,7 +72,8 @@ main(int argc, char **argv)
     std::vector<SummaryStats> per_step(10);
     for (const auto &problem :
          makeProblems(profile, problems, args.seed)) {
-        engine.runRequest(problem);
+        // Run for stepTokenSamples() only; the result is unused.
+        (void)engine.runRequest(problem);
         const auto &samples = engine.stepTokenSamples();
         for (size_t s = 0; s < per_step.size() && s < samples.size();
              ++s) {

@@ -21,7 +21,9 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    EngineArgs::parseOrExit(
+    // Fixed configuration: parsed only for --help and to reject
+    // unsupported flags; the parsed values are deliberately unused.
+    (void)EngineArgs::parseOrExit(
         argc, argv, EngineArgs(),
         "Fig.4 GPU utilization timeline (single-request trace; the "
         "figure's configuration is fixed)",
@@ -33,7 +35,8 @@ main(int argc, char **argv)
     auto algo = makeBeamSearch(32, 4);
     FastTtsEngine engine(config, config1_5Bplus1_5B(), rtx4090(),
                          profile, *algo);
-    engine.runRequest(makeProblems(profile, 2, 2026)[1]);
+    // Run for the utilization trace only; the result is unused.
+    (void)engine.runRequest(makeProblems(profile, 2, 2026)[1]);
 
     // Split the trace into per-phase utilization summaries and print a
     // time series for the first generation and verification stretches.

@@ -46,7 +46,9 @@ decodeThroughput(const RooflineModel &roofline, const ModelSpec &model,
 int
 main(int argc, char **argv)
 {
-    EngineArgs::parseOrExit(
+    // Fixed configuration: parsed only for --help and to reject
+    // unsupported flags; the parsed values are deliberately unused.
+    (void)EngineArgs::parseOrExit(
         argc, argv, EngineArgs(),
         "Fig.6 normalized throughput vs KV size (analytic roofline "
         "sweep; the figure's configuration is fixed)",

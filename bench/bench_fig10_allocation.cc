@@ -24,7 +24,9 @@ using namespace fasttts;
 int
 main(int argc, char **argv)
 {
-    EngineArgs::parseOrExit(
+    // Fixed configuration: parsed only for --help and to reject
+    // unsupported flags; the parsed values are deliberately unused.
+    (void)EngineArgs::parseOrExit(
         argc, argv, EngineArgs(),
         "Fig.10 roofline-guided KV allocation (analytic planner sweep; "
         "the figure's configuration is fixed)",

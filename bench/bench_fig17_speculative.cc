@@ -48,7 +48,8 @@ main(int argc, char **argv)
         auto algo = makeBeamSearch(32, 4);
         FastTtsEngine engine(config, config1_5Bplus1_5B(), rtx4090(),
                              profile, *algo);
-        engine.runRequest(makeProblems(profile, 2, args.seed)[1]);
+        // Run for the utilization trace only; the result is unused.
+        (void)engine.runRequest(makeProblems(profile, 2, args.seed)[1]);
         // Sample utilization during generation segments only.
         for (const auto &seg : engine.clock().segments()) {
             if (seg.phase == Phase::Generation) {

@@ -76,7 +76,7 @@ BM_RadixAppend(benchmark::State &state)
 {
     KvCacheManager kv(1024 * MiB, 28672, 16);
     const int leaf = kv.createChild(KvCacheManager::kRoot, 1, 0);
-    kv.ensureResident(leaf, 0);
+    (void)kv.ensureResident(leaf, 0);
     uint64_t tick = 0;
     for (auto _ : state) {
         if (!kv.appendTokens(leaf, 1, ++tick)) {
@@ -160,12 +160,12 @@ BM_KvSessionSuspendResume(benchmark::State &state)
         buildEntries(kv, static_cast<int>(state.range(0)), rng);
     for (const auto &e : entries) {
         kv.retain(e.leaf);
-        kv.ensureResident(e.leaf, 1);
+        (void)kv.ensureResident(e.leaf, 1);
     }
     KvSession session(kv);
     uint64_t tick = 2;
     for (auto _ : state) {
-        session.suspend(tick++);
+        benchmark::DoNotOptimize(session.suspend(tick++));
         benchmark::DoNotOptimize(session.resume(tick++));
     }
     state.SetItemsProcessed(state.iterations());

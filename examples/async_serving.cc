@@ -66,15 +66,16 @@ main(int argc, char **argv)
                           formatDouble(r.preciseGoodput(), 1),
                           std::to_string(r.completedBeams)});
         };
-        system.submit(system.problems()[static_cast<size_t>(i)],
-                      callbacks);
+        // Results are consumed through onComplete; the id is unused.
+        (void)system.submit(system.problems()[static_cast<size_t>(i)],
+                            callbacks);
     }
 
     // One more request that cancels itself after two iterations.
     RequestCallbacks cancelling;
     cancelling.onStep = [&system](const StepEvent &event) {
         if (event.iteration == 2)
-            system.cancel(event.id);
+            checkOk(system.cancel(event.id));
     };
     const RequestId doomed = system.submit(
         system.problems()[static_cast<size_t>(args.numProblems)],

@@ -12,6 +12,16 @@ set -euo pipefail
 
 base="${1:-HEAD~1}"
 
+# Python sources (scripts/, tools/) get a syntax gate: py_compile
+# catches the broken-edit class of failure without needing a Python
+# formatter in the image.
+py_files=$(git ls-files --cached --others --exclude-standard \
+           'scripts/*.py' 'tools/*.py')
+if [[ -n ${py_files} ]]; then
+    echo "${py_files}" | xargs python3 -m py_compile
+    echo "check_format: python syntax OK ($(echo "${py_files}" | wc -l) files)"
+fi
+
 clang_format=""
 # clang-format-15 first: it is the version CI installs, and major
 # versions disagree on formatting details.

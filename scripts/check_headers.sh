@@ -31,6 +31,22 @@ while IFS= read -r header; do
     fi
 done < <(find "${repo_root}/src" -name '*.h' | sort)
 
+# tools/ holds Python today, but any C++ helper headers added there
+# must meet the same bar; the loop is a no-op while none exist.
+while IFS= read -r header; do
+    rel="${header#"${repo_root}/"}"
+    tu="${tmp_dir}/check.cc"
+    printf '#include "%s"\n#include "%s"\n' "${header}" "${header}" >"${tu}"
+    checked=$((checked + 1))
+    if ! "${compiler}" -std=c++17 -fsyntax-only -Wall -Wextra -Werror \
+        -I "${repo_root}/src" -I "${repo_root}/tools" "${tu}" \
+        2>"${tmp_dir}/err"; then
+        echo "NOT SELF-CONTAINED: ${rel}" >&2
+        sed 's/^/    /' "${tmp_dir}/err" >&2
+        failures=$((failures + 1))
+    fi
+done < <(find "${repo_root}/tools" -name '*.h' 2>/dev/null | sort)
+
 if [[ ${failures} -gt 0 ]]; then
     echo "-- ${failures}/${checked} headers failed the self-containment check" >&2
     exit 1

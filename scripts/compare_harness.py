@@ -21,6 +21,7 @@ baseline by copying the new quick-mode BENCH_harness.json over it.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -64,13 +65,19 @@ def main(argv=None):
     baseline_doc = load_harness(args.baseline)
     current_doc = load_harness(args.current)
     if baseline_doc.get("quick") != current_doc.get("quick"):
-        print(
-            "compare_harness: WARNING: quick flags differ "
+        message = (
+            "quick flags differ "
             f"(baseline quick={baseline_doc.get('quick')}, current "
             f"quick={current_doc.get('quick')}); wall times are not "
-            "comparable across modes",
-            file=sys.stderr,
+            "comparable across modes"
         )
+        # In CI a mode mismatch means the perf gate is comparing
+        # apples to oranges — the committed baseline drifted or the
+        # workflow invoked the wrong mode. Fail hard there; warn
+        # locally where ad-hoc comparisons are legitimate.
+        if os.environ.get("CI"):
+            sys.exit(f"compare_harness: ERROR: {message}")
+        print(f"compare_harness: WARNING: {message}", file=sys.stderr)
     baseline = {
         b["name"]: float(b["wall_ms"])
         for b in baseline_doc.get("benchmarks", [])

@@ -5,7 +5,7 @@
 #   scripts/stress_online.sh [--build-dir DIR] [--requests N]
 #                            [--max-inflight K]
 #
-# Configures a sanitizer build (FASTTTS_SANITIZE=ON), builds the
+# Configures a sanitizer build (FASTTTS_SANITIZE=address), builds the
 # online-responsiveness bench, and serves a heavy-tailed (bursty)
 # 512-request trace with 8 requests interleaved under each of two
 # admission policies — one queue-reordering policy (sjf) and the aging
@@ -52,7 +52,7 @@ done
 
 echo "-- configuring sanitizer build in ${build_dir}"
 cmake -B "${build_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE=Debug -DFASTTTS_SANITIZE=ON >/dev/null
+    -DCMAKE_BUILD_TYPE=Debug -DFASTTTS_SANITIZE=address >/dev/null
 cmake --build "${build_dir}" --target bench_online_responsiveness \
     -j >/dev/null
 

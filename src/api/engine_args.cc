@@ -119,7 +119,6 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                      const EngineArgs &defaults)
 {
     EngineArgs args = defaults;
-    int positionals = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -257,24 +256,13 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             return Status::invalidArgument("unknown flag '" + flag
                                            + "' (see --help)");
 
-        // Legacy positionals: [num_problems] [dataset]. Deprecated in
-        // favour of --problems/--dataset; parseOrExit() warns.
-        if (positionals == 0) {
-            auto parsed = parseInt("num_problems", flag, 0, 1 << 20);
-            if (!parsed.ok())
-                return parsed.status();
-            args.numProblems = static_cast<int>(*parsed);
-            args.parsedFlags.push_back("--problems");
-            args.usedLegacyPositionals = true;
-        } else if (positionals == 1) {
-            args.dataset = flag;
-            args.parsedFlags.push_back("--dataset");
-            args.usedLegacyPositionals = true;
-        } else {
-            return Status::invalidArgument(
-                "unexpected extra positional argument '" + flag + "'");
-        }
-        ++positionals;
+        // Bare positionals ([num_problems] [dataset]) were deprecated
+        // in favour of --problems/--dataset and removed after their
+        // one-release grace period.
+        return Status::invalidArgument(
+            "unexpected positional argument '" + flag
+            + "' (bare positionals were removed; use "
+              "--problems/--dataset)");
     }
     return args;
 }
@@ -551,7 +539,7 @@ std::string
 EngineArgs::help(const std::string &program)
 {
     std::string text =
-        "usage: " + program + " [flags] [num_problems] [dataset]\n"
+        "usage: " + program + " [flags]\n"
         "\n"
         "  --device NAME        accelerator to serve on\n"
         "  --dataset NAME       workload profile\n"
@@ -590,10 +578,6 @@ EngineArgs::help(const std::string &program)
         "                       wave under continuous batching\n"
         "                       (default 512)\n"
         "  --help               print this text and exit\n"
-        "\n"
-        "Bare positionals (DEPRECATED; use --problems/--dataset — they\n"
-        "will be removed next release): first = --problems, second = "
-        "--dataset.\n"
         "\n"
         "Registered names (extensible; see the README's Extending "
         "FastTTS):\n";
@@ -669,12 +653,6 @@ EngineArgs::parseOrExit(int argc, const char *const *argv,
         std::fprintf(stderr, "try '%s --help'\n", program.c_str());
         std::exit(2);
     }
-    if (parsed->usedLegacyPositionals)
-        std::fprintf(stderr,
-                     "%s: warning: bare positional arguments are "
-                     "deprecated and will be removed next release; "
-                     "use --problems/--dataset\n",
-                     program.c_str());
     return *std::move(parsed);
 }
 

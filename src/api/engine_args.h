@@ -90,26 +90,21 @@ struct EngineArgs
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 
-    /** The command line configured the tool through the deprecated
-     *  bare positionals ([num_problems] [dataset]) rather than flags;
-     *  parseOrExit() warns once per run. */
-    bool usedLegacyPositionals = false;
-
     /**
      * Canonical names of the flags the command line explicitly set
-     * ("--problems", "--dataset", ... — positionals map to their flag
-     * names). Lets tools with figure-fixed configurations reject
-     * flags they would otherwise silently ignore.
+     * ("--problems", "--dataset", ...). Lets tools with figure-fixed
+     * configurations reject flags they would otherwise silently
+     * ignore.
      */
     std::vector<std::string> parsedFlags;
 
     /**
      * Parse a command line on top of the given defaults. Recognised
      * flags are listed by help(); "--flag value" and "--flag=value"
-     * both work. For backward compatibility with the original bench
-     * CLIs, up to two bare positionals are accepted: the first sets
-     * numProblems, the second sets dataset. Syntax and number-format
-     * errors are kInvalidArgument; names are NOT resolved here (call
+     * both work. Bare positional arguments (the pre-PR-2 bench CLI
+     * form) are rejected with kInvalidArgument after their
+     * one-release deprecation window. Syntax and number-format errors
+     * are kInvalidArgument; names are NOT resolved here (call
      * validate()).
      */
     static StatusOr<EngineArgs> fromArgv(int argc, const char *const *argv,
@@ -144,7 +139,7 @@ struct EngineArgs
     /** The OnlineServer queueing configuration (policy, max-inflight,
      *  SLO) these arguments describe; pair with toServingOptions()
      *  for OnlineServer::create(). */
-    OnlineServerOptions toOnlineOptions() const;
+    [[nodiscard]] OnlineServerOptions toOnlineOptions() const;
 
     /**
      * kInvalidArgument when the command line explicitly set a flag
@@ -156,23 +151,23 @@ struct EngineArgs
     rejectUnsupportedFlags(const std::vector<std::string> &supported) const;
 
     /**
-     * Whether the command line (or a positional alias) explicitly set
+     * Whether the command line explicitly set
      * the given canonical flag ("--slo", "--problems", ...). Lets
      * tools distinguish "left at default" from "explicitly set to the
      * default value" (e.g. --slo 0 meaning "disable SLOs").
      */
-    bool wasSet(const std::string &flag) const;
+    [[nodiscard]] bool wasSet(const std::string &flag) const;
 
     /**
      * The flag reference plus the current registry contents (devices,
      * datasets, algorithms, model configs) — the discoverability
      * surface of the CLI.
      */
-    static std::string help(const std::string &program);
+    [[nodiscard]] static std::string help(const std::string &program);
 
     /** Just the registered-names block of help() (shared by tools
      *  with their own usage text, e.g. bench_runner). */
-    static std::string registryListing();
+    [[nodiscard]] static std::string registryListing();
 
     /**
      * fromArgv + validate for command-line tools: prints help and
@@ -180,19 +175,21 @@ struct EngineArgs
      * otherwise returns the validated arguments.
      * @param description One-line tool description printed atop help.
      */
-    static EngineArgs parseOrExit(int argc, const char *const *argv,
-                                  const EngineArgs &defaults,
-                                  const std::string &description);
+    [[nodiscard]] static EngineArgs
+    parseOrExit(int argc, const char *const *argv,
+                const EngineArgs &defaults,
+                const std::string &description);
 
     /**
      * As above, but additionally rejects explicitly-set flags outside
      * `supported` (pass {} for a tool with a fully fixed
      * configuration that only takes --help).
      */
-    static EngineArgs parseOrExit(int argc, const char *const *argv,
-                                  const EngineArgs &defaults,
-                                  const std::string &description,
-                                  const std::vector<std::string> &supported);
+    [[nodiscard]] static EngineArgs
+    parseOrExit(int argc, const char *const *argv,
+                const EngineArgs &defaults,
+                const std::string &description,
+                const std::vector<std::string> &supported);
 };
 
 } // namespace fasttts

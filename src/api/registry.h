@@ -78,14 +78,14 @@ class Registry
         return Status::notFound(unknownMessage(name));
     }
 
-    bool
+    [[nodiscard]] bool
     contains(const std::string &name) const
     {
         return find(name) != nullptr;
     }
 
     /** Registered names, in registration order. */
-    std::vector<std::string>
+    [[nodiscard]] std::vector<std::string>
     list() const
     {
         std::vector<std::string> names;
@@ -95,10 +95,10 @@ class Registry
         return names;
     }
 
-    size_t size() const { return entries_.size(); }
+    [[nodiscard]] size_t size() const { return entries_.size(); }
 
     /** The kind noun this registry was constructed with. */
-    const std::string &kind() const { return kind_; }
+    [[nodiscard]] const std::string &kind() const { return kind_; }
 
     /**
      * Invoke the named factory. Unknown names are a kNotFound error

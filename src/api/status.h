@@ -38,7 +38,7 @@ const char *statusCodeName(StatusCode code);
 /**
  * Result of a fallible operation: kOk, or a code plus message.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** Success. */
@@ -73,12 +73,12 @@ class Status
                       std::move(message));
     }
 
-    bool ok() const { return code_ == StatusCode::kOk; }
-    StatusCode code() const { return code_; }
-    const std::string &message() const { return message_; }
+    [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+    [[nodiscard]] StatusCode code() const { return code_; }
+    [[nodiscard]] const std::string &message() const { return message_; }
 
     /** "ok" or "<code>: <message>", for logs and CLI errors. */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
   private:
     StatusCode code_;
@@ -99,6 +99,21 @@ namespace detail
 } // namespace detail
 
 /**
+ * Terminate with the error message unless `status` is ok — the
+ * CHECK-style escape hatch for call sites whose success is a class
+ * invariant (built-in registrations, releasing a request id the same
+ * function created). Everything else should branch on ok(); Status and
+ * StatusOr are [[nodiscard]], so silently dropping an error does not
+ * compile.
+ */
+inline void
+checkOk(const Status &status)
+{
+    if (!status.ok())
+        detail::failStatus(status);
+}
+
+/**
  * A Status or a value of type T (exactly one of the two).
  *
  * Converts implicitly from T and from a non-ok Status, so factory
@@ -107,7 +122,7 @@ namespace detail
  * T is copyable.
  */
 template <typename T>
-class StatusOr
+class [[nodiscard]] StatusOr
 {
   public:
     /** From a failure; must not be kOk. */
@@ -121,10 +136,10 @@ class StatusOr
     /** From a value. */
     StatusOr(T value) : value_(std::move(value)) {}
 
-    bool ok() const { return value_.has_value(); }
+    [[nodiscard]] bool ok() const { return value_.has_value(); }
 
     /** The status: ok() when a value is present. */
-    const Status &status() const { return status_; }
+    [[nodiscard]] const Status &status() const { return status_; }
 
     /** The value; terminates with the error message when !ok(). */
     T &

@@ -45,7 +45,7 @@ struct FastTtsConfig
                                     //!< random scheduling).
 
     /** The naive vLLM-style baseline (Sec. 6.1). */
-    static FastTtsConfig
+    [[nodiscard]] static FastTtsConfig
     baseline()
     {
         FastTtsConfig c;
@@ -57,7 +57,10 @@ struct FastTtsConfig
     }
 
     /** Full FastTTS. */
-    static FastTtsConfig fastTts() { return FastTtsConfig(); }
+    [[nodiscard]] static FastTtsConfig fastTts()
+    {
+        return FastTtsConfig();
+    }
 };
 
 } // namespace fasttts

@@ -138,7 +138,7 @@ class FastTtsEngine
     FastTtsEngine &operator=(const FastTtsEngine &) = delete;
 
     /** Serve one problem with search width algorithm().beamWidth(). */
-    RequestResult runRequest(const Problem &problem);
+    [[nodiscard]] RequestResult runRequest(const Problem &problem);
 
     // --- Incremental request lifecycle (the async serving facade in
     //     core/serving.h drives these; runRequest() is begin + step
@@ -162,7 +162,7 @@ class FastTtsEngine
      *         beam completed (or the step hard cap was reached), after
      *         which finishRequest() collects the result.
      */
-    bool stepRequest();
+    [[nodiscard]] bool stepRequest();
 
     /**
      * Abandon any still-active beams and build the request's metrics.
@@ -187,19 +187,23 @@ class FastTtsEngine
      * ownership terms. Plan entries whose member index is out of
      * range or whose context is null are skipped.
      */
-    BatchWaveResult stepBatch(const std::vector<RequestContext *> &contexts,
-                              const BatchPlan &plan);
+    [[nodiscard]] BatchWaveResult
+    stepBatch(const std::vector<RequestContext *> &contexts,
+              const BatchPlan &plan);
 
     /** Prompt tokens of the mounted request still awaiting chunked
      *  prefill (0 unless beginRequest deferred the prompt). */
-    int prefillPending() const;
+    [[nodiscard]] int prefillPending() const;
 
     /** Tokens the mounted request has decoded so far (cumulative). */
-    long generatedTokensSoFar() const;
+    [[nodiscard]] long generatedTokensSoFar() const;
 
     /** Expected decode tokens per step of this engine's dataset (the
      *  planning estimate batch schedulers budget with). */
-    double expectedStepTokens() const { return expectedStepTokens_; }
+    [[nodiscard]] double expectedStepTokens() const
+    {
+        return expectedStepTokens_;
+    }
 
     // --- Multi-request contexts (preemption) ---
 
@@ -210,7 +214,7 @@ class FastTtsEngine
      * (and keeps its shared-ledger charge) until evictKv() is called
      * on the handle or the handle is destroyed.
      */
-    SuspendedEngineRequest suspendRequest();
+    [[nodiscard]] SuspendedEngineRequest suspendRequest();
 
     /**
      * Mount a previously suspended context back on the engine; the
@@ -222,7 +226,7 @@ class FastTtsEngine
 
     /** Whether a request is mounted and unfinished (between
      *  beginRequest() and the end of its finishRequest()). */
-    bool hasActiveRequest() const;
+    [[nodiscard]] bool hasActiveRequest() const;
 
     /**
      * Attach a shared KV byte budget (kv/kv_session.h): the KV trees
@@ -233,29 +237,31 @@ class FastTtsEngine
     void attachKvLedger(KvBudgetLedger *ledger) { ledger_ = ledger; }
 
     /** KV budget shared by the two models (bytes). */
-    double kvBudgetBytes() const { return kvBudget_; }
+    [[nodiscard]] double kvBudgetBytes() const { return kvBudget_; }
 
     /** Clock of the last run (utilization trace when recordTrace). */
-    const SimClock &clock() const;
+    [[nodiscard]] const SimClock &clock() const;
 
     /** Allocation plan of the last iteration. */
-    const AllocationPlan &currentPlan() const;
+    [[nodiscard]] const AllocationPlan &currentPlan() const;
 
     /** Per-iteration snapshots of the last run. */
-    const std::vector<IterationStats> &iterationStats() const;
+    [[nodiscard]] const std::vector<IterationStats> &
+    iterationStats() const;
 
     /** Generator-side KV cache (introspection for benches/tests). */
-    const KvCacheManager &generatorKv() const;
+    [[nodiscard]] const KvCacheManager &generatorKv() const;
 
     /** Verifier-side KV cache. */
-    const KvCacheManager &verifierKv() const;
+    [[nodiscard]] const KvCacheManager &verifierKv() const;
 
     /** Step-length histogram access: samples recorded per step index
      *  of the last run (for Fig. 3 right). */
-    const std::vector<std::vector<int>> &stepTokenSamples() const;
+    [[nodiscard]] const std::vector<std::vector<int>> &
+    stepTokenSamples() const;
 
     /** Beams forcibly terminated because they could never fit. */
-    int forcedTerminations() const;
+    [[nodiscard]] int forcedTerminations() const;
 
   private:
     struct ActiveBeam;
@@ -324,25 +330,28 @@ class SuspendedEngineRequest
     SuspendedEngineRequest &operator=(SuspendedEngineRequest &&) noexcept;
 
     /** Whether this handle holds a parked request. */
-    bool valid() const { return ctx_ != nullptr; }
+    [[nodiscard]] bool valid() const { return ctx_ != nullptr; }
 
     /** Device bytes the parked request's KV trees still hold. */
-    double residentKvBytes() const;
+    [[nodiscard]] double residentKvBytes() const;
 
     /** Prompt tokens still awaiting chunked prefill (0 when the
      *  request began with an up-front prompt prefill). */
-    int promptTokensPending() const;
+    [[nodiscard]] int promptTokensPending() const;
 
     /** Beams still active in the parked request (batch schedulers
      *  budget decode waves with this). */
-    int activeBeams() const;
+    [[nodiscard]] int activeBeams() const;
 
     /**
      * Borrow the parked context for FastTtsEngine::stepBatch().
      * Ownership stays with the handle; the pointer is valid until the
      * handle is moved-from, reset or destroyed. Null when !valid().
      */
-    FastTtsEngine::RequestContext *context() const { return ctx_.get(); }
+    [[nodiscard]] FastTtsEngine::RequestContext *context() const
+    {
+        return ctx_.get();
+    }
 
     /**
      * Force-evict the parked request's KV state (KvSession::suspend

@@ -339,8 +339,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 // Park it immediately with a deferred prompt: the
                 // scheduler feeds the prompt in chunks so it never
                 // stalls the decoders already in the batch.
-                system_.startSuspended(flight.sysId,
-                                       /*defer_prompt=*/true);
+                checkOk(system_.startSuspended(flight.sysId,
+                                               /*defer_prompt=*/true));
                 inflight.push_back(std::move(flight));
             }
 
@@ -444,7 +444,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                         results_sink->push_back(*std::move(result));
                 }
                 records.push_back(flight.rec);
-                system_.release(flight.sysId);
+                checkOk(system_.release(flight.sysId));
                 inflight.erase(inflight.begin()
                                + static_cast<long>(idx));
             }
@@ -630,7 +630,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         // --- Mount the chosen request on the engine. ---
         if (current != chosen) {
             if (current != kNone) {
-                system_.suspend(inflight[current].sysId);
+                checkOk(system_.suspend(inflight[current].sysId));
                 ++inflight[current].rec.preemptions;
                 ++context_switches;
                 // Mid-run switches only happen through slice-mode
@@ -668,7 +668,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                         f.ticket.meta.problemId)],
                     std::move(callbacks));
             } else {
-                system_.resume(f.sysId);
+                checkOk(system_.resume(f.sysId));
             }
             current = chosen;
         }
@@ -719,7 +719,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             if (results_sink)
                 results_sink->push_back(box.result);
             records.push_back(flight.rec);
-            system_.release(flight.sysId);
+            checkOk(system_.release(flight.sysId));
             const size_t finished = current;
             inflight.erase(inflight.begin()
                            + static_cast<long>(finished));

@@ -101,17 +101,20 @@ struct OnlineRequestRecord
      *  round-robin rotation, not only policy-driven preemption. */
     int preemptions = 0;
 
-    double queueDelay() const { return start - arrival; }
+    [[nodiscard]] double queueDelay() const { return start - arrival; }
 
     /** Wall time between service start and completion. Under
      *  interleaving this includes slices the device spent on other
      *  requests — use activeTime for device-time accounting. */
-    double serviceTime() const { return finish - start; }
+    [[nodiscard]] double serviceTime() const { return finish - start; }
 
-    double latency() const { return finish - arrival; }
+    [[nodiscard]] double latency() const { return finish - arrival; }
 
-    bool hasDeadline() const { return std::isfinite(deadline); }
-    bool missedDeadline() const
+    [[nodiscard]] bool hasDeadline() const
+    {
+        return std::isfinite(deadline);
+    }
+    [[nodiscard]] bool missedDeadline() const
     {
         return hasDeadline() && finish > deadline;
     }
@@ -161,8 +164,8 @@ struct OnlineTraceResult
  * Safe on an empty record set: every statistic stays zero (no NaN or
  * division by zero). The cancelled count is the caller's to fill in.
  */
-OnlineTraceResult aggregateTrace(std::vector<OnlineRequestRecord> records,
-                                 double busy_time);
+[[nodiscard]] OnlineTraceResult
+aggregateTrace(std::vector<OnlineRequestRecord> records, double busy_time);
 
 /** Queueing/scheduling configuration of an OnlineServer. */
 struct OnlineServerOptions
@@ -249,13 +252,14 @@ class OnlineServer
      * @param arrival_rate Requests per second (lambda).
      * @param seed Arrival-process seed.
      */
-    OnlineTraceResult serveTrace(int num_requests, double arrival_rate,
-                                 uint64_t seed);
+    [[nodiscard]] OnlineTraceResult
+    serveTrace(int num_requests, double arrival_rate, uint64_t seed);
 
     /** Serve requests with explicit arrival times (sorted ascending),
      *  cycling through the problem set with the server-default SLO.
      *  Non-finite arrival times yield the empty trace. */
-    OnlineTraceResult serveArrivals(const std::vector<double> &arrivals);
+    [[nodiscard]] OnlineTraceResult
+    serveArrivals(const std::vector<double> &arrivals);
 
     /**
      * Serve an explicit request trace (the most general entry point:
@@ -275,19 +279,25 @@ class OnlineServer
      * online serving share ONE serve loop (admission policy, batching
      * mode and KV budget all apply).
      */
-    BatchResult serveProblems(int num_problems);
+    [[nodiscard]] BatchResult serveProblems(int num_problems);
 
     /** The single shared serving system (all in-flight requests). */
     ServingSystem &system() { return system_; }
 
     /** The shared KV budget every in-flight request charges. */
-    const KvBudgetLedger &kvLedger() const { return *ledger_; }
+    [[nodiscard]] const KvBudgetLedger &kvLedger() const
+    {
+        return *ledger_;
+    }
 
     /** The queueing/scheduling configuration. */
-    const OnlineServerOptions &onlineOptions() const { return online_; }
+    [[nodiscard]] const OnlineServerOptions &onlineOptions() const
+    {
+        return online_;
+    }
 
     /** The admission policy instance. */
-    const QueuePolicy &policy() const { return *policy_; }
+    [[nodiscard]] const QueuePolicy &policy() const { return *policy_; }
 
   private:
     OnlineServer(ServingSystem system,
@@ -317,8 +327,8 @@ class OnlineServer
  * Poisson arrival process: n exponential inter-arrival gaps of rate
  * `rate` (the stream serveTrace() serves).
  */
-std::vector<double> poissonArrivalTrace(int n, double rate,
-                                        uint64_t seed);
+[[nodiscard]] std::vector<double> poissonArrivalTrace(int n, double rate,
+                                                      uint64_t seed);
 
 /**
  * Heavy-tailed (bursty) arrival process: Pareto inter-arrival gaps
@@ -326,8 +336,8 @@ std::vector<double> poissonArrivalTrace(int n, double rate,
  * bursts of closely spaced requests, the regime where admission
  * policy choice matters most.
  */
-std::vector<double> burstyArrivalTrace(int n, double rate,
-                                       uint64_t seed);
+[[nodiscard]] std::vector<double> burstyArrivalTrace(int n, double rate,
+                                                     uint64_t seed);
 
 /**
  * Arrival-process factory by mode name: "poisson" or "bursty".

@@ -79,7 +79,7 @@ ServingSystem::serveProblems(int num_problems)
     drain();
     for (const RequestId id : ids) {
         results.push_back(*result(id));
-        release(id); // Batch-owned records; don't accumulate.
+        checkOk(release(id)); // Batch-owned records; don't accumulate.
     }
     return aggregateResults(std::move(results), options_.numBeams);
 }
@@ -408,6 +408,7 @@ size_t
 ServingSystem::pendingRequests() const
 {
     size_t pending = 0;
+    // fasttts-lint: allow(unordered-iter) order-independent count
     for (const auto &[id, request] : requests_) {
         if (request.state == RequestState::Queued
             || request.state == RequestState::Running

@@ -185,13 +185,13 @@ class ServingSystem
      * one request at a time, so any pending async work is drained
      * first — a sync call can never corrupt an in-flight request.
      */
-    RequestResult serve(const Problem &problem);
+    [[nodiscard]] RequestResult serve(const Problem &problem);
 
     /**
      * Serve the first num_problems of the dataset's problem set
      * (implemented on the async submit/step path) and aggregate.
      */
-    BatchResult serveProblems(int num_problems);
+    [[nodiscard]] BatchResult serveProblems(int num_problems);
 
     // --- Request-level async serving ---
 
@@ -200,7 +200,7 @@ class ServingSystem
      * engine serves one request at a time (a TTS request is itself a
      * device-filling parallel job).
      */
-    RequestId submit(const Problem &problem,
+    [[nodiscard]] RequestId submit(const Problem &problem,
                      RequestCallbacks callbacks = {});
 
     /**
@@ -293,7 +293,7 @@ class ServingSystem
     StatusOr<RequestResult> result(RequestId id) const;
 
     /** Submitted requests not yet completed or cancelled. */
-    size_t pendingRequests() const;
+    [[nodiscard]] size_t pendingRequests() const;
 
     /**
      * Drop the record of a completed or cancelled request (its result
@@ -319,14 +319,20 @@ class ServingSystem
     }
 
     /** The options the system was built with. */
-    const ServingOptions &options() const { return options_; }
+    [[nodiscard]] const ServingOptions &options() const
+    {
+        return options_;
+    }
 
     /** Underlying engine (introspection for benches). */
     FastTtsEngine &engine() { return *engine_; }
     const FastTtsEngine &engine() const { return *engine_; }
 
     /** The deterministic problem set this system serves. */
-    const std::vector<Problem> &problems() const { return problems_; }
+    [[nodiscard]] const std::vector<Problem> &problems() const
+    {
+        return problems_;
+    }
 
   private:
     struct Request
@@ -362,8 +368,8 @@ class ServingSystem
 
 /** Aggregate a set of request results into a BatchResult. Safe on an
  *  empty set: every aggregate field stays zero. */
-BatchResult aggregateResults(std::vector<RequestResult> requests,
-                             int num_beams);
+[[nodiscard]] BatchResult
+aggregateResults(std::vector<RequestResult> requests, int num_beams);
 
 } // namespace fasttts
 

@@ -37,10 +37,13 @@ class SpeculativePolicy
     SpeculativePolicy(int branch_factor, double truncation_ratio);
 
     /** Branching factor B. */
-    int branchFactor() const { return branchFactor_; }
+    [[nodiscard]] int branchFactor() const { return branchFactor_; }
 
     /** Truncation ratio R. */
-    double truncationRatio() const { return truncationRatio_; }
+    [[nodiscard]] double truncationRatio() const
+    {
+        return truncationRatio_;
+    }
 
     /**
      * Bin edges of one iteration's score set: the [lo, hi] range that
@@ -57,7 +60,8 @@ class SpeculativePolicy
     };
 
     /** Scan the score set once for its bin edges. */
-    ScoreBins scoreBins(const std::vector<double> &scores) const;
+    [[nodiscard]] ScoreBins
+    scoreBins(const std::vector<double> &scores) const;
 
     /**
      * Speculative potential M_i of a beam: the maximum number of
@@ -67,13 +71,15 @@ class SpeculativePolicy
      *        the bin edges for this iteration).
      * @return M_i in [1, B].
      */
-    int speculativePotential(double prev_score,
-                             const std::vector<double> &scores) const;
+    [[nodiscard]] int
+    speculativePotential(double prev_score,
+                         const std::vector<double> &scores) const;
 
     /** O(1) variant against pre-computed bin edges; identical result
      *  to speculativePotential(prev_score, scores) for
      *  bins = scoreBins(scores). */
-    int binnedPotential(double prev_score, const ScoreBins &bins) const;
+    [[nodiscard]] int
+    binnedPotential(double prev_score, const ScoreBins &bins) const;
 
     /**
      * Tokens a duplicate keeps from a speculated segment of spec_len
@@ -81,7 +87,7 @@ class SpeculativePolicy
      * [0, spec_len]. Timing-only randomness (does not affect search
      * decisions).
      */
-    int truncationKeep(int spec_len, Rng &rng) const;
+    [[nodiscard]] int truncationKeep(int spec_len, Rng &rng) const;
 
   private:
     int branchFactor_;

@@ -49,24 +49,29 @@ struct StepDraw
  * @param cap Generation-stage token cap (varying granularity);
  *        pass INT_MAX for none.
  */
-StepDraw drawStep(const SyntheticGenerator &gen, const Problem &problem,
-                  uint64_t lineage_seed, int step_index,
-                  double parent_quality, int cap);
+[[nodiscard]] StepDraw
+drawStep(const SyntheticGenerator &gen, const Problem &problem,
+         uint64_t lineage_seed, int step_index, double parent_quality,
+         int cap);
 
 /** Deterministic verifier score of the step. */
-double drawScore(const SyntheticVerifier &ver, uint64_t lineage_seed,
-                 int step_index, double step_quality);
+[[nodiscard]] double
+drawScore(const SyntheticVerifier &ver, uint64_t lineage_seed,
+          int step_index, double step_quality);
 
 /** Lineage seed of child j spawned after the parent completed a step. */
-uint64_t childLineageSeed(uint64_t parent_seed, int step_index,
-                          int child_index);
+[[nodiscard]] uint64_t
+childLineageSeed(uint64_t parent_seed, int step_index,
+                 int child_index);
 
 /** Lineage seed of initial beam i of a problem. */
-uint64_t rootLineageSeed(const Problem &problem, int beam_index);
+[[nodiscard]] uint64_t
+rootLineageSeed(const Problem &problem, int beam_index);
 
 /** Initial quality of a root beam (before step 0). */
-double rootQuality(const SyntheticGenerator &gen, const Problem &problem,
-                   int beam_index);
+[[nodiscard]] double
+rootQuality(const SyntheticGenerator &gen, const Problem &problem,
+            int beam_index);
 
 } // namespace fasttts
 

@@ -30,7 +30,7 @@ class BlockAllocator
     explicit BlockAllocator(size_t total_blocks);
 
     /** Try to allocate n blocks; returns false (no change) on failure. */
-    bool allocate(size_t n);
+    [[nodiscard]] bool allocate(size_t n);
 
     /** Return n blocks to the pool. Releasing more than used() is a
      *  caller accounting bug: the release is clamped to used() and
@@ -38,22 +38,25 @@ class BlockAllocator
     void release(size_t n);
 
     /** Pool capacity. */
-    size_t total() const { return total_; }
+    [[nodiscard]] size_t total() const { return total_; }
 
     /** Blocks currently allocated. */
-    size_t used() const { return used_; }
+    [[nodiscard]] size_t used() const { return used_; }
 
     /** Blocks currently free. */
-    size_t free() const { return total_ - used_; }
+    [[nodiscard]] size_t free() const { return total_ - used_; }
 
     /** Highest simultaneous usage seen. */
-    size_t peakUsed() const { return peakUsed_; }
+    [[nodiscard]] size_t peakUsed() const { return peakUsed_; }
 
     /** Number of allocation calls that failed for lack of space. */
-    uint64_t failedAllocations() const { return failed_; }
+    [[nodiscard]] uint64_t failedAllocations() const { return failed_; }
 
     /** Number of release calls clamped because they exceeded used(). */
-    uint64_t clampedReleases() const { return clampedReleases_; }
+    [[nodiscard]] uint64_t clampedReleases() const
+    {
+        return clampedReleases_;
+    }
 
     /** Grow or shrink the pool (re-planning by the memory allocator).
      *  Shrinking below used() clamps capacity to used(). */

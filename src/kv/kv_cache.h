@@ -84,32 +84,33 @@ class KvCacheManager
     void attachLedger(KvBudgetLedger *ledger);
 
     /** The attached shared ledger (nullptr when standalone). */
-    KvBudgetLedger *ledger() const { return ledger_; }
+    [[nodiscard]] KvBudgetLedger *ledger() const { return ledger_; }
 
     // ------------------------------------------------------------------
     // Tree structure
     // ------------------------------------------------------------------
 
     /** Child of parent holding segment seg_id, or kInvalid. */
-    NodeId childOf(NodeId parent, uint64_t seg_id) const;
+    [[nodiscard]] NodeId childOf(NodeId parent, uint64_t seg_id) const;
 
     /**
      * Create a child node for a new thinking-step segment. The node
      * starts non-resident with zero references; call retain() +
      * ensureResident() to pin and materialise it.
      */
-    NodeId createChild(NodeId parent, uint64_t seg_id, int tokens);
+    [[nodiscard]] NodeId createChild(NodeId parent, uint64_t seg_id,
+                                     int tokens);
 
     /** Segment token count of a node. */
-    int nodeTokens(NodeId node) const;
+    [[nodiscard]] int nodeTokens(NodeId node) const;
 
     /** Total tokens on the root->leaf path (context length). O(1):
      *  served from a per-node cached prefix sum that createChild /
      *  appendTokens / truncateTokens maintain incrementally. */
-    int pathTokens(NodeId leaf) const;
+    [[nodiscard]] int pathTokens(NodeId leaf) const;
 
     /** Parent node id (kInvalid for root). */
-    NodeId parentOf(NodeId node) const;
+    [[nodiscard]] NodeId parentOf(NodeId node) const;
 
     /**
      * Grow a leaf segment by delta tokens (incremental decoding). When
@@ -120,8 +121,8 @@ class KvCacheManager
      *        used (speculative work must never evict cache that
      *        standard beams still need).
      */
-    bool appendTokens(NodeId node, int delta, uint64_t tick,
-                      bool allow_evict = true);
+    [[nodiscard]] bool appendTokens(NodeId node, int delta, uint64_t tick,
+                                    bool allow_evict = true);
 
     /** Shrink a leaf segment (speculative-token truncation). */
     void truncateTokens(NodeId node, int new_tokens);
@@ -137,7 +138,7 @@ class KvCacheManager
     void release(NodeId leaf);
 
     /** Active references on a node. */
-    int refCount(NodeId node) const;
+    [[nodiscard]] int refCount(NodeId node) const;
 
     // ------------------------------------------------------------------
     // Residency
@@ -157,13 +158,13 @@ class KvCacheManager
      * never-materialised nodes; the caller charges prefill time for
      * them.
      */
-    TouchResult ensureResident(NodeId leaf, uint64_t tick);
+    [[nodiscard]] TouchResult ensureResident(NodeId leaf, uint64_t tick);
 
     /** Whether a node's blocks are on device. */
-    bool isResident(NodeId node) const;
+    [[nodiscard]] bool isResident(NodeId node) const;
 
     /** Tokens of the path that are currently resident (prefix hit). */
-    int residentPrefixTokens(NodeId leaf) const;
+    [[nodiscard]] int residentPrefixTokens(NodeId leaf) const;
 
     /**
      * Force-evict every resident node except the root, regardless of
@@ -179,39 +180,42 @@ class KvCacheManager
     /** Deepest resident node of every cached path (resident nodes
      *  with no resident children), excluding the root; the snapshot
      *  KvSession::suspend() restores from. */
-    std::vector<NodeId> residentFrontier() const;
+    [[nodiscard]] std::vector<NodeId> residentFrontier() const;
 
     // ------------------------------------------------------------------
     // Introspection / metrics
     // ------------------------------------------------------------------
 
     /** Pool accounting. */
-    const BlockAllocator &allocator() const { return alloc_; }
+    [[nodiscard]] const BlockAllocator &allocator() const { return alloc_; }
 
     /**
      * Blocks this manager could allocate right now without eviction:
      * the local pool's free count, further capped by the shared
      * ledger's remaining bytes when one is attached.
      */
-    size_t freeBlocks() const;
+    [[nodiscard]] size_t freeBlocks() const;
 
     /** Bytes one block of this manager occupies. */
-    double blockBytes() const { return blockTokens_ * kvBytesPerToken_; }
+    [[nodiscard]] double blockBytes() const
+    {
+        return blockTokens_ * kvBytesPerToken_;
+    }
 
     /** Device bytes currently held (used blocks x block bytes). */
-    double residentBytes() const;
+    [[nodiscard]] double residentBytes() const;
 
     /** Running statistics. */
-    const KvStats &stats() const { return stats_; }
+    [[nodiscard]] const KvStats &stats() const { return stats_; }
 
     /** Number of live (not erased) nodes, excluding root. O(1). */
-    int nodeCount() const;
+    [[nodiscard]] int nodeCount() const;
 
     /** Number of resident nodes, excluding root. */
-    int residentNodeCount() const;
+    [[nodiscard]] int residentNodeCount() const;
 
     /** Total resident tokens (unique; prefix shared once). */
-    long residentTokens() const;
+    [[nodiscard]] long residentTokens() const;
 
     /**
      * Tokens that would be resident if no prefix sharing existed
@@ -219,19 +223,19 @@ class KvCacheManager
      * the "w/o prefix cache" series of Fig. 5. O(1): counter-backed,
      * maintained by retain/release/append/truncate.
      */
-    long unsharedTokens() const;
+    [[nodiscard]] long unsharedTokens() const;
 
     /** Tokens per block. */
-    int blockTokens() const { return blockTokens_; }
+    [[nodiscard]] int blockTokens() const { return blockTokens_; }
 
     /** Re-plan the budget (asymmetric allocator updates). */
     void setBudgetBytes(double budget_bytes);
 
     /** Budget in bytes. */
-    double budgetBytes() const;
+    [[nodiscard]] double budgetBytes() const;
 
     /** Blocks needed for n tokens. */
-    size_t blocksFor(int tokens) const;
+    [[nodiscard]] size_t blocksFor(int tokens) const;
 
   private:
     struct Node

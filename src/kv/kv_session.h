@@ -51,20 +51,20 @@ class KvBudgetLedger
     explicit KvBudgetLedger(double total_bytes);
 
     /** Try to charge `bytes`; false (no change) when over budget. */
-    bool charge(double bytes);
+    [[nodiscard]] bool charge(double bytes);
 
     /** Return `bytes` to the pool (clamped at zero occupancy). */
     void release(double bytes);
 
-    double totalBytes() const { return total_; }
-    double usedBytes() const { return used_; }
-    double freeBytes() const { return total_ - used_; }
+    [[nodiscard]] double totalBytes() const { return total_; }
+    [[nodiscard]] double usedBytes() const { return used_; }
+    [[nodiscard]] double freeBytes() const { return total_ - used_; }
 
     /** Highest simultaneous occupancy seen. */
-    double peakUsedBytes() const { return peak_; }
+    [[nodiscard]] double peakUsedBytes() const { return peak_; }
 
     /** Charges refused for lack of budget. */
-    uint64_t failedCharges() const { return failed_; }
+    [[nodiscard]] uint64_t failedCharges() const { return failed_; }
 
   private:
     double total_;
@@ -115,9 +115,9 @@ class KvSession
     long resume(uint64_t tick);
 
     /** Whether suspend() ran without a matching resume(). */
-    bool suspended() const { return suspended_; }
+    [[nodiscard]] bool suspended() const { return suspended_; }
 
-    const KvSessionStats &stats() const { return stats_; }
+    [[nodiscard]] const KvSessionStats &stats() const { return stats_; }
 
   private:
     KvCacheManager *kv_;

@@ -59,11 +59,12 @@ Registry<ModelSpec> &
 modelRegistry()
 {
     static Registry<ModelSpec> *registry = [] {
+        // fasttts-lint: allow(naked-new) leaky registry singleton
         auto *r = new Registry<ModelSpec>("model");
-        r->add("qwen1.5b", qwen25Math1_5B);
-        r->add("qwen7b", qwen25Math7B);
-        r->add("shepherd7b", mathShepherd7B);
-        r->add("skywork1.5b", skywork1_5B);
+        checkOk(r->add("qwen1.5b", qwen25Math1_5B));
+        checkOk(r->add("qwen7b", qwen25Math7B));
+        checkOk(r->add("shepherd7b", mathShepherd7B));
+        checkOk(r->add("skywork1.5b", skywork1_5B));
         return r;
     }();
     return *registry;
@@ -105,10 +106,11 @@ Registry<ModelConfig> &
 modelConfigRegistry()
 {
     static Registry<ModelConfig> *registry = [] {
+        // fasttts-lint: allow(naked-new) leaky registry singleton
         auto *r = new Registry<ModelConfig>("model config");
-        r->add("1.5B+1.5B", config1_5Bplus1_5B);
-        r->add("1.5B+7B", config1_5Bplus7B);
-        r->add("7B+1.5B", config7Bplus1_5B);
+        checkOk(r->add("1.5B+1.5B", config1_5Bplus1_5B));
+        checkOk(r->add("1.5B+7B", config1_5Bplus7B));
+        checkOk(r->add("7B+1.5B", config7Bplus1_5B));
         return r;
     }();
     return *registry;

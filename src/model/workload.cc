@@ -92,11 +92,12 @@ Registry<DatasetProfile> &
 datasetRegistry()
 {
     static Registry<DatasetProfile> *registry = [] {
+        // fasttts-lint: allow(naked-new) leaky registry singleton
         auto *r = new Registry<DatasetProfile>("dataset");
-        r->add("AIME", aime2024);
-        r->add("AMC", amc2023);
-        r->add("MATH500", math500);
-        r->add("HumanEval", humanEval);
+        checkOk(r->add("AIME", aime2024));
+        checkOk(r->add("AMC", amc2023));
+        checkOk(r->add("MATH500", math500));
+        checkOk(r->add("HumanEval", humanEval));
         return r;
     }();
     return *registry;

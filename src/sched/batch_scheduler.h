@@ -53,10 +53,10 @@ struct BatchPlan
     std::vector<BatchPlanEntry> entries;
     long plannedTokens = 0; //!< Sum of entry token budgets.
 
-    bool empty() const { return entries.empty(); }
+    [[nodiscard]] bool empty() const { return entries.empty(); }
 
     /** Planned decode members (the wave's batch occupancy). */
-    int decodeMembers() const;
+    [[nodiscard]] int decodeMembers() const;
 };
 
 /** What the scheduler knows about one schedulable request. */
@@ -92,10 +92,11 @@ class BatchScheduler
      * is always admitted even when its demand alone exceeds the
      * budget (progress guarantee).
      */
-    BatchPlan plan(const std::vector<BatchCandidate> &candidates) const;
+    [[nodiscard]] BatchPlan
+    plan(const std::vector<BatchCandidate> &candidates) const;
 
-    int maxBatchedTokens() const { return maxBatchedTokens_; }
-    int prefillChunk() const { return prefillChunk_; }
+    [[nodiscard]] int maxBatchedTokens() const { return maxBatchedTokens_; }
+    [[nodiscard]] int prefillChunk() const { return prefillChunk_; }
 
   private:
     int maxBatchedTokens_;

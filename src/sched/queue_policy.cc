@@ -184,12 +184,13 @@ Registry<std::unique_ptr<QueuePolicy>> &
 queuePolicyRegistry()
 {
     static Registry<std::unique_ptr<QueuePolicy>> *registry = [] {
+        // fasttts-lint: allow(naked-new) leaky registry singleton
         auto *r = new Registry<std::unique_ptr<QueuePolicy>>(
             "queue policy");
-        r->add("fifo", [] { return makeFifoPolicy(); });
-        r->add("priority", [] { return makePriorityPolicy(); });
-        r->add("sjf", [] { return makeSjfPolicy(); });
-        r->add("edf", [] { return makeEdfPolicy(); });
+        checkOk(r->add("fifo", [] { return makeFifoPolicy(); }));
+        checkOk(r->add("priority", [] { return makePriorityPolicy(); }));
+        checkOk(r->add("sjf", [] { return makeSjfPolicy(); }));
+        checkOk(r->add("edf", [] { return makeEdfPolicy(); }));
         return r;
     }();
     return *registry;

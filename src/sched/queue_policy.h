@@ -76,7 +76,7 @@ class QueuePolicy
     virtual ~QueuePolicy() = default;
 
     /** Policy name for reports. */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /**
      * Index into `pending` of the request to admit next.
@@ -84,8 +84,8 @@ class QueuePolicy
      * @param now Current wall-clock time (s); every pending arrival
      *            is <= now.
      */
-    virtual size_t pick(const std::vector<QueuedRequest> &pending,
-                        double now) = 0;
+    [[nodiscard]] virtual size_t
+    pick(const std::vector<QueuedRequest> &pending, double now) = 0;
 
     /**
      * Preemptive variant (OnlineServer's --preempt policy mode):
@@ -99,9 +99,9 @@ class QueuePolicy
      * of their pick() ordering — strict so equal-urgency requests
      * cannot thrash the engine with suspend/resume cycles.
      */
-    virtual bool shouldPreempt(const QueuedRequest &running,
-                               const QueuedRequest &challenger,
-                               double now)
+    [[nodiscard]] virtual bool
+    shouldPreempt(const QueuedRequest &running,
+                  const QueuedRequest &challenger, double now)
     {
         (void)running;
         (void)challenger;
@@ -111,7 +111,7 @@ class QueuePolicy
 };
 
 /** Arrival order — the legacy OnlineServer behaviour. */
-std::unique_ptr<QueuePolicy> makeFifoPolicy();
+[[nodiscard]] std::unique_ptr<QueuePolicy> makeFifoPolicy();
 
 /**
  * Highest priority first with aging: a request's effective priority is
@@ -119,7 +119,7 @@ std::unique_ptr<QueuePolicy> makeFifoPolicy();
  * rate bounds how long a low-priority request can starve. Ties go to
  * the earlier arrival.
  */
-std::unique_ptr<QueuePolicy>
+[[nodiscard]] std::unique_ptr<QueuePolicy>
 makePriorityPolicy(double aging_per_second = 0.05);
 
 /**
@@ -127,14 +127,14 @@ makePriorityPolicy(double aging_per_second = 0.05);
  * admitting the request with the smallest roofline-predicted service
  * time. Ties go to the earlier arrival.
  */
-std::unique_ptr<QueuePolicy> makeSjfPolicy();
+[[nodiscard]] std::unique_ptr<QueuePolicy> makeSjfPolicy();
 
 /**
  * Earliest deadline first: classic SLO-aware admission. Requests
  * without a deadline (infinity) sort last; ties go to the earlier
  * arrival.
  */
-std::unique_ptr<QueuePolicy> makeEdfPolicy();
+[[nodiscard]] std::unique_ptr<QueuePolicy> makeEdfPolicy();
 
 /**
  * The queue-policy registry. Ships with "fifo", "priority", "sjf" and
@@ -157,7 +157,7 @@ makeQueuePolicy(const std::string &name);
  * heuristic — it sees only pre-serving observables (prompt length and
  * dataset statistics), never the request's sampled trajectory.
  */
-double predictServiceTime(const RooflineModel &roofline,
+[[nodiscard]] double predictServiceTime(const RooflineModel &roofline,
                           const ModelConfig &models,
                           const DatasetProfile &profile,
                           const Problem &problem, int num_beams);
@@ -170,7 +170,7 @@ double predictServiceTime(const RooflineModel &roofline,
  * ranking/gating heuristic from pre-serving observables only — it
  * never sees the request's sampled trajectory.
  */
-double predictKvWorkingSetBytes(const ModelConfig &models,
+[[nodiscard]] double predictKvWorkingSetBytes(const ModelConfig &models,
                                 const DatasetProfile &profile,
                                 const Problem &problem, int num_beams);
 

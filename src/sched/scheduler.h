@@ -42,7 +42,8 @@ struct SchedEntry
  * Shared-prefix size in tokens between two leaves' root paths — the
  * P(c_i, c_j) of the paper's objective.
  */
-int sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b);
+[[nodiscard]] int
+sharedPrefixTokens(const KvCacheManager &kv, int leaf_a, int leaf_b);
 
 /**
  * Ancestor depth map of one anchor leaf, built once and queried
@@ -59,7 +60,8 @@ class SharedPrefixMap
 
     /** Shared-prefix tokens between the anchor and leaf_b; equals
      *  sharedPrefixTokens(kv, anchor, leaf_b). */
-    int sharedWith(const KvCacheManager &kv, int leaf_b) const;
+    [[nodiscard]] int
+    sharedWith(const KvCacheManager &kv, int leaf_b) const;
 
   private:
     std::unordered_map<int, int> depthOf_;
@@ -70,12 +72,14 @@ class SharedPrefixMap
  * of (tokens(T_i) - P(T_i, T_i+1)); lower is better. Used by tests and
  * the Fig. 18 bench.
  */
-long scheduleEvictionCost(const KvCacheManager &kv,
-                          const std::vector<SchedEntry> &order);
+[[nodiscard]] long
+scheduleEvictionCost(const KvCacheManager &kv,
+                     const std::vector<SchedEntry> &order);
 
 /** Sum of adjacent shared prefixes (the maximisation objective). */
-long scheduleSharedPrefixSum(const KvCacheManager &kv,
-                             const std::vector<SchedEntry> &order);
+[[nodiscard]] long
+scheduleSharedPrefixSum(const KvCacheManager &kv,
+                        const std::vector<SchedEntry> &order);
 
 /**
  * Ordering policy interface.
@@ -86,7 +90,7 @@ class BeamScheduler
     virtual ~BeamScheduler() = default;
 
     /** Policy name for reports. */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /** Reorder entries in place. */
     virtual void order(std::vector<SchedEntry> &entries,
@@ -94,13 +98,13 @@ class BeamScheduler
 };
 
 /** Arrival-order (beam id) scheduling. */
-std::unique_ptr<BeamScheduler> makeFifoScheduler();
+[[nodiscard]] std::unique_ptr<BeamScheduler> makeFifoScheduler();
 
 /** Uniform random order — the vLLM baseline of Fig. 18. */
-std::unique_ptr<BeamScheduler> makeRandomScheduler();
+[[nodiscard]] std::unique_ptr<BeamScheduler> makeRandomScheduler();
 
 /** Adversarial order minimising adjacent prefix sharing. */
-std::unique_ptr<BeamScheduler> makeWorstCaseScheduler();
+[[nodiscard]] std::unique_ptr<BeamScheduler> makeWorstCaseScheduler();
 
 /**
  * Dynamic Prefix-Aware Scheduling: greedy argmax of the shared prefix
@@ -108,17 +112,19 @@ std::unique_ptr<BeamScheduler> makeWorstCaseScheduler();
  * the paper — by grouping beams spawned from the same parent while
  * preserving the parents' relative order across iterations.
  */
-std::unique_ptr<BeamScheduler> makePrefixAwareScheduler();
+[[nodiscard]] std::unique_ptr<BeamScheduler> makePrefixAwareScheduler();
 
 /**
  * The literal greedy argmax policy (O(n^2) reference implementation);
  * used by tests to validate that the grouping fast path matches it.
  */
-std::unique_ptr<BeamScheduler> makeGreedyPrefixScheduler();
+[[nodiscard]] std::unique_ptr<BeamScheduler>
+makeGreedyPrefixScheduler();
 
 /** Construct by name: "fifo", "random", "worst_case", "prefix_aware",
  *  "greedy_prefix". */
-std::unique_ptr<BeamScheduler> makeScheduler(const std::string &name);
+[[nodiscard]] std::unique_ptr<BeamScheduler>
+makeScheduler(const std::string &name);
 
 } // namespace fasttts
 

@@ -300,17 +300,17 @@ algorithmRegistry()
     static Registry<std::unique_ptr<SearchAlgorithm>, int, int>
         *registry = [] {
             auto *r =
+                // fasttts-lint: allow(naked-new) leaky singleton
                 new Registry<std::unique_ptr<SearchAlgorithm>, int, int>(
                     "algorithm");
-            r->add("best_of_n",
-                   [](int n, int branch) {
-                       (void)branch;
-                       return makeBestOfN(n);
-                   });
-            r->add("beam_search", makeBeamSearch);
-            r->add("dvts", makeDvts);
-            r->add("dynamic_branching", makeDynamicBranching);
-            r->add("varying_granularity", makeVaryingGranularity);
+            checkOk(r->add("best_of_n", [](int n, int branch) {
+                (void)branch;
+                return makeBestOfN(n);
+            }));
+            checkOk(r->add("beam_search", makeBeamSearch));
+            checkOk(r->add("dvts", makeDvts));
+            checkOk(r->add("dynamic_branching", makeDynamicBranching));
+            checkOk(r->add("varying_granularity", makeVaryingGranularity));
             return r;
         }();
     return *registry;

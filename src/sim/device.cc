@@ -61,11 +61,12 @@ Registry<DeviceSpec> &
 deviceRegistry()
 {
     static Registry<DeviceSpec> *registry = [] {
+        // fasttts-lint: allow(naked-new) leaky registry singleton
         auto *r = new Registry<DeviceSpec>("device");
-        r->add("RTX4090", rtx4090);
-        r->add("RTX4070Ti", rtx4070Ti);
-        r->add("RTX3070Ti", rtx3070Ti);
-        r->add("CloudA100", cloudA100);
+        checkOk(r->add("RTX4090", rtx4090));
+        checkOk(r->add("RTX4070Ti", rtx4070Ti));
+        checkOk(r->add("RTX3070Ti", rtx3070Ti));
+        checkOk(r->add("CloudA100", cloudA100));
         return r;
     }();
     return *registry;

@@ -1,0 +1,20 @@
+// Fixture: library-cout rule. Not compiled — linted against the
+// golden report in tests/lint/expected/library_cout.txt.
+#include <iostream>
+#include <sstream>
+
+void
+bad_print(int value)
+{
+    std::cout << "value = " << value << "\n"; // finding
+}
+
+std::string
+good_format(int value)
+{
+    std::ostringstream os; // building strings is fine
+    os << "value = " << value;
+    return os.str();
+}
+
+// std::cout in a comment is fine.

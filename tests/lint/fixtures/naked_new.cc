@@ -1,0 +1,30 @@
+// Fixture: naked-new rule. Not compiled — linted against the golden
+// report in tests/lint/expected/naked_new.txt.
+#include <memory>
+
+struct Widget
+{
+    int value = 0;
+};
+
+Widget *
+bad_factory()
+{
+    return new Widget(); // finding
+}
+
+std::unique_ptr<Widget>
+good_factory()
+{
+    return std::make_unique<Widget>();
+}
+
+Widget *
+allowed_singleton()
+{
+    // fasttts-lint: allow(naked-new) leaky singleton
+    static Widget *instance = new Widget();
+    return instance;
+}
+
+// "new" in a comment or a "brand new string" is fine.

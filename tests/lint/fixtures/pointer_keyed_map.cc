@@ -1,0 +1,13 @@
+// Fixture: pointer-keyed-map rule. Not compiled — linted against the
+// golden report in tests/lint/expected/pointer_keyed_map.txt.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node;
+
+std::map<Node *, int> bad_rank;     // finding: address order
+std::set<const Node *> bad_marked;  // finding: address order
+
+std::map<int, Node *> good_by_id;   // pointer values are fine
+std::map<std::string, int> good_by_name;

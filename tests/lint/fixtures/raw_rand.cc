@@ -1,0 +1,31 @@
+// Fixture: raw-rand rule. Not compiled — linted against the golden
+// report in tests/lint/expected/raw_rand.txt.
+#include <cstdlib>
+#include <random>
+
+int
+bad_random_device()
+{
+    std::random_device rd; // finding
+    return static_cast<int>(rd());
+}
+
+int
+bad_rand()
+{
+    return std::rand(); // finding
+}
+
+void
+bad_srand(unsigned seed)
+{
+    srand(seed); // finding
+}
+
+// rand() in a comment is fine, and identifiers merely containing the
+// substring are fine too:
+int
+operand_count(int operands)
+{
+    return operands;
+}

@@ -1,0 +1,44 @@
+// Fixture: unordered-iter rule. Not compiled — linted against the
+// golden report in tests/lint/expected/unordered_iter.txt.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::unordered_map<int, std::string> table;
+std::unordered_set<int> seen;
+
+std::vector<std::string>
+bad_range_for()
+{
+    std::vector<std::string> out;
+    for (const auto &[id, name] : table) // finding: hash order
+        out.push_back(name);
+    return out;
+}
+
+int
+bad_iterator_loop()
+{
+    int first = 0;
+    auto it = seen.begin(); // finding: hash order
+    if (it != seen.end())
+        first = *it;
+    return first;
+}
+
+bool
+good_lookup(int id)
+{
+    return seen.find(id) != seen.end(); // lookups are fine
+}
+
+int
+allowed_reduction()
+{
+    int total = 0;
+    // fasttts-lint: allow(unordered-iter) order-independent sum
+    for (int id : seen)
+        total += id;
+    return total;
+}

@@ -1,0 +1,35 @@
+// Fixture: wall-clock rule. Not compiled — linted against the golden
+// report in tests/lint/expected/wall_clock.txt.
+#include <chrono>
+#include <ctime>
+
+double
+bad_now_steady()
+{
+    auto t = std::chrono::steady_clock::now(); // finding
+    return t.time_since_epoch().count();
+}
+
+double
+bad_now_system()
+{
+    auto t = std::chrono::system_clock::now(); // finding
+    return t.time_since_epoch().count();
+}
+
+long
+bad_time_null()
+{
+    return time(nullptr); // finding
+}
+
+// Mentioning std::chrono::steady_clock in a comment is fine.
+const char *doc = "and \"std::chrono::system_clock\" in a string too";
+
+double
+allowed_site()
+{
+    // fasttts-lint: allow(wall-clock) fixture demonstrates the marker
+    auto t = std::chrono::high_resolution_clock::now();
+    return t.time_since_epoch().count();
+}

@@ -99,8 +99,8 @@ TEST(Registry, DuplicateAndEmptyNamesRejected)
 TEST(Registry, UnknownNameListsValidNames)
 {
     Registry<int> reg("widget");
-    reg.add("alpha", [] { return 1; });
-    reg.add("beta", [] { return 2; });
+    checkOk(reg.add("alpha", [] { return 1; }));
+    checkOk(reg.add("beta", [] { return 2; }));
     const auto missing = reg.create("gamma");
     ASSERT_FALSE(missing.ok());
     EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
@@ -113,7 +113,7 @@ TEST(Registry, UnknownNameListsValidNames)
 TEST(Registry, RemoveDropsEntries)
 {
     Registry<int> reg("widget");
-    reg.add("one", [] { return 1; });
+    checkOk(reg.add("one", [] { return 1; }));
     EXPECT_TRUE(reg.remove("one").ok());
     EXPECT_FALSE(reg.contains("one"));
     EXPECT_EQ(reg.remove("one").code(), StatusCode::kNotFound);
@@ -122,7 +122,7 @@ TEST(Registry, RemoveDropsEntries)
 TEST(Registry, FactoryArgumentsForwarded)
 {
     Registry<int, int, int> reg("adder");
-    reg.add("sum", [](int a, int b) { return a + b; });
+    checkOk(reg.add("sum", [](int a, int b) { return a + b; }));
     EXPECT_EQ(*reg.create("sum", 3, 4), 7);
 }
 
@@ -220,14 +220,17 @@ TEST(EngineArgsArgv, EqualsFormAndNoOffload)
     EXPECT_FALSE(args->offload);
 }
 
-TEST(EngineArgsArgv, LegacyPositionals)
+TEST(EngineArgsArgv, PositionalsAreRejected)
 {
+    // Bare positionals ([num_problems] [dataset]) completed their
+    // one-release deprecation window and are now hard errors that
+    // point at the replacement flags.
     const auto args = parse({"7", "MATH500"});
-    ASSERT_TRUE(args.ok());
-    EXPECT_EQ(args->numProblems, 7);
-    EXPECT_EQ(args->dataset, "MATH500");
+    EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(args.status().message().find("--problems"),
+              std::string::npos);
 
-    EXPECT_EQ(parse({"7", "MATH500", "extra"}).status().code(),
+    EXPECT_EQ(parse({"7"}).status().code(),
               StatusCode::kInvalidArgument);
     EXPECT_EQ(parse({"seven"}).status().code(),
               StatusCode::kInvalidArgument);
@@ -364,7 +367,8 @@ TEST(EngineArgsArgv, OffloadRejectsAttachedValue)
 
 TEST(EngineArgsArgv, ParsedFlagsRecorded)
 {
-    const auto args = parse({"--beams", "16", "--offload", "3", "AMC"});
+    const auto args = parse({"--beams", "16", "--offload",
+                             "--problems", "3", "--dataset", "AMC"});
     ASSERT_TRUE(args.ok());
     EXPECT_EQ(args->parsedFlags,
               (std::vector<std::string>{"--beams", "--offload",
@@ -383,7 +387,8 @@ TEST(EngineArgsArgv, UnsupportedFlagsRejected)
     EXPECT_NE(narrow.message().find("--beams"), std::string::npos);
     // A fully fixed tool accepts an empty command line only.
     EXPECT_TRUE(parse({})->rejectUnsupportedFlags({}).ok());
-    EXPECT_FALSE(parse({"4"})->rejectUnsupportedFlags({}).ok());
+    EXPECT_FALSE(
+        parse({"--problems", "4"})->rejectUnsupportedFlags({}).ok());
 }
 
 TEST(EngineArgsConvert, ProblemCountGrowsWithNumProblems)
@@ -659,10 +664,10 @@ TEST(EngineArgsOnline, FixedConfigToolsRejectOnlineFlags)
 
 TEST(EngineArgsOnline, WasSetDistinguishesExplicitFromDefault)
 {
-    const auto args = parse({"--slo", "0", "4"});
+    const auto args = parse({"--slo", "0", "--problems", "4"});
     ASSERT_TRUE(args.ok());
     EXPECT_TRUE(args->wasSet("--slo"));
-    EXPECT_TRUE(args->wasSet("--problems")); // Positional alias.
+    EXPECT_TRUE(args->wasSet("--problems"));
     EXPECT_FALSE(args->wasSet("--policy"));
     EXPECT_FALSE(EngineArgs().wasSet("--slo"));
 }
@@ -743,25 +748,19 @@ TEST(EngineArgsOnline, BatchingFlagValidation)
     EXPECT_NE(status.message().find("--batching"), std::string::npos);
 }
 
-TEST(EngineArgsArgv, LegacyPositionalsAreFlaggedDeprecated)
+TEST(EngineArgsArgv, HelpNoLongerAdvertisesPositionals)
 {
-    // Bare positionals still parse but mark the configuration so
-    // parseOrExit() can print the one-release deprecation warning;
-    // the equivalent flags do not trip it.
-    const auto positional = parse({"7", "MATH500"});
-    ASSERT_TRUE(positional.ok());
-    EXPECT_TRUE(positional->usedLegacyPositionals);
-
+    // The replacement flags keep working, and help() no longer
+    // documents the removed positional form.
     const auto flagged =
         parse({"--problems", "7", "--dataset", "MATH500"});
     ASSERT_TRUE(flagged.ok());
-    EXPECT_FALSE(flagged->usedLegacyPositionals);
-    EXPECT_EQ(flagged->numProblems, positional->numProblems);
-    EXPECT_EQ(flagged->dataset, positional->dataset);
+    EXPECT_EQ(flagged->numProblems, 7);
+    EXPECT_EQ(flagged->dataset, "MATH500");
 
-    EXPECT_FALSE(EngineArgs().usedLegacyPositionals);
     const std::string help = EngineArgs::help("prog");
-    EXPECT_NE(help.find("DEPRECATED"), std::string::npos);
+    EXPECT_EQ(help.find("DEPRECATED"), std::string::npos);
+    EXPECT_EQ(help.find("positional"), std::string::npos);
 }
 
 } // namespace

@@ -113,7 +113,7 @@ TEST(AsyncServing, StepReturnsFalseWhenIdle)
 {
     ServingSystem system = smallSystem();
     EXPECT_FALSE(system.step());
-    system.submit(system.problems()[0]);
+    (void)system.submit(system.problems()[0]);
     EXPECT_TRUE(system.step()); // At least one more iteration coming.
     system.drain();
     EXPECT_FALSE(system.step());
@@ -133,7 +133,7 @@ TEST(AsyncServing, CancelQueuedRequestNeverRuns)
         second_completed = true;
     };
 
-    system.submit(system.problems()[0], first_cb);
+    (void)system.submit(system.problems()[0], first_cb);
     const RequestId doomed =
         system.submit(system.problems()[1], second_cb);
 
@@ -246,7 +246,7 @@ TEST(AsyncServing, ReleaseDropsCompletedRecords)
 TEST(AsyncServing, ReleaseCancelledQueuedRequestIsSafe)
 {
     ServingSystem system = smallSystem();
-    system.submit(system.problems()[0]);
+    (void)system.submit(system.problems()[0]);
     const RequestId doomed = system.submit(system.problems()[1]);
     EXPECT_TRUE(system.cancel(doomed).ok());
     // Released while its id still sits in the admission queue.
@@ -258,8 +258,8 @@ TEST(AsyncServing, ReleaseCancelledQueuedRequestIsSafe)
 TEST(AsyncServing, ServeProblemsDoesNotAccumulateRecords)
 {
     ServingSystem system = smallSystem();
-    system.serveProblems(2);
-    system.serveProblems(2);
+    (void)system.serveProblems(2);
+    (void)system.serveProblems(2);
     // Batch-serving owns its records; nothing lingers afterwards.
     EXPECT_EQ(system.pendingRequests(), 0u);
     EXPECT_EQ(system.result(1).status().code(), StatusCode::kNotFound);
@@ -473,7 +473,7 @@ TEST(AsyncServing, StepReturnsScheduleOutcome)
     EXPECT_EQ(idle.tokensDecoded, 0);
     EXPECT_EQ(idle.waveTime, 0.0);
 
-    system.submit(system.problems()[0]);
+    (void)system.submit(system.problems()[0]);
     const ScheduleOutcome first = system.step();
     EXPECT_EQ(first.requestsAdvanced, 1);
     EXPECT_GT(first.tokensDecoded, 0);
@@ -639,7 +639,7 @@ TEST(AsyncServing, FusedWaveIsCheaperThanSerialSlices)
     double solo_sum = 0;
     for (int i = 0; i < kRequests; ++i) {
         ServingSystem one = smallSystem(8);
-        one.submit(one.problems()[static_cast<size_t>(i)]);
+        (void)one.submit(one.problems()[static_cast<size_t>(i)]);
         solo_sum += one.step().waveTime;
     }
     EXPECT_LT(outcome->schedule.waveTime, solo_sum);

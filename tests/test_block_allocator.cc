@@ -51,7 +51,7 @@ TEST(BlockAllocator, ZeroAllocationAlwaysSucceeds)
 TEST(BlockAllocator, OverReleaseClampsAndIsCounted)
 {
     BlockAllocator alloc(10);
-    alloc.allocate(4);
+    ASSERT_TRUE(alloc.allocate(4));
     // Releasing more than is allocated clamps to used() — identically
     // in every build mode — and the accounting bug is counted.
     alloc.release(6);
@@ -66,7 +66,7 @@ TEST(BlockAllocator, OverReleaseClampsAndIsCounted)
 TEST(BlockAllocator, ExactReleaseIsNotCounted)
 {
     BlockAllocator alloc(10);
-    alloc.allocate(4);
+    ASSERT_TRUE(alloc.allocate(4));
     alloc.release(4);
     alloc.release(0);
     EXPECT_EQ(alloc.clampedReleases(), 0u);
@@ -75,9 +75,9 @@ TEST(BlockAllocator, ExactReleaseIsNotCounted)
 TEST(BlockAllocator, PeakTracksHighWaterMark)
 {
     BlockAllocator alloc(100);
-    alloc.allocate(30);
+    ASSERT_TRUE(alloc.allocate(30));
     alloc.release(30);
-    alloc.allocate(60);
+    ASSERT_TRUE(alloc.allocate(60));
     alloc.release(10);
     EXPECT_EQ(alloc.peakUsed(), 60u);
 }
@@ -85,7 +85,7 @@ TEST(BlockAllocator, PeakTracksHighWaterMark)
 TEST(BlockAllocator, ResizeGrow)
 {
     BlockAllocator alloc(10);
-    alloc.allocate(10);
+    ASSERT_TRUE(alloc.allocate(10));
     alloc.resize(20);
     EXPECT_EQ(alloc.total(), 20u);
     EXPECT_TRUE(alloc.allocate(10));
@@ -94,7 +94,7 @@ TEST(BlockAllocator, ResizeGrow)
 TEST(BlockAllocator, ResizeShrinkClampsToUsed)
 {
     BlockAllocator alloc(20);
-    alloc.allocate(15);
+    ASSERT_TRUE(alloc.allocate(15));
     alloc.resize(5);
     // Cannot shrink below what is already allocated.
     EXPECT_EQ(alloc.total(), 15u);

@@ -115,7 +115,7 @@ TEST(Engine, IterationStatsPopulated)
     FastTtsEngine engine(FastTtsConfig::fastTts(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     const auto &stats = engine.iterationStats();
     ASSERT_FALSE(stats.empty());
     for (const auto &s : stats) {
@@ -138,7 +138,7 @@ TEST(Engine, PrefixSharingReducesFootprint)
     FastTtsEngine engine(FastTtsConfig::fastTts(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     bool saw_sharing = false;
     for (const auto &s : engine.iterationStats()) {
         ASSERT_GE(s.unsharedTokens, s.uniqueTokens);
@@ -157,7 +157,7 @@ TEST(Engine, UtilizationTraceRecordedWhenEnabled)
     FastTtsEngine engine(config, config1_5Bplus1_5B(), rtx4090(),
                          profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     EXPECT_FALSE(engine.clock().segments().empty());
     bool saw_generation = false;
     bool saw_verification = false;
@@ -178,7 +178,7 @@ TEST(Engine, TraceDisabledByDefault)
     FastTtsEngine engine(FastTtsConfig::fastTts(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     EXPECT_TRUE(engine.clock().segments().empty());
     EXPECT_GT(engine.clock().now(), 0);
 }
@@ -190,7 +190,7 @@ TEST(Engine, StepTokenSamplesRecorded)
     FastTtsEngine engine(FastTtsConfig::baseline(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     const auto &samples = engine.stepTokenSamples();
     ASSERT_FALSE(samples.empty());
     EXPECT_FALSE(samples[0].empty());
@@ -209,7 +209,7 @@ TEST(Engine, NoForcedTerminationsAtModerateScale)
                              config1_5Bplus1_5B(), rtx4090(), profile,
                              *algo);
         const auto problems = makeProblems(profile, 1, 2026);
-        engine.runRequest(problems[0]);
+        (void)engine.runRequest(problems[0]);
         EXPECT_EQ(engine.forcedTerminations(), 0) << "n=" << n;
     }
 }
@@ -274,7 +274,7 @@ TEST(Engine, VaryingGranularityCapsEarlySteps)
     FastTtsEngine engine(FastTtsConfig::baseline(), config1_5Bplus1_5B(),
                          rtx4090(), profile, *algo);
     const auto problems = makeProblems(profile, 1, 2026);
-    engine.runRequest(problems[0]);
+    (void)engine.runRequest(problems[0]);
     const auto &samples = engine.stepTokenSamples();
     for (int step = 0; step < 3 && step < static_cast<int>(samples.size());
          ++step) {

@@ -74,7 +74,7 @@ TEST(KvCache, SecondTouchIsAHit)
 {
     auto kv = makeCache(1024);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     const auto touch = kv.ensureResident(a, 2);
     EXPECT_TRUE(touch.ok);
     EXPECT_EQ(touch.cachedTokens, 100);
@@ -88,7 +88,7 @@ TEST(KvCache, SharedPrefixCountedOnce)
     const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 200);
     const int left = kv.createChild(trunk, 2, 50);
     const int right = kv.createChild(trunk, 3, 50);
-    kv.ensureResident(left, 1);
+    ASSERT_TRUE(kv.ensureResident(left, 1).ok);
     const auto touch = kv.ensureResident(right, 2);
     // The trunk is already resident: only the right leaf misses.
     EXPECT_EQ(touch.cachedTokens, 200);
@@ -137,9 +137,9 @@ TEST(KvCache, PinnedNodesAreNotEvicted)
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
     const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
     const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     kv.retain(a); // Pin.
-    kv.ensureResident(b, 2);
+    ASSERT_TRUE(kv.ensureResident(b, 2).ok);
     EXPECT_TRUE(kv.ensureResident(c, 3).ok);
     EXPECT_TRUE(kv.isResident(a));  // Pinned survived.
     EXPECT_FALSE(kv.isResident(b)); // Unpinned LRU evicted.
@@ -149,7 +149,7 @@ TEST(KvCache, EnsureResidentFailsWhenEverythingPinned)
 {
     auto kv = makeCache(128);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 128);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     kv.retain(a);
     const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
     const auto touch = kv.ensureResident(b, 2);
@@ -161,7 +161,7 @@ TEST(KvCache, ParentsEvictOnlyAfterChildren)
     auto kv = makeCache(160);
     const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 80);
     const int leaf = kv.createChild(trunk, 2, 80);
-    kv.ensureResident(leaf, 1);
+    ASSERT_TRUE(kv.ensureResident(leaf, 1).ok);
     // A new competing path forces eviction; the leaf must go before
     // the trunk (top-closed residency).
     const int other = kv.createChild(KvCacheManager::kRoot, 3, 80);
@@ -177,9 +177,9 @@ TEST(KvCache, ReTouchAfterEvictionRecomputes)
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
     const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
     const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
-    kv.ensureResident(a, 1);
-    kv.ensureResident(b, 2);
-    kv.ensureResident(c, 3); // Evicts a.
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
+    ASSERT_TRUE(kv.ensureResident(b, 2).ok);
+    ASSERT_TRUE(kv.ensureResident(c, 3).ok); // Evicts a.
     const auto touch = kv.ensureResident(a, 4);
     EXPECT_TRUE(touch.ok);
     EXPECT_EQ(touch.recomputeTokens, 64);
@@ -190,7 +190,7 @@ TEST(KvCache, AppendTokensGrowsBlocks)
 {
     auto kv = makeCache(1024);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 0);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     EXPECT_EQ(kv.allocator().used(), 0u);
     EXPECT_TRUE(kv.appendTokens(a, 16, 2));
     EXPECT_EQ(kv.allocator().used(), 1u);
@@ -214,9 +214,9 @@ TEST(KvCache, AppendNoEvictFailsInsteadOfEvicting)
 {
     auto kv = makeCache(128);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 112);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     const int b = kv.createChild(KvCacheManager::kRoot, 2, 0);
-    kv.ensureResident(b, 2);
+    ASSERT_TRUE(kv.ensureResident(b, 2).ok);
     // One free block: a 16-token append fits, the next does not.
     EXPECT_TRUE(kv.appendTokens(b, 16, 3, /*allow_evict=*/false));
     EXPECT_FALSE(kv.appendTokens(b, 16, 4, /*allow_evict=*/false));
@@ -230,7 +230,7 @@ TEST(KvCache, TruncateReleasesBlocks)
 {
     auto kv = makeCache(1024);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     const size_t before = kv.allocator().used();
     kv.truncateTokens(a, 10);
     EXPECT_EQ(kv.nodeTokens(a), 10);
@@ -242,7 +242,7 @@ TEST(KvCache, TruncateToZeroKeepsNodeValid)
 {
     auto kv = makeCache(1024);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 50);
-    kv.ensureResident(a, 1);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
     kv.truncateTokens(a, 0);
     EXPECT_EQ(kv.nodeTokens(a), 0);
     EXPECT_EQ(kv.allocator().used(), 0u);
@@ -256,9 +256,9 @@ TEST(KvCache, ResidentPrefixTokens)
     const int trunk = kv.createChild(KvCacheManager::kRoot, 1, 64);
     const int leaf = kv.createChild(trunk, 2, 64);
     EXPECT_EQ(kv.residentPrefixTokens(leaf), 0);
-    kv.ensureResident(trunk, 1);
+    ASSERT_TRUE(kv.ensureResident(trunk, 1).ok);
     EXPECT_EQ(kv.residentPrefixTokens(leaf), 64);
-    kv.ensureResident(leaf, 2);
+    ASSERT_TRUE(kv.ensureResident(leaf, 2).ok);
     EXPECT_EQ(kv.residentPrefixTokens(leaf), 128);
 }
 
@@ -304,9 +304,9 @@ TEST(KvCache, ReTouchedVictimKeepsLruOrderViaLazyRefresh)
     auto kv = makeCache(128);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 64);
     const int b = kv.createChild(KvCacheManager::kRoot, 2, 64);
-    kv.ensureResident(a, 1);
-    kv.ensureResident(b, 2);
-    kv.ensureResident(a, 3); // Hit: refreshes a's lastUse past b's.
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
+    ASSERT_TRUE(kv.ensureResident(b, 2).ok);
+    ASSERT_TRUE(kv.ensureResident(a, 3).ok); // Hit: refreshes a's lastUse past b's.
     const int c = kv.createChild(KvCacheManager::kRoot, 3, 64);
     EXPECT_TRUE(kv.ensureResident(c, 4).ok);
     EXPECT_TRUE(kv.isResident(a));
@@ -318,8 +318,8 @@ TEST(KvCache, StatsAccumulate)
 {
     auto kv = makeCache(4096);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 32);
-    kv.ensureResident(a, 1);
-    kv.ensureResident(a, 2);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
+    ASSERT_TRUE(kv.ensureResident(a, 2).ok);
     EXPECT_EQ(kv.stats().missTokens, 32u);
     EXPECT_EQ(kv.stats().hitTokens, 32u);
 }
@@ -396,7 +396,7 @@ TEST_P(KvCachePathCacheProperty, CachedAccountingMatchesFreshWalk)
             ++created;
             break;
           case 2:
-            kv.ensureResident(node, static_cast<uint64_t>(op));
+            (void)kv.ensureResident(node, static_cast<uint64_t>(op));
             break;
           case 3:
             if (node != KvCacheManager::kRoot) {
@@ -415,8 +415,8 @@ TEST_P(KvCachePathCacheProperty, CachedAccountingMatchesFreshWalk)
             break;
           case 5: // Interior-node appends must shift descendants.
             if (node != KvCacheManager::kRoot)
-                kv.appendTokens(node, rng.uniformInt(0, 50),
-                                static_cast<uint64_t>(op));
+                (void)kv.appendTokens(node, rng.uniformInt(0, 50),
+                                      static_cast<uint64_t>(op));
             break;
           case 6:
             if (node != KvCacheManager::kRoot)
@@ -483,7 +483,7 @@ TEST_P(KvCacheProperty, InvariantsUnderRandomWorkload)
                 kv.createChild(node, seg++, rng.uniformInt(0, 90)));
             break;
           case 1:
-            kv.ensureResident(node, static_cast<uint64_t>(op));
+            (void)kv.ensureResident(node, static_cast<uint64_t>(op));
             break;
           case 2:
             if (node != KvCacheManager::kRoot) {
@@ -499,8 +499,8 @@ TEST_P(KvCacheProperty, InvariantsUnderRandomWorkload)
             break;
           case 4:
             if (node != KvCacheManager::kRoot)
-                kv.appendTokens(node, rng.uniformInt(0, 40),
-                                static_cast<uint64_t>(op));
+                (void)kv.appendTokens(node, rng.uniformInt(0, 40),
+                                      static_cast<uint64_t>(op));
             break;
           case 5:
             if (node != KvCacheManager::kRoot && kv.isResident(node)) {

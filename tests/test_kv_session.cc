@@ -56,10 +56,10 @@ TEST(KvBudgetLedger, ManagerChargesExactlyItsResidentBytes)
     kv.attachLedger(&ledger);
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
     const int b = kv.createChild(a, 2, 50);
-    kv.ensureResident(b, 1);
+    ASSERT_TRUE(kv.ensureResident(b, 1).ok);
     EXPECT_GT(ledger.usedBytes(), 0);
     EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
-    kv.appendTokens(b, 40, 2);
+    ASSERT_TRUE(kv.appendTokens(b, 40, 2));
     EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
     kv.truncateTokens(b, 10);
     EXPECT_DOUBLE_EQ(ledger.usedBytes(), kv.residentBytes());
@@ -72,7 +72,7 @@ TEST(KvBudgetLedger, ManagerDestructionRefundsItsCharge)
         KvCacheManager kv(2048, kTokenByte, kBlockTokens);
         kv.attachLedger(&ledger);
         const int a = kv.createChild(KvCacheManager::kRoot, 1, 200);
-        kv.ensureResident(a, 1);
+        (void)kv.ensureResident(a, 1);
         EXPECT_GT(ledger.usedBytes(), 0);
     }
     EXPECT_EQ(ledger.usedBytes(), 0);
@@ -116,7 +116,7 @@ TEST(KvSession, SuspendDropsEverythingAndCountsIt)
     const int a = kv.createChild(KvCacheManager::kRoot, 1, 100);
     const int b = kv.createChild(a, 2, 60);
     kv.retain(b); // Pins survive suspension (logical references).
-    kv.ensureResident(b, 1);
+    ASSERT_TRUE(kv.ensureResident(b, 1).ok);
     ASSERT_TRUE(kv.isResident(b));
 
     KvSession session(kv);
@@ -165,11 +165,11 @@ applyRandomOp(KvCacheManager &kv, std::vector<int> &leaves,
     }
     case 1: // Touch a path.
         if (pick >= 0)
-            kv.ensureResident(pick, tick);
+            (void)kv.ensureResident(pick, tick);
         break;
     case 2: // Decode into a leaf.
         if (pick >= 0)
-            kv.appendTokens(pick, rng.uniformInt(1, 24), tick);
+            (void)kv.appendTokens(pick, rng.uniformInt(1, 24), tick);
         break;
     case 3: // Truncate (speculative duplicate).
         if (pick >= 0 && kv.nodeTokens(pick) > 1)

@@ -121,8 +121,8 @@ TEST(OnlineServer, EmptyProblemSetIsSafe)
 TEST(OnlineServer, TracesDoNotAccumulateRequestRecords)
 {
     OnlineServer server = OnlineServer::create(smallOptions(true)).value();
-    server.serveTrace(3, 0.5, 7);
-    server.serveTrace(3, 0.5, 7);
+    (void)server.serveTrace(3, 0.5, 7);
+    (void)server.serveTrace(3, 0.5, 7);
     EXPECT_EQ(server.system().pendingRequests(), 0u);
     // Records were released after each trace; early ids are gone.
     EXPECT_EQ(server.system().result(1).status().code(),
@@ -462,8 +462,8 @@ TEST(OnlineServer, InterleavedTracesDoNotAccumulateRecords)
     online.maxInflight = 3;
     OnlineServer server =
         OnlineServer::create(smallOptions(true), online).value();
-    server.serveTrace(5, 2.0, 7);
-    server.serveTrace(5, 2.0, 7);
+    (void)server.serveTrace(5, 2.0, 7);
+    (void)server.serveTrace(5, 2.0, 7);
     EXPECT_EQ(server.system().pendingRequests(), 0u);
     EXPECT_EQ(server.system().result(1).status().code(),
               StatusCode::kNotFound);

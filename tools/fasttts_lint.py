@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism and hygiene linter.
+
+The simulator's headline contract is bit-for-bit determinism: every
+BENCH_*.json must be byte-identical across runs, job counts and
+machines. clang-tidy cannot see that contract, so this linter encodes
+the repo rules that protect it:
+
+  wall-clock         No wall-clock time sources in src/ — simulated
+                     time comes from SimClock only. (The bench harness
+                     times itself with steady_clock; that is bench/,
+                     not src/.)
+  raw-rand           No rand()/srand()/std::random_device in src/ —
+                     all randomness flows from the seeded
+                     counter-based Rng so streams never perturb each
+                     other.
+  unordered-iter     No iteration over std::unordered_map/set in src/
+                     or bench/ unless the site is marked: hash-order
+                     iteration feeding output or JSON is the classic
+                     nondeterminism bug. Order-independent reductions
+                     (counts, sums) carry an explicit allow marker.
+  pointer-keyed-map  No std::map/std::set keyed on a pointer type in
+                     src/ or bench/: address order varies run to run,
+                     so any iteration over such a container is
+                     nondeterministic even though the container is
+                     "ordered".
+  naked-new          No naked `new` in src/ or bench/ outside
+                     src/alloc/ — ownership lives in unique_ptr /
+                     containers. Intentional leaky singletons (the
+                     registries) carry an allow marker.
+  library-cout       No std::cout in library code (src/) — the
+                     library reports through Status and return
+                     values; printing belongs to bench/, examples/
+                     and tools.
+
+A site that is deliberately exempt carries a marker on its own line
+or the line above:
+
+    // fasttts-lint: allow(<rule>) <reason>
+
+Usage:
+  tools/fasttts_lint.py [PATH...]          lint (default: src bench)
+  tools/fasttts_lint.py --list-rules       print rule names and exit
+  tools/fasttts_lint.py --treat-as src F   lint F with src/ scope
+  tools/fasttts_lint.py --golden F GOLDEN  fixture mode: lint F
+                                           (src/ scope), diff the
+                                           report against GOLDEN
+
+Exit status: 0 clean (or golden match), 1 findings (or golden
+mismatch), 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Rule name -> (scope, description). Scope "src" applies to src/
+# only; "src+bench" also covers bench/.
+RULES = {
+    "wall-clock": ("src", "wall-clock time source in library code"),
+    "raw-rand": ("src", "unseeded/global randomness in library code"),
+    "unordered-iter": (
+        "src+bench",
+        "iteration over an unordered container (hash order)",
+    ),
+    "pointer-keyed-map": (
+        "src+bench",
+        "ordered container keyed on a pointer (address order)",
+    ),
+    "naked-new": ("src+bench", "naked new outside src/alloc/"),
+    "library-cout": ("src", "std::cout in library code"),
+}
+
+ALLOW_RE = re.compile(r"fasttts-lint:\s*allow\(([a-z-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(NULL|nullptr|0)\s*\)"
+)
+RAW_RAND_RE = re.compile(
+    r"\bstd::random_device\b|\bstd::rand\b|(?<![_\w])s?rand\s*\("
+)
+POINTER_MAP_RE = re.compile(r"std::(map|set)\s*<[^<>,]*\*")
+NAKED_NEW_RE = re.compile(r"(?<![_\w])new\s+[A-Za-z_(]")
+COUT_RE = re.compile(r"\bstd::cout\b")
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]"
+)
+
+STRING_OR_CHAR_RE = re.compile(r'"(\\.|[^"\\])*"|' + r"'(\\.|[^'\\])*'")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_code(line, in_block_comment):
+    """Return (code-only text, still-in-block-comment) for one line."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start = line.find("/*", i)
+        rest = line[i:] if start < 0 else line[i:start]
+        out.append(rest)
+        if start < 0:
+            break
+        i = start + 2
+        in_block_comment = True
+    code = LINE_COMMENT_RE.sub("", "".join(out))
+    return STRING_OR_CHAR_RE.sub('""', code), in_block_comment
+
+
+def scope_of(path):
+    parts = Path(path).parts
+    if "src" in parts:
+        return "src"
+    if "bench" in parts:
+        return "bench"
+    return None
+
+
+def collect_unordered_names(files):
+    """Names declared with an unordered container type anywhere in the
+    linted set (headers declare members that .cc files iterate)."""
+    names = set()
+    for path in files:
+        try:
+            text = Path(path).read_text()
+        except OSError:
+            continue
+        for match in UNORDERED_DECL_RE.finditer(text):
+            names.add(match.group(1))
+    return names
+
+
+def lint_file(path, scope, unordered_names, findings):
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as err:
+        print(f"fasttts_lint: cannot read {path}: {err}",
+              file=sys.stderr)
+        return
+    iter_res = [
+        re.compile(r"for\s*\([^;)]*:\s*" + re.escape(n) + r"\s*\)")
+        for n in unordered_names
+    ] + [
+        re.compile(r"\b" + re.escape(n) + r"\s*\.\s*(begin|cbegin)\s*\(")
+        for n in unordered_names
+    ]
+
+    allowed_prev = set()
+    in_block = False
+    for lineno, raw in enumerate(lines, start=1):
+        allowed_here = set(ALLOW_RE.findall(raw)) | allowed_prev
+        allowed_prev = set(ALLOW_RE.findall(raw))
+        code, in_block = strip_code(raw, in_block)
+
+        def report(rule):
+            if rule in allowed_here:
+                return
+            if scope == "bench" and RULES[rule][0] == "src":
+                return
+            findings.append(
+                f"{path}:{lineno}: [{rule}] {RULES[rule][1]}")
+
+        if WALL_CLOCK_RE.search(code):
+            report("wall-clock")
+        if RAW_RAND_RE.search(code):
+            report("raw-rand")
+        if POINTER_MAP_RE.search(code):
+            report("pointer-keyed-map")
+        if COUT_RE.search(code):
+            report("library-cout")
+        if "alloc" not in Path(path).parts and NAKED_NEW_RE.search(code):
+            report("naked-new")
+        if any(r.search(code) for r in iter_res):
+            report("unordered-iter")
+
+
+def expand(paths):
+    files = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(
+                sorted(
+                    str(f)
+                    for f in path.rglob("*")
+                    if f.suffix in (".cc", ".h")
+                )
+            )
+        else:
+            files.append(str(path))
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="FastTTS determinism/hygiene linter")
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument(
+        "--treat-as", choices=["src", "bench"],
+        help="override path-based scope (fixtures live under tests/)")
+    parser.add_argument(
+        "--golden", nargs=2, metavar=("FIXTURE", "GOLDEN"),
+        help="lint FIXTURE with src scope and diff against GOLDEN")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, (scope, desc) in RULES.items():
+            print(f"{rule:18} [{scope}] {desc}")
+        return 0
+
+    if args.golden:
+        fixture, golden = args.golden
+        findings = []
+        names = collect_unordered_names([fixture])
+        lint_file(fixture, "src", names, findings)
+        # Golden files record fixture-relative lines: "LINE: [rule] ..."
+        got = [f[len(fixture) + 1:] for f in findings]
+        try:
+            want = Path(golden).read_text().splitlines()
+        except OSError as err:
+            print(f"fasttts_lint: cannot read golden: {err}",
+                  file=sys.stderr)
+            return 2
+        want = [w for w in want if w and not w.startswith("#")]
+        if got != want:
+            print(f"fasttts_lint: golden mismatch for {fixture}")
+            print("--- expected")
+            for w in want:
+                print(w)
+            print("--- got")
+            for g in got:
+                print(g)
+            return 1
+        print(f"fasttts_lint: golden OK ({fixture}, "
+              f"{len(want)} findings)")
+        return 0
+
+    paths = args.paths or ["src", "bench"]
+    files = expand(paths)
+    if not files:
+        print("fasttts_lint: no .cc/.h files found", file=sys.stderr)
+        return 2
+
+    unordered_names = collect_unordered_names(files)
+    findings = []
+    for path in files:
+        scope = args.treat_as or scope_of(path)
+        if scope is None:
+            scope = "src"  # strictest for stray paths
+        lint_file(path, scope, unordered_names, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"fasttts_lint: {len(findings)} finding"
+              f"{'' if len(findings) == 1 else 's'}")
+        return 1
+    print(f"fasttts_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
