@@ -35,11 +35,12 @@ main(int argc, char **argv)
         "Online serving responsiveness under load (arrival rates swept; "
         "--problems sets the request count, --policy/--max-inflight/"
         "--slo/--arrivals/--preempt/--kv-budget/--shed-doomed/"
-        "--batching the queueing discipline)",
+        "--batching/--prefix-cache the queueing discipline)",
         {"--problems", "--dataset", "--seed", "--beams", "--policy",
          "--max-inflight", "--slo", "--arrivals", "--preempt",
          "--kv-budget", "--shed-doomed", "--batching",
-         "--max-batched-tokens", "--prefill-chunk"});
+         "--max-batched-tokens", "--prefill-chunk", "--prefix-cache",
+         "--prefix-cache-budget"});
     const int requests = args.numProblems;
     const OnlineServerOptions online = args.toOnlineOptions();
 

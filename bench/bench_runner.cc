@@ -46,6 +46,7 @@
 #include "metrics/request_metrics.h"
 #include "online_calibration.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace fasttts
@@ -587,6 +588,164 @@ runOnlineBatchingBenchmark(bool quick, uint64_t seed)
 }
 
 /**
+ * The prefix-reuse benchmark serves one multi-turn session trace with
+ * zipfian session popularity twice — --prefix-cache off vs on — and
+ * reports hit rate, saved recompute tokens and goodput. Turn k of a
+ * session prefix-extends turn k-1's prompt (position-keyed token
+ * identities), the cross-request sharing shape the global radix index
+ * (kv/prefix_index.h) exists for.
+ */
+constexpr const char *kOnlinePrefixReuseName = "online_prefix_reuse";
+
+Json
+measurePrefixReuseRun(const ServingOptions &opts,
+                      const std::vector<OnlineRequest> &requests,
+                      long total_prompt_tokens,
+                      const std::string &prefix_cache,
+                      double kv_budget_gib, int max_inflight)
+{
+    OnlineServerOptions online;
+    online.policy = "fifo";
+    online.maxInflight = max_inflight;
+    online.kvBudgetGiB = kv_budget_gib;
+    online.batching = "continuous";
+    online.prefixCache = prefix_cache;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const OnlineTraceResult out =
+        server.serveRequests(requests).value();
+
+    Json latency = Json::object();
+    latency.set("mean", out.meanLatency);
+    latency.set("p50", out.p50Latency);
+    latency.set("p95", out.p95Latency);
+    latency.set("p99", out.p99Latency);
+
+    Json run = Json::object();
+    run.set("latency_s", std::move(latency));
+    run.set("goodput_tokens_per_s",
+            out.makespan > 0
+                ? static_cast<double>(out.verifiedTokens) / out.makespan
+                : 0.0);
+    run.set("verified_tokens", out.verifiedTokens);
+    run.set("makespan_s", out.makespan);
+    run.set("completed", static_cast<long>(out.records.size()));
+    run.set("batch_occupancy", out.batchOccupancy);
+    run.set("recomputed_tokens", out.recomputedTokens);
+    run.set("prompt_tokens_total", total_prompt_tokens);
+    run.set("prefix_hit_tokens", out.prefixHitTokens);
+    run.set("saved_recompute_fraction",
+            total_prompt_tokens > 0
+                ? static_cast<double>(out.prefixHitTokens)
+                    / static_cast<double>(total_prompt_tokens)
+                : 0.0);
+    run.set("kv_peak_gib", toGiB(server.kvLedger().peakUsedBytes()));
+    run.set("utilization", out.utilization);
+    return run;
+}
+
+Json
+runOnlinePrefixReuseBenchmark(bool quick, uint64_t seed)
+{
+    EngineArgs args;
+    args.dataset = "AMC";
+    args.numBeams = quick ? 8 : 16;
+    args.seed = seed;
+    const int numRequests = quick ? 10 : 24;
+    const int maxInflight = 4;
+    const int numSessions = quick ? 3 : 6;
+    const int basePromptTokens = 96;
+    const int turnGrowthTokens = 48;
+    const double arrivalRate = 0.08; // Mostly-serialised sessions.
+    ServingOptions opts = args.toServingOptions().value();
+
+    // Zipfian session popularity: most requests are follow-up turns
+    // of a few hot sessions (the multi-turn chat shape). Turn k of
+    // session s carries position-keyed token identities, so its
+    // prompt exactly prefix-extends turn k-1's.
+    std::vector<double> weights;
+    weights.reserve(static_cast<size_t>(numSessions));
+    for (int s = 0; s < numSessions; ++s)
+        weights.push_back(1.0 / static_cast<double>(s + 1));
+    Rng rng = Rng(seed).fork(0x9ef1);
+    const std::vector<double> arrivals =
+        poissonArrivalTrace(numRequests, arrivalRate, seed);
+    std::vector<int> turnOf(static_cast<size_t>(numSessions), 0);
+    std::vector<OnlineRequest> requests;
+    requests.reserve(static_cast<size_t>(numRequests));
+    long totalPromptTokens = 0;
+    for (int i = 0; i < numRequests; ++i) {
+        const int session = rng.categorical(weights);
+        const int turn = ++turnOf[static_cast<size_t>(session)];
+        const int promptTokens =
+            basePromptTokens + (turn - 1) * turnGrowthTokens;
+        OnlineRequest request;
+        request.problemId = 0;
+        request.arrival = arrivals[static_cast<size_t>(i)];
+        request.promptIds.reserve(
+            static_cast<size_t>(promptTokens));
+        for (int j = 0; j < promptTokens; ++j)
+            request.promptIds.push_back(static_cast<int32_t>(
+                ((static_cast<int64_t>(session) + 1) * 1000003
+                 + j)
+                & 0x7FFFFFFF));
+        totalPromptTokens += promptTokens;
+        requests.push_back(std::move(request));
+    }
+
+    const double engine_budget_gib = [&] {
+        ServingSystem probe = ServingSystem::create(opts).value();
+        return probe.engine().kvBudgetBytes() / GiB;
+    }();
+
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", kOnlinePrefixReuseName);
+    doc.set("description",
+            "Cross-request prefix caching on a multi-turn zipfian "
+            "session trace");
+    doc.set("quick", quick);
+
+    Json config = Json::object();
+    config.set("dataset", args.dataset);
+    config.set("device", args.device);
+    config.set("models", args.models);
+    config.set("num_beams", args.numBeams);
+    config.set("requests", numRequests);
+    config.set("sessions", numSessions);
+    config.set("base_prompt_tokens", basePromptTokens);
+    config.set("turn_growth_tokens", turnGrowthTokens);
+    config.set("max_inflight", maxInflight);
+    config.set("policy", "fifo");
+    config.set("batching", "continuous");
+    config.set("arrivals", "poisson");
+    config.set("arrival_rate_per_s", arrivalRate);
+    config.set("kv_budget_gib", engine_budget_gib);
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    Json modes = Json::object();
+    for (const char *mode : {"off", "on"}) {
+        modes.set(mode,
+                  measurePrefixReuseRun(opts, requests,
+                                        totalPromptTokens, mode,
+                                        engine_budget_gib,
+                                        maxInflight));
+    }
+    const double off_goodput =
+        modes["off"]["goodput_tokens_per_s"].asNumber();
+    const double on_goodput =
+        modes["on"]["goodput_tokens_per_s"].asNumber();
+    Json summary = Json::object();
+    summary.set("saved_recompute_fraction",
+                modes["on"]["saved_recompute_fraction"].asNumber());
+    summary.set("goodput_ratio",
+                off_goodput > 0 ? on_goodput / off_goodput : 0.0);
+    doc.set("modes", std::move(modes));
+    doc.set("summary", std::move(summary));
+    return doc;
+}
+
+/**
  * Wall-clock and simulated-token volume of one benchmark run, for the
  * fasttts-harness-v1 self-timing document.
  */
@@ -647,8 +806,9 @@ usage(std::ostream &os, int exit_code)
           "\n"
           "Runs the registered benchmarks (all by default, or the named\n"
           "subset: the figure suite plus the online_scheduling policy\n"
-          "sweep, the online_preemption kv-budget sweep and the\n"
-          "online_batching continuous-vs-sliced study) and writes\n"
+          "sweep, the online_preemption kv-budget sweep, the\n"
+          "online_batching continuous-vs-sliced study and the\n"
+          "online_prefix_reuse cross-request caching study) and writes\n"
           "BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
           "names, one per line, and exits. --jobs N runs benchmarks on\n"
@@ -721,6 +881,7 @@ runnerMain(int argc, char **argv)
         {kOnlineSchedulingName, runOnlineSchedulingBenchmark},
         {kOnlinePreemptionName, runOnlinePreemptionBenchmark},
         {kOnlineBatchingName, runOnlineBatchingBenchmark},
+        {kOnlinePrefixReuseName, runOnlinePrefixReuseBenchmark},
     };
 
     if (list) {
@@ -878,6 +1039,25 @@ runnerMain(int argc, char **argv)
                        full["continuous"]["batch_occupancy"].asNumber(),
                        2)
                 << " -> " << path.string() << "\n";
+        } else if (name == kOnlinePrefixReuseName) {
+            std::cout
+                << name << ": saved recompute "
+                << formatDouble(
+                       100.0
+                           * doc["summary"]["saved_recompute_fraction"]
+                                 .asNumber(),
+                       0)
+                << "% of prompt tokens, goodput off "
+                << formatDouble(doc["modes"]["off"]
+                                   ["goodput_tokens_per_s"]
+                                       .asNumber(),
+                                0)
+                << " vs on "
+                << formatDouble(doc["modes"]["on"]
+                                   ["goodput_tokens_per_s"]
+                                       .asNumber(),
+                                0)
+                << " tok/s -> " << path.string() << "\n";
         } else {
             const Json &tight = doc["budgets"]["0.25x"];
             std::cout << name << ": slo (0.25x budget) slice "

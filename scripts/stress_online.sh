@@ -16,7 +16,10 @@
 # suspend/evict/resume path of the shared-engine server. A fourth pass
 # runs continuous batching under the same tight budget (--batching
 # continuous --kv-budget 0.5), fusing decode across requests while the
-# ledger benches and lazily restores batch members.
+# ledger benches and lazily restores batch members. A fifth pass turns
+# the cross-request prefix cache on (--prefix-cache on) under the same
+# tight budget, so radix-index insert/split/evict and pin/release race
+# against benching and forced eviction.
 
 set -euo pipefail
 
@@ -40,7 +43,7 @@ while [[ $# -gt 0 ]]; do
         shift 2
         ;;
     --help | -h)
-        sed -n '2,13p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+        sed -n '2,22p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
     *)
@@ -86,5 +89,17 @@ echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
 "${bench}" --problems "${requests}" --beams 4 --dataset AMC \
     --arrivals bursty --policy edf --batching continuous \
     --kv-budget 0.5 --shed-doomed \
+    --max-inflight "${max_inflight}" --slo 2000 >/dev/null
+
+# Prefix-cache storm: cross-request prefix caching on top of the
+# continuous-batching storm, so radix-index insert/split/LRU-evict and
+# prefix pin/release race against benching and forced eviction under
+# the same tight shared budget.
+echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
+    "policy=edf, batching=continuous, prefix-cache=on," \
+    "kv-budget=0.5 GiB, shed-doomed"
+"${bench}" --problems "${requests}" --beams 4 --dataset AMC \
+    --arrivals bursty --policy edf --batching continuous \
+    --prefix-cache on --kv-budget 0.5 --shed-doomed \
     --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 echo "-- scheduler stress passed (ASan+UBSan clean)"

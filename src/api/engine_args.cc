@@ -171,7 +171,7 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             || flag == "--algorithm" || flag == "--models"
             || flag == "--mode" || flag == "--policy"
             || flag == "--arrivals" || flag == "--preempt"
-            || flag == "--batching") {
+            || flag == "--batching" || flag == "--prefix-cache") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -190,6 +190,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.preempt = value;
             else if (flag == "--batching")
                 args.batching = value;
+            else if (flag == "--prefix-cache")
+                args.prefixCache = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -234,7 +236,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         }
 
         if (flag == "--memory-fraction" || flag == "--reserved-gib"
-            || flag == "--slo" || flag == "--kv-budget") {
+            || flag == "--slo" || flag == "--kv-budget"
+            || flag == "--prefix-cache-budget") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseDouble(flag, value);
@@ -246,6 +249,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.slo = *parsed;
             else if (flag == "--kv-budget")
                 args.kvBudgetGiB = *parsed;
+            else if (flag == "--prefix-cache-budget")
+                args.prefixCacheBudgetGiB = *parsed;
             else
                 args.reservedGiB = *parsed;
             args.parsedFlags.push_back(flag);
@@ -285,7 +290,7 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
         if (key == "device" || key == "dataset" || key == "algorithm"
             || key == "models" || key == "mode" || key == "policy"
             || key == "arrivals" || key == "preempt"
-            || key == "batching") {
+            || key == "batching" || key == "prefix_cache") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -305,6 +310,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.preempt = *parsed;
             else if (key == "batching")
                 args.batching = *parsed;
+            else if (key == "prefix_cache")
+                args.prefixCache = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
@@ -338,6 +345,11 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 return Status::invalidArgument(
                     "\"kv_budget_gib\" must be a number");
             args.kvBudgetGiB = value.asNumber();
+        } else if (key == "prefix_cache_budget_gib") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"prefix_cache_budget_gib\" must be a number");
+            args.prefixCacheBudgetGiB = value.asNumber();
         } else if (key == "shed_doomed") {
             if (!value.isBool())
                 return Status::invalidArgument(
@@ -457,6 +469,15 @@ EngineArgs::validate() const
         return Status::invalidArgument(
             "prefill_chunk must be >= 1, got "
             + std::to_string(prefillChunk));
+    if (prefixCache != "off" && prefixCache != "on")
+        return Status::invalidArgument(
+            "prefix_cache must be 'off' or 'on', got '" + prefixCache
+            + "'");
+    if (!(prefixCacheBudgetGiB >= 0)
+        || !std::isfinite(prefixCacheBudgetGiB))
+        return Status::invalidArgument(
+            "prefix_cache_budget must be >= 0 GiB (0 defaults to 1/8 "
+            "of the shared KV budget)");
     return okStatus();
 }
 
@@ -532,6 +553,8 @@ EngineArgs::toOnlineOptions() const
     online.batching = batching;
     online.maxBatchedTokens = maxBatchedTokens;
     online.prefillChunk = prefillChunk;
+    online.prefixCache = prefixCache;
+    online.prefixCacheBudgetGiB = prefixCacheBudgetGiB;
     return online;
 }
 
@@ -577,6 +600,14 @@ EngineArgs::help(const std::string &program)
         "  --prefill-chunk N    largest prompt slice per request per\n"
         "                       wave under continuous batching\n"
         "                       (default 512)\n"
+        "  --prefix-cache MODE  cross-request prefix KV reuse: 'off'\n"
+        "                       (default; bit-identical to legacy\n"
+        "                       serving) or 'on' (mount cached prompt\n"
+        "                       prefixes instead of re-prefilling)\n"
+        "  --prefix-cache-budget GIB\n"
+        "                       prefix-cache byte budget (0 = 1/8 of\n"
+        "                       the shared KV budget); cached bytes\n"
+        "                       are charged to the --kv-budget ledger\n"
         "  --help               print this text and exit\n"
         "\n"
         "Registered names (extensible; see the README's Extending "
@@ -616,7 +647,7 @@ allFlags()
         "--policy",        "--max-inflight", "--slo",
         "--arrivals",      "--preempt",      "--kv-budget",
         "--shed-doomed",   "--batching",     "--max-batched-tokens",
-        "--prefill-chunk"};
+        "--prefill-chunk", "--prefix-cache", "--prefix-cache-budget"};
     return flags;
 }
 

@@ -87,6 +87,17 @@ struct EngineArgs
     int prefillChunk = 512; //!< --prefill-chunk / "prefill_chunk":
                             //!< largest prompt slice per request per
                             //!< wave under continuous batching (>= 1).
+    std::string prefixCache = "off"; //!< --prefix-cache /
+                                     //!< "prefix_cache": 'off'
+                                     //!< (bit-identical legacy
+                                     //!< serving) or 'on' (global
+                                     //!< cross-request prefix KV
+                                     //!< reuse, kv/prefix_index.h).
+    double prefixCacheBudgetGiB = 0; //!< --prefix-cache-budget /
+                                     //!< "prefix_cache_budget_gib":
+                                     //!< cache byte budget (GiB);
+                                     //!< 0 = 1/8 of the shared KV
+                                     //!< budget.
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 

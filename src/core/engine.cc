@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "kv/kv_session.h"
+#include "kv/prefix_index.h"
 
 namespace fasttts
 {
@@ -98,7 +99,35 @@ struct FastTtsEngine::RequestContext
     int promptNodeVer_ = -1;
     int promptRemaining_ = 0; //!< Prompt tokens awaiting chunked
                               //!< prefill (deferred-prompt mode).
+    int promptChunkTotal_ = 0; //!< Initial chunked-prefill volume
+                               //!< (prompt minus mounted prefix);
+                               //!< chunking restarts from it when the
+                               //!< prompt node is evicted mid-stream.
     bool inRequest_ = false; //!< Between beginRequest and finish.
+
+    // --- Cross-request prefix cache (kv/prefix_index.h) ---
+    PrefixIndex *prefixIndex_ = nullptr; //!< Global index (borrowed).
+    PrefixIndex::NodeId prefixNode_ = PrefixIndex::kInvalid;
+    int prefixHitTokens_ = 0;        //!< Prompt tokens mounted, not
+                                     //!< prefilled (saved recompute).
+    std::vector<int32_t> promptIds_; //!< Resolved prompt identities.
+
+    /** Drop the pin acquired at beginRequest; idempotent, so both
+     *  finishRequest and abandonment (handle destruction) are safe. */
+    void
+    releasePrefixPin()
+    {
+        if (prefixIndex_ != nullptr
+            && prefixNode_ != PrefixIndex::kInvalid) {
+            prefixIndex_->release(prefixNode_);
+            prefixNode_ = PrefixIndex::kInvalid;
+        }
+    }
+
+    RequestContext() = default;
+    ~RequestContext() { releasePrefixPin(); }
+    RequestContext(const RequestContext &) = delete;
+    RequestContext &operator=(const RequestContext &) = delete;
 
     // Accumulated request metrics.
     long generatedTokens_ = 0;
@@ -131,6 +160,30 @@ meanProfileStepTokens(const DatasetProfile &p)
         std::exp(p.stepLenMu + 0.5 * p.stepLenSigma * p.stepLenSigma);
     return std::clamp(mean, static_cast<double>(p.minStepTokens),
                       static_cast<double>(p.maxStepTokens));
+}
+
+/**
+ * Deterministic prompt token identities for problems that carry none
+ * (Problem::promptIds empty): a splitmix64 stream keyed by the
+ * problem seed. Repeat servings of the same problem therefore share
+ * their full prompt in the PrefixIndex, while distinct seeds diverge
+ * at the first token.
+ */
+std::vector<int32_t>
+synthesizedPromptIds(const Problem &problem)
+{
+    std::vector<int32_t> ids;
+    ids.reserve(static_cast<size_t>(std::max(0, problem.promptTokens)));
+    uint64_t state = problem.seed ^ 0x9E3779B97F4A7C15ull;
+    for (int i = 0; i < problem.promptTokens; ++i) {
+        state += 0x9E3779B97F4A7C15ull;
+        uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        z ^= z >> 31;
+        ids.push_back(static_cast<int32_t>(z & 0x7FFFFFFFu));
+    }
+    return ids;
 }
 
 } // namespace
@@ -174,6 +227,15 @@ FastTtsEngine::FastTtsEngine(const FastTtsConfig &config,
 
 FastTtsEngine::~FastTtsEngine() = default;
 
+double
+FastTtsEngine::promptKvBytesPerToken() const
+{
+    // A mounted prompt prefix is root tokens of BOTH trees, so one
+    // cached token costs the generator's and the verifier's KV.
+    return models_.generator.kvBytesPerToken()
+        + models_.verifier.kvBytesPerToken();
+}
+
 void
 FastTtsEngine::resetRequestState(const Problem &problem,
                                  bool defer_prompt_prefill)
@@ -211,24 +273,52 @@ FastTtsEngine::resetRequestState(const Problem &problem,
         ctx_->kvVer_->attachLedger(ledger_);
     }
 
+    // Cross-request prefix cache: mount the longest cached prefix of
+    // the prompt as root tokens of both trees (the blocks live in the
+    // PrefixIndex and stay pinned until finishRequest), so only the
+    // unmatched suffix is prefilled.
+    ctx_->releasePrefixPin(); // Reused context: drop any stale pin.
+    ctx_->prefixIndex_ = prefixIndex_;
+    ctx_->prefixHitTokens_ = 0;
+    ctx_->promptIds_.clear();
+    int prompt_suffix = problem.promptTokens;
+    if (prefixIndex_ != nullptr) {
+        ctx_->promptIds_ = problem.promptIds.empty()
+            ? synthesizedPromptIds(problem)
+            : problem.promptIds;
+        const PrefixIndex::Match match =
+            prefixIndex_->acquire(ctx_->promptIds_);
+        ctx_->prefixNode_ = match.node;
+        const int mounted =
+            std::min(match.matchedTokens, problem.promptTokens);
+        ctx_->prefixHitTokens_ = mounted;
+        prompt_suffix = problem.promptTokens - mounted;
+        ctx_->kvGen_->setRootTokens(mounted);
+        ctx_->kvVer_->setRootTokens(mounted);
+    }
+
     // Shared question prompt: prefilled once by the generator; the
-    // verifier materialises it lazily at first verification.
+    // verifier materialises it lazily at first verification. With a
+    // mounted prefix the node holds only the unmatched suffix (and
+    // may be empty).
     ctx_->promptNodeGen_ = ctx_->kvGen_->createChild(KvCacheManager::kRoot,
-                                         ctx_->nextSegId_, problem.promptTokens);
+                                         ctx_->nextSegId_, prompt_suffix);
     ctx_->promptNodeVer_ = ctx_->kvVer_->createChild(KvCacheManager::kRoot,
-                                         ctx_->nextSegId_, problem.promptTokens);
+                                         ctx_->nextSegId_, prompt_suffix);
     ++ctx_->nextSegId_;
     ctx_->kvGen_->retain(ctx_->promptNodeGen_);
     ctx_->kvVer_->retain(ctx_->promptNodeVer_);
     ctx_->promptRemaining_ = 0;
+    ctx_->promptChunkTotal_ = 0;
     if (defer_prompt_prefill) {
         // Continuous batching: the batch scheduler feeds the prompt
         // in chunks (prefillPromptChunk) from each wave's leftover
         // token budget, so a long prompt never stalls co-resident
         // decoders; the request must not decode until the chunks
         // finish (prefillPending() reaches 0).
-        ctx_->promptRemaining_ = problem.promptTokens;
-    } else {
+        ctx_->promptRemaining_ = prompt_suffix;
+        ctx_->promptChunkTotal_ = prompt_suffix;
+    } else if (prompt_suffix > 0 || prefixIndex_ == nullptr) {
         // When the shared ledger is exhausted by other in-flight
         // requests the prompt KV cannot be stored yet; charging the
         // prefill now AND the inevitable recompute at first touch
@@ -239,10 +329,10 @@ FastTtsEngine::resetRequestState(const Problem &problem,
         if (prompt_touch.ok) {
             ctx_->clock_.advance(
                 roofline_.prefillTime(models_.generator, 1,
-                                      problem.promptTokens),
+                                      prompt_suffix),
                 Phase::Recompute,
                 roofline_.prefillComputeUtil(models_.generator, 1,
-                                             problem.promptTokens),
+                                             prompt_suffix),
                 1, 1);
         }
     }
@@ -1082,12 +1172,18 @@ FastTtsEngine::prefillPromptChunk(int max_tokens)
     if (ctx_->promptRemaining_ <= 0 || max_tokens <= 0)
         return 0;
     const int chunk = std::min(max_tokens, ctx_->promptRemaining_);
-    if (ctx_->promptRemaining_ == ctx_->problem_.promptTokens) {
-        // First chunk: materialise the prompt node. Under shared-
-        // ledger exhaustion the prompt cannot be stored yet — fall
-        // back to paying it as recompute at first decode touch,
-        // exactly like the up-front path's ledger deferral (charging
-        // chunks AND the inevitable recompute would double-count).
+    if (ctx_->promptRemaining_ == ctx_->promptChunkTotal_) {
+        // First chunk (promptChunkTotal_ is the suffix left after any
+        // prefix-cache mount; with the cache off it equals the full
+        // prompt): materialise the prompt node. Under shared-ledger
+        // exhaustion the prompt cannot be stored yet — fall back to
+        // paying it as recompute at first decode touch, exactly like
+        // the up-front path's ledger deferral (charging chunks AND
+        // the inevitable recompute would double-count). The ledger
+        // itself stays symmetric either way: allocateBlocks is
+        // all-or-nothing, so a refused charge reserves nothing to
+        // leak (tests/test_online_server.cc pins occupancy returning
+        // to baseline after a tight-budget storm).
         const auto touch = ctx_->kvGen_->ensureResident(
             ctx_->promptNodeGen_,
             static_cast<uint64_t>(ctx_->clock_.now() * 1e6));
@@ -1305,6 +1401,15 @@ FastTtsEngine::finishRequest()
     result.kvStats.missTokens += ver.missTokens;
     result.kvStats.preemptEvictions += ver.preemptEvictions;
     result.kvStats.preemptEvictedTokens += ver.preemptEvictedTokens;
+    result.kvStats.prefixHitTokens =
+        static_cast<uint64_t>(ctx_->prefixHitTokens_);
+    // Publish the prompt back to the cross-request prefix cache (the
+    // next request with a shared prefix mounts it), then drop the pin
+    // taken at beginRequest.
+    if (ctx_->prefixIndex_ != nullptr) {
+        ctx_->prefixIndex_->insert(ctx_->promptIds_);
+        ctx_->releasePrefixPin();
+    }
     ctx_->inRequest_ = false;
     return result;
 }
@@ -1333,6 +1438,16 @@ bool
 FastTtsEngine::hasActiveRequest() const
 {
     return ctx_->inRequest_;
+}
+
+void
+FastTtsEngine::releaseFinishedKv()
+{
+    if (ctx_->inRequest_)
+        return;
+    // The context destructor drops any prefix pin; the KV managers'
+    // destructors refund their remaining ledger charge byte-for-byte.
+    ctx_ = std::make_unique<RequestContext>();
 }
 
 // --- Context-backed accessors (RequestContext is engine.cc-private,
@@ -1401,6 +1516,14 @@ SuspendedEngineRequest::activeBeams() const
 {
     return ctx_ != nullptr ? static_cast<int>(ctx_->active_.size())
                            : 0;
+}
+
+uint64_t
+SuspendedEngineRequest::prefixKey() const
+{
+    if (ctx_ == nullptr || ctx_->prefixNode_ <= PrefixIndex::kRoot)
+        return 0;
+    return static_cast<uint64_t>(ctx_->prefixNode_);
 }
 
 double

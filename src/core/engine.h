@@ -51,6 +51,7 @@ namespace fasttts
 {
 
 class SuspendedEngineRequest;
+class PrefixIndex;
 
 /** Per-iteration snapshot for the cache/scheduling figures (5, 18). */
 struct IterationStats
@@ -229,12 +230,42 @@ class FastTtsEngine
     [[nodiscard]] bool hasActiveRequest() const;
 
     /**
+     * Drop the idle engine context. After finishRequest() the last
+     * request's KV trees stay mounted (and keep their shared-ledger
+     * charge) until the next beginRequest()/resumeRequest() replaces
+     * them; a serving loop that has drained its trace calls this so a
+     * finished request never squats on the shared budget afterwards
+     * (the ledger returns to its pre-trace occupancy). Also resets
+     * the context-backed accessors (clock(), iterationStats(), ...).
+     * No-op while a request is mounted.
+     */
+    void releaseFinishedKv();
+
+    /**
      * Attach a shared KV byte budget (kv/kv_session.h): the KV trees
      * of every subsequent request charge it, so concurrent contexts
      * on one device genuinely contend for memory. Affects requests
      * begun after the call; the ledger must outlive the engine.
      */
     void attachKvLedger(KvBudgetLedger *ledger) { ledger_ = ledger; }
+
+    /**
+     * Attach the global cross-request prefix cache
+     * (kv/prefix_index.h). Requests begun afterwards look their
+     * prompt up first and mount the longest cached prefix instead of
+     * prefilling it (saved tokens land in KvStats::prefixHitTokens);
+     * finishRequest() publishes the prompt back for later requests.
+     * The index must outlive the engine and every suspended request
+     * handle. Pass nullptr to detach.
+     */
+    void attachPrefixIndex(PrefixIndex *index) { prefixIndex_ = index; }
+
+    /** The attached prefix cache (nullptr when disabled). */
+    [[nodiscard]] PrefixIndex *prefixIndex() const { return prefixIndex_; }
+
+    /** Combined generator+verifier KV footprint of one cached prompt
+     *  token (bytes) — the per-token cost of a mounted prefix. */
+    [[nodiscard]] double promptKvBytesPerToken() const;
 
     /** KV budget shared by the two models (bytes). */
     [[nodiscard]] double kvBudgetBytes() const { return kvBudget_; }
@@ -305,6 +336,8 @@ class FastTtsEngine
     double kvBudget_ = 0;
     double expectedStepTokens_ = 0; //!< Cached mean step length.
     KvBudgetLedger *ledger_ = nullptr; //!< Shared KV budget (optional).
+    PrefixIndex *prefixIndex_ = nullptr; //!< Cross-request prefix
+                                         //!< cache (optional).
 
     // All per-request state lives here; exactly one context is
     // mounted at a time (suspendRequest/resumeRequest swap it).
@@ -342,6 +375,12 @@ class SuspendedEngineRequest
     /** Beams still active in the parked request (batch schedulers
      *  budget decode waves with this). */
     [[nodiscard]] int activeBeams() const;
+
+    /** PrefixIndex node the request mounted at beginRequest (0 when
+     *  no prefix matched or the cache is off) — requests with equal
+     *  nonzero keys share resident prefix KV, which the batch
+     *  scheduler uses as a co-scheduling affinity tiebreak. */
+    [[nodiscard]] uint64_t prefixKey() const;
 
     /**
      * Borrow the parked context for FastTtsEngine::stepBatch().

@@ -82,6 +82,15 @@ OnlineServer::create(const ServingOptions &options,
         return Status::invalidArgument(
             "prefill_chunk must be >= 1, got "
             + std::to_string(online.prefillChunk));
+    if (online.prefixCache != "off" && online.prefixCache != "on")
+        return Status::invalidArgument(
+            "unknown prefix-cache mode '" + online.prefixCache
+            + "'; valid modes: off, on");
+    if (!(online.prefixCacheBudgetGiB >= 0)
+        || !std::isfinite(online.prefixCacheBudgetGiB))
+        return Status::invalidArgument(
+            "prefix_cache_budget must be >= 0 GiB (0 defaults to "
+            "1/8 of the shared KV budget)");
 
     auto policy = makeQueuePolicy(online.policy);
     if (!policy.ok())
@@ -104,6 +113,16 @@ OnlineServer::create(const ServingOptions &options,
         : 2.0 * online.maxInflight * system->engine().kvBudgetBytes();
     auto ledger = std::make_unique<KvBudgetLedger>(budget_bytes);
     system->attachKvLedger(ledger.get());
+
+    // Cross-request prefix cache: cached bytes are charged to the
+    // SAME ledger as in-flight KV, so a full cache shows up as
+    // admission pressure instead of invisible extra memory.
+    if (online.prefixCache == "on") {
+        const double cache_budget = online.prefixCacheBudgetGiB > 0
+            ? online.prefixCacheBudgetGiB * GiB
+            : 0.125 * budget_bytes;
+        system->enablePrefixCache(cache_budget, ledger.get());
+    }
 
     // The SJF predictor's inputs; names were just validated by
     // ServingSystem::create, so the lookups cannot fail.
@@ -190,6 +209,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         QueuedRequest meta;
         double cancelAt = -1;
         double kvBytes = 0; //!< Predicted working set (admission).
+        std::vector<int32_t> promptIds; //!< Per-request prompt
+                                        //!< override (empty = none).
     };
     std::vector<Ticket> tickets;
     tickets.reserve(requests.size());
@@ -224,20 +245,38 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             request.slo < 0 ? online_.slo : request.slo;
         ticket.meta.deadline =
             slo > 0 ? request.arrival + slo : kInfinity;
-        double &cost = predicted[static_cast<size_t>(problem_id)];
-        if (cost < 0)
-            cost = predictServiceTime(
+        if (!request.promptIds.empty()) {
+            // A prompt override changes the problem's shape, so the
+            // memoized per-problem predictions do not apply.
+            Problem shaped =
+                problems[static_cast<size_t>(problem_id)];
+            shaped.promptIds = request.promptIds;
+            shaped.promptTokens =
+                static_cast<int>(request.promptIds.size());
+            ticket.meta.predictedCost = predictServiceTime(
                 roofline_, system_.options().models, profile_,
-                problems[static_cast<size_t>(problem_id)],
+                shaped, system_.options().numBeams);
+            ticket.kvBytes = predictKvWorkingSetBytes(
+                system_.options().models, profile_, shaped,
                 system_.options().numBeams);
-        ticket.meta.predictedCost = cost;
-        double &kv = predicted_kv[static_cast<size_t>(problem_id)];
-        if (kv < 0)
-            kv = predictKvWorkingSetBytes(
-                system_.options().models, profile_,
-                problems[static_cast<size_t>(problem_id)],
-                system_.options().numBeams);
-        ticket.kvBytes = kv;
+            ticket.promptIds = request.promptIds;
+        } else {
+            double &cost = predicted[static_cast<size_t>(problem_id)];
+            if (cost < 0)
+                cost = predictServiceTime(
+                    roofline_, system_.options().models, profile_,
+                    problems[static_cast<size_t>(problem_id)],
+                    system_.options().numBeams);
+            ticket.meta.predictedCost = cost;
+            double &kv =
+                predicted_kv[static_cast<size_t>(problem_id)];
+            if (kv < 0)
+                kv = predictKvWorkingSetBytes(
+                    system_.options().models, profile_,
+                    problems[static_cast<size_t>(problem_id)],
+                    system_.options().numBeams);
+            ticket.kvBytes = kv;
+        }
         ticket.cancelAt = request.cancelAt;
         tickets.push_back(ticket);
     }
@@ -245,6 +284,20 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                      [](const Ticket &a, const Ticket &b) {
                          return a.meta.arrival < b.meta.arrival;
                      });
+
+    // The problem a ticket is actually served against: the request's
+    // prompt override (multi-turn prefix-cache traces) reshapes a
+    // copy; without one the stored problem is used unchanged.
+    const auto ticketProblem = [&problems](const Ticket &ticket) {
+        Problem problem =
+            problems[static_cast<size_t>(ticket.meta.problemId)];
+        if (!ticket.promptIds.empty()) {
+            problem.promptIds = ticket.promptIds;
+            problem.promptTokens =
+                static_cast<int>(ticket.promptIds.size());
+        }
+        return problem;
+    };
 
     // --- Continuous batching: every wave co-schedules decode across
     //     ALL in-flight requests in one fused engine wave
@@ -283,6 +336,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         long recomputed_tokens = 0;
         long preempt_evicted = 0;
         long verified_tokens = 0;
+        long prefix_hit_tokens = 0;
         long waves = 0;
         long decode_members = 0;
         const size_t max_inflight =
@@ -334,8 +388,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 flight.rec.arrival = ticket.meta.arrival;
                 flight.rec.priority = ticket.meta.priority;
                 flight.rec.deadline = ticket.meta.deadline;
-                flight.sysId = system_.submit(problems[
-                    static_cast<size_t>(ticket.meta.problemId)]);
+                flight.sysId = system_.submit(ticketProblem(ticket));
                 // Park it immediately with a deferred prompt: the
                 // scheduler feeds the prompt in chunks so it never
                 // stalls the decoders already in the batch.
@@ -365,6 +418,12 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             // instead of deadlocking or ping-ponging.
             if (memory_aware) {
                 const double headroom = 0.10 * ledger_->totalBytes();
+                // A benched member that became front after a
+                // completion is force-returned (the progress
+                // guarantee: the oldest member always runs, so nobody
+                // starves). Remembered so the hysteresis rule below
+                // cannot clear the same flag twice.
+                const bool front_returned = inflight.front().benched;
                 inflight.front().benched = false;
                 for (size_t i = inflight.size();
                      i > 1 && ledger_->freeBytes() < headroom; --i) {
@@ -377,15 +436,19 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                         inflight[i - 1].benched = true;
                     }
                 }
-                // At most one return per wave, oldest benched first.
-                for (BatchFlight &flight : inflight) {
-                    if (!flight.benched)
-                        continue;
-                    if (ledger_->freeBytes()
-                        >= flight.ticket.kvBytes + 2 * headroom)
-                        flight.benched = false;
-                    break;
-                }
+                // At most one return per wave, oldest benched first
+                // (pickBenchReturn holds the unit-tested contract).
+                std::vector<std::pair<bool, double>> wave;
+                wave.reserve(inflight.size());
+                for (const BatchFlight &flight : inflight)
+                    wave.emplace_back(flight.benched,
+                                      flight.ticket.kvBytes);
+                const int back = pickBenchReturn(
+                    wave, ledger_->freeBytes(), headroom,
+                    front_returned);
+                if (back >= 0)
+                    inflight[static_cast<size_t>(back)].benched =
+                        false;
             }
 
             std::vector<RequestId> ids;
@@ -401,6 +464,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 BatchCandidate candidate;
                 candidate.member = i;
                 candidate.promptRemaining = info->promptTokensPending;
+                candidate.prefixKey = info->prefixKey;
                 candidate.decodeTokens = std::max(
                     1, static_cast<int>(
                            std::max(1, info->activeBeams)
@@ -440,6 +504,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                     verified_tokens += result->verifiedTokens;
                     recomputed_tokens += static_cast<long>(
                         result->kvStats.recomputedTokens);
+                    prefix_hit_tokens += static_cast<long>(
+                        result->kvStats.prefixHitTokens);
                     if (results_sink)
                         results_sink->push_back(*std::move(result));
                 }
@@ -450,6 +516,11 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             }
         }
 
+        // Trace drained: drop the engine's idle context so the last
+        // finished request's KV charge leaves the shared ledger (only
+        // the prefix cache's own residency may remain).
+        system_.engine().releaseFinishedKv();
+
         OnlineTraceResult out =
             aggregateTrace(std::move(records), busy);
         out.cancelled = cancelled;
@@ -457,6 +528,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         out.recomputedTokens = recomputed_tokens;
         out.preemptEvictedTokens = preempt_evicted;
         out.verifiedTokens = verified_tokens;
+        out.prefixHitTokens = prefix_hit_tokens;
         out.batchOccupancy = waves > 0
             ? static_cast<double>(decode_members)
                 / static_cast<double>(waves)
@@ -502,6 +574,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     long recomputed_tokens = 0;
     long preempt_evicted = 0;
     long verified_tokens = 0;
+    long prefix_hit_tokens = 0;
     const size_t max_inflight =
         static_cast<size_t>(online_.maxInflight);
 
@@ -663,10 +736,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                         box->finished = true;
                         box->result = result;
                     };
-                f.sysId = system_.submit(
-                    problems[static_cast<size_t>(
-                        f.ticket.meta.problemId)],
-                    std::move(callbacks));
+                f.sysId = system_.submit(ticketProblem(f.ticket),
+                                         std::move(callbacks));
             } else {
                 checkOk(system_.resume(f.sysId));
             }
@@ -715,6 +786,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             busy += box.result.completionTime;
             recomputed_tokens += static_cast<long>(
                 box.result.kvStats.recomputedTokens);
+            prefix_hit_tokens += static_cast<long>(
+                box.result.kvStats.prefixHitTokens);
             verified_tokens += box.result.verifiedTokens;
             if (results_sink)
                 results_sink->push_back(box.result);
@@ -733,6 +806,11 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         }
     }
 
+    // Trace drained: drop the engine's idle context so the last
+    // finished request's KV charge leaves the shared ledger (only the
+    // prefix cache's own residency may remain).
+    system_.engine().releaseFinishedKv();
+
     OnlineTraceResult out = aggregateTrace(std::move(records), busy);
     out.cancelled = cancelled;
     out.shedRequests = shed;
@@ -741,9 +819,34 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     out.recomputedTokens = recomputed_tokens;
     out.preemptEvictedTokens = preempt_evicted;
     out.verifiedTokens = verified_tokens;
+    out.prefixHitTokens = prefix_hit_tokens;
     // Time-slicing decodes exactly one request per engine wave.
     out.batchOccupancy = out.records.empty() ? 0.0 : 1.0;
     return out;
+}
+
+int
+pickBenchReturn(const std::vector<std::pair<bool, double>> &members,
+                double free_bytes, double headroom, bool front_returned)
+{
+    // When the front entered the wave benched (the oldest member
+    // completed and promoted it), its forced return is the progress
+    // guarantee, NOT a hysteresis return — but its flag must be
+    // cleared exactly once, so the hysteresis rule below must never
+    // pick the front again.
+    for (size_t i = front_returned ? 1 : 0; i < members.size(); ++i) {
+        if (!members[i].first)
+            continue;
+        // Only the OLDEST benched member is considered — a younger
+        // one skipping ahead would starve it behind perpetual
+        // re-eviction (the eviction sweep walks youngest-first) —
+        // and it returns at most once per wave, only with restore
+        // headroom to spare.
+        if (free_bytes >= members[i].second + 2 * headroom)
+            return static_cast<int>(i);
+        return -1;
+    }
+    return -1;
 }
 
 OnlineTraceResult

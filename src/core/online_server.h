@@ -62,8 +62,10 @@
 #define FASTTTS_CORE_ONLINE_SERVER_H
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/status.h"
@@ -153,6 +155,11 @@ struct OnlineTraceResult
     long verifiedTokens = 0; //!< Tokens surviving in verified paths
                              //!< across completed requests; divided by
                              //!< the makespan this is trace goodput.
+    long prefixHitTokens = 0; //!< Prompt tokens served from the
+                              //!< cross-request prefix cache instead
+                              //!< of being prefilled (0 with
+                              //!< --prefix-cache off): the trace's
+                              //!< saved recompute volume.
     double batchOccupancy = 0; //!< Mean decode members per engine wave
                                //!< (1 under time-slicing, > 1 when
                                //!< continuous batching fuses requests).
@@ -163,9 +170,38 @@ struct OnlineTraceResult
  * @param busy_time Total device-busy seconds across the records.
  * Safe on an empty record set: every statistic stays zero (no NaN or
  * division by zero). The cancelled count is the caller's to fill in.
+ *
+ * Population contract: latency statistics (mean, p50/p95/p99, queue
+ * delay, SLO attainment) are computed over COMPLETED requests only —
+ * `records` must contain one entry per completion, and neither serve
+ * loop ever creates a record for a shed or cancelled request, in
+ * either batching mode. Shed/cancelled volumes are reported solely
+ * through the shedRequests/cancelled counters, so a trace that sheds
+ * cannot skew its percentiles.
  */
 [[nodiscard]] OnlineTraceResult
 aggregateTrace(std::vector<OnlineRequestRecord> records, double busy_time);
+
+/**
+ * Benching hysteresis rule of the continuous-batching loop, exposed
+ * as a pure function so the "at most one return per wave" contract is
+ * unit-testable. `members` is the oldest-first in-flight wave as
+ * (benched, required KV bytes) pairs. The front member always runs:
+ * when `front_returned` is true (the front entered the wave benched —
+ * the oldest member completed and promoted it — and was
+ * force-returned) that forced return is the progress guarantee, NOT a
+ * hysteresis return, and the front's flag must be cleared exactly
+ * once — this function never picks index 0 again in that wave.
+ * Beyond it, at most ONE member returns per wave: the OLDEST benched
+ * one, and only with restore headroom to spare (its KV demand plus
+ * twice the benching headroom), the hysteresis gap that stops
+ * bench/unbench thrash. An ineligible oldest blocks younger benched
+ * members from skipping ahead of it.
+ * @return Index of the member to unbench, or -1 for none.
+ */
+[[nodiscard]] int
+pickBenchReturn(const std::vector<std::pair<bool, double>> &members,
+                double free_bytes, double headroom, bool front_returned);
 
 /** Queueing/scheduling configuration of an OnlineServer. */
 struct OnlineServerOptions
@@ -208,6 +244,19 @@ struct OnlineServerOptions
      *  continuous batching (chunked prefill). Ignored when
      *  batching == "off". */
     int prefillChunk = 512;
+
+    /** Cross-request prefix cache (kv/prefix_index.h): "off" (the
+     *  default; bit-identical to a server without the cache) or "on"
+     *  (requests mount the longest cached prompt prefix instead of
+     *  prefilling it, and publish their prompt back on completion;
+     *  saved tokens land in OnlineTraceResult::prefixHitTokens). */
+    std::string prefixCache = "off";
+
+    /** Byte budget of the prefix cache in GiB; <= 0 defaults to 1/8
+     *  of the shared KV budget. Cached bytes are charged to the same
+     *  ledger as in-flight KV (they contend with --kv-budget).
+     *  Ignored when prefixCache == "off". */
+    double prefixCacheBudgetGiB = 0;
 };
 
 /** One request of an explicit online trace (serveRequests()). */
@@ -222,6 +271,11 @@ struct OnlineRequest
                          //!< deadline = arrival + slo.
     double cancelAt = -1; //!< Client abandons the request if it is
                           //!< still queued at this time; < 0 = never.
+    //!< Per-request prompt override for prefix-cache traces
+    //!< (multi-turn sessions): when non-empty the request is served
+    //!< against a copy of its problem with these token identities
+    //!< (promptTokens = size()). Empty = use the problem as-is.
+    std::vector<int32_t> promptIds;
 };
 
 /**

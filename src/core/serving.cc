@@ -1,6 +1,7 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace fasttts
@@ -53,6 +54,18 @@ ServingSystem::ServingSystem(const ServingOptions &options,
 }
 
 ServingSystem::~ServingSystem() = default;
+
+void
+ServingSystem::enablePrefixCache(double budget_bytes,
+                                 KvBudgetLedger *ledger)
+{
+    assert(prefixIndex_ == nullptr);
+    prefixIndex_ = std::make_unique<PrefixIndex>(
+        budget_bytes, engine_->promptKvBytesPerToken());
+    if (ledger != nullptr)
+        prefixIndex_->attachLedger(ledger);
+    engine_->attachPrefixIndex(prefixIndex_.get());
+}
 
 RequestResult
 ServingSystem::serve(const Problem &problem)
@@ -308,6 +321,7 @@ ServingSystem::suspendedInfo(RequestId id) const
     info.promptTokensPending = it->second.suspended.promptTokensPending();
     info.activeBeams = it->second.suspended.activeBeams();
     info.residentKvBytes = it->second.suspended.residentKvBytes();
+    info.prefixKey = it->second.suspended.prefixKey();
     return info;
 }
 

@@ -53,6 +53,7 @@
 #include "api/status.h"
 #include "core/config.h"
 #include "core/engine.h"
+#include "kv/prefix_index.h"
 #include "metrics/request_metrics.h"
 #include "model/model_spec.h"
 #include "model/workload.h"
@@ -154,6 +155,10 @@ struct SuspendedRequestInfo
     int promptTokensPending = 0; //!< Prompt left to chunk-prefill.
     int activeBeams = 0;         //!< Beams a decode wave advances.
     double residentKvBytes = 0;  //!< Device bytes its KV still holds.
+    uint64_t prefixKey = 0;      //!< PrefixIndex node mounted at
+                                 //!< admission (0 = none): equal
+                                 //!< nonzero keys share prefix KV
+                                 //!< (scheduler affinity tiebreak).
 };
 
 /**
@@ -318,6 +323,26 @@ class ServingSystem
         engine_->attachKvLedger(ledger);
     }
 
+    /**
+     * Enable the global cross-request prefix cache
+     * (kv/prefix_index.h): one radix index, owned by this system,
+     * that every subsequently started request queries (mounting the
+     * longest cached prompt prefix instead of prefilling it) and
+     * publishes back to on completion. `budget_bytes` caps the
+     * index's resident KV; with `ledger` non-null the cached bytes
+     * are additionally charged to that shared budget, so cached
+     * prefixes and in-flight KV contend for the same device memory.
+     * Call at most once, before any request starts; the ledger must
+     * outlive this system.
+     */
+    void enablePrefixCache(double budget_bytes, KvBudgetLedger *ledger);
+
+    /** The prefix cache (nullptr when not enabled). */
+    [[nodiscard]] const PrefixIndex *prefixIndex() const
+    {
+        return prefixIndex_.get();
+    }
+
     /** The options the system was built with. */
     [[nodiscard]] const ServingOptions &options() const
     {
@@ -356,6 +381,10 @@ class ServingSystem
     ServingOptions options_;
     DatasetProfile dataset_;
     std::unique_ptr<SearchAlgorithm> algorithm_;
+    //!< Declared before engine_ and requests_: suspended contexts
+    //!< release their prefix pins on destruction, so the index must
+    //!< be destroyed last.
+    std::unique_ptr<PrefixIndex> prefixIndex_;
     std::unique_ptr<FastTtsEngine> engine_;
     std::vector<Problem> problems_;
 

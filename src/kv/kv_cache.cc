@@ -107,6 +107,19 @@ KvCacheManager::childOf(NodeId parent, uint64_t seg_id) const
     return kInvalid;
 }
 
+void
+KvCacheManager::setRootTokens(int tokens)
+{
+    assert(tokens >= 0);
+    // Prefix sums are cached at createChild time, so the mount must
+    // precede the first child.
+    assert(node(kRoot).children.empty());
+    // The blocks stay with the global PrefixIndex: residentTokens_ /
+    // residentBytes() deliberately exclude the mount, exactly like
+    // the root's previous zero-token anchor.
+    node(kRoot).tokens = tokens;
+}
+
 KvCacheManager::NodeId
 KvCacheManager::createChild(NodeId parent, uint64_t seg_id, int tokens)
 {
@@ -397,7 +410,11 @@ KvCacheManager::ensureResident(NodeId leaf, uint64_t tick)
         Node &n = node(id);
         if (n.resident) {
             n.lastUse = tick;
-            result.cachedTokens += n.tokens;
+            // Root tokens are the globally shared prefix mounted via
+            // setRootTokens() (zero without one): the serving layer
+            // accounts them once as prefixHitTokens, not per touch.
+            if (id != kRoot)
+                result.cachedTokens += n.tokens;
             continue;
         }
         const size_t need = blocksForTokens(n.tokens, blockTokens_);
@@ -509,8 +526,10 @@ KvCacheManager::unsharedTokens() const
     // Without prefix sharing every beam privately stores its whole
     // path: sum over nodes of tokens * refCount (each active reference
     // through a node implies a private copy of that segment). The sum
-    // is counter-backed; the root's permanent self-reference carries
-    // zero tokens, so it never contributes.
+    // is counter-backed by retain/release/append/truncate, so the
+    // root's permanent constructor-time self-reference never
+    // contributes — even when setRootTokens() mounts a shared prefix,
+    // only beam retains count its tokens (once per retained path).
     return unsharedTokens_;
 }
 

@@ -37,6 +37,10 @@ struct KvStats
     uint64_t recomputedTokens = 0; //!< Tokens re-prefilled after eviction.
     uint64_t hitTokens = 0;        //!< Tokens found resident on touch.
     uint64_t missTokens = 0;       //!< Tokens materialised on touch.
+    uint64_t prefixHitTokens = 0;  //!< Prompt tokens mounted from the
+                                   //!< global PrefixIndex instead of
+                                   //!< being prefilled (saved
+                                   //!< recompute; serving layer).
     uint64_t staleVictimEntries = 0; //!< Lazily-discarded heap entries.
     uint64_t victimCompactions = 0;  //!< Victim-heap rebuilds.
     uint64_t preemptEvictions = 0;     //!< Nodes dropped by forceEvictAll.
@@ -100,6 +104,18 @@ class KvCacheManager
      */
     [[nodiscard]] NodeId createChild(NodeId parent, uint64_t seg_id,
                                      int tokens);
+
+    /**
+     * Mount a globally shared prompt prefix of `tokens` tokens as the
+     * root segment. The root stays permanently resident and holds no
+     * blocks — the bytes live in (and are charged by) the global
+     * PrefixIndex — so path lengths, context sizes and roofline times
+     * include the prefix while this manager's pool does not pay for
+     * it, and forceEvictAll()/suspend() never drop it. Must be called
+     * before any child exists (prefix sums are derived at
+     * createChild time).
+     */
+    void setRootTokens(int tokens);
 
     /** Segment token count of a node. */
     [[nodiscard]] int nodeTokens(NodeId node) const;
@@ -237,6 +253,16 @@ class KvCacheManager
     /** Blocks needed for n tokens. */
     [[nodiscard]] size_t blocksFor(int tokens) const;
 
+    /**
+     * Maintenance: drop stale victim-heap entries (nodes that are no
+     * longer evictable, counted in KvStats::staleVictimEntries) and
+     * rebuild the heap from the surviving candidates. reclaim()
+     * invokes this automatically behind a defensive bound when stale
+     * entries pile up past the resident set; it is public so tests
+     * and diagnostics can force the rebuild deterministically.
+     */
+    void compactVictims();
+
   private:
     struct Node
     {
@@ -276,8 +302,6 @@ class KvCacheManager
     /** Add delta to the cached prefix sums of every descendant of id.
      *  Hot-path appends hit leaves, so this is almost always a no-op. */
     void shiftDescendantPrefixes(NodeId id, int delta);
-    /** Drop stale victims_ entries and rebuild the heap. */
-    void compactVictims();
 
     double kvBytesPerToken_;
     int blockTokens_;

@@ -1,0 +1,295 @@
+#include "kv/prefix_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kv/kv_session.h"
+
+namespace fasttts
+{
+
+PrefixIndex::PrefixIndex(double budget_bytes, double kv_bytes_per_token)
+    : budgetBytes_(std::max(0.0, budget_bytes)),
+      kvBytesPerToken_(std::max(1.0, kv_bytes_per_token))
+{
+    Node root;
+    root.refCount = 1; // Permanent self-reference: never evictable.
+    nodes_.push_back(root);
+}
+
+PrefixIndex::~PrefixIndex()
+{
+    if (ledger_ != nullptr && ledgerCharged_ > 0)
+        ledger_->release(ledgerCharged_);
+}
+
+void
+PrefixIndex::attachLedger(KvBudgetLedger *ledger)
+{
+    assert(residentTokens_ == 0 && ledgerCharged_ == 0);
+    ledger_ = ledger;
+}
+
+double
+PrefixIndex::residentBytes() const
+{
+    return static_cast<double>(residentTokens_) * kvBytesPerToken_;
+}
+
+int
+PrefixIndex::refCount(NodeId id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= nodes_.size())
+        return 0;
+    return node(id).refCount;
+}
+
+PrefixIndex::NodeId
+PrefixIndex::findChild(NodeId parent, int32_t token) const
+{
+    const auto &kids = node(parent).children;
+    const auto it = std::lower_bound(
+        kids.begin(), kids.end(), token,
+        [](const std::pair<int32_t, NodeId> &e, int32_t t) {
+            return e.first < t;
+        });
+    if (it != kids.end() && it->first == token)
+        return it->second;
+    return kInvalid;
+}
+
+void
+PrefixIndex::linkChild(NodeId parent, NodeId child)
+{
+    auto &kids = node(parent).children;
+    const int32_t token = node(child).tokens.front();
+    const auto it = std::lower_bound(
+        kids.begin(), kids.end(), token,
+        [](const std::pair<int32_t, NodeId> &e, int32_t t) {
+            return e.first < t;
+        });
+    kids.insert(it, {token, child});
+    node(child).parent = parent;
+}
+
+void
+PrefixIndex::unlinkChild(NodeId parent, NodeId child)
+{
+    auto &kids = node(parent).children;
+    for (size_t i = 0; i < kids.size(); ++i) {
+        if (kids[i].second == child) {
+            kids.erase(kids.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+    assert(false && "child not linked under parent");
+}
+
+PrefixIndex::NodeId
+PrefixIndex::newNode()
+{
+    if (!freeList_.empty()) {
+        const NodeId id = freeList_.back();
+        freeList_.pop_back();
+        node(id) = Node();
+        return id;
+    }
+    nodes_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+PrefixIndex::NodeId
+PrefixIndex::splitNode(NodeId child, int keep)
+{
+    assert(keep > 0
+           && keep < static_cast<int>(node(child).tokens.size()));
+    const NodeId parent = node(child).parent;
+    const NodeId prefix = newNode();
+    Node &c = node(child);
+    Node &p = node(prefix);
+    p.tokens.assign(c.tokens.begin(), c.tokens.begin() + keep);
+    c.tokens.erase(c.tokens.begin(), c.tokens.begin() + keep);
+    // Every pinned path through `child` also passes through the new
+    // prefix node, so it inherits the refcount — outstanding release()
+    // walks stay balanced.
+    p.refCount = c.refCount;
+    p.lastUse = c.lastUse;
+    unlinkChild(parent, child);
+    linkChild(parent, prefix);
+    linkChild(prefix, child);
+    ++liveNodes_;
+    ++stats_.splits;
+    // No byte change: the same tokens are resident, just re-noded.
+    return prefix;
+}
+
+bool
+PrefixIndex::evictOne()
+{
+    NodeId victim = kInvalid;
+    for (NodeId id = 1; id < static_cast<NodeId>(nodes_.size()); ++id) {
+        const Node &n = node(id);
+        if (n.erased || n.refCount != 0 || !n.children.empty())
+            continue;
+        if (victim == kInvalid || n.lastUse < node(victim).lastUse
+            || (n.lastUse == node(victim).lastUse && id < victim))
+            victim = id;
+    }
+    if (victim == kInvalid)
+        return false;
+    Node &v = node(victim);
+    const long tokens = static_cast<long>(v.tokens.size());
+    unlinkChild(v.parent, victim);
+    const double bytes =
+        static_cast<double>(tokens) * kvBytesPerToken_;
+    if (ledger_ != nullptr) {
+        ledger_->release(bytes);
+        ledgerCharged_ -= bytes;
+    }
+    residentTokens_ -= tokens;
+    v.erased = true;
+    v.tokens.clear();
+    v.tokens.shrink_to_fit();
+    freeList_.push_back(victim);
+    --liveNodes_;
+    ++stats_.evictions;
+    stats_.evictedTokens += static_cast<uint64_t>(tokens);
+    return true;
+}
+
+int
+PrefixIndex::reserveTokens(int want)
+{
+    if (want <= 0)
+        return 0;
+    const auto affordable = [this]() {
+        double free_bytes = budgetBytes_ - residentBytes();
+        if (ledger_ != nullptr)
+            free_bytes = std::min(free_bytes, ledger_->freeBytes());
+        return static_cast<int>(
+            std::max(0.0, free_bytes / kvBytesPerToken_));
+    };
+    while (affordable() < want && evictOne()) {
+    }
+    const int grant = std::min(want, affordable());
+    if (grant <= 0)
+        return 0;
+    const double bytes = static_cast<double>(grant) * kvBytesPerToken_;
+    if (ledger_ != nullptr) {
+        if (!ledger_->charge(bytes))
+            return 0; // affordable() capped by freeBytes; defensive.
+        ledgerCharged_ += bytes;
+    }
+    residentTokens_ += grant;
+    return grant;
+}
+
+PrefixIndex::Match
+PrefixIndex::acquire(const std::vector<int32_t> &tokens)
+{
+    ++tick_;
+    ++stats_.lookups;
+    NodeId cur = kRoot;
+    size_t pos = 0;
+    while (pos < tokens.size()) {
+        const NodeId next = findChild(cur, tokens[pos]);
+        if (next == kInvalid)
+            break;
+        const Node &n = node(next);
+        // Full-node matches only: a partially matched edge cannot be
+        // mounted (the request would still have to recompute its
+        // tail), so the walk stops at the last whole node.
+        if (n.tokens.size() > tokens.size() - pos)
+            break;
+        if (!std::equal(n.tokens.begin(), n.tokens.end(),
+                        tokens.begin() + static_cast<long>(pos)))
+            break;
+        pos += n.tokens.size();
+        cur = next;
+    }
+    for (NodeId id = cur; id != kInvalid; id = node(id).parent) {
+        ++node(id).refCount;
+        node(id).lastUse = tick_;
+    }
+    Match out;
+    out.matchedTokens = static_cast<int>(pos);
+    out.node = cur;
+    if (pos > 0) {
+        ++stats_.hits;
+        stats_.hitTokens += pos;
+    }
+    return out;
+}
+
+void
+PrefixIndex::release(NodeId id)
+{
+    if (id == kInvalid)
+        return;
+    assert(static_cast<size_t>(id) < nodes_.size()
+           && !node(id).erased);
+    for (NodeId cur = id; cur != kInvalid; cur = node(cur).parent) {
+        assert(node(cur).refCount > 0);
+        --node(cur).refCount;
+    }
+}
+
+void
+PrefixIndex::insert(const std::vector<int32_t> &tokens)
+{
+    ++tick_;
+    NodeId cur = kRoot;
+    size_t pos = 0;
+    while (pos < tokens.size()) {
+        const NodeId next = findChild(cur, tokens[pos]);
+        if (next == kInvalid) {
+            // Novel suffix: one new leaf holds whatever the budget
+            // accepts; the rest is rejected (graceful truncation).
+            const int want =
+                static_cast<int>(tokens.size() - pos);
+            // Walk-path guard: `cur` may itself be a refcount-zero
+            // leaf, which the LRU sweep inside reserveTokens() must
+            // not evict out from under the link below.
+            ++node(cur).refCount;
+            const int grant = reserveTokens(want);
+            --node(cur).refCount;
+            stats_.rejectedTokens +=
+                static_cast<uint64_t>(want - grant);
+            if (grant <= 0)
+                return;
+            const NodeId leaf = newNode();
+            node(leaf).tokens.assign(
+                tokens.begin() + static_cast<long>(pos),
+                tokens.begin() + static_cast<long>(pos) + grant);
+            node(leaf).lastUse = tick_;
+            linkChild(cur, leaf);
+            ++liveNodes_;
+            stats_.insertedTokens += static_cast<uint64_t>(grant);
+            return;
+        }
+        Node &n = node(next);
+        const size_t limit =
+            std::min(n.tokens.size(), tokens.size() - pos);
+        size_t common = 0;
+        while (common < limit
+               && n.tokens[common]
+                   == tokens[pos + common])
+            ++common;
+        if (common == n.tokens.size()) {
+            // Whole edge matched: descend.
+            n.lastUse = tick_;
+            pos += common;
+            cur = next;
+            continue;
+        }
+        // Partial edge match: split so the shared tokens become a
+        // node boundary, then continue from the new prefix node (the
+        // next round either descends into a novel-suffix leaf or
+        // terminates when the insert ends exactly at the boundary).
+        cur = splitNode(next, static_cast<int>(common));
+        node(cur).lastUse = tick_;
+        pos += common;
+    }
+}
+
+} // namespace fasttts

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Global cross-request radix index over prompt token prefixes.
+ *
+ * KvCacheManager shares KV *within* one request's beam tree; real
+ * serving traffic (shared system prompts, multi-turn sessions, N-best
+ * reranking) is dominated by prefixes shared *across* requests. The
+ * PrefixIndex is one process-wide radix tree over token sequences —
+ * the SGLang/SMART RadixCache design — that lets a new request mount
+ * the longest already-cached prefix of its prompt instead of
+ * re-prefilling it. Four axes define the design, mirroring the four
+ * serving axes of core/online_server.h:
+ *
+ *  - Match (`acquire`): walk the radix tree over the prompt's token
+ *    ids and return the deepest fully-matched node. The whole matched
+ *    path is pinned (per-node refcounts), so concurrent eviction can
+ *    never drop KV a mounted request still references; `release`
+ *    unpins. Matching is full-node only — divergence points become
+ *    node boundaries at insert time, so repeat traffic converges to
+ *    exact hits.
+ *
+ *  - Publish (`insert`): on request completion the full prompt is
+ *    inserted back. A partial match against an existing edge splits
+ *    the node in place: a new prefix node adopts the shared tokens and
+ *    the original node keeps the suffix *and its identity*, so
+ *    outstanding pins stay valid (the new prefix node inherits the
+ *    child's refcount — every pinned path through the child also
+ *    passes through it).
+ *
+ *  - Evict: the index owns a byte budget (tokens x kv bytes/token).
+ *    When an insert would exceed it, refcount-zero *leaf* nodes are
+ *    evicted LRU (internal monotonic tick, no wall clock) until the
+ *    insert fits; inserts degrade gracefully to a prefix of the
+ *    remaining tokens when the budget (or ledger) runs dry.
+ *
+ *  - Charge: with a KvBudgetLedger attached, every resident token is
+ *    charged to the same device-wide budget the per-request KV trees
+ *    contend for — cached prefixes are real memory, not free capacity.
+ *    Eviction refunds the ledger byte-for-byte.
+ *
+ * Determinism: children are sorted vectors keyed by edge first-token,
+ * recency is an internal monotonic counter, and there is no hashing —
+ * identical call sequences reproduce identical trees bit-for-bit.
+ */
+
+#ifndef FASTTTS_KV_PREFIX_INDEX_H
+#define FASTTTS_KV_PREFIX_INDEX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fasttts
+{
+
+class KvBudgetLedger;
+
+/** Aggregate statistics of one PrefixIndex over its lifetime. */
+struct PrefixIndexStats
+{
+    uint64_t lookups = 0;        //!< acquire() calls.
+    uint64_t hits = 0;           //!< Lookups that matched > 0 tokens.
+    uint64_t hitTokens = 0;      //!< Prompt tokens served from cache.
+    uint64_t insertedTokens = 0; //!< Tokens newly made resident.
+    uint64_t rejectedTokens = 0; //!< Insert tokens refused (budget).
+    uint64_t splits = 0;         //!< Nodes split on partial match.
+    uint64_t evictions = 0;      //!< Nodes evicted (LRU).
+    uint64_t evictedTokens = 0;  //!< Tokens dropped by eviction.
+};
+
+/**
+ * Refcounted radix tree over token-id sequences with byte-budget LRU
+ * eviction. Owned by ServingSystem; one instance serves every request
+ * of the process. Not thread-safe (the simulator is single-threaded).
+ */
+class PrefixIndex
+{
+  public:
+    using NodeId = int;
+    static constexpr NodeId kRoot = 0;
+    static constexpr NodeId kInvalid = -1;
+
+    /**
+     * @param budget_bytes Device bytes the index may keep resident.
+     * @param kv_bytes_per_token KV footprint of one cached prompt
+     *        token (generator + verifier when both trees mount it).
+     */
+    PrefixIndex(double budget_bytes, double kv_bytes_per_token);
+
+    /** Releases any shared-ledger charge still held. */
+    ~PrefixIndex();
+
+    PrefixIndex(const PrefixIndex &) = delete;
+    PrefixIndex &operator=(const PrefixIndex &) = delete;
+
+    /**
+     * Attach a shared byte budget (kv/kv_session.h): every resident
+     * token is charged to it and refunded on eviction, so cached
+     * prefixes contend with the in-flight requests' own KV. Must be
+     * called while the index is empty; the ledger must outlive the
+     * index. Pass nullptr to detach (only valid when nothing is
+     * resident).
+     */
+    void attachLedger(KvBudgetLedger *ledger);
+
+    /** Result of one prefix lookup. */
+    struct Match
+    {
+        int matchedTokens = 0;  //!< Longest cached prefix length.
+        NodeId node = kRoot;    //!< Deepest matched node (pinned).
+    };
+
+    /**
+     * Longest fully-cached prefix of `tokens`. The matched path
+     * (including the root) is pinned until the caller release()s the
+     * returned node — callers must release exactly once, even on a
+     * zero-token match.
+     */
+    [[nodiscard]] Match acquire(const std::vector<int32_t> &tokens);
+
+    /** Unpin the path acquired for `node`. kInvalid is a no-op. */
+    void release(NodeId node);
+
+    /**
+     * Publish a token sequence (typically a completed request's full
+     * prompt). Existing nodes are reused, partial edge matches are
+     * split in place, and the novel suffix becomes new nodes —
+     * truncated when the byte budget or ledger refuses the tokens
+     * (counted in stats().rejectedTokens).
+     */
+    void insert(const std::vector<int32_t> &tokens);
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /** Active pins on a node (root counts zero-match pins too). */
+    [[nodiscard]] int refCount(NodeId node) const;
+
+    /** Live nodes, excluding the root. */
+    [[nodiscard]] int nodeCount() const { return liveNodes_; }
+
+    /** Tokens currently resident across the tree. */
+    [[nodiscard]] long residentTokens() const { return residentTokens_; }
+
+    /** Bytes currently resident (tokens x kv bytes/token). */
+    [[nodiscard]] double residentBytes() const;
+
+    /** Byte budget. */
+    [[nodiscard]] double budgetBytes() const { return budgetBytes_; }
+
+    /** KV footprint of one cached token. */
+    [[nodiscard]] double kvBytesPerToken() const
+    {
+        return kvBytesPerToken_;
+    }
+
+    /** The attached shared ledger (nullptr when standalone). */
+    [[nodiscard]] KvBudgetLedger *ledger() const { return ledger_; }
+
+    /** Running statistics. */
+    [[nodiscard]] const PrefixIndexStats &stats() const { return stats_; }
+
+  private:
+    struct Node
+    {
+        NodeId parent = kInvalid;
+        std::vector<int32_t> tokens; //!< Edge label from the parent.
+        //!< Children as (edge first token, node), kept sorted by
+        //!< token so walks are deterministic and O(log fanout).
+        std::vector<std::pair<int32_t, NodeId>> children;
+        int refCount = 0;
+        uint64_t lastUse = 0;
+        bool erased = false;
+    };
+
+    Node &node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+    [[nodiscard]] const Node &node(NodeId id) const
+    {
+        return nodes_[static_cast<size_t>(id)];
+    }
+
+    /** Child of `parent` whose edge starts with `token`, or kInvalid. */
+    [[nodiscard]] NodeId findChild(NodeId parent, int32_t token) const;
+    void linkChild(NodeId parent, NodeId child);
+    void unlinkChild(NodeId parent, NodeId child);
+    [[nodiscard]] NodeId newNode();
+    /** Split `child` so its first `keep` edge tokens become a new
+     *  prefix node; `child` keeps the suffix and its identity.
+     *  @return The new prefix node. */
+    NodeId splitNode(NodeId child, int keep);
+    /** Evict the LRU refcount-zero leaf. @return false when none. */
+    bool evictOne();
+    /** Tokens of `want` the budget + ledger can accept right now,
+     *  after LRU eviction; charges the ledger for the grant. */
+    [[nodiscard]] int reserveTokens(int want);
+
+    double budgetBytes_;
+    double kvBytesPerToken_;
+    KvBudgetLedger *ledger_ = nullptr;
+    double ledgerCharged_ = 0; //!< Bytes charged to ledger_.
+    std::vector<Node> nodes_;
+    std::vector<NodeId> freeList_;
+    long residentTokens_ = 0;
+    int liveNodes_ = 0;
+    uint64_t tick_ = 0; //!< Monotonic recency counter (no wall clock).
+    PrefixIndexStats stats_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_KV_PREFIX_INDEX_H

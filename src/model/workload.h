@@ -86,6 +86,13 @@ struct Problem
     double difficulty = 0;  //!< Latent difficulty (higher = harder).
     uint64_t seed = 0;      //!< Per-problem RNG stream seed.
     int promptTokens = 0;   //!< Question prompt length in tokens.
+    //!< Prompt token identities for cross-request prefix caching
+    //!< (kv/prefix_index.h). Empty means "opaque prompt": when the
+    //!< prefix cache is enabled the engine synthesizes a
+    //!< deterministic sequence from `seed`, so repeat servings of
+    //!< the same problem still share their full prompt. When set,
+    //!< size() must equal promptTokens.
+    std::vector<int32_t> promptIds;
 };
 
 /**

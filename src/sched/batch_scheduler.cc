@@ -22,14 +22,73 @@ BatchScheduler::BatchScheduler(int max_batched_tokens, int prefill_chunk)
 {
 }
 
+namespace
+{
+
+/** Whether two candidates share a nonzero prefix-affinity key. */
+bool
+anySharedPrefixKey(const std::vector<BatchCandidate> &candidates)
+{
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].prefixKey == 0)
+            continue;
+        for (size_t j = i + 1; j < candidates.size(); ++j) {
+            if (candidates[j].prefixKey == candidates[i].prefixKey)
+                return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Stable regroup: candidates with equal nonzero prefixKey move up to
+ * sit directly behind the first occurrence of their key; everything
+ * else keeps its relative order. Identity when no key repeats.
+ */
+std::vector<BatchCandidate>
+groupByPrefixKey(const std::vector<BatchCandidate> &candidates)
+{
+    std::vector<BatchCandidate> grouped;
+    grouped.reserve(candidates.size());
+    std::vector<bool> taken(candidates.size(), false);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (taken[i])
+            continue;
+        taken[i] = true;
+        grouped.push_back(candidates[i]);
+        if (candidates[i].prefixKey == 0)
+            continue;
+        for (size_t j = i + 1; j < candidates.size(); ++j) {
+            if (!taken[j]
+                && candidates[j].prefixKey == candidates[i].prefixKey) {
+                taken[j] = true;
+                grouped.push_back(candidates[j]);
+            }
+        }
+    }
+    return grouped;
+}
+
+} // namespace
+
 BatchPlan
 BatchScheduler::plan(const std::vector<BatchCandidate> &candidates) const
 {
     BatchPlan out;
     long budget = maxBatchedTokens_;
 
+    // Prefix-affinity tiebreak (see header): only rewrite the order
+    // when some nonzero key actually repeats, so the common path (no
+    // prefix cache, or all-distinct keys) is untouched.
+    std::vector<BatchCandidate> grouped;
+    const bool regroup = anySharedPrefixKey(candidates);
+    if (regroup)
+        grouped = groupByPrefixKey(candidates);
+    const std::vector<BatchCandidate> &order =
+        regroup ? grouped : candidates;
+
     // --- Decode phase: requests past their prompt keep decoding. ---
-    for (const BatchCandidate &candidate : candidates) {
+    for (const BatchCandidate &candidate : order) {
         if (candidate.promptRemaining > 0 || candidate.decodeTokens <= 0)
             continue;
         const long need = std::max(1, candidate.decodeTokens);
@@ -50,7 +109,7 @@ BatchScheduler::plan(const std::vector<BatchCandidate> &candidates) const
 
     // --- Prefill phase: leftover budget becomes prompt chunks, one
     //     per prefilling request per wave (chunked prefill). ---
-    for (const BatchCandidate &candidate : candidates) {
+    for (const BatchCandidate &candidate : order) {
         if (candidate.promptRemaining <= 0)
             continue;
         long chunk = std::min<long>(

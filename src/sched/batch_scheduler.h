@@ -27,6 +27,7 @@
 #define FASTTTS_SCHED_BATCH_SCHEDULER_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace fasttts
@@ -67,6 +68,14 @@ struct BatchCandidate
                              //!< > 0 means the request cannot decode.
     int decodeTokens = 0;   //!< Predicted tokens one decode iteration
                             //!< emits (active beams x expected step).
+    uint64_t prefixKey = 0; //!< Shared-prefix affinity key (0 = none):
+                            //!< candidates with equal nonzero keys
+                            //!< mount the same PrefixIndex node, so
+                            //!< co-scheduling them keeps the shared
+                            //!< KV hot within one wave. Tiebreak
+                            //!< only — never changes admission
+                            //!< eligibility, and all-zero keys
+                            //!< reproduce the unkeyed plan exactly.
 };
 
 /**
@@ -91,6 +100,13 @@ class BatchScheduler
      * decodeTokens <= 0) are skipped. The first admissible candidate
      * is always admitted even when its demand alone exceeds the
      * budget (progress guarantee).
+     *
+     * Prefix-affinity tiebreak: before packing, candidates that share
+     * a nonzero prefixKey are stably regrouped behind the first
+     * occurrence of their key, so waves co-schedule requests whose
+     * prompts mount the same cached prefix. With no duplicate nonzero
+     * keys (in particular, the cache off) the order — and therefore
+     * the plan — is bit-identical to the unkeyed scheduler.
      */
     [[nodiscard]] BatchPlan
     plan(const std::vector<BatchCandidate> &candidates) const;

@@ -748,6 +748,74 @@ TEST(EngineArgsOnline, BatchingFlagValidation)
     EXPECT_NE(status.message().find("--batching"), std::string::npos);
 }
 
+TEST(EngineArgsOnline, PrefixCacheFlagsArgvAndJsonAgree)
+{
+    const auto via_argv = parse(
+        {"--prefix-cache", "on", "--prefix-cache-budget", "0.25"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(R"({
+        "prefix_cache": "on",
+        "prefix_cache_budget_gib": 0.25
+    })");
+    ASSERT_TRUE(via_json.ok());
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->prefixCache, "on");
+        EXPECT_DOUBLE_EQ(args->prefixCacheBudgetGiB, 0.25);
+        EXPECT_TRUE(args->validate().ok());
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.prefixCache, "on");
+        EXPECT_DOUBLE_EQ(online.prefixCacheBudgetGiB, 0.25);
+    }
+    EXPECT_TRUE(via_argv->wasSet("--prefix-cache"));
+    EXPECT_TRUE(via_argv->wasSet("--prefix-cache-budget"));
+
+    // The equals form parses too.
+    const auto equals = parse({"--prefix-cache=on"});
+    ASSERT_TRUE(equals.ok());
+    EXPECT_EQ(equals->prefixCache, "on");
+
+    // Defaults keep the cache off with the derived (0) budget, so
+    // legacy invocations stay bit-identical.
+    const auto defaults = parse({});
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_EQ(defaults->prefixCache, "off");
+    EXPECT_DOUBLE_EQ(defaults->prefixCacheBudgetGiB, 0.0);
+    EXPECT_FALSE(defaults->wasSet("--prefix-cache"));
+    EXPECT_EQ(defaults->toOnlineOptions().prefixCache, "off");
+}
+
+TEST(EngineArgsOnline, PrefixCacheFlagValidation)
+{
+    EngineArgs args;
+    args.prefixCache = "maybe";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(args.validate().message().find("off"),
+              std::string::npos);
+
+    args = EngineArgs();
+    args.prefixCacheBudgetGiB = -0.5;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    // Wrong JSON types are rejected up front.
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"prefix_cache": true})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(
+                  R"({"prefix_cache_budget_gib": "big"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    // Fixed-config tools reject the prefix-cache flags too.
+    const auto set = parse({"--prefix-cache", "on"});
+    ASSERT_TRUE(set.ok());
+    const Status status = set->rejectUnsupportedFlags({"--problems"});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--prefix-cache"),
+              std::string::npos);
+}
+
 TEST(EngineArgsArgv, HelpNoLongerAdvertisesPositionals)
 {
     // The replacement flags keep working, and help() no longer

@@ -127,6 +127,77 @@ TEST(BatchScheduler, PlansAreDeterministic)
     EXPECT_EQ(a.plannedTokens, b.plannedTokens);
 }
 
+TEST(BatchScheduler, PrefixAffinityGroupsSharedKeysBehindTheFirst)
+{
+    // Candidates 0, 2 and 4 mount the same cached prefix: the stable
+    // regroup pulls 2 and 4 up behind 0, so one wave co-schedules
+    // them while the shared KV is hot. Unkeyed members keep their
+    // relative order after the group.
+    const BatchScheduler scheduler(10000, 512);
+    auto keyed = [](size_t member, uint64_t key) {
+        BatchCandidate c;
+        c.member = member;
+        c.decodeTokens = 10;
+        c.prefixKey = key;
+        return c;
+    };
+    const BatchPlan plan = scheduler.plan(
+        {keyed(0, 7), keyed(1, 0), keyed(2, 7), keyed(3, 5),
+         keyed(4, 7)});
+    ASSERT_EQ(plan.entries.size(), 5u);
+    EXPECT_EQ(plan.entries[0].member, 0u);
+    EXPECT_EQ(plan.entries[1].member, 2u);
+    EXPECT_EQ(plan.entries[2].member, 4u);
+    EXPECT_EQ(plan.entries[3].member, 1u);
+    EXPECT_EQ(plan.entries[4].member, 3u);
+}
+
+TEST(BatchScheduler, PrefixAffinityNeverPromotesPrefillersOverDecoders)
+{
+    // Affinity is a tiebreak within the candidate order, not a phase
+    // change: a prefiller sharing the decoder's key still waits for
+    // the decode phase to pack first.
+    const BatchScheduler scheduler(300, 512);
+    BatchCandidate lead = decoder(0, 100);
+    lead.prefixKey = 7;
+    BatchCandidate tail = prefiller(1, 1000);
+    tail.prefixKey = 7;
+    BatchCandidate other = decoder(2, 100);
+    const BatchPlan plan = scheduler.plan({lead, tail, other});
+    ASSERT_EQ(plan.entries.size(), 3u);
+    EXPECT_EQ(plan.entries[0].kind, BatchWorkKind::Decode);
+    EXPECT_EQ(plan.entries[0].member, 0u);
+    EXPECT_EQ(plan.entries[1].kind, BatchWorkKind::Decode);
+    EXPECT_EQ(plan.entries[1].member, 2u);
+    EXPECT_EQ(plan.entries[2].kind, BatchWorkKind::PrefillChunk);
+    EXPECT_EQ(plan.entries[2].member, 1u);
+    EXPECT_EQ(plan.entries[2].tokens, 100); // Leftover budget.
+}
+
+TEST(BatchScheduler, DistinctOrZeroKeysReproduceTheUnkeyedPlan)
+{
+    // Without a repeated nonzero key the tiebreak is the identity:
+    // the plan is bit-identical to the same candidates with no keys
+    // at all (the --prefix-cache off determinism contract).
+    const BatchScheduler scheduler(777, 99);
+    std::vector<BatchCandidate> unkeyed = {
+        decoder(0, 300), prefiller(1, 450), decoder(2, 600),
+        prefiller(3, 20)};
+    std::vector<BatchCandidate> keyed = unkeyed;
+    keyed[0].prefixKey = 11;
+    keyed[2].prefixKey = 13;
+    // keyed[1]/keyed[3] stay 0 (no affinity).
+    const BatchPlan want = scheduler.plan(unkeyed);
+    const BatchPlan got = scheduler.plan(keyed);
+    ASSERT_EQ(got.entries.size(), want.entries.size());
+    for (size_t i = 0; i < got.entries.size(); ++i) {
+        EXPECT_EQ(got.entries[i].member, want.entries[i].member);
+        EXPECT_EQ(got.entries[i].kind, want.entries[i].kind);
+        EXPECT_EQ(got.entries[i].tokens, want.entries[i].tokens);
+    }
+    EXPECT_EQ(got.plannedTokens, want.plannedTokens);
+}
+
 TEST(BatchScheduler, NonPositiveKnobsClampToOne)
 {
     const BatchScheduler scheduler(0, -5);

@@ -3,9 +3,9 @@
  * Smoke test for the JSON-emitting benchmark harness.
  *
  * Runs the real bench_runner binary (path injected by CMake as
- * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 17 registered
- * benchmarks (16 figure benchmarks plus the online_scheduling policy
- * sweep), and a --quick run must write BENCH_<name>.json files that
+ * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 20 registered
+ * benchmarks (the figure benchmarks plus the online serving suite),
+ * and a --quick run must write BENCH_<name>.json files that
  * parse and carry the throughput / latency-percentile /
  * KV-utilization / SLO-attainment contract every optimisation PR is
  * judged against.
@@ -68,7 +68,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
     ASSERT_EQ(status, 0);
 
     const std::vector<std::string> names = splitLines(output);
-    EXPECT_EQ(names.size(), 19u);
+    EXPECT_EQ(names.size(), 20u);
     for (const char *expected :
          {"fig01_frontier", "fig03_patterns", "fig04_utilization",
           "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
@@ -76,7 +76,8 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
           "fig14_accuracy", "fig15_hardware", "fig16_ablation",
           "fig17_speculative", "fig18_scheduling", "micro",
           "online_responsiveness", "online_scheduling",
-          "online_preemption", "online_batching"}) {
+          "online_preemption", "online_batching",
+          "online_prefix_reuse"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing benchmark: " << expected;

@@ -324,6 +324,69 @@ TEST(KvCache, StatsAccumulate)
     EXPECT_EQ(kv.stats().hitTokens, 32u);
 }
 
+// --- Prefix-cache mounts (setRootTokens) ---
+
+TEST(KvCache, SetRootTokensMountsASharedPrefixWithoutBlocks)
+{
+    auto kv = makeCache(1024);
+    kv.setRootTokens(96);
+    // The mount lengthens every path but costs this manager nothing:
+    // the bytes live in (and are charged by) the global PrefixIndex.
+    EXPECT_EQ(kv.pathTokens(KvCacheManager::kRoot), 96);
+    EXPECT_EQ(kv.residentTokens(), 0);
+    EXPECT_EQ(kv.allocator().used(), 0u);
+
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 50);
+    EXPECT_EQ(kv.pathTokens(a), 146);
+    const auto touch = kv.ensureResident(a, 1);
+    EXPECT_TRUE(touch.ok);
+    // Only the suffix is recomputed; the mounted prefix is neither a
+    // recompute nor a per-touch hit (the serving layer accounts it
+    // once as prefixHitTokens).
+    EXPECT_EQ(touch.recomputeTokens, 50);
+    EXPECT_EQ(touch.cachedTokens, 0);
+    EXPECT_EQ(kv.residentTokens(), 50);
+    EXPECT_EQ(kv.allocator().used(), kv.blocksFor(50));
+}
+
+TEST(KvCache, ForceEvictAllNeverDropsTheMountedRoot)
+{
+    auto kv = makeCache(1024);
+    kv.setRootTokens(64);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 32);
+    ASSERT_TRUE(kv.ensureResident(a, 1).ok);
+    EXPECT_EQ(kv.forceEvictAll(), 32);
+    EXPECT_TRUE(kv.isResident(KvCacheManager::kRoot));
+    EXPECT_FALSE(kv.isResident(a));
+    // The mount survives preemption: path lengths are unchanged and a
+    // re-touch recomputes only the suffix.
+    EXPECT_EQ(kv.pathTokens(a), 96);
+    const auto touch = kv.ensureResident(a, 2);
+    EXPECT_TRUE(touch.ok);
+    EXPECT_EQ(touch.recomputeTokens, 32);
+}
+
+TEST(KvCache, MountedRootTokensCountTowardTheUnsharedCounterfactual)
+{
+    // unsharedTokens() is the footprint *without* prefix sharing:
+    // each retained beam would privately re-store the whole path,
+    // mounted prefix included — that gap is exactly the sharing win
+    // fig05 reports. The root's permanent constructor-time reference
+    // still contributes nothing on its own.
+    auto kv = makeCache(1024);
+    kv.setRootTokens(100);
+    EXPECT_EQ(kv.unsharedTokens(), 0);
+    const int a = kv.createChild(KvCacheManager::kRoot, 1, 10);
+    kv.retain(a);
+    EXPECT_EQ(kv.unsharedTokens(), 110);
+    const int b = kv.createChild(KvCacheManager::kRoot, 2, 10);
+    kv.retain(b);
+    EXPECT_EQ(kv.unsharedTokens(), 220);
+    kv.release(a);
+    kv.release(b);
+    EXPECT_EQ(kv.unsharedTokens(), 0);
+}
+
 // --- Reference implementations: fresh walks over the public API, used
 // to validate the cached/counter-backed accounting. ---
 
@@ -532,6 +595,107 @@ TEST_P(KvCacheProperty, InvariantsUnderRandomWorkload)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KvCacheProperty,
                          ::testing::Range(1, 13));
+
+/**
+ * Victim-heap maintenance property: interleaving explicit
+ * compactVictims() calls into a randomized create / evict /
+ * re-resident / pin churn must never change what the cache does —
+ * compaction is pure maintenance (drop stale entries, rebuild the
+ * heap), so a compacted twin and an untouched twin running the
+ * identical op stream stay observably identical, while the tight
+ * budget keeps evictions (and therefore stale heap entries and the
+ * reclaim()-side defensive rebuild) frequent.
+ */
+class KvCacheCompactionProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KvCacheCompactionProperty, CompactVictimsIsObservablyInert)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    auto plain = makeCache(512, 16);
+    auto compacted = makeCache(512, 16);
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    std::vector<int> nodes_a = {KvCacheManager::kRoot};
+    std::vector<int> nodes_b = {KvCacheManager::kRoot};
+    std::vector<int> pinned_a;
+    std::vector<int> pinned_b;
+    uint64_t seg_a = 1;
+    uint64_t seg_b = 1;
+
+    auto step = [](KvCacheManager &kv, std::vector<int> &nodes,
+                   std::vector<int> &pinned, Rng &rng, uint64_t &seg,
+                   uint64_t tick) -> bool {
+        const int op = rng.uniformInt(0, 5);
+        const int node = nodes[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(nodes.size()) - 1))];
+        switch (op) {
+        case 0: // Grow: new segments compete for the small pool.
+            nodes.push_back(
+                kv.createChild(node, seg++, rng.uniformInt(1, 60)));
+            return true;
+        case 1: // Re-resident: the evict/re-touch cycle under test.
+        case 2:
+            return kv.ensureResident(node, tick).ok;
+        case 3: // Pin: turns queued victim entries stale.
+            if (node != KvCacheManager::kRoot) {
+                kv.retain(node);
+                pinned.push_back(node);
+            }
+            return true;
+        case 4: // Unpin: the node becomes evictable again.
+            if (!pinned.empty()) {
+                const size_t at = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int>(pinned.size()) - 1));
+                kv.release(pinned[at]);
+                pinned.erase(pinned.begin() + static_cast<long>(at));
+            }
+            return true;
+        default: // Touch refresh: stales the old heap entry's key.
+            return kv.ensureResident(node, tick).ok;
+        }
+    };
+
+    for (int op = 0; op < 400; ++op) {
+        const uint64_t tick = static_cast<uint64_t>(op) + 1;
+        const bool ok_a =
+            step(plain, nodes_a, pinned_a, rng_a, seg_a, tick);
+        const bool ok_b =
+            step(compacted, nodes_b, pinned_b, rng_b, seg_b, tick);
+        // Only one twin gets maintenance calls.
+        if (op % 23 == 22)
+            compacted.compactVictims();
+
+        ASSERT_EQ(ok_a, ok_b) << "op " << op;
+        ASSERT_EQ(nodes_a.size(), nodes_b.size());
+        ASSERT_EQ(plain.allocator().used(), compacted.allocator().used())
+            << "op " << op;
+        ASSERT_EQ(plain.residentTokens(), compacted.residentTokens());
+        ASSERT_EQ(plain.residentNodeCount(),
+                  compacted.residentNodeCount());
+        for (size_t i = 0; i < nodes_a.size(); ++i)
+            ASSERT_EQ(plain.isResident(nodes_a[i]),
+                      compacted.isResident(nodes_b[i]))
+                << "node " << i << " after op " << op;
+    }
+
+    // LRU outcomes matched step-for-step above; the maintenance
+    // counters must show the machinery actually ran: the churn stales
+    // entries on both twins, and the explicit calls are counted (on
+    // top of any defensive rebuilds reclaim() triggered on its own).
+    EXPECT_GT(plain.stats().evictions, 0u);
+    EXPECT_GT(plain.stats().staleVictimEntries, 0u);
+    EXPECT_GT(compacted.stats().staleVictimEntries, 0u);
+    EXPECT_GE(compacted.stats().victimCompactions, 400u / 23u);
+
+    // And compaction right before teardown is still inert.
+    compacted.compactVictims();
+    EXPECT_EQ(plain.allocator().used(), compacted.allocator().used());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvCacheCompactionProperty,
+                         ::testing::Range(1, 9));
 
 } // namespace
 } // namespace fasttts

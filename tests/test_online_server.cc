@@ -8,9 +8,11 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/online_server.h"
+#include "kv/prefix_index.h"
 
 namespace fasttts
 {
@@ -845,6 +847,306 @@ TEST(OnlineServer, ContinuousBatchingStormHoldsInvariants)
         EXPECT_GT(rec.finish, rec.start);
         EXPECT_GT(rec.activeTime, 0.0);
         EXPECT_LE(rec.activeTime, rec.serviceTime() + 1e-9);
+    }
+}
+
+// --- Benching hysteresis: the "at most one return per wave" rule ---
+
+TEST(PickBenchReturn, NoBenchedMembersMeansNoReturn)
+{
+    EXPECT_EQ(pickBenchReturn({}, 1000, 10, false), -1);
+    EXPECT_EQ(pickBenchReturn({{false, 50}, {false, 70}}, 1000, 10,
+                              false),
+              -1);
+}
+
+TEST(PickBenchReturn, OldestBenchedReturnsWithHysteresisHeadroom)
+{
+    // Eligibility gate: kv demand + 2x headroom must be free, the
+    // hysteresis gap that stops bench/unbench thrash.
+    const std::vector<std::pair<bool, double>> wave = {
+        {false, 40}, {true, 100}, {true, 10}};
+    EXPECT_EQ(pickBenchReturn(wave, 120.0, 10.0, false), 1);
+    // Exactly at the threshold still qualifies...
+    EXPECT_EQ(pickBenchReturn(wave, 100.0 + 2 * 10.0, 10.0, false), 1);
+    // ...one byte under does not.
+    EXPECT_EQ(pickBenchReturn(wave, 119.0, 10.0, false), -1);
+}
+
+TEST(PickBenchReturn, IneligibleOldestBlocksYoungerMembers)
+{
+    // The younger benched member (10 bytes) would fit easily, but the
+    // oldest benched one gates the wave: skipping ahead of it would
+    // starve the old request whenever memory stays tight.
+    const std::vector<std::pair<bool, double>> wave = {
+        {false, 40}, {true, 1000}, {true, 10}};
+    EXPECT_EQ(pickBenchReturn(wave, 200.0, 10.0, false), -1);
+}
+
+TEST(PickBenchReturn, FrontForcedReturnIsNotAHysteresisReturn)
+{
+    // The front entered the wave benched (the oldest member completed
+    // and promoted it) and was force-returned — the progress
+    // guarantee. Its flag was already cleared exactly once, so the
+    // hysteresis rule must never pick index 0 again, but the next
+    // benched member is still eligible on its own merits.
+    const std::vector<std::pair<bool, double>> wave = {
+        {true, 40}, {true, 60}, {true, 10}};
+    EXPECT_EQ(pickBenchReturn(wave, 1000.0, 10.0, true), 1);
+    // Without the forced return the same wave unbenches the front.
+    EXPECT_EQ(pickBenchReturn(wave, 1000.0, 10.0, false), 0);
+    // A front-only wave yields no hysteresis return at all.
+    EXPECT_EQ(pickBenchReturn({{true, 40}}, 1000.0, 10.0, true), -1);
+}
+
+TEST(PickBenchReturn, AtMostOneReturnPerWave)
+{
+    // Every member benched and every member eligible: still exactly
+    // one comes back (the oldest), never a mass return.
+    const std::vector<std::pair<bool, double>> wave = {
+        {false, 5}, {true, 5}, {true, 5}, {true, 5}};
+    EXPECT_EQ(pickBenchReturn(wave, 1e9, 10.0, false), 1);
+    EXPECT_EQ(pickBenchReturn(wave, 1e9, 10.0, true), 1);
+}
+
+// --- Cross-request prefix cache ---
+
+TEST(OnlineServer, CreateRejectsBadPrefixCacheOptions)
+{
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions bad_mode;
+    bad_mode.prefixCache = "maybe";
+    const auto unknown = OnlineServer::create(opts, bad_mode);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(unknown.status().message().find("off"),
+              std::string::npos);
+
+    OnlineServerOptions negative_budget;
+    negative_budget.prefixCache = "on";
+    negative_budget.prefixCacheBudgetGiB = -0.5;
+    EXPECT_EQ(
+        OnlineServer::create(opts, negative_budget).status().code(),
+        StatusCode::kInvalidArgument);
+}
+
+/** The multi-turn session trace the prefix-cache tests serve: each
+ *  turn's prompt exactly prefix-extends the previous turn's. */
+std::vector<OnlineRequest>
+multiTurnTrace(int turns, int base_tokens, int growth_tokens)
+{
+    std::vector<OnlineRequest> requests;
+    for (int turn = 0; turn < turns; ++turn) {
+        OnlineRequest r;
+        r.arrival = 5.0 * turn;
+        const int prompt = base_tokens + turn * growth_tokens;
+        for (int j = 0; j < prompt; ++j)
+            r.promptIds.push_back(static_cast<int32_t>(1000003 + j));
+        requests.push_back(r);
+    }
+    return requests;
+}
+
+TEST(OnlineServer, PrefixCacheOffIsFieldForFieldIdenticalToDefault)
+{
+    // The differential the whole feature hangs on: --prefix-cache off
+    // (even with a budget set, which must be inert) reproduces a
+    // default-configured server exactly — every record field and
+    // every aggregate, no epsilon — in both batching modes.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions legacy;
+        legacy.maxInflight = 3;
+        legacy.batching = batching;
+        OnlineServerOptions off = legacy;
+        off.prefixCache = "off";
+        off.prefixCacheBudgetGiB = 2.0; // Must not matter when off.
+
+        const auto trace = multiTurnTrace(6, 96, 48);
+        OnlineServer a = OnlineServer::create(opts, legacy).value();
+        OnlineServer b = OnlineServer::create(opts, off).value();
+        const auto want = a.serveRequests(trace).value();
+        const auto got = b.serveRequests(trace).value();
+
+        ASSERT_EQ(got.records.size(), want.records.size()) << batching;
+        for (size_t i = 0; i < got.records.size(); ++i) {
+            EXPECT_EQ(got.records[i].problemId,
+                      want.records[i].problemId);
+            EXPECT_DOUBLE_EQ(got.records[i].arrival,
+                             want.records[i].arrival);
+            EXPECT_DOUBLE_EQ(got.records[i].start,
+                             want.records[i].start);
+            EXPECT_DOUBLE_EQ(got.records[i].finish,
+                             want.records[i].finish);
+            EXPECT_DOUBLE_EQ(got.records[i].activeTime,
+                             want.records[i].activeTime);
+            EXPECT_EQ(got.records[i].preemptions,
+                      want.records[i].preemptions);
+        }
+        EXPECT_DOUBLE_EQ(got.meanLatency, want.meanLatency);
+        EXPECT_DOUBLE_EQ(got.p50Latency, want.p50Latency);
+        EXPECT_DOUBLE_EQ(got.p99Latency, want.p99Latency);
+        EXPECT_DOUBLE_EQ(got.makespan, want.makespan);
+        EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+        EXPECT_DOUBLE_EQ(got.batchOccupancy, want.batchOccupancy);
+        EXPECT_EQ(got.verifiedTokens, want.verifiedTokens);
+        EXPECT_EQ(got.recomputedTokens, want.recomputedTokens);
+        EXPECT_EQ(got.contextSwitches, want.contextSwitches);
+        EXPECT_EQ(got.prefixHitTokens, 0);
+        EXPECT_EQ(want.prefixHitTokens, 0);
+        EXPECT_EQ(b.system().prefixIndex(), nullptr);
+    }
+}
+
+TEST(OnlineServer, PrefixCacheMountsMultiTurnSessionPrompts)
+{
+    // Turn k's prompt prefix-extends turn k-1's, and the turns are
+    // spaced out so each completes (and publishes) before the next
+    // arrives: with an ample cache every turn mounts the whole
+    // previous prompt, so the trace's saved volume is exactly the sum
+    // of prompts 1..n-1.
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.prefixCache = "on";
+    const auto trace = multiTurnTrace(3, 96, 48);
+
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const auto out = server.serveRequests(trace).value();
+    ASSERT_EQ(out.records.size(), 3u);
+    EXPECT_EQ(out.prefixHitTokens, 96 + 144);
+
+    const PrefixIndex *index = server.system().prefixIndex();
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->stats().hitTokens, 96u + 144u);
+    EXPECT_GE(index->stats().lookups, 3u);
+    // Completed prompts were published back: the longest prompt is
+    // fully cached for the session's next turn.
+    EXPECT_GE(index->residentTokens(), 96 + 48 + 48);
+
+    // The identical trace with the cache off saves nothing.
+    OnlineServer off = OnlineServer::create(opts).value();
+    const auto off_out = off.serveRequests(trace).value();
+    EXPECT_EQ(off_out.records.size(), 3u);
+    EXPECT_EQ(off_out.prefixHitTokens, 0);
+}
+
+// --- Ledger charge/refund symmetry under refused lazy re-prefill ---
+
+TEST(OnlineServer, LedgerOccupancyReturnsToBaselineAfterTightStorm)
+{
+    // The satellite-1 regression: under a deliberately tight shared
+    // budget, benched members' lazy re-prefills are refused and fall
+    // back to pay-at-first-touch recompute. Whatever path each
+    // request took, every charge must be matched by a refund —
+    // allocateBlocks/releaseBlocks are all-or-nothing, so a refused
+    // charge reserves nothing to leak — and the ledger drains to
+    // exactly zero once the storm completes.
+    ServingOptions opts = smallOptions(true);
+    opts.numBeams = 4;
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = 8;
+    online.batching = "continuous";
+    online.kvBudgetGiB = 0.5;
+    online.shedDoomed = true;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    const auto arrivals = burstyArrivalTrace(16, 0.5, 11);
+    std::vector<OnlineRequest> requests;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        OnlineRequest r;
+        r.arrival = arrivals[i];
+        const double tiers[] = {20.0, 60.0, 240.0, 0.0};
+        r.slo = tiers[i % 4];
+        requests.push_back(r);
+    }
+    const auto out = server.serveRequests(requests).value();
+    EXPECT_GT(out.records.size(), 0u);
+    EXPECT_GT(server.kvLedger().peakUsedBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(), 0.0);
+
+    // With the prefix cache on, the only residual charge is the
+    // cache's own resident bytes — in-flight KV still drains fully.
+    OnlineServerOptions cached = online;
+    cached.prefixCache = "on";
+    OnlineServer cached_server =
+        OnlineServer::create(opts, cached).value();
+    const auto cached_out =
+        cached_server.serveRequests(requests).value();
+    EXPECT_GT(cached_out.records.size(), 0u);
+    ASSERT_NE(cached_server.system().prefixIndex(), nullptr);
+    EXPECT_DOUBLE_EQ(
+        cached_server.kvLedger().usedBytes(),
+        cached_server.system().prefixIndex()->residentBytes());
+}
+
+// --- Percentile population contract on shedding traces ---
+
+/** Ceil-rank percentile over completed-record latencies, the
+ *  reference aggregateTrace() must agree with. */
+double
+latencyPercentile(const std::vector<OnlineRequestRecord> &records,
+                  double p)
+{
+    std::vector<double> latencies;
+    for (const auto &rec : records)
+        latencies.push_back(rec.latency());
+    std::sort(latencies.begin(), latencies.end());
+    const size_t rank = static_cast<size_t>(std::ceil(
+        p * static_cast<double>(latencies.size())));
+    return latencies[std::max<size_t>(rank, 1) - 1];
+}
+
+TEST(OnlineServer, PercentilesCoverCompletedRequestsOnlyWhenShedding)
+{
+    // A trace that sheds and cancels must not let the missing
+    // requests skew its latency statistics: in BOTH batching modes
+    // the percentiles are exactly the ceil-rank statistics of the
+    // completed records — no phantom zero-latency entries for shed or
+    // cancelled requests, and the three populations partition the
+    // trace.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions online;
+        online.maxInflight = 2;
+        online.batching = batching;
+        online.shedDoomed = true;
+        OnlineServer server = OnlineServer::create(opts, online).value();
+
+        std::vector<OnlineRequest> requests;
+        for (int i = 0; i < 9; ++i) {
+            OnlineRequest r;
+            r.arrival = 0.0;
+            if (i % 3 == 1)
+                r.slo = 1e-3; // Doomed: shed at admission.
+            if (i % 3 == 2)
+                r.cancelAt = 0.5; // Abandoned while queued.
+            requests.push_back(r);
+        }
+        const auto out = server.serveRequests(requests).value();
+
+        EXPECT_GT(out.shedRequests, 0) << batching;
+        EXPECT_GT(out.cancelled, 0) << batching;
+        ASSERT_GT(out.records.size(), 0u) << batching;
+        EXPECT_EQ(static_cast<int>(out.records.size())
+                      + out.shedRequests + out.cancelled,
+                  9)
+            << batching;
+
+        EXPECT_DOUBLE_EQ(out.p50Latency,
+                         latencyPercentile(out.records, 0.50))
+            << batching;
+        EXPECT_DOUBLE_EQ(out.p95Latency,
+                         latencyPercentile(out.records, 0.95))
+            << batching;
+        EXPECT_DOUBLE_EQ(out.p99Latency,
+                         latencyPercentile(out.records, 0.99))
+            << batching;
+        double mean = 0;
+        for (const auto &rec : out.records)
+            mean += rec.latency();
+        mean /= static_cast<double>(out.records.size());
+        EXPECT_DOUBLE_EQ(out.meanLatency, mean) << batching;
     }
 }
 

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the global cross-request prefix index: radix matching,
+ * split-on-partial-match refcount inheritance, byte-budget LRU
+ * eviction, shared-ledger charge/refund symmetry and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kv/kv_session.h"
+#include "kv/prefix_index.h"
+
+namespace fasttts
+{
+namespace
+{
+
+// 1 byte per cached token: a budget of B bytes is B tokens.
+constexpr double kTokenByte = 1.0;
+
+std::vector<int32_t>
+ids(std::initializer_list<int32_t> tokens)
+{
+    return std::vector<int32_t>(tokens);
+}
+
+TEST(PrefixIndex, EmptyIndexMissesAndPinsOnlyTheRoot)
+{
+    PrefixIndex index(1024, kTokenByte);
+    EXPECT_EQ(index.nodeCount(), 0);
+    EXPECT_EQ(index.residentTokens(), 0);
+    // The root carries a permanent self-reference so it can never be
+    // picked as an eviction victim.
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 1);
+
+    const auto miss = index.acquire(ids({1, 2, 3}));
+    EXPECT_EQ(miss.matchedTokens, 0);
+    EXPECT_EQ(miss.node, PrefixIndex::kRoot);
+    // Even a zero-token match pins the root until released.
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 2);
+    index.release(miss.node);
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 1);
+
+    EXPECT_EQ(index.stats().lookups, 1u);
+    EXPECT_EQ(index.stats().hits, 0u);
+    // kInvalid release is a safe no-op.
+    index.release(PrefixIndex::kInvalid);
+}
+
+TEST(PrefixIndex, InsertThenAcquireMatchesWholeNodesOnly)
+{
+    PrefixIndex index(1024, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+    EXPECT_EQ(index.nodeCount(), 1);
+    EXPECT_EQ(index.residentTokens(), 4);
+    EXPECT_EQ(index.stats().insertedTokens, 4u);
+
+    const auto exact = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(exact.matchedTokens, 4);
+    index.release(exact.node);
+
+    // A longer prompt mounts the cached node and prefills the tail.
+    const auto extended = index.acquire(ids({1, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(extended.matchedTokens, 4);
+    index.release(extended.node);
+
+    // Matching is full-node only: a prompt ending mid-edge mounts
+    // nothing (divergence points become boundaries at insert time).
+    const auto partial = index.acquire(ids({1, 2, 3}));
+    EXPECT_EQ(partial.matchedTokens, 0);
+    index.release(partial.node);
+
+    const auto divergent = index.acquire(ids({9, 9}));
+    EXPECT_EQ(divergent.matchedTokens, 0);
+    index.release(divergent.node);
+
+    EXPECT_EQ(index.stats().lookups, 4u);
+    EXPECT_EQ(index.stats().hits, 2u);
+    EXPECT_EQ(index.stats().hitTokens, 8u);
+}
+
+TEST(PrefixIndex, PartialInsertSplitsAtTheDivergencePoint)
+{
+    PrefixIndex index(1024, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+    index.insert(ids({1, 2, 8, 9}));
+    // {1,2} became a prefix node with children {3,4} and {8,9}.
+    EXPECT_EQ(index.stats().splits, 1u);
+    EXPECT_EQ(index.nodeCount(), 3);
+    EXPECT_EQ(index.residentTokens(), 6);
+
+    // The shared prefix is now a node boundary: repeat traffic that
+    // diverged yesterday hits exactly today.
+    const auto shared = index.acquire(ids({1, 2}));
+    EXPECT_EQ(shared.matchedTokens, 2);
+    index.release(shared.node);
+    const auto left = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(left.matchedTokens, 4);
+    index.release(left.node);
+    const auto right = index.acquire(ids({1, 2, 8, 9}));
+    EXPECT_EQ(right.matchedTokens, 4);
+    index.release(right.node);
+
+    // Splitting re-nodes resident tokens; it never re-charges them.
+    EXPECT_EQ(index.stats().insertedTokens, 6u);
+}
+
+TEST(PrefixIndex, SplitInheritsRefCountSoOutstandingPinsStayBalanced)
+{
+    PrefixIndex index(1024, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+    // Pin the whole path, then split the pinned node in place.
+    const auto pin = index.acquire(ids({1, 2, 3, 4}));
+    ASSERT_EQ(pin.matchedTokens, 4);
+    index.insert(ids({1, 2, 8}));
+    EXPECT_EQ(index.stats().splits, 1u);
+    // The matched node kept its identity (it now holds {3,4}) and the
+    // new prefix node inherited its refcount, so the release walk
+    // passes through both and balances exactly.
+    EXPECT_EQ(index.refCount(pin.node), 1);
+    index.release(pin.node);
+    EXPECT_EQ(index.refCount(pin.node), 0);
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 1);
+}
+
+TEST(PrefixIndex, LruEvictionUnderByteBudget)
+{
+    // 8-byte budget = 8 cached tokens.
+    PrefixIndex index(8, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+    index.insert(ids({11, 12, 13, 14}));
+    EXPECT_EQ(index.residentTokens(), 8);
+
+    // A third insert must evict the least recently used leaf (the
+    // first insert) to fit.
+    index.insert(ids({21, 22, 23, 24}));
+    EXPECT_EQ(index.residentTokens(), 8);
+    EXPECT_EQ(index.stats().evictions, 1u);
+    EXPECT_EQ(index.stats().evictedTokens, 4u);
+
+    const auto evicted = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(evicted.matchedTokens, 0);
+    index.release(evicted.node);
+    const auto survivor = index.acquire(ids({11, 12, 13, 14}));
+    EXPECT_EQ(survivor.matchedTokens, 4);
+    index.release(survivor.node);
+}
+
+TEST(PrefixIndex, PinnedNodesAreNeverEvicted)
+{
+    PrefixIndex index(8, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+    const auto pin = index.acquire(ids({1, 2, 3, 4}));
+    ASSERT_EQ(pin.matchedTokens, 4);
+
+    index.insert(ids({11, 12, 13, 14}));
+    // Budget full, the only unpinned leaf is the second insert: the
+    // third insert evicts it, never the mounted path.
+    index.insert(ids({21, 22, 23, 24}));
+    index.release(pin.node);
+    const auto still = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(still.matchedTokens, 4);
+    index.release(still.node);
+}
+
+TEST(PrefixIndex, InsertDegradesGracefullyWhenTheBudgetRunsDry)
+{
+    PrefixIndex index(4, kTokenByte);
+    index.insert(ids({1, 2, 3, 4, 5, 6, 7, 8}));
+    // Only a 4-token prefix fit; the tail was rejected, not the whole
+    // insert.
+    EXPECT_EQ(index.residentTokens(), 4);
+    EXPECT_EQ(index.stats().insertedTokens, 4u);
+    EXPECT_EQ(index.stats().rejectedTokens, 4u);
+    const auto prefix = index.acquire(ids({1, 2, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(prefix.matchedTokens, 4);
+    index.release(prefix.node);
+}
+
+TEST(PrefixIndex, LedgerChargeAndRefundStaySymmetric)
+{
+    KvBudgetLedger ledger(1000);
+    {
+        PrefixIndex index(8, kTokenByte);
+        index.attachLedger(&ledger);
+        EXPECT_EQ(index.ledger(), &ledger);
+
+        index.insert(ids({1, 2, 3, 4}));
+        EXPECT_DOUBLE_EQ(ledger.usedBytes(), index.residentBytes());
+        index.insert(ids({11, 12, 13, 14}));
+        EXPECT_DOUBLE_EQ(ledger.usedBytes(), index.residentBytes());
+        // Eviction refunds byte-for-byte.
+        index.insert(ids({21, 22, 23, 24}));
+        EXPECT_GE(index.stats().evictions, 1u);
+        EXPECT_DOUBLE_EQ(ledger.usedBytes(), index.residentBytes());
+        EXPECT_LE(ledger.usedBytes(), 8.0 + 1e-9);
+    }
+    // Destruction releases the full remaining charge.
+    EXPECT_DOUBLE_EQ(ledger.usedBytes(), 0.0);
+}
+
+TEST(PrefixIndex, SharedLedgerCapsResidencyBelowTheLocalBudget)
+{
+    // The index's own budget is roomy; the shared ledger is the
+    // binding constraint, exactly like in-flight KV contention.
+    KvBudgetLedger ledger(6);
+    PrefixIndex index(1024, kTokenByte);
+    index.attachLedger(&ledger);
+    index.insert(ids({1, 2, 3, 4, 5, 6, 7, 8}));
+    EXPECT_EQ(index.residentTokens(), 6);
+    EXPECT_EQ(index.stats().rejectedTokens, 2u);
+    EXPECT_DOUBLE_EQ(ledger.usedBytes(), 6.0);
+    EXPECT_LE(ledger.usedBytes(), ledger.totalBytes());
+}
+
+TEST(PrefixIndex, IdenticalCallSequencesReproduceIdenticalTrees)
+{
+    auto drive = [](PrefixIndex &index) {
+        index.insert(ids({1, 2, 3, 4}));
+        index.insert(ids({1, 2, 8, 9}));
+        const auto a = index.acquire(ids({1, 2, 3, 4, 5}));
+        index.insert(ids({11, 12, 13, 14, 15, 16}));
+        index.release(a.node);
+        index.insert(ids({1, 2, 8, 9, 10}));
+        const auto b = index.acquire(ids({11, 12}));
+        index.release(b.node);
+    };
+    PrefixIndex first(32, kTokenByte);
+    PrefixIndex second(32, kTokenByte);
+    drive(first);
+    drive(second);
+
+    EXPECT_EQ(first.nodeCount(), second.nodeCount());
+    EXPECT_EQ(first.residentTokens(), second.residentTokens());
+    EXPECT_EQ(first.stats().lookups, second.stats().lookups);
+    EXPECT_EQ(first.stats().hits, second.stats().hits);
+    EXPECT_EQ(first.stats().hitTokens, second.stats().hitTokens);
+    EXPECT_EQ(first.stats().insertedTokens,
+              second.stats().insertedTokens);
+    EXPECT_EQ(first.stats().rejectedTokens,
+              second.stats().rejectedTokens);
+    EXPECT_EQ(first.stats().splits, second.stats().splits);
+    EXPECT_EQ(first.stats().evictions, second.stats().evictions);
+    for (const auto &probe :
+         {ids({1, 2}), ids({1, 2, 3, 4}), ids({1, 2, 8, 9, 10}),
+          ids({11, 12, 13, 14, 15, 16}), ids({42})}) {
+        const auto ma = first.acquire(probe);
+        const auto mb = second.acquire(probe);
+        EXPECT_EQ(ma.matchedTokens, mb.matchedTokens);
+        first.release(ma.node);
+        second.release(mb.node);
+    }
+}
+
+} // namespace
+} // namespace fasttts
