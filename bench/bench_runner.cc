@@ -746,6 +746,177 @@ runOnlinePrefixReuseBenchmark(bool quick, uint64_t seed)
 }
 
 /**
+ * The fault-tolerance benchmark serves ONE identical probe-calibrated
+ * bursty trace under deterministic wave-step fault injection at
+ * {0%, 1%, 5%} per-wave rates, twice per rate: no-retry (a fault
+ * terminally fails its request) versus retry+degrade (capped
+ * exponential backoff plus graceful degradation under sustained fault
+ * pressure). Reported per cell: SLO attainment, goodput, wasted
+ * recompute and time-to-recovery — the survival study behind the
+ * retry/timeout/degradation machinery.
+ */
+constexpr const char *kOnlineFaultToleranceName = "online_fault_tolerance";
+
+Json
+measureFaultToleranceRun(const ServingOptions &opts,
+                         const CalibratedOnlineTrace &calibrated,
+                         double fault_rate, int retry_max,
+                         double retry_backoff, int max_inflight)
+{
+    OnlineServerOptions online;
+    online.policy = "edf";
+    online.maxInflight = max_inflight;
+    online.slo = calibrated.slo;
+    online.batching = "continuous";
+    if (fault_rate > 0) {
+        online.faults = "plan";
+        online.faultPlan = "{\"rules\": [{\"site\": \"wave_step\", "
+                           "\"rate\": "
+            + std::to_string(fault_rate) + "}]}";
+        online.retryMax = retry_max;
+        online.retryBackoff = retry_backoff;
+    }
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const OnlineTraceResult out =
+        server.serveRequests(calibrated.requests).value();
+
+    Json latency = Json::object();
+    latency.set("mean", out.meanLatency);
+    latency.set("p50", out.p50Latency);
+    latency.set("p95", out.p95Latency);
+    latency.set("p99", out.p99Latency);
+
+    Json run = Json::object();
+    run.set("latency_s", std::move(latency));
+    run.set("slo_attainment", out.sloAttainment);
+    run.set("deadline_misses", out.deadlineMisses);
+    run.set("completed", static_cast<long>(out.records.size()));
+    run.set("goodput_tokens_per_s",
+            out.makespan > 0
+                ? static_cast<double>(out.verifiedTokens) / out.makespan
+                : 0.0);
+    run.set("verified_tokens", out.verifiedTokens);
+    run.set("makespan_s", out.makespan);
+    run.set("injected_faults", out.injectedFaults);
+    run.set("retries", out.retries);
+    run.set("failed_requests", out.failedRequests);
+    run.set("timeouts", out.timeouts);
+    run.set("wasted_recompute_tokens", out.faultWastedTokens);
+    run.set("degraded_waves", out.degradedWaves);
+    run.set("degraded_time_s", out.degradedTime);
+    // Mean sim-time from degradation entry until the fault window
+    // cleared (or the trace ended still degraded).
+    run.set("time_to_recovery_s",
+            out.degradedEpisodes > 0
+                ? out.degradedTime / out.degradedEpisodes
+                : 0.0);
+    run.set("utilization", out.utilization);
+    return run;
+}
+
+Json
+runOnlineFaultToleranceBenchmark(bool quick, uint64_t seed)
+{
+    EngineArgs args;
+    args.dataset = "AMC";
+    // Quick keeps the full beam width: fault probes are per wave per
+    // request, so narrowing the beams shrinks each request's fault
+    // exposure and washes out the no-retry collapse the summary keys
+    // on. Quick trims the request count instead.
+    args.numBeams = 16;
+    args.seed = seed;
+    const int numRequests = quick ? 10 : 24;
+    const int maxInflight = 4;
+    const int retryMax = 5;
+    ServingOptions opts = args.toServingOptions().value();
+
+    // One identical probe-calibrated bursty trace for every
+    // (fault-rate, survival-mode) cell; the fault plan is the ONLY
+    // thing that varies, so differences are attributable to it.
+    // Unlike the scheduling/preemption sweeps this is a SURVIVAL
+    // study, not an overload study: the trace must be feasible when
+    // clean (every deadline attainable, ~zero queueing), otherwise
+    // retried attempts fight the backlog and attainment measures
+    // queueing collapse instead of fault handling. Stretching the
+    // calibrated overload trace keeps its bursty shape while dropping
+    // the offered load well under capacity and making deadlines
+    // generous enough that a few re-serves still meet them.
+    CalibratedOnlineTrace calibrated =
+        calibrateOnlineTrace(opts, "bursty", numRequests, seed)
+            .value();
+    constexpr double kArrivalStretch = 4.0; // 3x capacity -> 0.75x.
+    constexpr double kSloStretch = 4.0;     // Tiers 9x-72x the mean.
+    calibrated.rate /= kArrivalStretch;
+    calibrated.slo *= kSloStretch;
+    for (OnlineRequest &request : calibrated.requests) {
+        request.arrival *= kArrivalStretch;
+        request.slo *= kSloStretch;
+    }
+    const double retryBackoff = 0.25 * calibrated.measuredMean;
+
+    Json doc = Json::object();
+    doc.set("schema", "fasttts-bench-v1");
+    doc.set("benchmark", kOnlineFaultToleranceName);
+    doc.set("description",
+            "Retry + degradation vs fail-fast under deterministic "
+            "fault injection");
+    doc.set("quick", quick);
+
+    Json config = Json::object();
+    config.set("dataset", args.dataset);
+    config.set("device", args.device);
+    config.set("models", args.models);
+    config.set("num_beams", args.numBeams);
+    config.set("requests", numRequests);
+    config.set("max_inflight", maxInflight);
+    config.set("policy", "edf");
+    config.set("batching", "continuous");
+    config.set("arrivals", "bursty");
+    config.set("arrival_rate_per_s", calibrated.rate);
+    config.set("slo_s", calibrated.slo);
+    config.set("retry_max", retryMax);
+    config.set("retry_backoff_s", retryBackoff);
+    config.set("fault_site", "wave_step");
+    config.set("seed", seed);
+    doc.set("config", std::move(config));
+
+    struct RateTier
+    {
+        const char *label;
+        double rate;
+    };
+    const RateTier tiers[] = {{"0%", 0.0}, {"1%", 0.01}, {"5%", 0.05}};
+
+    Json rates = Json::object();
+    for (const RateTier &tier : tiers) {
+        Json cell = Json::object();
+        cell.set("fault_rate", tier.rate);
+        cell.set("no_retry",
+                 measureFaultToleranceRun(opts, calibrated, tier.rate,
+                                          /*retry_max=*/0, retryBackoff,
+                                          maxInflight));
+        cell.set("retry_degrade",
+                 measureFaultToleranceRun(opts, calibrated, tier.rate,
+                                          retryMax, retryBackoff,
+                                          maxInflight));
+        rates.set(tier.label, std::move(cell));
+    }
+
+    const double noRetryAt5 =
+        rates["5%"]["no_retry"]["slo_attainment"].asNumber();
+    const double retryAt5 =
+        rates["5%"]["retry_degrade"]["slo_attainment"].asNumber();
+    Json summary = Json::object();
+    summary.set("slo_attainment_no_retry_at_5pct", noRetryAt5);
+    summary.set("slo_attainment_retry_at_5pct", retryAt5);
+    summary.set("slo_recovery_points_at_5pct",
+                100.0 * (retryAt5 - noRetryAt5));
+    doc.set("rates", std::move(rates));
+    doc.set("summary", std::move(summary));
+    return doc;
+}
+
+/**
  * Wall-clock and simulated-token volume of one benchmark run, for the
  * fasttts-harness-v1 self-timing document.
  */
@@ -807,8 +978,9 @@ usage(std::ostream &os, int exit_code)
           "Runs the registered benchmarks (all by default, or the named\n"
           "subset: the figure suite plus the online_scheduling policy\n"
           "sweep, the online_preemption kv-budget sweep, the\n"
-          "online_batching continuous-vs-sliced study and the\n"
-          "online_prefix_reuse cross-request caching study) and writes\n"
+          "online_batching continuous-vs-sliced study, the\n"
+          "online_prefix_reuse cross-request caching study and the\n"
+          "online_fault_tolerance retry/degradation study) and writes\n"
           "BENCH_<name>.json into --out-dir\n"
           "(default: current directory). --list prints the benchmark\n"
           "names, one per line, and exits. --jobs N runs benchmarks on\n"
@@ -882,6 +1054,7 @@ runnerMain(int argc, char **argv)
         {kOnlinePreemptionName, runOnlinePreemptionBenchmark},
         {kOnlineBatchingName, runOnlineBatchingBenchmark},
         {kOnlinePrefixReuseName, runOnlinePrefixReuseBenchmark},
+        {kOnlineFaultToleranceName, runOnlineFaultToleranceBenchmark},
     };
 
     if (list) {
@@ -1039,6 +1212,28 @@ runnerMain(int argc, char **argv)
                        full["continuous"]["batch_occupancy"].asNumber(),
                        2)
                 << " -> " << path.string() << "\n";
+        } else if (name == kOnlineFaultToleranceName) {
+            std::cout
+                << name << ": slo at 5% faults no-retry "
+                << formatDouble(
+                       100.0
+                           * doc["summary"]
+                                ["slo_attainment_no_retry_at_5pct"]
+                                    .asNumber(),
+                       0)
+                << "% vs retry+degrade "
+                << formatDouble(
+                       100.0
+                           * doc["summary"]
+                                ["slo_attainment_retry_at_5pct"]
+                                    .asNumber(),
+                       0)
+                << "% (recovered "
+                << formatDouble(
+                       doc["summary"]["slo_recovery_points_at_5pct"]
+                           .asNumber(),
+                       0)
+                << " pts) -> " << path.string() << "\n";
         } else if (name == kOnlinePrefixReuseName) {
             std::cout
                 << name << ": saved recompute "

@@ -19,7 +19,11 @@
 # ledger benches and lazily restores batch members. A fifth pass turns
 # the cross-request prefix cache on (--prefix-cache on) under the same
 # tight budget, so radix-index insert/split/evict and pin/release race
-# against benching and forced eviction.
+# against benching and forced eviction. A sixth pass injects
+# deterministic wave-step faults at 5% with retries (--faults plan
+# --retry-max 3), so the abort/refund/re-admit machinery — cancel
+# mid-wave, prefix-pin release, ledger refund, backoff re-queue —
+# churns under the sanitizers too.
 
 set -euo pipefail
 
@@ -101,5 +105,19 @@ echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
 "${bench}" --problems "${requests}" --beams 4 --dataset AMC \
     --arrivals bursty --policy edf --batching continuous \
     --prefix-cache on --kv-budget 0.5 --shed-doomed \
+    --max-inflight "${max_inflight}" --slo 2000 >/dev/null
+
+# Fault-injection storm: deterministic 5% wave-step faults with a
+# retry budget on top of the continuous-batching storm, so injected
+# aborts (cancel mid-wave, ledger refund, prefix-pin release) and
+# backed-off re-admissions race the benching/restore machinery.
+echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
+    "policy=edf, batching=continuous, faults=plan (5% wave_step)," \
+    "retry-max=3, kv-budget=0.5 GiB, shed-doomed"
+"${bench}" --problems "${requests}" --beams 4 --dataset AMC \
+    --arrivals bursty --policy edf --batching continuous \
+    --faults plan \
+    --fault-plan '{"rules": [{"site": "wave_step", "rate": 0.05}]}' \
+    --retry-max 3 --kv-budget 0.5 --shed-doomed \
     --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 echo "-- scheduler stress passed (ASan+UBSan clean)"

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/json.h"
 #include "util/units.h"
 
@@ -171,7 +172,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             || flag == "--algorithm" || flag == "--models"
             || flag == "--mode" || flag == "--policy"
             || flag == "--arrivals" || flag == "--preempt"
-            || flag == "--batching" || flag == "--prefix-cache") {
+            || flag == "--batching" || flag == "--prefix-cache"
+            || flag == "--faults" || flag == "--fault-plan") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -192,6 +194,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.batching = value;
             else if (flag == "--prefix-cache")
                 args.prefixCache = value;
+            else if (flag == "--faults")
+                args.faults = value;
+            else if (flag == "--fault-plan")
+                args.faultPlan = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -201,11 +207,15 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
         if (flag == "--beams" || flag == "--branch-factor"
             || flag == "--problems" || flag == "--max-inflight"
             || flag == "--max-batched-tokens"
-            || flag == "--prefill-chunk") {
+            || flag == "--prefill-chunk" || flag == "--retry-max") {
             if (Status s = take_value(); !s.ok())
                 return s;
-            auto parsed = parseInt(flag, value, flag == "--problems" ? 0 : 1,
-                                   flag == "--max-inflight" ? 64 : 1 << 20);
+            const long long min =
+                flag == "--problems" || flag == "--retry-max" ? 0 : 1;
+            const long long max = flag == "--max-inflight" ? 64
+                : flag == "--retry-max"                    ? 16
+                                                           : 1 << 20;
+            auto parsed = parseInt(flag, value, min, max);
             if (!parsed.ok())
                 return parsed.status();
             if (flag == "--beams")
@@ -218,6 +228,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.maxBatchedTokens = static_cast<int>(*parsed);
             else if (flag == "--prefill-chunk")
                 args.prefillChunk = static_cast<int>(*parsed);
+            else if (flag == "--retry-max")
+                args.retryMax = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
             args.parsedFlags.push_back(flag);
@@ -237,7 +249,9 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
 
         if (flag == "--memory-fraction" || flag == "--reserved-gib"
             || flag == "--slo" || flag == "--kv-budget"
-            || flag == "--prefix-cache-budget") {
+            || flag == "--prefix-cache-budget"
+            || flag == "--retry-backoff"
+            || flag == "--request-timeout") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseDouble(flag, value);
@@ -251,6 +265,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.kvBudgetGiB = *parsed;
             else if (flag == "--prefix-cache-budget")
                 args.prefixCacheBudgetGiB = *parsed;
+            else if (flag == "--retry-backoff")
+                args.retryBackoff = *parsed;
+            else if (flag == "--request-timeout")
+                args.requestTimeout = *parsed;
             else
                 args.reservedGiB = *parsed;
             args.parsedFlags.push_back(flag);
@@ -290,7 +308,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
         if (key == "device" || key == "dataset" || key == "algorithm"
             || key == "models" || key == "mode" || key == "policy"
             || key == "arrivals" || key == "preempt"
-            || key == "batching" || key == "prefix_cache") {
+            || key == "batching" || key == "prefix_cache"
+            || key == "faults" || key == "fault_plan") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -312,15 +331,22 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.batching = *parsed;
             else if (key == "prefix_cache")
                 args.prefixCache = *parsed;
+            else if (key == "faults")
+                args.faults = *parsed;
+            else if (key == "fault_plan")
+                args.faultPlan = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
                    || key == "num_problems" || key == "max_inflight"
                    || key == "max_batched_tokens"
-                   || key == "prefill_chunk") {
-            auto parsed =
-                jsonInt(key, value, key == "num_problems" ? 0 : 1,
-                        key == "max_inflight" ? 64 : 1 << 20);
+                   || key == "prefill_chunk" || key == "retry_max") {
+            const long long min =
+                key == "num_problems" || key == "retry_max" ? 0 : 1;
+            const long long max = key == "max_inflight" ? 64
+                : key == "retry_max"                    ? 16
+                                                        : 1 << 20;
+            auto parsed = jsonInt(key, value, min, max);
             if (!parsed.ok())
                 return parsed.status();
             if (key == "num_beams")
@@ -333,8 +359,20 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.maxBatchedTokens = static_cast<int>(*parsed);
             else if (key == "prefill_chunk")
                 args.prefillChunk = static_cast<int>(*parsed);
+            else if (key == "retry_max")
+                args.retryMax = static_cast<int>(*parsed);
             else
                 args.numProblems = static_cast<int>(*parsed);
+        } else if (key == "retry_backoff") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"retry_backoff\" must be a number");
+            args.retryBackoff = value.asNumber();
+        } else if (key == "request_timeout") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"request_timeout\" must be a number");
+            args.requestTimeout = value.asNumber();
         } else if (key == "slo") {
             if (!value.isNumber())
                 return Status::invalidArgument(
@@ -478,6 +516,27 @@ EngineArgs::validate() const
         return Status::invalidArgument(
             "prefix_cache_budget must be >= 0 GiB (0 defaults to 1/8 "
             "of the shared KV budget)");
+    if (faults != "off" && faults != "plan")
+        return Status::invalidArgument(
+            "faults must be 'off' or 'plan', got '" + faults + "'");
+    if (faults == "plan") {
+        if (faultPlan.empty())
+            return Status::invalidArgument(
+                "--faults plan requires a --fault-plan JSON schedule");
+        if (auto plan = FaultPlan::fromJsonText(faultPlan); !plan.ok())
+            return plan.status();
+    }
+    if (retryMax < 0 || retryMax > 16)
+        return Status::invalidArgument(
+            "retry_max must be in [0, 16], got "
+            + std::to_string(retryMax));
+    if (!(retryBackoff >= 0) || !std::isfinite(retryBackoff))
+        return Status::invalidArgument(
+            "retry_backoff must be >= 0 seconds");
+    if (!(requestTimeout >= 0) || !std::isfinite(requestTimeout))
+        return Status::invalidArgument(
+            "request_timeout must be >= 0 seconds (0 disables the "
+            "watchdog)");
     return okStatus();
 }
 
@@ -555,6 +614,11 @@ EngineArgs::toOnlineOptions() const
     online.prefillChunk = prefillChunk;
     online.prefixCache = prefixCache;
     online.prefixCacheBudgetGiB = prefixCacheBudgetGiB;
+    online.faults = faults;
+    online.faultPlan = faultPlan;
+    online.retryMax = retryMax;
+    online.retryBackoff = retryBackoff;
+    online.requestTimeout = requestTimeout;
     return online;
 }
 
@@ -608,6 +672,20 @@ EngineArgs::help(const std::string &program)
         "                       prefix-cache byte budget (0 = 1/8 of\n"
         "                       the shared KV budget); cached bytes\n"
         "                       are charged to the --kv-budget ledger\n"
+        "  --faults MODE        deterministic fault injection: 'off'\n"
+        "                       (default; bit-identical fault-free\n"
+        "                       serving) or 'plan' (inject per the\n"
+        "                       --fault-plan schedule)\n"
+        "  --fault-plan JSON    fault schedule (required with\n"
+        "                       --faults plan); schema in\n"
+        "                       util/fault_injector.h\n"
+        "  --retry-max N        retries per fault-killed request\n"
+        "                       (0-16; default 0 = fail on first\n"
+        "                       fault)\n"
+        "  --retry-backoff S    base retry backoff in sim seconds\n"
+        "                       (capped exponential per attempt)\n"
+        "  --request-timeout S  watchdog: abort requests older than\n"
+        "                       S sim seconds (0 disables)\n"
         "  --help               print this text and exit\n"
         "\n"
         "Registered names (extensible; see the README's Extending "
@@ -647,7 +725,9 @@ allFlags()
         "--policy",        "--max-inflight", "--slo",
         "--arrivals",      "--preempt",      "--kv-budget",
         "--shed-doomed",   "--batching",     "--max-batched-tokens",
-        "--prefill-chunk", "--prefix-cache", "--prefix-cache-budget"};
+        "--prefill-chunk", "--prefix-cache", "--prefix-cache-budget",
+        "--faults",        "--fault-plan",   "--retry-max",
+        "--retry-backoff", "--request-timeout"};
     return flags;
 }
 

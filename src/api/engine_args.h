@@ -98,6 +98,25 @@ struct EngineArgs
                                      //!< cache byte budget (GiB);
                                      //!< 0 = 1/8 of the shared KV
                                      //!< budget.
+    std::string faults = "off"; //!< --faults / "faults": 'off'
+                                //!< (bit-identical fault-free
+                                //!< serving) or 'plan'
+                                //!< (deterministic schedule-driven
+                                //!< injection per --fault-plan).
+    std::string faultPlan;  //!< --fault-plan / "fault_plan": fault
+                            //!< schedule JSON (schema in
+                            //!< util/fault_injector.h); required
+                            //!< when faults == 'plan'.
+    int retryMax = 0;       //!< --retry-max / "retry_max": retries
+                            //!< per fault-killed request, [0, 16].
+    double retryBackoff = 0.05; //!< --retry-backoff /
+                                //!< "retry_backoff": base retry
+                                //!< backoff in sim seconds (capped
+                                //!< exponential growth per attempt).
+    double requestTimeout = 0; //!< --request-timeout /
+                               //!< "request_timeout": watchdog abort
+                               //!< deadline in sim seconds; 0
+                               //!< disables.
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 

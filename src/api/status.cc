@@ -20,6 +20,10 @@ statusCodeName(StatusCode code)
         return "already_exists";
     case StatusCode::kFailedPrecondition:
         return "failed_precondition";
+    case StatusCode::kDeadlineExceeded:
+        return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+        return "unavailable";
     }
     return "unknown";
 }

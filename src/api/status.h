@@ -30,6 +30,8 @@ enum class StatusCode {
     kNotFound,        //!< Unknown name in a registry lookup.
     kAlreadyExists,   //!< Duplicate registration.
     kFailedPrecondition, //!< Operation invalid in the current state.
+    kDeadlineExceeded,   //!< Request exceeded its watchdog deadline.
+    kUnavailable, //!< Transient failure; retrying may succeed.
 };
 
 /** The name of a status code ("ok", "invalid_argument", ...). */
@@ -73,12 +75,38 @@ class [[nodiscard]] Status
                       std::move(message));
     }
 
+    static Status
+    deadlineExceeded(std::string message)
+    {
+        return Status(StatusCode::kDeadlineExceeded,
+                      std::move(message));
+    }
+
+    static Status
+    unavailable(std::string message)
+    {
+        return Status(StatusCode::kUnavailable, std::move(message));
+    }
+
     [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
     [[nodiscard]] StatusCode code() const { return code_; }
     [[nodiscard]] const std::string &message() const { return message_; }
 
     /** "ok" or "<code>: <message>", for logs and CLI errors. */
     [[nodiscard]] std::string toString() const;
+
+    /**
+     * Whether retrying the failed operation may succeed. Only
+     * kUnavailable is retryable: it marks transient conditions
+     * (injected device error, allocation brownout) that clear on
+     * their own. kDeadlineExceeded is deliberately NOT retryable —
+     * the request already consumed its time budget.
+     */
+    [[nodiscard]] bool
+    isRetryable() const
+    {
+        return code_ == StatusCode::kUnavailable;
+    }
 
   private:
     StatusCode code_;

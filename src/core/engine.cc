@@ -402,6 +402,15 @@ FastTtsEngine::replan()
     const double ver_working_set =
         shape.numRequests * shape.verifierSeqLen;
     ctx_->lookaheadAllowed_ = ver_working_set > ver_pool_tokens;
+
+    // Graceful degradation under fault pressure: the serving layer
+    // turns both accelerations off wholesale so transient faults
+    // cannot waste speculative work (timing-only; solutions are
+    // unchanged by the engine's equivalence design).
+    if (degraded_) {
+        ctx_->specAllowed_ = false;
+        ctx_->lookaheadAllowed_ = false;
+    }
 }
 
 double
@@ -1412,6 +1421,19 @@ FastTtsEngine::finishRequest()
     }
     ctx_->inRequest_ = false;
     return result;
+}
+
+void
+FastTtsEngine::abortRequest()
+{
+    for (auto &b : ctx_->active_)
+        pruneBeam(*b);
+    ctx_->active_.clear();
+    // Abnormal exit: drop the pin taken at beginRequest WITHOUT
+    // publishing the prompt — a cancelled/shed/timed-out request must
+    // not advertise a prefix it never finished serving.
+    ctx_->releasePrefixPin();
+    ctx_->inRequest_ = false;
 }
 
 // --- Multi-request contexts ---

@@ -173,6 +173,17 @@ class FastTtsEngine
     RequestResult finishRequest();
 
     /**
+     * Abandon the mounted request WITHOUT publishing its prompt to
+     * the prefix cache: beams are pruned, the prefix pin is dropped,
+     * and no result is built. This is the abnormal-exit counterpart
+     * of finishRequest() — cancellation, shedding and watchdog
+     * timeouts must not advertise a prompt the request never finished
+     * serving. KV trees stay mounted until releaseFinishedKv() or the
+     * next beginRequest(), exactly like finishRequest().
+     */
+    void abortRequest();
+
+    /**
      * Advance every request the plan names in one fused device wave
      * (continuous batching). Decode entries run one full TTS
      * iteration of their context; PrefillChunk entries prefill up to
@@ -294,6 +305,20 @@ class FastTtsEngine
     /** Beams forcibly terminated because they could never fit. */
     [[nodiscard]] int forcedTerminations() const;
 
+    /**
+     * Graceful-degradation override (serving layer, fault pressure):
+     * while set, replan() disables speculative beam extension and
+     * LookAhead verification regardless of the memory heuristics.
+     * Speculation and scheduling affect only *when* tokens
+     * materialise, never *what* a beam samples, so degraded waves
+     * keep producing identical solutions — they just stop spending
+     * device time on work that transient faults would waste.
+     */
+    void setDegraded(bool degraded) { degraded_ = degraded; }
+
+    /** Whether the degradation override is active. */
+    [[nodiscard]] bool degraded() const { return degraded_; }
+
   private:
     struct ActiveBeam;
     struct SpecBranch;
@@ -335,6 +360,7 @@ class FastTtsEngine
 
     double kvBudget_ = 0;
     double expectedStepTokens_ = 0; //!< Cached mean step length.
+    bool degraded_ = false; //!< Fault-pressure degradation override.
     KvBudgetLedger *ledger_ = nullptr; //!< Shared KV budget (optional).
     PrefixIndex *prefixIndex_ = nullptr; //!< Cross-request prefix
                                          //!< cache (optional).

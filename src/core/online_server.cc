@@ -32,16 +32,70 @@ parsePreemptMode(const std::string &name, PreemptMode *mode)
     return true;
 }
 
+/**
+ * Rolling fault-rate window driving graceful degradation. Every
+ * wave-step probe outcome (fault or clean) is recorded; when the rate
+ * over the last kWindow probes crosses kEnter (with at least
+ * kMinSamples observed, so one early fault cannot trip it) the server
+ * degrades — speculation off, admission halved — and it recovers only
+ * when the rate falls below kExit. The enter/exit gap is hysteresis:
+ * without it a rate hovering at the threshold would toggle the engine
+ * mode every few waves.
+ */
+class DegradeTracker
+{
+  public:
+    void record(bool fault)
+    {
+        if (count_ == kWindow)
+            faults_ -= window_[head_] ? 1 : 0;
+        else
+            ++count_;
+        window_[head_] = fault;
+        faults_ += fault ? 1 : 0;
+        head_ = (head_ + 1) % kWindow;
+    }
+
+    /** Re-evaluate the degraded state after a batch of record()s. */
+    bool update()
+    {
+        const double rate = count_ > 0
+            ? static_cast<double>(faults_) / count_
+            : 0.0;
+        if (!degraded_ && count_ >= kMinSamples && rate >= kEnter)
+            degraded_ = true;
+        else if (degraded_ && rate < kExit)
+            degraded_ = false;
+        return degraded_;
+    }
+
+    [[nodiscard]] bool degraded() const { return degraded_; }
+
+    static constexpr int kWindow = 64;
+    static constexpr int kMinSamples = 32;
+    static constexpr double kEnter = 0.03;
+    static constexpr double kExit = 0.015;
+
+  private:
+    bool window_[kWindow] = {};
+    int head_ = 0;
+    int count_ = 0;
+    int faults_ = 0;
+    bool degraded_ = false;
+};
+
 } // namespace
 
 OnlineServer::OnlineServer(ServingSystem system,
                            std::unique_ptr<KvBudgetLedger> ledger,
+                           std::unique_ptr<FaultInjector> faults,
                            OnlineServerOptions online,
                            std::unique_ptr<QueuePolicy> policy,
                            RooflineModel roofline, DatasetProfile profile)
-    : ledger_(std::move(ledger)), system_(std::move(system)),
-      online_(std::move(online)), policy_(std::move(policy)),
-      roofline_(std::move(roofline)), profile_(std::move(profile))
+    : faults_(std::move(faults)), ledger_(std::move(ledger)),
+      system_(std::move(system)), online_(std::move(online)),
+      policy_(std::move(policy)), roofline_(std::move(roofline)),
+      profile_(std::move(profile))
 {
 }
 
@@ -91,6 +145,33 @@ OnlineServer::create(const ServingOptions &options,
         return Status::invalidArgument(
             "prefix_cache_budget must be >= 0 GiB (0 defaults to "
             "1/8 of the shared KV budget)");
+    if (online.faults != "off" && online.faults != "plan")
+        return Status::invalidArgument(
+            "unknown faults mode '" + online.faults
+            + "'; valid modes: off, plan");
+    if (online.retryMax < 0 || online.retryMax > 16)
+        return Status::invalidArgument(
+            "retry_max must be in [0, 16], got "
+            + std::to_string(online.retryMax));
+    if (!(online.retryBackoff >= 0) || !std::isfinite(online.retryBackoff))
+        return Status::invalidArgument(
+            "retry_backoff must be >= 0 seconds");
+    if (!(online.requestTimeout >= 0)
+        || !std::isfinite(online.requestTimeout))
+        return Status::invalidArgument(
+            "request_timeout must be >= 0 seconds (0 disables the "
+            "watchdog)");
+    FaultPlan fault_plan;
+    if (online.faults == "plan") {
+        if (online.faultPlan.empty())
+            return Status::invalidArgument(
+                "faults=plan requires a fault-plan JSON schedule "
+                "(--fault-plan)");
+        auto parsed = FaultPlan::fromJsonText(online.faultPlan);
+        if (!parsed.ok())
+            return parsed.status();
+        fault_plan = *std::move(parsed);
+    }
 
     auto policy = makeQueuePolicy(online.policy);
     if (!policy.ok())
@@ -124,13 +205,26 @@ OnlineServer::create(const ServingOptions &options,
         system->enablePrefixCache(cache_budget, ledger.get());
     }
 
+    // The fault injector exists ONLY under faults == "plan": with it
+    // absent no site holds a pointer, no probe consumes randomness and
+    // every trace replays bit-identically to a fault-free build. The
+    // injector derives its stream from the serving seed, so reruns at
+    // the same seed inject the same fault sequence.
+    std::unique_ptr<FaultInjector> injector;
+    if (online.faults == "plan") {
+        injector = std::make_unique<FaultInjector>(
+            std::move(fault_plan), options.seed);
+        ledger->attachFaultInjector(injector.get());
+        system->attachFaultInjector(injector.get());
+    }
+
     // The SJF predictor's inputs; names were just validated by
     // ServingSystem::create, so the lookups cannot fail.
     auto device = deviceByName(options.deviceName);
     auto profile = datasetByName(options.datasetName);
-    return OnlineServer(*std::move(system), std::move(ledger), online,
-                        *std::move(policy), RooflineModel(*device),
-                        *std::move(profile));
+    return OnlineServer(*std::move(system), std::move(ledger),
+                        std::move(injector), online, *std::move(policy),
+                        RooflineModel(*device), *std::move(profile));
 }
 
 OnlineTraceResult
@@ -209,6 +303,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         QueuedRequest meta;
         double cancelAt = -1;
         double kvBytes = 0; //!< Predicted working set (admission).
+        int attempts = 0;   //!< Fault-killed attempts so far (retry).
         std::vector<int32_t> promptIds; //!< Per-request prompt
                                         //!< override (empty = none).
     };
@@ -299,6 +394,148 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         return problem;
     };
 
+    // --- Fault-tolerance state shared by both serve loops. All of it
+    //     is inert when faults == "off": the injector is null, the
+    //     watchdog is disabled by default and the retry queue never
+    //     gains an entry, so the loops run their legacy schedules
+    //     bit-for-bit. ---
+    FaultInjector *injector = faults_.get();
+    const long faults_before =
+        injector != nullptr ? injector->injectedCount() : 0;
+    struct RetryEntry
+    {
+        Ticket ticket;
+        double eligibleAt = 0; //!< Backoff expiry (sim seconds).
+    };
+    std::vector<RetryEntry> retry_queue;
+    int retries = 0;
+    int timeouts = 0;
+    int failed = 0;
+    int failed_with_deadline = 0; //!< Never-completed requests that
+                                  //!< carried a deadline (SLO misses).
+    long fault_wasted = 0;
+    long degraded_waves = 0;
+    double degraded_time = 0;
+    int degraded_episodes = 0;
+    DegradeTracker degrade;
+    // Degradation trades speculation throughput for stability, which
+    // only pays off when kills are survivable — without a retry budget
+    // the fault already failed the request, so there is nothing left
+    // to protect (and the bench's no-retry arm measures exactly that).
+    const bool degrade_enabled =
+        injector != nullptr && online_.retryMax > 0;
+    const double watchdog = online_.requestTimeout;
+
+    // Kill verdict for a retryable fault: re-queue the attempt after
+    // a capped exponential backoff, or fail the request for good once
+    // its retry budget is spent.
+    const auto scheduleRetry = [&](const Ticket &ticket, double at) {
+        if (ticket.attempts >= online_.retryMax) {
+            ++failed;
+            if (std::isfinite(ticket.meta.deadline))
+                ++failed_with_deadline;
+            return;
+        }
+        RetryEntry entry;
+        entry.ticket = ticket;
+        ++entry.ticket.attempts;
+        const int shift = std::min(entry.ticket.attempts - 1, 3);
+        entry.eligibleAt =
+            at + online_.retryBackoff * static_cast<double>(1 << shift);
+        retry_queue.push_back(std::move(entry));
+        ++retries;
+    };
+
+    // Backed-off attempts whose timer expired rejoin the policy queue
+    // (their original arrival intact, so backoff reads as queueing).
+    const auto drainRetryQueue = [&](std::vector<Ticket> &queued,
+                                     double at) {
+        for (size_t i = 0; i < retry_queue.size();) {
+            if (retry_queue[i].eligibleAt <= at) {
+                queued.push_back(std::move(retry_queue[i].ticket));
+                retry_queue.erase(retry_queue.begin()
+                                  + static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+    };
+
+    // Watchdog sweep over requests not yet in flight: queued and
+    // backing-off requests older than the timeout are dropped (their
+    // in-flight counterparts are swept by each loop, which must also
+    // unwind engine state).
+    const auto sweepWaiting = [&](std::vector<Ticket> &queued,
+                                  double at) {
+        if (watchdog <= 0)
+            return;
+        for (size_t i = queued.size(); i > 0; --i) {
+            const Ticket &ticket = queued[i - 1];
+            if (at - ticket.meta.arrival <= watchdog)
+                continue;
+            ++timeouts;
+            if (std::isfinite(ticket.meta.deadline))
+                ++failed_with_deadline;
+            queued.erase(queued.begin() + static_cast<long>(i - 1));
+        }
+        for (size_t i = retry_queue.size(); i > 0; --i) {
+            const Ticket &ticket = retry_queue[i - 1].ticket;
+            if (at - ticket.meta.arrival <= watchdog)
+                continue;
+            ++timeouts;
+            if (std::isfinite(ticket.meta.deadline))
+                ++failed_with_deadline;
+            retry_queue.erase(retry_queue.begin()
+                              + static_cast<long>(i - 1));
+        }
+    };
+
+    // Flip the engine's degraded mode on a window-state change.
+    const auto updateDegraded = [&]() {
+        if (!degrade_enabled)
+            return;
+        const bool was = degrade.degraded();
+        const bool is = degrade.update();
+        if (is == was)
+            return;
+        system_.engine().setDegraded(is);
+        if (is)
+            ++degraded_episodes;
+    };
+
+    // Fold fault accounting into the aggregated trace. Completed-only
+    // population stands for latency statistics, but SLO attainment
+    // must charge deadline-bearing requests that never completed as
+    // misses — a fault that silently removed its victim from the
+    // denominator would otherwise IMPROVE attainment.
+    const auto stampFaultStats = [&](OnlineTraceResult &out) {
+        if (injector != nullptr)
+            out.injectedFaults =
+                injector->injectedCount() - faults_before;
+        out.retries = retries;
+        out.timeouts = timeouts;
+        out.failedRequests = failed;
+        out.faultWastedTokens = fault_wasted;
+        out.degradedWaves = degraded_waves;
+        out.degradedTime = degraded_time;
+        out.degradedEpisodes = degraded_episodes;
+        if (failed_with_deadline > 0) {
+            int completed_with_deadline = 0;
+            for (const OnlineRequestRecord &rec : out.records)
+                if (rec.hasDeadline())
+                    ++completed_with_deadline;
+            const int met =
+                completed_with_deadline - out.deadlineMisses;
+            out.deadlineMisses += failed_with_deadline;
+            out.sloAttainment = static_cast<double>(met)
+                / (completed_with_deadline + failed_with_deadline);
+        }
+        // The degraded engine mode must not leak into the next trace
+        // served by this server.
+        if (degrade_enabled)
+            system_.engine().setDegraded(false);
+    };
+
     // --- Continuous batching: every wave co-schedules decode across
     //     ALL in-flight requests in one fused engine wave
     //     (sched/batch_scheduler.h); the time-slicing loop below is
@@ -320,6 +557,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                                   //!< pressure; sits waves out until
                                   //!< the ledger can hold its
                                   //!< predicted working set again.
+            long decoded = 0;     //!< Decode tokens this attempt has
+                                  //!< produced (wasted if killed).
             OnlineRequestRecord rec;
         };
 
@@ -343,9 +582,12 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             static_cast<size_t>(online_.maxInflight);
 
         while (true) {
+            if (injector != nullptr)
+                injector->setNow(now);
             while (next_ticket < tickets.size()
                    && tickets[next_ticket].meta.arrival <= now)
                 queued.push_back(tickets[next_ticket++]);
+            drainRetryQueue(queued, now);
 
             for (size_t i = queued.size(); i > 0; --i) {
                 const double cancel_at = queued[i - 1].cancelAt;
@@ -356,7 +598,39 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 }
             }
 
-            while (!queued.empty() && inflight.size() < max_inflight) {
+            // Watchdog: abort requests older than the timeout.
+            // In-flight members are unwound through cancelWith, which
+            // refunds their KV charge and prefix pins exactly (the
+            // abnormal-exit path never publishes their prompt).
+            sweepWaiting(queued, now);
+            if (watchdog > 0) {
+                for (size_t i = inflight.size(); i > 0; --i) {
+                    BatchFlight &flight = inflight[i - 1];
+                    if (now - flight.rec.arrival <= watchdog)
+                        continue;
+                    ++timeouts;
+                    if (std::isfinite(flight.rec.deadline))
+                        ++failed_with_deadline;
+                    fault_wasted += flight.decoded;
+                    checkOk(system_.cancelWith(
+                        flight.sysId,
+                        Status::deadlineExceeded(
+                            "request exceeded --request-timeout")));
+                    checkOk(system_.release(flight.sysId));
+                    inflight.erase(inflight.begin()
+                                   + static_cast<long>(i - 1));
+                }
+            }
+
+            // Degraded mode halves the admission ceiling: fewer
+            // co-resident requests means each kill wastes less decode
+            // work and retries re-enter a calmer batch.
+            const size_t effective_inflight =
+                degrade_enabled && degrade.degraded()
+                    ? std::max<size_t>(1, max_inflight / 2)
+                    : max_inflight;
+            while (!queued.empty()
+                   && inflight.size() < effective_inflight) {
                 view.clear();
                 for (const Ticket &ticket : queued)
                     view.push_back(ticket.meta);
@@ -398,9 +672,19 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             }
 
             if (inflight.empty()) {
-                if (next_ticket >= tickets.size())
+                if (next_ticket >= tickets.size()
+                    && retry_queue.empty() && queued.empty())
                     break; // Trace drained.
-                now = std::max(now, tickets[next_ticket].meta.arrival);
+                // Idle until the next arrival OR the next retry
+                // becomes eligible, whichever is sooner.
+                double next_event = kInfinity;
+                if (next_ticket < tickets.size())
+                    next_event = tickets[next_ticket].meta.arrival;
+                for (const RetryEntry &entry : retry_queue)
+                    next_event = std::min(next_event, entry.eligibleAt);
+                if (!std::isfinite(next_event))
+                    break; // Defensive: nothing can ever run.
+                now = std::max(now, next_event);
                 continue;
             }
 
@@ -451,6 +735,39 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                         false;
             }
 
+            // Wave-step fault sweep: every member about to decode
+            // this wave probes the injector (benched members sit the
+            // wave out and are not at risk). A faulted member's
+            // attempt dies before the wave runs — it consumes no
+            // device time, its partial decode is wasted recompute and
+            // its KV/ledger/prefix pins are refunded by cancelWith.
+            if (injector != nullptr) {
+                for (size_t i = inflight.size(); i > 0; --i) {
+                    BatchFlight &flight = inflight[i - 1];
+                    if (flight.benched)
+                        continue;
+                    const bool fault = injector->shouldFault(
+                        FaultSite::kWaveStep,
+                        static_cast<long>(flight.ticket.meta.id));
+                    if (degrade_enabled)
+                        degrade.record(fault);
+                    if (!fault)
+                        continue;
+                    fault_wasted += flight.decoded;
+                    checkOk(system_.cancelWith(
+                        flight.sysId,
+                        Status::unavailable(
+                            "injected transient device error")));
+                    checkOk(system_.release(flight.sysId));
+                    scheduleRetry(flight.ticket, now);
+                    inflight.erase(inflight.begin()
+                                   + static_cast<long>(i - 1));
+                }
+                updateDegraded();
+                if (inflight.empty())
+                    continue; // Loop top re-admits / idles.
+            }
+
             std::vector<RequestId> ids;
             ids.reserve(inflight.size());
             std::vector<BatchCandidate> candidates;
@@ -482,6 +799,10 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             const double wave_start = now;
             now += outcome->schedule.waveTime;
             busy += outcome->schedule.waveTime;
+            if (degrade_enabled && degrade.degraded()) {
+                ++degraded_waves;
+                degraded_time += outcome->schedule.waveTime;
+            }
 
             for (size_t i = inflight.size(); i > 0; --i) {
                 const size_t idx = i - 1;
@@ -495,6 +816,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                     flight.started = true;
                 }
                 flight.rec.activeTime += member.activeDelta;
+                flight.decoded += member.decodedTokens;
                 if (member.moreWork)
                     continue;
                 // Finished this wave (stepBatch completed it).
@@ -533,6 +855,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             ? static_cast<double>(decode_members)
                 / static_cast<double>(waves)
             : 0.0;
+        stampFaultStats(out);
         return out;
     }
 
@@ -579,10 +902,13 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         static_cast<size_t>(online_.maxInflight);
 
     while (true) {
+        if (injector != nullptr)
+            injector->setNow(now);
         // Requests whose arrival has passed join the policy's queue.
         while (next_ticket < tickets.size()
                && tickets[next_ticket].meta.arrival <= now)
             queued.push_back(tickets[next_ticket++]);
+        drainRetryQueue(queued, now);
 
         // Clients that gave up while queued leave it.
         for (size_t i = queued.size(); i > 0; --i) {
@@ -594,9 +920,54 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             }
         }
 
+        // Watchdog: abort requests older than the timeout. Mounted
+        // and suspended victims alike are unwound through cancelWith,
+        // which refunds KV charges and prefix pins exactly; a victim
+        // admitted but never mounted (sysId 0) has no engine state.
+        sweepWaiting(queued, now);
+        if (watchdog > 0) {
+            for (size_t i = inflight.size(); i > 0; --i) {
+                const size_t idx = i - 1;
+                InFlight &victim = inflight[idx];
+                if (now - victim.rec.arrival <= watchdog)
+                    continue;
+                ++timeouts;
+                if (std::isfinite(victim.rec.deadline))
+                    ++failed_with_deadline;
+                if (victim.sysId != 0) {
+                    if (idx == current)
+                        fault_wasted +=
+                            system_.engine().generatedTokensSoFar();
+                    checkOk(system_.cancelWith(
+                        victim.sysId,
+                        Status::deadlineExceeded(
+                            "request exceeded --request-timeout")));
+                    checkOk(system_.release(victim.sysId));
+                }
+                inflight.erase(inflight.begin()
+                               + static_cast<long>(idx));
+                if (current != kNone) {
+                    if (idx == current)
+                        current = kNone;
+                    else if (idx < current)
+                        --current;
+                }
+                if (idx < rr)
+                    --rr;
+            }
+            if (rr >= inflight.size())
+                rr = 0;
+        }
+
+        // Degraded mode halves the admission ceiling (see the
+        // continuous loop for rationale).
+        const size_t effective_inflight =
+            degrade_enabled && degrade.degraded()
+                ? std::max<size_t>(1, max_inflight / 2)
+                : max_inflight;
         // The policy fills free in-flight slots (work conservation:
         // the device never idles while a request is queued).
-        while (!queued.empty() && inflight.size() < max_inflight) {
+        while (!queued.empty() && inflight.size() < effective_inflight) {
             view.clear();
             for (const Ticket &ticket : queued)
                 view.push_back(ticket.meta);
@@ -646,10 +1017,19 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
 
         if (inflight.empty()) {
             // All slots are free, so the admission loop above drained
-            // the queue; the device idles until the next arrival.
-            if (next_ticket >= tickets.size())
+            // the queue; the device idles until the next arrival OR
+            // the next retry becomes eligible, whichever is sooner.
+            if (next_ticket >= tickets.size() && retry_queue.empty()
+                && queued.empty())
                 break; // Trace drained.
-            now = std::max(now, tickets[next_ticket].meta.arrival);
+            double next_event = kInfinity;
+            if (next_ticket < tickets.size())
+                next_event = tickets[next_ticket].meta.arrival;
+            for (const RetryEntry &entry : retry_queue)
+                next_event = std::min(next_event, entry.eligibleAt);
+            if (!std::isfinite(next_event))
+                break; // Defensive: nothing can ever run.
+            now = std::max(now, next_event);
             continue;
         }
 
@@ -763,6 +1143,40 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
 
         InFlight &flight = inflight[current];
         FlightBox &box = *flight.box;
+
+        // Wave-step fault probe: the mounted request is the one about
+        // to decode, so it alone is at risk this slice. A fault kills
+        // the attempt before the wave runs — no device time passes,
+        // the partial decode is wasted recompute and cancelWith
+        // refunds every KV charge and prefix pin.
+        if (injector != nullptr) {
+            const bool fault = injector->shouldFault(
+                FaultSite::kWaveStep,
+                static_cast<long>(flight.ticket.meta.id));
+            if (degrade_enabled)
+                degrade.record(fault);
+            updateDegraded();
+            if (fault) {
+                fault_wasted +=
+                    system_.engine().generatedTokensSoFar();
+                checkOk(system_.cancelWith(
+                    flight.sysId,
+                    Status::unavailable(
+                        "injected transient device error")));
+                checkOk(system_.release(flight.sysId));
+                scheduleRetry(flight.ticket, now);
+                const size_t killed = current;
+                inflight.erase(inflight.begin()
+                               + static_cast<long>(killed));
+                current = kNone;
+                if (killed < rr)
+                    --rr;
+                if (rr >= inflight.size())
+                    rr = 0;
+                continue;
+            }
+        }
+
         system_.step();
 
         // The request's wall clock is its engine clock offset by every
@@ -774,6 +1188,10 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         for (InFlight &other : inflight) {
             if (&other != &flight)
                 other.wallBase += slice_end - now;
+        }
+        if (degrade_enabled && degrade.degraded()) {
+            ++degraded_waves;
+            degraded_time += slice_end - now;
         }
         now = slice_end;
 
@@ -822,6 +1240,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     out.prefixHitTokens = prefix_hit_tokens;
     // Time-slicing decodes exactly one request per engine wave.
     out.batchOccupancy = out.records.empty() ? 0.0 : 1.0;
+    stampFaultStats(out);
     return out;
 }
 

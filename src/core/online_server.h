@@ -72,6 +72,7 @@
 #include "core/serving.h"
 #include "kv/kv_session.h"
 #include "sched/queue_policy.h"
+#include "util/fault_injector.h"
 
 namespace fasttts
 {
@@ -137,6 +138,10 @@ struct OnlineTraceResult
     /**
      * Fraction of deadline-bearing requests that finished within
      * their SLO; 1 when no request carried a deadline (vacuous).
+     * Under fault injection the serve loops fold deadline-bearing
+     * requests that never completed (fault-failed or timed out) into
+     * the denominator as misses, so a fault cannot improve attainment
+     * by removing its victim from the population.
      */
     double sloAttainment = 1.0;
     int deadlineMisses = 0;  //!< Requests that blew their deadline.
@@ -163,6 +168,25 @@ struct OnlineTraceResult
     double batchOccupancy = 0; //!< Mean decode members per engine wave
                                //!< (1 under time-slicing, > 1 when
                                //!< continuous batching fuses requests).
+
+    // --- Fault tolerance (all zero when faults == "off"). ---
+    long injectedFaults = 0; //!< Faults the injector fired this trace,
+                             //!< summed across all sites.
+    int retries = 0;         //!< Attempt re-queues after retryable
+                             //!< fault kills (each backoff counted).
+    int timeouts = 0;        //!< Requests aborted by the watchdog
+                             //!< (kDeadlineExceeded; never retried).
+    int failedRequests = 0;  //!< Requests terminally failed by faults
+                             //!< after exhausting their retry budget.
+    long faultWastedTokens = 0; //!< Decode tokens of killed attempts —
+                                //!< the trace's wasted recompute.
+    long degradedWaves = 0;  //!< Engine waves run in degraded mode
+                             //!< (speculation disabled, admission
+                             //!< halved).
+    double degradedTime = 0; //!< Sim seconds spent degraded.
+    int degradedEpisodes = 0; //!< Times degradation engaged; with
+                              //!< degradedTime this yields mean
+                              //!< time-to-recovery.
 };
 
 /**
@@ -257,6 +281,35 @@ struct OnlineServerOptions
      *  ledger as in-flight KV (they contend with --kv-budget).
      *  Ignored when prefixCache == "off". */
     double prefixCacheBudgetGiB = 0;
+
+    /** Fault injection: "off" (the default — the injector is never
+     *  constructed and no site consumes randomness, so every trace
+     *  replays bit-identically to a build without faults) or "plan"
+     *  (deterministic schedule-driven faults per faultPlan). */
+    std::string faults = "off";
+
+    /** Fault plan JSON (schema in util/fault_injector.h). Required
+     *  non-empty when faults == "plan"; ignored otherwise. */
+    std::string faultPlan;
+
+    /** Retry budget per request: how many times an attempt killed by
+     *  a retryable fault (kUnavailable) is re-queued, in [0, 16].
+     *  0 fails the request on its first fault. */
+    int retryMax = 0;
+
+    /** Base retry backoff in sim seconds: attempt k re-queues
+     *  retryBackoff * min(2^(k-1), 8) after its kill (capped
+     *  exponential). The retried request keeps its original arrival
+     *  time, so backoff shows up as queue delay. */
+    double retryBackoff = 0.05;
+
+    /** Watchdog deadline in sim seconds: any request older than this
+     *  (queued, backing off or in flight) is aborted with
+     *  kDeadlineExceeded and its KV/ledger/prefix pins refunded
+     *  exactly. Timeouts are terminal — kDeadlineExceeded is not
+     *  retryable (the request already burned its time budget).
+     *  0 disables the watchdog. */
+    double requestTimeout = 0;
 };
 
 /** One request of an explicit online trace (serveRequests()). */
@@ -356,6 +409,7 @@ class OnlineServer
   private:
     OnlineServer(ServingSystem system,
                  std::unique_ptr<KvBudgetLedger> ledger,
+                 std::unique_ptr<FaultInjector> faults,
                  OnlineServerOptions online,
                  std::unique_ptr<QueuePolicy> policy,
                  RooflineModel roofline, DatasetProfile profile);
@@ -366,6 +420,11 @@ class OnlineServer
     serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                       std::vector<RequestResult> *results_sink);
 
+    // Declared before ledger_ and system_: both hold borrowed
+    // pointers to the injector, so it must outlive them (members
+    // destruct in reverse declaration order). Null when
+    // online_.faults == "off".
+    std::unique_ptr<FaultInjector> faults_;
     // Declared before system_: the engine's KV managers release their
     // ledger charge on destruction, so the ledger must outlive the
     // system (members destruct in reverse declaration order).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "util/fault_injector.h"
+
 namespace fasttts
 {
 
@@ -64,7 +66,17 @@ ServingSystem::enablePrefixCache(double budget_bytes,
         budget_bytes, engine_->promptKvBytesPerToken());
     if (ledger != nullptr)
         prefixIndex_->attachLedger(ledger);
+    if (faultInjector_ != nullptr)
+        prefixIndex_->attachFaultInjector(faultInjector_);
     engine_->attachPrefixIndex(prefixIndex_.get());
+}
+
+void
+ServingSystem::attachFaultInjector(FaultInjector *injector)
+{
+    faultInjector_ = injector;
+    if (prefixIndex_ != nullptr)
+        prefixIndex_->attachFaultInjector(injector);
 }
 
 RequestResult
@@ -341,6 +353,12 @@ ServingSystem::evictSuspendedKv(RequestId id)
 Status
 ServingSystem::cancel(RequestId id)
 {
+    return cancelWith(id, okStatus());
+}
+
+Status
+ServingSystem::cancelWith(RequestId id, Status reason)
+{
     auto it = requests_.find(id);
     if (it == requests_.end())
         return Status::notFound("unknown request id "
@@ -354,18 +372,23 @@ ServingSystem::cancel(RequestId id)
         return Status::failedPrecondition(
             "request " + std::to_string(id) + " already cancelled");
     case RequestState::Running:
-        // Abandon the in-flight beams; the partial result is dropped.
-        engine_->finishRequest();
+        // Abandon the in-flight beams and the partial result WITHOUT
+        // publishing the prompt — abortRequest also drops the prefix
+        // pin, so a cancel storm leaves the index fully unpinned.
+        engine_->abortRequest();
         running_ = 0;
+        request.failure = std::move(reason);
         request.state = RequestState::Cancelled;
         return okStatus();
     case RequestState::Suspended:
         // Drop the parked context; its KV blocks (and any shared-
-        // ledger charge) are freed with it.
+        // ledger charge, and its prefix pin) are freed with it.
         request.suspended = SuspendedEngineRequest();
+        request.failure = std::move(reason);
         request.state = RequestState::Cancelled;
         return okStatus();
     case RequestState::Queued:
+        request.failure = std::move(reason);
         request.state = RequestState::Cancelled;
         return okStatus();
     }
@@ -393,6 +416,8 @@ ServingSystem::result(RequestId id) const
     case RequestState::Completed:
         return it->second.result;
     case RequestState::Cancelled:
+        if (!it->second.failure.ok())
+            return it->second.failure;
         return Status::notFound("request " + std::to_string(id)
                                 + " was cancelled");
     default:

@@ -62,6 +62,8 @@
 namespace fasttts
 {
 
+class FaultInjector;
+
 /** Everything needed to stand up one serving stack. */
 struct ServingOptions
 {
@@ -283,17 +285,30 @@ class ServingSystem
     /**
      * Abort a queued, running or suspended request. Running requests
      * abandon their active beams immediately; no onComplete fires.
+     * The prompt is NOT published to the prefix cache and the
+     * request's prefix pin is released on every path, so an aborted
+     * request never leaves pinned (uncollectable) index nodes behind.
      * @return kNotFound for unknown ids, kFailedPrecondition when the
      *         request already completed.
      */
     Status cancel(RequestId id);
+
+    /**
+     * cancel() with an attributed failure: `reason` (non-ok, e.g.
+     * kDeadlineExceeded for a watchdog abort or kUnavailable for an
+     * injected device error) is stored and surfaced by result() in
+     * place of the generic was-cancelled error, so callers can branch
+     * on Status::isRetryable().
+     */
+    Status cancelWith(RequestId id, Status reason);
 
     /** Lifecycle state of a submitted request (kNotFound if unknown). */
     StatusOr<RequestState> requestState(RequestId id) const;
 
     /**
      * Result of a completed request (kFailedPrecondition while it is
-     * queued/running, kNotFound for unknown or cancelled ids).
+     * queued/running, kNotFound for unknown or cancelled ids; a
+     * request aborted via cancelWith() returns its stored reason).
      */
     StatusOr<RequestResult> result(RequestId id) const;
 
@@ -337,6 +352,15 @@ class ServingSystem
      */
     void enablePrefixCache(double budget_bytes, KvBudgetLedger *ledger);
 
+    /**
+     * Thread a deterministic fault injector
+     * (util/fault_injector.h) through the system's layers: currently
+     * the prefix index (FaultSite::kPrefixAcquire). Call order with
+     * enablePrefixCache() does not matter; the injector must outlive
+     * the system. Pass nullptr to detach.
+     */
+    void attachFaultInjector(FaultInjector *injector);
+
     /** The prefix cache (nullptr when not enabled). */
     [[nodiscard]] const PrefixIndex *prefixIndex() const
     {
@@ -366,6 +390,7 @@ class ServingSystem
         RequestCallbacks callbacks;
         RequestState state = RequestState::Queued;
         RequestResult result;
+        Status failure; //!< Abort reason (cancelWith); ok otherwise.
         int iterations = 0;
         SuspendedEngineRequest suspended; //!< Parked engine context
                                           //!< while state==Suspended.
@@ -387,6 +412,7 @@ class ServingSystem
     std::unique_ptr<PrefixIndex> prefixIndex_;
     std::unique_ptr<FastTtsEngine> engine_;
     std::vector<Problem> problems_;
+    FaultInjector *faultInjector_ = nullptr; //!< Borrowed (optional).
 
     // --- Async state ---
     std::unordered_map<RequestId, Request> requests_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injector.h"
+
 namespace fasttts
 {
 
@@ -17,6 +19,13 @@ KvBudgetLedger::charge(double bytes)
     // the byte sums (charges are KB-scale block multiples, so genuine
     // overshoot is orders of magnitude larger).
     if (used_ + bytes > total_ + 0.5) {
+        ++failed_;
+        return false;
+    }
+    // An injected allocation brownout refuses exactly like budget
+    // exhaustion; callers already handle refusal (eviction, deferral).
+    if (faults_ != nullptr
+        && faults_->shouldFault(FaultSite::kKvAlloc)) {
         ++failed_;
         return false;
     }
@@ -48,6 +57,11 @@ KvSession::resume(uint64_t tick)
 {
     long recomputed = 0;
     for (const KvCacheManager::NodeId leaf : frontier_) {
+        // An injected restore failure leaves this leaf cold; it
+        // recomputes lazily on first touch, like a budget shortfall.
+        if (faults_ != nullptr
+            && faults_->shouldFault(FaultSite::kKvRestore))
+            continue;
         const auto touch = kv_->ensureResident(leaf, tick);
         recomputed += touch.recomputeTokens;
         if (!touch.ok)

@@ -37,6 +37,8 @@
 namespace fasttts
 {
 
+class FaultInjector;
+
 /**
  * One device-wide KV byte budget shared by several KvCacheManagers.
  *
@@ -49,6 +51,17 @@ class KvBudgetLedger
 {
   public:
     explicit KvBudgetLedger(double total_bytes);
+
+    /**
+     * Probe `injector` at FaultSite::kKvAlloc on every charge; an
+     * injected fault refuses the charge as if the budget were
+     * exhausted (an allocation brownout). Pass nullptr to detach; the
+     * injector must outlive the ledger while attached.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
 
     /** Try to charge `bytes`; false (no change) when over budget. */
     [[nodiscard]] bool charge(double bytes);
@@ -71,6 +84,7 @@ class KvBudgetLedger
     double used_ = 0;
     double peak_ = 0;
     uint64_t failed_ = 0;
+    FaultInjector *faults_ = nullptr;
 };
 
 /** Counters of one session's suspend/resume history. */
@@ -93,6 +107,16 @@ class KvSession
 {
   public:
     explicit KvSession(KvCacheManager &kv) : kv_(&kv) {}
+
+    /**
+     * Probe `injector` at FaultSite::kKvRestore per frontier leaf on
+     * resume(); a faulted leaf is skipped (stays cold) and recomputes
+     * lazily on first touch. Pass nullptr to detach.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
 
     /**
      * Snapshot the resident frontier and force-evict every resident
@@ -124,6 +148,7 @@ class KvSession
     std::vector<KvCacheManager::NodeId> frontier_;
     bool suspended_ = false;
     KvSessionStats stats_;
+    FaultInjector *faults_ = nullptr;
 };
 
 } // namespace fasttts

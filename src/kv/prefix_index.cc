@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "kv/kv_session.h"
+#include "util/fault_injector.h"
 
 namespace fasttts
 {
@@ -191,7 +192,13 @@ PrefixIndex::acquire(const std::vector<int32_t> &tokens)
     ++stats_.lookups;
     NodeId cur = kRoot;
     size_t pos = 0;
-    while (pos < tokens.size()) {
+    // An injected corruption fault reports a miss without walking:
+    // the caller pins the root (released as usual) and re-prefills
+    // the whole prompt, exactly like a genuinely cold cache.
+    const bool corrupted =
+        faults_ != nullptr
+        && faults_->shouldFault(FaultSite::kPrefixAcquire);
+    while (!corrupted && pos < tokens.size()) {
         const NodeId next = findChild(cur, tokens[pos]);
         if (next == kInvalid)
             break;

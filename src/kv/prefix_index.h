@@ -53,6 +53,7 @@
 namespace fasttts
 {
 
+class FaultInjector;
 class KvBudgetLedger;
 
 /** Aggregate statistics of one PrefixIndex over its lifetime. */
@@ -102,6 +103,17 @@ class PrefixIndex
      * resident).
      */
     void attachLedger(KvBudgetLedger *ledger);
+
+    /**
+     * Probe `injector` at FaultSite::kPrefixAcquire on every
+     * acquire(); an injected fault reports a miss (zero matched
+     * tokens, root pinned as usual) as if the cached entry were
+     * corrupt, forcing a full prompt prefill. Pass nullptr to detach.
+     */
+    void attachFaultInjector(FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
 
     /** Result of one prefix lookup. */
     struct Match
@@ -198,6 +210,7 @@ class PrefixIndex
     double budgetBytes_;
     double kvBytesPerToken_;
     KvBudgetLedger *ledger_ = nullptr;
+    FaultInjector *faults_ = nullptr;
     double ledgerCharged_ = 0; //!< Bytes charged to ledger_.
     std::vector<Node> nodes_;
     std::vector<NodeId> freeList_;

@@ -1,0 +1,46 @@
+// Fixture: fault-rand rule. Not compiled — linted against the golden
+// report in tests/lint/expected/fault_rand.txt. The file name contains
+// "fault", so it is treated as fault-path code: every randomness
+// source other than the injector's seeded Rng stream is a finding
+// (rand()/std::random_device additionally trip the raw-rand rule).
+#include <cstdlib>
+#include <random>
+
+int
+bad_fault_coin()
+{
+    std::random_device rd; // finding (raw-rand AND fault-rand)
+    std::mt19937 gen(rd()); // finding
+    std::bernoulli_distribution coin(0.05); // finding
+    return coin(gen) ? 1 : 0;
+}
+
+int
+bad_fault_rate()
+{
+    return std::rand() % 100; // finding (raw-rand AND fault-rand)
+}
+
+double
+bad_fault_backoff()
+{
+    std::uniform_real_distribution<double> jitter(0.0, 1.0); // finding
+    std::minstd_rand engine(7); // finding
+    return jitter(engine);
+}
+
+// A deliberately exempt site carries the allow marker:
+int
+tolerated(int seed)
+{
+    // fasttts-lint: allow(fault-rand) documentation example only
+    std::mt19937 doc_example(static_cast<unsigned>(seed));
+    return static_cast<int>(doc_example());
+}
+
+// Identifiers merely containing the substrings are fine:
+int
+default_fault_randomness_free(int operands)
+{
+    return operands;
+}

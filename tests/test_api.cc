@@ -816,6 +816,133 @@ TEST(EngineArgsOnline, PrefixCacheFlagValidation)
               std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// Fault tolerance: retryable status codes and the fault flags
+// ---------------------------------------------------------------------
+
+TEST(Status, RetryableCodesCarryNamesAndRetryability)
+{
+    const Status deadline = Status::deadlineExceeded("too slow");
+    EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(deadline.toString(), "deadline_exceeded: too slow");
+    // Deliberately terminal: the deadline has passed; a retry would
+    // just miss it again later.
+    EXPECT_FALSE(deadline.isRetryable());
+
+    const Status transient = Status::unavailable("device hiccup");
+    EXPECT_EQ(transient.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(transient.toString(), "unavailable: device hiccup");
+    EXPECT_TRUE(transient.isRetryable());
+
+    // Every other code is non-retryable.
+    EXPECT_FALSE(okStatus().isRetryable());
+    EXPECT_FALSE(Status::invalidArgument("x").isRetryable());
+    EXPECT_FALSE(Status::notFound("x").isRetryable());
+    EXPECT_FALSE(Status::alreadyExists("x").isRetryable());
+    EXPECT_FALSE(Status::failedPrecondition("x").isRetryable());
+}
+
+TEST(EngineArgsOnline, FaultFlagsArgvAndJsonAgree)
+{
+    const char *kPlan =
+        R"({"rules": [{"site": "wave_step", "rate": 0.05}]})";
+    const auto via_argv = parse({"--faults", "plan", "--fault-plan",
+                                 kPlan, "--retry-max", "3",
+                                 "--retry-backoff", "0.125",
+                                 "--request-timeout", "90"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(std::string(R"({
+        "faults": "plan",
+        "fault_plan": ")")
+        + R"({\"rules\": [{\"site\": \"wave_step\", \"rate\": 0.05}]})"
+        + R"(",
+        "retry_max": 3,
+        "retry_backoff": 0.125,
+        "request_timeout": 90
+    })");
+    ASSERT_TRUE(via_json.ok()) << via_json.status().toString();
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->faults, "plan");
+        EXPECT_EQ(args->faultPlan, kPlan);
+        EXPECT_EQ(args->retryMax, 3);
+        EXPECT_DOUBLE_EQ(args->retryBackoff, 0.125);
+        EXPECT_DOUBLE_EQ(args->requestTimeout, 90.0);
+        EXPECT_TRUE(args->validate().ok())
+            << args->validate().toString();
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.faults, "plan");
+        EXPECT_EQ(online.faultPlan, kPlan);
+        EXPECT_EQ(online.retryMax, 3);
+        EXPECT_DOUBLE_EQ(online.retryBackoff, 0.125);
+        EXPECT_DOUBLE_EQ(online.requestTimeout, 90.0);
+    }
+    for (const char *flag : {"--faults", "--fault-plan", "--retry-max",
+                             "--retry-backoff", "--request-timeout"})
+        EXPECT_TRUE(via_argv->wasSet(flag)) << flag;
+
+    // Defaults keep injection off with no retry/watchdog machinery,
+    // so legacy invocations stay bit-identical.
+    const auto defaults = parse({});
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_EQ(defaults->faults, "off");
+    EXPECT_TRUE(defaults->faultPlan.empty());
+    EXPECT_EQ(defaults->retryMax, 0);
+    EXPECT_DOUBLE_EQ(defaults->requestTimeout, 0.0);
+    EXPECT_EQ(defaults->toOnlineOptions().faults, "off");
+}
+
+TEST(EngineArgsOnline, FaultFlagValidation)
+{
+    EngineArgs args;
+    args.faults = "chaos";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(args.validate().message().find("off"),
+              std::string::npos);
+
+    // plan mode demands a parseable schedule.
+    args = EngineArgs();
+    args.faults = "plan";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+    args.faultPlan = "{\"rules\": [{\"site\": \"wave_step\"}]}";
+    EXPECT_FALSE(args.validate().ok());
+
+    args = EngineArgs();
+    args.retryMax = 17;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.retryBackoff = -1.0;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.requestTimeout = -5.0;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    // argv range enforcement and JSON type enforcement.
+    EXPECT_FALSE(parse({"--retry-max", "17"}).ok());
+    EXPECT_FALSE(parse({"--retry-max", "-1"}).ok());
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"faults": 1})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"retry_max": "three"})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"retry_max": 17})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+
+    // Fixed-config tools reject the fault flags like any other.
+    const auto set = parse({"--request-timeout", "10"});
+    ASSERT_TRUE(set.ok());
+    const Status status = set->rejectUnsupportedFlags({"--problems"});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--request-timeout"),
+              std::string::npos);
+}
+
 TEST(EngineArgsArgv, HelpNoLongerAdvertisesPositionals)
 {
     // The replacement flags keep working, and help() no longer

@@ -3,7 +3,7 @@
  * Smoke test for the JSON-emitting benchmark harness.
  *
  * Runs the real bench_runner binary (path injected by CMake as
- * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 20 registered
+ * FASTTTS_BENCH_RUNNER_PATH): --list must enumerate all 21 registered
  * benchmarks (the figure benchmarks plus the online serving suite),
  * and a --quick run must write BENCH_<name>.json files that
  * parse and carry the throughput / latency-percentile /
@@ -68,7 +68,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
     ASSERT_EQ(status, 0);
 
     const std::vector<std::string> names = splitLines(output);
-    EXPECT_EQ(names.size(), 20u);
+    EXPECT_EQ(names.size(), 21u);
     for (const char *expected :
          {"fig01_frontier", "fig03_patterns", "fig04_utilization",
           "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
@@ -77,7 +77,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
           "fig17_speculative", "fig18_scheduling", "micro",
           "online_responsiveness", "online_scheduling",
           "online_preemption", "online_batching",
-          "online_prefix_reuse"}) {
+          "online_prefix_reuse", "online_fault_tolerance"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing benchmark: " << expected;
@@ -281,6 +281,71 @@ TEST(BenchRunner, OnlineSchedulingSweepsPoliciesOnOneTrace)
                   requests)
             << policy;
     }
+
+    std::filesystem::remove_all(outDir);
+}
+
+TEST(BenchRunner, FaultToleranceSweepsRatesAndSurvivalModes)
+{
+    const std::filesystem::path outDir =
+        std::filesystem::path(testing::TempDir())
+        / "fasttts_bench_fault_smoke";
+    std::filesystem::remove_all(outDir);
+
+    std::string output;
+    const int status =
+        runCommand(std::string(FASTTTS_BENCH_RUNNER_PATH)
+                       + " --quick --out-dir " + outDir.string()
+                       + " online_fault_tolerance",
+                   &output);
+    ASSERT_EQ(status, 0) << output;
+
+    std::string error;
+    const Json doc = Json::parse(
+        readFile(outDir / "BENCH_online_fault_tolerance.json"), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(doc["schema"].asString(), "fasttts-bench-v1");
+    EXPECT_EQ(doc["benchmark"].asString(), "online_fault_tolerance");
+    EXPECT_EQ(doc["config"]["arrivals"].asString(), "bursty");
+    EXPECT_EQ(doc["config"]["fault_site"].asString(), "wave_step");
+
+    for (const char *rate : {"0%", "1%", "5%"}) {
+        const Json &cell = doc["rates"][rate];
+        for (const char *arm : {"no_retry", "retry_degrade"}) {
+            const Json &run = cell[arm];
+            EXPECT_GE(run["slo_attainment"].asNumber(), 0.0)
+                << rate << "/" << arm;
+            EXPECT_LE(run["slo_attainment"].asNumber(), 1.0)
+                << rate << "/" << arm;
+            EXPECT_GE(run["completed"].asNumber(), 0.0)
+                << rate << "/" << arm;
+            EXPECT_GE(run["injected_faults"].asNumber(), 0.0)
+                << rate << "/" << arm;
+            EXPECT_GE(run["wasted_recompute_tokens"].asNumber(), 0.0)
+                << rate << "/" << arm;
+        }
+        // The clean cells inject nothing; the 5% cells certainly do.
+        if (std::string(rate) == "0%") {
+            for (const char *arm : {"no_retry", "retry_degrade"})
+                EXPECT_EQ(cell[arm]["injected_faults"].asNumber(), 0.0)
+                    << arm;
+        }
+        if (std::string(rate) == "5%") {
+            for (const char *arm : {"no_retry", "retry_degrade"})
+                EXPECT_GT(cell[arm]["injected_faults"].asNumber(), 0.0)
+                    << arm;
+        }
+        // The fail-fast arm never retries or degrades.
+        EXPECT_EQ(cell["no_retry"]["retries"].asNumber(), 0.0) << rate;
+        EXPECT_EQ(cell["no_retry"]["degraded_waves"].asNumber(), 0.0)
+            << rate;
+    }
+
+    // The headline criterion: retry+degrade recovers at least 25
+    // points of SLO attainment over fail-fast at the 5% fault rate.
+    EXPECT_GE(doc["summary"]["slo_recovery_points_at_5pct"].asNumber(),
+              25.0);
 
     std::filesystem::remove_all(outDir);
 }

@@ -1173,5 +1173,291 @@ TEST(OnlineServer, ServeProblemsAdapterMatchesServingSystem)
     }
 }
 
+// --- Fault injection, retry, timeout and degradation ---
+
+/** A small burst of arrival-0ish requests with generous deadlines. */
+std::vector<OnlineRequest>
+faultTrace(int n)
+{
+    std::vector<OnlineRequest> requests;
+    for (int i = 0; i < n; ++i) {
+        OnlineRequest r;
+        r.arrival = 0.5 * i;
+        r.slo = 1e6; // Generous: only terminal failures miss.
+        requests.push_back(r);
+    }
+    return requests;
+}
+
+TEST(OnlineServer, CreateRejectsBadFaultOptions)
+{
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions bad_mode;
+    bad_mode.faults = "chaos";
+    EXPECT_EQ(OnlineServer::create(opts, bad_mode).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions no_plan;
+    no_plan.faults = "plan";
+    EXPECT_EQ(OnlineServer::create(opts, no_plan).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions bad_plan;
+    bad_plan.faults = "plan";
+    bad_plan.faultPlan = "{\"rules\": [{\"rate\": 0.1}]}";
+    EXPECT_EQ(OnlineServer::create(opts, bad_plan).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions bad_retry;
+    bad_retry.retryMax = 17;
+    EXPECT_EQ(OnlineServer::create(opts, bad_retry).status().code(),
+              StatusCode::kInvalidArgument);
+    bad_retry.retryMax = -1;
+    EXPECT_EQ(OnlineServer::create(opts, bad_retry).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions bad_backoff;
+    bad_backoff.retryBackoff = -0.5;
+    EXPECT_EQ(OnlineServer::create(opts, bad_backoff).status().code(),
+              StatusCode::kInvalidArgument);
+
+    OnlineServerOptions bad_timeout;
+    bad_timeout.requestTimeout = -1.0;
+    EXPECT_EQ(OnlineServer::create(opts, bad_timeout).status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineServer, ZeroRateFaultPlanMatchesFaultFreeTrace)
+{
+    // The in-process differential: a plan whose rules arm every probe
+    // at rate 0 draws from the injector's dedicated stream but never
+    // fires — the trace must be field-for-field identical to a
+    // fault-free server, proving injector draws cannot perturb the
+    // simulation. Covers both batching modes.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions plain;
+        plain.maxInflight = 3;
+        plain.batching = batching;
+        OnlineServerOptions armed = plain;
+        armed.faults = "plan";
+        armed.faultPlan =
+            "{\"rules\": [{\"site\": \"wave_step\", \"rate\": 0.0}]}";
+        armed.retryMax = 3;
+
+        const auto trace = faultTrace(6);
+        OnlineServer a = OnlineServer::create(opts, plain).value();
+        OnlineServer b = OnlineServer::create(opts, armed).value();
+        const auto want = a.serveRequests(trace).value();
+        const auto got = b.serveRequests(trace).value();
+
+        ASSERT_EQ(got.records.size(), want.records.size()) << batching;
+        for (size_t i = 0; i < got.records.size(); ++i) {
+            EXPECT_DOUBLE_EQ(got.records[i].start,
+                             want.records[i].start);
+            EXPECT_DOUBLE_EQ(got.records[i].finish,
+                             want.records[i].finish);
+            EXPECT_DOUBLE_EQ(got.records[i].activeTime,
+                             want.records[i].activeTime);
+        }
+        EXPECT_DOUBLE_EQ(got.meanLatency, want.meanLatency);
+        EXPECT_DOUBLE_EQ(got.makespan, want.makespan);
+        EXPECT_EQ(got.verifiedTokens, want.verifiedTokens);
+        EXPECT_EQ(got.injectedFaults, 0);
+        EXPECT_EQ(got.retries, 0);
+        EXPECT_EQ(got.timeouts, 0);
+        EXPECT_EQ(got.failedRequests, 0);
+        EXPECT_EQ(got.degradedWaves, 0);
+        EXPECT_EQ(got.degradedEpisodes, 0);
+    }
+}
+
+TEST(OnlineServer, TargetedFaultFailsRequestTerminallyWithoutRetry)
+{
+    // A rate-1.0 rule pinned to request 0 with no retry budget: its
+    // first wave faults, the request fails terminally, and everyone
+    // else completes untouched.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions online;
+        online.maxInflight = 2;
+        online.batching = batching;
+        online.faults = "plan";
+        online.faultPlan = "{\"rules\": [{\"site\": \"wave_step\", "
+                           "\"rate\": 1.0, \"request\": 0}]}";
+        OnlineServer server = OnlineServer::create(opts, online).value();
+        const auto out = server.serveRequests(faultTrace(4)).value();
+        EXPECT_EQ(out.records.size(), 3u) << batching;
+        EXPECT_EQ(out.failedRequests, 1) << batching;
+        EXPECT_GE(out.injectedFaults, 1l) << batching;
+        EXPECT_EQ(out.retries, 0) << batching;
+        // The terminal failure carried a (generous) deadline it can
+        // no longer meet: attainment counts it as a miss.
+        EXPECT_LT(out.sloAttainment, 1.0) << batching;
+        EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(), 0.0);
+    }
+}
+
+TEST(OnlineServer, RetryRecoversWindowedFault)
+{
+    // The fault window closes before the backed-off retry re-enters:
+    // attempt 1 is killed, attempt 2 runs clean, every request
+    // completes.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions online;
+        online.maxInflight = 2;
+        online.batching = batching;
+        online.faults = "plan";
+        online.faultPlan = "{\"rules\": [{\"site\": \"wave_step\", "
+                           "\"rate\": 1.0, \"request\": 0, "
+                           "\"end\": 1e4}]}";
+        online.retryMax = 5;
+        online.retryBackoff = 2e4; // Retry lands past the window.
+        OnlineServer server = OnlineServer::create(opts, online).value();
+        const auto out = server.serveRequests(faultTrace(4)).value();
+        EXPECT_EQ(out.records.size(), 4u) << batching;
+        EXPECT_EQ(out.failedRequests, 0) << batching;
+        EXPECT_GE(out.retries, 1) << batching;
+        EXPECT_GE(out.injectedFaults, 1l) << batching;
+        // No wasted recompute: the fault strikes before the first
+        // wave runs, so the killed attempt had decoded nothing yet.
+        EXPECT_EQ(out.faultWastedTokens, 0l) << batching;
+        EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(), 0.0);
+    }
+}
+
+TEST(OnlineServer, WatchdogTimesOutEveryRequestUnderTinyDeadline)
+{
+    // An absurdly tight --request-timeout: the watchdog aborts every
+    // request (inflight after its first wave, queued before
+    // admission), nothing completes, and the books still drain.
+    const ServingOptions opts = smallOptions(true);
+    for (const std::string batching : {"off", "continuous"}) {
+        OnlineServerOptions online;
+        online.maxInflight = 2;
+        online.batching = batching;
+        online.requestTimeout = 1e-6;
+        OnlineServer server = OnlineServer::create(opts, online).value();
+        const auto out = server.serveRequests(faultTrace(3)).value();
+        EXPECT_TRUE(out.records.empty()) << batching;
+        EXPECT_EQ(out.timeouts, 3) << batching;
+        EXPECT_EQ(out.retries, 0) << batching;
+        EXPECT_DOUBLE_EQ(out.sloAttainment, 0.0) << batching;
+        EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(), 0.0);
+    }
+}
+
+TEST(OnlineServer, SustainedFaultPressureEngagesDegradation)
+{
+    // A heavy always-on fault rate with retries enabled must push the
+    // rolling fault-rate tracker over its enter threshold: the server
+    // records degraded waves/time and at least one episode, and the
+    // trace still terminates with balanced books.
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.maxInflight = 4;
+    online.batching = "continuous";
+    online.faults = "plan";
+    online.faultPlan =
+        "{\"rules\": [{\"site\": \"wave_step\", \"rate\": 0.3}]}";
+    online.retryMax = 2;
+    online.retryBackoff = 0.01;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+    const auto out = server.serveRequests(faultTrace(8)).value();
+    EXPECT_GT(out.injectedFaults, 0l);
+    EXPECT_GT(out.degradedWaves, 0l);
+    EXPECT_GT(out.degradedTime, 0.0);
+    EXPECT_GE(out.degradedEpisodes, 1);
+    EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(), 0.0);
+
+    // Without retries the degradation machinery stays disarmed even
+    // under the same fault pressure (fail-fast mode is the control
+    // arm of the benchmark).
+    OnlineServerOptions fail_fast = online;
+    fail_fast.retryMax = 0;
+    OnlineServer control = OnlineServer::create(opts, fail_fast).value();
+    const auto ctrl = control.serveRequests(faultTrace(8)).value();
+    EXPECT_GT(ctrl.injectedFaults, 0l);
+    EXPECT_EQ(ctrl.degradedWaves, 0l);
+    EXPECT_EQ(ctrl.degradedEpisodes, 0);
+}
+
+TEST(OnlineServer, FaultSequencesReplayBitForBitAcrossServers)
+{
+    // Two servers built from identical options and seeds must inject
+    // the identical fault sequence and produce the identical trace —
+    // the determinism contract the benchmark's cells rely on.
+    const ServingOptions opts = smallOptions(true);
+    OnlineServerOptions online;
+    online.maxInflight = 3;
+    online.batching = "continuous";
+    online.faults = "plan";
+    online.faultPlan =
+        "{\"rules\": [{\"site\": \"wave_step\", \"rate\": 0.2}]}";
+    online.retryMax = 3;
+    online.retryBackoff = 0.05;
+    const auto trace = faultTrace(6);
+    OnlineServer a = OnlineServer::create(opts, online).value();
+    OnlineServer b = OnlineServer::create(opts, online).value();
+    const auto ra = a.serveRequests(trace).value();
+    const auto rb = b.serveRequests(trace).value();
+    EXPECT_EQ(ra.injectedFaults, rb.injectedFaults);
+    EXPECT_EQ(ra.retries, rb.retries);
+    EXPECT_EQ(ra.failedRequests, rb.failedRequests);
+    EXPECT_EQ(ra.faultWastedTokens, rb.faultWastedTokens);
+    ASSERT_EQ(ra.records.size(), rb.records.size());
+    for (size_t i = 0; i < ra.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra.records[i].start, rb.records[i].start);
+        EXPECT_DOUBLE_EQ(ra.records[i].finish, rb.records[i].finish);
+    }
+    EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(OnlineServer, CancelStormDrainsPrefixPinsAndLedger)
+{
+    // The satellite-1 regression: requests leaving through EVERY
+    // abnormal exit — client cancellation while queued, injected
+    // wave faults with no retry budget, watchdog timeouts — must
+    // release their prefix pins and ledger charges. After the storm
+    // the index holds only its permanent root self-reference and the
+    // ledger holds only the cache's own resident bytes.
+    ServingOptions opts = smallOptions(true);
+    opts.numBeams = 4;
+    OnlineServerOptions online;
+    online.maxInflight = 2;
+    online.batching = "continuous";
+    online.kvBudgetGiB = 0.5;
+    online.prefixCache = "on";
+    online.faults = "plan";
+    online.faultPlan =
+        "{\"rules\": [{\"site\": \"wave_step\", \"rate\": 0.4}]}";
+    online.requestTimeout = 40.0;
+    OnlineServer server = OnlineServer::create(opts, online).value();
+
+    std::vector<OnlineRequest> storm;
+    for (int i = 0; i < 10; ++i) {
+        OnlineRequest r;
+        r.arrival = 0.25 * i;
+        r.slo = 1e6;
+        // Shared prompt prefix so pins actually land on cached nodes.
+        for (int j = 0; j < 64 + 8 * (i % 3); ++j)
+            r.promptIds.push_back(static_cast<int32_t>(7000 + j));
+        if (i % 3 == 2)
+            r.cancelAt = r.arrival + 0.1; // Abandoned while queued.
+        storm.push_back(r);
+    }
+    const auto out = server.serveRequests(storm).value();
+    // The storm must actually exercise abnormal exits.
+    EXPECT_GT(out.injectedFaults + out.timeouts + out.failedRequests,
+              0l);
+
+    const PrefixIndex *index = server.system().prefixIndex();
+    ASSERT_NE(index, nullptr);
+    EXPECT_EQ(index->refCount(PrefixIndex::kRoot), 1);
+    EXPECT_DOUBLE_EQ(server.kvLedger().usedBytes(),
+                     index->residentBytes());
+}
+
 } // namespace
 } // namespace fasttts

@@ -11,6 +11,7 @@
 
 #include "kv/kv_session.h"
 #include "kv/prefix_index.h"
+#include "util/fault_injector.h"
 
 namespace fasttts
 {
@@ -252,6 +253,36 @@ TEST(PrefixIndex, IdenticalCallSequencesReproduceIdenticalTrees)
         first.release(ma.node);
         second.release(mb.node);
     }
+}
+
+TEST(PrefixIndex, InjectedAcquireFaultForcesMissButStillPinsRoot)
+{
+    // A prefix_acquire fault models cache corruption: the lookup
+    // reports zero matched tokens (full prompt prefill) but follows
+    // the normal pin protocol — the caller still holds, and must
+    // release, a root pin — and the cached entry itself survives for
+    // the next, un-faulted lookup.
+    PrefixIndex index(1024, kTokenByte);
+    index.insert(ids({1, 2, 3, 4}));
+
+    const auto plan = FaultPlan::fromJsonText(
+        "{\"rules\": [{\"site\": \"prefix_acquire\", \"rate\": 1.0}]}");
+    ASSERT_TRUE(plan.ok());
+    FaultInjector injector(*plan, 13);
+    index.attachFaultInjector(&injector);
+
+    const auto corrupted = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(corrupted.matchedTokens, 0);
+    EXPECT_EQ(corrupted.node, PrefixIndex::kRoot);
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 2);
+    index.release(corrupted.node);
+    EXPECT_EQ(index.refCount(PrefixIndex::kRoot), 1);
+    EXPECT_EQ(injector.stats(FaultSite::kPrefixAcquire).injected, 1);
+
+    index.attachFaultInjector(nullptr);
+    const auto clean = index.acquire(ids({1, 2, 3, 4}));
+    EXPECT_EQ(clean.matchedTokens, 4);
+    index.release(clean.node);
 }
 
 } // namespace

@@ -32,6 +32,12 @@ the repo rules that protect it:
                      library reports through Status and return
                      values; printing belongs to bench/, examples/
                      and tools.
+  fault-rand         No rand()/std::random_device and no std::<random>
+                     engines or distributions in fault-path files
+                     (any file whose name contains "fault"): fault
+                     decisions must come from the injector's dedicated
+                     seeded Rng stream, or identical fault plans stop
+                     replaying bit-for-bit.
 
 A site that is deliberately exempt carries a marker on its own line
 or the line above:
@@ -70,6 +76,10 @@ RULES = {
     ),
     "naked-new": ("src+bench", "naked new outside src/alloc/"),
     "library-cout": ("src", "std::cout in library code"),
+    "fault-rand": (
+        "src+bench",
+        "non-Rng randomness in fault-path code (breaks replay)",
+    ),
 }
 
 ALLOW_RE = re.compile(r"fasttts-lint:\s*allow\(([a-z-]+)\)")
@@ -80,6 +90,10 @@ WALL_CLOCK_RE = re.compile(
 )
 RAW_RAND_RE = re.compile(
     r"\bstd::random_device\b|\bstd::rand\b|(?<![_\w])s?rand\s*\("
+)
+STD_RANDOM_ENGINE_RE = re.compile(
+    r"\bstd::(mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|knuth_b|ranlux\d+(?:_base)?|\w+_distribution)\b"
 )
 POINTER_MAP_RE = re.compile(r"std::(map|set)\s*<[^<>,]*\*")
 NAKED_NEW_RE = re.compile(r"(?<![_\w])new\s+[A-Za-z_(]")
@@ -172,6 +186,10 @@ def lint_file(path, scope, unordered_names, findings):
             report("wall-clock")
         if RAW_RAND_RE.search(code):
             report("raw-rand")
+        if "fault" in Path(path).name and (
+                RAW_RAND_RE.search(code)
+                or STD_RANDOM_ENGINE_RE.search(code)):
+            report("fault-rand")
         if POINTER_MAP_RE.search(code):
             report("pointer-keyed-map")
         if COUT_RE.search(code):
