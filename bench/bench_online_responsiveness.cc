@@ -36,13 +36,16 @@ main(int argc, char **argv)
         "--problems sets the request count, --policy/--max-inflight/"
         "--slo/--arrivals/--preempt/--kv-budget/--shed-doomed/"
         "--batching/--prefix-cache the queueing discipline, "
-        "--faults/--retry-max the fault-tolerance machinery)",
+        "--faults/--retry-max the fault-tolerance machinery, "
+        "--kv-tier/--victim-select the KV offload hierarchy)",
         {"--problems", "--dataset", "--seed", "--beams", "--policy",
          "--max-inflight", "--slo", "--arrivals", "--preempt",
          "--kv-budget", "--shed-doomed", "--batching",
          "--max-batched-tokens", "--prefill-chunk", "--prefix-cache",
          "--prefix-cache-budget", "--faults", "--fault-plan",
-         "--retry-max", "--retry-backoff", "--request-timeout"});
+         "--retry-max", "--retry-backoff", "--request-timeout",
+         "--kv-tier", "--host-kv-budget", "--host-bandwidth",
+         "--victim-select"});
     const int requests = args.numProblems;
     const OnlineServerOptions online = args.toOnlineOptions();
 

@@ -23,7 +23,12 @@
 # deterministic wave-step faults at 5% with retries (--faults plan
 # --retry-max 3), so the abort/refund/re-admit machinery — cancel
 # mid-wave, prefix-pin release, ledger refund, backoff re-queue —
-# churns under the sanitizers too.
+# churns under the sanitizers too. A seventh pass turns on the host KV
+# tier with cost-aware victim selection under round-robin time slicing
+# (--kv-tier host --victim-select cost --preempt slice), so every
+# context switch runs the roofline swap-vs-recompute decision and the
+# tier's swap-out/take/LRU-evict machinery races suspend, forced
+# eviction and lazy restore.
 
 set -euo pipefail
 
@@ -47,7 +52,7 @@ while [[ $# -gt 0 ]]; do
         shift 2
         ;;
     --help | -h)
-        sed -n '2,22p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+        sed -n '2,31p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
         exit 0
         ;;
     *)
@@ -119,5 +124,19 @@ echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
     --faults plan \
     --fault-plan '{"rules": [{"site": "wave_step", "rate": 0.05}]}' \
     --retry-max 3 --kv-budget 0.5 --shed-doomed \
+    --max-inflight "${max_inflight}" --slo 2000 >/dev/null
+
+# Tiering storm: host KV tier + cost-aware victim selection under
+# round-robin time slicing and a tight shared budget, so every context
+# switch takes the roofline swap-vs-recompute decision and the host
+# store's swap-out/take/LRU-evict bookkeeping churns against suspend,
+# forced eviction and lazy restore.
+echo "-- stress: ${requests} bursty requests, K=${max_inflight}," \
+    "policy=edf, preempt=slice, kv-tier=host, victim-select=cost," \
+    "kv-budget=0.25 GiB, shed-doomed"
+"${bench}" --problems "${requests}" --beams 4 --dataset AMC \
+    --arrivals bursty --policy edf --preempt slice \
+    --kv-tier host --host-kv-budget 0.5 --host-bandwidth 16 \
+    --victim-select cost --kv-budget 0.25 --shed-doomed \
     --max-inflight "${max_inflight}" --slo 2000 >/dev/null
 echo "-- scheduler stress passed (ASan+UBSan clean)"

@@ -173,7 +173,8 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             || flag == "--mode" || flag == "--policy"
             || flag == "--arrivals" || flag == "--preempt"
             || flag == "--batching" || flag == "--prefix-cache"
-            || flag == "--faults" || flag == "--fault-plan") {
+            || flag == "--faults" || flag == "--fault-plan"
+            || flag == "--kv-tier" || flag == "--victim-select") {
             if (Status s = take_value(); !s.ok())
                 return s;
             if (flag == "--device")
@@ -198,6 +199,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.faults = value;
             else if (flag == "--fault-plan")
                 args.faultPlan = value;
+            else if (flag == "--kv-tier")
+                args.kvTier = value;
+            else if (flag == "--victim-select")
+                args.victimSelect = value;
             else
                 args.mode = value;
             args.parsedFlags.push_back(flag);
@@ -251,7 +256,9 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
             || flag == "--slo" || flag == "--kv-budget"
             || flag == "--prefix-cache-budget"
             || flag == "--retry-backoff"
-            || flag == "--request-timeout") {
+            || flag == "--request-timeout"
+            || flag == "--host-kv-budget"
+            || flag == "--host-bandwidth") {
             if (Status s = take_value(); !s.ok())
                 return s;
             auto parsed = parseDouble(flag, value);
@@ -269,6 +276,10 @@ EngineArgs::fromArgv(int argc, const char *const *argv,
                 args.retryBackoff = *parsed;
             else if (flag == "--request-timeout")
                 args.requestTimeout = *parsed;
+            else if (flag == "--host-kv-budget")
+                args.hostKvBudgetGiB = *parsed;
+            else if (flag == "--host-bandwidth")
+                args.hostBandwidthGBs = *parsed;
             else
                 args.reservedGiB = *parsed;
             args.parsedFlags.push_back(flag);
@@ -309,7 +320,8 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
             || key == "models" || key == "mode" || key == "policy"
             || key == "arrivals" || key == "preempt"
             || key == "batching" || key == "prefix_cache"
-            || key == "faults" || key == "fault_plan") {
+            || key == "faults" || key == "fault_plan"
+            || key == "kv_tier" || key == "victim_select") {
             auto parsed = jsonString(key, value);
             if (!parsed.ok())
                 return parsed.status();
@@ -335,6 +347,10 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 args.faults = *parsed;
             else if (key == "fault_plan")
                 args.faultPlan = *parsed;
+            else if (key == "kv_tier")
+                args.kvTier = *parsed;
+            else if (key == "victim_select")
+                args.victimSelect = *parsed;
             else
                 args.mode = *parsed;
         } else if (key == "num_beams" || key == "branch_factor"
@@ -388,6 +404,16 @@ EngineArgs::fromJson(const Json &doc, const EngineArgs &defaults)
                 return Status::invalidArgument(
                     "\"prefix_cache_budget_gib\" must be a number");
             args.prefixCacheBudgetGiB = value.asNumber();
+        } else if (key == "host_kv_budget_gib") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"host_kv_budget_gib\" must be a number");
+            args.hostKvBudgetGiB = value.asNumber();
+        } else if (key == "host_bandwidth_gbs") {
+            if (!value.isNumber())
+                return Status::invalidArgument(
+                    "\"host_bandwidth_gbs\" must be a number");
+            args.hostBandwidthGBs = value.asNumber();
         } else if (key == "shed_doomed") {
             if (!value.isBool())
                 return Status::invalidArgument(
@@ -537,6 +563,20 @@ EngineArgs::validate() const
         return Status::invalidArgument(
             "request_timeout must be >= 0 seconds (0 disables the "
             "watchdog)");
+    if (kvTier != "off" && kvTier != "host")
+        return Status::invalidArgument(
+            "kv_tier must be 'off' or 'host', got '" + kvTier + "'");
+    if (!(hostKvBudgetGiB >= 0) || !std::isfinite(hostKvBudgetGiB))
+        return Status::invalidArgument(
+            "host_kv_budget must be >= 0 GiB (0 defaults to twice "
+            "the device KV budget)");
+    if (!(hostBandwidthGBs > 0) || !std::isfinite(hostBandwidthGBs))
+        return Status::invalidArgument(
+            "host_bandwidth must be a positive, finite GB/s figure");
+    if (victimSelect != "admission" && victimSelect != "cost")
+        return Status::invalidArgument(
+            "victim_select must be 'admission' or 'cost', got '"
+            + victimSelect + "'");
     return okStatus();
 }
 
@@ -619,6 +659,10 @@ EngineArgs::toOnlineOptions() const
     online.retryMax = retryMax;
     online.retryBackoff = retryBackoff;
     online.requestTimeout = requestTimeout;
+    online.kvTier = kvTier;
+    online.hostKvBudgetGiB = hostKvBudgetGiB;
+    online.hostBandwidthGBs = hostBandwidthGBs;
+    online.victimSelect = victimSelect;
     return online;
 }
 
@@ -686,6 +730,18 @@ EngineArgs::help(const std::string &program)
         "                       (capped exponential per attempt)\n"
         "  --request-timeout S  watchdog: abort requests older than\n"
         "                       S sim seconds (0 disables)\n"
+        "  --kv-tier MODE       host KV offload: 'off' (default;\n"
+        "                       bit-identical device-only serving) or\n"
+        "                       'host' (preemption swaps KV to a\n"
+        "                       budgeted host tier when the copy beats\n"
+        "                       the recompute)\n"
+        "  --host-kv-budget GIB host tier byte budget (0 = twice the\n"
+        "                       device KV budget)\n"
+        "  --host-bandwidth GBS host link bandwidth in GB/s\n"
+        "                       (default 16)\n"
+        "  --victim-select MODE memory-pressure eviction order:\n"
+        "                       'admission' (default) or 'cost'\n"
+        "                       (cheapest-to-restore first)\n"
         "  --help               print this text and exit\n"
         "\n"
         "Registered names (extensible; see the README's Extending "
@@ -727,7 +783,8 @@ allFlags()
         "--shed-doomed",   "--batching",     "--max-batched-tokens",
         "--prefill-chunk", "--prefix-cache", "--prefix-cache-budget",
         "--faults",        "--fault-plan",   "--retry-max",
-        "--retry-backoff", "--request-timeout"};
+        "--retry-backoff", "--request-timeout", "--kv-tier",
+        "--host-kv-budget", "--host-bandwidth", "--victim-select"};
     return flags;
 }
 

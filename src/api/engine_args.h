@@ -117,6 +117,25 @@ struct EngineArgs
                                //!< "request_timeout": watchdog abort
                                //!< deadline in sim seconds; 0
                                //!< disables.
+    std::string kvTier = "off"; //!< --kv-tier / "kv_tier": 'off'
+                                //!< (device-only KV, bit-identical
+                                //!< legacy serving) or 'host'
+                                //!< (budgeted host tier behind a
+                                //!< finite-bandwidth link;
+                                //!< kv/kv_tier.h).
+    double hostKvBudgetGiB = 0; //!< --host-kv-budget /
+                                //!< "host_kv_budget_gib": host tier
+                                //!< byte budget (GiB); 0 = twice the
+                                //!< device KV budget.
+    double hostBandwidthGBs = 16; //!< --host-bandwidth /
+                                  //!< "host_bandwidth_gbs": host link
+                                  //!< bandwidth in GB/s (> 0).
+    std::string victimSelect = "admission"; //!< --victim-select /
+                                            //!< "victim_select":
+                                            //!< 'admission' (legacy
+                                            //!< sweep order) or 'cost'
+                                            //!< (cheapest-to-restore
+                                            //!< first).
 
     bool helpRequested = false; //!< --help seen; see parseOrExit().
 

@@ -261,6 +261,21 @@ class FastTtsEngine
     void attachKvLedger(KvBudgetLedger *ledger) { ledger_ = ledger; }
 
     /**
+     * Attach a host-side KV swap tier (kv/kv_tier.h). Requests begun
+     * afterwards may park their KV on the host when preempted instead
+     * of recomputing it — SuspendedEngineRequest::evictKv() makes the
+     * roofline swap-vs-recompute call per tree, and touches restore
+     * parked nodes for transfer time (Phase::Transfer). The tier must
+     * outlive the engine and every suspended request handle; pass
+     * nullptr to detach. Serving with a tier attached but never
+     * preempting is byte-identical to serving without one.
+     */
+    void attachHostTier(HostKvTier *tier) { hostTier_ = tier; }
+
+    /** The attached host tier (nullptr when untiered). */
+    [[nodiscard]] HostKvTier *hostTier() const { return hostTier_; }
+
+    /**
      * Attach the global cross-request prefix cache
      * (kv/prefix_index.h). Requests begun afterwards look their
      * prompt up first and mount the longest cached prefix instead of
@@ -338,6 +353,7 @@ class FastTtsEngine
     void finishStandardBeam(size_t idx);
     void killAllSpeculation();
     void chargeRecompute(int tokens);
+    void chargeSwapIn(double bytes);
     double currentAvgContext() const;
 
     // --- Bookkeeping ---
@@ -362,6 +378,7 @@ class FastTtsEngine
     double expectedStepTokens_ = 0; //!< Cached mean step length.
     bool degraded_ = false; //!< Fault-pressure degradation override.
     KvBudgetLedger *ledger_ = nullptr; //!< Shared KV budget (optional).
+    HostKvTier *hostTier_ = nullptr;   //!< Host swap tier (optional).
     PrefixIndex *prefixIndex_ = nullptr; //!< Cross-request prefix
                                          //!< cache (optional).
 

@@ -88,14 +88,15 @@ class DegradeTracker
 
 OnlineServer::OnlineServer(ServingSystem system,
                            std::unique_ptr<KvBudgetLedger> ledger,
+                           std::unique_ptr<HostKvTier> tier,
                            std::unique_ptr<FaultInjector> faults,
                            OnlineServerOptions online,
                            std::unique_ptr<QueuePolicy> policy,
                            RooflineModel roofline, DatasetProfile profile)
     : faults_(std::move(faults)), ledger_(std::move(ledger)),
-      system_(std::move(system)), online_(std::move(online)),
-      policy_(std::move(policy)), roofline_(std::move(roofline)),
-      profile_(std::move(profile))
+      hostTier_(std::move(tier)), system_(std::move(system)),
+      online_(std::move(online)), policy_(std::move(policy)),
+      roofline_(std::move(roofline)), profile_(std::move(profile))
 {
 }
 
@@ -124,6 +125,24 @@ OnlineServer::create(const ServingOptions &options,
         return Status::invalidArgument(
             "kv_budget must be >= 0 GiB (0 keeps the legacy "
             "per-slot accounting)");
+    if (online.kvTier != "off" && online.kvTier != "host")
+        return Status::invalidArgument(
+            "unknown kv-tier mode '" + online.kvTier
+            + "'; valid modes: off, host");
+    if (!(online.hostKvBudgetGiB >= 0)
+        || !std::isfinite(online.hostKvBudgetGiB))
+        return Status::invalidArgument(
+            "host_kv_budget must be >= 0 GiB (0 defaults to twice "
+            "the device KV budget)");
+    if (!(online.hostBandwidthGBs > 0)
+        || !std::isfinite(online.hostBandwidthGBs))
+        return Status::invalidArgument(
+            "host_bandwidth must be a positive, finite GB/s figure");
+    if (online.victimSelect != "admission"
+        && online.victimSelect != "cost")
+        return Status::invalidArgument(
+            "unknown victim-select mode '" + online.victimSelect
+            + "'; valid modes: admission, cost");
     if (online.batching != "off" && online.batching != "continuous")
         return Status::invalidArgument(
             "unknown batching mode '" + online.batching
@@ -195,6 +214,20 @@ OnlineServer::create(const ServingOptions &options,
     auto ledger = std::make_unique<KvBudgetLedger>(budget_bytes);
     system->attachKvLedger(ledger.get());
 
+    // Host KV tier: a budgeted host-side store behind a finite-
+    // bandwidth link. Attaching alone changes nothing — the engine
+    // only offers KV to the tier on the preemption-eviction path, so
+    // a trace that never preempts replays bit-identically.
+    std::unique_ptr<HostKvTier> tier;
+    if (online.kvTier == "host") {
+        const double host_budget = online.hostKvBudgetGiB > 0
+            ? online.hostKvBudgetGiB * GiB
+            : 2.0 * budget_bytes;
+        tier = std::make_unique<HostKvTier>(
+            host_budget, online.hostBandwidthGBs * GBps);
+        system->attachHostTier(tier.get());
+    }
+
     // Cross-request prefix cache: cached bytes are charged to the
     // SAME ledger as in-flight KV, so a full cache shows up as
     // admission pressure instead of invisible extra memory.
@@ -223,8 +256,9 @@ OnlineServer::create(const ServingOptions &options,
     auto device = deviceByName(options.deviceName);
     auto profile = datasetByName(options.datasetName);
     return OnlineServer(*std::move(system), std::move(ledger),
-                        std::move(injector), online, *std::move(policy),
-                        RooflineModel(*device), *std::move(profile));
+                        std::move(tier), std::move(injector), online,
+                        *std::move(policy), RooflineModel(*device),
+                        *std::move(profile));
 }
 
 OnlineTraceResult
@@ -296,6 +330,60 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     PreemptMode mode = PreemptMode::Slice;
     parsePreemptMode(online_.preempt, &mode); // Validated at create().
     const bool memory_aware = online_.kvBudgetGiB > 0;
+
+    // --- Tiering / cost-aware victim state. All of it is inert at
+    //     the defaults (kvTier "off", victimSelect "admission"):
+    //     tier is null, cost_victims is false and kv_scale stays
+    //     pinned at 1.0, so the legacy sweeps and admission gate run
+    //     bit-for-bit. ---
+    const HostKvTier *tier = hostTier_.get();
+    const bool cost_victims = online_.victimSelect == "cost";
+    // Restore-cost model of the cost-aware sweep: re-prefill is
+    // exactly linear in tokens (chunkedRecomputeTime is a max of two
+    // linear terms plus a constant), so seconds-per-byte is the
+    // generator's per-token slope over its per-token KV footprint — a
+    // ranking heuristic that treats a victim's bytes as generator KV
+    // (the dominant tree).
+    const ModelSpec &gen_model = system_.options().models.generator;
+    const double recompute_per_byte =
+        (roofline_.chunkedRecomputeTime(gen_model, 2)
+         - roofline_.chunkedRecomputeTime(gen_model, 1))
+        / gen_model.kvBytesPerToken();
+    // Working-set calibration: predictKvWorkingSetBytes is a
+    // pre-serving heuristic; under tiering or cost-aware eviction the
+    // admission gate steers real memory decisions, so its predictions
+    // are rescaled by a rolling EWMA of observed/predicted residency
+    // across this trace's completions.
+    const bool calibrate_kv = tier != nullptr || cost_victims;
+    double kv_scale = 1.0;
+    const auto effectiveKv = [&](double predicted_bytes) {
+        return calibrate_kv ? predicted_bytes * kv_scale
+                            : predicted_bytes;
+    };
+    const auto calibrateKv = [&](double predicted_bytes,
+                                 double observed_bytes) {
+        if (!calibrate_kv || predicted_bytes <= 0
+            || observed_bytes <= 0)
+            return;
+        kv_scale = 0.8 * kv_scale
+            + 0.2 * (observed_bytes / predicted_bytes);
+    };
+    // Victim cost estimate from a suspended request's actual resident
+    // bytes: restoring costs the host-link copy when a tier is
+    // attached (and the engine chose to swap), the re-prefill
+    // otherwise.
+    const auto victimCost = [&](double resident_bytes,
+                                double last_run_at) {
+        VictimCandidate candidate;
+        candidate.kvBytes = resident_bytes;
+        candidate.lastRunAt = last_run_at;
+        candidate.recomputeSeconds =
+            recompute_per_byte * resident_bytes;
+        if (tier != nullptr)
+            candidate.transferSeconds =
+                tier->transferSeconds(resident_bytes);
+        return candidate;
+    };
 
     // --- Build and validate tickets in submission order. ---
     struct Ticket
@@ -559,6 +647,10 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                                   //!< predicted working set again.
             long decoded = 0;     //!< Decode tokens this attempt has
                                   //!< produced (wasted if killed).
+            double lastRunAt = 0; //!< Wave end of its last decode
+                                  //!< (cost-aware victim recency).
+            double peakKvBytes = 0; //!< Largest observed residency
+                                    //!< (EWMA calibration).
             OnlineRequestRecord rec;
         };
 
@@ -573,9 +665,13 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         int cancelled = 0;
         int shed = 0;
         long recomputed_tokens = 0;
+        long reprefilled_tokens = 0;
         long preempt_evicted = 0;
         long verified_tokens = 0;
         long prefix_hit_tokens = 0;
+        long swapped_out_tokens = 0;
+        long swapped_in_tokens = 0;
+        double swap_transfer_time = 0;
         long waves = 0;
         long decode_members = 0;
         const size_t max_inflight =
@@ -650,14 +746,15 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 if (memory_aware && !inflight.empty()) {
                     double inflight_kv = 0;
                     for (const BatchFlight &f : inflight)
-                        inflight_kv += f.ticket.kvBytes;
-                    if (inflight_kv + ticket.kvBytes
+                        inflight_kv += effectiveKv(f.ticket.kvBytes);
+                    if (inflight_kv + effectiveKv(ticket.kvBytes)
                         > ledger_->totalBytes())
                         break; // Wait for completions.
                 }
                 queued.erase(queued.begin() + static_cast<long>(pick));
                 BatchFlight flight;
                 flight.ticket = ticket;
+                flight.lastRunAt = now;
                 flight.rec.problemId = ticket.meta.problemId;
                 flight.rec.arrival = ticket.meta.arrival;
                 flight.rec.priority = ticket.meta.priority;
@@ -709,15 +806,49 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 // cannot clear the same flag twice.
                 const bool front_returned = inflight.front().benched;
                 inflight.front().benched = false;
-                for (size_t i = inflight.size();
-                     i > 1 && ledger_->freeBytes() < headroom; --i) {
-                    if (inflight[i - 1].benched)
-                        continue;
-                    auto evicted =
-                        system_.evictSuspendedKv(inflight[i - 1].sysId);
-                    if (evicted.ok()) {
-                        preempt_evicted += *evicted;
-                        inflight[i - 1].benched = true;
+                if (!cost_victims) {
+                    // Legacy sweep: youngest-admitted member first.
+                    for (size_t i = inflight.size();
+                         i > 1 && ledger_->freeBytes() < headroom;
+                         --i) {
+                        if (inflight[i - 1].benched)
+                            continue;
+                        auto evicted = system_.evictSuspendedKv(
+                            inflight[i - 1].sysId);
+                        if (evicted.ok()) {
+                            preempt_evicted += *evicted;
+                            inflight[i - 1].benched = true;
+                        }
+                    }
+                } else if (ledger_->freeBytes() < headroom) {
+                    // Cost-aware sweep: bench the members whose KV is
+                    // cheapest to bring back (the front never benches
+                    // — it is the progress guarantee).
+                    std::vector<size_t> members;
+                    std::vector<VictimCandidate> candidates;
+                    for (size_t i = 1; i < inflight.size(); ++i) {
+                        if (inflight[i].benched)
+                            continue;
+                        auto info =
+                            system_.suspendedInfo(inflight[i].sysId);
+                        if (!info.ok() || info->residentKvBytes <= 0)
+                            continue;
+                        members.push_back(i);
+                        candidates.push_back(
+                            victimCost(info->residentKvBytes,
+                                       inflight[i].lastRunAt));
+                    }
+                    for (const size_t k :
+                         rankEvictionVictims(candidates)) {
+                        if (ledger_->freeBytes() >= headroom)
+                            break;
+                        BatchFlight &victim = inflight[members[k]];
+                        auto evicted =
+                            system_.evictSuspendedKv(victim.sysId);
+                        if (evicted.ok()) {
+                            preempt_evicted += *evicted;
+                            victim.benched = true;
+                        }
                     }
                 }
                 // At most one return per wave, oldest benched first
@@ -726,7 +857,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 wave.reserve(inflight.size());
                 for (const BatchFlight &flight : inflight)
                     wave.emplace_back(flight.benched,
-                                      flight.ticket.kvBytes);
+                                      effectiveKv(flight.ticket.kvBytes));
                 const int back = pickBenchReturn(
                     wave, ledger_->freeBytes(), headroom,
                     front_returned);
@@ -778,6 +909,10 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                     continue;
                 const auto info =
                     system_.suspendedInfo(inflight[i].sysId);
+                if (calibrate_kv)
+                    inflight[i].peakKvBytes =
+                        std::max(inflight[i].peakKvBytes,
+                                 info->residentKvBytes);
                 BatchCandidate candidate;
                 candidate.member = i;
                 candidate.promptRemaining = info->promptTokensPending;
@@ -817,6 +952,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                 }
                 flight.rec.activeTime += member.activeDelta;
                 flight.decoded += member.decodedTokens;
+                flight.lastRunAt = now;
                 if (member.moreWork)
                     continue;
                 // Finished this wave (stepBatch completed it).
@@ -826,8 +962,18 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
                     verified_tokens += result->verifiedTokens;
                     recomputed_tokens += static_cast<long>(
                         result->kvStats.recomputedTokens);
+                    reprefilled_tokens += static_cast<long>(
+                        result->kvStats.reprefilledTokens);
                     prefix_hit_tokens += static_cast<long>(
                         result->kvStats.prefixHitTokens);
+                    swapped_out_tokens += static_cast<long>(
+                        result->kvStats.swappedOutTokens);
+                    swapped_in_tokens += static_cast<long>(
+                        result->kvStats.swappedInTokens);
+                    swap_transfer_time +=
+                        result->kvStats.swapTransferTime;
+                    calibrateKv(flight.ticket.kvBytes,
+                                flight.peakKvBytes);
                     if (results_sink)
                         results_sink->push_back(*std::move(result));
                 }
@@ -848,9 +994,14 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         out.cancelled = cancelled;
         out.shedRequests = shed;
         out.recomputedTokens = recomputed_tokens;
+    out.reprefilledTokens = reprefilled_tokens;
+        out.reprefilledTokens = reprefilled_tokens;
         out.preemptEvictedTokens = preempt_evicted;
         out.verifiedTokens = verified_tokens;
         out.prefixHitTokens = prefix_hit_tokens;
+        out.swappedOutTokens = swapped_out_tokens;
+        out.swappedInTokens = swapped_in_tokens;
+        out.swapTransferTime = swap_transfer_time;
         out.batchOccupancy = waves > 0
             ? static_cast<double>(decode_members)
                 / static_cast<double>(waves)
@@ -875,6 +1026,10 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         double wallBase = 0; //!< Wall time of the request's engine
                              //!< clock zero: start + slices the device
                              //!< spent on other requests since.
+        double lastRunAt = 0; //!< End of its last engine slice
+                              //!< (cost-aware victim recency).
+        double peakKvBytes = 0; //!< Largest observed residency
+                                //!< (EWMA calibration).
         OnlineRequestRecord rec;
         std::unique_ptr<FlightBox> box;
     };
@@ -895,9 +1050,13 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     int context_switches = 0;
     int preemptions = 0;
     long recomputed_tokens = 0;
+    long reprefilled_tokens = 0;
     long preempt_evicted = 0;
     long verified_tokens = 0;
     long prefix_hit_tokens = 0;
+    long swapped_out_tokens = 0;
+    long swapped_in_tokens = 0;
+    double swap_transfer_time = 0;
     const size_t max_inflight =
         static_cast<size_t>(online_.maxInflight);
 
@@ -996,8 +1155,8 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             if (memory_aware && !inflight.empty()) {
                 double inflight_kv = 0;
                 for (const InFlight &f : inflight)
-                    inflight_kv += f.ticket.kvBytes;
-                if (inflight_kv + ticket.kvBytes
+                    inflight_kv += effectiveKv(f.ticket.kvBytes);
+                if (inflight_kv + effectiveKv(ticket.kvBytes)
                     > ledger_->totalBytes())
                     break; // Wait for completions.
             }
@@ -1007,6 +1166,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             flight.ticket = ticket;
             flight.box = std::make_unique<FlightBox>();
             flight.wallBase = std::max(ticket.meta.arrival, now);
+            flight.lastRunAt = flight.wallBase;
             flight.rec.problemId = ticket.meta.problemId;
             flight.rec.arrival = ticket.meta.arrival;
             flight.rec.start = flight.wallBase;
@@ -1084,6 +1244,17 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         if (current != chosen) {
             if (current != kNone) {
                 checkOk(system_.suspend(inflight[current].sysId));
+                if (calibrate_kv) {
+                    // A freshly suspended victim's residency is the
+                    // trace's only honest observation of its real
+                    // working set.
+                    auto info = system_.suspendedInfo(
+                        inflight[current].sysId);
+                    if (info.ok())
+                        inflight[current].peakKvBytes = std::max(
+                            inflight[current].peakKvBytes,
+                            info->residentKvBytes);
+                }
                 ++inflight[current].rec.preemptions;
                 ++context_switches;
                 // Mid-run switches only happen through slice-mode
@@ -1125,19 +1296,48 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
         }
 
         // Under an explicit shared budget, make room for the running
-        // request by force-evicting suspended victims (in admission
-        // order) before their caches squeeze it into thrashing.
+        // request by force-evicting suspended victims — in admission
+        // order by default, cheapest-to-restore first under
+        // --victim-select cost — before their caches squeeze it into
+        // thrashing.
         if (memory_aware) {
             const double headroom = 0.10 * ledger_->totalBytes();
-            for (size_t i = 0;
-                 i < inflight.size() && ledger_->freeBytes() < headroom;
-                 ++i) {
-                if (i == current || inflight[i].sysId == 0)
-                    continue;
-                auto evicted =
-                    system_.evictSuspendedKv(inflight[i].sysId);
-                if (evicted.ok())
-                    preempt_evicted += *evicted;
+            if (!cost_victims) {
+                for (size_t i = 0;
+                     i < inflight.size()
+                     && ledger_->freeBytes() < headroom;
+                     ++i) {
+                    if (i == current || inflight[i].sysId == 0)
+                        continue;
+                    auto evicted =
+                        system_.evictSuspendedKv(inflight[i].sysId);
+                    if (evicted.ok())
+                        preempt_evicted += *evicted;
+                }
+            } else if (ledger_->freeBytes() < headroom) {
+                std::vector<size_t> victims;
+                std::vector<VictimCandidate> candidates;
+                for (size_t i = 0; i < inflight.size(); ++i) {
+                    if (i == current || inflight[i].sysId == 0)
+                        continue;
+                    auto info =
+                        system_.suspendedInfo(inflight[i].sysId);
+                    if (!info.ok() || info->residentKvBytes <= 0)
+                        continue;
+                    victims.push_back(i);
+                    candidates.push_back(
+                        victimCost(info->residentKvBytes,
+                                   inflight[i].lastRunAt));
+                }
+                for (const size_t k :
+                     rankEvictionVictims(candidates)) {
+                    if (ledger_->freeBytes() >= headroom)
+                        break;
+                    auto evicted = system_.evictSuspendedKv(
+                        inflight[victims[k]].sysId);
+                    if (evicted.ok())
+                        preempt_evicted += *evicted;
+                }
             }
         }
 
@@ -1194,6 +1394,7 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             degraded_time += slice_end - now;
         }
         now = slice_end;
+        flight.lastRunAt = now;
 
         if (box.finished) {
             flight.rec.finish = now;
@@ -1204,8 +1405,16 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
             busy += box.result.completionTime;
             recomputed_tokens += static_cast<long>(
                 box.result.kvStats.recomputedTokens);
+            reprefilled_tokens += static_cast<long>(
+                box.result.kvStats.reprefilledTokens);
             prefix_hit_tokens += static_cast<long>(
                 box.result.kvStats.prefixHitTokens);
+            swapped_out_tokens += static_cast<long>(
+                box.result.kvStats.swappedOutTokens);
+            swapped_in_tokens += static_cast<long>(
+                box.result.kvStats.swappedInTokens);
+            swap_transfer_time += box.result.kvStats.swapTransferTime;
+            calibrateKv(flight.ticket.kvBytes, flight.peakKvBytes);
             verified_tokens += box.result.verifiedTokens;
             if (results_sink)
                 results_sink->push_back(box.result);
@@ -1235,13 +1444,43 @@ OnlineServer::serveRequestsImpl(const std::vector<OnlineRequest> &requests,
     out.contextSwitches = context_switches;
     out.preemptions = preemptions;
     out.recomputedTokens = recomputed_tokens;
+    out.reprefilledTokens = reprefilled_tokens;
     out.preemptEvictedTokens = preempt_evicted;
     out.verifiedTokens = verified_tokens;
     out.prefixHitTokens = prefix_hit_tokens;
+    out.swappedOutTokens = swapped_out_tokens;
+    out.swappedInTokens = swapped_in_tokens;
+    out.swapTransferTime = swap_transfer_time;
     // Time-slicing decodes exactly one request per engine wave.
     out.batchOccupancy = out.records.empty() ? 0.0 : 1.0;
     stampFaultStats(out);
     return out;
+}
+
+std::vector<size_t>
+rankEvictionVictims(const std::vector<VictimCandidate> &candidates)
+{
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    // min(transfer, recompute) is the restore price actually paid:
+    // the engine swaps exactly when the host-link copy is strictly
+    // cheaper than re-prefill, so whichever is smaller is what the
+    // victim's next run costs. stable_sort keeps the admission-order
+    // tiebreak after recency.
+    std::stable_sort(
+        order.begin(), order.end(), [&](size_t a, size_t b) {
+            const double cost_a =
+                std::min(candidates[a].transferSeconds,
+                         candidates[a].recomputeSeconds);
+            const double cost_b =
+                std::min(candidates[b].transferSeconds,
+                         candidates[b].recomputeSeconds);
+            if (cost_a != cost_b)
+                return cost_a < cost_b;
+            return candidates[a].lastRunAt < candidates[b].lastRunAt;
+        });
+    return order;
 }
 
 int

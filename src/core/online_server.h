@@ -43,6 +43,13 @@
  *    in-flight working sets already fill the budget). 0 keeps the
  *    legacy PR3 accounting (every in-flight slot enjoys a full
  *    engine budget) so existing traces replay bit-for-bit.
+ *  - KV tiering (OnlineServerOptions::kvTier): "off" keeps the
+ *    device-only evict-and-recompute hierarchy; "host" attaches a
+ *    budgeted host-side tier (kv/kv_tier.h) behind a finite-bandwidth
+ *    link, and every preemption eviction makes the roofline
+ *    swap-vs-recompute call per victim. victimSelect switches the
+ *    memory-pressure sweep from admission order to cost-aware
+ *    ranking (cheapest-to-restore first; rankEvictionVictims()).
  *  - Batching (OnlineServerOptions::batching): "off" time-slices —
  *    exactly one request decodes per engine wave, rotated by the
  *    preempt mode above; "continuous" co-schedules decode across ALL
@@ -71,6 +78,7 @@
 #include "api/status.h"
 #include "core/serving.h"
 #include "kv/kv_session.h"
+#include "kv/kv_tier.h"
 #include "sched/queue_policy.h"
 #include "util/fault_injector.h"
 
@@ -169,6 +177,20 @@ struct OnlineTraceResult
                                //!< (1 under time-slicing, > 1 when
                                //!< continuous batching fuses requests).
 
+    long reprefilledTokens = 0; //!< Subset of recomputedTokens that is
+                                //!< genuine re-prefill after an
+                                //!< eviction — the volume host tiering
+                                //!< can absorb (KvStats doc).
+
+    // --- Host KV tiering (all zero when kvTier == "off"). Summed
+    //     over completed requests, like recomputedTokens. ---
+    long swappedOutTokens = 0; //!< KV tokens preemption parked on the
+                               //!< host tier instead of dropping.
+    long swappedInTokens = 0;  //!< KV tokens restored over the host
+                               //!< link instead of being recomputed.
+    double swapTransferTime = 0; //!< Sim seconds of host-link copies
+                                 //!< (both directions).
+
     // --- Fault tolerance (all zero when faults == "off"). ---
     long injectedFaults = 0; //!< Faults the injector fired this trace,
                              //!< summed across all sites.
@@ -227,6 +249,36 @@ aggregateTrace(std::vector<OnlineRequestRecord> records, double busy_time);
 pickBenchReturn(const std::vector<std::pair<bool, double>> &members,
                 double free_bytes, double headroom, bool front_returned);
 
+/** One suspended request the memory-pressure sweep may evict:
+ *  everything the cost-aware victim ranking sees. */
+struct VictimCandidate
+{
+    double kvBytes = 0;   //!< Resident device KV the eviction frees.
+    double lastRunAt = 0; //!< Sim time the victim last held the engine.
+
+    /** Cost of restoring the working set by host-link copy (seconds);
+     *  infinity when no host tier is attached. */
+    double transferSeconds = std::numeric_limits<double>::infinity();
+
+    /** Cost of restoring the working set by re-prefill (seconds). */
+    double recomputeSeconds = 0;
+};
+
+/**
+ * Cost-aware eviction order of the memory-pressure sweep
+ * (--victim-select cost), exposed as a pure function so the ranking
+ * contract is unit-testable. Victims are ordered cheapest-to-restore
+ * first — by min(transferSeconds, recomputeSeconds) ascending, the
+ * price actually paid when the victim next runs (the engine swaps
+ * exactly when the copy is strictly cheaper) — so the sweep frees
+ * memory where re-admission costs least. Ties go to the
+ * least-recently-run victim (coldest KV first), then to the smaller
+ * index (admission order, the legacy sweep).
+ * @return Indices into `candidates` in eviction order.
+ */
+[[nodiscard]] std::vector<size_t>
+rankEvictionVictims(const std::vector<VictimCandidate> &candidates);
+
 /** Queueing/scheduling configuration of an OnlineServer. */
 struct OnlineServerOptions
 {
@@ -245,6 +297,28 @@ struct OnlineServerOptions
      *  also enables memory-aware admission. 0 = legacy accounting
      *  (each in-flight slot gets a full engine budget). */
     double kvBudgetGiB = 0;
+
+    /** Host KV tier: "off" (the default — device-only KV, preemption
+     *  evicts and recomputes, bit-identical to the pre-tier server)
+     *  or "host" (a budgeted host-side store behind a finite-
+     *  bandwidth link; every preemption eviction makes the roofline
+     *  swap-vs-recompute call per victim, kv/kv_tier.h). */
+    std::string kvTier = "off";
+
+    /** Byte budget of the host tier in GiB; <= 0 defaults to twice
+     *  the device KV budget. Ignored when kvTier == "off". */
+    double hostKvBudgetGiB = 0;
+
+    /** Host link bandwidth in GB/s (decimal, vendor-style): the rate
+     *  swapped KV moves in either direction. Ignored when
+     *  kvTier == "off". */
+    double hostBandwidthGBs = 16;
+
+    /** Memory-pressure victim order: "admission" (the legacy sweep —
+     *  earliest-admitted suspended request evicted first) or "cost"
+     *  (cheapest-to-restore first via rankEvictionVictims(), with
+     *  EWMA-calibrated working-set prediction for admission). */
+    std::string victimSelect = "admission";
 
     /** Shed queued requests whose predicted finish already exceeds
      *  their deadline instead of serving them doomed (counted in
@@ -406,9 +480,16 @@ class OnlineServer
     /** The admission policy instance. */
     [[nodiscard]] const QueuePolicy &policy() const { return *policy_; }
 
+    /** The host KV tier (nullptr when kvTier == "off"). */
+    [[nodiscard]] const HostKvTier *hostTier() const
+    {
+        return hostTier_.get();
+    }
+
   private:
     OnlineServer(ServingSystem system,
                  std::unique_ptr<KvBudgetLedger> ledger,
+                 std::unique_ptr<HostKvTier> tier,
                  std::unique_ptr<FaultInjector> faults,
                  OnlineServerOptions online,
                  std::unique_ptr<QueuePolicy> policy,
@@ -429,6 +510,10 @@ class OnlineServer
     // ledger charge on destruction, so the ledger must outlive the
     // system (members destruct in reverse declaration order).
     std::unique_ptr<KvBudgetLedger> ledger_;
+    // Declared before system_ for the same reason: the engine's KV
+    // managers release their tier entries on destruction. Null when
+    // online_.kvTier == "off".
+    std::unique_ptr<HostKvTier> hostTier_;
     ServingSystem system_; //!< The one engine + device + problem set.
     OnlineServerOptions online_;
     std::unique_ptr<QueuePolicy> policy_;

@@ -1,0 +1,116 @@
+#include "kv/kv_tier.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fasttts
+{
+
+HostKvTier::HostKvTier(double budget_bytes, double bandwidth_bytes_per_s)
+    : budget_(std::max(0.0, budget_bytes)),
+      bandwidth_(std::max(1.0, bandwidth_bytes_per_s))
+{
+}
+
+uint64_t
+HostKvTier::registerOwner()
+{
+    return nextOwner_++;
+}
+
+void
+HostKvTier::releaseOwner(uint64_t owner)
+{
+    // Entries of one owner are contiguous under the (owner, node) key
+    // order; erase the whole range and its LRU mirrors.
+    const auto first = entries_.lower_bound(Key{owner, 0});
+    auto it = first;
+    while (it != entries_.end() && it->first.first == owner) {
+        resident_ -= it->second.bytes;
+        lru_.erase(it->second.seq);
+        it = entries_.erase(it);
+    }
+    resident_ = std::max(0.0, resident_);
+}
+
+void
+HostKvTier::erase(const Key &key, const Entry &entry)
+{
+    resident_ = std::max(0.0, resident_ - entry.bytes);
+    lru_.erase(entry.seq);
+    entries_.erase(key);
+}
+
+bool
+HostKvTier::swapOut(uint64_t owner, int node, int tokens, double bytes)
+{
+    if (bytes <= 0 || bytes > budget_) {
+        ++stats_.rejectedNodes;
+        return false;
+    }
+    const Key key{owner, node};
+    if (const auto it = entries_.find(key); it != entries_.end())
+        erase(key, it->second); // Re-offer replaces the old snapshot.
+
+    // Host LRU: drop the least-recently-swapped entries until the new
+    // one fits (the same half-byte float slack as the device ledger).
+    while (resident_ + bytes > budget_ + 0.5 && !lru_.empty()) {
+        const Key victim = lru_.begin()->second;
+        const Entry dropped = entries_.at(victim);
+        ++stats_.evictedNodes;
+        stats_.evictedBytes += dropped.bytes;
+        erase(victim, dropped);
+    }
+    assert(resident_ + bytes <= budget_ + 0.5);
+
+    Entry entry;
+    entry.tokens = tokens;
+    entry.bytes = bytes;
+    entry.seq = nextSeq_++;
+    lru_.emplace(entry.seq, key);
+    entries_.emplace(key, entry);
+    resident_ += bytes;
+    peak_ = std::max(peak_, resident_);
+    ++stats_.swappedOutNodes;
+    stats_.swappedOutTokens += static_cast<uint64_t>(std::max(0, tokens));
+    stats_.swappedOutBytes += bytes;
+    return true;
+}
+
+bool
+HostKvTier::take(uint64_t owner, int node, int tokens)
+{
+    const Key key{owner, node};
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    const Entry entry = it->second;
+    if (entry.tokens != tokens) {
+        // The node changed shape since its snapshot (truncated or
+        // regrown): the stored KV is wrong-length, drop it and miss.
+        ++stats_.staleNodes;
+        erase(key, entry);
+        return false;
+    }
+    erase(key, entry);
+    ++stats_.swappedInNodes;
+    stats_.swappedInTokens += static_cast<uint64_t>(std::max(0, tokens));
+    stats_.swappedInBytes += entry.bytes;
+    return true;
+}
+
+bool
+HostKvTier::contains(uint64_t owner, int node) const
+{
+    return entries_.find(Key{owner, node}) != entries_.end();
+}
+
+double
+HostKvTier::transferSeconds(double bytes) const
+{
+    if (bytes <= 0)
+        return 0;
+    return bytes / bandwidth_;
+}
+
+} // namespace fasttts

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Host-tier KV store: the device->host memory hierarchy behind the
+ * roofline-guided swap-vs-recompute decision.
+ *
+ * Preemption used to have exactly one tool: force-evict the victim's
+ * KV and pay full prefill recompute when it runs again. A host tier
+ * adds the second option real servers have (vLLM's swap space,
+ * omniserve's _preempt_by_swap/_preempt_by_recompute split): copy the
+ * bytes out over the host link now and copy them back later. Which
+ * side wins is a pure cost comparison — transfer pays
+ * bytes/bandwidth, recompute pays the roofline prefill of the same
+ * tokens — and KvSession::suspend() makes that call per victim.
+ *
+ * Four axes of the design:
+ *
+ *  1. **Budgeted, LRU-evicting store.** Host memory is finite too. The
+ *     tier holds at most `budgetBytes()` of swapped KV; admitting a
+ *     new entry evicts the least-recently-swapped entries first, and
+ *     an entry larger than the whole budget is simply refused (the
+ *     victim falls back to lazy recompute — the tier is an
+ *     accelerator, never a correctness dependency).
+ *
+ *  2. **Per-node granularity, byte-exact ledger interplay.** Entries
+ *     are whole radix-tree nodes (owner id + node id + token count),
+ *     the same granularity KvCacheManager evicts and restores at.
+ *     Swap-out happens *before* forceEvictAll refunds the device
+ *     bytes to the shared KvBudgetLedger; swap-in happens inside
+ *     ensureResident *after* the device blocks are re-charged — so
+ *     ledger occupancy stays exactly the resident device KV at every
+ *     instant, tiered or not.
+ *
+ *  3. **Simulated time, not wall time.** Transfers are charged against
+ *     the SimClock at a configurable host-link bandwidth
+ *     (transferSeconds(bytes) = bytes / bandwidth); the store itself
+ *     is instantaneous bookkeeping. Determinism rules apply: state is
+ *     keyed by monotonic owner/sequence ids (never pointers), and all
+ *     iteration is over ordered containers.
+ *
+ *  4. **Stale-entry safety.** A swapped node's token count is recorded
+ *     at swap-out; take() only restores on an exact (owner, node,
+ *     tokens) match, so a node that was truncated, regrown or
+ *     re-created after its snapshot silently misses (and recomputes)
+ *     instead of resurrecting wrong-length KV. Owner release drops
+ *     every entry of a destroyed manager.
+ */
+
+#ifndef FASTTTS_KV_KV_TIER_H
+#define FASTTTS_KV_KV_TIER_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace fasttts
+{
+
+/** Aggregate statistics of one HostKvTier. */
+struct HostKvTierStats
+{
+    uint64_t swappedOutNodes = 0;  //!< Entries admitted.
+    uint64_t swappedOutTokens = 0; //!< Tokens admitted.
+    double swappedOutBytes = 0;    //!< Bytes admitted.
+    uint64_t swappedInNodes = 0;   //!< Entries restored via take().
+    uint64_t swappedInTokens = 0;  //!< Tokens restored via take().
+    double swappedInBytes = 0;     //!< Bytes restored via take().
+    uint64_t rejectedNodes = 0;    //!< Offers refused (over budget).
+    uint64_t evictedNodes = 0;     //!< Entries dropped by host LRU.
+    double evictedBytes = 0;       //!< Bytes dropped by host LRU.
+    uint64_t staleNodes = 0;       //!< take() misses on token mismatch.
+};
+
+/**
+ * Byte-budgeted host-side store of swapped-out KV nodes.
+ *
+ * Not thread-safe; one tier is owned by one serving loop. Managers
+ * register as owners (registerOwner/releaseOwner) so entries of
+ * destroyed managers can never alias entries of later ones.
+ */
+class HostKvTier
+{
+  public:
+    /**
+     * @param budget_bytes Host bytes available for swapped KV (<= 0
+     *        disables admission entirely).
+     * @param bandwidth_bytes_per_s Host-link bandwidth the SimClock is
+     *        charged at; must be > 0.
+     */
+    HostKvTier(double budget_bytes, double bandwidth_bytes_per_s);
+
+    HostKvTier(const HostKvTier &) = delete;
+    HostKvTier &operator=(const HostKvTier &) = delete;
+
+    /** New monotonic owner id for one KvCacheManager. */
+    [[nodiscard]] uint64_t registerOwner();
+
+    /** Drop every entry of `owner` (manager destruction). */
+    void releaseOwner(uint64_t owner);
+
+    /**
+     * Offer one node's KV for host storage. Evicts least-recently-
+     * swapped entries until it fits; false (and nothing stored) when
+     * `bytes` exceeds the whole budget. Re-offering a live (owner,
+     * node) entry replaces it.
+     */
+    [[nodiscard]] bool swapOut(uint64_t owner, int node, int tokens,
+                               double bytes);
+
+    /**
+     * Restore one node: true and the entry is consumed iff (owner,
+     * node) is present with exactly `tokens` tokens. A token mismatch
+     * drops the stale entry and misses.
+     */
+    [[nodiscard]] bool take(uint64_t owner, int node, int tokens);
+
+    /** Whether (owner, node) currently has a live entry. */
+    [[nodiscard]] bool contains(uint64_t owner, int node) const;
+
+    /** Sim seconds one `bytes`-sized copy takes over the host link. */
+    [[nodiscard]] double transferSeconds(double bytes) const;
+
+    [[nodiscard]] double budgetBytes() const { return budget_; }
+    [[nodiscard]] double bandwidthBytesPerSec() const
+    {
+        return bandwidth_;
+    }
+
+    /** Bytes currently held on the host. */
+    [[nodiscard]] double residentBytes() const { return resident_; }
+
+    /** Highest simultaneous host occupancy seen. */
+    [[nodiscard]] double peakBytes() const { return peak_; }
+
+    /** Live entries. */
+    [[nodiscard]] int entryCount() const
+    {
+        return static_cast<int>(entries_.size());
+    }
+
+    [[nodiscard]] const HostKvTierStats &stats() const { return stats_; }
+
+  private:
+    /** (owner id, node id): the stable identity of a swapped node. */
+    using Key = std::pair<uint64_t, int>;
+
+    struct Entry
+    {
+        int tokens = 0;
+        double bytes = 0;
+        uint64_t seq = 0; //!< Swap-out recency (monotonic).
+    };
+
+    void erase(const Key &key, const Entry &entry);
+
+    double budget_;
+    double bandwidth_;
+    double resident_ = 0;
+    double peak_ = 0;
+    uint64_t nextOwner_ = 1;
+    uint64_t nextSeq_ = 1;
+    // Ordered maps keep every sweep deterministic (fasttts_lint:
+    // unordered iteration and pointer keys are both banned).
+    std::map<Key, Entry> entries_;
+    std::map<uint64_t, Key> lru_; //!< seq -> key, oldest first.
+    HostKvTierStats stats_;
+};
+
+} // namespace fasttts
+
+#endif // FASTTTS_KV_KV_TIER_H

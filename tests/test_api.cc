@@ -816,6 +816,98 @@ TEST(EngineArgsOnline, PrefixCacheFlagValidation)
               std::string::npos);
 }
 
+TEST(EngineArgsOnline, KvTierFlagsArgvAndJsonAgree)
+{
+    const auto via_argv =
+        parse({"--kv-tier", "host", "--host-kv-budget", "1.5",
+               "--host-bandwidth", "8", "--victim-select", "cost"});
+    ASSERT_TRUE(via_argv.ok());
+    const auto via_json = EngineArgs::fromJsonText(R"({
+        "kv_tier": "host",
+        "host_kv_budget_gib": 1.5,
+        "host_bandwidth_gbs": 8,
+        "victim_select": "cost"
+    })");
+    ASSERT_TRUE(via_json.ok());
+    for (const EngineArgs *args : {&*via_argv, &*via_json}) {
+        EXPECT_EQ(args->kvTier, "host");
+        EXPECT_DOUBLE_EQ(args->hostKvBudgetGiB, 1.5);
+        EXPECT_DOUBLE_EQ(args->hostBandwidthGBs, 8);
+        EXPECT_EQ(args->victimSelect, "cost");
+        EXPECT_TRUE(args->validate().ok());
+        const OnlineServerOptions online = args->toOnlineOptions();
+        EXPECT_EQ(online.kvTier, "host");
+        EXPECT_DOUBLE_EQ(online.hostKvBudgetGiB, 1.5);
+        EXPECT_DOUBLE_EQ(online.hostBandwidthGBs, 8);
+        EXPECT_EQ(online.victimSelect, "cost");
+    }
+    EXPECT_TRUE(via_argv->wasSet("--kv-tier"));
+    EXPECT_TRUE(via_argv->wasSet("--host-kv-budget"));
+    EXPECT_TRUE(via_argv->wasSet("--host-bandwidth"));
+    EXPECT_TRUE(via_argv->wasSet("--victim-select"));
+
+    // The equals form parses too.
+    const auto equals = parse({"--kv-tier=host"});
+    ASSERT_TRUE(equals.ok());
+    EXPECT_EQ(equals->kvTier, "host");
+
+    // Defaults keep the tier off with the legacy sweep order and the
+    // derived (0 => 2x device) host budget, so existing invocations
+    // stay bit-identical.
+    const auto defaults = parse({});
+    ASSERT_TRUE(defaults.ok());
+    EXPECT_EQ(defaults->kvTier, "off");
+    EXPECT_DOUBLE_EQ(defaults->hostKvBudgetGiB, 0.0);
+    EXPECT_DOUBLE_EQ(defaults->hostBandwidthGBs, 16.0);
+    EXPECT_EQ(defaults->victimSelect, "admission");
+    EXPECT_FALSE(defaults->wasSet("--kv-tier"));
+    EXPECT_EQ(defaults->toOnlineOptions().kvTier, "off");
+}
+
+TEST(EngineArgsOnline, KvTierFlagValidation)
+{
+    EngineArgs args;
+    args.kvTier = "nvme";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(args.validate().message().find("host"),
+              std::string::npos);
+
+    args = EngineArgs();
+    args.hostKvBudgetGiB = -1;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.hostBandwidthGBs = 0;
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    args = EngineArgs();
+    args.victimSelect = "random";
+    EXPECT_EQ(args.validate().code(), StatusCode::kInvalidArgument);
+
+    // Wrong JSON types are rejected up front.
+    EXPECT_EQ(EngineArgs::fromJsonText(R"({"kv_tier": 1})")
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(
+        EngineArgs::fromJsonText(R"({"host_kv_budget_gib": "lots"})")
+            .status()
+            .code(),
+        StatusCode::kInvalidArgument);
+    EXPECT_EQ(
+        EngineArgs::fromJsonText(R"({"host_bandwidth_gbs": true})")
+            .status()
+            .code(),
+        StatusCode::kInvalidArgument);
+
+    // Fixed-config tools reject the tiering flags too.
+    const auto set = parse({"--kv-tier", "host"});
+    ASSERT_TRUE(set.ok());
+    const Status status = set->rejectUnsupportedFlags({"--problems"});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--kv-tier"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // Fault tolerance: retryable status codes and the fault flags
 // ---------------------------------------------------------------------

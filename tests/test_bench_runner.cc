@@ -68,7 +68,7 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
     ASSERT_EQ(status, 0);
 
     const std::vector<std::string> names = splitLines(output);
-    EXPECT_EQ(names.size(), 21u);
+    EXPECT_EQ(names.size(), 22u);
     for (const char *expected :
          {"fig01_frontier", "fig03_patterns", "fig04_utilization",
           "fig05_prefix_sharing", "fig06_kv_throughput", "fig10_allocation",
@@ -77,7 +77,8 @@ TEST(BenchRunner, ListEnumeratesAllFigureBenchmarks)
           "fig17_speculative", "fig18_scheduling", "micro",
           "online_responsiveness", "online_scheduling",
           "online_preemption", "online_batching",
-          "online_prefix_reuse", "online_fault_tolerance"}) {
+          "online_prefix_reuse", "online_fault_tolerance",
+          "online_kv_tiering"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing benchmark: " << expected;

@@ -1459,5 +1459,61 @@ TEST(OnlineServer, CancelStormDrainsPrefixPinsAndLedger)
                      index->residentBytes());
 }
 
+// ---------------------------------------------------------------------
+// Cost-aware victim ranking (--victim-select cost)
+// ---------------------------------------------------------------------
+
+TEST(VictimRanking, OrdersByCheapestRestoreCost)
+{
+    // Restore cost is min(transfer, recompute): the engine swaps
+    // exactly when the copy is strictly cheaper, so that minimum is
+    // the price actually paid on re-admission.
+    const std::vector<VictimCandidate> candidates = {
+        {/*kvBytes=*/100, /*lastRunAt=*/1.0,
+         /*transferSeconds=*/5.0, /*recomputeSeconds=*/9.0},  // cost 5
+        {/*kvBytes=*/100, /*lastRunAt=*/2.0,
+         /*transferSeconds=*/8.0, /*recomputeSeconds=*/2.0},  // cost 2
+        {/*kvBytes=*/100, /*lastRunAt=*/3.0,
+         /*transferSeconds=*/1.0, /*recomputeSeconds=*/40.0}, // cost 1
+    };
+    const std::vector<size_t> order = rankEvictionVictims(candidates);
+    EXPECT_EQ(order, (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST(VictimRanking, MissingTierFallsBackToRecomputeCost)
+{
+    // Default transferSeconds is infinity (no host tier attached):
+    // the ranking degenerates to cheapest-recompute-first.
+    std::vector<VictimCandidate> candidates(3);
+    candidates[0].recomputeSeconds = 7.0;
+    candidates[1].recomputeSeconds = 3.0;
+    candidates[2].recomputeSeconds = 5.0;
+    const std::vector<size_t> order = rankEvictionVictims(candidates);
+    EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(VictimRanking, CostTiesGoToColdestThenAdmissionOrder)
+{
+    // Equal restore cost: the least-recently-run (coldest) victim is
+    // evicted first; a full tie falls back to admission order, which
+    // keeps the ranking a strict refinement of the legacy sweep.
+    std::vector<VictimCandidate> candidates(4);
+    for (auto &c : candidates)
+        c.recomputeSeconds = 4.0;
+    candidates[0].lastRunAt = 9.0;
+    candidates[1].lastRunAt = 2.0;
+    candidates[2].lastRunAt = 9.0;
+    candidates[3].lastRunAt = 2.0;
+    const std::vector<size_t> order = rankEvictionVictims(candidates);
+    EXPECT_EQ(order, (std::vector<size_t>{1, 3, 0, 2}));
+}
+
+TEST(VictimRanking, EmptyAndSingletonAreTrivial)
+{
+    EXPECT_TRUE(rankEvictionVictims({}).empty());
+    const std::vector<VictimCandidate> one(1);
+    EXPECT_EQ(rankEvictionVictims(one), (std::vector<size_t>{0}));
+}
+
 } // namespace
 } // namespace fasttts
